@@ -1,0 +1,60 @@
+//! Walker alias-table costs: O(n) build vs O(1) sample (the trade-off
+//! behind the paper's Fig. 7 update-frequency study), against a linear-scan
+//! baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqge_sampling::{AliasTable, Rng64};
+
+fn weights(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 2654435761) % 1000) as f64 + 1.0).collect()
+}
+
+fn bench_alias(c: &mut Criterion) {
+    let mut build = c.benchmark_group("alias_build");
+    for &n in &[2708usize, 13_752, 100_000] {
+        let w = weights(n);
+        build.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| AliasTable::new(&w).len());
+        });
+    }
+    build.finish();
+
+    let mut sample = c.benchmark_group("negative_sample");
+    for &n in &[2708usize, 13_752] {
+        let w = weights(n);
+        let table = AliasTable::new(&w);
+        sample.bench_function(BenchmarkId::new("alias_o1", n), |b| {
+            let mut rng = Rng64::seed_from_u64(1);
+            b.iter(|| table.sample(&mut rng));
+        });
+        // Baseline: cumulative-sum linear scan, O(n) per draw.
+        let cum: Vec<f64> = w
+            .iter()
+            .scan(0.0, |acc, &x| {
+                *acc += x;
+                Some(*acc)
+            })
+            .collect();
+        sample.bench_function(BenchmarkId::new("linear_scan", n), |b| {
+            let mut rng = Rng64::seed_from_u64(1);
+            let total = *cum.last().unwrap();
+            b.iter(|| {
+                let draw = rng.next_f64() * total;
+                cum.iter().position(|&c| c >= draw).unwrap_or(cum.len() - 1)
+            });
+        });
+        // Binary search over the cumulative sums, O(log n).
+        sample.bench_function(BenchmarkId::new("binary_search", n), |b| {
+            let mut rng = Rng64::seed_from_u64(1);
+            let total = *cum.last().unwrap();
+            b.iter(|| {
+                let draw = rng.next_f64() * total;
+                cum.partition_point(|&c| c < draw)
+            });
+        });
+    }
+    sample.finish();
+}
+
+criterion_group!(benches, bench_alias);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fixed-point datapath costs and accuracy: the Q-format ablation behind
+//! the accelerator's number-format choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqge_fixed::error::roundtrip_error;
+use seqge_fixed::ops::{mac_dot, naive_dot};
+use seqge_fixed::{Fx, Q8_24};
+use seqge_linalg::ops::dot;
+
+fn bench_fixed(c: &mut Criterion) {
+    let n = 96;
+    let xs_f: Vec<f32> = (0..n).map(|i| ((i * 37) % 100) as f32 / 100.0 - 0.5).collect();
+    let ys_f: Vec<f32> = (0..n).map(|i| ((i * 53) % 100) as f32 / 100.0 - 0.5).collect();
+    let xs_q = Q8_24::quantize_slice(&xs_f);
+    let ys_q = Q8_24::quantize_slice(&ys_f);
+
+    let mut group = c.benchmark_group("dot96");
+    group.bench_function("f32", |b| b.iter(|| dot(&xs_f, &ys_f)));
+    group.bench_function("q8_24_mac_tree", |b| b.iter(|| mac_dot(&xs_q, &ys_q)));
+    group.bench_function("q8_24_naive", |b| b.iter(|| naive_dot(&xs_q, &ys_q)));
+    group.finish();
+
+    // Round-trip quantization error across fraction widths (reported via
+    // bench labels; asserts the expected monotonicity).
+    let vals: Vec<f64> = (0..10_000).map(|i| (i as f64 - 5000.0) * 0.003).collect();
+    let e16 = roundtrip_error::<16>(&vals);
+    let e20 = roundtrip_error::<20>(&vals);
+    let e24 = roundtrip_error::<24>(&vals);
+    assert!(e24.rms <= e20.rms && e20.rms <= e16.rms);
+    let mut group = c.benchmark_group("quantize_slice_10k");
+    for frac in [16u32, 20, 24] {
+        group.bench_function(BenchmarkId::from_parameter(frac), |b| {
+            b.iter(|| match frac {
+                16 => vals.iter().map(|&v| Fx::<16>::from_f64(v).to_bits() as i64).sum::<i64>(),
+                20 => vals.iter().map(|&v| Fx::<20>::from_f64(v).to_bits() as i64).sum::<i64>(),
+                _ => vals.iter().map(|&v| Fx::<24>::from_f64(v).to_bits() as i64).sum::<i64>(),
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Downstream-evaluation cost: one-vs-rest logistic regression fit and
+//! prediction throughput at the paper's evaluation shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqge_eval::{LogRegConfig, OneVsRest};
+use seqge_linalg::Mat;
+
+fn synthetic(n: usize, d: usize, k: usize) -> (Mat<f32>, Vec<u16>) {
+    let labels: Vec<u16> = (0..n).map(|i| (i % k) as u16).collect();
+    let feats = Mat::from_fn(n, d, |r, c| {
+        let cls = labels[r] as usize;
+        if c % k == cls {
+            1.0 + ((r * 13 + c) % 7) as f32 * 0.01
+        } else {
+            ((r * 31 + c * 7) % 11) as f32 * 0.02
+        }
+    });
+    (feats, labels)
+}
+
+fn bench_logreg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logreg");
+    for &(n, d, k) in &[(500usize, 32usize, 7usize), (1000, 64, 10)] {
+        let (x, y) = synthetic(n, d, k);
+        let idx: Vec<usize> = (0..n).collect();
+        let cfg = LogRegConfig { epochs: 10, ..Default::default() };
+        group.bench_function(BenchmarkId::new("fit_10epochs", format!("n{n}_d{d}_k{k}")), |b| {
+            b.iter(|| OneVsRest::fit(&x, &y, &idx, k, &cfg));
+        });
+        let model = OneVsRest::fit(&x, &y, &idx, k, &cfg);
+        group.bench_function(BenchmarkId::new("predict_all", format!("n{n}_d{d}_k{k}")), |b| {
+            b.iter(|| model.predict_all(&x, &idx).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logreg);
+criterion_main!(benches);

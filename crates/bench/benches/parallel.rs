@@ -1,0 +1,34 @@
+//! Scaling of the data-parallel SGD trainer (parameter averaging) across
+//! shard counts — the hpc-parallel extension's microbenchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqge_core::{train_all_parallel, ParallelConfig, SkipGram, TrainConfig};
+use seqge_graph::Dataset;
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = Dataset::Cora.generate_scaled(0.15, 3);
+    let mut cfg = TrainConfig::paper_defaults(32);
+    cfg.walk.walks_per_node = 2;
+    cfg.walk.walk_length = 40;
+
+    let mut group = c.benchmark_group("parallel_sgd_full_corpus");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter(|| {
+                let mut m = SkipGram::new(g.num_nodes(), cfg.model);
+                train_all_parallel(
+                    &g,
+                    &mut m,
+                    &cfg,
+                    &ParallelConfig { shards, sync_every: 64 },
+                    9,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Per-walk training-kernel throughput: every model × the paper's three
+//! embedding dimensions (the microbenchmark behind Tables 3/4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqge_bench::prepared_walks;
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{
+    AlphaOsElm, DataflowOsElm, OsElmConfig, OsElmSkipGram, SkipGram, TrainConfig,
+};
+use seqge_fpga::Accelerator;
+use seqge_graph::Dataset;
+use seqge_sampling::Rng64;
+
+fn bench_training(c: &mut Criterion) {
+    let cfg32 = TrainConfig::paper_defaults(32);
+    let prep = prepared_walks(Dataset::Cora, 0.3, &cfg32, 1);
+    let walks: Vec<_> = prep.walks.iter().take(16).cloned().collect();
+    let n = prep.graph.num_nodes();
+
+    let mut group = c.benchmark_group("train_walk");
+    for &dim in &[32usize, 64, 96] {
+        let cfg = TrainConfig::paper_defaults(dim);
+        let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+
+        macro_rules! bench_model {
+            ($name:expr, $make:expr) => {
+                group.bench_function(BenchmarkId::new($name, dim), |b| {
+                    let mut m = $make;
+                    let mut rng = Rng64::seed_from_u64(7);
+                    let mut i = 0;
+                    b.iter(|| {
+                        m.train_walk(&walks[i % walks.len()], &prep.table, &mut rng);
+                        i += 1;
+                    });
+                });
+            };
+        }
+        bench_model!("original_sgd", SkipGram::new(n, cfg.model));
+        bench_model!("proposed_oselm", OsElmSkipGram::new(n, ocfg));
+        bench_model!("dataflow_oselm", DataflowOsElm::new(n, ocfg));
+        bench_model!("alpha_oselm", AlphaOsElm::new(n, ocfg));
+        bench_model!("fpga_functional", Accelerator::new(n, ocfg));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Random-walk kernel throughput: exact cumulative inversion vs rejection
+//! sampling (the strategy trade-off behind FPGA walkers like LightRW \[6\]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqge_graph::Dataset;
+use seqge_sampling::{Node2VecParams, Rng64, StepStrategy, Walker};
+
+fn bench_walks(c: &mut Criterion) {
+    let g = Dataset::AmazonPhoto.generate_scaled(0.2, 1);
+    let csr = g.to_csr();
+    let mut group = c.benchmark_group("walk80");
+    for (name, strategy) in
+        [("cumulative", StepStrategy::Cumulative), ("rejection", StepStrategy::Rejection)]
+    {
+        for &(p, q) in &[(0.5, 1.0), (0.25, 4.0), (4.0, 0.25)] {
+            let params = Node2VecParams { p, q, ..Default::default() };
+            group.bench_function(BenchmarkId::new(name, format!("p{p}_q{q}")), |b| {
+                let mut walker = Walker::with_strategy(params, strategy);
+                let mut rng = Rng64::seed_from_u64(3);
+                let mut buf = Vec::with_capacity(80);
+                let mut start = 0u32;
+                b.iter(|| {
+                    walker.walk_into(&csr, start % csr.num_nodes() as u32, &mut rng, &mut buf);
+                    start = start.wrapping_add(1);
+                    buf.len()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

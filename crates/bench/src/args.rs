@@ -1,0 +1,151 @@
+//! Minimal CLI parsing (no external dependency).
+
+use std::path::PathBuf;
+
+/// Common experiment-binary arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Dataset/stream scale in (0, 1].
+    pub scale: f64,
+    /// Optional JSON output path.
+    pub json: Option<PathBuf>,
+    /// Embedding dimensions to sweep.
+    pub dims: Vec<usize>,
+    /// Base seed.
+    pub seed: u64,
+    /// Dataset short names to run (default: all three).
+    pub datasets: Vec<String>,
+    /// Free-form extras (binary-specific flags like `--source beta`).
+    pub extras: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with a per-binary default scale.
+    pub fn parse(default_scale: f64) -> Self {
+        Self::parse_from(std::env::args().skip(1), default_scale)
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I, default_scale: f64) -> Self {
+        let mut args = Args {
+            scale: default_scale,
+            json: None,
+            dims: vec![32, 64, 96],
+            seed: 42,
+            datasets: vec!["cora".into(), "ampt".into(), "amcp".into()],
+            extras: Vec::new(),
+        };
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    args.scale = take("--scale").parse().expect("--scale expects a float");
+                    assert!(
+                        args.scale > 0.0 && args.scale <= 1.0,
+                        "--scale must be in (0, 1]"
+                    );
+                }
+                "--json" => args.json = Some(PathBuf::from(take("--json"))),
+                "--dims" => {
+                    args.dims = take("--dims")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--dims expects integers"))
+                        .collect();
+                    assert!(!args.dims.is_empty(), "--dims must not be empty");
+                }
+                "--seed" => args.seed = take("--seed").parse().expect("--seed expects an integer"),
+                "--datasets" => {
+                    args.datasets =
+                        take("--datasets").split(',').map(|s| s.trim().to_string()).collect();
+                    assert!(!args.datasets.is_empty(), "--datasets must not be empty");
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "common flags: --scale <f in (0,1]>  --json <path>  --dims a,b,c  \
+                         --datasets cora,ampt,amcp  --seed <n>"
+                    );
+                    std::process::exit(0);
+                }
+                other if other.starts_with("--") => {
+                    let key = other.trim_start_matches("--").to_string();
+                    let val = it.next().unwrap_or_default();
+                    args.extras.push((key, val));
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        args
+    }
+
+    /// The [`seqge_graph::Dataset`]s selected by `--datasets`.
+    pub fn selected_datasets(&self) -> Vec<seqge_graph::Dataset> {
+        use seqge_graph::Dataset;
+        self.datasets
+            .iter()
+            .map(|name| {
+                Dataset::ALL
+                    .into_iter()
+                    .find(|d| d.short_name() == name)
+                    .unwrap_or_else(|| panic!("unknown dataset `{name}`"))
+            })
+            .collect()
+    }
+
+    /// Looks up a binary-specific extra flag.
+    pub fn extra(&self, key: &str) -> Option<&str> {
+        self.extras.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let a = Args::parse_from(sv(&[]), 0.25);
+        assert_eq!(a.scale, 0.25);
+        assert_eq!(a.dims, vec![32, 64, 96]);
+        assert_eq!(a.seed, 42);
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = Args::parse_from(
+            sv(&["--scale", "0.5", "--json", "/tmp/x.json", "--dims", "8,16", "--seed", "7"]),
+            1.0,
+        );
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.json.as_ref().unwrap().to_str().unwrap(), "/tmp/x.json");
+        assert_eq!(a.dims, vec![8, 16]);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn extras_are_collected() {
+        let a = Args::parse_from(sv(&["--source", "beta", "--mu", "0.05"]), 1.0);
+        assert_eq!(a.extra("source"), Some("beta"));
+        assert_eq!(a.extra("mu"), Some("0.05"));
+        assert_eq!(a.extra("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be in (0, 1]")]
+    fn rejects_bad_scale() {
+        Args::parse_from(sv(&["--scale", "2.0"]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_positional() {
+        Args::parse_from(sv(&["oops"]), 1.0);
+    }
+}

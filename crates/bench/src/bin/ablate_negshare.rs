@@ -1,0 +1,111 @@
+//! Ablation — shared-per-walk negatives (§3.2's BRAM-traffic trick, after
+//! Ji et al. \[10\]) vs fresh negatives per positive.
+//!
+//! Measures three things at d = 32:
+//! * accuracy (does the reuse hurt the embedding?),
+//! * modeled DRAM column traffic via the accelerator's tile manager,
+//! * host-side training time of the proposed model under both modes.
+
+use seqge_bench::{banner, prepared_walks, time_walk_training, write_json, Args};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{NegativeMode, OsElmConfig, OsElmSkipGram, TrainConfig};
+use seqge_eval::{evaluate_embedding, EvalConfig};
+use seqge_fpga::report::TextTable;
+use seqge_fpga::Accelerator;
+use seqge_graph::Dataset;
+use seqge_sampling::Rng64;
+
+fn main() {
+    // amcp (13 752 nodes at full scale) so the weight tile actually
+    // overflows: a scaled cora fits entirely in the 127-bank cache and shows
+    // no traffic difference.
+    let args = Args::parse(0.25);
+    banner("Ablation — shared-per-walk vs fresh-per-positive negatives (d=32, amcp)", args.scale);
+    let dim = 32;
+    let cfg = TrainConfig::paper_defaults(dim);
+    let prep = prepared_walks(Dataset::AmazonComputers, args.scale, &cfg, args.seed);
+    let labels = prep.graph.labels().expect("labelled").to_vec();
+    let classes = prep.graph.num_classes();
+    let n = prep.graph.num_nodes();
+    let ecfg = EvalConfig::default();
+
+    let mut t = TextTable::new([
+        "negative mode", "F1", "walk time ms", "tile hit rate", "dram fetches",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for (name, mode) in
+        [("fresh per positive", NegativeMode::PerPosition), ("shared per walk", NegativeMode::PerWalk)]
+    {
+        let mut ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+        ocfg.model.negative_mode = mode;
+
+        // Accuracy.
+        let mut m = OsElmSkipGram::new(n, ocfg);
+        let mut rng = Rng64::seed_from_u64(args.seed);
+        for w in &prep.walks {
+            m.train_walk(w, &prep.table, &mut rng);
+        }
+        let f1 = evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed).micro_f1;
+
+        // Host time.
+        let mut m2 = OsElmSkipGram::new(n, ocfg);
+        let mut rng2 = Rng64::seed_from_u64(args.seed);
+        let walks: Vec<_> = prep.walks.iter().take(300).cloned().collect();
+        let t_walk =
+            time_walk_training(&mut m2, &walks, &prep.table, &mut rng2, 0.5) * 1e3;
+
+        // Tile traffic on the simulated accelerator. Note: the accelerator
+        // constructor forces PerWalk (the hardware design); for the fresh
+        // mode we override after construction via the config — instead we
+        // model traffic with the float model's access stream through a tile:
+        // simpler and equivalent, the accelerator path is exercised for the
+        // PerWalk row.
+        let (hit_rate, fetches) = if mode == NegativeMode::PerWalk {
+            let mut acc = Accelerator::new(n, ocfg);
+            let mut rng3 = Rng64::seed_from_u64(args.seed);
+            for w in prep.walks.iter().take(2000) {
+                acc.train_walk(w, &prep.table, &mut rng3);
+            }
+            let total = acc.stats.tile_hits + acc.stats.dram_fetches;
+            (acc.stats.tile_hits as f64 / total.max(1) as f64, acc.stats.dram_fetches)
+        } else {
+            use seqge_fpga::bram::TileManager;
+            use seqge_sampling::contexts;
+            let mut tile = TileManager::from_banks(127, dim);
+            let mut rng3 = Rng64::seed_from_u64(args.seed);
+            for w in prep.walks.iter().take(2000) {
+                for ctx in contexts(w, cfg.model.window) {
+                    tile.touch(ctx.center);
+                    for &pos in &ctx.positives {
+                        tile.touch(pos);
+                        for _ in 0..cfg.model.negative_samples {
+                            tile.touch(prep.table.sample(pos, &mut rng3));
+                        }
+                    }
+                }
+            }
+            (tile.hit_rate(), tile.misses)
+        };
+
+        t.row([
+            name.to_string(),
+            format!("{f1:.4}"),
+            format!("{t_walk:.3}"),
+            format!("{hit_rate:.3}"),
+            fetches.to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "mode": name, "f1": f1, "walk_ms": t_walk,
+            "tile_hit_rate": hit_rate, "dram_fetches": fetches,
+        }));
+    }
+
+    println!("{}", t.render());
+    println!("(expectation: shared negatives keep F1 within noise while cutting DRAM traffic)");
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

@@ -1,0 +1,103 @@
+//! Ablation — the OS-ELM update denominator.
+//!
+//! Algorithm 1 line 5 literally reads `hpht_inv ← 1/(H·P·Hᵀ)`; the standard
+//! OS-ELM (Liang et al. \[5\]) uses `1/(1 + H·P·Hᵀ)` (Sherman–Morrison with
+//! the identity regularizer). The bare form makes the rank-1 downdate
+//! project `P` to singularity along `H` and training collapses — this
+//! binary demonstrates why the reproduction defaults to the regularized
+//! form (DESIGN.md §1 "Faithfulness notes").
+//!
+//! A second section ablates the Algorithm-2 `ΔP` visibility model
+//! ([`seqge_core::PVisibility`]): whole-walk freezing (the literal reading)
+//! vs pipeline-register forwarding (the stable reading this repo defaults
+//! to).
+
+use seqge_bench::{banner, prepared_walks, write_json, Args};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{DataflowOsElm, OsElmConfig, OsElmSkipGram, PVisibility, TrainConfig};
+use seqge_eval::{evaluate_embedding, EvalConfig};
+use seqge_fpga::report::TextTable;
+use seqge_graph::Dataset;
+use seqge_sampling::Rng64;
+
+fn main() {
+    let args = Args::parse(0.15);
+    banner("Ablation — update denominator & ΔP visibility (d=32, cora)", args.scale);
+    let dim = 32;
+    let cfg = TrainConfig::paper_defaults(dim);
+    let prep = prepared_walks(Dataset::Cora, args.scale, &cfg, args.seed);
+    let labels = prep.graph.labels().expect("labelled").to_vec();
+    let classes = prep.graph.num_classes();
+    let n = prep.graph.num_nodes();
+    let ecfg = EvalConfig::default();
+    let mut json_rows = Vec::new();
+
+    let mut t = TextTable::new(["denominator", "F1", "finite", "clamped updates"]);
+    for (name, regularized) in [("1 + HPH^T (standard)", true), ("HPH^T (paper-literal)", false)]
+    {
+        let ocfg = OsElmConfig {
+            model: cfg.model,
+            regularized,
+            ..OsElmConfig::paper_defaults(dim)
+        };
+        let mut m = OsElmSkipGram::new(n, ocfg);
+        let mut rng = Rng64::seed_from_u64(args.seed);
+        for w in &prep.walks {
+            m.train_walk(w, &prep.table, &mut rng);
+        }
+        let finite = m.beta_t().all_finite() && m.p().all_finite();
+        let f1 = if finite {
+            evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed).micro_f1
+        } else {
+            f64::NAN
+        };
+        t.row([
+            name.to_string(),
+            if finite { format!("{f1:.4}") } else { "diverged".into() },
+            finite.to_string(),
+            m.clamped_updates().to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "denominator": name, "f1": if finite { Some(f1) } else { None },
+            "finite": finite, "clamped": m.clamped_updates(),
+        }));
+    }
+    println!("{}", t.render());
+
+    let mut t2 = TextTable::new(["dP visibility", "F1", "finite", "guarded downdates"]);
+    for (name, vis) in [
+        ("pipeline-register (default)", PVisibility::Running),
+        ("whole-walk freeze (literal)", PVisibility::PerWalk),
+    ] {
+        let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+        let mut m = DataflowOsElm::new(n, ocfg).with_p_visibility(vis);
+        let mut rng = Rng64::seed_from_u64(args.seed);
+        for w in &prep.walks {
+            m.train_walk(w, &prep.table, &mut rng);
+        }
+        let finite = m.beta_t().all_finite() && m.p().all_finite();
+        let f1 = if finite {
+            evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed).micro_f1
+        } else {
+            f64::NAN
+        };
+        t2.row([
+            name.to_string(),
+            if finite { format!("{f1:.4}") } else { "diverged".into() },
+            finite.to_string(),
+            m.guarded_updates().to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "p_visibility": name, "f1": if finite { Some(f1) } else { None },
+            "finite": finite, "guarded": m.guarded_updates(),
+        }));
+    }
+    println!("{}", t2.render());
+    println!("(expectation: the standard denominator and pipeline-register visibility are");
+    println!(" required for stable sequential training; the literal readings degrade)");
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

@@ -1,0 +1,46 @@
+//! Energy-efficiency comparison — the paper's §5 future work, realized with
+//! the documented power model in `seqge_fpga::energy`.
+//!
+//! Latencies: FPGA from the calibrated cycle model; Cortex-A53 and Core i7
+//! from the paper's own Tables 3/4 (proposed model), so the energy numbers
+//! sit on the paper's axis.
+
+use seqge_bench::{banner, write_json, Args};
+use seqge_fpga::energy::energy_comparison;
+use seqge_fpga::report::{ms, TextTable};
+
+/// Paper (dim, proposed-on-A53 ms, proposed-on-i7 ms).
+const PAPER_LATENCIES: [(usize, f64, f64); 3] =
+    [(32, 18.753, 0.787), (64, 35.941, 1.426), (96, 72.612, 2.396)];
+
+fn main() {
+    let args = Args::parse(1.0);
+    banner("Energy per trained walk (future-work extension)", args.scale);
+
+    let mut json_rows = Vec::new();
+    for &(dim, a53_ms, i7_ms) in &PAPER_LATENCIES {
+        if !args.dims.contains(&dim) {
+            continue;
+        }
+        println!("d = {dim}:");
+        let rows = energy_comparison(dim, a53_ms, i7_ms);
+        let mut t = TextTable::new(["platform", "walk ms", "energy mJ", "vs FPGA"]);
+        for r in &rows {
+            t.row([
+                r.platform.to_string(),
+                ms(r.walk_ms),
+                format!("{:.3}", r.energy_mj),
+                format!("{:.1}x", r.vs_fpga),
+            ]);
+        }
+        println!("{}", t.render());
+        json_rows.push(serde_json::json!({ "dim": dim, "rows": rows }));
+    }
+    println!("(power figures are documented nominal operating points — DESIGN.md §3;");
+    println!(" the ordering is set by the latency gaps, which are measured/modelled)");
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

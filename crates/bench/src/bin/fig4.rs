@@ -1,0 +1,80 @@
+//! Figure 4 — impact of the dataflow optimization on accuracy.
+//!
+//! Compares the proposed model on "CPU" (Algorithm 1, float) against the
+//! "FPGA" implementation (Algorithm 2 with deferred ΔP/Δβ, Q8.24 fixed
+//! point) in the "all" scenario. Paper: ≤1.09 % F1 drop on cora, no drop on
+//! the two larger datasets.
+
+use rayon::prelude::*;
+use seqge_bench::{banner, prepared_walks, write_json, Args};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{OsElmConfig, OsElmSkipGram, TrainConfig};
+use seqge_eval::{evaluate_embedding, EvalConfig};
+use seqge_fpga::report::TextTable;
+use seqge_fpga::Accelerator;
+use seqge_graph::Dataset;
+use seqge_sampling::Rng64;
+
+fn main() {
+    let args = Args::parse(0.15);
+    banner("Figure 4 — dataflow optimization (CPU Alg.1 vs FPGA Alg.2/fixed-point)", args.scale);
+
+    let mut combos: Vec<(Dataset, usize)> = Vec::new();
+    for ds in args.selected_datasets() {
+        for &dim in &args.dims {
+            combos.push((ds, dim));
+        }
+    }
+
+    let results: Vec<_> = combos
+        .par_iter()
+        .map(|&(ds, dim)| {
+            let cfg = TrainConfig::paper_defaults(dim);
+            let prep = prepared_walks(ds, args.scale, &cfg, args.seed);
+            let labels = prep.graph.labels().expect("labelled dataset").to_vec();
+            let classes = prep.graph.num_classes();
+            let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+            let ecfg = EvalConfig::default();
+
+            let mut cpu = OsElmSkipGram::new(prep.graph.num_nodes(), ocfg);
+            let mut rng = Rng64::seed_from_u64(args.seed);
+            for w in &prep.walks {
+                cpu.train_walk(w, &prep.table, &mut rng);
+            }
+            let f_cpu = evaluate_embedding(&cpu.embedding(), &labels, classes, &ecfg, args.seed);
+
+            let mut fpga = Accelerator::new(prep.graph.num_nodes(), ocfg);
+            let mut rng = Rng64::seed_from_u64(args.seed);
+            for w in &prep.walks {
+                fpga.train_walk(w, &prep.table, &mut rng);
+            }
+            let f_fpga = evaluate_embedding(&fpga.embedding(), &labels, classes, &ecfg, args.seed);
+
+            (ds, dim, f_cpu.micro_f1, f_fpga.micro_f1, fpga.stats.saturations)
+        })
+        .collect();
+
+    let mut t = TextTable::new(["dataset", "d", "CPU F1", "FPGA F1", "delta", "saturations"]);
+    let mut json_rows = Vec::new();
+    for (ds, dim, cpu, fpga, sat) in &results {
+        t.row([
+            ds.short_name().to_string(),
+            dim.to_string(),
+            format!("{cpu:.4}"),
+            format!("{fpga:.4}"),
+            format!("{:+.4}", fpga - cpu),
+            sat.to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "dataset": ds.short_name(), "dim": dim,
+            "cpu_f1": cpu, "fpga_f1": fpga, "delta": fpga - cpu,
+        }));
+    }
+    println!("{}", t.render());
+    println!("(paper: FPGA loses up to 1.09% F1 on cora, none on ampt/amcp)");
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 6 — impact of the scale factor μ on accuracy (d = 32).
+//!
+//! Sweeps μ over the paper's range and adds the "alpha" baseline (classic
+//! OS-ELM with a fixed random input matrix). Paper shape: collapse at
+//! μ = 0.001, high plateau for 0.005–0.1, gradual decay above 0.1, and the
+//! alpha baseline below the plateau.
+//!
+//! `--source input|output|average` additionally ablates §3.1's choice of
+//! which weights to read the embedding from (applies to the alpha baseline).
+
+use rayon::prelude::*;
+use seqge_bench::{banner, prepared_walks, write_json, Args};
+use seqge_core::embedding::{alpha_embedding, EmbeddingSource};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{AlphaOsElm, OsElmConfig, OsElmSkipGram, TrainConfig};
+use seqge_eval::{evaluate_embedding, EvalConfig};
+use seqge_fpga::report::TextTable;
+use seqge_sampling::Rng64;
+
+const MUS: [f32; 7] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0];
+
+fn main() {
+    let args = Args::parse(0.15);
+    banner("Figure 6 — scale factor mu sweep at d=32 (+ alpha baseline)", args.scale);
+    let source = match args.extra("source").unwrap_or("output") {
+        "input" => EmbeddingSource::Input,
+        "output" => EmbeddingSource::Output,
+        "average" => EmbeddingSource::Average,
+        other => panic!("--source must be input|output|average, got {other}"),
+    };
+    let dim = 32;
+
+    let selected = args.selected_datasets();
+    let results: Vec<_> = selected
+        .par_iter()
+        .map(|&ds| {
+            let cfg = TrainConfig::paper_defaults(dim);
+            let prep = prepared_walks(ds, args.scale, &cfg, args.seed);
+            let labels = prep.graph.labels().expect("labelled").to_vec();
+            let classes = prep.graph.num_classes();
+            let ecfg = EvalConfig::default();
+            let n = prep.graph.num_nodes();
+
+            let mu_scores: Vec<(f32, f64)> = MUS
+                .par_iter()
+                .map(|&mu| {
+                    let ocfg =
+                        OsElmConfig { model: cfg.model, mu, ..OsElmConfig::paper_defaults(dim) };
+                    let mut m = OsElmSkipGram::new(n, ocfg);
+                    let mut rng = Rng64::seed_from_u64(args.seed);
+                    for w in &prep.walks {
+                        m.train_walk(w, &prep.table, &mut rng);
+                    }
+                    let f =
+                        evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed);
+                    (mu, f.micro_f1)
+                })
+                .collect();
+
+            // Alpha baseline (no μ; fixed random input weights).
+            let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+            let mut alpha = AlphaOsElm::new(n, ocfg);
+            let mut rng = Rng64::seed_from_u64(args.seed);
+            for w in &prep.walks {
+                alpha.train_walk(w, &prep.table, &mut rng);
+            }
+            let emb = alpha_embedding(&alpha, source);
+            let alpha_f1 =
+                evaluate_embedding(&emb, &labels, classes, &ecfg, args.seed).micro_f1;
+
+            (ds, mu_scores, alpha_f1)
+        })
+        .collect();
+
+    let mut header: Vec<String> = vec!["dataset".into()];
+    header.extend(MUS.iter().map(|m| format!("mu={m}")));
+    header.push("alpha".into());
+    let mut t = TextTable::new(header);
+    let mut json_rows = Vec::new();
+    for (ds, scores, alpha_f1) in &results {
+        let mut row = vec![ds.short_name().to_string()];
+        row.extend(scores.iter().map(|(_, f)| format!("{f:.4}")));
+        row.push(format!("{alpha_f1:.4}"));
+        t.row(row);
+        json_rows.push(serde_json::json!({
+            "dataset": ds.short_name(),
+            "mu_f1": scores.iter().map(|(m, f)| serde_json::json!({"mu": m, "f1": f})).collect::<Vec<_>>(),
+            "alpha_f1": alpha_f1,
+            "alpha_embedding_source": format!("{source:?}"),
+        }));
+    }
+    println!("{}", t.render());
+    println!("(paper: collapse at mu=0.001; high plateau 0.005–0.1; gradual decay >0.1;");
+    println!(" alpha baseline below the plateau)");
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 7 — impact of the sampling-table update frequency (d = 32).
+//!
+//! In the "seq" scenario the Walker-alias negative table can be rebuilt
+//! every k inserted edges. Paper shape: k = 1 ≈ k = 100 ≫ k = 10 000 ≈
+//! never, with the penalty growing on larger graphs.
+
+use rayon::prelude::*;
+use seqge_bench::{banner, write_json, Args};
+use seqge_core::{train_seq_scenario, EmbeddingModel, OsElmConfig, OsElmSkipGram, TrainConfig};
+use seqge_eval::{evaluate_embedding, EvalConfig};
+use seqge_fpga::report::TextTable;
+use seqge_sampling::UpdatePolicy;
+
+fn main() {
+    let args = Args::parse(0.12);
+    banner("Figure 7 — sampling-table update frequency in the seq scenario (d=32)", args.scale);
+    let edge_fraction: f64 =
+        args.extra("edges").map(|s| s.parse().expect("--edges f")).unwrap_or(1.0);
+    let dim = 32;
+    // The paper sweeps {1, 100, 10000, no_update}; at reduced scale the
+    // stream is shorter, so scale the large period proportionally too.
+    let policies: Vec<(String, UpdatePolicy)> = vec![
+        ("every 1".into(), UpdatePolicy::EveryEdges(1)),
+        ("every 100".into(), UpdatePolicy::EveryEdges(100)),
+        ("every 10000".into(), UpdatePolicy::EveryEdges(10_000)),
+        ("no_update".into(), UpdatePolicy::Never),
+    ];
+
+    let selected = args.selected_datasets();
+    let results: Vec<_> = selected
+        .par_iter()
+        .map(|&ds| {
+            let cfg = TrainConfig::paper_defaults(dim);
+            let g = if args.scale >= 1.0 {
+                ds.generate(args.seed)
+            } else {
+                ds.generate_scaled(args.scale, args.seed)
+            };
+            let labels = g.labels().expect("labelled").to_vec();
+            let classes = g.num_classes();
+            let ecfg = EvalConfig::default();
+            let ocfg = OsElmConfig {
+                model: cfg.model,
+                forgetting: 0.9995, // seq scenario needs a live learning gain
+                ..OsElmConfig::paper_defaults(dim)
+            };
+
+            let scores: Vec<(String, f64, u64)> = policies
+                .par_iter()
+                .map(|(name, policy)| {
+                    let mut m = OsElmSkipGram::new(g.num_nodes(), ocfg);
+                    let (_, outcome) = train_seq_scenario(
+                        &g,
+                        &mut m,
+                        &cfg,
+                        *policy,
+                        args.seed,
+                        edge_fraction,
+                    );
+                    let f = evaluate_embedding(
+                        &m.embedding(),
+                        &labels,
+                        classes,
+                        &ecfg,
+                        args.seed,
+                    );
+                    (name.clone(), f.micro_f1, outcome.table_rebuilds)
+                })
+                .collect();
+            (ds, scores)
+        })
+        .collect();
+
+    let mut header: Vec<String> = vec!["dataset".into()];
+    for (name, _) in &policies {
+        header.push(name.clone());
+        header.push(format!("{name} rebuilds"));
+    }
+    let mut t = TextTable::new(header);
+    let mut json_rows = Vec::new();
+    for (ds, scores) in &results {
+        let mut row = vec![ds.short_name().to_string()];
+        for (_, f1, rebuilds) in scores {
+            row.push(format!("{f1:.4}"));
+            row.push(rebuilds.to_string());
+        }
+        t.row(row);
+        json_rows.push(serde_json::json!({
+            "dataset": ds.short_name(),
+            "policies": scores.iter().map(|(n, f, r)| serde_json::json!({
+                "policy": n, "f1": f, "rebuilds": r
+            })).collect::<Vec<_>>(),
+        }));
+    }
+    println!("{}", t.render());
+    println!("(paper: every 1 ≈ every 100 ≫ every 10000 ≈ no_update; worse on larger graphs)");
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 1 (dataset statistics) and Table 2 (hyper-parameters).
+//!
+//! Verifies the synthetic stand-in graphs against the published statistics
+//! and prints the node2vec configuration every other experiment uses.
+
+use seqge_bench::{banner, write_json, Args};
+use seqge_core::TrainConfig;
+use seqge_fpga::report::TextTable;
+use seqge_graph::stats::{degree_stats, label_homophily};
+use seqge_graph::Dataset;
+
+fn main() {
+    let args = Args::parse(1.0);
+    banner("Table 1 (datasets) & Table 2 (hyper-parameters)", args.scale);
+
+    let mut t = TextTable::new([
+        "dataset", "nodes", "edges", "classes", "avg deg", "max deg", "homophily",
+    ]);
+    let mut json_rows = Vec::new();
+    for ds in Dataset::ALL {
+        let spec = ds.spec();
+        let g = if args.scale >= 1.0 {
+            ds.generate(args.seed)
+        } else {
+            ds.generate_scaled(args.scale, args.seed)
+        };
+        let degs = degree_stats(&g);
+        let hom = label_homophily(&g).unwrap_or(0.0);
+        t.row([
+            ds.full_name().to_string(),
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+            g.num_classes().to_string(),
+            format!("{:.2}", degs.mean),
+            degs.max.to_string(),
+            format!("{hom:.3}"),
+        ]);
+        json_rows.push(serde_json::json!({
+            "dataset": ds.short_name(),
+            "spec": spec,
+            "generated_nodes": g.num_nodes(),
+            "generated_edges": g.num_edges(),
+            "homophily": hom,
+        }));
+    }
+    println!("{}", t.render());
+    println!("(paper Table 1: cora 2708/5429/7, ampt 7650/143663/8, amcp 13752/287209/10)");
+    println!();
+
+    let cfg = TrainConfig::paper_defaults(32);
+    let mut t2 = TextTable::new(["p", "q", "r", "l", "w", "# negative samples"]);
+    t2.row([
+        cfg.walk.p.to_string(),
+        cfg.walk.q.to_string(),
+        cfg.walk.walks_per_node.to_string(),
+        cfg.walk.walk_length.to_string(),
+        cfg.model.window.to_string(),
+        cfg.model.negative_samples.to_string(),
+    ]);
+    println!("Table 2 — node2vec hyper-parameters (paper: 0.5 / 1.0 / 10 / 80 / 8 / 10)");
+    println!("{}", t2.render());
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

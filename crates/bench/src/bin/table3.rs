@@ -1,0 +1,107 @@
+//! Table 3 — training time of a single random walk, embedded-class CPU vs
+//! the FPGA accelerator.
+//!
+//! The paper measures an ARM Cortex-A53 @1.2 GHz against the ZCU104 PL.
+//! Neither is available here, so (substitution, DESIGN.md §1):
+//!
+//! * the two software models are *measured* on the host CPU;
+//! * the FPGA row comes from the calibrated cycle model;
+//! * an "A53-projected" column scales the host measurements by a single
+//!   documented factor derived from the paper's own Table 3 / Table 4 pair
+//!   (the geometric mean of the per-entry A53/i7 ratios, ≈ 29×) — it exists
+//!   to put the speedup columns on the paper's axis, not as a measurement.
+//!
+//! The claim to check is the *shape*: proposed-CPU ≥ original-CPU, FPGA
+//! far ahead of the embedded CPU, and the FPGA advantage growing with the
+//! embedding dimension.
+
+use seqge_bench::{banner, prepared_walks, time_walk_training, write_json, Args};
+use seqge_core::{OsElmConfig, OsElmSkipGram, SkipGram, TrainConfig};
+use seqge_fpga::report::{ms, speedup, TextTable};
+use seqge_fpga::TimingModel;
+use seqge_graph::Dataset;
+use seqge_sampling::Rng64;
+
+/// Geometric mean of the paper's per-entry Cortex-A53 / Core-i7 time ratios
+/// (Table 3 vs Table 4: 27.0, 43.7, 61.5 for the original model; 23.8, 25.2,
+/// 30.3 for the proposed — pooled geomean ≈ 33).
+const A53_OVER_HOST: f64 = 33.0;
+
+/// Paper Table 3 rows: (dim, original A53 ms, proposed A53 ms, FPGA ms).
+const PAPER: [(usize, f64, f64, f64); 3] = [
+    (32, 35.357, 18.753, 0.777),
+    (64, 100.291, 35.941, 0.878),
+    (96, 202.175, 72.612, 0.985),
+];
+
+fn main() {
+    let args = Args::parse(1.0);
+    banner("Table 3 — training time of a single random walk (embedded CPU vs FPGA)", args.scale);
+
+    // Timing only needs one dataset's walks; graph size affects table build,
+    // not the per-walk training cost. Cora at full scale is cheap.
+    let cfg32 = TrainConfig::paper_defaults(32);
+    let prep = prepared_walks(Dataset::Cora, args.scale.min(1.0), &cfg32, args.seed);
+    let walks: Vec<_> = prep.walks.iter().take(400).cloned().collect();
+    let timing = TimingModel::default();
+
+    let mut table = TextTable::new([
+        "d",
+        "orig host ms",
+        "prop host ms",
+        "orig A53* ms",
+        "prop A53* ms",
+        "FPGA-sim ms",
+        "FPGA vs orig A53*",
+        "FPGA vs prop A53*",
+        "paper: orig/prop/FPGA",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for &dim in &args.dims {
+        let cfg = TrainConfig::paper_defaults(dim);
+        let mut rng = Rng64::seed_from_u64(args.seed);
+
+        let mut orig = SkipGram::new(prep.graph.num_nodes(), cfg.model);
+        let t_orig = time_walk_training(&mut orig, &walks, &prep.table, &mut rng, 1.0) * 1e3;
+
+        let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+        let mut prop = OsElmSkipGram::new(prep.graph.num_nodes(), ocfg);
+        let t_prop = time_walk_training(&mut prop, &walks, &prep.table, &mut rng, 1.0) * 1e3;
+
+        let t_fpga = timing.paper_walk_millis(dim);
+        let a53_orig = t_orig * A53_OVER_HOST;
+        let a53_prop = t_prop * A53_OVER_HOST;
+
+        let paper = PAPER.iter().find(|p| p.0 == dim);
+        table.row([
+            dim.to_string(),
+            ms(t_orig),
+            ms(t_prop),
+            ms(a53_orig),
+            ms(a53_prop),
+            ms(t_fpga),
+            speedup(a53_orig / t_fpga),
+            speedup(a53_prop / t_fpga),
+            paper.map_or("-".into(), |p| format!("{}/{}/{}", p.1, p.2, p.3)),
+        ]);
+        json_rows.push(serde_json::json!({
+            "dim": dim,
+            "original_host_ms": t_orig,
+            "proposed_host_ms": t_prop,
+            "a53_scale_factor": A53_OVER_HOST,
+            "fpga_sim_ms": t_fpga,
+            "paper": paper.map(|p| serde_json::json!({"orig_a53": p.1, "prop_a53": p.2, "fpga": p.3})),
+        }));
+    }
+
+    println!("{}", table.render());
+    println!("*A53 columns are host measurements scaled by the documented {A53_OVER_HOST}x factor");
+    println!(" (paper speedups: FPGA vs original-A53 45.5x / 114.2x / 205.3x;");
+    println!("  FPGA vs proposed-A53 24.1x / 40.9x / 73.7x)");
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

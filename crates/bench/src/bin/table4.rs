@@ -1,0 +1,83 @@
+//! Table 4 — training time of a single random walk vs a desktop CPU.
+//!
+//! Direct host measurements (no scaling model): the paper compares its FPGA
+//! against a Core i7-11700; here the software rows are measured on this
+//! machine's CPU and the FPGA row comes from the calibrated cycle model.
+//! Expected shape: the FPGA advantage grows with dimension and the
+//! proposed-vs-original CPU ratio stays above 1.
+
+use seqge_bench::{banner, prepared_walks, time_walk_training, write_json, Args};
+use seqge_core::{OsElmConfig, OsElmSkipGram, SkipGram, TrainConfig};
+use seqge_fpga::report::{ms, speedup, TextTable};
+use seqge_fpga::TimingModel;
+use seqge_graph::Dataset;
+use seqge_sampling::Rng64;
+
+/// Paper Table 4 rows: (dim, original i7 ms, proposed i7 ms, FPGA ms).
+const PAPER: [(usize, f64, f64, f64); 3] =
+    [(32, 1.309, 0.787, 0.777), (64, 2.293, 1.426, 0.878), (96, 3.285, 2.396, 0.985)];
+
+fn main() {
+    let args = Args::parse(1.0);
+    banner("Table 4 — training time of a single random walk (desktop CPU vs FPGA)", args.scale);
+
+    let cfg32 = TrainConfig::paper_defaults(32);
+    let prep = prepared_walks(Dataset::Cora, args.scale.min(1.0), &cfg32, args.seed);
+    let walks: Vec<_> = prep.walks.iter().take(400).cloned().collect();
+    let timing = TimingModel::default();
+
+    let mut table = TextTable::new([
+        "d",
+        "orig host ms",
+        "prop host ms",
+        "FPGA-sim ms",
+        "prop vs orig",
+        "FPGA vs orig",
+        "FPGA vs prop",
+        "paper: orig/prop/FPGA",
+    ]);
+    let mut json_rows = Vec::new();
+
+    for &dim in &args.dims {
+        let cfg = TrainConfig::paper_defaults(dim);
+        let mut rng = Rng64::seed_from_u64(args.seed);
+
+        let mut orig = SkipGram::new(prep.graph.num_nodes(), cfg.model);
+        let t_orig = time_walk_training(&mut orig, &walks, &prep.table, &mut rng, 1.0) * 1e3;
+
+        let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+        let mut prop = OsElmSkipGram::new(prep.graph.num_nodes(), ocfg);
+        let t_prop = time_walk_training(&mut prop, &walks, &prep.table, &mut rng, 1.0) * 1e3;
+
+        let t_fpga = timing.paper_walk_millis(dim);
+        let paper = PAPER.iter().find(|p| p.0 == dim);
+
+        table.row([
+            dim.to_string(),
+            ms(t_orig),
+            ms(t_prop),
+            ms(t_fpga),
+            speedup(t_orig / t_prop),
+            speedup(t_orig / t_fpga),
+            speedup(t_prop / t_fpga),
+            paper.map_or("-".into(), |p| format!("{}/{}/{}", p.1, p.2, p.3)),
+        ]);
+        json_rows.push(serde_json::json!({
+            "dim": dim,
+            "original_host_ms": t_orig,
+            "proposed_host_ms": t_prop,
+            "fpga_sim_ms": t_fpga,
+            "paper": paper.map(|p| serde_json::json!({"orig_i7": p.1, "prop_i7": p.2, "fpga": p.3})),
+        }));
+    }
+
+    println!("{}", table.render());
+    println!("(paper speedups vs i7: FPGA/original 1.69x / 2.61x / 3.34x;");
+    println!(" FPGA/proposed 1.01x / 1.62x / 2.43x — note this host may be faster than");
+    println!(" the paper's i7-11700, shifting absolute ratios while preserving the trend)");
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

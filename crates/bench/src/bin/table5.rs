@@ -1,0 +1,58 @@
+//! Table 5 — model sizes (MB) of the original and proposed models.
+//!
+//! Analytic (see `seqge_core::model_size` for the formulas and their ~4 %
+//! agreement with the paper), cross-checked against the live structs'
+//! actual heap footprints.
+
+use seqge_bench::{banner, write_json, Args};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::model_size::{
+    alias_table_bytes, reduction_factor, table5_rows, to_mb,
+};
+use seqge_core::{ModelConfig, OsElmConfig, OsElmSkipGram, SkipGram};
+use seqge_fpga::report::TextTable;
+use seqge_graph::Dataset;
+
+fn main() {
+    let args = Args::parse(1.0);
+    banner("Table 5 — model sizes (decimal MB)", args.scale);
+
+    let mut t = TextTable::new([
+        "dataset", "d", "original MB", "paper", "proposed MB", "paper", "reduction",
+    ]);
+    for row in table5_rows() {
+        let n = Dataset::ALL
+            .iter()
+            .find(|d| d.short_name() == row.dataset)
+            .map(|d| d.spec().num_nodes)
+            .expect("known dataset");
+        t.row([
+            row.dataset.to_string(),
+            row.dim.to_string(),
+            format!("{:.3}", row.original_mb),
+            format!("{:.3}", row.paper_original_mb),
+            format!("{:.3}", row.proposed_mb),
+            format!("{:.3}", row.paper_proposed_mb),
+            format!("{:.2}x", reduction_factor(n, row.dim)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(paper: proposed up to 3.82x smaller)");
+    println!();
+
+    // Live-struct cross-check at one point.
+    let n = Dataset::Cora.spec().num_nodes;
+    let sg = SkipGram::new(n, ModelConfig::paper_defaults(32));
+    let os = OsElmSkipGram::new(n, OsElmConfig::paper_defaults(32));
+    println!(
+        "live structs (cora, d=32): original {:.3} MB, proposed {:.3} MB (+{:.3} MB alias table)",
+        to_mb(sg.model_bytes()),
+        to_mb(os.model_bytes()),
+        to_mb(alias_table_bytes(n)),
+    );
+
+    if let Some(path) = &args.json {
+        write_json(path, &table5_rows()).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

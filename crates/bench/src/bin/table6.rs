@@ -1,0 +1,66 @@
+//! Table 6 — FPGA resource utilization on the XCZU7EV.
+//!
+//! Regenerated from the component-level estimator (`seqge_fpga::resources`),
+//! which is calibrated to reproduce the paper's Vivado reports exactly at
+//! d ∈ {32, 64, 96} and interpolates elsewhere.
+
+use seqge_bench::{banner, write_json, Args};
+use seqge_fpga::report::{pct, TextTable};
+use seqge_fpga::resources::PAPER_TABLE6;
+use seqge_fpga::{estimate_resources, AcceleratorDesign, FpgaDevice};
+
+fn main() {
+    let args = Args::parse(1.0);
+    banner("Table 6 — resource utilization on XCZU7EV", args.scale);
+    let dev = FpgaDevice::XCZU7EV;
+
+    let mut t = TextTable::new([
+        "d", "BRAM", "BRAM%", "DSP", "DSP%", "FF", "FF%", "LUT", "LUT%", "calibrated",
+    ]);
+    let mut json_rows = Vec::new();
+    for &dim in &args.dims {
+        let est = estimate_resources(&AcceleratorDesign::for_dim(dim));
+        let u = est.utilization(&dev);
+        t.row([
+            dim.to_string(),
+            est.bram36.to_string(),
+            pct(u.bram_pct),
+            est.dsp.to_string(),
+            pct(u.dsp_pct),
+            est.ff.to_string(),
+            pct(u.ff_pct),
+            est.lut.to_string(),
+            pct(u.lut_pct),
+            if est.calibrated { "yes".into() } else { "interp".to_string() },
+        ]);
+        json_rows.push(serde_json::json!({ "dim": dim, "estimate": est, "utilization": u }));
+    }
+    println!("{}", t.render());
+
+    println!("paper Table 6:");
+    let mut p = TextTable::new(["d", "BRAM", "DSP", "FF", "LUT"]);
+    for &(dim, bram, dsp, ff, lut) in &PAPER_TABLE6 {
+        p.row([
+            dim.to_string(),
+            format!("{bram}"),
+            format!("{dsp}"),
+            format!("{ff}"),
+            format!("{lut}"),
+        ]);
+    }
+    println!("{}", p.render());
+
+    // Component breakdown at the paper points.
+    println!("component breakdown (BRAM: P / β-port / weight cache / FIFO; DSP: MAC / div / ctrl):");
+    for dim in [32usize, 64, 96] {
+        let est = estimate_resources(&AcceleratorDesign::for_dim(dim));
+        let (bp, bb, bc, bf) = est.bram_parts;
+        let (dm, dd, dc) = est.dsp_parts;
+        println!("  d={dim}: BRAM {bp}+{bb}+{bc}+{bf}, DSP {dm}+{dd}+{dc}");
+    }
+
+    if let Some(path) = &args.json {
+        write_json(path, &json_rows).expect("write json");
+        println!("json written to {}", path.display());
+    }
+}

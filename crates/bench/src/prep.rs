@@ -1,0 +1,59 @@
+//! Dataset and walk preparation shared by the experiment binaries.
+
+use seqge_core::TrainConfig;
+use seqge_graph::{Dataset, Graph, NodeId};
+use seqge_sampling::{generate_corpus, NegativeTable, Rng64, UpdatePolicy, WalkCorpus, Walker};
+
+/// A dataset instantiated at some scale, with its walk corpus and a ready
+/// negative table.
+pub struct PreparedGraph {
+    /// Which dataset.
+    pub dataset: Dataset,
+    /// The labelled graph.
+    pub graph: Graph,
+    /// The walk corpus (appearance counts).
+    pub corpus: WalkCorpus,
+    /// Pre-generated walks (`r` per node).
+    pub walks: Vec<Vec<NodeId>>,
+    /// Negative table built from the corpus.
+    pub table: NegativeTable,
+}
+
+/// Generates `dataset` at `scale`, runs the full walk pass, and builds the
+/// negative table.
+pub fn prepared_walks(
+    dataset: Dataset,
+    scale: f64,
+    cfg: &TrainConfig,
+    seed: u64,
+) -> PreparedGraph {
+    let graph =
+        if scale >= 1.0 { dataset.generate(seed) } else { dataset.generate_scaled(scale, seed) };
+    let csr = graph.to_csr();
+    let mut walker = Walker::new(cfg.walk);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xBEEF);
+    let (corpus, walks) = generate_corpus(&csr, &mut walker, &mut rng);
+    let mut table = NegativeTable::new(UpdatePolicy::every_edge());
+    table.rebuild(&corpus);
+    PreparedGraph { dataset, graph, corpus, walks, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_graph_is_consistent() {
+        let cfg = {
+            let mut c = TrainConfig::paper_defaults(16);
+            c.walk.walk_length = 10;
+            c.walk.walks_per_node = 2;
+            c
+        };
+        let p = prepared_walks(Dataset::Cora, 0.05, &cfg, 1);
+        assert!(p.graph.num_nodes() >= 28);
+        assert_eq!(p.walks.len(), p.corpus.num_walks());
+        assert!(p.table.is_ready());
+        assert_eq!(p.graph.num_classes(), 7);
+    }
+}

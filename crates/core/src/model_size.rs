@@ -1,0 +1,164 @@
+//! Analytic model-size accounting (paper Table 5).
+//!
+//! The paper reports deployed-model sizes in (decimal) megabytes:
+//!
+//! * **Original skip-gram** — two `N×d` weight matrices in double precision
+//!   (the gcc/C++ CPU reference): `2·N·d·8` bytes.
+//! * **Proposed model** — one `N×d` β in the 32-bit datapath format, the
+//!   `d×d` P matrix, and the Walker alias table over `N` nodes
+//!   (`prob: f32` + `alias: u32` per node): `N·d·4 + d²·4 + N·8` bytes.
+//!
+//! These formulas land within ~4 % of every Table 5 entry (the residual is
+//! the paper's unstated bookkeeping); the `table5` harness prints both and
+//! EXPERIMENTS.md records the deltas. The headline claim — proposed is up to
+//! ~3.8× smaller — follows from the formulas directly.
+
+/// Bytes of the original skip-gram model (input + output matrices, f64).
+pub fn original_model_bytes(num_nodes: usize, dim: usize) -> usize {
+    2 * num_nodes * dim * 8
+}
+
+/// Bytes of the proposed OS-ELM model (β f32 + P f32 + alias table).
+pub fn proposed_model_bytes(num_nodes: usize, dim: usize) -> usize {
+    num_nodes * dim * 4 + dim * dim * 4 + alias_table_bytes(num_nodes)
+}
+
+/// Bytes of a Walker alias table over `n` outcomes (f32 prob + u32 alias).
+pub fn alias_table_bytes(n: usize) -> usize {
+    n * 8
+}
+
+/// Decimal megabytes (the paper's unit).
+pub fn to_mb(bytes: usize) -> f64 {
+    bytes as f64 / 1e6
+}
+
+/// Size-reduction factor original/proposed.
+pub fn reduction_factor(num_nodes: usize, dim: usize) -> f64 {
+    original_model_bytes(num_nodes, dim) as f64 / proposed_model_bytes(num_nodes, dim) as f64
+}
+
+/// One Table 5 row: paper value vs this repo's analytic value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SizeRow {
+    /// Dataset short name.
+    pub dataset: &'static str,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Analytic original-model MB.
+    pub original_mb: f64,
+    /// Analytic proposed-model MB.
+    pub proposed_mb: f64,
+    /// Paper's original-model MB.
+    pub paper_original_mb: f64,
+    /// Paper's proposed-model MB.
+    pub paper_proposed_mb: f64,
+}
+
+/// Paper Table 5, verbatim.
+pub const PAPER_TABLE5: [(&str, usize, f64, f64); 9] = [
+    ("cora", 32, 1.354, 0.376),
+    ("cora", 64, 2.676, 0.735),
+    ("cora", 96, 3.999, 1.105),
+    ("ampt", 32, 3.823, 1.088),
+    ("ampt", 64, 7.559, 2.017),
+    ("ampt", 96, 11.295, 2.990),
+    ("amcp", 32, 6.783, 1.897),
+    ("amcp", 64, 13.589, 3.600),
+    ("amcp", 96, 20.303, 5.318),
+];
+
+/// Node counts per dataset short name (Table 1).
+fn nodes_of(dataset: &str) -> usize {
+    match dataset {
+        "cora" => 2708,
+        "ampt" => 7650,
+        "amcp" => 13_752,
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+/// Computes every Table 5 row (analytic vs paper).
+pub fn table5_rows() -> Vec<SizeRow> {
+    PAPER_TABLE5
+        .iter()
+        .map(|&(dataset, dim, paper_orig, paper_prop)| {
+            let n = nodes_of(dataset);
+            SizeRow {
+                dataset,
+                dim,
+                original_mb: to_mb(original_model_bytes(n, dim)),
+                proposed_mb: to_mb(proposed_model_bytes(n, dim)),
+                paper_original_mb: paper_orig,
+                paper_proposed_mb: paper_prop,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_match_paper_within_five_percent() {
+        for row in table5_rows() {
+            let eo = (row.original_mb - row.paper_original_mb).abs() / row.paper_original_mb;
+            let ep = (row.proposed_mb - row.paper_proposed_mb).abs() / row.paper_proposed_mb;
+            assert!(
+                eo < 0.05,
+                "{} d={}: original {:.3} vs paper {:.3} ({:.1}% off)",
+                row.dataset,
+                row.dim,
+                row.original_mb,
+                row.paper_original_mb,
+                eo * 100.0
+            );
+            assert!(
+                ep < 0.05,
+                "{} d={}: proposed {:.3} vs paper {:.3} ({:.1}% off)",
+                row.dataset,
+                row.dim,
+                row.proposed_mb,
+                row.paper_proposed_mb,
+                ep * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn reduction_factor_in_paper_band() {
+        // Paper: "up to 3.82 times smaller".
+        let mut max_factor: f64 = 0.0;
+        for &(ds, dim, _, _) in &PAPER_TABLE5 {
+            let f = reduction_factor(nodes_of(ds), dim);
+            assert!(f > 3.0, "{ds} d={dim}: factor {f}");
+            max_factor = max_factor.max(f);
+        }
+        assert!((3.4..=4.2).contains(&max_factor), "max factor {max_factor}");
+    }
+
+    #[test]
+    fn model_bytes_trait_agrees_with_formula() {
+        use crate::config::ModelConfig;
+        use crate::model::EmbeddingModel;
+        use crate::oselm::{OsElmConfig, OsElmSkipGram};
+        use crate::skipgram::SkipGram;
+        let n = 123;
+        let d = 16;
+        let sg = SkipGram::new(n, ModelConfig::paper_defaults(d));
+        assert_eq!(sg.model_bytes(), original_model_bytes(n, d));
+        let os = OsElmSkipGram::new(n, OsElmConfig::paper_defaults(d));
+        assert_eq!(os.model_bytes() + alias_table_bytes(n), proposed_model_bytes(n, d));
+    }
+
+    #[test]
+    fn proposed_grows_linearly_in_dim_and_nodes() {
+        let b1 = proposed_model_bytes(1000, 32);
+        let b2 = proposed_model_bytes(2000, 32);
+        assert!(b2 > b1 && b2 < 2 * b1 + 10_000);
+        let c1 = proposed_model_bytes(1000, 32) - alias_table_bytes(1000);
+        let c2 = proposed_model_bytes(1000, 64) - alias_table_bytes(1000);
+        assert!(c2 > 2 * c1 - 1 && c2 < 3 * c1);
+    }
+}

@@ -1,0 +1,204 @@
+//! The "alpha" baseline: classic OS-ELM with a fixed random input matrix.
+//!
+//! Fig. 6 compares the proposed β-reuse (`H = μ·β[:,center]`) against the
+//! original OS-ELM formulation where the input-side weights `α` are frozen
+//! at random values (`H = α[center]`). Only `β` trains; the embedding is
+//! read from `β` (the only trained weights). The paper finds this baseline
+//! below the proposed model except at degenerate `μ`.
+
+use crate::model::{EmbeddingModel, NegativeDraw};
+use crate::oselm::model::OsElmConfig;
+use seqge_graph::NodeId;
+use seqge_linalg::{ops, Mat};
+use seqge_sampling::{contexts, NegativeTable, Rng64};
+
+/// Classic OS-ELM skip-gram with frozen random `α`.
+#[derive(Debug, Clone)]
+pub struct AlphaOsElm {
+    /// Frozen random input weights (`N×d`).
+    alpha: Mat<f32>,
+    /// Trainable output weights, stored transposed (`N×d`, row per node).
+    beta_t: Mat<f32>,
+    p: Mat<f32>,
+    cfg: OsElmConfig,
+    draw: NegativeDraw,
+    h: Vec<f32>,
+    ph: Vec<f32>,
+    phn: Vec<f32>,
+    clamped: u64,
+}
+
+const DENOM_FLOOR: f32 = 1e-12;
+
+impl AlphaOsElm {
+    /// Creates the model. `α` is drawn uniform in `[-1, 1)` — the classic
+    /// OS-ELM initialization (wider than the trained-weight init because `α`
+    /// never moves and must span the feature space).
+    pub fn new(num_nodes: usize, cfg: OsElmConfig) -> Self {
+        cfg.validate().expect("invalid OS-ELM config");
+        let d = cfg.model.dim;
+        let mut rng = Rng64::seed_from_u64(cfg.model.seed ^ 0xA1FA);
+        let alpha = Mat::from_fn(num_nodes, d, |_, _| rng.next_f32() * 2.0 - 1.0);
+        // β starts at zero: OS-ELM derives it entirely from data.
+        let beta_t = Mat::zeros(num_nodes, d);
+        AlphaOsElm {
+            alpha,
+            beta_t,
+            p: Mat::scaled_identity(d, cfg.p0_scale),
+            draw: NegativeDraw::new(&cfg.model),
+            h: vec![0.0; d],
+            ph: vec![0.0; d],
+            phn: vec![0.0; d],
+            clamped: 0,
+            cfg,
+        }
+    }
+
+    /// The frozen `α`.
+    pub fn alpha(&self) -> &Mat<f32> {
+        &self.alpha
+    }
+
+    /// `βᵀ`.
+    pub fn beta_t(&self) -> &Mat<f32> {
+        &self.beta_t
+    }
+
+    /// Denominator clamp count.
+    pub fn clamped_updates(&self) -> u64 {
+        self.clamped
+    }
+}
+
+impl EmbeddingModel for AlphaOsElm {
+    fn train_walk(&mut self, walk: &[NodeId], negatives: &NegativeTable, rng: &mut Rng64) {
+        let ctxs = contexts(walk, self.cfg.model.window);
+        self.draw.begin_walk(walk, negatives, rng);
+        for ctx in &ctxs {
+            // H = α[center] (one-hot input × frozen input matrix).
+            self.h.copy_from_slice(self.alpha.row(ctx.center as usize));
+            ops::gemv(&self.p, &self.h, &mut self.ph);
+            let hph = ops::dot(&self.h, &self.ph);
+            let mut denom = if self.cfg.regularized { 1.0 + hph } else { hph };
+            if denom.abs() < DENOM_FLOOR {
+                denom = if denom < 0.0 { -DENOM_FLOOR } else { DENOM_FLOOR };
+                self.clamped += 1;
+            }
+            ops::p_downdate(&mut self.p, &self.ph, &self.ph, denom);
+            ops::gemv(&self.p, &self.h, &mut self.phn);
+            for &pos in &ctx.positives {
+                {
+                    let col = self.beta_t.row_mut(pos as usize);
+                    let e = 1.0 - ops::dot(&self.h, col);
+                    ops::axpy(e, &self.phn, col);
+                }
+                let negs = self.draw.for_positive(pos, negatives, rng);
+                for &neg in negs {
+                    let col = self.beta_t.row_mut(neg as usize);
+                    let e = 0.0 - ops::dot(&self.h, col);
+                    ops::axpy(e, &self.phn, col);
+                }
+            }
+        }
+    }
+
+    fn embedding(&self) -> Mat<f32> {
+        // The trained weights are β; α is noise by construction.
+        self.beta_t.clone()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.beta_t.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.cfg.model.dim
+    }
+
+    fn model_bytes(&self) -> usize {
+        // The α matrix must be retained for inference — the size penalty the
+        // proposed model eliminates (Table 5's motivation).
+        self.alpha.heap_bytes() + self.beta_t.heap_bytes() + self.p.heap_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "oselm-alpha"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, NegativeMode};
+    use seqge_sampling::{UpdatePolicy, WalkCorpus};
+
+    fn ready_table(n: usize) -> NegativeTable {
+        let mut corpus = WalkCorpus::new(n);
+        corpus.record(&(0..n as NodeId).collect::<Vec<_>>());
+        let mut t = NegativeTable::new(UpdatePolicy::every_edge());
+        t.rebuild(&corpus);
+        t
+    }
+
+    fn cfg(dim: usize) -> OsElmConfig {
+        OsElmConfig {
+            model: ModelConfig {
+                dim,
+                window: 4,
+                negative_samples: 3,
+                negative_mode: NegativeMode::PerPosition,
+                seed: 13,
+            },
+            mu: 0.01,
+            p0_scale: 10.0,
+            regularized: true,
+            forgetting: 1.0,
+        }
+    }
+
+    #[test]
+    fn alpha_is_frozen_by_training() {
+        let table = ready_table(20);
+        let mut m = AlphaOsElm::new(20, cfg(8));
+        let alpha_before = m.alpha().clone();
+        let mut rng = Rng64::seed_from_u64(1);
+        m.train_walk(&(0..20u32).collect::<Vec<_>>(), &table, &mut rng);
+        assert_eq!(m.alpha(), &alpha_before, "α must never change");
+        assert!(m.beta_t().as_slice().iter().any(|&x| x != 0.0), "β must train");
+    }
+
+    #[test]
+    fn model_is_larger_than_proposed() {
+        use crate::oselm::OsElmSkipGram;
+        let a = AlphaOsElm::new(100, cfg(16));
+        let p = OsElmSkipGram::new(100, cfg(16));
+        assert!(
+            a.model_bytes() > p.model_bytes(),
+            "retaining α must cost memory: {} vs {}",
+            a.model_bytes(),
+            p.model_bytes()
+        );
+    }
+
+    #[test]
+    fn training_stays_finite() {
+        let table = ready_table(30);
+        let mut m = AlphaOsElm::new(30, cfg(8));
+        let mut rng = Rng64::seed_from_u64(3);
+        let walk: Vec<NodeId> = (0..30u32).collect();
+        for _ in 0..50 {
+            m.train_walk(&walk, &table, &mut rng);
+        }
+        assert!(m.beta_t().all_finite());
+        assert_eq!(m.clamped_updates(), 0);
+    }
+
+    #[test]
+    fn embedding_is_beta() {
+        let table = ready_table(10);
+        let mut m = AlphaOsElm::new(10, cfg(4));
+        let mut rng = Rng64::seed_from_u64(2);
+        m.train_walk(&[0, 1, 2, 3, 4, 5], &table, &mut rng);
+        assert_eq!(&m.embedding(), m.beta_t());
+    }
+}

@@ -1,0 +1,449 @@
+//! Algorithm 2: the dataflow-optimized variant.
+//!
+//! Algorithm 1 carries a loop dependency — each context reads the `P` and
+//! `β` the previous context wrote — which blocks pipelining the four stages
+//! of the FPGA kernel. Algorithm 2 accumulates the updates into `ΔP` and
+//! `Δβ` and commits both to main memory once per walk (lines 19–20).
+//!
+//! How *visible* the in-flight `ΔP` is to stage 2 is a modeling choice with
+//! teeth (see DESIGN.md §1 "Faithfulness notes"): if stage 2 reads the
+//! walk-entry `P` for all 73 contexts, repeated walk directions apply up to
+//! 73 downdates sized against the same stale `P` — the accumulated downdate
+//! overshoots, `P` goes indefinite, and training diverges (we verified this
+//! numerically; the overshoot is catastrophic on small dense graphs). The
+//! hardware keeps `ΔP` in on-chip accumulators next to the stage that
+//! computes it, so the natural design forwards it with pipeline-register
+//! staleness only. [`PVisibility::Running`] (default) models that; the
+//! paper-literal whole-walk freeze is kept as [`PVisibility::PerWalk`] for
+//! the ablation, protected by a denominator guard so it degrades instead of
+//! exploding.
+//!
+//! This is the float-exact functional model of what the FPGA executes; the
+//! fixed-point + cycle-timed version lives in `seqge-fpga`.
+
+use crate::model::{init_weight, EmbeddingModel, NegativeDraw};
+use crate::oselm::model::OsElmConfig;
+use seqge_graph::NodeId;
+use seqge_linalg::{ops, Mat};
+use seqge_sampling::{contexts, NegativeTable, Rng64};
+use std::collections::HashMap;
+
+/// How the in-flight `ΔP` is exposed to stage 2 within a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PVisibility {
+    /// `ΔP` forwarded with pipeline-register staleness: each context sees
+    /// the previous context's downdate (hardware-accurate, stable).
+    Running,
+    /// Paper-literal whole-walk freeze: every context reads the walk-entry
+    /// `P`. Unstable when walk directions repeat; guarded by
+    /// [`DataflowOsElm::DENOM_GUARD`] so it degrades rather than diverges.
+    PerWalk,
+}
+
+/// Per-walk accumulator for sparse `Δβ` columns: a flat arena of `d`-slots
+/// indexed through a node→slot map, reused across walks (no steady-state
+/// allocation).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DeltaBeta {
+    slot_of: HashMap<NodeId, usize>,
+    touched: Vec<NodeId>,
+    arena: Vec<f32>,
+    dim: usize,
+}
+
+impl DeltaBeta {
+    pub fn new(dim: usize) -> Self {
+        DeltaBeta { slot_of: HashMap::new(), touched: Vec::new(), arena: Vec::new(), dim }
+    }
+
+    /// The Δ-column for `node`, creating a zeroed slot on first touch.
+    pub fn slot_mut(&mut self, node: NodeId) -> &mut [f32] {
+        let dim = self.dim;
+        let next = self.touched.len();
+        let idx = *self.slot_of.entry(node).or_insert_with(|| {
+            self.touched.push(node);
+            next
+        });
+        if idx == next && self.arena.len() < (next + 1) * dim {
+            self.arena.resize((next + 1) * dim, 0.0);
+        }
+        &mut self.arena[idx * dim..(idx + 1) * dim]
+    }
+
+    /// Applies all accumulated columns into `beta_t` and clears.
+    pub fn apply_and_clear(&mut self, beta_t: &mut Mat<f32>) {
+        for (i, &node) in self.touched.iter().enumerate() {
+            let delta = &self.arena[i * self.dim..(i + 1) * self.dim];
+            let row = beta_t.row_mut(node as usize);
+            for j in 0..self.dim {
+                row[j] += delta[j];
+            }
+        }
+        self.slot_of.clear();
+        self.touched.clear();
+        self.arena.clear();
+    }
+
+    /// Number of distinct touched columns this walk.
+    pub fn touched_count(&self) -> usize {
+        self.touched.len()
+    }
+}
+
+/// The Algorithm 2 model.
+#[derive(Debug, Clone)]
+pub struct DataflowOsElm {
+    beta_t: Mat<f32>,
+    /// Committed `P` (main-memory copy, written once per walk).
+    p: Mat<f32>,
+    /// Running `P` (on-chip copy stage 2 reads under `Running` visibility).
+    p_run: Mat<f32>,
+    cfg: OsElmConfig,
+    p_visibility: PVisibility,
+    draw: NegativeDraw,
+    delta_p: Mat<f32>,
+    delta_beta: DeltaBeta,
+    h: Vec<f32>,
+    ph: Vec<f32>,
+    phn: Vec<f32>,
+    clamped: u64,
+    guarded: u64,
+}
+
+const DENOM_FLOOR: f32 = 1e-12;
+
+impl DataflowOsElm {
+    /// Creates the model. Weight init is identical to [`super::OsElmSkipGram`]
+    /// for the same seed, so Fig. 4's CPU-vs-FPGA comparison starts from the
+    /// same state.
+    pub fn new(num_nodes: usize, cfg: OsElmConfig) -> Self {
+        cfg.validate().expect("invalid OS-ELM config");
+        let d = cfg.model.dim;
+        let mut rng = Rng64::seed_from_u64(cfg.model.seed);
+        let beta_t = Mat::from_fn(num_nodes, d, |_, _| init_weight(&mut rng, d));
+        DataflowOsElm {
+            beta_t,
+            p: Mat::scaled_identity(d, cfg.p0_scale),
+            p_run: Mat::scaled_identity(d, cfg.p0_scale),
+            p_visibility: PVisibility::Running,
+            draw: NegativeDraw::new(&cfg.model),
+            delta_p: Mat::zeros(d, d),
+            delta_beta: DeltaBeta::new(d),
+            h: vec![0.0; d],
+            ph: vec![0.0; d],
+            phn: vec![0.0; d],
+            clamped: 0,
+            guarded: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &OsElmConfig {
+        &self.cfg
+    }
+
+    /// `βᵀ` (row per node).
+    pub fn beta_t(&self) -> &Mat<f32> {
+        &self.beta_t
+    }
+
+    /// The `P` matrix.
+    pub fn p(&self) -> &Mat<f32> {
+        &self.p
+    }
+
+    /// Denominator-clamp telemetry.
+    pub fn clamped_updates(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Denominator floor below which the `PerWalk` variant skips the `P`
+    /// downdate for a context (keeps the ablation bounded).
+    pub const DENOM_GUARD: f32 = 0.25;
+
+    /// Number of contexts whose `P` downdate was skipped by the guard.
+    pub fn guarded_updates(&self) -> u64 {
+        self.guarded
+    }
+
+    /// Selects the `ΔP` visibility model (default [`PVisibility::Running`]).
+    pub fn with_p_visibility(mut self, v: PVisibility) -> Self {
+        self.p_visibility = v;
+        self
+    }
+}
+
+impl EmbeddingModel for DataflowOsElm {
+    fn train_walk(&mut self, walk: &[NodeId], negatives: &NegativeTable, rng: &mut Rng64) {
+        let d = self.cfg.model.dim;
+        let ctxs = contexts(walk, self.cfg.model.window);
+        self.draw.begin_walk(walk, negatives, rng);
+        debug_assert_eq!(self.delta_beta.touched_count(), 0);
+        for ctx in &ctxs {
+            // Stage 1: H from the walk-entry β (the center column's Δ is in
+            // the stage-3/4 accumulators, not visible to stage 1).
+            let brow = self.beta_t.row(ctx.center as usize);
+            for (hi, &b) in self.h.iter_mut().zip(brow) {
+                *hi = self.cfg.mu * b;
+            }
+            // Stage 2: Pʜ and HPHᵀ from the visible P.
+            let p_src = match self.p_visibility {
+                PVisibility::Running => &self.p_run,
+                PVisibility::PerWalk => &self.p,
+            };
+            ops::gemv(p_src, &self.h, &mut self.ph);
+            let hph = ops::dot(&self.h, &self.ph);
+            let lambda = self.cfg.forgetting;
+            let mut denom = if self.cfg.regularized { lambda + hph } else { hph };
+            let drift_guard = self.cfg.regularized && denom < 0.5 * lambda;
+            if denom.abs() < DENOM_FLOOR {
+                denom = if denom < 0.0 { -DENOM_FLOOR } else { DENOM_FLOOR };
+                self.clamped += 1;
+            }
+            // Stage 4a: ΔP ← ΔP − Pʜ·Pʜᵀ / denom (line 17). Under PerWalk
+            // visibility the guard skips downdates once P is no longer
+            // positive along H (denominator too small) — a cheap comparator
+            // in hardware, and the difference between "degrades" and
+            // "diverges" in the ablation.
+            let guard = drift_guard
+                || (self.p_visibility == PVisibility::PerWalk && denom < Self::DENOM_GUARD);
+            if guard {
+                // P is no longer healthy along H: drop the context entirely
+                // (cheap comparator in hardware; keeps the ablation bounded).
+                self.guarded += 1;
+                continue;
+            }
+            {
+                match self.p_visibility {
+                    PVisibility::Running => {
+                        ops::p_downdate(&mut self.p_run, &self.ph, &self.ph, denom);
+                        if lambda < 1.0 {
+                            // EW-RLS inflation with PSD-preserving trace
+                            // normalization against covariance wind-up, plus
+                            // re-symmetrization (the inflation amplifies the
+                            // antisymmetric rounding component exponentially
+                            // otherwise — see `oselm::model::symmetrize`).
+                            ops::scal(1.0 / lambda, self.p_run.as_mut_slice());
+                            let trace: f32 = (0..d).map(|i| self.p_run[(i, i)]).sum();
+                            let cap = self.cfg.p0_scale * d as f32;
+                            if trace > cap {
+                                ops::scal(cap / trace, self.p_run.as_mut_slice());
+                            }
+                            for r in 0..d {
+                                for c in (r + 1)..d {
+                                    let avg = 0.5 * (self.p_run[(r, c)] + self.p_run[(c, r)]);
+                                    self.p_run[(r, c)] = avg;
+                                    self.p_run[(c, r)] = avg;
+                                }
+                            }
+                        }
+                    }
+                    PVisibility::PerWalk => {
+                        // Forgetting is undefined for the frozen-P ablation
+                        // (the 1/λ inflation cannot be deferred soundly);
+                        // the config validator allows it but the ablation
+                        // binary runs λ = 1.
+                        ops::p_downdate(&mut self.delta_p, &self.ph, &self.ph, denom);
+                    }
+                }
+                // PʜΝ = P_ctx·Hᵀ where P_ctx = P − Pʜ·Pʜᵀ/denom = a scalar
+                // rescale of Pʜ — no second gemv.
+                let scale = 1.0 - hph / denom;
+                for i in 0..d {
+                    self.phn[i] = self.ph[i] * scale;
+                }
+            }
+            // Stage 3 + 4b: sample errors and Δβ accumulation. The error
+            // reads the *effective* column β + Δβ — the Δβ accumulator
+            // lives in the same BRAM the sample stage reads, so the running
+            // value is what the hardware naturally sees. (Only the P chain
+            // is frozen; freezing β too makes the 500-odd per-walk touches
+            // of a shared negative column an unstable fixed-step iteration
+            // that diverges — see DESIGN.md §1 "Faithfulness notes".)
+            for &pos in &ctx.positives {
+                {
+                    let frozen = ops::dot(&self.h, self.beta_t.row(pos as usize));
+                    let slot = self.delta_beta.slot_mut(pos);
+                    let e = 1.0 - (frozen + ops::dot(&self.h, slot));
+                    ops::axpy(e, &self.phn, slot);
+                }
+                let negs = self.draw.for_positive(pos, negatives, rng);
+                for &neg in negs {
+                    let frozen = ops::dot(&self.h, self.beta_t.row(neg as usize));
+                    // `negs` borrows self.draw; the arena and weight matrix
+                    // are disjoint fields, so these borrows coexist.
+                    let slot = self.delta_beta.slot_mut(neg);
+                    let e = 0.0 - (frozen + ops::dot(&self.h, slot));
+                    ops::axpy(e, &self.phn, slot);
+                }
+            }
+        }
+        // Lines 19–20: commit once per walk. Under Running visibility the
+        // on-chip copy *is* the new P (write-back); under PerWalk the
+        // accumulated ΔP is applied to the frozen copy.
+        match self.p_visibility {
+            PVisibility::Running => {
+                self.p.as_mut_slice().copy_from_slice(self.p_run.as_slice());
+            }
+            PVisibility::PerWalk => {
+                // Apply ΔP, then saturate both matrices at the Q8.24-style
+                // rails the hardware would impose — the literal whole-walk
+                // freeze overshoots, and the rails are what turn divergence
+                // into the bounded degradation the ablation reports.
+                let p_cap = 4.0 * self.cfg.p0_scale;
+                for (p, &dpv) in self.p.as_mut_slice().iter_mut().zip(self.delta_p.as_slice()) {
+                    *p = (*p + dpv).clamp(-p_cap, p_cap);
+                }
+                self.delta_p.as_mut_slice().fill(0.0);
+                self.p_run.as_mut_slice().copy_from_slice(self.p.as_slice());
+            }
+        }
+        self.delta_beta.apply_and_clear(&mut self.beta_t);
+        if self.p_visibility == PVisibility::PerWalk {
+            const BETA_RAIL: f32 = 128.0; // Q8.24 saturation rail
+            for v in self.beta_t.as_mut_slice() {
+                *v = v.clamp(-BETA_RAIL, BETA_RAIL);
+            }
+        }
+    }
+
+    fn embedding(&self) -> Mat<f32> {
+        let mut e = self.beta_t.clone();
+        ops::scal(self.cfg.mu, e.as_mut_slice());
+        e
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.beta_t.rows()
+    }
+
+    fn dim(&self) -> usize {
+        self.cfg.model.dim
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.beta_t.heap_bytes() + self.p.heap_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "oselm-dataflow"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, NegativeMode};
+    use crate::oselm::OsElmSkipGram;
+    use crate::EmbeddingModel;
+    use seqge_sampling::{UpdatePolicy, WalkCorpus};
+
+    fn ready_table(n: usize) -> NegativeTable {
+        let mut corpus = WalkCorpus::new(n);
+        corpus.record(&(0..n as NodeId).collect::<Vec<_>>());
+        let mut t = NegativeTable::new(UpdatePolicy::every_edge());
+        t.rebuild(&corpus);
+        t
+    }
+
+    fn cfg(dim: usize) -> OsElmConfig {
+        OsElmConfig {
+            model: ModelConfig {
+                dim,
+                window: 4,
+                negative_samples: 3,
+                negative_mode: NegativeMode::PerWalk,
+                seed: 11,
+            },
+            mu: 0.01,
+            p0_scale: 10.0,
+            regularized: true,
+            forgetting: 1.0,
+        }
+    }
+
+    #[test]
+    fn delta_beta_arena_reuse() {
+        let mut db = DeltaBeta::new(3);
+        db.slot_mut(5)[0] = 1.0;
+        db.slot_mut(9)[1] = 2.0;
+        db.slot_mut(5)[2] = 3.0; // same slot as the first touch
+        assert_eq!(db.touched_count(), 2);
+        let mut beta = Mat::<f32>::zeros(10, 3);
+        db.apply_and_clear(&mut beta);
+        assert_eq!(beta.row(5), &[1.0, 0.0, 3.0]);
+        assert_eq!(beta.row(9), &[0.0, 2.0, 0.0]);
+        assert_eq!(db.touched_count(), 0);
+        // Reuse after clear starts from zeroed slots.
+        assert_eq!(db.slot_mut(5), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn same_init_as_algorithm1() {
+        let a1 = OsElmSkipGram::new(20, cfg(8));
+        let a2 = DataflowOsElm::new(20, cfg(8));
+        assert_eq!(a1.beta_t(), a2.beta_t(), "identical seeds must give identical init");
+    }
+
+    #[test]
+    fn single_context_walk_matches_algorithm1() {
+        // With exactly one context per walk there is nothing to defer:
+        // Algorithm 2 must equal Algorithm 1 bit-for-bit (float-exact).
+        let table = ready_table(20);
+        let mut a1 = OsElmSkipGram::new(20, cfg(8));
+        let mut a2 = DataflowOsElm::new(20, cfg(8));
+        // walk of exactly `window` nodes → one context
+        let walk: Vec<NodeId> = vec![0, 1, 2, 3];
+        let mut r1 = Rng64::seed_from_u64(7);
+        let mut r2 = Rng64::seed_from_u64(7);
+        a1.train_walk(&walk, &table, &mut r1);
+        a2.train_walk(&walk, &table, &mut r2);
+        let d1 = a1.beta_t().max_abs_diff(a2.beta_t());
+        assert!(d1 < 1e-6, "single-context divergence {d1}");
+        let dp = a1.p().max_abs_diff(a2.p());
+        assert!(dp < 1e-6, "P divergence {dp}");
+    }
+
+    #[test]
+    fn multi_context_walk_diverges_but_stays_close() {
+        // Deferred updates differ from sequential ones — that's the point —
+        // but after one walk the two must still be near neighbors.
+        let table = ready_table(30);
+        let mut a1 = OsElmSkipGram::new(30, cfg(8));
+        let mut a2 = DataflowOsElm::new(30, cfg(8));
+        let walk: Vec<NodeId> = (0..20u32).collect();
+        let mut r1 = Rng64::seed_from_u64(7);
+        let mut r2 = Rng64::seed_from_u64(7);
+        a1.train_walk(&walk, &table, &mut r1);
+        a2.train_walk(&walk, &table, &mut r2);
+        let diff = a1.beta_t().max_abs_diff(a2.beta_t());
+        assert!(diff > 0.0, "multi-context walks must actually defer updates");
+        assert!(diff < 0.1, "deferred updates should stay close after one walk: {diff}");
+    }
+
+    #[test]
+    fn deltas_cleared_between_walks() {
+        let table = ready_table(20);
+        let mut m = DataflowOsElm::new(20, cfg(8));
+        let mut rng = Rng64::seed_from_u64(1);
+        let walk: Vec<NodeId> = (0..12u32).collect();
+        m.train_walk(&walk, &table, &mut rng);
+        assert_eq!(m.delta_beta.touched_count(), 0);
+        assert!(m.delta_p.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn long_training_stays_finite() {
+        let table = ready_table(40);
+        let mut m = DataflowOsElm::new(40, cfg(16));
+        let mut rng = Rng64::seed_from_u64(5);
+        let walk: Vec<NodeId> = (0..40u32).collect();
+        for _ in 0..100 {
+            m.train_walk(&walk, &table, &mut rng);
+        }
+        assert!(m.beta_t().all_finite());
+        assert!(m.p().all_finite());
+        assert_eq!(m.clamped_updates(), 0);
+    }
+}

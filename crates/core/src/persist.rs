@@ -1,0 +1,211 @@
+//! Model and embedding persistence.
+//!
+//! The deployment story of the paper is an edge device that trains in the
+//! field; checkpointing the model (β, P, and the hyper-parameters) is what
+//! makes that survivable. The format is a small explicitly-versioned binary
+//! layout (little-endian), independent of serde so the on-disk layout is a
+//! documented contract:
+//!
+//! ```text
+//! magic  "SGE1"            4 bytes
+//! kind   u8                1 = embedding, 2 = OS-ELM model
+//! ---- embedding ----      rows u64, cols u64, f32[rows*cols]
+//! ---- model --------      config JSON (u32 len + bytes), N u64, d u64,
+//!                          beta f32[N*d], p f32[d*d]
+//! ```
+
+use crate::oselm::{OsElmConfig, OsElmSkipGram};
+use seqge_linalg::Mat;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SGE1";
+const KIND_EMBEDDING: u8 = 1;
+const KIND_OSELM: u8 = 2;
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn write_f32s<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
+    for &x in xs {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+fn check_header<R: Read>(r: &mut R, kind: u8) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a seqge file"));
+    }
+    let mut k = [0u8; 1];
+    r.read_exact(&mut k)?;
+    if k[0] != kind {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wrong payload kind {} (expected {kind})", k[0]),
+        ));
+    }
+    Ok(())
+}
+
+/// Writes an embedding matrix in the binary format.
+pub fn write_embedding<W: Write>(emb: &Mat<f32>, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[KIND_EMBEDDING])?;
+    write_u64(&mut w, emb.rows() as u64)?;
+    write_u64(&mut w, emb.cols() as u64)?;
+    write_f32s(&mut w, emb.as_slice())
+}
+
+/// Reads an embedding matrix written by [`write_embedding`].
+pub fn read_embedding<R: Read>(mut r: R) -> io::Result<Mat<f32>> {
+    check_header(&mut r, KIND_EMBEDDING)?;
+    let rows = read_u64(&mut r)? as usize;
+    let cols = read_u64(&mut r)? as usize;
+    if rows.checked_mul(cols).is_none() || rows * cols > (1 << 31) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable embedding shape"));
+    }
+    let data = read_f32s(&mut r, rows * cols)?;
+    Ok(Mat::from_vec(rows, cols, data))
+}
+
+/// Writes an embedding as TSV (`node<TAB>v0<TAB>v1…`), the interchange
+/// format most downstream tools read.
+pub fn write_embedding_tsv<W: Write>(emb: &Mat<f32>, mut w: W) -> io::Result<()> {
+    for r in 0..emb.rows() {
+        write!(w, "{r}")?;
+        for &v in emb.row(r) {
+            write!(w, "\t{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Serializes a trained OS-ELM model (config + β + P).
+pub fn write_oselm<W: Write>(model: &OsElmSkipGram, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[KIND_OSELM])?;
+    let cfg = serde_json::to_vec(model.config()).expect("config serializes");
+    w.write_all(&(cfg.len() as u32).to_le_bytes())?;
+    w.write_all(&cfg)?;
+    write_u64(&mut w, model.beta_t().rows() as u64)?;
+    write_u64(&mut w, model.beta_t().cols() as u64)?;
+    write_f32s(&mut w, model.beta_t().as_slice())?;
+    write_f32s(&mut w, model.p().as_slice())
+}
+
+/// Restores an OS-ELM model written by [`write_oselm`]. Training can resume
+/// exactly where it stopped (β and P are the model's whole state).
+pub fn read_oselm<R: Read>(mut r: R) -> io::Result<OsElmSkipGram> {
+    check_header(&mut r, KIND_OSELM)?;
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let mut cfg_bytes = vec![0u8; u32::from_le_bytes(len) as usize];
+    r.read_exact(&mut cfg_bytes)?;
+    let cfg: OsElmConfig = serde_json::from_slice(&cfg_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let rows = read_u64(&mut r)? as usize;
+    let cols = read_u64(&mut r)? as usize;
+    if cols != cfg.model.dim {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "dim/config mismatch"));
+    }
+    let beta = Mat::from_vec(rows, cols, read_f32s(&mut r, rows * cols)?);
+    let p = Mat::from_vec(cols, cols, read_f32s(&mut r, cols * cols)?);
+    OsElmSkipGram::from_parts(beta, p, cfg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// File-path convenience wrappers.
+pub fn save_oselm<P: AsRef<Path>>(model: &OsElmSkipGram, path: P) -> io::Result<()> {
+    write_oselm(model, std::fs::File::create(path)?)
+}
+
+/// Loads an OS-ELM model from `path`.
+pub fn load_oselm<P: AsRef<Path>>(path: P) -> io::Result<OsElmSkipGram> {
+    read_oselm(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EmbeddingModel;
+    use crate::sequential::train_all_scenario;
+    use crate::TrainConfig;
+    use seqge_graph::generators::classic::erdos_renyi;
+
+    fn trained_model() -> OsElmSkipGram {
+        let g = erdos_renyi(30, 0.2, 1);
+        let mut cfg = TrainConfig::paper_defaults(8);
+        cfg.walk.walk_length = 10;
+        cfg.walk.walks_per_node = 2;
+        let mut m = OsElmSkipGram::new(30, OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(8) });
+        train_all_scenario(&g, &mut m, &cfg, 1);
+        m
+    }
+
+    #[test]
+    fn embedding_binary_roundtrip() {
+        let m = trained_model();
+        let emb = m.embedding();
+        let mut buf = Vec::new();
+        write_embedding(&emb, &mut buf).unwrap();
+        let back = read_embedding(&buf[..]).unwrap();
+        assert_eq!(emb, back);
+    }
+
+    #[test]
+    fn model_roundtrip_resumes_identically() {
+        let m = trained_model();
+        let mut buf = Vec::new();
+        write_oselm(&m, &mut buf).unwrap();
+        let back = read_oselm(&buf[..]).unwrap();
+        assert_eq!(m.beta_t(), back.beta_t());
+        assert_eq!(m.p(), back.p());
+        assert_eq!(m.config(), back.config());
+    }
+
+    #[test]
+    fn tsv_has_one_line_per_node() {
+        let m = trained_model();
+        let mut buf = Vec::new();
+        write_embedding_tsv(&m.embedding(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 30);
+        let first: Vec<&str> = text.lines().next().unwrap().split('\t').collect();
+        assert_eq!(first.len(), 9); // id + 8 dims
+        assert_eq!(first[0], "0");
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_kind() {
+        assert!(read_embedding(&b"NOPE"[..]).is_err());
+        let m = trained_model();
+        let mut buf = Vec::new();
+        write_oselm(&m, &mut buf).unwrap();
+        assert!(read_embedding(&buf[..]).is_err(), "kind mismatch must fail");
+    }
+
+    #[test]
+    fn truncated_file_fails_cleanly() {
+        let m = trained_model();
+        let mut buf = Vec::new();
+        write_oselm(&m, &mut buf).unwrap();
+        assert!(read_oselm(&buf[..buf.len() / 2]).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! Scenario drivers: "all" (batch) and "seq" (dynamic-graph) training.
+//!
+//! §4.3.2 defines the two evaluation scenarios:
+//!
+//! * **all** — "an entire graph is trained assuming that all the edges exist
+//!   from the beginning": `r` walks from every node on the complete graph.
+//! * **seq** — the initial graph is a spanning forest with the same
+//!   connected components as the full graph; the removed edges are added
+//!   back one at a time, and "every time the removed edge is added, the
+//!   random walk and training of node2vec are executed … the random walk
+//!   starts from both the ends of an added edge."
+
+use crate::config::TrainConfig;
+use crate::model::EmbeddingModel;
+use seqge_graph::{spanning_forest, EdgeStream, Graph};
+use seqge_sampling::{
+    generate_corpus, NegativeTable, Rng64, UpdatePolicy, WalkCorpus, Walker,
+};
+
+/// Telemetry from a sequential training run.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SeqOutcome {
+    /// Edges replayed into the graph.
+    pub edges_inserted: usize,
+    /// Walks trained (2 per inserted edge, plus the initial forest pass).
+    pub walks_trained: usize,
+    /// Negative-table rebuilds performed.
+    pub table_rebuilds: u64,
+}
+
+/// Trains `model` on the complete graph (the "all" scenario): generates the
+/// full walk corpus (`r` walks per node), builds the negative table from its
+/// frequencies, and trains every walk once.
+pub fn train_all_scenario<M: EmbeddingModel>(
+    g: &Graph,
+    model: &mut M,
+    cfg: &TrainConfig,
+    seed: u64,
+) {
+    cfg.validate().expect("invalid train config");
+    assert_eq!(g.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
+    let csr = g.to_csr();
+    let mut walker = Walker::new(cfg.walk);
+    let mut rng = Rng64::seed_from_u64(seed);
+    let (corpus, walks) = generate_corpus(&csr, &mut walker, &mut rng);
+    let mut table = NegativeTable::new(UpdatePolicy::every_edge());
+    table.rebuild(&corpus);
+    if !table.is_ready() {
+        return; // edgeless graph: nothing to train
+    }
+    for walk in &walks {
+        model.train_walk(walk, &table, &mut rng);
+    }
+}
+
+/// Trains `model` sequentially (the "seq" scenario). Returns the final graph
+/// (forest + replayed edges) and run telemetry.
+///
+/// * `policy` — negative-table rebuild cadence (Fig. 7's variable).
+/// * `edge_fraction` — fraction of removed edges to replay (1.0 = the full
+///   paper protocol; smaller values are for CI-scale runs and leave the
+///   final graph sparser than the original).
+pub fn train_seq_scenario<M: EmbeddingModel>(
+    full: &Graph,
+    model: &mut M,
+    cfg: &TrainConfig,
+    policy: UpdatePolicy,
+    seed: u64,
+    edge_fraction: f64,
+) -> (Graph, SeqOutcome) {
+    cfg.validate().expect("invalid train config");
+    assert_eq!(full.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
+    let split = spanning_forest(full);
+    let mut g = split.initial_graph(full);
+    let stream = EdgeStream::from_forest_split(&split, seed ^ 0xED6E).subsample(edge_fraction);
+
+    let mut walker = Walker::new(cfg.walk);
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut outcome = SeqOutcome { edges_inserted: 0, walks_trained: 0, table_rebuilds: 0 };
+
+    // Initial pass: train the forest with the "all" protocol ("only a
+    // fraction of edges is trained first").
+    let mut corpus;
+    let mut table = NegativeTable::new(policy);
+    {
+        let csr = g.to_csr();
+        let (c, walks) = generate_corpus(&csr, &mut walker, &mut rng);
+        corpus = c;
+        table.rebuild(&corpus);
+        if table.is_ready() {
+            for walk in &walks {
+                model.train_walk(walk, &table, &mut rng);
+                outcome.walks_trained += 1;
+            }
+        }
+    }
+
+    replay_edges(&mut g, stream.edges(), model, cfg, &mut walker, &mut rng, &mut corpus, &mut table, &mut outcome);
+    outcome.table_rebuilds = table.rebuild_count();
+    (g, outcome)
+}
+
+/// The per-edge insertion loop shared by [`train_seq_scenario`] and
+/// [`train_stream_scenario`]: insert, walk from both endpoints, train,
+/// notify the negative table.
+#[allow(clippy::too_many_arguments)]
+fn replay_edges<M: EmbeddingModel>(
+    g: &mut Graph,
+    edges: &[(seqge_graph::NodeId, seqge_graph::NodeId)],
+    model: &mut M,
+    cfg: &TrainConfig,
+    walker: &mut Walker,
+    rng: &mut Rng64,
+    corpus: &mut WalkCorpus,
+    table: &mut NegativeTable,
+    outcome: &mut SeqOutcome,
+) {
+    let mut buf = Vec::with_capacity(cfg.walk.walk_length);
+    for &(u, v) in edges {
+        g.add_edge(u, v).expect("stream edges are insertable exactly once");
+        outcome.edges_inserted += 1;
+        for start in [u, v] {
+            walker.walk_into(&*g, start, rng, &mut buf);
+            if buf.len() < 2 {
+                continue;
+            }
+            corpus.record(&buf);
+            // Table must exist before the first training step (a forest of
+            // isolated nodes can reach here with no table yet).
+            if !table.is_ready() {
+                table.rebuild(corpus);
+            }
+            if table.is_ready() {
+                model.train_walk(&buf, table, rng);
+                outcome.walks_trained += 1;
+            }
+        }
+        table.on_edge_inserted(corpus);
+    }
+}
+
+/// Trains `model` on an explicit edge-arrival stream starting from an empty
+/// graph over `num_nodes` nodes — the drift scenario driven by
+/// [`seqge_graph::generators::TimestampedGraph`] schedules, where edge order
+/// is bursty per community instead of uniformly shuffled. Returns the built
+/// graph and telemetry.
+pub fn train_stream_scenario<M: EmbeddingModel>(
+    num_nodes: usize,
+    edges: &[(seqge_graph::NodeId, seqge_graph::NodeId)],
+    model: &mut M,
+    cfg: &TrainConfig,
+    policy: UpdatePolicy,
+    seed: u64,
+) -> (Graph, SeqOutcome) {
+    cfg.validate().expect("invalid train config");
+    assert_eq!(num_nodes, model.num_nodes(), "graph/model node count mismatch");
+    let mut g = Graph::with_nodes(num_nodes);
+    let mut walker = Walker::new(cfg.walk);
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut corpus = WalkCorpus::new(num_nodes);
+    let mut table = NegativeTable::new(policy);
+    let mut outcome = SeqOutcome { edges_inserted: 0, walks_trained: 0, table_rebuilds: 0 };
+    replay_edges(&mut g, edges, model, cfg, &mut walker, &mut rng, &mut corpus, &mut table, &mut outcome);
+    outcome.table_rebuilds = table.rebuild_count();
+    (g, outcome)
+}
+
+/// Builds a ready negative table from a fresh corpus over `g` (helper for
+/// benches and tests that train ad-hoc walks).
+pub fn table_for_graph(g: &Graph, cfg: &TrainConfig, seed: u64) -> (NegativeTable, WalkCorpus) {
+    let csr = g.to_csr();
+    let mut walker = Walker::new(cfg.walk);
+    let mut rng = Rng64::seed_from_u64(seed);
+    let (corpus, _) = generate_corpus(&csr, &mut walker, &mut rng);
+    let mut table = NegativeTable::new(UpdatePolicy::every_edge());
+    table.rebuild(&corpus);
+    (table, corpus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, NegativeMode};
+    use crate::oselm::{OsElmConfig, OsElmSkipGram};
+    use crate::skipgram::SkipGram;
+    use seqge_graph::generators::classic::{erdos_renyi, ring};
+    use seqge_sampling::Node2VecParams;
+
+    fn small_cfg(dim: usize) -> TrainConfig {
+        TrainConfig {
+            walk: Node2VecParams { walk_length: 12, walks_per_node: 2, ..Default::default() },
+            model: ModelConfig {
+                dim,
+                window: 4,
+                negative_samples: 3,
+                negative_mode: NegativeMode::PerPosition,
+                seed: 5,
+            },
+        }
+    }
+
+    fn oselm_cfg(dim: usize) -> OsElmConfig {
+        OsElmConfig {
+            model: small_cfg(dim).model,
+            mu: 0.01,
+            p0_scale: 10.0,
+            regularized: true,
+            forgetting: 1.0,
+        }
+    }
+
+    #[test]
+    fn all_scenario_trains_every_node_region() {
+        let g = erdos_renyi(40, 0.15, 3);
+        let cfg = small_cfg(8);
+        let mut model = OsElmSkipGram::new(40, oselm_cfg(8));
+        let before = model.beta_t().clone();
+        train_all_scenario(&g, &mut model, &cfg, 1);
+        assert_ne!(model.beta_t(), &before, "training must move weights");
+        assert!(model.beta_t().all_finite());
+    }
+
+    #[test]
+    fn all_scenario_on_empty_graph_is_noop() {
+        let g = Graph::with_nodes(10);
+        let cfg = small_cfg(4);
+        let mut model = SkipGram::new(10, cfg.model);
+        let before = model.embedding();
+        train_all_scenario(&g, &mut model, &cfg, 1);
+        assert_eq!(model.embedding(), before);
+    }
+
+    #[test]
+    fn seq_scenario_replays_all_edges_at_fraction_one() {
+        let full = erdos_renyi(30, 0.2, 7);
+        let cfg = small_cfg(8);
+        let mut model = OsElmSkipGram::new(30, oselm_cfg(8));
+        let (g, outcome) =
+            train_seq_scenario(&full, &mut model, &cfg, UpdatePolicy::every_edge(), 2, 1.0);
+        assert_eq!(g.num_edges(), full.num_edges(), "fraction 1.0 restores the full graph");
+        let forest_edges = spanning_forest(&full).forest_edges.len();
+        assert_eq!(outcome.edges_inserted, full.num_edges() - forest_edges);
+        assert!(outcome.walks_trained >= 2 * outcome.edges_inserted);
+        assert!(outcome.table_rebuilds >= outcome.edges_inserted as u64);
+    }
+
+    #[test]
+    fn seq_scenario_fraction_reduces_work() {
+        let full = erdos_renyi(30, 0.25, 9);
+        let cfg = small_cfg(8);
+        let mut m1 = OsElmSkipGram::new(30, oselm_cfg(8));
+        let mut m2 = OsElmSkipGram::new(30, oselm_cfg(8));
+        let (_, full_run) =
+            train_seq_scenario(&full, &mut m1, &cfg, UpdatePolicy::every_edge(), 2, 1.0);
+        let (_, half_run) =
+            train_seq_scenario(&full, &mut m2, &cfg, UpdatePolicy::every_edge(), 2, 0.5);
+        assert!(half_run.edges_inserted < full_run.edges_inserted);
+        assert!(half_run.edges_inserted > 0);
+    }
+
+    #[test]
+    fn never_policy_builds_table_once() {
+        let full = ring(20);
+        let cfg = small_cfg(4);
+        let mut model = OsElmSkipGram::new(20, oselm_cfg(4));
+        let (_, outcome) =
+            train_seq_scenario(&full, &mut model, &cfg, UpdatePolicy::Never, 3, 1.0);
+        assert_eq!(outcome.table_rebuilds, 1);
+    }
+
+    #[test]
+    fn seq_works_for_sgd_baseline_too() {
+        let full = erdos_renyi(25, 0.2, 11);
+        let cfg = small_cfg(8);
+        let mut model = SkipGram::new(25, cfg.model);
+        let (_, outcome) =
+            train_seq_scenario(&full, &mut model, &cfg, UpdatePolicy::every_edge(), 4, 1.0);
+        assert!(outcome.walks_trained > 0);
+        assert!(model.w_in().all_finite());
+    }
+
+    #[test]
+    fn table_for_graph_is_ready_on_nonempty_graph() {
+        let g = ring(12);
+        let (table, corpus) = table_for_graph(&g, &small_cfg(4), 1);
+        assert!(table.is_ready());
+        assert!(corpus.total_appearances() > 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Catastrophic-forgetting microbenchmark (the mechanism behind Fig. 5).
+//!
+//! Train on community A, then train heavily on community B only, and
+//! measure how much the A-embedding degrades. The paper's claim: SGD
+//! backpropagation forgets; the OS-ELM recursive-least-squares update does
+//! not (its `P` matrix discounts directions it has already learned).
+
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{ModelConfig, NegativeMode, OsElmConfig, OsElmSkipGram, SkipGram};
+use seqge_graph::NodeId;
+use seqge_linalg::ops;
+use seqge_sampling::{NegativeTable, Rng64, UpdatePolicy, WalkCorpus};
+
+const N: usize = 40;
+
+fn table_over_all() -> NegativeTable {
+    let mut corpus = WalkCorpus::new(N);
+    corpus.record(&(0..N as NodeId).collect::<Vec<_>>());
+    let mut t = NegativeTable::new(UpdatePolicy::every_edge());
+    t.rebuild(&corpus);
+    t
+}
+
+fn cfg(dim: usize) -> ModelConfig {
+    ModelConfig {
+        dim,
+        window: 4,
+        negative_samples: 3,
+        negative_mode: NegativeMode::PerPosition,
+        seed: 21,
+    }
+}
+
+/// Walks inside community A (nodes 0..10) and community B (nodes 20..30).
+fn community_walk(base: NodeId, rng: &mut Rng64) -> Vec<NodeId> {
+    (0..16).map(|_| base + rng.gen_below(10) as NodeId).collect()
+}
+
+/// Mean within-community score of A-pairs under the model's own scoring
+/// (embedding dot products of co-trained nodes).
+fn a_cohesion(emb: &seqge_linalg::Mat<f32>) -> f32 {
+    let mut acc = 0.0;
+    let mut count = 0;
+    for a in 0..10usize {
+        for b in (a + 1)..10 {
+            let (x, y) = (emb.row(a), emb.row(b));
+            let nx = ops::norm2(x).max(1e-9);
+            let ny = ops::norm2(y).max(1e-9);
+            acc += ops::dot(x, y) / (nx * ny);
+            count += 1;
+        }
+    }
+    acc / count as f32
+}
+
+fn run<M: EmbeddingModel>(model: &mut M) -> (f32, f32) {
+    let table = table_over_all();
+    let mut rng = Rng64::seed_from_u64(3);
+    // Phase 1: learn community A.
+    for _ in 0..150 {
+        let w = community_walk(0, &mut rng);
+        model.train_walk(&w, &table, &mut rng);
+    }
+    let after_a = a_cohesion(&model.embedding());
+    // Phase 2: train only community B, 4× as long.
+    for _ in 0..600 {
+        let w = community_walk(20, &mut rng);
+        model.train_walk(&w, &table, &mut rng);
+    }
+    let after_b = a_cohesion(&model.embedding());
+    (after_a, after_b)
+}
+
+#[test]
+fn oselm_retains_more_than_sgd() {
+    let mut sgd = SkipGram::new(N, cfg(16));
+    let (sgd_a, sgd_after) = run(&mut sgd);
+    let mut oselm =
+        OsElmSkipGram::new(N, OsElmConfig { model: cfg(16), ..OsElmConfig::paper_defaults(16) });
+    let (os_a, os_after) = run(&mut oselm);
+
+    // Both must have learned A in phase 1.
+    assert!(sgd_a > 0.3, "SGD failed to learn A: {sgd_a}");
+    assert!(os_a > 0.3, "OS-ELM failed to learn A: {os_a}");
+
+    // Relative retention of A-cohesion after the B-only phase.
+    let sgd_retention = sgd_after / sgd_a;
+    let os_retention = os_after / os_a;
+    assert!(
+        os_retention > sgd_retention,
+        "OS-ELM should retain A better: oselm {os_after:.3}/{os_a:.3} = {os_retention:.3} \
+         vs sgd {sgd_after:.3}/{sgd_a:.3} = {sgd_retention:.3}"
+    );
+}

@@ -1,0 +1,70 @@
+//! Integration tests for the explicit edge-stream scenario driver.
+
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{train_stream_scenario, ModelConfig, OsElmConfig, OsElmSkipGram, TrainConfig};
+use seqge_graph::generators::{SbmParams, TimestampedGraph};
+use seqge_sampling::{Node2VecParams, UpdatePolicy};
+
+fn cfg(dim: usize) -> TrainConfig {
+    TrainConfig {
+        walk: Node2VecParams { walk_length: 12, walks_per_node: 2, ..Default::default() },
+        model: ModelConfig {
+            dim,
+            window: 4,
+            negative_samples: 3,
+            ..ModelConfig::paper_defaults(dim)
+        },
+    }
+}
+
+#[test]
+fn stream_builds_full_graph_and_trains() {
+    let tg = TimestampedGraph::generate(SbmParams::new(120, 400, 4), 0.3, 1);
+    let order = tg.arrival_order();
+    let cfg = cfg(8);
+    let mut m = OsElmSkipGram::new(
+        tg.graph.num_nodes(),
+        OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(8) },
+    );
+    let before = m.embedding();
+    let (g, outcome) = train_stream_scenario(
+        tg.graph.num_nodes(),
+        &order,
+        &mut m,
+        &cfg,
+        UpdatePolicy::EveryEdges(10),
+        7,
+    );
+    assert_eq!(g.num_edges(), tg.graph.num_edges(), "stream replays every edge");
+    assert_eq!(outcome.edges_inserted, tg.graph.num_edges());
+    assert!(outcome.walks_trained > 0);
+    assert!(outcome.table_rebuilds > 0);
+    assert_ne!(m.embedding(), before);
+    assert!(m.embedding().all_finite());
+}
+
+#[test]
+fn empty_stream_is_noop() {
+    let cfg = cfg(4);
+    let mut m = OsElmSkipGram::new(
+        10,
+        OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(4) },
+    );
+    let before = m.embedding();
+    let (g, outcome) =
+        train_stream_scenario(10, &[], &mut m, &cfg, UpdatePolicy::every_edge(), 1);
+    assert_eq!(g.num_edges(), 0);
+    assert_eq!(outcome.edges_inserted, 0);
+    assert_eq!(m.embedding(), before);
+}
+
+#[test]
+#[should_panic(expected = "node count mismatch")]
+fn mismatched_model_rejected() {
+    let cfg = cfg(4);
+    let mut m = OsElmSkipGram::new(
+        5,
+        OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(4) },
+    );
+    let _ = train_stream_scenario(10, &[], &mut m, &cfg, UpdatePolicy::every_edge(), 1);
+}

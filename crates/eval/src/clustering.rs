@@ -1,0 +1,241 @@
+//! Unsupervised evaluation: k-means over the embedding + NMI against the
+//! class labels (extension — the third standard embedding probe after
+//! classification and link prediction).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqge_linalg::Mat;
+
+/// k-means result.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster assignment per row.
+    pub assignment: Vec<u16>,
+    /// Final centroids (k×d).
+    pub centroids: Mat<f32>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+}
+
+/// Lloyd's algorithm with k-means++ seeding. Deterministic per seed.
+pub fn kmeans(data: &Mat<f32>, k: usize, max_iters: usize, seed: u64) -> KMeans {
+    assert!(k >= 1, "need at least one cluster");
+    assert!(data.rows() >= k, "need at least k rows");
+    let (n, d) = (data.rows(), data.cols());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids = Mat::<f32>::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut dist2 = vec![f64::INFINITY; n];
+    for c in 1..k {
+        for i in 0..n {
+            let dd = sq_dist(data.row(i), centroids.row(c - 1));
+            if dd < dist2[i] {
+                dist2[i] = dd;
+            }
+        }
+        let total: f64 = dist2.iter().sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut draw = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &dd) in dist2.iter().enumerate() {
+                if draw < dd {
+                    idx = i;
+                    break;
+                }
+                draw -= dd;
+            }
+            idx
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0u16; n];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        let mut changed = false;
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dd = sq_dist(data.row(i), centroids.row(c));
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            if assignment[i] != best as u16 {
+                assignment[i] = best as u16;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut counts = vec![0usize; k];
+        let mut sums = Mat::<f64>::zeros(k, d);
+        for i in 0..n {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for j in 0..d {
+                sums[(c, j)] += data[(i, j)] as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point.
+                let r = rng.gen_range(0..n);
+                centroids.row_mut(c).copy_from_slice(data.row(r));
+                continue;
+            }
+            for j in 0..d {
+                centroids[(c, j)] = (sums[(c, j)] / counts[c] as f64) as f32;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = (0..n)
+        .map(|i| sq_dist(data.row(i), centroids.row(assignment[i] as usize)))
+        .sum();
+    KMeans { assignment, centroids, iterations, inertia }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+}
+
+/// Normalized mutual information between two labelings, in `[0, 1]`
+/// (arithmetic-mean normalization). 1 = identical partitions (up to
+/// relabeling), ~0 = independent.
+pub fn nmi(a: &[u16], b: &[u16]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must align");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ka = a.iter().copied().max().unwrap() as usize + 1;
+    let kb = b.iter().copied().max().unwrap() as usize + 1;
+    let mut joint = vec![vec![0usize; kb]; ka];
+    let mut ca = vec![0usize; ka];
+    let mut cb = vec![0usize; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x as usize][y as usize] += 1;
+        ca[x as usize] += 1;
+        cb[y as usize] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0f64;
+    for (x, row) in joint.iter().enumerate() {
+        for (y, &c) in row.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let pxy = c as f64 / nf;
+            let px = ca[x] as f64 / nf;
+            let py = cb[y] as f64 / nf;
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+    let ent = |counts: &[usize]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (ent(&ca), ent(&cb));
+    if ha + hb == 0.0 {
+        return 1.0; // both labelings are constant and identical partitions
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+/// Convenience: cluster the embedding into `k` groups and report NMI
+/// against `labels`.
+pub fn clustering_nmi(emb: &Mat<f32>, labels: &[u16], k: usize, seed: u64) -> f64 {
+    let km = kmeans(emb, k, 100, seed);
+    nmi(&km.assignment, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per: usize, k: usize, spread: f32) -> (Mat<f32>, Vec<u16>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = per * k;
+        let mut data = Mat::<f32>::zeros(n, 2);
+        let mut labels = Vec::with_capacity(n);
+        for c in 0..k {
+            let angle = c as f32 * std::f32::consts::TAU / k as f32;
+            for i in 0..per {
+                let row = c * per + i;
+                data[(row, 0)] = 5.0 * angle.cos() + rng.gen_range(-spread..spread);
+                data[(row, 1)] = 5.0 * angle.sin() + rng.gen_range(-spread..spread);
+                labels.push(c as u16);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, labels) = blobs(40, 3, 0.3);
+        let score = clustering_nmi(&data, &labels, 3, 7);
+        assert!(score > 0.95, "NMI {score}");
+    }
+
+    #[test]
+    fn kmeans_converges_and_reduces_inertia() {
+        let (data, _) = blobs(30, 4, 0.5);
+        let km = kmeans(&data, 4, 100, 3);
+        assert!(km.iterations < 100, "should converge before the cap");
+        let one_iter = kmeans(&data, 4, 1, 3);
+        assert!(km.inertia <= one_iter.inertia + 1e-9);
+    }
+
+    #[test]
+    fn nmi_bounds_and_extremes() {
+        let a = vec![0u16, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12, "identical labelings");
+        // Relabeled partition is still perfect.
+        let b = vec![2u16, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+        // Constant labeling carries no information.
+        let c = vec![0u16; 6];
+        assert!(nmi(&a, &c) < 1e-9);
+    }
+
+    #[test]
+    fn nmi_independent_labelings_low() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: Vec<u16> = (0..2000).map(|_| rng.gen_range(0..4)).collect();
+        let b: Vec<u16> = (0..2000).map(|_| rng.gen_range(0..4)).collect();
+        assert!(nmi(&a, &b) < 0.02);
+    }
+
+    #[test]
+    fn single_cluster_works() {
+        let (data, _) = blobs(10, 2, 0.1);
+        let km = kmeans(&data, 1, 10, 0);
+        assert!(km.assignment.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k rows")]
+    fn too_few_rows_panics() {
+        let data = Mat::<f32>::zeros(2, 2);
+        kmeans(&data, 5, 10, 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Classification metrics: confusion matrix, micro/macro F1.
+
+/// Micro- and macro-averaged F1.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct F1 {
+    /// Micro-averaged F1 (= accuracy for single-label multiclass).
+    pub micro: f64,
+    /// Macro-averaged F1 (unweighted mean of per-class F1).
+    pub macro_: f64,
+}
+
+/// `K×K` confusion matrix: `m[true][pred]` counts.
+pub fn confusion_matrix(truth: &[u16], pred: &[u16], num_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), pred.len(), "label vectors must align");
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        m[t as usize][p as usize] += 1;
+    }
+    m
+}
+
+/// Computes micro/macro F1 from predictions.
+pub fn f1_scores(truth: &[u16], pred: &[u16], num_classes: usize) -> F1 {
+    let m = confusion_matrix(truth, pred, num_classes);
+    let total: usize = truth.len();
+    // Micro: global TP / total for single-label multiclass.
+    let tp_total: usize = m.iter().enumerate().map(|(c, row)| row[c]).sum();
+    let micro = if total == 0 { 0.0 } else { tp_total as f64 / total as f64 };
+    // Macro: mean per-class F1 over classes that appear in truth or pred.
+    let mut f1_sum = 0.0;
+    let mut classes_counted = 0usize;
+    for (c, row) in m.iter().enumerate() {
+        let tp = row[c];
+        let fp: usize = (0..num_classes).filter(|&t| t != c).map(|t| m[t][c]).sum();
+        let fneg: usize = row.iter().enumerate().filter(|&(p, _)| p != c).map(|(_, &v)| v).sum();
+        if tp + fp + fneg == 0 {
+            continue; // class absent entirely: skip from the macro mean
+        }
+        let f1 = 2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fneg as f64);
+        f1_sum += f1;
+        classes_counted += 1;
+    }
+    let macro_ = if classes_counted == 0 { 0.0 } else { f1_sum / classes_counted as f64 };
+    F1 { micro, macro_ }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let t = [0u16, 1, 2, 1];
+        let s = f1_scores(&t, &t, 3);
+        assert_eq!(s.micro, 1.0);
+        assert_eq!(s.macro_, 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let t = [0u16, 0, 0];
+        let p = [1u16, 1, 1];
+        let s = f1_scores(&t, &p, 2);
+        assert_eq!(s.micro, 0.0);
+        assert_eq!(s.macro_, 0.0);
+    }
+
+    #[test]
+    fn micro_equals_accuracy() {
+        let t = [0u16, 1, 1, 2, 2, 2];
+        let p = [0u16, 1, 0, 2, 2, 1];
+        let s = f1_scores(&t, &p, 3);
+        assert!((s.micro - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_known_value() {
+        // Binary: truth [1,1,0,0], pred [1,0,0,0].
+        // class1: tp=1 fp=0 fn=1 → f1 = 2/3; class0: tp=2 fp=1 fn=0 → f1 = 4/5.
+        let t = [1u16, 1, 0, 0];
+        let p = [1u16, 0, 0, 0];
+        let s = f1_scores(&t, &p, 2);
+        assert!((s.macro_ - (2.0 / 3.0 + 0.8) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absent_class_skipped_in_macro() {
+        let t = [0u16, 0];
+        let p = [0u16, 0];
+        // 3 classes declared, classes 1 and 2 never appear.
+        let s = f1_scores(&t, &p, 3);
+        assert_eq!(s.macro_, 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 0, 1], &[0, 1, 1], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = f1_scores(&[], &[], 3);
+        assert_eq!(s.micro, 0.0);
+        assert_eq!(s.macro_, 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Seeded stratified train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Splits indices `0..labels.len()` into (train, test) with `test_fraction`
+/// of *each class* held out (stratified, so small classes keep test
+/// representation even at the paper's 10 % split). Deterministic per seed.
+pub fn train_test_split(
+    labels: &[u16],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        per_class[l as usize].push(i);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::with_capacity(labels.len());
+    let mut test = Vec::with_capacity((labels.len() as f64 * test_fraction) as usize + 1);
+    for members in &mut per_class {
+        // Fisher–Yates, then slice off the test tail.
+        for i in (1..members.len()).rev() {
+            members.swap(i, rng.gen_range(0..=i));
+        }
+        let n_test = ((members.len() as f64) * test_fraction).round() as usize;
+        // Keep at least one training example per non-empty class.
+        let n_test = n_test.min(members.len().saturating_sub(1));
+        test.extend_from_slice(&members[..n_test]);
+        train.extend_from_slice(&members[n_test..]);
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(counts: &[usize]) -> Vec<u16> {
+        counts
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &n)| std::iter::repeat_n(c as u16, n))
+            .collect()
+    }
+
+    #[test]
+    fn sizes_match_fraction() {
+        let l = labels(&[100, 100]);
+        let (train, test) = train_test_split(&l, 0.1, 1);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 180);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let l = labels(&[50, 30, 20]);
+        let (train, test) = train_test_split(&l, 0.2, 2);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratification_holds() {
+        let l = labels(&[90, 10]);
+        let (_, test) = train_test_split(&l, 0.1, 3);
+        let class1_in_test = test.iter().filter(|&&i| l[i] == 1).count();
+        assert_eq!(class1_in_test, 1, "small class must keep test representation");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let l = labels(&[40, 40]);
+        let a = train_test_split(&l, 0.25, 7);
+        let b = train_test_split(&l, 0.25, 7);
+        let c = train_test_split(&l, 0.25, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tiny_class_keeps_a_training_example() {
+        let l = labels(&[10, 1]);
+        let (train, test) = train_test_split(&l, 0.5, 1);
+        assert!(train.iter().any(|&i| l[i] == 1), "singleton class stays in train");
+        assert!(!test.iter().any(|&i| l[i] == 1));
+    }
+}

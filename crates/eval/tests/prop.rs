@@ -1,0 +1,67 @@
+//! Property-based tests for the evaluation layer.
+
+use proptest::prelude::*;
+use seqge_eval::{confusion_matrix, f1_scores, train_test_split};
+
+fn labels_strategy() -> impl Strategy<Value = Vec<u16>> {
+    proptest::collection::vec(0u16..5, 20..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Split is always a partition and respects the requested fraction
+    /// approximately (stratified rounding).
+    #[test]
+    fn split_is_partition(labels in labels_strategy(), frac in 0.05f64..0.5, seed in any::<u64>()) {
+        let (train, test) = train_test_split(&labels, frac, seed);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all.len(), labels.len());
+        prop_assert!(all.windows(2).all(|w| w[0] < w[1]), "duplicate index in split");
+        // Fraction within per-class rounding slack.
+        let classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
+        let expected = labels.len() as f64 * frac;
+        prop_assert!((test.len() as f64 - expected).abs() <= classes as f64 + 1.0);
+    }
+
+    /// Micro-F1 equals accuracy, is bounded, and perfect prediction is 1.
+    #[test]
+    fn f1_properties(labels in labels_strategy(), seed in any::<u64>()) {
+        let classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
+        // A deterministic pseudo-random prediction vector.
+        let preds: Vec<u16> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                if (seed.wrapping_add(i as u64)).wrapping_mul(2654435761) % 3 == 0 {
+                    ((l as usize + 1) % classes) as u16
+                } else {
+                    l
+                }
+            })
+            .collect();
+        let f = f1_scores(&labels, &preds, classes);
+        prop_assert!((0.0..=1.0).contains(&f.micro));
+        prop_assert!((0.0..=1.0).contains(&f.macro_));
+        let correct = labels.iter().zip(&preds).filter(|(a, b)| a == b).count();
+        prop_assert!((f.micro - correct as f64 / labels.len() as f64).abs() < 1e-12);
+        let perfect = f1_scores(&labels, &labels, classes);
+        prop_assert_eq!(perfect.micro, 1.0);
+        prop_assert_eq!(perfect.macro_, 1.0);
+    }
+
+    /// Confusion-matrix mass equals the number of samples, and the diagonal
+    /// counts agreements.
+    #[test]
+    fn confusion_mass(labels in labels_strategy()) {
+        let classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
+        let preds: Vec<u16> = labels.iter().rev().copied().collect();
+        let m = confusion_matrix(&labels, &preds, classes);
+        let mass: usize = m.iter().map(|row| row.iter().sum::<usize>()).sum();
+        prop_assert_eq!(mass, labels.len());
+        let diag: usize = (0..classes).map(|c| m[c][c]).sum();
+        let agree = labels.iter().zip(&preds).filter(|(a, b)| a == b).count();
+        prop_assert_eq!(diag, agree);
+    }
+}

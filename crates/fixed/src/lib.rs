@@ -1,0 +1,24 @@
+//! # seqge-fixed — Q-format fixed-point arithmetic
+//!
+//! The paper's accelerator parallelizes "fixed-point multiply-add operations"
+//! on the FPGA's DSP slices (§4.5). This crate models that datapath bit-for-
+//! bit on the host so the simulator's *functional* results carry the same
+//! quantization behaviour the hardware would produce:
+//!
+//! * [`Fx`] — a 32-bit signed fixed-point value with a const-generic number
+//!   of fraction bits (`Fx<24>` = Q8.24, the default datapath format;
+//!   `Fx<16>` = Q16.16).
+//! * Saturating add/sub/neg, truncating multiply with an i64 intermediate
+//!   (exactly a DSP48 multiply feeding a wide accumulator), saturating
+//!   divide.
+//! * [`vector`] — dot/axpy kernels that accumulate in 64 bits before one
+//!   final quantization, matching the accelerator's MAC trees.
+//! * [`error`] — quantization-error measurement used by the format-sweep
+//!   ablation bench.
+
+pub mod error;
+pub mod ops;
+pub mod q;
+pub mod vector;
+
+pub use q::{Fx, Q16_16, Q8_24};

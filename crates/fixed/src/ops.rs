@@ -1,0 +1,137 @@
+//! Widened multiply-accumulate primitives.
+//!
+//! A DSP48E2 slice multiplies 27×18-bit operands into a 48-bit accumulator;
+//! the accelerator chains them so an entire dot product accumulates at full
+//! width and is quantized **once** at the end. [`MacAccumulator`] reproduces
+//! that behaviour: products stay in `i64` (which dominates the 48-bit
+//! accumulator, so no additional overflow can occur for the vector lengths
+//! involved) and a single truncation happens on read-out.
+
+use crate::q::Fx;
+
+/// Running multiply-accumulate at accumulator width.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacAccumulator {
+    acc: i64,
+}
+
+impl MacAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        MacAccumulator { acc: 0 }
+    }
+
+    /// Accumulates the full-width product `a·b` (no intermediate truncation).
+    #[inline]
+    pub fn mac<const FRAC: u32>(&mut self, a: Fx<FRAC>, b: Fx<FRAC>) {
+        self.acc = self.acc.saturating_add(a.to_bits() as i64 * b.to_bits() as i64);
+    }
+
+    /// Adds another accumulator (adder-tree reduction).
+    #[inline]
+    pub fn merge(&mut self, other: MacAccumulator) {
+        self.acc = self.acc.saturating_add(other.acc);
+    }
+
+    /// Quantizes the accumulated value back to the lane format: one
+    /// round-to-nearest shift (`AP_RND`; see `Fx::sat_mul` for why unbiased
+    /// quantization is load-bearing) + saturation, as the hardware does on
+    /// write-back.
+    #[inline]
+    pub fn finish<const FRAC: u32>(self) -> Fx<FRAC> {
+        let shifted = self.acc.saturating_add(1i64 << (FRAC - 1)) >> FRAC;
+        let clamped = shifted.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        Fx::from_bits(clamped)
+    }
+
+    /// Raw accumulator bits (diagnostics).
+    pub fn raw(self) -> i64 {
+        self.acc
+    }
+}
+
+/// Full-width dot product of two fixed-point slices with a single final
+/// quantization — the accelerator's MAC-tree semantics. Contrast with naive
+/// per-element `sat_mul` + `sat_add`, which truncates every step.
+pub fn mac_dot<const FRAC: u32>(x: &[Fx<FRAC>], y: &[Fx<FRAC>]) -> Fx<FRAC> {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = MacAccumulator::new();
+    for i in 0..x.len() {
+        acc.mac(x[i], y[i]);
+    }
+    acc.finish()
+}
+
+/// Naive (per-step quantizing) dot product — what a scalar datapath without
+/// a wide accumulator would compute. Kept for the error-analysis ablation.
+pub fn naive_dot<const FRAC: u32>(x: &[Fx<FRAC>], y: &[Fx<FRAC>]) -> Fx<FRAC> {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = Fx::<FRAC>::ZERO;
+    for i in 0..x.len() {
+        acc = acc.sat_add(x[i].sat_mul(y[i]));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::q::Q8_24;
+
+    #[test]
+    fn mac_dot_matches_float_for_exact_inputs() {
+        let x: Vec<Q8_24> = [1.0, 2.0, -0.5].iter().map(|&v| Q8_24::from_f64(v)).collect();
+        let y: Vec<Q8_24> = [0.5, 0.25, 4.0].iter().map(|&v| Q8_24::from_f64(v)).collect();
+        // 0.5 + 0.5 - 2.0 = -1.0
+        assert_eq!(mac_dot(&x, &y).to_f64(), -1.0);
+    }
+
+    #[test]
+    fn mac_is_more_accurate_than_naive() {
+        // Many half-ulp products: the per-step datapath quantizes each one
+        // (0.5 ulp rounds to 1 ulp → 2× the true sum), while the wide
+        // accumulator keeps full precision and quantizes once.
+        let eps = Q8_24::EPSILON;
+        let half = Q8_24::from_f64(0.5);
+        let xs = vec![eps; 1000];
+        let ys = vec![half; 1000];
+        let naive = naive_dot(&xs, &ys);
+        let mac = mac_dot(&xs, &ys);
+        // True value: 1000 * (eps * 0.5) = 500 ulp.
+        assert_eq!(mac.to_bits(), 500, "wide accumulator is exact here");
+        assert_eq!(naive.to_bits(), 1000, "per-step rounding doubles each half-ulp product");
+    }
+
+    #[test]
+    fn accumulator_merge_is_associative_reduction() {
+        let a = Q8_24::from_f64(1.5);
+        let b = Q8_24::from_f64(2.0);
+        let mut lane0 = MacAccumulator::new();
+        let mut lane1 = MacAccumulator::new();
+        lane0.mac(a, b);
+        lane1.mac(b, b);
+        let mut tree = lane0;
+        tree.merge(lane1);
+        let mut seq = MacAccumulator::new();
+        seq.mac(a, b);
+        seq.mac(b, b);
+        assert_eq!(tree.finish::<24>(), seq.finish::<24>());
+        assert_eq!(tree.finish::<24>().to_f64(), 7.0);
+    }
+
+    #[test]
+    fn finish_saturates() {
+        let big = Q8_24::from_f64(127.0);
+        let mut acc = MacAccumulator::new();
+        for _ in 0..100 {
+            acc.mac(big, big); // 100 * 16129 ≫ Q8.24 range
+        }
+        assert_eq!(acc.finish::<24>(), Q8_24::MAX);
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        let empty: Vec<Q8_24> = vec![];
+        assert_eq!(mac_dot(&empty, &empty), Q8_24::ZERO);
+    }
+}

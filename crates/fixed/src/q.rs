@@ -1,0 +1,372 @@
+//! The core fixed-point type.
+
+use std::fmt;
+
+/// 32-bit signed fixed-point number with `FRAC` fraction bits (Q(31−FRAC).FRAC
+/// plus sign). Arithmetic saturates instead of wrapping — the HLS `ap_fixed`
+/// overflow mode the accelerator uses (`AP_SAT`), because wrapping weights
+/// silently destroy a model.
+///
+/// `FRAC` must be in `1..=30`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx<const FRAC: u32>(i32);
+
+/// Q8.24: 8 integer bits (incl. sign), 24 fraction bits — the datapath format
+/// of the simulated accelerator. Weights and P-matrix entries of a trained
+/// embedding stay well inside ±128.
+pub type Q8_24 = Fx<24>;
+
+/// Q16.16: wider dynamic range, coarser resolution; used by the format-sweep
+/// ablation.
+pub type Q16_16 = Fx<16>;
+
+impl<const FRAC: u32> Fx<FRAC> {
+    /// Scale factor `2^FRAC`.
+    pub const SCALE: f64 = (1u64 << FRAC) as f64;
+    /// Largest representable value.
+    pub const MAX: Self = Fx(i32::MAX);
+    /// Smallest representable value.
+    pub const MIN: Self = Fx(i32::MIN);
+    /// Zero.
+    pub const ZERO: Self = Fx(0);
+    /// One.
+    pub const ONE: Self = Fx(1i32 << FRAC);
+    /// Resolution (smallest positive step).
+    pub const EPSILON: Self = Fx(1);
+
+    const _ASSERT: () = assert!(FRAC >= 1 && FRAC <= 30, "FRAC must be in 1..=30");
+
+    /// Constructs from the raw underlying bits.
+    #[inline]
+    pub const fn from_bits(bits: i32) -> Self {
+        Fx(bits)
+    }
+
+    /// The raw underlying bits.
+    #[inline]
+    pub const fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from `f64`, rounding to nearest and saturating out-of-range
+    /// values (including NaN → 0, ±∞ → ±MAX).
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        if x.is_nan() {
+            return Fx(0);
+        }
+        let scaled = x * Self::SCALE;
+        if scaled >= i32::MAX as f64 {
+            Self::MAX
+        } else if scaled <= i32::MIN as f64 {
+            Self::MIN
+        } else {
+            Fx(scaled.round_ties_even() as i32)
+        }
+    }
+
+    /// Converts from `f32` (via `f64`, exact).
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        Self::from_f64(x as f64)
+    }
+
+    /// Converts to `f64` (exact).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / Self::SCALE
+    }
+
+    /// Converts to `f32` (may round).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn sat_add(self, rhs: Self) -> Self {
+        Fx(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn sat_sub(self, rhs: Self) -> Self {
+        Fx(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating negation (`-MIN` saturates to `MAX`).
+    #[inline]
+    pub fn sat_neg(self) -> Self {
+        Fx(self.0.checked_neg().unwrap_or(i32::MAX))
+    }
+
+    /// Fixed-point multiply: 32×32→64-bit product, round-to-nearest
+    /// quantization (`AP_RND` — half-ulp added before the shift), then
+    /// saturation back to 32 bits.
+    ///
+    /// Round-to-nearest instead of the cheaper `AP_TRN` truncation is a
+    /// *load-bearing* choice: truncation biases every product by up to one
+    /// ulp toward −∞, and the OS-ELM `P` matrix — which RLS drives toward
+    /// zero as training converges — integrates that bias over hundreds of
+    /// thousands of updates until it loses definiteness and training
+    /// destabilizes (observed on the densest dataset). One extra adder per
+    /// multiplier buys unbiased quantization.
+    #[inline]
+    pub fn sat_mul(self, rhs: Self) -> Self {
+        let wide = (self.0 as i64 * rhs.0 as i64 + (1i64 << (FRAC - 1))) >> FRAC;
+        Fx(clamp_i64(wide))
+    }
+
+    /// Fixed-point divide: `(a << FRAC) / b` in 64 bits, saturating; division
+    /// by zero saturates to ±MAX by sign (hardware reciprocal units clamp).
+    #[inline]
+    pub fn sat_div(self, rhs: Self) -> Self {
+        if rhs.0 == 0 {
+            return if self.0 >= 0 { Self::MAX } else { Self::MIN };
+        }
+        let wide = ((self.0 as i64) << FRAC) / rhs.0 as i64;
+        Fx(clamp_i64(wide))
+    }
+
+    /// Reciprocal `1/x` — the `hpht_inv` datapath of Algorithm 1 line 5.
+    #[inline]
+    pub fn recip(self) -> Self {
+        Self::ONE.sat_div(self)
+    }
+
+    /// Absolute value (saturating on `MIN`).
+    #[inline]
+    pub fn abs(self) -> Self {
+        if self.0 < 0 {
+            self.sat_neg()
+        } else {
+            self
+        }
+    }
+
+    /// Whether the value equals one of the saturation rails. Lets the
+    /// simulator count overflow events.
+    #[inline]
+    pub fn is_saturated(self) -> bool {
+        self.0 == i32::MAX || self.0 == i32::MIN
+    }
+
+    /// Quantizes an `f32` slice into fixed point.
+    pub fn quantize_slice(xs: &[f32]) -> Vec<Self> {
+        xs.iter().map(|&x| Self::from_f32(x)).collect()
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn dequantize_slice(xs: &[Self]) -> Vec<f32> {
+        xs.iter().map(|x| x.to_f32()).collect()
+    }
+}
+
+#[inline]
+fn clamp_i64(x: i64) -> i32 {
+    if x > i32::MAX as i64 {
+        i32::MAX
+    } else if x < i32::MIN as i64 {
+        i32::MIN
+    } else {
+        x as i32
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fx<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx<{}>({})", FRAC, self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fx<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> std::ops::Add for Fx<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self.sat_add(rhs)
+    }
+}
+
+impl<const FRAC: u32> std::ops::Sub for Fx<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.sat_sub(rhs)
+    }
+}
+
+impl<const FRAC: u32> std::ops::Mul for Fx<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self.sat_mul(rhs)
+    }
+}
+
+impl<const FRAC: u32> std::ops::Div for Fx<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self.sat_div(rhs)
+    }
+}
+
+impl<const FRAC: u32> std::ops::Neg for Fx<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        self.sat_neg()
+    }
+}
+
+impl<const FRAC: u32> std::ops::AddAssign for Fx<FRAC> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> std::ops::SubAssign for Fx<FRAC> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q8_24::ONE.to_f64(), 1.0);
+        assert_eq!(Q8_24::ZERO.to_f64(), 0.0);
+        assert_eq!(Q8_24::EPSILON.to_f64(), 1.0 / (1 << 24) as f64);
+    }
+
+    #[test]
+    fn roundtrip_exact_values() {
+        for &x in &[0.0, 1.0, -1.0, 0.5, -0.25, 3.141592502593994] {
+            let fx = Q8_24::from_f64(x);
+            assert!((fx.to_f64() - x).abs() <= Q8_24::EPSILON.to_f64(), "roundtrip {x}");
+        }
+    }
+
+    #[test]
+    fn saturation_on_conversion() {
+        assert_eq!(Q8_24::from_f64(1e9), Q8_24::MAX);
+        assert_eq!(Q8_24::from_f64(-1e9), Q8_24::MIN);
+        assert_eq!(Q8_24::from_f64(f64::NAN), Q8_24::ZERO);
+        assert_eq!(Q8_24::from_f64(f64::INFINITY), Q8_24::MAX);
+        assert_eq!(Q8_24::from_f64(f64::NEG_INFINITY), Q8_24::MIN);
+    }
+
+    #[test]
+    fn add_sub_saturate() {
+        let big = Q8_24::from_f64(127.0);
+        assert_eq!(big.sat_add(big), Q8_24::MAX);
+        let small = Q8_24::from_f64(-127.0);
+        assert_eq!(small.sat_sub(big), Q8_24::MIN);
+        assert!(Q8_24::MIN.sat_neg() == Q8_24::MAX);
+    }
+
+    #[test]
+    fn multiply_rounds_to_nearest() {
+        // 3 ulp * 0.5 = 1.5 ulp → rounds to 2 ulp (half away from −∞).
+        let three_ulp = Q8_24::from_bits(3);
+        let half = Q8_24::from_f64(0.5);
+        assert_eq!(three_ulp.sat_mul(half).to_bits(), 2);
+        // -3 ulp * 0.5 = -1.5 ulp → rounds to -1 ulp.
+        let neg = Q8_24::from_bits(-3);
+        assert_eq!(neg.sat_mul(half).to_bits(), -1);
+        // 2 ulp * 0.5 = exactly 1 ulp — exact results unaffected.
+        assert_eq!(Q8_24::from_bits(2).sat_mul(half).to_bits(), 1);
+    }
+
+    #[test]
+    fn multiply_is_unbiased_over_many_products() {
+        // The property the accelerator needs: quantization error has ~zero
+        // mean (truncation would give a −0.5 ulp systematic bias).
+        let half = Q8_24::from_f64(0.5);
+        let mut err_sum = 0i64;
+        for bits in -1001i32..=1001 {
+            let exact2x = bits as i64; // (bits * 0.5) in half-ulps
+            let got = Q8_24::from_bits(bits).sat_mul(half).to_bits() as i64;
+            err_sum += 2 * got - exact2x;
+        }
+        assert!(err_sum.abs() <= 1002, "mean bias too large: {err_sum}");
+    }
+
+    #[test]
+    fn multiply_basic() {
+        let a = Q8_24::from_f64(1.5);
+        let b = Q8_24::from_f64(-2.0);
+        assert_eq!(a.sat_mul(b).to_f64(), -3.0);
+        assert_eq!((Q8_24::ONE * Q8_24::ONE).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn multiply_saturates() {
+        let a = Q8_24::from_f64(100.0);
+        assert_eq!(a.sat_mul(a), Q8_24::MAX); // 10000 >> 127.99…
+        let b = Q8_24::from_f64(-100.0);
+        assert_eq!(a.sat_mul(b), Q8_24::MIN);
+    }
+
+    #[test]
+    fn divide_and_recip() {
+        let a = Q8_24::from_f64(3.0);
+        let b = Q8_24::from_f64(2.0);
+        assert!((a.sat_div(b).to_f64() - 1.5).abs() < 1e-6);
+        assert!((b.recip().to_f64() - 0.5).abs() < 1e-6);
+        assert_eq!(a.sat_div(Q8_24::ZERO), Q8_24::MAX);
+        assert_eq!((-a).sat_div(Q8_24::ZERO), Q8_24::MIN);
+    }
+
+    #[test]
+    fn q16_16_has_wider_range_coarser_step() {
+        assert_eq!(Q16_16::from_f64(30000.0).to_f64(), 30000.0);
+        assert_eq!(Q8_24::from_f64(30000.0), Q8_24::MAX);
+        assert!(Q16_16::EPSILON.to_f64() > Q8_24::EPSILON.to_f64());
+    }
+
+    #[test]
+    fn operators_match_sat_methods() {
+        let a = Q8_24::from_f64(2.0);
+        let b = Q8_24::from_f64(0.5);
+        assert_eq!(a + b, a.sat_add(b));
+        assert_eq!(a - b, a.sat_sub(b));
+        assert_eq!(a * b, a.sat_mul(b));
+        assert_eq!(a / b, a.sat_div(b));
+        assert_eq!(-a, a.sat_neg());
+        let mut c = a;
+        c += b;
+        assert_eq!(c.to_f64(), 2.5);
+        c -= b;
+        assert_eq!(c.to_f64(), 2.0);
+    }
+
+    #[test]
+    fn saturation_flag() {
+        assert!(Q8_24::MAX.is_saturated());
+        assert!(Q8_24::MIN.is_saturated());
+        assert!(!Q8_24::ONE.is_saturated());
+    }
+
+    #[test]
+    fn slice_quantize_roundtrip() {
+        let xs = [0.1f32, -0.2, 0.3];
+        let q = Q8_24::quantize_slice(&xs);
+        let back = Q8_24::dequantize_slice(&q);
+        for (a, b) in xs.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

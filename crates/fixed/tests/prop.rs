@@ -1,0 +1,103 @@
+//! Property-based tests for the fixed-point datapath.
+
+use proptest::prelude::*;
+use seqge_fixed::ops::{mac_dot, naive_dot};
+use seqge_fixed::{Fx, Q8_24};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// In-range conversion round-trips within half an ulp.
+    #[test]
+    fn roundtrip_within_half_ulp(x in -100.0f64..100.0) {
+        let q = Q8_24::from_f64(x);
+        prop_assert!(!q.is_saturated());
+        prop_assert!((q.to_f64() - x).abs() <= 0.5 / Q8_24::SCALE + 1e-15);
+    }
+
+    /// Saturating ops are total (no panic) and idempotent at the rails.
+    #[test]
+    fn ops_total_and_bounded(a in any::<i32>(), b in any::<i32>()) {
+        let x = Q8_24::from_bits(a);
+        let y = Q8_24::from_bits(b);
+        let results = [x.sat_add(y), x.sat_sub(y), x.sat_mul(y), x.sat_div(y), x.sat_neg(), x.abs()];
+        // No panics is the main property; also the rails absorb further adds.
+        prop_assert!(results.len() == 6);
+        prop_assert_eq!(Q8_24::MAX.sat_add(Q8_24::ONE), Q8_24::MAX);
+        prop_assert_eq!(Q8_24::MIN.sat_sub(Q8_24::ONE), Q8_24::MIN);
+    }
+
+    /// Addition is commutative; multiplication is commutative.
+    #[test]
+    fn commutativity(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+        let x = Q8_24::from_f64(a);
+        let y = Q8_24::from_f64(b);
+        prop_assert_eq!(x.sat_add(y), y.sat_add(x));
+        prop_assert_eq!(x.sat_mul(y), y.sat_mul(x));
+    }
+
+    /// Fixed-point multiply tracks float multiply within quantization error
+    /// for in-range operands/products.
+    #[test]
+    fn mul_tracks_float(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+        let q = Q8_24::from_f64(a).sat_mul(Q8_24::from_f64(b));
+        // Error: input quantization (~|b|+|a| halves of an ulp) + one
+        // truncation; all ≪ 1e-5 at these magnitudes.
+        prop_assert!((q.to_f64() - a * b).abs() < 1e-5, "{} vs {}", q.to_f64(), a * b);
+    }
+
+    /// Ordering is preserved by conversion.
+    #[test]
+    fn conversion_is_monotone(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        if a <= b {
+            prop_assert!(Q8_24::from_f64(a) <= Q8_24::from_f64(b));
+        }
+    }
+
+    /// The MAC tree quantizes exactly once, so relative to the
+    /// quantized-input exact dot product its error is at most half an ulp —
+    /// while the naive per-step datapath accumulates one rounding per
+    /// element.
+    #[test]
+    fn mac_tree_single_rounding_bound(
+        xs in proptest::collection::vec(-1.0f64..1.0, 1..64),
+        ys in proptest::collection::vec(-1.0f64..1.0, 64),
+    ) {
+        let n = xs.len();
+        let ys = &ys[..n];
+        let xq: Vec<Q8_24> = xs.iter().map(|&v| Q8_24::from_f64(v)).collect();
+        let yq: Vec<Q8_24> = ys.iter().map(|&v| Q8_24::from_f64(v)).collect();
+        // Exact dot of the *quantized* inputs (what the datapaths both see).
+        let exact_q: f64 = xq.iter().zip(&yq).map(|(a, b)| a.to_f64() * b.to_f64()).sum();
+        let ulp = 1.0 / Q8_24::SCALE;
+        let mac_err = (mac_dot(&xq, &yq).to_f64() - exact_q).abs();
+        prop_assert!(mac_err <= 0.5 * ulp + 1e-12, "mac err {mac_err}");
+        // Naive error is bounded by one rounding per element.
+        let naive_err = (naive_dot(&xq, &yq).to_f64() - exact_q).abs();
+        prop_assert!(naive_err <= (n as f64) * 0.5 * ulp + 1e-12, "naive err {naive_err}");
+    }
+
+    /// Division by self is ≈1 for values well inside the range.
+    #[test]
+    fn div_self_is_one(a in 0.01f64..100.0) {
+        let x = Q8_24::from_f64(a);
+        let r = x.sat_div(x).to_f64();
+        prop_assert!((r - 1.0).abs() < 1e-4, "{r}");
+    }
+
+    /// `recip` agrees with float reciprocal inside the representable band.
+    #[test]
+    fn recip_tracks_float(a in 0.05f64..100.0) {
+        let r = Q8_24::from_f64(a).recip().to_f64();
+        prop_assert!((r - 1.0 / a).abs() < 1e-3, "{r} vs {}", 1.0 / a);
+    }
+
+    /// Fx<16> has wider range: values > Q8.24's rail still convert exactly.
+    #[test]
+    fn q16_16_range(x in 200.0f64..30000.0) {
+        prop_assert!(Q8_24::from_f64(x).is_saturated());
+        let w = Fx::<16>::from_f64(x);
+        prop_assert!(!w.is_saturated());
+        prop_assert!((w.to_f64() - x).abs() <= 0.5 / Fx::<16>::SCALE + 1e-12);
+    }
+}

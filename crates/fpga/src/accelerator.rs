@@ -1,0 +1,426 @@
+//! The functional accelerator: Algorithm 2 in Q8.24 fixed point with cycle
+//! accounting.
+//!
+//! This is the bit-level twin of `seqge_core::DataflowOsElm`: same deferred
+//! `ΔP`/`Δβ` schedule, same seeds and initial weights, but every arithmetic
+//! operation goes through the `seqge-fixed` datapath (saturating Q8.24,
+//! DSP-style wide accumulation). The difference between this model's
+//! embedding and the float model's embedding *is* the quantization effect
+//! the paper's Fig. 4 measures, and `stats.cycles` prices each walk with the
+//! calibrated [`TimingModel`].
+
+use crate::bram::TileManager;
+use crate::resources::AcceleratorDesign;
+use crate::timing::TimingModel;
+use seqge_core::model::{init_weight, EmbeddingModel, NegativeDraw};
+use seqge_core::{NegativeMode, OsElmConfig};
+use seqge_fixed::ops::{mac_dot, MacAccumulator};
+use seqge_fixed::Q8_24;
+use seqge_graph::NodeId;
+use seqge_linalg::Mat;
+use seqge_sampling::{contexts, NegativeTable, Rng64};
+use std::collections::HashMap;
+
+/// Run statistics accumulated across walks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AccelStats {
+    /// Walks trained.
+    pub walks: u64,
+    /// Contexts trained.
+    pub contexts: u64,
+    /// Modeled PL cycles.
+    pub cycles: u64,
+    /// Saturation events observed on write-back (overflow telemetry).
+    pub saturations: u64,
+    /// DRAM column fetches (tile misses).
+    pub dram_fetches: u64,
+    /// Tile hits.
+    pub tile_hits: u64,
+    /// Contexts whose P downdate was skipped by the positivity guard.
+    pub guarded: u64,
+}
+
+impl AccelStats {
+    /// Modeled wall-clock in milliseconds at `clock_mhz`.
+    pub fn millis(&self, clock_mhz: u32) -> f64 {
+        self.cycles as f64 / (clock_mhz as f64 * 1e3)
+    }
+}
+
+/// The simulated accelerator.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    /// βᵀ in Q8.24, row per node.
+    beta: Vec<Q8_24>,
+    /// P in Q8.24, row-major d×d.
+    p: Vec<Q8_24>,
+    mu: Q8_24,
+    lambda: Q8_24,
+    lambda_recip: Q8_24,
+    dim: usize,
+    num_nodes: usize,
+    regularized: bool,
+    design: AcceleratorDesign,
+    timing: TimingModel,
+    tile: TileManager,
+    draw: NegativeDraw,
+    cfg: OsElmConfig,
+    // Per-walk Δβ accumulators (stage-3/4 BRAM).
+    delta_beta: HashMap<NodeId, Vec<Q8_24>>,
+    h: Vec<Q8_24>,
+    ph: Vec<Q8_24>,
+    phn: Vec<Q8_24>,
+    /// Statistics.
+    pub stats: AccelStats,
+}
+
+impl Accelerator {
+    /// Builds the accelerator with weights quantized from the same float
+    /// init the CPU models use (identical seed ⇒ Fig. 4 comparability).
+    /// The paper's accelerator shares negatives per walk (§3.2), so the
+    /// negative mode is forced to [`NegativeMode::PerWalk`].
+    pub fn new(num_nodes: usize, cfg: OsElmConfig) -> Self {
+        cfg.validate().expect("invalid OS-ELM config");
+        let cfg = OsElmConfig {
+            model: seqge_core::ModelConfig { negative_mode: NegativeMode::PerWalk, ..cfg.model },
+            ..cfg
+        };
+        let d = cfg.model.dim;
+        let mut rng = Rng64::seed_from_u64(cfg.model.seed);
+        let mut beta = Vec::with_capacity(num_nodes * d);
+        for _ in 0..num_nodes * d {
+            beta.push(Q8_24::from_f32(init_weight(&mut rng, d)));
+        }
+        let mut p = vec![Q8_24::ZERO; d * d];
+        for i in 0..d {
+            p[i * d + i] = Q8_24::from_f32(cfg.p0_scale);
+        }
+        let design = AcceleratorDesign::for_dim(d);
+        let (_, _, cache_banks, _) =
+            crate::resources::estimate_resources(&design).bram_parts;
+        Accelerator {
+            beta,
+            p,
+            mu: Q8_24::from_f32(cfg.mu),
+            lambda: Q8_24::from_f32(cfg.forgetting),
+            lambda_recip: Q8_24::from_f32(1.0 / cfg.forgetting),
+            dim: d,
+            num_nodes,
+            regularized: cfg.regularized,
+            design,
+            timing: TimingModel::default(),
+            tile: TileManager::from_banks(cache_banks, d),
+            draw: NegativeDraw::new(&cfg.model),
+            delta_beta: HashMap::new(),
+            h: vec![Q8_24::ZERO; d],
+            ph: vec![Q8_24::ZERO; d],
+            phn: vec![Q8_24::ZERO; d],
+            stats: AccelStats::default(),
+            cfg,
+        }
+    }
+
+    /// The architectural design point.
+    pub fn design(&self) -> &AcceleratorDesign {
+        &self.design
+    }
+
+    /// The timing model (mutable for what-if studies).
+    pub fn timing_mut(&mut self) -> &mut TimingModel {
+        &mut self.timing
+    }
+
+    /// βᵀ dequantized (row per node).
+    pub fn beta_f32(&self) -> Mat<f32> {
+        Mat::from_fn(self.num_nodes, self.dim, |r, c| self.beta[r * self.dim + c].to_f32())
+    }
+
+    /// P dequantized.
+    pub fn p_f32(&self) -> Mat<f32> {
+        Mat::from_fn(self.dim, self.dim, |r, c| self.p[r * self.dim + c].to_f32())
+    }
+
+    fn beta_row(&self, node: NodeId) -> &[Q8_24] {
+        let d = self.dim;
+        &self.beta[node as usize * d..(node as usize + 1) * d]
+    }
+
+    /// One context in the fixed-point datapath (Stages 1–4 of Algorithm 2).
+    fn context_fixed(&mut self, center: NodeId, samples: &[(NodeId, bool)]) {
+        let d = self.dim;
+        self.tile.touch(center);
+        // Stage 1: H = μ·β[center].
+        for i in 0..d {
+            self.h[i] = self.mu.sat_mul(self.beta[center as usize * d + i]);
+        }
+        // Stage 2: Pʜ = P·Hᵀ, HPHᵀ.
+        for r in 0..d {
+            self.ph[r] = mac_dot(&self.p[r * d..(r + 1) * d], &self.h);
+        }
+        let hph = mac_dot(&self.h, &self.ph);
+        let denom = if self.regularized { self.lambda.sat_add(hph) } else { hph };
+        // Positivity guard (comparator): float drift / quantization can dent
+        // P's definiteness; a near-zero or negative denominator would flip
+        // the downdate into an explosive update. Skip the P update and train
+        // β with gain Pʜ for this context.
+        let guard_threshold = self.lambda.sat_mul(Q8_24::from_f32(0.5));
+        let healthy = !self.regularized || denom > guard_threshold;
+        let inv = denom.recip();
+        // Stage 4a: the P downdate. The ΔP accumulator is forwarded with
+        // pipeline-register staleness (see `seqge_core::oselm::PVisibility`
+        // — whole-walk freezing diverges), so the on-chip running P absorbs
+        // each context's downdate immediately; DRAM write-back still happens
+        // once per walk (the DMA model prices exactly one P round-trip).
+        if healthy {
+            seqge_fixed::vector::rank1_downdate(&mut self.p, d, &self.ph, &self.ph, inv);
+        } else {
+            self.stats.guarded += 1;
+        }
+        if healthy && self.lambda_recip > Q8_24::ONE {
+            // (Triangular P storage in hardware makes asymmetry impossible;
+            // the flat model mirrors after the update below.)
+            // EW-RLS inflation (forgetting < 1) with trace normalization
+            // against covariance wind-up (PSD-preserving, unlike entrywise
+            // clamping; one extra multiplier pass in hardware).
+            seqge_fixed::vector::scale(self.lambda_recip, &mut self.p);
+            let mut tr = seqge_fixed::ops::MacAccumulator::new();
+            for i in 0..d {
+                tr.mac(self.p[i * d + i], Q8_24::ONE);
+            }
+            let trace: Q8_24 = tr.finish();
+            let cap = Q8_24::from_f32(self.cfg.p0_scale * d as f32);
+            if trace > cap {
+                let factor = cap.sat_div(trace);
+                seqge_fixed::vector::scale(factor, &mut self.p);
+            }
+            for r in 0..d {
+                for c in (r + 1)..d {
+                    // Mirror the upper triangle (triangular-storage model).
+                    self.p[c * d + r] = self.p[r * d + c];
+                }
+            }
+        }
+        // PʜΝ = Pʜ·(1 − HPHᵀ·inv); under the guard P is unchanged, so the
+        // gain is Pʜ itself.
+        let scale = if healthy { Q8_24::ONE.sat_sub(hph.sat_mul(inv)) } else { Q8_24::ONE };
+        for i in 0..d {
+            self.phn[i] = self.ph[i].sat_mul(scale);
+        }
+        // Stage 3 + 4b: per-sample error and Δβ accumulation. As in the
+        // float model, the error reads the effective column β + Δβ (the Δβ
+        // accumulator lives in the same BRAM the sample stage reads); only
+        // the P chain is frozen for the dataflow optimization.
+        for &(sample, positive) in samples {
+            self.tile.touch(sample);
+            let frozen = mac_dot(&self.h, self.beta_row(sample));
+            let slot_score = self
+                .delta_beta
+                .get(&sample)
+                .map_or(Q8_24::ZERO, |slot| mac_dot(&self.h, slot));
+            let score = frozen.sat_add(slot_score);
+            let y = if positive { Q8_24::ONE } else { Q8_24::ZERO };
+            let e = y.sat_sub(score);
+            let slot = self
+                .delta_beta
+                .entry(sample)
+                .or_insert_with(|| vec![Q8_24::ZERO; d]);
+            for (si, &phn_i) in slot.iter_mut().zip(self.phn.iter()) {
+                let mut acc = MacAccumulator::new();
+                acc.mac(phn_i, e);
+                *si = si.sat_add(acc.finish());
+            }
+        }
+        self.stats.contexts += 1;
+    }
+
+    /// Applies the per-walk Δβ (Algorithm 2 line 20) and counts saturation
+    /// events (the running P was updated in place; line 19's commit is the
+    /// DRAM write-back, priced by the DMA model).
+    fn commit_walk(&mut self) {
+        let d = self.dim;
+        for i in 0..d * d {
+            if self.p[i].is_saturated() {
+                self.stats.saturations += 1;
+            }
+        }
+        for (node, delta) in self.delta_beta.drain() {
+            let base = node as usize * d;
+            for (b, &dv) in self.beta[base..base + d].iter_mut().zip(&delta) {
+                *b = b.sat_add(dv);
+                if b.is_saturated() {
+                    self.stats.saturations += 1;
+                }
+            }
+        }
+    }
+}
+
+impl EmbeddingModel for Accelerator {
+    fn train_walk(&mut self, walk: &[NodeId], negatives: &NegativeTable, rng: &mut Rng64) {
+        let ctxs = contexts(walk, self.cfg.model.window);
+        if ctxs.is_empty() {
+            return;
+        }
+        self.draw.begin_walk(walk, negatives, rng);
+        let mut samples: Vec<(NodeId, bool)> = Vec::new();
+        let mut max_samples = 0usize;
+        for ctx in &ctxs {
+            samples.clear();
+            for &pos in &ctx.positives {
+                samples.push((pos, true));
+                for &neg in self.draw.for_positive(pos, negatives, rng) {
+                    samples.push((neg, false));
+                }
+            }
+            max_samples = max_samples.max(samples.len());
+            self.context_fixed(ctx.center, &samples);
+        }
+        self.commit_walk();
+        let t = self.timing.walk_timing(&self.design, ctxs.len(), max_samples);
+        self.stats.cycles += t.total_cycles;
+        self.stats.walks += 1;
+        self.stats.dram_fetches = self.tile.misses;
+        self.stats.tile_hits = self.tile.hits;
+    }
+
+    fn embedding(&self) -> Mat<f32> {
+        let mu = self.mu.to_f32();
+        Mat::from_fn(self.num_nodes, self.dim, |r, c| {
+            mu * self.beta[r * self.dim + c].to_f32()
+        })
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.beta.len() * 4 + self.p.len() * 4
+    }
+
+    fn name(&self) -> &'static str {
+        "fpga-accelerator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqge_core::{DataflowOsElm, ModelConfig};
+    use seqge_sampling::{UpdatePolicy, WalkCorpus};
+
+    fn ready_table(n: usize) -> NegativeTable {
+        let mut corpus = WalkCorpus::new(n);
+        corpus.record(&(0..n as NodeId).collect::<Vec<_>>());
+        let mut t = NegativeTable::new(UpdatePolicy::every_edge());
+        t.rebuild(&corpus);
+        t
+    }
+
+    fn cfg(dim: usize) -> OsElmConfig {
+        OsElmConfig {
+            model: ModelConfig {
+                dim,
+                window: 4,
+                negative_samples: 3,
+                negative_mode: NegativeMode::PerWalk,
+                seed: 11,
+            },
+            mu: 0.05,
+            p0_scale: 10.0,
+            regularized: true,
+            forgetting: 1.0,
+        }
+    }
+
+    #[test]
+    fn init_matches_float_model_after_quantization() {
+        let acc = Accelerator::new(20, cfg(8));
+        let float_model = DataflowOsElm::new(20, cfg(8));
+        let diff = acc.beta_f32().max_abs_diff(float_model.beta_t());
+        assert!(diff < 1e-6, "quantized init should match float init: {diff}");
+        assert_eq!(acc.p_f32()[(0, 0)], 10.0);
+    }
+
+    #[test]
+    fn tracks_float_dataflow_model_closely() {
+        // One walk: the fixed-point trajectory must stay near the float
+        // Algorithm 2 trajectory (quantization error ≪ weight scale).
+        let table = ready_table(30);
+        let mut acc = Accelerator::new(30, cfg(8));
+        let mut float_model = DataflowOsElm::new(30, cfg(8));
+        let walk: Vec<NodeId> = (0..20u32).collect();
+        // Same rng seed ⇒ same shared negative draws.
+        let mut r1 = Rng64::seed_from_u64(3);
+        let mut r2 = Rng64::seed_from_u64(3);
+        acc.train_walk(&walk, &table, &mut r1);
+        float_model.train_walk(&walk, &table, &mut r2);
+        let diff = acc.beta_f32().max_abs_diff(float_model.beta_t());
+        assert!(diff < 1e-3, "fixed-point drift too large after one walk: {diff}");
+    }
+
+    #[test]
+    fn cycles_accumulate_per_walk() {
+        let table = ready_table(20);
+        let mut acc = Accelerator::new(20, cfg(8));
+        let mut rng = Rng64::seed_from_u64(1);
+        let walk: Vec<NodeId> = (0..12u32).collect();
+        acc.train_walk(&walk, &table, &mut rng);
+        let after_one = acc.stats.cycles;
+        assert!(after_one > 0);
+        acc.train_walk(&walk, &table, &mut rng);
+        assert_eq!(acc.stats.cycles, 2 * after_one, "same walk shape, same cycles");
+        assert_eq!(acc.stats.walks, 2);
+    }
+
+    #[test]
+    fn paper_walk_latency_matches_table3() {
+        // A full-protocol walk (l=80, w=8, ns=10) must cost what Table 3
+        // reports for its dimension.
+        let n = 200;
+        let mut c = cfg(32);
+        c.model.window = 8;
+        c.model.negative_samples = 10;
+        let table = ready_table(n);
+        let mut acc = Accelerator::new(n, c);
+        let mut rng = Rng64::seed_from_u64(5);
+        let walk: Vec<NodeId> = (0..80).map(|i| i % n as u32).collect();
+        acc.train_walk(&walk, &table, &mut rng);
+        let ms = acc.stats.millis(200);
+        assert!((ms - 0.777).abs() / 0.777 < 0.02, "walk latency {ms:.3} ms");
+    }
+
+    #[test]
+    fn long_training_stays_in_range() {
+        let table = ready_table(40);
+        let mut acc = Accelerator::new(40, cfg(16));
+        let mut rng = Rng64::seed_from_u64(9);
+        let walk: Vec<NodeId> = (0..40u32).collect();
+        for _ in 0..50 {
+            acc.train_walk(&walk, &table, &mut rng);
+        }
+        assert_eq!(acc.stats.saturations, 0, "healthy training must not saturate");
+        let emb = acc.embedding();
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn tile_reuse_is_observed() {
+        let table = ready_table(30);
+        let mut acc = Accelerator::new(30, cfg(8));
+        let mut rng = Rng64::seed_from_u64(2);
+        let walk: Vec<NodeId> = (0..20u32).collect();
+        acc.train_walk(&walk, &table, &mut rng);
+        assert!(acc.stats.tile_hits > 0, "shared negatives must hit the tile");
+    }
+
+    #[test]
+    fn model_bytes_match_proposed_accounting() {
+        let acc = Accelerator::new(100, cfg(16));
+        assert_eq!(acc.model_bytes(), 100 * 16 * 4 + 16 * 16 * 4);
+    }
+}

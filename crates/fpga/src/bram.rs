@@ -1,0 +1,191 @@
+//! BRAM weight-tile manager.
+//!
+//! §3.2: "only weights necessary for training are implemented on BRAM cells
+//! … weights necessary for training (e.g., β) are transferred from DRAM to
+//! BRAM", and the same negative samples are reused across a walk "to reduce
+//! the data transfer between DRAM and BRAM". This module tracks which β
+//! columns are resident on chip and counts DRAM fetches, so the
+//! negative-share ablation can quantify exactly the traffic the paper's
+//! trick saves.
+
+use seqge_graph::NodeId;
+use std::collections::HashMap;
+
+/// Column-granular tile cache with FIFO replacement.
+#[derive(Debug, Clone)]
+pub struct TileManager {
+    /// Resident column → queue position.
+    resident: HashMap<NodeId, u64>,
+    /// FIFO order of insertion (lazy removal).
+    queue: std::collections::VecDeque<(NodeId, u64)>,
+    /// Monotone insertion counter.
+    tick: u64,
+    /// Maximum resident columns.
+    capacity: usize,
+    /// DRAM column fetches (misses).
+    pub misses: u64,
+    /// On-chip hits.
+    pub hits: u64,
+    /// Columns written back on eviction or flush.
+    pub writebacks: u64,
+}
+
+impl TileManager {
+    /// A tile holding at most `capacity` columns.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tile capacity must be positive");
+        TileManager {
+            resident: HashMap::new(),
+            queue: std::collections::VecDeque::new(),
+            tick: 0,
+            capacity,
+            misses: 0,
+            hits: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Capacity for a `banks`-bank cache of `dim`-wide f32 columns
+    /// (BRAM36 = 4 KiB usable per bank at 32-bit width).
+    pub fn from_banks(banks: u32, dim: usize) -> Self {
+        let bytes = banks as usize * 4096;
+        Self::new((bytes / (dim * 4)).max(1))
+    }
+
+    /// Touches a column; returns `true` on a hit, fetching (and possibly
+    /// evicting) on a miss.
+    pub fn touch(&mut self, col: NodeId) -> bool {
+        if self.resident.contains_key(&col) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        while self.resident.len() >= self.capacity {
+            // Lazily skip stale queue entries.
+            if let Some((old, t)) = self.queue.pop_front() {
+                if self.resident.get(&old) == Some(&t) {
+                    self.resident.remove(&old);
+                    self.writebacks += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        self.tick += 1;
+        self.resident.insert(col, self.tick);
+        self.queue.push_back((col, self.tick));
+        false
+    }
+
+    /// Flushes everything resident back to DRAM (end of training).
+    pub fn flush(&mut self) {
+        self.writebacks += self.resident.len() as u64;
+        self.resident.clear();
+        self.queue.clear();
+    }
+
+    /// Currently resident column count.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Hit rate over all touches.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_then_hits() {
+        let mut t = TileManager::new(4);
+        assert!(!t.touch(1));
+        assert!(!t.touch(2));
+        assert!(t.touch(1));
+        assert_eq!(t.misses, 2);
+        assert_eq!(t.hits, 1);
+    }
+
+    #[test]
+    fn eviction_at_capacity() {
+        let mut t = TileManager::new(2);
+        t.touch(1);
+        t.touch(2);
+        t.touch(3); // evicts 1 (FIFO)
+        assert_eq!(t.resident_count(), 2);
+        assert!(!t.touch(1), "evicted column must miss");
+        assert!(t.writebacks >= 1);
+    }
+
+    #[test]
+    fn repeated_touch_does_not_duplicate() {
+        let mut t = TileManager::new(3);
+        for _ in 0..10 {
+            t.touch(7);
+        }
+        assert_eq!(t.resident_count(), 1);
+        assert_eq!(t.misses, 1);
+        assert_eq!(t.hits, 9);
+    }
+
+    #[test]
+    fn flush_writes_back_residents() {
+        let mut t = TileManager::new(8);
+        t.touch(1);
+        t.touch(2);
+        t.flush();
+        assert_eq!(t.resident_count(), 0);
+        assert_eq!(t.writebacks, 2);
+    }
+
+    #[test]
+    fn from_banks_capacity() {
+        // 127 banks × 4 KiB / (32 dims × 4 B) = 4064 columns.
+        let t = TileManager::from_banks(127, 32);
+        assert_eq!(t.capacity, 4064);
+    }
+
+    #[test]
+    fn shared_negatives_raise_hit_rate() {
+        // The paper's trick: same 10 negatives reused per context vs fresh
+        // ones — model both access streams and compare hit rates.
+        let mut shared = TileManager::new(64);
+        let mut fresh = TileManager::new(64);
+        let negs_shared: Vec<NodeId> = (1000..1010).collect();
+        let mut next_fresh = 2000u32;
+        for ctx in 0..73u32 {
+            for t in [&mut shared, &mut fresh] {
+                t.touch(ctx); // center
+            }
+            for _ in 0..7 {
+                for n in &negs_shared {
+                    shared.touch(*n);
+                }
+                for _ in 0..10 {
+                    fresh.touch(next_fresh % 3000);
+                    next_fresh = next_fresh.wrapping_mul(1103515245).wrapping_add(12345);
+                }
+            }
+        }
+        assert!(
+            shared.hit_rate() > fresh.hit_rate() + 0.3,
+            "shared {} vs fresh {}",
+            shared.hit_rate(),
+            fresh.hit_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        TileManager::new(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! The CPU side of the paper's system (§3.2).
+//!
+//! "First, nodes are sampled from a graph using random walk by the CPU. The
+//! obtained result of a single random walk and negative samples necessary
+//! for training are pre-sampled by the CPU. These samples are transferred to
+//! the programmable logic part via a DMA controller."
+//!
+//! [`HostDriver`] owns the walker, corpus, and negative table; it streams
+//! pre-sampled walks into the [`Accelerator`] and reports both the modeled
+//! PL time and the measured host-side pre-sampling time.
+
+use crate::accelerator::Accelerator;
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{OsElmConfig, TrainConfig};
+use seqge_graph::Graph;
+use seqge_linalg::Mat;
+use seqge_sampling::{generate_corpus, NegativeTable, Rng64, UpdatePolicy, Walker};
+use std::time::Instant;
+
+/// Outcome of one host-driven training run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HostReport {
+    /// Walks streamed to the accelerator.
+    pub walks: u64,
+    /// Modeled PL cycles.
+    pub accel_cycles: u64,
+    /// Modeled PL time in ms.
+    pub accel_ms: f64,
+    /// Measured host-side time (walk generation + pre-sampling) in ms.
+    pub host_ms: f64,
+}
+
+/// Host driver wrapping an accelerator instance.
+#[derive(Debug)]
+pub struct HostDriver {
+    accel: Accelerator,
+    cfg: TrainConfig,
+}
+
+impl HostDriver {
+    /// Creates a driver for graphs of `num_nodes` nodes.
+    pub fn new(num_nodes: usize, cfg: TrainConfig, oselm: OsElmConfig) -> Self {
+        assert_eq!(cfg.model.dim, oselm.model.dim, "config dims must agree");
+        HostDriver { accel: Accelerator::new(num_nodes, oselm), cfg }
+    }
+
+    /// Runs the "all"-scenario training of `g` through the accelerator.
+    pub fn train_all(&mut self, g: &Graph, seed: u64) -> HostReport {
+        let host_start = Instant::now();
+        let csr = g.to_csr();
+        let mut walker = Walker::new(self.cfg.walk);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let (corpus, walks) = generate_corpus(&csr, &mut walker, &mut rng);
+        let mut table = NegativeTable::new(UpdatePolicy::every_edge());
+        table.rebuild(&corpus);
+        let host_ms = host_start.elapsed().as_secs_f64() * 1e3;
+        let cycles_before = self.accel.stats.cycles;
+        if table.is_ready() {
+            for walk in &walks {
+                self.accel.train_walk(walk, &table, &mut rng);
+            }
+        }
+        let clock = self.accel.design().clock_mhz;
+        HostReport {
+            walks: walks.len() as u64,
+            accel_cycles: self.accel.stats.cycles - cycles_before,
+            accel_ms: (self.accel.stats.cycles - cycles_before) as f64 / (clock as f64 * 1e3),
+            host_ms,
+        }
+    }
+
+    /// Runs the paper's "seq" scenario (§4.3.2) through the accelerator:
+    /// spanning-forest start, then per-edge walks from both endpoints of
+    /// each inserted edge, all trained on the simulated fabric.
+    pub fn train_seq(&mut self, full: &Graph, seed: u64, edge_fraction: f64) -> HostReport {
+        use seqge_graph::{spanning_forest, EdgeStream};
+        let host_start = Instant::now();
+        let split = spanning_forest(full);
+        let mut g = split.initial_graph(full);
+        let stream =
+            EdgeStream::from_forest_split(&split, seed ^ 0xED6E).subsample(edge_fraction);
+        let mut walker = Walker::new(self.cfg.walk);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let cycles_before = self.accel.stats.cycles;
+        let mut walks_trained = 0u64;
+
+        // Initial forest pass.
+        let (mut corpus, walks) = generate_corpus(&g.to_csr(), &mut walker, &mut rng);
+        let mut table = NegativeTable::new(UpdatePolicy::every_edge());
+        table.rebuild(&corpus);
+        let host_ms = host_start.elapsed().as_secs_f64() * 1e3;
+        if table.is_ready() {
+            for walk in &walks {
+                self.accel.train_walk(walk, &table, &mut rng);
+                walks_trained += 1;
+            }
+        }
+        // Per-edge phase.
+        let mut buf = Vec::with_capacity(self.cfg.walk.walk_length);
+        for (u, v) in stream.iter() {
+            g.add_edge(u, v).expect("stream edges insert once");
+            for start in [u, v] {
+                walker.walk_into(&g, start, &mut rng, &mut buf);
+                if buf.len() < 2 {
+                    continue;
+                }
+                corpus.record(&buf);
+                if !table.is_ready() {
+                    table.rebuild(&corpus);
+                }
+                if table.is_ready() {
+                    self.accel.train_walk(&buf, &table, &mut rng);
+                    walks_trained += 1;
+                }
+            }
+            table.on_edge_inserted(&corpus);
+        }
+        let clock = self.accel.design().clock_mhz;
+        HostReport {
+            walks: walks_trained,
+            accel_cycles: self.accel.stats.cycles - cycles_before,
+            accel_ms: (self.accel.stats.cycles - cycles_before) as f64 / (clock as f64 * 1e3),
+            host_ms,
+        }
+    }
+
+    /// The accelerator's current embedding.
+    pub fn embedding(&self) -> Mat<f32> {
+        self.accel.embedding()
+    }
+
+    /// Immutable accelerator access.
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accel
+    }
+
+    /// Mutable accelerator access (timing what-ifs, direct walk feeds).
+    pub fn accelerator_mut(&mut self) -> &mut Accelerator {
+        &mut self.accel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqge_core::ModelConfig;
+    use seqge_graph::generators::classic::erdos_renyi;
+    use seqge_sampling::Node2VecParams;
+
+    fn cfgs(dim: usize) -> (TrainConfig, OsElmConfig) {
+        let model = ModelConfig {
+            dim,
+            window: 4,
+            negative_samples: 3,
+            ..ModelConfig::paper_defaults(dim)
+        };
+        let train = TrainConfig {
+            walk: Node2VecParams { walk_length: 12, walks_per_node: 2, ..Default::default() },
+            model,
+        };
+        let oselm = OsElmConfig { model, ..OsElmConfig::paper_defaults(dim) };
+        (train, oselm)
+    }
+
+    #[test]
+    fn train_all_reports_consistent_numbers() {
+        let g = erdos_renyi(30, 0.2, 1);
+        let (train, oselm) = cfgs(8);
+        let mut driver = HostDriver::new(30, train, oselm);
+        let report = driver.train_all(&g, 7);
+        assert_eq!(report.walks, 60, "2 walks per node on a connected-ish graph");
+        assert!(report.accel_cycles > 0);
+        assert!(report.accel_ms > 0.0);
+        assert!(report.host_ms >= 0.0);
+        let emb = driver.embedding();
+        assert_eq!(emb.rows(), 30);
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = Graph::with_nodes(5);
+        let (train, oselm) = cfgs(4);
+        let mut driver = HostDriver::new(5, train, oselm);
+        let report = driver.train_all(&g, 1);
+        assert_eq!(report.walks, 0);
+        assert_eq!(report.accel_cycles, 0);
+    }
+
+    #[test]
+    fn train_seq_replays_edges_through_the_fabric() {
+        let g = erdos_renyi(25, 0.25, 3);
+        let (train, oselm) = cfgs(8);
+        let mut driver = HostDriver::new(25, train, oselm);
+        let report = driver.train_seq(&g, 9, 1.0);
+        // Forest pass (2 walks/node) + 2 walks per inserted edge.
+        assert!(report.walks >= 50, "walks {}", report.walks);
+        assert!(report.accel_cycles > 0);
+        assert!(driver.embedding().all_finite());
+        assert_eq!(driver.accelerator().stats.saturations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dims must agree")]
+    fn mismatched_dims_rejected() {
+        let (train, _) = cfgs(8);
+        let (_, oselm) = cfgs(16);
+        let _ = HostDriver::new(5, train, oselm);
+    }
+}

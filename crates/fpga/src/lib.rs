@@ -1,0 +1,39 @@
+//! # seqge-fpga — simulator of the ZCU104 sequential-training accelerator
+//!
+//! The paper implements Algorithm 2 as a four-stage dataflow kernel on a
+//! Xilinx Zynq UltraScale+ ZCU104 (XCZU7EV) at 200 MHz, with fixed-point
+//! multiply-add lanes on DSP slices and per-walk weight tiles staged through
+//! BRAM by a DMA engine. No FPGA is available in this environment, so this
+//! crate reproduces the accelerator as a simulator with two faces
+//! (substitution documented in DESIGN.md §1):
+//!
+//! * **Functional** — [`accelerator::Accelerator`] executes Algorithm 2 in
+//!   Q8.24 fixed point with DSP-accumulator semantics (`seqge-fixed`), so
+//!   accuracy experiments (Fig. 4) see the same quantization + deferred-
+//!   update behaviour the hardware produces.
+//! * **Performance** — [`timing`] + [`dma`] + [`pipeline`] form a
+//!   cycle-approximate model of the walk-training latency, calibrated to the
+//!   paper's Table 3 FPGA row; [`resources`] is a component-level utilization
+//!   estimator calibrated to Table 6.
+//!
+//! The CPU side of the paper's system (random walks, negative pre-sampling,
+//! sample upload) lives in [`host`].
+
+pub mod accelerator;
+pub mod bram;
+pub mod device;
+pub mod dma;
+pub mod energy;
+pub mod explore;
+pub mod host;
+pub mod pipeline;
+pub mod report;
+pub mod resources;
+pub mod timing;
+pub mod walker_accel;
+
+pub use accelerator::{AccelStats, Accelerator};
+pub use device::{FpgaDevice, Utilization};
+pub use host::{HostDriver, HostReport};
+pub use resources::{estimate_resources, AcceleratorDesign, ResourceEstimate};
+pub use timing::{TimingModel, WalkTiming};

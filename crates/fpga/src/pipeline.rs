@@ -1,0 +1,137 @@
+//! Per-stage initiation-interval model of the four-stage dataflow kernel.
+//!
+//! Algorithm 2 splits one context into four stages:
+//!
+//! 1. fetch `β[center]`, scale by `μ` → `H`
+//! 2. `P·Hᵀ`, `H·P·Hᵀ` (matrix–vector + reduction)
+//! 3. per-sample errors `y − H·β[sample]` (77 dot products at paper params)
+//! 4. `hpht_inv`, `ΔP`, `Δβ` accumulation
+//!
+//! With the dataflow pragma the stages overlap across contexts, so the
+//! steady-state throughput is set by the *slowest* stage plus the shared
+//! β-port traffic. §4.5: the base lane count is 32, raised to 48/64 for
+//! parts of the d = 64/96 builds "so that execution times of pipeline stages
+//! are equalized".
+
+/// Lane widths of each stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StageLanes {
+    /// Stage 1 (H fetch/scale).
+    pub s1: u32,
+    /// Stage 2 (P·Hᵀ / HPHᵀ).
+    pub s2: u32,
+    /// Stage 3 (sample dot products).
+    pub s3: u32,
+    /// Stage 4 (ΔP / Δβ accumulation).
+    pub s4: u32,
+}
+
+impl StageLanes {
+    /// Paper configuration per dimension (§4.5).
+    pub fn for_dim(dim: usize) -> Self {
+        match dim {
+            d if d <= 32 => StageLanes { s1: 32, s2: 32, s3: 32, s4: 32 },
+            d if d <= 64 => StageLanes { s1: 32, s2: 48, s3: 48, s4: 48 },
+            _ => StageLanes { s1: 32, s2: 64, s3: 48, s4: 64 },
+        }
+    }
+}
+
+/// Initiation intervals (cycles per context) of each stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StageIntervals {
+    /// Stage 1 II.
+    pub s1: u64,
+    /// Stage 2 II.
+    pub s2: u64,
+    /// Stage 3 II.
+    pub s3: u64,
+    /// Stage 4 II.
+    pub s4: u64,
+}
+
+impl StageIntervals {
+    /// Steady-state interval: the slowest stage.
+    pub fn bottleneck(&self) -> u64 {
+        self.s1.max(self.s2).max(self.s3).max(self.s4)
+    }
+
+    /// Pipeline fill latency (sum of all stages once).
+    pub fn fill(&self) -> u64 {
+        self.s1 + self.s2 + self.s3 + self.s4
+    }
+}
+
+/// Fixed pipeline latencies.
+const DIVIDER_LATENCY: u64 = 28; // 32-bit fixed reciprocal
+const REDUCTION_LATENCY: u64 = 6; // adder tree depth at 32–64 lanes
+
+/// Computes per-stage IIs for `dim` with `samples` trained per context
+/// (paper: 7 positives × (1 + 10) = 77).
+pub fn stage_intervals(dim: usize, samples: usize) -> StageIntervals {
+    let lanes = StageLanes::for_dim(dim);
+    let d = dim as u64;
+    let chunks = |width: u64, l: u32| width.div_ceil(l as u64);
+    StageIntervals {
+        // Stage 1: read+scale d values, lanes-wide.
+        s1: chunks(d, lanes.s1) + 2,
+        // Stage 2: d rows of a d-wide MAC each, rows pipelined at II=chunks.
+        s2: d * chunks(d, lanes.s2) / d.min(lanes.s2 as u64).max(1) + chunks(d, lanes.s2)
+            + REDUCTION_LATENCY,
+        // Stage 3: one dot product per sample, lanes-wide reduction.
+        s3: samples as u64 * chunks(d, lanes.s3) + REDUCTION_LATENCY,
+        // Stage 4: divider + rank-1 ΔP rows + Δβ columns.
+        s4: DIVIDER_LATENCY + d * chunks(d, lanes.s4) / d.min(lanes.s4 as u64).max(1)
+            + samples as u64 * chunks(d, lanes.s4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_config_matches_paper() {
+        assert_eq!(StageLanes::for_dim(32), StageLanes { s1: 32, s2: 32, s3: 32, s4: 32 });
+        let l64 = StageLanes::for_dim(64);
+        assert!(l64.s2 == 48 && l64.s4 == 48, "d=64 uses partial 48 lanes");
+        let l96 = StageLanes::for_dim(96);
+        assert!(l96.s2 == 64 && l96.s4 == 64, "d=96 uses partial 64 lanes");
+    }
+
+    #[test]
+    fn intervals_grow_with_dim_sublinearly() {
+        // Lane widening is exactly what keeps stage times near-equal across
+        // dims (§4.5) — check II growth is well below 3× from d=32→96.
+        let i32_ = stage_intervals(32, 77).bottleneck();
+        let i96 = stage_intervals(96, 77).bottleneck();
+        assert!(i96 > i32_, "more work at higher dim");
+        assert!(
+            (i96 as f64) < 3.0 * i32_ as f64,
+            "lane widening must damp growth: {i32_} → {i96}"
+        );
+    }
+
+    #[test]
+    fn stage3_dominates_compute_at_paper_params() {
+        // 77 samples per context make the sample stage the largest compute
+        // stage in every build.
+        for dim in [32usize, 64, 96] {
+            let ii = stage_intervals(dim, 77);
+            assert_eq!(ii.bottleneck(), ii.s3.max(ii.s4), "d={dim}: {ii:?}");
+        }
+    }
+
+    #[test]
+    fn fill_exceeds_bottleneck() {
+        let ii = stage_intervals(64, 77);
+        assert!(ii.fill() > ii.bottleneck());
+    }
+
+    #[test]
+    fn fewer_samples_shrink_stage3() {
+        let a = stage_intervals(32, 77);
+        let b = stage_intervals(32, 11);
+        assert!(b.s3 < a.s3);
+    }
+}

@@ -1,0 +1,120 @@
+//! What-if model of an on-FPGA random-walk engine (extension).
+//!
+//! The paper accelerates *training* and leaves walk generation on the CPU,
+//! citing LightRW \[6\] for FPGA-accelerated node2vec walks. This module
+//! models such a walk engine coarsely — parallel walker lanes, an alias
+//! table per resident node partition, DRAM neighbor fetches — so the repo
+//! can answer the natural system question the paper leaves open: if walks
+//! were also generated on the fabric, would walk generation or training
+//! bound the pipeline?
+//!
+//! The model is *not* calibrated to LightRW's published numbers (different
+//! device and memory system); it uses first-principles cycle counts with the
+//! same DMA model as the training accelerator, and is clearly labeled a
+//! what-if in the bench output.
+
+use crate::dma::DmaModel;
+use crate::timing::TimingModel;
+
+/// Walk-engine architectural parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WalkerDesign {
+    /// Independent walker lanes stepping in parallel.
+    pub lanes: u32,
+    /// Average cycles to sample the next hop once neighbor metadata is on
+    /// chip (second-order rejection sampling: alias draw + bias test, a few
+    /// iterations in expectation).
+    pub sample_cycles: u32,
+    /// Clock in MHz (same fabric as the trainer: 200).
+    pub clock_mhz: u32,
+}
+
+impl Default for WalkerDesign {
+    fn default() -> Self {
+        WalkerDesign { lanes: 16, sample_cycles: 6, clock_mhz: 200 }
+    }
+}
+
+/// Per-walk latency estimate of the walk engine.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WalkGenTiming {
+    /// Cycles to generate one walk end to end on a single lane.
+    pub cycles_per_walk: u64,
+    /// Effective ms per walk at full lane occupancy.
+    pub effective_ms_per_walk: f64,
+}
+
+impl WalkerDesign {
+    /// Estimates walk-generation latency for walks of `walk_length` over a
+    /// graph with `avg_degree`. Each step fetches the current node's
+    /// neighbor list from DRAM (gather pattern) and runs the sampler.
+    pub fn walk_timing(&self, walk_length: usize, avg_degree: f64, dma: &DmaModel) -> WalkGenTiming {
+        let neighbor_bytes = (avg_degree.max(1.0) * 4.0).ceil() as u64;
+        let fetch = dma.gather_cycles(1, neighbor_bytes);
+        let per_step = fetch + self.sample_cycles as u64;
+        let cycles = per_step * walk_length.max(1) as u64;
+        WalkGenTiming {
+            cycles_per_walk: cycles,
+            effective_ms_per_walk: cycles as f64
+                / self.lanes as f64
+                / (self.clock_mhz as f64 * 1e3),
+        }
+    }
+
+    /// Whether walk generation keeps up with the training accelerator at
+    /// dimension `dim` (i.e., generation throughput ≥ training throughput):
+    /// returns the ratio `train_ms / gen_ms` — > 1 means the trainer is the
+    /// bottleneck and walks can be produced in the shadow of training.
+    pub fn headroom_vs_trainer(&self, dim: usize, avg_degree: f64) -> f64 {
+        let train = TimingModel::default().paper_walk_millis(dim);
+        let wg = self.walk_timing(80, avg_degree, &DmaModel::default());
+        train / wg.effective_ms_per_walk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_walks_cost_more() {
+        let d = WalkerDesign::default();
+        let dma = DmaModel::default();
+        let a = d.walk_timing(40, 10.0, &dma);
+        let b = d.walk_timing(80, 10.0, &dma);
+        assert!(b.cycles_per_walk > a.cycles_per_walk);
+        assert_eq!(b.cycles_per_walk, 2 * a.cycles_per_walk);
+    }
+
+    #[test]
+    fn more_lanes_raise_throughput() {
+        let dma = DmaModel::default();
+        let narrow = WalkerDesign { lanes: 4, ..Default::default() };
+        let wide = WalkerDesign { lanes: 32, ..Default::default() };
+        assert!(
+            wide.walk_timing(80, 10.0, &dma).effective_ms_per_walk
+                < narrow.walk_timing(80, 10.0, &dma).effective_ms_per_walk
+        );
+    }
+
+    #[test]
+    fn trainer_is_the_bottleneck_at_paper_params() {
+        // With 16 lanes, walk generation fits in the shadow of training for
+        // every paper dimension on a Cora-density graph — confirming the
+        // paper's choice to focus silicon on the trainer.
+        let d = WalkerDesign::default();
+        for dim in [32usize, 64, 96] {
+            let headroom = d.headroom_vs_trainer(dim, 4.0);
+            assert!(headroom > 1.0, "d={dim}: headroom {headroom:.2}");
+        }
+    }
+
+    #[test]
+    fn dense_graphs_slow_generation() {
+        let d = WalkerDesign::default();
+        let dma = DmaModel::default();
+        let sparse = d.walk_timing(80, 4.0, &dma);
+        let dense = d.walk_timing(80, 40.0, &dma);
+        assert!(dense.cycles_per_walk >= sparse.cycles_per_walk);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests for the FPGA simulator's models.
+
+use proptest::prelude::*;
+use seqge_fpga::dma::DmaModel;
+use seqge_fpga::{estimate_resources, AcceleratorDesign, FpgaDevice, TimingModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Walk latency is monotone in contexts and in samples per context.
+    #[test]
+    fn latency_monotone(
+        dim in 8usize..128,
+        ctxs in 1usize..100,
+        samples in 1usize..100,
+    ) {
+        let t = TimingModel::default();
+        let design = AcceleratorDesign::for_dim(dim);
+        let base = t.walk_timing(&design, ctxs, samples).total_cycles;
+        let more_ctx = t.walk_timing(&design, ctxs + 1, samples).total_cycles;
+        let more_samples = t.walk_timing(&design, ctxs, samples + 1).total_cycles;
+        prop_assert!(more_ctx > base);
+        prop_assert!(more_samples >= base);
+    }
+
+    /// DMA cycles are monotone in payload and never zero for nonzero bytes.
+    #[test]
+    fn dma_monotone(a in 1u64..1_000_000, b in 0u64..1_000_000) {
+        let dma = DmaModel::default();
+        prop_assert!(dma.transfer_cycles(a) > 0);
+        prop_assert!(dma.transfer_cycles(a + b) >= dma.transfer_cycles(a));
+    }
+
+    /// Resource estimates always fit the device for dimensions up to the
+    /// paper's maximum build, and every breakdown sums to its total.
+    #[test]
+    fn estimates_fit_device(dim in 8usize..=96) {
+        let dev = FpgaDevice::XCZU7EV;
+        let est = estimate_resources(&AcceleratorDesign::for_dim(dim));
+        prop_assert!(dev.fits(est.bram36, est.dsp, est.ff, est.lut), "d={dim}: {est:?}");
+        let (p, b, c, f) = est.bram_parts;
+        prop_assert_eq!(p + b + c + f, est.bram36);
+        let (m, dv, ct) = est.dsp_parts;
+        prop_assert_eq!(m + dv + ct, est.dsp);
+    }
+
+    /// Utilization percentages are consistent with the raw counts.
+    #[test]
+    fn utilization_consistent(dim in 8usize..=96) {
+        let dev = FpgaDevice::XCZU7EV;
+        let est = estimate_resources(&AcceleratorDesign::for_dim(dim));
+        let u = est.utilization(&dev);
+        prop_assert!((u.dsp_pct - 100.0 * est.dsp as f64 / dev.dsp as f64).abs() < 1e-9);
+        prop_assert!(u.bram_pct <= 100.0 && u.lut_pct <= 100.0 && u.ff_pct <= 100.0);
+    }
+}

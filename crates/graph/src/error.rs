@@ -1,0 +1,77 @@
+//! Error type shared by all graph operations.
+
+use std::fmt;
+
+/// Errors produced by graph construction, mutation, and I/O.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// Attempted to add an edge that already exists.
+    DuplicateEdge(u32, u32),
+    /// Attempted to add a self loop, which the walk model forbids.
+    SelfLoop(u32),
+    /// An edge weight was non-finite or non-positive.
+    BadWeight(f32),
+    /// Label vector length did not match the node count.
+    LabelLengthMismatch {
+        /// Number of labels supplied.
+        labels: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A parse or I/O failure, with a human-readable description.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::SelfLoop(u) => write!(f, "self loop on node {u} is not allowed"),
+            GraphError::BadWeight(w) => write!(f, "edge weight {w} must be finite and positive"),
+            GraphError::LabelLengthMismatch { labels, num_nodes } => {
+                write!(f, "{labels} labels supplied for {num_nodes} nodes")
+            }
+            GraphError::Io(msg) => write!(f, "graph i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 3 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("3"));
+        assert!(GraphError::DuplicateEdge(1, 2).to_string().contains("(1, 2)"));
+        assert!(GraphError::SelfLoop(4).to_string().contains("4"));
+        assert!(GraphError::BadWeight(-1.0).to_string().contains("-1"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

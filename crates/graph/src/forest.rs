@@ -1,0 +1,182 @@
+//! Spanning-forest extraction for the paper's "seq" scenario (§4.3.2).
+//!
+//! > "As the initial graph of the 'seq' case, we remove edges from an entire
+//! > graph so that the initial graph becomes a forest without changing the
+//! > number of connected components to the original entire graph."
+//!
+//! [`spanning_forest`] partitions a graph's edges into a spanning forest
+//! (kept) and the remainder (removed, to be replayed one at a time by
+//! [`crate::dynamic::EdgeStream`]).
+
+use crate::graph::{Graph, NodeId};
+
+/// Union–find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct DisjointSet {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl DisjointSet {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSet { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Result of [`spanning_forest`]: the forest edges and the removed edges.
+#[derive(Debug, Clone)]
+pub struct ForestSplit {
+    /// Edges kept in the initial forest (`u < v`).
+    pub forest_edges: Vec<(NodeId, NodeId)>,
+    /// Edges removed from the full graph, to be replayed sequentially.
+    pub removed_edges: Vec<(NodeId, NodeId)>,
+    /// Connected component count (identical for forest and full graph).
+    pub components: usize,
+}
+
+impl ForestSplit {
+    /// Materializes the initial forest as a [`Graph`] with the same node set
+    /// and labels as `full`.
+    pub fn initial_graph(&self, full: &Graph) -> Graph {
+        let mut g = Graph::with_nodes(full.num_nodes());
+        for &(u, v) in &self.forest_edges {
+            g.add_edge(u, v).expect("forest edges are unique by construction");
+        }
+        if let Some(labels) = full.labels() {
+            g.set_labels(labels.to_vec()).expect("same node count");
+        }
+        g
+    }
+}
+
+/// Splits `g`'s edge set into a spanning forest and the remaining edges.
+/// The forest spans every connected component, so adding the removed edges
+/// back (in any order) never changes the component structure — exactly the
+/// paper's initialization.
+pub fn spanning_forest(g: &Graph) -> ForestSplit {
+    let mut dsu = DisjointSet::new(g.num_nodes());
+    let mut forest_edges = Vec::with_capacity(g.num_nodes().saturating_sub(1));
+    let mut removed_edges = Vec::with_capacity(g.num_edges());
+    for (u, v, _) in g.edges() {
+        if dsu.union(u, v) {
+            forest_edges.push((u, v));
+        } else {
+            removed_edges.push((u, v));
+        }
+    }
+    ForestSplit { forest_edges, removed_edges, components: dsu.components() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{erdos_renyi, ring};
+    use crate::stats::connected_components;
+
+    #[test]
+    fn dsu_basics() {
+        let mut d = DisjointSet::new(4);
+        assert_eq!(d.components(), 4);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.union(2, 3));
+        assert_eq!(d.components(), 2);
+        assert!(d.connected(0, 1));
+        assert!(!d.connected(0, 2));
+        d.union(1, 3);
+        assert_eq!(d.components(), 1);
+        assert!(d.connected(0, 2));
+    }
+
+    #[test]
+    fn ring_splits_into_path_plus_one() {
+        let g = ring(5);
+        let split = spanning_forest(&g);
+        assert_eq!(split.forest_edges.len(), 4);
+        assert_eq!(split.removed_edges.len(), 1);
+        assert_eq!(split.components, 1);
+    }
+
+    #[test]
+    fn forest_preserves_components() {
+        // Two components: a ring of 4 (nodes 0..4) and an edge (4,5), node 6 isolated.
+        let mut g = Graph::with_nodes(7);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)] {
+            g.add_edge(u, v).unwrap();
+        }
+        let split = spanning_forest(&g);
+        assert_eq!(split.components, 3);
+        let init = split.initial_graph(&g);
+        assert_eq!(connected_components(&init), 3);
+        assert_eq!(init.num_edges() + split.removed_edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn forest_edge_count_is_nodes_minus_components() {
+        let g = erdos_renyi(200, 0.03, 3);
+        let split = spanning_forest(&g);
+        let comps = connected_components(&g);
+        assert_eq!(split.components, comps);
+        assert_eq!(split.forest_edges.len(), 200 - comps);
+    }
+
+    #[test]
+    fn initial_graph_carries_labels() {
+        let mut g = ring(4);
+        g.set_labels(vec![0, 1, 0, 1]).unwrap();
+        let init = spanning_forest(&g).initial_graph(&g);
+        assert_eq!(init.labels().unwrap(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn replaying_removed_edges_restores_graph() {
+        let g = erdos_renyi(80, 0.1, 9);
+        let split = spanning_forest(&g);
+        let mut rebuilt = split.initial_graph(&g);
+        for &(u, v) in &split.removed_edges {
+            rebuilt.add_edge(u, v).unwrap();
+        }
+        assert_eq!(rebuilt.num_edges(), g.num_edges());
+        let mut a: Vec<_> = rebuilt.edges().map(|(u, v, _)| (u, v)).collect();
+        let mut b: Vec<_> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,181 @@
+//! Classic deterministic and random graph topologies.
+//!
+//! These are plumbing for tests, examples, and micro-benchmarks; the paper's
+//! datasets are produced by [`crate::generators::sbm`].
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Path graph `0 — 1 — … — (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for u in 1..n as NodeId {
+        g.add_edge(u - 1, u).expect("path edges are unique");
+    }
+    g
+}
+
+/// Cycle graph on `n ≥ 3` nodes.
+pub fn ring(n: usize) -> Graph {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge(n as NodeId - 1, 0).expect("closing edge is unique");
+    g
+}
+
+/// Star graph: node 0 connected to nodes `1..n`.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for u in 1..n as NodeId {
+        g.add_edge(0, u).expect("star edges are unique");
+    }
+    g
+}
+
+/// `rows × cols` 4-connected grid.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::with_nodes(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1)).expect("grid edges are unique");
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c)).expect("grid edges are unique");
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` graph, seeded.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v).expect("each pair visited once");
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique of `m`
+/// nodes, then each new node attaches to `m` distinct existing nodes chosen
+/// with probability proportional to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    // `targets` holds one entry per edge endpoint, so uniform sampling from it
+    // is degree-proportional sampling.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for u in 0..m as NodeId {
+        for v in (u + 1)..m as NodeId {
+            g.add_edge(u, v).expect("clique edges are unique");
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for u in m as NodeId..n as NodeId {
+        let mut picked: Vec<NodeId> = Vec::with_capacity(m);
+        while picked.len() < m {
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != u && !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            g.add_edge(u, t).expect("picked targets are distinct");
+            targets.push(u);
+            targets.push(t);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!((0..6).all(|u| g.degree(u) == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_too_small_panics() {
+        let _ = ring(2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        assert!((1..7).all(|u| g.degree(u) == 1));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // edges: 3*3 horizontal + 2*4 vertical = 17
+        assert_eq!(g.num_edges(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+    }
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let a = erdos_renyi(50, 0.1, 42);
+        let b = erdos_renyi(50, 0.1, 42);
+        let c = erdos_renyi(50, 0.1, 43);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+        // Overwhelmingly likely to differ.
+        assert_ne!(a.num_edges(), 0);
+        assert!(c.num_edges() > 0);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count_and_connectivity() {
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, 7);
+        // clique(m) + (n - m) * m edges
+        assert_eq!(g.num_edges(), m * (m - 1) / 2 + (n - m) * m);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn barabasi_albert_has_skewed_degrees() {
+        let g = barabasi_albert(500, 2, 11);
+        let max_deg = (0..500).map(|u| g.degree(u)).max().unwrap();
+        // Preferential attachment should concentrate degree far above the mean (~4).
+        assert!(max_deg > 20, "max degree {max_deg} too small for BA");
+    }
+}

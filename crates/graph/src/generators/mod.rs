@@ -1,0 +1,18 @@
+//! Synthetic graph generators.
+//!
+//! Two families:
+//!
+//! * [`classic`] — small deterministic/random topologies (paths, rings,
+//!   stars, grids, Erdős–Rényi, Barabási–Albert) used by tests, examples,
+//!   and micro-benchmarks.
+//! * [`sbm`] — the degree-corrected planted-partition generator that stands
+//!   in for the paper's evaluation datasets (Cora, Amazon Photo, Amazon
+//!   Computers). See DESIGN.md §1 for the substitution argument.
+
+pub mod attributed;
+pub mod classic;
+pub mod sbm;
+
+pub use attributed::TimestampedGraph;
+pub use classic::{barabasi_albert, erdos_renyi, grid, path, ring, star};
+pub use sbm::{PlantedPartition, SbmParams};

@@ -1,0 +1,300 @@
+//! Degree-corrected planted-partition ("SBM") generator.
+//!
+//! This is the stand-in for the paper's evaluation datasets. It produces a
+//! labelled graph with an exact node count, an exact distinct-edge count, a
+//! given class count, a controllable intra-class edge fraction (community
+//! strength — what makes the embedding-classification pipeline meaningful),
+//! and power-law-ish degree skew inside each class (citation and co-purchase
+//! graphs are heavy-tailed).
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters of the planted-partition generator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SbmParams {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of distinct undirected edges (exact in the output).
+    pub num_edges: usize,
+    /// Number of classes / planted communities.
+    pub num_classes: usize,
+    /// Fraction of edges whose endpoints share a class. `0.8` gives clearly
+    /// recoverable communities without being trivial.
+    pub intra_fraction: f64,
+    /// Exponent of the within-class degree propensity `rank^(-gamma)`.
+    /// `0.0` is uniform; `~0.6` resembles citation-graph skew.
+    pub degree_skew: f64,
+}
+
+impl SbmParams {
+    /// Sensible defaults for a graph of `n` nodes, `m` edges, `k` classes.
+    pub fn new(n: usize, m: usize, k: usize) -> Self {
+        SbmParams {
+            num_nodes: n,
+            num_edges: m,
+            num_classes: k,
+            intra_fraction: 0.8,
+            degree_skew: 0.6,
+        }
+    }
+
+    /// Validates parameter consistency (enough node pairs for the requested
+    /// edge count, at least one node per class, probabilities in range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_classes == 0 || self.num_nodes < self.num_classes {
+            return Err(format!(
+                "need num_nodes >= num_classes >= 1, got {} nodes / {} classes",
+                self.num_nodes, self.num_classes
+            ));
+        }
+        let max_edges = self.num_nodes * (self.num_nodes - 1) / 2;
+        if self.num_edges > max_edges {
+            return Err(format!("{} edges exceed the {} possible pairs", self.num_edges, max_edges));
+        }
+        if !(0.0..=1.0).contains(&self.intra_fraction) {
+            return Err("intra_fraction must be in [0, 1]".into());
+        }
+        if self.degree_skew < 0.0 {
+            return Err("degree_skew must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+/// One planted community: its member nodes and the cumulative propensity
+/// table used for weighted node sampling.
+struct Community {
+    members: Vec<NodeId>,
+    cumulative: Vec<f64>,
+}
+
+impl Community {
+    fn build(members: Vec<NodeId>, skew: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(members.len());
+        let mut acc = 0.0f64;
+        for rank in 0..members.len() {
+            acc += (rank as f64 + 1.0).powf(-skew);
+            cumulative.push(acc);
+        }
+        Community { members, cumulative }
+    }
+
+    fn total(&self) -> f64 {
+        *self.cumulative.last().expect("non-empty community")
+    }
+
+    /// Weighted sample of a member node.
+    fn sample(&self, rng: &mut StdRng) -> NodeId {
+        let x = rng.gen_range(0.0..self.total());
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        self.members[idx.min(self.members.len() - 1)]
+    }
+}
+
+/// The generator. Create with [`PlantedPartition::new`], then call
+/// [`PlantedPartition::generate`] with a seed; each seed yields a distinct,
+/// reproducible graph (the paper averages over three trials — use three
+/// seeds).
+#[derive(Debug, Clone)]
+pub struct PlantedPartition {
+    params: SbmParams,
+}
+
+impl PlantedPartition {
+    /// Validates `params` and builds the generator.
+    pub fn new(params: SbmParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(PlantedPartition { params })
+    }
+
+    /// Accessor for the parameters.
+    pub fn params(&self) -> &SbmParams {
+        &self.params
+    }
+
+    /// Generates the labelled graph.
+    pub fn generate(&self, seed: u64) -> Graph {
+        let p = &self.params;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Class assignment: contiguous near-equal blocks, then shuffle node
+        // ids so class is independent of node index.
+        let mut perm: Vec<NodeId> = (0..p.num_nodes as NodeId).collect();
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, rng.gen_range(0..=i));
+        }
+        let mut labels = vec![0u16; p.num_nodes];
+        let mut communities: Vec<Community> = Vec::with_capacity(p.num_classes);
+        let base = p.num_nodes / p.num_classes;
+        let extra = p.num_nodes % p.num_classes;
+        let mut cursor = 0usize;
+        for c in 0..p.num_classes {
+            let size = base + usize::from(c < extra);
+            let members: Vec<NodeId> = perm[cursor..cursor + size].to_vec();
+            cursor += size;
+            for &u in &members {
+                labels[u as usize] = c as u16;
+            }
+            communities.push(Community::build(members, p.degree_skew));
+        }
+
+        // Edge sampling until the exact distinct-edge budget is met.
+        let mut g = Graph::with_nodes(p.num_nodes);
+        let mut seen: HashSet<u64> = HashSet::with_capacity(p.num_edges * 2);
+        let class_cum: Vec<f64> = {
+            let mut acc = 0.0;
+            communities
+                .iter()
+                .map(|c| {
+                    // Class pick probability ∝ total propensity mass so large
+                    // classes host proportionally more intra edges.
+                    acc += c.total();
+                    acc
+                })
+                .collect()
+        };
+        let class_total = *class_cum.last().expect("at least one class");
+        let pick_class = |rng: &mut StdRng| -> usize {
+            let x = rng.gen_range(0.0..class_total);
+            class_cum.partition_point(|&c| c < x).min(communities.len() - 1)
+        };
+
+        let mut added = 0usize;
+        // The loop always terminates: each iteration either adds a distinct
+        // valid edge or retries, and the edge budget is validated to be below
+        // the number of available pairs.
+        while added < p.num_edges {
+            let (u, v) = if rng.gen_bool(p.intra_fraction) {
+                // Intra-class edge; fall back to cross-class when a class has
+                // a single node.
+                let ci = pick_class(&mut rng);
+                if communities[ci].members.len() < 2 {
+                    continue;
+                }
+                (communities[ci].sample(&mut rng), communities[ci].sample(&mut rng))
+            } else {
+                let ci = pick_class(&mut rng);
+                let mut cj = pick_class(&mut rng);
+                if communities.len() > 1 {
+                    while cj == ci {
+                        cj = pick_class(&mut rng);
+                    }
+                }
+                (communities[ci].sample(&mut rng), communities[cj].sample(&mut rng))
+            };
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v) as u64) << 32 | u.max(v) as u64;
+            if !seen.insert(key) {
+                continue;
+            }
+            g.add_edge(u, v).expect("deduped, validated edge");
+            added += 1;
+        }
+
+        g.set_labels(labels).expect("labels sized to node count");
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PlantedPartition {
+        PlantedPartition::new(SbmParams::new(300, 900, 3)).unwrap()
+    }
+
+    #[test]
+    fn exact_counts() {
+        let g = small().generate(1);
+        assert_eq!(g.num_nodes(), 300);
+        assert_eq!(g.num_edges(), 900);
+        assert_eq!(g.num_classes(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small().generate(9);
+        let b = small().generate(9);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small().generate(1);
+        let b = small().generate(2);
+        assert_ne!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn intra_fraction_is_respected() {
+        let g = small().generate(3);
+        let labels = g.labels().unwrap();
+        let intra = g
+            .edges()
+            .filter(|&(u, v, _)| labels[u as usize] == labels[v as usize])
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        assert!((0.7..=0.9).contains(&frac), "intra fraction {frac} outside expected band");
+    }
+
+    #[test]
+    fn class_sizes_near_equal() {
+        let g = small().generate(4);
+        let labels = g.labels().unwrap();
+        let mut counts = [0usize; 3];
+        for &l in labels {
+            counts[l as usize] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 300);
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn degree_skew_creates_hubs() {
+        let skewed = PlantedPartition::new(SbmParams {
+            degree_skew: 0.9,
+            ..SbmParams::new(400, 2400, 4)
+        })
+        .unwrap()
+        .generate(5);
+        let flat = PlantedPartition::new(SbmParams {
+            degree_skew: 0.0,
+            ..SbmParams::new(400, 2400, 4)
+        })
+        .unwrap()
+        .generate(5);
+        let max_deg = |g: &Graph| (0..g.num_nodes() as NodeId).map(|u| g.degree(u)).max().unwrap();
+        assert!(
+            max_deg(&skewed) > max_deg(&flat),
+            "skewed generator should produce larger hubs ({} vs {})",
+            max_deg(&skewed),
+            max_deg(&flat)
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        assert!(SbmParams::new(10, 100, 3).validate().is_err()); // too many edges
+        assert!(SbmParams::new(2, 1, 3).validate().is_err()); // classes > nodes
+        let mut p = SbmParams::new(10, 5, 2);
+        p.intra_fraction = 1.5;
+        assert!(p.validate().is_err());
+        p.intra_fraction = 0.5;
+        p.degree_skew = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn single_class_graph_works() {
+        let g = PlantedPartition::new(SbmParams::new(50, 100, 1)).unwrap().generate(6);
+        assert_eq!(g.num_edges(), 100);
+        assert_eq!(g.num_classes(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! The dynamic, undirected, weighted graph type.
+
+use crate::csr::Csr;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Node identifier. Graphs in the paper's evaluation have at most ~14k nodes,
+/// so `u32` keeps adjacency lists compact (see the type-size guidance in the
+/// Rust Performance Book).
+pub type NodeId = u32;
+
+/// An undirected, weighted graph supporting incremental edge insertion.
+///
+/// Invariants maintained by every constructor and mutator:
+///
+/// * no self loops;
+/// * no parallel edges (at most one edge per unordered node pair);
+/// * every stored weight is finite and strictly positive;
+/// * adjacency is symmetric: `v ∈ adj(u)` ⇔ `u ∈ adj(v)`, with equal weights.
+///
+/// The adjacency representation is a vector of neighbor lists, which makes
+/// single-edge insertion O(deg) (for the duplicate check) — cheap enough for
+/// the "seq" scenario where one edge arrives at a time. Hot read paths
+/// (random walks) should snapshot with [`Graph::to_csr`] instead.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, f32)>>,
+    num_edges: usize,
+    labels: Option<Vec<u16>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], num_edges: 0, labels: None }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Neighbor list of `u` as `(neighbor, weight)` pairs, in insertion order.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[(NodeId, f32)] {
+        &self.adj[u as usize]
+    }
+
+    /// Whether the unordered pair `(u, v)` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.adj[a as usize].iter().any(|&(w, _)| w == b)
+    }
+
+    /// Adds an undirected edge with weight 1.0.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        self.add_weighted_edge(u, v, 1.0)
+    }
+
+    /// Adds an undirected weighted edge, enforcing all graph invariants.
+    pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, w: f32) -> Result<()> {
+        let n = self.num_nodes();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: x, num_nodes: n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !w.is_finite() || w <= 0.0 {
+            return Err(GraphError::BadWeight(w));
+        }
+        if self.has_edge(u, v) {
+            return Err(GraphError::DuplicateEdge(u, v));
+        }
+        self.adj[u as usize].push((v, w));
+        self.adj[v as usize].push((u, w));
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Attaches one class label per node (used by the downstream
+    /// classification evaluation). Labels are small unsigned class indices.
+    pub fn set_labels(&mut self, labels: Vec<u16>) -> Result<()> {
+        if labels.len() != self.num_nodes() {
+            return Err(GraphError::LabelLengthMismatch {
+                labels: labels.len(),
+                num_nodes: self.num_nodes(),
+            });
+        }
+        self.labels = Some(labels);
+        Ok(())
+    }
+
+    /// Per-node class labels, if attached.
+    #[inline]
+    pub fn labels(&self) -> Option<&[u16]> {
+        self.labels.as_deref()
+    }
+
+    /// Number of distinct classes among the labels (0 if unlabelled).
+    pub fn num_classes(&self) -> usize {
+        self.labels
+            .as_ref()
+            .map(|l| l.iter().copied().max().map_or(0, |m| m as usize + 1))
+            .unwrap_or(0)
+    }
+
+    /// Iterates every undirected edge exactly once as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as NodeId;
+            nbrs.iter().filter_map(move |&(v, w)| (u < v).then_some((u, v, w)))
+        })
+    }
+
+    /// Takes an immutable CSR snapshot for the walk kernels.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_graph(self)
+    }
+
+    /// Builds a graph from an edge list over `n` nodes, skipping duplicate
+    /// edges and self loops silently (convenient for generated edge streams
+    /// that may contain repeats).
+    pub fn from_edges_lossy(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Graph::with_nodes(n);
+        for &(u, v) in edges {
+            let _ = g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.add_edge(2, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::with_nodes(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn add_edge_is_symmetric() {
+        let g = triangle();
+        assert_eq!(g.num_edges(), 3);
+        for u in 0..3u32 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut g = Graph::with_nodes(2);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_duplicate_either_direction() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1).unwrap();
+        assert!(matches!(g.add_edge(0, 1), Err(GraphError::DuplicateEdge(..))));
+        assert!(matches!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge(..))));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut g = Graph::with_nodes(2);
+        assert!(matches!(g.add_edge(0, 2), Err(GraphError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let mut g = Graph::with_nodes(2);
+        assert!(matches!(g.add_weighted_edge(0, 1, 0.0), Err(GraphError::BadWeight(_))));
+        assert!(matches!(g.add_weighted_edge(0, 1, -2.0), Err(GraphError::BadWeight(_))));
+        assert!(matches!(g.add_weighted_edge(0, 1, f32::NAN), Err(GraphError::BadWeight(_))));
+        assert!(matches!(
+            g.add_weighted_edge(0, 1, f32::INFINITY),
+            Err(GraphError::BadWeight(_))
+        ));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = triangle();
+        let mut es: Vec<_> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn labels_roundtrip_and_classes() {
+        let mut g = triangle();
+        assert_eq!(g.num_classes(), 0);
+        g.set_labels(vec![0, 2, 1]).unwrap();
+        assert_eq!(g.labels().unwrap(), &[0, 2, 1]);
+        assert_eq!(g.num_classes(), 3);
+    }
+
+    #[test]
+    fn labels_length_checked() {
+        let mut g = triangle();
+        assert!(matches!(
+            g.set_labels(vec![0, 1]),
+            Err(GraphError::LabelLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_edges_lossy_skips_bad_edges() {
+        let g = Graph::from_edges_lossy(3, &[(0, 1), (0, 1), (1, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+}

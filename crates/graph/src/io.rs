@@ -1,0 +1,173 @@
+//! Plain-text persistence for graphs: whitespace-separated edge lists with an
+//! optional label section.
+//!
+//! Format (line-oriented, `#` comments allowed):
+//!
+//! ```text
+//! # nodes <n>
+//! <u> <v> [weight]
+//! ...
+//! # labels
+//! <label of node 0>
+//! <label of node 1>
+//! ...
+//! ```
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::Result;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serializes `g` in the crate's edge-list format.
+pub fn write_graph<W: Write>(g: &Graph, w: W) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# nodes {}", g.num_nodes())?;
+    for (u, v, wt) in g.edges() {
+        if (wt - 1.0).abs() < f32::EPSILON {
+            writeln!(w, "{u} {v}")?;
+        } else {
+            writeln!(w, "{u} {v} {wt}")?;
+        }
+    }
+    if let Some(labels) = g.labels() {
+        writeln!(w, "# labels")?;
+        for l in labels {
+            writeln!(w, "{l}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a graph written by [`write_graph`].
+pub fn read_graph<R: Read>(r: R) -> Result<Graph> {
+    let reader = BufReader::new(r);
+    let mut g: Option<Graph> = None;
+    let mut labels: Vec<u16> = Vec::new();
+    let mut in_labels = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(n) = rest.strip_prefix("nodes") {
+                let n: usize = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| GraphError::Io(format!("line {}: bad node count", lineno + 1)))?;
+                g = Some(Graph::with_nodes(n));
+            } else if rest == "labels" {
+                in_labels = true;
+            }
+            continue;
+        }
+        if in_labels {
+            let l: u16 = line
+                .parse()
+                .map_err(|_| GraphError::Io(format!("line {}: bad label", lineno + 1)))?;
+            labels.push(l);
+            continue;
+        }
+        let g = g
+            .as_mut()
+            .ok_or_else(|| GraphError::Io("edge before '# nodes <n>' header".into()))?;
+        let mut it = line.split_whitespace();
+        let parse_u32 = |s: Option<&str>| -> Result<u32> {
+            s.ok_or_else(|| GraphError::Io(format!("line {}: missing field", lineno + 1)))?
+                .parse()
+                .map_err(|_| GraphError::Io(format!("line {}: bad node id", lineno + 1)))
+        };
+        let u = parse_u32(it.next())?;
+        let v = parse_u32(it.next())?;
+        let w: f32 = match it.next() {
+            Some(s) => s
+                .parse()
+                .map_err(|_| GraphError::Io(format!("line {}: bad weight", lineno + 1)))?,
+            None => 1.0,
+        };
+        g.add_weighted_edge(u, v, w)?;
+    }
+    let mut g = g.ok_or_else(|| GraphError::Io("missing '# nodes <n>' header".into()))?;
+    if !labels.is_empty() {
+        g.set_labels(labels)?;
+    }
+    Ok(g)
+}
+
+/// Writes `g` to `path`.
+pub fn save_graph<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
+    write_graph(g, std::fs::File::create(path)?)
+}
+
+/// Reads a graph from `path`.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::ring;
+
+    fn roundtrip(g: &Graph) -> Graph {
+        let mut buf = Vec::new();
+        write_graph(g, &mut buf).unwrap();
+        read_graph(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_unlabelled() {
+        let g = ring(5);
+        let h = roundtrip(&g);
+        assert_eq!(h.num_nodes(), 5);
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            h.edges().collect::<Vec<_>>()
+        );
+        assert!(h.labels().is_none());
+    }
+
+    #[test]
+    fn roundtrip_labelled_weighted() {
+        let mut g = Graph::with_nodes(3);
+        g.add_weighted_edge(0, 1, 2.5).unwrap();
+        g.add_edge(1, 2).unwrap();
+        g.set_labels(vec![1, 0, 1]).unwrap();
+        let h = roundtrip(&g);
+        assert_eq!(h.labels().unwrap(), &[1, 0, 1]);
+        let e: Vec<_> = h.edges().collect();
+        assert_eq!(e, vec![(0, 1, 2.5), (1, 2, 1.0)]);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(read_graph("0 1\n".as_bytes()).is_err()); // no header
+        assert!(read_graph("# nodes x\n".as_bytes()).is_err());
+        assert!(read_graph("# nodes 2\n0\n".as_bytes()).is_err()); // missing v
+        assert!(read_graph("# nodes 2\n0 9\n".as_bytes()).is_err()); // out of range
+        assert!(read_graph("# nodes 2\n0 1 nan?\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let txt = "# nodes 3\n\n# a comment\n0 1\n\n1 2\n";
+        let g = read_graph(txt.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("seqge-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.edges");
+        let g = ring(4);
+        save_graph(&g, &p).unwrap();
+        let h = load_graph(&p).unwrap();
+        assert_eq!(h.num_edges(), 4);
+        std::fs::remove_file(p).ok();
+    }
+}

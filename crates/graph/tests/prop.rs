@@ -1,0 +1,80 @@
+//! Property-based tests for graph invariants.
+
+use proptest::prelude::*;
+use seqge_graph::generators::classic::erdos_renyi;
+use seqge_graph::stats::connected_components;
+use seqge_graph::{spanning_forest, EdgeStream, Graph};
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (5usize..60, 0.0f64..0.3, any::<u64>())
+        .prop_map(|(n, p, seed)| erdos_renyi(n, p, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adjacency symmetry and degree/edge-count consistency.
+    #[test]
+    fn adjacency_is_symmetric(g in random_graph()) {
+        let mut degree_sum = 0usize;
+        for u in 0..g.num_nodes() as u32 {
+            degree_sum += g.degree(u);
+            for &(v, _) in g.neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "({u},{v}) present but not mirrored");
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// CSR snapshot is a faithful, sorted view of the graph.
+    #[test]
+    fn csr_matches_graph(g in random_graph()) {
+        let csr = g.to_csr();
+        prop_assert_eq!(csr.num_nodes(), g.num_nodes());
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        for u in 0..g.num_nodes() as u32 {
+            prop_assert_eq!(csr.degree(u), g.degree(u));
+            let nbrs = csr.neighbors(u);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "unsorted neighbors");
+            for &v in nbrs {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    /// The spanning forest keeps components, is acyclic (edge count =
+    /// n − components), and replaying removed edges restores the graph.
+    #[test]
+    fn spanning_forest_invariants(g in random_graph()) {
+        let split = spanning_forest(&g);
+        let comps = connected_components(&g);
+        prop_assert_eq!(split.components, comps);
+        prop_assert_eq!(split.forest_edges.len(), g.num_nodes() - comps);
+        prop_assert_eq!(split.forest_edges.len() + split.removed_edges.len(), g.num_edges());
+        let init = split.initial_graph(&g);
+        prop_assert_eq!(connected_components(&init), comps);
+
+        let mut rebuilt = init;
+        for &(u, v) in &split.removed_edges {
+            rebuilt.add_edge(u, v).expect("removed edge is re-insertable");
+        }
+        prop_assert_eq!(rebuilt.num_edges(), g.num_edges());
+    }
+
+    /// Edge streams are permutations; subsampling keeps a subsequence.
+    #[test]
+    fn edge_stream_permutation(g in random_graph(), seed in any::<u64>(), frac in 0.1f64..1.0) {
+        let split = spanning_forest(&g);
+        let stream = EdgeStream::from_forest_split(&split, seed);
+        let mut a: Vec<_> = stream.edges().to_vec();
+        let mut b = split.removed_edges.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        let sub = stream.subsample(frac);
+        prop_assert!(sub.len() <= stream.len());
+        if !stream.is_empty() {
+            prop_assert!(!sub.is_empty());
+        }
+    }
+}

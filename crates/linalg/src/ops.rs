@@ -1,0 +1,212 @@
+//! Vector and matrix-vector kernels used by the training inner loops.
+//!
+//! These are the exact operations in Algorithm 1 / Algorithm 2 of the paper:
+//! dot products (`H·βcol`), axpy column updates (`β += (P·Hᵀ)·e`), gemv
+//! (`P·Hᵀ`, `H·P`), and the symmetric rank-1 downdate of `P`.
+
+use crate::matrix::Mat;
+use crate::scalar::Scalar;
+
+/// `x · y`.
+#[inline]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = T::ZERO;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// `y += a · x`.
+#[inline]
+pub fn axpy<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        y[i] += a * x[i];
+    }
+}
+
+/// `x *= a`.
+#[inline]
+pub fn scal<T: Scalar>(a: T, x: &mut [T]) {
+    for v in x {
+        *v *= a;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2<T: Scalar>(x: &[T]) -> T {
+    dot(x, x).sqrt()
+}
+
+/// `y = A · x` for row-major `A` (`rows×cols`), `x` of length `cols`.
+pub fn gemv<T: Scalar>(a: &Mat<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(a.cols(), x.len(), "gemv: x length mismatch");
+    assert_eq!(a.rows(), y.len(), "gemv: y length mismatch");
+    for (r, out) in y.iter_mut().enumerate() {
+        *out = dot(a.row(r), x);
+    }
+}
+
+/// `y = Aᵀ · x` for row-major `A` (`rows×cols`), `x` of length `rows`.
+/// Implemented as a row-sweep so memory access stays contiguous.
+pub fn gemv_t<T: Scalar>(a: &Mat<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(a.rows(), x.len(), "gemv_t: x length mismatch");
+    assert_eq!(a.cols(), y.len(), "gemv_t: y length mismatch");
+    y.fill(T::ZERO);
+    for (r, &xr) in x.iter().enumerate() {
+        axpy(xr, a.row(r), y);
+    }
+}
+
+/// Rank-1 update `A += a · x yᵀ` (BLAS `ger`).
+pub fn ger<T: Scalar>(a_mat: &mut Mat<T>, a: T, x: &[T], y: &[T]) {
+    assert_eq!(a_mat.rows(), x.len(), "ger: x length mismatch");
+    assert_eq!(a_mat.cols(), y.len(), "ger: y length mismatch");
+    for (r, &xr) in x.iter().enumerate() {
+        axpy(a * xr, y, a_mat.row_mut(r));
+    }
+}
+
+/// The OS-ELM `P` downdate:
+/// `P ← P − (P Hᵀ)(H P) / denom`, where `ph = P·Hᵀ` and `hp = H·P` are
+/// precomputed `d`-vectors and `denom` is `1 + H·P·Hᵀ` (regularized) or
+/// `H·P·Hᵀ` (the paper's literal Algorithm 1 line 5).
+///
+/// For symmetric `P` the two vectors coincide; they are kept separate so the
+/// fixed-point pipeline can model both datapaths.
+pub fn p_downdate<T: Scalar>(p: &mut Mat<T>, ph: &[T], hp: &[T], denom: T) {
+    assert_eq!(p.rows(), ph.len());
+    assert_eq!(p.cols(), hp.len());
+    let inv = T::ONE / denom;
+    ger(p, -inv, ph, hp);
+}
+
+/// Elementwise `out = x - y`.
+pub fn sub<T: Scalar>(x: &[T], y: &[T], out: &mut [T]) {
+    debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(x.len(), out.len());
+    for i in 0..x.len() {
+        out[i] = x[i] - y[i];
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid<T: Scalar>(x: T) -> T {
+    if x.to_f64() >= 0.0 {
+        let e = (-x).exp();
+        T::ONE / (T::ONE + e)
+    } else {
+        let e = x.exp();
+        e / (T::ONE + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_axpy_scal() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [3.0, 4.5, 6.0]);
+        assert!((norm2(&[3.0f32, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let a = Mat::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, 0.0, -1.0];
+        let mut y = [0.0; 2];
+        gemv(&a, &x, &mut y);
+        assert_eq!(y, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose_gemv() {
+        let a = Mat::from_fn(3, 2, |r, c| (r + c * 2) as f64);
+        let x = [1.0, 2.0, 3.0];
+        let mut y1 = [0.0; 2];
+        gemv_t(&a, &x, &mut y1);
+        let at = a.transpose();
+        let mut y2 = [0.0; 2];
+        gemv(&at, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = Mat::<f64>::zeros(2, 2);
+        ger(&mut a, 2.0, &[1.0, 3.0], &[5.0, 7.0]);
+        assert_eq!(a.as_slice(), &[10.0, 14.0, 30.0, 42.0]);
+    }
+
+    #[test]
+    fn p_downdate_keeps_symmetry_and_shrinks() {
+        // P = I, H = e0. Regularized downdate: P' = I - e0 e0ᵀ / 2.
+        let mut p = Mat::<f64>::identity(3);
+        let h = [1.0, 0.0, 0.0];
+        let mut ph = [0.0; 3];
+        gemv(&p, &h, &mut ph);
+        let hp = ph; // symmetric P
+        let denom = 1.0 + dot(&h, &ph);
+        p_downdate(&mut p, &ph, &hp, denom);
+        assert!((p[(0, 0)] - 0.5).abs() < 1e-12);
+        assert_eq!(p[(1, 1)], 1.0);
+        assert_eq!(p[(0, 1)], 0.0);
+        // Symmetric after the update.
+        assert_eq!(p[(1, 0)], p[(0, 1)]);
+    }
+
+    #[test]
+    fn sherman_morrison_identity() {
+        // After the downdate, P should equal (P0^{-1} + HᵀH)^{-1} for P0 = I:
+        // with H = [1, 1], that's (I + 1s)^{-1}; spot-check via P' · (I + HᵀH) = I.
+        let mut p = Mat::<f64>::identity(2);
+        let h = [1.0, 1.0];
+        let mut ph = [0.0; 2];
+        gemv(&p, &h, &mut ph);
+        let denom = 1.0 + dot(&h, &ph);
+        let hp = ph;
+        p_downdate(&mut p, &ph, &hp, denom);
+        // M = I + HᵀH
+        let mut m = Mat::<f64>::identity(2);
+        ger(&mut m, 1.0, &h, &h);
+        let prod = p.matmul(&m);
+        assert!(prod.max_abs_diff(&Mat::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        let mut out = [0.0f32; 2];
+        sub(&[3.0, 1.0], &[1.0, 4.0], &mut out);
+        assert_eq!(out, [2.0, -3.0]);
+    }
+
+    #[test]
+    fn sigmoid_stable_and_correct() {
+        assert!((sigmoid(0.0f64) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0f64) <= 1.0);
+        assert!(sigmoid(-100.0f64) >= 0.0);
+        assert!(sigmoid(-100.0f64) < 1e-30);
+        let s = sigmoid(2.0f32);
+        assert!((s.to_f64() - 1.0 / (1.0 + (-2.0f64).exp())).abs() < 1e-6);
+        // Symmetry: σ(-x) = 1 - σ(x)
+        assert!((sigmoid(-1.3f64) - (1.0 - sigmoid(1.3f64))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemv")]
+    fn gemv_shape_mismatch_panics() {
+        let a = Mat::<f64>::zeros(2, 3);
+        let mut y = [0.0; 2];
+        gemv(&a, &[1.0, 2.0], &mut y);
+    }
+}

@@ -1,0 +1,114 @@
+//! Rayon-parallel kernels for tall-matrix passes.
+//!
+//! The sequential training loops are inherently serial (each update reads the
+//! previous state), but several *bulk* passes are embarrassingly parallel
+//! across rows: extracting the embedding (`μ·βᵀ`), scoring every node in the
+//! downstream classifier, and dense error sweeps. These helpers chunk rows
+//! across the rayon pool; per the Rayon guide, callers just see the same
+//! results as the sequential kernels.
+
+use crate::matrix::Mat;
+use crate::ops;
+use crate::scalar::Scalar;
+use rayon::prelude::*;
+
+/// Parallel `y = A·x` over the rows of a tall `A`.
+pub fn par_gemv<T: Scalar>(a: &Mat<T>, x: &[T], y: &mut [T]) {
+    assert_eq!(a.cols(), x.len(), "par_gemv: x length mismatch");
+    assert_eq!(a.rows(), y.len(), "par_gemv: y length mismatch");
+    let cols = a.cols();
+    y.par_iter_mut().enumerate().for_each(|(r, out)| {
+        let row = &a.as_slice()[r * cols..(r + 1) * cols];
+        *out = ops::dot(row, x);
+    });
+}
+
+/// Parallel row map: `out.row(r) = f(r, a.row(r))` for a fresh matrix of the
+/// same shape.
+pub fn par_row_map<T: Scalar>(a: &Mat<T>, f: impl Fn(usize, &[T], &mut [T]) + Sync) -> Mat<T> {
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut out = Mat::zeros(rows, cols);
+    out.as_mut_slice().par_chunks_mut(cols).enumerate().for_each(|(r, dst)| {
+        f(r, a.row(r), dst);
+    });
+    out
+}
+
+/// Parallel scaled transpose `out = s · Aᵀ`: the embedding-extraction step
+/// (`W_in = μ·βᵀ`, Section 3.1 of the paper) for tall `β` stored as `d×N`.
+pub fn par_scaled_transpose<T: Scalar>(a: &Mat<T>, s: T) -> Mat<T> {
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut out = Mat::zeros(cols, rows);
+    out.as_mut_slice().par_chunks_mut(rows).enumerate().for_each(|(c, dst)| {
+        for (r, d) in dst.iter_mut().enumerate() {
+            *d = s * a[(r, c)];
+        }
+    });
+    out
+}
+
+/// Parallel Frobenius-norm of the difference of two same-shape matrices;
+/// used by convergence diagnostics over full weight matrices.
+pub fn par_diff_norm<T: Scalar>(a: &Mat<T>, b: &Mat<T>) -> T {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "shape mismatch");
+    let sum: f64 = a
+        .as_slice()
+        .par_iter()
+        .zip(b.as_slice().par_iter())
+        .map(|(&x, &y)| {
+            let d = (x - y).to_f64();
+            d * d
+        })
+        .sum();
+    T::from_f64(sum.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_gemv_matches_serial() {
+        let a = Mat::from_fn(100, 17, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+        let x: Vec<f64> = (0..17).map(|i| i as f64 * 0.25 - 2.0).collect();
+        let mut y_par = vec![0.0; 100];
+        let mut y_ser = vec![0.0; 100];
+        par_gemv(&a, &x, &mut y_par);
+        ops::gemv(&a, &x, &mut y_ser);
+        assert_eq!(y_par, y_ser);
+    }
+
+    #[test]
+    fn par_row_map_applies_per_row() {
+        let a = Mat::from_fn(10, 3, |r, c| (r + c) as f32);
+        let out = par_row_map(&a, |_, src, dst| {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s * 2.0;
+            }
+        });
+        for r in 0..10 {
+            for c in 0..3 {
+                assert_eq!(out[(r, c)], a[(r, c)] * 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn par_scaled_transpose_matches_transpose() {
+        let a = Mat::from_fn(5, 8, |r, c| (r * 8 + c) as f64);
+        let out = par_scaled_transpose(&a, 0.5);
+        let expect = a.transpose();
+        for r in 0..8 {
+            for c in 0..5 {
+                assert_eq!(out[(r, c)], 0.5 * expect[(r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn par_diff_norm_matches_manual() {
+        let a = Mat::from_vec(1, 2, vec![1.0f64, 2.0]);
+        let b = Mat::from_vec(1, 2, vec![4.0f64, 6.0]);
+        assert!((par_diff_norm(&a, &b) - 5.0).abs() < 1e-12);
+    }
+}

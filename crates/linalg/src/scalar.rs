@@ -1,0 +1,128 @@
+//! Minimal floating-point abstraction so the same kernels serve the f32
+//! proposed model and the f64 baseline without a numeric-traits dependency.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar used by the matrix and vector kernels.
+pub trait Scalar:
+    Copy
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Whether the value is finite (not NaN/∞).
+    fn is_finite(self) -> bool;
+    /// Larger of two values (NaN-propagating like `f64::max` is fine here).
+    fn max_s(self, other: Self) -> Self;
+    /// Smaller of two values.
+    fn min_s(self, other: Self) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline]
+            fn max_s(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn min_s(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(x: f64) -> f64 {
+        T::from_f64(x).to_f64()
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(roundtrip::<f64>(1.25), 1.25);
+        assert_eq!(roundtrip::<f32>(1.25), 1.25);
+        assert_eq!(f32::ZERO, 0.0f32);
+        assert_eq!(f64::ONE, 1.0f64);
+    }
+
+    #[test]
+    fn math_helpers() {
+        assert_eq!((-2.0f32).abs(), 2.0);
+        assert_eq!(Scalar::sqrt(9.0f64), 3.0);
+        assert!(Scalar::is_finite(1.0f32));
+        assert!(!Scalar::is_finite(f64::NAN));
+        assert_eq!(Scalar::max_s(1.0f32, 2.0), 2.0);
+        assert_eq!(Scalar::min_s(1.0f64, 2.0), 1.0);
+    }
+}

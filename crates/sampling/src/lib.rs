@@ -1,0 +1,33 @@
+//! # seqge-sampling — node2vec walks and weighted sampling
+//!
+//! Everything between "a graph" and "a stream of training samples":
+//!
+//! * [`rng`] — a small, seeded, cross-platform-deterministic xoshiro256**
+//!   generator for the hot sampling loops (the walk kernel calls it several
+//!   times per step; determinism per seed is what makes the experiment
+//!   harness reproducible).
+//! * [`alias`] — Walker's alias method: O(n) table build, O(1) sampling.
+//!   The paper uses it for negative sampling and studies how often the table
+//!   should be rebuilt as the graph grows (Fig. 7).
+//! * [`walk`] — the second-order biased random walk of node2vec (Eq. 1–2:
+//!   return parameter `p`, in-out parameter `q`), plus a rejection-sampling
+//!   variant used as a baseline in the benches.
+//! * [`window`] — slicing a walk into (center, positives) training contexts.
+//! * [`corpus`] — walk accumulation and node-frequency bookkeeping.
+//! * [`negative`] — the negative-sampling table with its update policy.
+
+pub mod alias;
+pub mod corpus;
+pub mod negative;
+pub mod preprocessed;
+pub mod rng;
+pub mod walk;
+pub mod window;
+
+pub use alias::AliasTable;
+pub use corpus::{generate_corpus, WalkCorpus};
+pub use negative::{NegativeTable, UpdatePolicy};
+pub use preprocessed::PreprocessedWalker;
+pub use rng::Rng64;
+pub use walk::{Node2VecParams, StepStrategy, WalkGraph, Walker};
+pub use window::{contexts, Context};

@@ -1,0 +1,249 @@
+//! Negative sampling with a rebuildable Walker alias table.
+//!
+//! §3.1: negatives are drawn with frequency proportional to each node's
+//! appearance count in the walk corpus, via Walker's alias method. Because a
+//! table rebuild is O(#nodes), the paper studies how often to rebuild as the
+//! graph grows (Fig. 7: every 1 edge ≈ every 100 ≫ every 10 000 ≈ never).
+//! [`UpdatePolicy`] encodes that knob.
+
+use crate::alias::AliasTable;
+use crate::corpus::WalkCorpus;
+use crate::rng::Rng64;
+use seqge_graph::NodeId;
+
+/// How often the sampling table is rebuilt during sequential training,
+/// measured in inserted edges (Fig. 7's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum UpdatePolicy {
+    /// Rebuild after every `k` inserted edges (`k ≥ 1`).
+    EveryEdges(u64),
+    /// Never rebuild once first created ("no_change" in Fig. 7).
+    Never,
+}
+
+impl UpdatePolicy {
+    /// The paper's default: rebuild on every edge.
+    pub fn every_edge() -> Self {
+        UpdatePolicy::EveryEdges(1)
+    }
+}
+
+/// Negative-sampling table over the walk corpus's node frequencies.
+#[derive(Debug, Clone)]
+pub struct NegativeTable {
+    table: Option<AliasTable>,
+    policy: UpdatePolicy,
+    edges_since_rebuild: u64,
+    rebuilds: u64,
+    /// Smoothing exponent applied to appearance counts (word2vec uses 0.75;
+    /// the paper says only "depends on the number of appearances", i.e. 1.0 —
+    /// that is the default, and the exponent is exposed for the ablation).
+    exponent: f64,
+}
+
+impl NegativeTable {
+    /// Creates an empty table with the given rebuild policy and exponent 1.0.
+    pub fn new(policy: UpdatePolicy) -> Self {
+        if let UpdatePolicy::EveryEdges(k) = policy {
+            assert!(k >= 1, "rebuild period must be at least 1 edge");
+        }
+        NegativeTable { table: None, policy, edges_since_rebuild: 0, rebuilds: 0, exponent: 1.0 }
+    }
+
+    /// Sets the frequency-smoothing exponent (0.75 = word2vec convention).
+    pub fn with_exponent(mut self, exponent: f64) -> Self {
+        assert!(exponent > 0.0, "exponent must be positive");
+        self.exponent = exponent;
+        self
+    }
+
+    /// Unconditionally rebuilds from the corpus frequencies. No-op while the
+    /// corpus has no appearances yet.
+    pub fn rebuild(&mut self, corpus: &WalkCorpus) {
+        if corpus.total_appearances() == 0 {
+            return;
+        }
+        let weights: Vec<f64> = if (self.exponent - 1.0).abs() < f64::EPSILON {
+            corpus.frequency_weights()
+        } else {
+            corpus.frequency_weights().iter().map(|&w| w.powf(self.exponent)).collect()
+        };
+        self.table = Some(AliasTable::new(&weights));
+        self.edges_since_rebuild = 0;
+        self.rebuilds += 1;
+    }
+
+    /// Notifies the table that one edge was inserted; rebuilds if the policy
+    /// says so. Returns whether a rebuild happened.
+    pub fn on_edge_inserted(&mut self, corpus: &WalkCorpus) -> bool {
+        self.edges_since_rebuild += 1;
+        match self.policy {
+            UpdatePolicy::EveryEdges(k) if self.edges_since_rebuild >= k => {
+                self.rebuild(corpus);
+                true
+            }
+            // Never: build once on the first opportunity, then freeze.
+            UpdatePolicy::Never if self.table.is_none() => {
+                self.rebuild(corpus);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the table has been built at least once.
+    pub fn is_ready(&self) -> bool {
+        self.table.is_some()
+    }
+
+    /// Number of rebuilds so far (telemetry for the Fig. 7 harness).
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Draws one negative node, resampling while the draw collides with
+    /// `avoid` (the positive sample — word2vec's convention).
+    ///
+    /// # Panics
+    /// If the table has never been built.
+    pub fn sample(&self, avoid: NodeId, rng: &mut Rng64) -> NodeId {
+        let table = self.table.as_ref().expect("negative table not built yet");
+        // A collision-only table (single outcome == avoid) would spin; cap
+        // retries and accept the collision then, which only happens on
+        // degenerate 1-node corpora.
+        for _ in 0..64 {
+            let v = table.sample(rng) as NodeId;
+            if v != avoid {
+                return v;
+            }
+        }
+        table.sample(rng) as NodeId
+    }
+
+    /// Draws `k` negatives into `out` (cleared first).
+    pub fn sample_into(&self, k: usize, avoid: NodeId, rng: &mut Rng64, out: &mut Vec<NodeId>) {
+        out.clear();
+        for _ in 0..k {
+            out.push(self.sample(avoid, rng));
+        }
+    }
+
+    /// Table heap size in bytes (0 before first build) — counted into the
+    /// proposed model's footprint in Table 5.
+    pub fn heap_bytes(&self) -> usize {
+        self.table.as_ref().map_or(0, |t| t.heap_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus_with(counts: &[u64]) -> WalkCorpus {
+        let mut c = WalkCorpus::new(counts.len());
+        // Record synthetic walks producing exactly these counts.
+        for (node, &k) in counts.iter().enumerate() {
+            for _ in 0..k {
+                c.record(&[node as NodeId]);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn rebuild_then_sample_respects_frequencies() {
+        let corpus = corpus_with(&[0, 10, 30, 60]);
+        let mut t = NegativeTable::new(UpdatePolicy::every_edge());
+        t.rebuild(&corpus);
+        let mut rng = Rng64::seed_from_u64(0);
+        let mut counts = [0usize; 4];
+        for _ in 0..100_000 {
+            counts[t.sample(u32::MAX, &mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-frequency node drawn as negative");
+        let f3 = counts[3] as f64 / 100_000.0;
+        assert!((f3 - 0.6).abs() < 0.01, "freq {f3}");
+    }
+
+    #[test]
+    fn avoid_is_never_returned() {
+        let corpus = corpus_with(&[5, 5]);
+        let mut t = NegativeTable::new(UpdatePolicy::every_edge());
+        t.rebuild(&corpus);
+        let mut rng = Rng64::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_ne!(t.sample(1, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn policy_every_k_edges() {
+        let corpus = corpus_with(&[1, 1, 1]);
+        let mut t = NegativeTable::new(UpdatePolicy::EveryEdges(3));
+        assert!(!t.on_edge_inserted(&corpus));
+        assert!(!t.on_edge_inserted(&corpus));
+        assert!(t.on_edge_inserted(&corpus)); // third edge triggers
+        assert_eq!(t.rebuild_count(), 1);
+        assert!(!t.on_edge_inserted(&corpus));
+    }
+
+    #[test]
+    fn policy_never_builds_once() {
+        let corpus = corpus_with(&[1, 2]);
+        let mut t = NegativeTable::new(UpdatePolicy::Never);
+        assert!(t.on_edge_inserted(&corpus)); // first build
+        assert_eq!(t.rebuild_count(), 1);
+        for _ in 0..10 {
+            assert!(!t.on_edge_inserted(&corpus));
+        }
+        assert_eq!(t.rebuild_count(), 1);
+    }
+
+    #[test]
+    fn empty_corpus_defers_build() {
+        let corpus = WalkCorpus::new(3);
+        let mut t = NegativeTable::new(UpdatePolicy::every_edge());
+        t.rebuild(&corpus);
+        assert!(!t.is_ready());
+    }
+
+    #[test]
+    fn exponent_flattens_distribution() {
+        let corpus = corpus_with(&[10, 1000]);
+        let freq_of_hub = |exponent: f64| {
+            let mut t = NegativeTable::new(UpdatePolicy::every_edge()).with_exponent(exponent);
+            t.rebuild(&corpus);
+            let mut rng = Rng64::seed_from_u64(9);
+            let mut hub = 0usize;
+            for _ in 0..50_000 {
+                if t.sample(u32::MAX, &mut rng) == 1 {
+                    hub += 1;
+                }
+            }
+            hub as f64 / 50_000.0
+        };
+        let raw = freq_of_hub(1.0);
+        let smooth = freq_of_hub(0.75);
+        assert!(raw > smooth, "0.75 exponent should soften hub dominance ({raw} vs {smooth})");
+    }
+
+    #[test]
+    fn sample_into_fills_k() {
+        let corpus = corpus_with(&[3, 3, 3]);
+        let mut t = NegativeTable::new(UpdatePolicy::every_edge());
+        t.rebuild(&corpus);
+        let mut rng = Rng64::seed_from_u64(2);
+        let mut out = Vec::new();
+        t.sample_into(10, 0, &mut rng, &mut out);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|&v| v != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not built")]
+    fn sampling_before_build_panics() {
+        let t = NegativeTable::new(UpdatePolicy::Never);
+        let mut rng = Rng64::seed_from_u64(0);
+        t.sample(0, &mut rng);
+    }
+}

@@ -1,0 +1,235 @@
+//! Preprocessed second-order walking — the original node2vec
+//! implementation's strategy.
+//!
+//! Grover & Leskovec's reference code precomputes one alias table per
+//! *directed edge* `(t, u)`, over `u`'s neighbors with the `α_pq` biases
+//! baked in. Sampling a step is then O(1), at the cost of
+//! `O(Σ_(t,u) deg(u))` preprocessing time and memory — prohibitive for
+//! dense graphs (the paper's ampt/amcp would need gigabytes), which is why
+//! both this repo's default walker and FPGA walkers like LightRW sample
+//! on the fly. [`PreprocessedWalker`] implements the classic strategy with
+//! a memory budget: edges whose tables would blow the budget fall back to
+//! the on-the-fly kernel. The `walk` bench compares the two.
+
+use crate::alias::AliasTable;
+use crate::rng::Rng64;
+use crate::walk::{Node2VecParams, Walker};
+use seqge_graph::{Csr, NodeId};
+use std::collections::HashMap;
+
+/// Walker with per-edge alias tables (bounded by a memory budget).
+pub struct PreprocessedWalker {
+    params: Node2VecParams,
+    /// `(prev, cur) → alias table over cur's neighbor list`.
+    edge_tables: HashMap<(NodeId, NodeId), AliasTable>,
+    /// First-step tables (uniform-weight case handled by the fallback).
+    fallback: Walker,
+    /// Entries that fit the budget.
+    table_entries: usize,
+}
+
+impl PreprocessedWalker {
+    /// Builds tables for every directed edge until `budget_entries` total
+    /// alias entries are allocated; remaining edges use the on-the-fly
+    /// fallback. Returns the walker and the fraction of directed edges that
+    /// got a table.
+    pub fn build(csr: &Csr, params: Node2VecParams, budget_entries: usize) -> (Self, f64) {
+        params.validate().expect("invalid node2vec parameters");
+        let mut edge_tables = HashMap::new();
+        let mut used = 0usize;
+        let mut covered = 0usize;
+        let mut total = 0usize;
+        let mut weights: Vec<f64> = Vec::new();
+        for t in 0..csr.num_nodes() as NodeId {
+            for &u in csr.neighbors(t) {
+                total += 1;
+                let deg_u = csr.degree(u);
+                if used + deg_u > budget_entries {
+                    continue;
+                }
+                weights.clear();
+                let nbrs = csr.neighbors(u);
+                let wts = csr.weights(u);
+                for (&x, &w) in nbrs.iter().zip(wts) {
+                    let alpha = if x == t {
+                        1.0 / params.p
+                    } else if csr.has_edge(t, x) {
+                        1.0
+                    } else {
+                        1.0 / params.q
+                    };
+                    weights.push(alpha * w as f64);
+                }
+                edge_tables.insert((t, u), AliasTable::new(&weights));
+                used += deg_u;
+                covered += 1;
+            }
+        }
+        let coverage = if total == 0 { 1.0 } else { covered as f64 / total as f64 };
+        (
+            PreprocessedWalker {
+                params,
+                edge_tables,
+                fallback: Walker::new(params),
+                table_entries: used,
+            },
+            coverage,
+        )
+    }
+
+    /// Total alias entries allocated (memory proxy: ~8 bytes each).
+    pub fn table_entries(&self) -> usize {
+        self.table_entries
+    }
+
+    /// Approximate heap bytes of the preprocessed tables.
+    pub fn heap_bytes(&self) -> usize {
+        self.table_entries * 8 + self.edge_tables.len() * 48
+    }
+
+    /// One walk from `start` (same distribution as [`Walker::walk`]).
+    pub fn walk(&mut self, csr: &Csr, start: NodeId, rng: &mut Rng64) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.params.walk_length);
+        out.push(start);
+        if csr.degree(start) == 0 {
+            return out;
+        }
+        // First step: weighted by edge weight only — delegate.
+        let first = {
+            let mut w2 = self.fallback.walk(csr, start, rng);
+            debug_assert!(w2.len() >= 2);
+            w2.swap_remove(1)
+        };
+        out.push(first);
+        let mut prev = start;
+        let mut cur = first;
+        while out.len() < self.params.walk_length {
+            let next = match self.edge_tables.get(&(prev, cur)) {
+                Some(table) => csr.neighbors(cur)[table.sample(rng)],
+                None => {
+                    // Budget fallback: single on-the-fly biased step.
+                    self.fallback_step(csr, prev, cur, rng)
+                }
+            };
+            out.push(next);
+            prev = cur;
+            cur = next;
+        }
+        out
+    }
+
+    /// On-the-fly biased step (cumulative inversion), for edges without a
+    /// precomputed table.
+    fn fallback_step(&mut self, csr: &Csr, prev: NodeId, cur: NodeId, rng: &mut Rng64) -> NodeId {
+        // Reuse Walker by asking it for a two-node walk continuation: build
+        // the bias weights inline (same math as Walker::step_cumulative).
+        let nbrs = csr.neighbors(cur);
+        let wts = csr.weights(cur);
+        let mut acc = 0.0f64;
+        let mut cumulative = Vec::with_capacity(nbrs.len());
+        for (&x, &w) in nbrs.iter().zip(wts) {
+            let alpha = if x == prev {
+                1.0 / self.params.p
+            } else if csr.has_edge(prev, x) {
+                1.0
+            } else {
+                1.0 / self.params.q
+            };
+            acc += alpha * w as f64;
+            cumulative.push(acc);
+        }
+        let draw = rng.next_f64() * acc;
+        let idx = cumulative.partition_point(|&c| c <= draw).min(nbrs.len() - 1);
+        nbrs[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqge_graph::generators::classic::erdos_renyi;
+    use seqge_graph::Graph;
+
+    fn params() -> Node2VecParams {
+        Node2VecParams { p: 0.5, q: 2.0, walk_length: 30, walks_per_node: 1 }
+    }
+
+    #[test]
+    fn full_budget_covers_everything() {
+        let csr = erdos_renyi(40, 0.2, 1).to_csr();
+        let (w, coverage) = PreprocessedWalker::build(&csr, params(), usize::MAX);
+        assert_eq!(coverage, 1.0);
+        assert!(w.table_entries() > 0);
+    }
+
+    #[test]
+    fn zero_budget_covers_nothing_but_still_walks() {
+        let csr = erdos_renyi(40, 0.2, 2).to_csr();
+        let (mut w, coverage) = PreprocessedWalker::build(&csr, params(), 0);
+        assert_eq!(coverage, 0.0);
+        let mut rng = Rng64::seed_from_u64(1);
+        let walk = w.walk(&csr, 0, &mut rng);
+        assert_eq!(walk.len(), 30);
+        for pair in walk.windows(2) {
+            assert!(csr.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn walks_follow_edges_and_are_full_length() {
+        let csr = erdos_renyi(50, 0.15, 3).to_csr();
+        let (mut w, _) = PreprocessedWalker::build(&csr, params(), usize::MAX);
+        let mut rng = Rng64::seed_from_u64(5);
+        for start in [0u32, 10, 25] {
+            let walk = w.walk(&csr, start, &mut rng);
+            assert_eq!(walk[0], start);
+            assert_eq!(walk.len(), 30);
+            for pair in walk.windows(2) {
+                assert!(csr.has_edge(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_on_the_fly_distribution() {
+        // From a fixed (prev, cur) state, precomputed and fallback sampling
+        // must draw from the same distribution.
+        let mut g = Graph::with_nodes(5);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4)] {
+            g.add_edge(u, v).unwrap();
+        }
+        let csr = g.to_csr();
+        let (mut wp, _) = PreprocessedWalker::build(&csr, params(), usize::MAX);
+        let mut rng = Rng64::seed_from_u64(9);
+        let mut counts_pre = [0usize; 5];
+        let mut counts_fly = [0usize; 5];
+        for _ in 0..40_000 {
+            let table = wp.edge_tables.get(&(0, 1)).unwrap();
+            counts_pre[csr.neighbors(1)[table.sample(&mut rng)] as usize] += 1;
+            counts_fly[wp.fallback_step(&csr, 0, 1, &mut rng) as usize] += 1;
+        }
+        for i in 0..5 {
+            let a = counts_pre[i] as f64 / 40_000.0;
+            let b = counts_fly[i] as f64 / 40_000.0;
+            assert!((a - b).abs() < 0.012, "outcome {i}: {a:.3} vs {b:.3}");
+        }
+    }
+
+    #[test]
+    fn isolated_start_is_singleton() {
+        let g = Graph::with_nodes(3);
+        let csr = g.to_csr();
+        let (mut w, _) = PreprocessedWalker::build(&csr, params(), usize::MAX);
+        let mut rng = Rng64::seed_from_u64(0);
+        assert_eq!(w.walk(&csr, 1, &mut rng), vec![1]);
+    }
+
+    #[test]
+    fn memory_grows_with_density() {
+        let sparse = erdos_renyi(60, 0.05, 4).to_csr();
+        let dense = erdos_renyi(60, 0.3, 4).to_csr();
+        let (ws, _) = PreprocessedWalker::build(&sparse, params(), usize::MAX);
+        let (wd, _) = PreprocessedWalker::build(&dense, params(), usize::MAX);
+        assert!(wd.heap_bytes() > ws.heap_bytes() * 4, "quadratic blowup with density");
+    }
+}

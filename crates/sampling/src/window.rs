@@ -1,0 +1,112 @@
+//! Slicing a random walk into training contexts.
+//!
+//! The paper trains `l − w + 1` contexts per walk (§4.2: 73 iterations for
+//! `l = 80, w = 8`): context `i` covers the window `RW[i..i+w]`, with
+//! `RW[i]` as the center node and the following `w − 1` nodes as positive
+//! samples. Walks shorter than `w` yield proportionally shorter contexts
+//! (down to a single positive); isolated-node walks yield nothing.
+
+use seqge_graph::NodeId;
+
+/// One training context: a center node and its positive samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Context {
+    /// The center (input) node.
+    pub center: NodeId,
+    /// Positive (output) nodes from the same window.
+    pub positives: Vec<NodeId>,
+}
+
+/// Produces the contexts of `walk` for window size `w` (`w ≥ 2`).
+pub fn contexts(walk: &[NodeId], w: usize) -> Vec<Context> {
+    assert!(w >= 2, "window must cover a center and at least one positive");
+    if walk.len() < 2 {
+        return Vec::new();
+    }
+    let count = walk.len().saturating_sub(w) + 1;
+    let mut out = Vec::with_capacity(count);
+    for i in 0..walk.len() - 1 {
+        let end = (i + w).min(walk.len());
+        if end - i < 2 {
+            break;
+        }
+        // Full windows only, except truncated tail windows are *not* emitted:
+        // the paper's iteration count (l − w + 1) implies the window always
+        // fits. Tail positions beyond l − w would duplicate training pairs.
+        if i + w > walk.len() {
+            break;
+        }
+        out.push(Context { center: walk[i], positives: walk[i + 1..end].to_vec() });
+    }
+    // Short walks (< w) still produce their single truncated context so that
+    // sequential training on sparse initial forests sees every edge.
+    if out.is_empty() && walk.len() >= 2 {
+        out.push(Context { center: walk[0], positives: walk[1..].to_vec() });
+    }
+    out
+}
+
+/// Total number of (center, positive) training pairs across contexts.
+pub fn pair_count(ctxs: &[Context]) -> usize {
+    ctxs.iter().map(|c| c.positives.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_73_contexts() {
+        let walk: Vec<NodeId> = (0..80).collect();
+        let ctxs = contexts(&walk, 8);
+        assert_eq!(ctxs.len(), 73, "l=80, w=8 must give 73 contexts (paper §4.2)");
+        assert_eq!(ctxs[0].center, 0);
+        assert_eq!(ctxs[0].positives, (1..8).collect::<Vec<_>>());
+        assert_eq!(ctxs[72].center, 72);
+        assert_eq!(ctxs[72].positives, (73..80).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_context_has_w_minus_1_positives() {
+        let walk: Vec<NodeId> = (0..20).collect();
+        for c in contexts(&walk, 5) {
+            assert_eq!(c.positives.len(), 4);
+        }
+    }
+
+    #[test]
+    fn short_walk_gets_truncated_context() {
+        let walk: Vec<NodeId> = vec![3, 7, 9];
+        let ctxs = contexts(&walk, 8);
+        assert_eq!(ctxs.len(), 1);
+        assert_eq!(ctxs[0].center, 3);
+        assert_eq!(ctxs[0].positives, vec![7, 9]);
+    }
+
+    #[test]
+    fn singleton_walk_gives_nothing() {
+        assert!(contexts(&[5], 8).is_empty());
+        assert!(contexts(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn exact_window_length_walk() {
+        let walk: Vec<NodeId> = (0..8).collect();
+        let ctxs = contexts(&walk, 8);
+        assert_eq!(ctxs.len(), 1);
+        assert_eq!(ctxs[0].positives.len(), 7);
+    }
+
+    #[test]
+    fn pair_count_sums() {
+        let walk: Vec<NodeId> = (0..80).collect();
+        let ctxs = contexts(&walk, 8);
+        assert_eq!(pair_count(&ctxs), 73 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn window_of_one_panics() {
+        contexts(&[0, 1, 2], 1);
+    }
+}

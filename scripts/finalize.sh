@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Final verification pass: full test suite + benches, logs tee'd to the repo
+# root as required.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cargo test --workspace --release 2>&1 | tee /root/repo/test_output.txt
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+echo FINALIZE-DONE

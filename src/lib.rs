@@ -1,0 +1,21 @@
+//! # seqge — Sequential Graph Embedding, reproduced in Rust
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! guided tour and `examples/` for runnable entry points.
+//!
+//! * [`graph`] — dynamic graphs, CSR snapshots, synthetic labelled datasets.
+//! * [`sampling`] — node2vec random walks, Walker alias tables, negative sampling.
+//! * [`linalg`] — small dense linear algebra for the OS-ELM updates.
+//! * [`fixed`] — Q-format fixed-point arithmetic (the FPGA's number format).
+//! * [`core`] — the paper's models: SGD skip-gram baseline, OS-ELM skip-gram
+//!   (Algorithm 1), and the dataflow-optimized variant (Algorithm 2).
+//! * [`fpga`] — cycle-approximate simulator of the ZCU104 accelerator.
+//! * [`eval`] — one-vs-rest logistic regression and F1 scoring.
+
+pub use seqge_core as core;
+pub use seqge_eval as eval;
+pub use seqge_fixed as fixed;
+pub use seqge_fpga as fpga;
+pub use seqge_graph as graph;
+pub use seqge_linalg as linalg;
+pub use seqge_sampling as sampling;

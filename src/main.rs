@@ -1,0 +1,252 @@
+//! `seqge` — command-line front end.
+//!
+//! ```text
+//! seqge generate --dataset cora --scale 0.3 --out graph.edges
+//! seqge train    --graph graph.edges --dim 32 --model oselm --out model.sge --emb emb.bin
+//! seqge train    --graph graph.edges --seq --dim 32 --model skipgram --emb emb.bin
+//! seqge eval     --graph graph.edges --emb emb.bin
+//! seqge simulate --dim 64
+//! ```
+//!
+//! Thin orchestration over the library crates; every flag maps to a public
+//! API call, so the CLI doubles as living documentation.
+
+use seqge::core::model::EmbeddingModel;
+use seqge::core::{
+    persist, train_all_scenario, train_seq_scenario, OsElmConfig, OsElmSkipGram, SkipGram,
+    TrainConfig,
+};
+use seqge::eval::{evaluate_embedding, EvalConfig, EdgeOp, LinkPredSet};
+use seqge::fpga::{estimate_resources, AcceleratorDesign, FpgaDevice, TimingModel};
+use seqge::graph::{io as graph_io, Dataset, Graph};
+use seqge::sampling::UpdatePolicy;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train" => cmd_train(&flags),
+        "eval" => cmd_eval(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "seqge — sequential graph embedding (node2vec + OS-ELM)
+
+commands:
+  generate --dataset cora|ampt|amcp [--scale f] [--seed n] --out FILE
+  train    --graph FILE [--model oselm|skipgram] [--dim n] [--seq]
+           [--mu f] [--forgetting f] [--seed n] [--out MODEL] [--emb FILE] [--tsv FILE]
+  eval     --graph FILE --emb FILE [--linkpred] [--seed n]
+  simulate [--dim n]";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+    let mut flags = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{flag}`"));
+        };
+        // Boolean flags have no value.
+        if matches!(key, "seq" | "linkpred") {
+            flags.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn require<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("--{key} is required"))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let dataset = match require(flags, "dataset")? {
+        "cora" => Dataset::Cora,
+        "ampt" => Dataset::AmazonPhoto,
+        "amcp" => Dataset::AmazonComputers,
+        other => return Err(format!("unknown dataset `{other}`")),
+    };
+    let scale: f64 = get(flags, "scale", 1.0)?;
+    let seed: u64 = get(flags, "seed", 42)?;
+    let out = require(flags, "out")?;
+    let g = if scale >= 1.0 { dataset.generate(seed) } else { dataset.generate_scaled(scale, seed) };
+    graph_io::save_graph(&g, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges, {} classes)",
+        out,
+        g.num_nodes(),
+        g.num_edges(),
+        g.num_classes()
+    );
+    Ok(())
+}
+
+fn load(flags: &Flags) -> Result<Graph, String> {
+    graph_io::load_graph(require(flags, "graph")?).map_err(|e| e.to_string())
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let g = load(flags)?;
+    let dim: usize = get(flags, "dim", 32)?;
+    let seed: u64 = get(flags, "seed", 42)?;
+    let seq = flags.contains_key("seq");
+    let model_kind = flags.get("model").map(String::as_str).unwrap_or("oselm");
+    let mut cfg = TrainConfig::paper_defaults(dim);
+    cfg.model.seed = seed;
+
+    let start = std::time::Instant::now();
+    let embedding = match model_kind {
+        "oselm" => {
+            let ocfg = OsElmConfig {
+                model: cfg.model,
+                mu: get(flags, "mu", 0.05f32)?,
+                forgetting: get(flags, "forgetting", 1.0f32)?,
+                ..OsElmConfig::paper_defaults(dim)
+            };
+            let mut m = OsElmSkipGram::new(g.num_nodes(), ocfg);
+            if seq {
+                let (_, outcome) =
+                    train_seq_scenario(&g, &mut m, &cfg, UpdatePolicy::every_edge(), seed, 1.0);
+                println!(
+                    "sequential: {} edges replayed, {} walks trained, {} table rebuilds",
+                    outcome.edges_inserted, outcome.walks_trained, outcome.table_rebuilds
+                );
+            } else {
+                train_all_scenario(&g, &mut m, &cfg, seed);
+            }
+            if let Some(path) = flags.get("out") {
+                persist::save_oselm(&m, path).map_err(|e| e.to_string())?;
+                println!("model checkpoint written to {path}");
+            }
+            m.embedding()
+        }
+        "skipgram" => {
+            let mut m = SkipGram::new(g.num_nodes(), cfg.model);
+            if seq {
+                let (_, outcome) =
+                    train_seq_scenario(&g, &mut m, &cfg, UpdatePolicy::every_edge(), seed, 1.0);
+                println!(
+                    "sequential: {} edges replayed, {} walks trained",
+                    outcome.edges_inserted, outcome.walks_trained
+                );
+            } else {
+                train_all_scenario(&g, &mut m, &cfg, seed);
+            }
+            if flags.contains_key("out") {
+                return Err("--out checkpoints are only supported for --model oselm".into());
+            }
+            m.embedding()
+        }
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    println!(
+        "trained {model_kind} d={dim} on {} nodes in {:.1}s",
+        g.num_nodes(),
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(path) = flags.get("emb") {
+        let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        persist::write_embedding(&embedding, f).map_err(|e| e.to_string())?;
+        println!("embedding written to {path}");
+    }
+    if let Some(path) = flags.get("tsv") {
+        let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        persist::write_embedding_tsv(&embedding, f).map_err(|e| e.to_string())?;
+        println!("embedding TSV written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> Result<(), String> {
+    let g = load(flags)?;
+    let emb_path = require(flags, "emb")?;
+    let f = std::fs::File::open(emb_path).map_err(|e| e.to_string())?;
+    let emb = persist::read_embedding(f).map_err(|e| e.to_string())?;
+    if emb.rows() != g.num_nodes() {
+        return Err(format!(
+            "embedding has {} rows but the graph has {} nodes",
+            emb.rows(),
+            g.num_nodes()
+        ));
+    }
+    let seed: u64 = get(flags, "seed", 1)?;
+    if let Some(labels) = g.labels() {
+        let r = evaluate_embedding(&emb, labels, g.num_classes(), &EvalConfig::default(), seed);
+        println!(
+            "classification (paper §4.3 protocol): micro-F1 {:.4} ± {:.4}, macro-F1 {:.4} ({} trials)",
+            r.micro_f1, r.micro_std, r.macro_f1, r.trials
+        );
+    } else {
+        println!("graph has no labels; skipping classification");
+    }
+    if flags.contains_key("linkpred") {
+        let set = LinkPredSet::sample(&g, 0.1, seed);
+        for op in [EdgeOp::Dot, EdgeOp::Cosine, EdgeOp::NegL2] {
+            println!("link prediction AUC ({op:?}): {:.4}", set.auc(&emb, op));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let dim: usize = get(flags, "dim", 32)?;
+    let design = AcceleratorDesign::for_dim(dim);
+    let est = estimate_resources(&design);
+    let util = est.utilization(&FpgaDevice::XCZU7EV);
+    let timing = TimingModel::default();
+    println!("accelerator build d={dim} @ {} MHz on {}:", design.clock_mhz, FpgaDevice::XCZU7EV.name);
+    println!(
+        "  BRAM {:>4} ({:5.2}%)   DSP {:>4} ({:5.2}%)",
+        est.bram36, util.bram_pct, est.dsp, util.dsp_pct
+    );
+    println!(
+        "  FF {:>6} ({:5.2}%)   LUT {:>6} ({:5.2}%){}",
+        est.ff,
+        util.ff_pct,
+        est.lut,
+        util.lut_pct,
+        if est.calibrated { "   [calibrated to paper Table 6]" } else { "   [interpolated]" }
+    );
+    println!(
+        "  one paper-protocol walk (73 contexts, 77 samples): {:.3} ms",
+        timing.paper_walk_millis(dim)
+    );
+    Ok(())
+}

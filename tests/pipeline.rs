@@ -1,0 +1,63 @@
+//! End-to-end integration: synthetic dataset → walks → training → F1.
+//!
+//! These tests exercise the whole stack at reduced scale and assert the
+//! paper's *qualitative* claims (an informative embedding emerges; the
+//! proposed model trains sequentially without collapsing).
+
+use seqge::core::{
+    train_all_scenario, EmbeddingModel, OsElmConfig, OsElmSkipGram, SkipGram, TrainConfig,
+};
+use seqge::eval::{evaluate_embedding, EvalConfig};
+use seqge::graph::Dataset;
+
+fn small_cfg(dim: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::paper_defaults(dim);
+    cfg.walk.walk_length = 40;
+    cfg.walk.walks_per_node = 5;
+    cfg.model.negative_samples = 5;
+    cfg
+}
+
+fn eval_cfg() -> EvalConfig {
+    EvalConfig {
+        trials: 2,
+        logreg: seqge::eval::LogRegConfig { epochs: 40, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn oselm_embedding_recovers_communities() {
+    let g = Dataset::Cora.generate_scaled(0.15, 1); // ~400 nodes, 7 classes
+    let cfg = small_cfg(32);
+    let mut model = OsElmSkipGram::new(
+        g.num_nodes(),
+        OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(32) },
+    );
+    train_all_scenario(&g, &mut model, &cfg, 7);
+    let emb = model.embedding();
+    let labels = g.labels().unwrap();
+    let r = evaluate_embedding(&emb, labels, g.num_classes(), &eval_cfg(), 1);
+    // Chance on 7 near-equal classes ≈ 0.14; community structure must be
+    // clearly recovered.
+    assert!(
+        r.micro_f1 > 0.4,
+        "OS-ELM embedding should recover planted communities, got {:.3}",
+        r.micro_f1
+    );
+}
+
+#[test]
+fn skipgram_embedding_recovers_communities() {
+    let g = Dataset::Cora.generate_scaled(0.15, 1);
+    let cfg = small_cfg(32);
+    let mut model = SkipGram::new(g.num_nodes(), cfg.model);
+    train_all_scenario(&g, &mut model, &cfg, 7);
+    let labels = g.labels().unwrap();
+    let r = evaluate_embedding(&model.embedding(), labels, g.num_classes(), &eval_cfg(), 1);
+    assert!(
+        r.micro_f1 > 0.4,
+        "SGD skip-gram should recover planted communities, got {:.3}",
+        r.micro_f1
+    );
+}
