@@ -17,13 +17,7 @@ fn bench_parallel(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(shards), |b| {
             b.iter(|| {
                 let mut m = SkipGram::new(g.num_nodes(), cfg.model);
-                train_all_parallel(
-                    &g,
-                    &mut m,
-                    &cfg,
-                    &ParallelConfig { shards, sync_every: 64 },
-                    9,
-                )
+                train_all_parallel(&g, &mut m, &cfg, &ParallelConfig { shards, sync_every: 64 }, 9)
             });
         });
     }

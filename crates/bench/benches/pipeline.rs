@@ -1,0 +1,60 @@
+//! End-to-end corpus+train throughput: the serial generate-then-train
+//! loop vs the overlapped walker/trainer pipeline, at the paper's three
+//! embedding dimensions.
+//!
+//! Both arms measure the full scenario — walk generation, negative-table
+//! build, and OS-ELM training — so the pipeline's overlap (and its
+//! channel overhead, on single-core boxes) shows up as wall-clock.
+//! `results/bench_pipeline.json` (emitted by the `table3` binary) records
+//! the same comparison plus the unvectorized-kernel reference baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqge_core::{
+    train_all_pipelined, train_all_scenario, OsElmConfig, OsElmSkipGram, TrainConfig,
+};
+use seqge_graph::Dataset;
+
+/// Walker threads for the pipelined arm (the determinism contract makes
+/// the trained model identical for any value; 2 demonstrates overlap
+/// wherever a second core exists).
+const PIPELINE_THREADS: usize = 2;
+
+fn scenario_cfg(dim: usize) -> TrainConfig {
+    let mut cfg = TrainConfig::paper_defaults(dim);
+    // Shorter corpus than the paper protocol so a bench iteration stays
+    // sub-second; the gen/train cost ratio is preserved.
+    cfg.walk.walk_length = 40;
+    cfg.walk.walks_per_node = 2;
+    cfg
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let graph = Dataset::Cora.generate_scaled(0.1, 1);
+    let n = graph.num_nodes();
+
+    let mut group = c.benchmark_group("corpus_train");
+    group.sample_size(10);
+    for &dim in &[32usize, 64, 96] {
+        let cfg = scenario_cfg(dim);
+        let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+
+        group.bench_function(BenchmarkId::new("serial", dim), |b| {
+            b.iter(|| {
+                let mut m = OsElmSkipGram::new(n, ocfg);
+                train_all_scenario(&graph, &mut m, &cfg, 7);
+                m
+            });
+        });
+        group.bench_function(BenchmarkId::new("pipelined", dim), |b| {
+            b.iter(|| {
+                let mut m = OsElmSkipGram::new(n, ocfg);
+                let outcome = train_all_pipelined(&graph, &mut m, &cfg, 7, PIPELINE_THREADS);
+                (m, outcome)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

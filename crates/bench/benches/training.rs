@@ -1,14 +1,15 @@
 //! Per-walk training-kernel throughput: every model × the paper's three
-//! embedding dimensions (the microbenchmark behind Tables 3/4).
+//! embedding dimensions (the microbenchmark behind Tables 3/4), plus the
+//! linalg inner kernels the models are built from — fused vs multi-pass
+//! `P` maintenance and unrolled vs sequential-fold dot.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use seqge_bench::prepared_walks;
 use seqge_core::model::EmbeddingModel;
-use seqge_core::{
-    AlphaOsElm, DataflowOsElm, OsElmConfig, OsElmSkipGram, SkipGram, TrainConfig,
-};
+use seqge_core::{AlphaOsElm, DataflowOsElm, OsElmConfig, OsElmSkipGram, SkipGram, TrainConfig};
 use seqge_fpga::Accelerator;
 use seqge_graph::Dataset;
+use seqge_linalg::{ops, Mat};
 use seqge_sampling::Rng64;
 
 fn bench_training(c: &mut Criterion) {
@@ -44,5 +45,54 @@ fn bench_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training);
+/// The EW-RLS `P` maintenance sweep: the fused single-pass kernel vs the
+/// multi-pass downdate → inflate → trace-cap → symmetrize sequence it
+/// replaced, at the paper's three dimensions.
+fn bench_p_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p_maintenance");
+    for &dim in &[32usize, 64, 96] {
+        let p0 = Mat::from_fn(dim, dim, |r, c| {
+            let (lo, hi) = (r.min(c), r.max(c));
+            if r == c {
+                5.0f32
+            } else {
+                0.1 * ((lo * dim + hi) as f32 * 0.7).sin()
+            }
+        });
+        let ph: Vec<f32> = (0..dim).map(|i| ((i + 1) as f32 * 0.37).sin()).collect();
+        let cap = 10.0 * dim as f32;
+        group.bench_function(BenchmarkId::new("fused", dim), |b| {
+            let mut p = p0.clone();
+            b.iter(|| {
+                ops::p_downdate_forget(&mut p, black_box(&ph), 1.37, 1.0 / 0.98, cap);
+            });
+        });
+        group.bench_function(BenchmarkId::new("multipass", dim), |b| {
+            let mut p = p0.clone();
+            b.iter(|| {
+                ops::p_downdate_forget_ref(&mut p, black_box(&ph), 1.37, 1.0 / 0.98, cap);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Unrolled 4-accumulator dot vs the sequential fold it replaced — the
+/// single hottest operation of the sample stage (one dot per sample).
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    for &dim in &[32usize, 64, 96] {
+        let x: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).sin()).collect();
+        let y: Vec<f32> = (0..dim).map(|i| (i as f32 * 1.3).cos()).collect();
+        group.bench_function(BenchmarkId::new("unrolled", dim), |b| {
+            b.iter(|| ops::dot(black_box(&x), black_box(&y)));
+        });
+        group.bench_function(BenchmarkId::new("sequential", dim), |b| {
+            b.iter(|| ops::dot_ref(black_box(&x), black_box(&y)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_p_maintenance, bench_dot);
 criterion_main!(benches);

@@ -43,10 +43,7 @@ impl Args {
             match flag.as_str() {
                 "--scale" => {
                     args.scale = take("--scale").parse().expect("--scale expects a float");
-                    assert!(
-                        args.scale > 0.0 && args.scale <= 1.0,
-                        "--scale must be in (0, 1]"
-                    );
+                    assert!(args.scale > 0.0 && args.scale <= 1.0, "--scale must be in (0, 1]");
                 }
                 "--json" => args.json = Some(PathBuf::from(take("--json"))),
                 "--dims" => {

@@ -25,11 +25,7 @@ fn main() {
     let args = Args::parse(1.0);
     banner("Ablation — arrival order × forgetting factor (d=32, synthetic SBM)", args.scale);
     let dim = 32;
-    let params = SbmParams::new(
-        (1200.0 * args.scale) as usize,
-        (4800.0 * args.scale) as usize,
-        6,
-    );
+    let params = SbmParams::new((1200.0 * args.scale) as usize, (4800.0 * args.scale) as usize, 6);
     let tg = TimestampedGraph::generate(params, 0.1, args.seed); // strongly phased
     let labels = tg.graph.labels().expect("labelled").to_vec();
     let classes = tg.graph.num_classes();
@@ -46,7 +42,8 @@ fn main() {
     let cfg = TrainConfig::paper_defaults(dim);
     let ecfg = EvalConfig::default();
 
-    let cases: Vec<(&str, Vec<(u32, u32)>, f32)> = vec![
+    type Case = (&'static str, Vec<(u32, u32)>, f32);
+    let cases: Vec<Case> = vec![
         ("uniform order, λ=1.0", uniform_order.edges().to_vec(), 1.0),
         ("uniform order, λ=0.9995", uniform_order.edges().to_vec(), 0.9995),
         ("drift order,   λ=1.0", drift_order.clone(), 1.0),
@@ -56,11 +53,8 @@ fn main() {
     let results: Vec<(String, f64, usize)> = cases
         .into_par_iter()
         .map(|(name, order, forgetting)| {
-            let ocfg = OsElmConfig {
-                model: cfg.model,
-                forgetting,
-                ..OsElmConfig::paper_defaults(dim)
-            };
+            let ocfg =
+                OsElmConfig { model: cfg.model, forgetting, ..OsElmConfig::paper_defaults(dim) };
             let mut m = OsElmSkipGram::new(n, ocfg);
             let (_, outcome) = train_stream_scenario(
                 n,

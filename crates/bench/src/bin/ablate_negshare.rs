@@ -29,14 +29,14 @@ fn main() {
     let n = prep.graph.num_nodes();
     let ecfg = EvalConfig::default();
 
-    let mut t = TextTable::new([
-        "negative mode", "F1", "walk time ms", "tile hit rate", "dram fetches",
-    ]);
+    let mut t =
+        TextTable::new(["negative mode", "F1", "walk time ms", "tile hit rate", "dram fetches"]);
     let mut json_rows = Vec::new();
 
-    for (name, mode) in
-        [("fresh per positive", NegativeMode::PerPosition), ("shared per walk", NegativeMode::PerWalk)]
-    {
+    for (name, mode) in [
+        ("fresh per positive", NegativeMode::PerPosition),
+        ("shared per walk", NegativeMode::PerWalk),
+    ] {
         let mut ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
         ocfg.model.negative_mode = mode;
 
@@ -52,8 +52,7 @@ fn main() {
         let mut m2 = OsElmSkipGram::new(n, ocfg);
         let mut rng2 = Rng64::seed_from_u64(args.seed);
         let walks: Vec<_> = prep.walks.iter().take(300).cloned().collect();
-        let t_walk =
-            time_walk_training(&mut m2, &walks, &prep.table, &mut rng2, 0.5) * 1e3;
+        let t_walk = time_walk_training(&mut m2, &walks, &prep.table, &mut rng2, 0.5) * 1e3;
 
         // Tile traffic on the simulated accelerator. Note: the accelerator
         // constructor forces PerWalk (the hardware design); for the fresh

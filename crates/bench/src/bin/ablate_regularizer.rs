@@ -33,13 +33,9 @@ fn main() {
     let mut json_rows = Vec::new();
 
     let mut t = TextTable::new(["denominator", "F1", "finite", "clamped updates"]);
-    for (name, regularized) in [("1 + HPH^T (standard)", true), ("HPH^T (paper-literal)", false)]
-    {
-        let ocfg = OsElmConfig {
-            model: cfg.model,
-            regularized,
-            ..OsElmConfig::paper_defaults(dim)
-        };
+    for (name, regularized) in [("1 + HPH^T (standard)", true), ("HPH^T (paper-literal)", false)] {
+        let ocfg =
+            OsElmConfig { model: cfg.model, regularized, ..OsElmConfig::paper_defaults(dim) };
         let mut m = OsElmSkipGram::new(n, ocfg);
         let mut rng = Rng64::seed_from_u64(args.seed);
         for w in &prep.walks {

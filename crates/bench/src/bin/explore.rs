@@ -18,7 +18,13 @@ fn main() {
     for &dim in &args.dims {
         println!("d = {dim}:");
         let mut t = TextTable::new([
-            "device", "best lanes", "port B/cyc", "DSP", "BRAM", "walk ms", "vs paper build",
+            "device",
+            "best lanes",
+            "port B/cyc",
+            "DSP",
+            "BRAM",
+            "walk ms",
+            "vs paper build",
         ]);
         let paper_ms = seqge_fpga::TimingModel::default().paper_walk_millis(dim);
         for dev in &devices {
@@ -38,7 +44,15 @@ fn main() {
                     }));
                 }
                 None => {
-                    t.row([dev.name.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "infeasible".into()]);
+                    t.row([
+                        dev.name.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "infeasible".into(),
+                    ]);
                 }
             }
         }

@@ -9,8 +9,8 @@
 use rayon::prelude::*;
 use seqge_bench::{banner, write_json, Args};
 use seqge_core::{
-    train_all_scenario, train_seq_scenario, EmbeddingModel, OsElmConfig, OsElmSkipGram,
-    SkipGram, TrainConfig,
+    train_all_scenario, train_seq_scenario, EmbeddingModel, OsElmConfig, OsElmSkipGram, SkipGram,
+    TrainConfig,
 };
 use seqge_eval::{evaluate_embedding, EvalConfig, EvalResult};
 use seqge_fpga::report::TextTable;
@@ -49,11 +49,8 @@ fn main() {
             let labels = g.labels().expect("labelled").to_vec();
             let classes = g.num_classes();
             let n = g.num_nodes();
-            let ocfg = OsElmConfig {
-                model: cfg.model,
-                forgetting,
-                ..OsElmConfig::paper_defaults(dim)
-            };
+            let ocfg =
+                OsElmConfig { model: cfg.model, forgetting, ..OsElmConfig::paper_defaults(dim) };
             let ecfg = EvalConfig::default();
             let eval = |emb: &seqge_linalg::Mat<f32>| -> EvalResult {
                 evaluate_embedding(emb, &labels, classes, &ecfg, args.seed)
@@ -95,8 +92,14 @@ fn main() {
         .collect();
 
     let mut t = TextTable::new([
-        "dataset", "d", "Original all", "Original seq", "Proposed all", "Proposed seq",
-        "orig drop", "prop gain",
+        "dataset",
+        "d",
+        "Original all",
+        "Original seq",
+        "Proposed all",
+        "Proposed seq",
+        "orig drop",
+        "prop gain",
     ]);
     let mut json_rows = Vec::new();
     for &(ds, dim, oa, os, pa, ps) in &results {

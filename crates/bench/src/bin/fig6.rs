@@ -51,8 +51,7 @@ fn main() {
                     for w in &prep.walks {
                         m.train_walk(w, &prep.table, &mut rng);
                     }
-                    let f =
-                        evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed);
+                    let f = evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed);
                     (mu, f.micro_f1)
                 })
                 .collect();
@@ -65,8 +64,7 @@ fn main() {
                 alpha.train_walk(w, &prep.table, &mut rng);
             }
             let emb = alpha_embedding(&alpha, source);
-            let alpha_f1 =
-                evaluate_embedding(&emb, &labels, classes, &ecfg, args.seed).micro_f1;
+            let alpha_f1 = evaluate_embedding(&emb, &labels, classes, &ecfg, args.seed).micro_f1;
 
             (ds, mu_scores, alpha_f1)
         })

@@ -49,21 +49,9 @@ fn main() {
                 .par_iter()
                 .map(|(name, policy)| {
                     let mut m = OsElmSkipGram::new(g.num_nodes(), ocfg);
-                    let (_, outcome) = train_seq_scenario(
-                        &g,
-                        &mut m,
-                        &cfg,
-                        *policy,
-                        args.seed,
-                        edge_fraction,
-                    );
-                    let f = evaluate_embedding(
-                        &m.embedding(),
-                        &labels,
-                        classes,
-                        &ecfg,
-                        args.seed,
-                    );
+                    let (_, outcome) =
+                        train_seq_scenario(&g, &mut m, &cfg, *policy, args.seed, edge_fraction);
+                    let f = evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed);
                     (name.clone(), f.micro_f1, outcome.table_rebuilds)
                 })
                 .collect();

@@ -46,8 +46,8 @@ fn main() {
             let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
             let mut m = OsElmSkipGram::new(g.num_nodes(), ocfg);
             train_all_scenario(&g, &mut m, &cfg, args.seed);
-            let f1 = evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed)
-                .micro_f1;
+            let f1 =
+                evaluate_embedding(&m.embedding(), &labels, classes, &ecfg, args.seed).micro_f1;
             // Modeled FPGA cost of one walk at these knobs.
             let contexts = l.saturating_sub(cfg.model.window) + 1;
             let samples = (cfg.model.window - 1) * (ns + 1);

@@ -13,9 +13,8 @@ fn main() {
     let args = Args::parse(1.0);
     banner("Table 1 (datasets) & Table 2 (hyper-parameters)", args.scale);
 
-    let mut t = TextTable::new([
-        "dataset", "nodes", "edges", "classes", "avg deg", "max deg", "homophily",
-    ]);
+    let mut t =
+        TextTable::new(["dataset", "nodes", "edges", "classes", "avg deg", "max deg", "homophily"]);
     let mut json_rows = Vec::new();
     for ds in Dataset::ALL {
         let spec = ds.spec();

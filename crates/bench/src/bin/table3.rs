@@ -14,13 +14,21 @@
 //! The claim to check is the *shape*: proposed-CPU ≥ original-CPU, FPGA
 //! far ahead of the embedded CPU, and the FPGA advantage growing with the
 //! embedding dimension.
+//!
+//! A second section records host-pipeline throughput (serial vs overlapped
+//! walk-generation/training, and both vs the pre-vectorization reference
+//! kernels) into `results/bench_pipeline.json`.
 
 use seqge_bench::{banner, prepared_walks, time_walk_training, write_json, Args};
-use seqge_core::{OsElmConfig, OsElmSkipGram, SkipGram, TrainConfig};
+use seqge_core::{
+    train_all_pipelined, train_all_scenario, OsElmConfig, OsElmSkipGram, SkipGram, TrainConfig,
+};
 use seqge_fpga::report::{ms, speedup, TextTable};
 use seqge_fpga::TimingModel;
 use seqge_graph::Dataset;
-use seqge_sampling::Rng64;
+use seqge_sampling::{contexts, Rng64};
+use std::path::Path;
+use std::time::Instant;
 
 /// Geometric mean of the paper's per-entry Cortex-A53 / Core-i7 time ratios
 /// (Table 3 vs Table 4: 27.0, 43.7, 61.5 for the original model; 23.8, 25.2,
@@ -28,11 +36,8 @@ use seqge_sampling::Rng64;
 const A53_OVER_HOST: f64 = 33.0;
 
 /// Paper Table 3 rows: (dim, original A53 ms, proposed A53 ms, FPGA ms).
-const PAPER: [(usize, f64, f64, f64); 3] = [
-    (32, 35.357, 18.753, 0.777),
-    (64, 100.291, 35.941, 0.878),
-    (96, 202.175, 72.612, 0.985),
-];
+const PAPER: [(usize, f64, f64, f64); 3] =
+    [(32, 35.357, 18.753, 0.777), (64, 100.291, 35.941, 0.878), (96, 202.175, 72.612, 0.985)];
 
 fn main() {
     let args = Args::parse(1.0);
@@ -103,5 +108,202 @@ fn main() {
     if let Some(path) = &args.json {
         write_json(path, &json_rows).expect("write json");
         println!("json written to {}", path.display());
+    }
+
+    pipeline_throughput(&args);
+}
+
+/// Host-pipeline throughput record at the acceptance dimension (d = 32):
+/// the serial generate-then-train scenario, the overlapped pipeline, and
+/// the seed's pre-vectorization kernels as the reference baseline. The
+/// record lands in `results/bench_pipeline.json`.
+fn pipeline_throughput(args: &Args) {
+    let dim = 32usize;
+    let cfg = TrainConfig::paper_defaults(dim);
+    let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+    // A 0.3-scale Cora keeps the three full-corpus arms to seconds while
+    // the per-walk costs (what the ratios measure) are scale-free.
+    let scale = args.scale.min(0.3);
+    let g = Dataset::Cora.generate_scaled(scale, args.seed);
+    let n = g.num_nodes();
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    println!("host pipeline throughput (d={dim}, Cora scale {scale}, {threads} thread(s)):");
+
+    let t = Instant::now();
+    let mut serial = OsElmSkipGram::new(n, ocfg);
+    train_all_scenario(&g, &mut serial, &cfg, args.seed);
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let mut piped = OsElmSkipGram::new(n, ocfg);
+    let outcome = train_all_pipelined(&g, &mut piped, &cfg, args.seed, 0);
+    let pipelined_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Reference baseline: same corpus, trained with the sequential-fold /
+    // multi-pass kernels the vectorized hot path replaced. The two arms
+    // alternate in walk chunks so slow clock drift (thermal throttling on
+    // small boxes) hits both equally instead of whichever runs second.
+    let prep = prepared_walks(Dataset::Cora, scale, &cfg, args.seed);
+    let num_contexts: usize = prep.walks.iter().map(|w| contexts(w, cfg.model.window).len()).sum();
+    let mut rng_ref = Rng64::seed_from_u64(args.seed);
+    let mut rng_vec = Rng64::seed_from_u64(args.seed);
+    let mut reference = refmodel::RefOsElm::new(n, ocfg);
+    let mut vectorized = OsElmSkipGram::new(n, ocfg);
+    let mut reference_train_ms = 0.0f64;
+    let mut vectorized_train_ms = 0.0f64;
+    for chunk in prep.walks.chunks(256) {
+        let t = Instant::now();
+        for w in chunk {
+            reference.train_walk(w, &prep.table, &mut rng_ref);
+        }
+        reference_train_ms += t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        for w in chunk {
+            use seqge_core::model::EmbeddingModel;
+            vectorized.train_walk(w, &prep.table, &mut rng_vec);
+        }
+        vectorized_train_ms += t.elapsed().as_secs_f64() * 1e3;
+    }
+
+    let kernel_speedup = reference_train_ms / vectorized_train_ms;
+    let walks_per_sec = outcome.walks_trained as f64 / (pipelined_ms / 1e3);
+    let contexts_per_sec = num_contexts as f64 / (vectorized_train_ms / 1e3);
+    // The PR's composite claim: seed implementation (serial generation +
+    // pre-vectorization kernels) vs this PR (pipelined generation + fused
+    // kernels). Generation time is the pipeline's measured gen-busy time.
+    // `end_to_end_speedup_vs_seed` is what this host actually runs
+    // (single-core: generation serializes); the `_multicore` figure is the
+    // same arithmetic with generation hidden behind training, which is what
+    // a host with ≥ 2 cores overlaps (gen:train is ~1:20+, so hiding is
+    // total there).
+    let seed_end_to_end_ms = outcome.gen_busy_ms + reference_train_ms;
+    let e2e_speedup = seed_end_to_end_ms / (outcome.gen_busy_ms + vectorized_train_ms);
+    let e2e_speedup_multicore = seed_end_to_end_ms / outcome.gen_busy_ms.max(vectorized_train_ms);
+    println!(
+        "  serial     {serial_ms:8.1} ms   pipelined {pipelined_ms:8.1} ms   overlap {:.3}",
+        outcome.overlap_ratio()
+    );
+    println!(
+        "  train-only {vectorized_train_ms:8.1} ms   reference {reference_train_ms:8.1} ms   kernel speedup {kernel_speedup:.2}x"
+    );
+    println!(
+        "  vs seed end-to-end: {e2e_speedup:.2}x here, {e2e_speedup_multicore:.2}x with generation overlapped"
+    );
+    println!("  {walks_per_sec:.0} walks/s, {contexts_per_sec:.0} contexts/s");
+
+    let record = serde_json::json!({
+        "dim": dim,
+        "dataset": "cora",
+        "scale": scale,
+        "host_threads": threads,
+        "pipeline_threads": outcome.threads,
+        "serial_end_to_end_ms": serial_ms,
+        "pipelined_end_to_end_ms": pipelined_ms,
+        "overlap_ratio": outcome.overlap_ratio(),
+        "gen_busy_ms": outcome.gen_busy_ms,
+        "train_busy_ms": outcome.train_busy_ms,
+        "walks_trained": outcome.walks_trained,
+        "walks_per_sec": walks_per_sec,
+        "contexts_per_sec": contexts_per_sec,
+        "train_only_ms": vectorized_train_ms,
+        "reference_kernels_train_ms": reference_train_ms,
+        "speedup_vs_reference_kernels": kernel_speedup,
+        "seed_end_to_end_ms": seed_end_to_end_ms,
+        "end_to_end_speedup_vs_seed": e2e_speedup,
+        "end_to_end_speedup_vs_seed_multicore": e2e_speedup_multicore,
+        "note": "reference = seed's sequential-fold/multi-pass kernels, \
+                 interleaved with the fused arm in 256-walk chunks so clock \
+                 drift hits both equally; on a single-core host the pipeline \
+                 overlaps nothing, so the end-to-end gain is carried by the \
+                 kernel speedup — the _multicore figure hides generation \
+                 behind training as a >=2-core host does",
+    });
+    let path = Path::new("results/bench_pipeline.json");
+    write_json(path, &record).expect("write pipeline json");
+    println!("  record written to {}", path.display());
+}
+
+/// The seed's pre-vectorization OS-ELM trainer: sequential-fold dots,
+/// scalar axpy, and the row-loop `P` downdate — the baseline the fused /
+/// unrolled kernels are measured against. Kept runnable so the recorded
+/// speedup stays reproducible on any host.
+mod refmodel {
+    use seqge_core::model::{init_weight, NegativeDraw};
+    use seqge_core::OsElmConfig;
+    use seqge_graph::NodeId;
+    use seqge_linalg::{ops, Mat};
+    use seqge_sampling::{contexts, NegativeTable, Rng64};
+
+    fn axpy_ref(a: f32, x: &[f32], y: &mut [f32]) {
+        for i in 0..x.len() {
+            y[i] += a * x[i];
+        }
+    }
+
+    pub struct RefOsElm {
+        beta_t: Mat<f32>,
+        p: Mat<f32>,
+        cfg: OsElmConfig,
+        draw: NegativeDraw,
+        h: Vec<f32>,
+        ph: Vec<f32>,
+        phn: Vec<f32>,
+    }
+
+    impl RefOsElm {
+        pub fn new(n: usize, cfg: OsElmConfig) -> Self {
+            let d = cfg.model.dim;
+            let mut rng = Rng64::seed_from_u64(cfg.model.seed);
+            let beta_t = Mat::from_fn(n, d, |_, _| init_weight(&mut rng, d));
+            RefOsElm {
+                beta_t,
+                p: Mat::scaled_identity(d, cfg.p0_scale),
+                draw: NegativeDraw::new(&cfg.model),
+                h: vec![0.0; d],
+                ph: vec![0.0; d],
+                phn: vec![0.0; d],
+                cfg,
+            }
+        }
+
+        pub fn train_walk(&mut self, walk: &[NodeId], table: &NegativeTable, rng: &mut Rng64) {
+            let d = self.cfg.model.dim;
+            let ctxs = contexts(walk, self.cfg.model.window);
+            self.draw.begin_walk(walk, table, rng);
+            let mut samples: Vec<(NodeId, f32)> = Vec::new();
+            for ctx in &ctxs {
+                samples.clear();
+                for &pos in &ctx.positives {
+                    samples.push((pos, 1.0));
+                    for &neg in self.draw.for_positive(pos, table, rng) {
+                        samples.push((neg, 0.0));
+                    }
+                }
+                let brow = self.beta_t.row(ctx.center as usize);
+                for (hi, &bi) in self.h.iter_mut().zip(brow) {
+                    *hi = self.cfg.mu * bi;
+                }
+                for r in 0..d {
+                    self.ph[r] = ops::dot_ref(self.p.row(r), &self.h);
+                }
+                let hph = ops::dot_ref(&self.h, &self.ph);
+                let denom = self.cfg.forgetting + hph;
+                let inv = 1.0 / denom;
+                let phc = self.ph.clone();
+                for r in 0..d {
+                    axpy_ref(-inv * phc[r], &phc, self.p.row_mut(r));
+                }
+                let rescale = 1.0 - hph / denom;
+                for i in 0..d {
+                    self.phn[i] = self.ph[i] * rescale;
+                }
+                for &(sample, y) in &samples {
+                    let col = self.beta_t.row_mut(sample as usize);
+                    let e = y - ops::dot_ref(&self.h, col);
+                    axpy_ref(e, &self.phn, col);
+                }
+            }
+        }
     }
 }

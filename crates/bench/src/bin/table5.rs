@@ -6,9 +6,7 @@
 
 use seqge_bench::{banner, write_json, Args};
 use seqge_core::model::EmbeddingModel;
-use seqge_core::model_size::{
-    alias_table_bytes, reduction_factor, table5_rows, to_mb,
-};
+use seqge_core::model_size::{alias_table_bytes, reduction_factor, table5_rows, to_mb};
 use seqge_core::{ModelConfig, OsElmConfig, OsElmSkipGram, SkipGram};
 use seqge_fpga::report::TextTable;
 use seqge_graph::Dataset;
@@ -18,7 +16,13 @@ fn main() {
     banner("Table 5 — model sizes (decimal MB)", args.scale);
 
     let mut t = TextTable::new([
-        "dataset", "d", "original MB", "paper", "proposed MB", "paper", "reduction",
+        "dataset",
+        "d",
+        "original MB",
+        "paper",
+        "proposed MB",
+        "paper",
+        "reduction",
     ]);
     for row in table5_rows() {
         let n = Dataset::ALL

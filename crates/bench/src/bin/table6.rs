@@ -15,7 +15,16 @@ fn main() {
     let dev = FpgaDevice::XCZU7EV;
 
     let mut t = TextTable::new([
-        "d", "BRAM", "BRAM%", "DSP", "DSP%", "FF", "FF%", "LUT", "LUT%", "calibrated",
+        "d",
+        "BRAM",
+        "BRAM%",
+        "DSP",
+        "DSP%",
+        "FF",
+        "FF%",
+        "LUT",
+        "LUT%",
+        "calibrated",
     ]);
     let mut json_rows = Vec::new();
     for &dim in &args.dims {
@@ -51,7 +60,9 @@ fn main() {
     println!("{}", p.render());
 
     // Component breakdown at the paper points.
-    println!("component breakdown (BRAM: P / β-port / weight cache / FIFO; DSP: MAC / div / ctrl):");
+    println!(
+        "component breakdown (BRAM: P / β-port / weight cache / FIFO; DSP: MAC / div / ctrl):"
+    );
     for dim in [32usize, 64, 96] {
         let est = estimate_resources(&AcceleratorDesign::for_dim(dim));
         let (bp, bb, bc, bf) = est.bram_parts;

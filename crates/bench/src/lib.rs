@@ -40,9 +40,7 @@ pub fn write_json<T: serde::Serialize>(path: &Path, value: &T) -> std::io::Resul
 pub fn banner(what: &str, scale: f64) {
     println!("== seqge reproduction: {what} ==");
     if (scale - 1.0).abs() > f64::EPSILON {
-        println!(
-            "   (running at scale {scale}; pass --scale 1.0 for the full paper protocol)"
-        );
+        println!("   (running at scale {scale}; pass --scale 1.0 for the full paper protocol)");
     }
     println!();
 }

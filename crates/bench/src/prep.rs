@@ -21,12 +21,7 @@ pub struct PreparedGraph {
 
 /// Generates `dataset` at `scale`, runs the full walk pass, and builds the
 /// negative table.
-pub fn prepared_walks(
-    dataset: Dataset,
-    scale: f64,
-    cfg: &TrainConfig,
-    seed: u64,
-) -> PreparedGraph {
+pub fn prepared_walks(dataset: Dataset, scale: f64, cfg: &TrainConfig, seed: u64) -> PreparedGraph {
     let graph =
         if scale >= 1.0 { dataset.generate(seed) } else { dataset.generate_scaled(scale, seed) };
     let csr = graph.to_csr();

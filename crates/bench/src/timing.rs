@@ -52,7 +52,8 @@ mod tests {
             negative_samples: 2,
             ..ModelConfig::paper_defaults(8)
         };
-        let mut model = OsElmSkipGram::new(n, OsElmConfig { model: cfg, ..OsElmConfig::paper_defaults(8) });
+        let mut model =
+            OsElmSkipGram::new(n, OsElmConfig { model: cfg, ..OsElmConfig::paper_defaults(8) });
         let mut corpus = WalkCorpus::new(n);
         corpus.record(&(0..n as u32).collect::<Vec<_>>());
         let mut table = NegativeTable::new(UpdatePolicy::every_edge());

@@ -39,5 +39,8 @@ pub use embedding::EmbeddingSource;
 pub use model::EmbeddingModel;
 pub use oselm::{AlphaOsElm, BlockOsElm, DataflowOsElm, OsElmConfig, OsElmSkipGram, PVisibility};
 pub use parallel_train::{train_all_parallel, ParallelConfig};
-pub use sequential::{train_all_scenario, train_seq_scenario, train_stream_scenario, SeqOutcome};
+pub use sequential::{
+    train_all_pipelined, train_all_scenario, train_seq_scenario, train_stream_scenario,
+    PipelinedOutcome, SeqOutcome,
+};
 pub use skipgram::SkipGram;

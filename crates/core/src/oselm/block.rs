@@ -70,19 +70,12 @@ impl BlockOsElm {
     }
 
     /// Processes one block of contexts with the exact block recursion.
-    fn train_block(
-        &mut self,
-        block: &[Context],
-        negatives: &NegativeTable,
-        rng: &mut Rng64,
-    ) {
+    fn train_block(&mut self, block: &[Context], negatives: &NegativeTable, rng: &mut Rng64) {
         let d = self.cfg.model.dim;
         let k = block.len();
         // H: k×d (rows are μ·β[center_i], read before any update — the block
         // treats its contexts as simultaneous observations).
-        let h = Mat::from_fn(k, d, |i, j| {
-            self.cfg.mu * self.beta_t[(block[i].center as usize, j)]
-        });
+        let h = Mat::from_fn(k, d, |i, j| self.cfg.mu * self.beta_t[(block[i].center as usize, j)]);
         // G = P·Hᵀ (d×k), M = I + H·G (k×k).
         let mut g = Mat::<f32>::zeros(d, k);
         let mut col = vec![0.0f32; d];
@@ -150,8 +143,8 @@ impl BlockOsElm {
     fn train_block_of_one(&mut self, ctx: &Context, negatives: &NegativeTable, rng: &mut Rng64) {
         let d = self.cfg.model.dim;
         let mut h = vec![0.0f32; d];
-        for j in 0..d {
-            h[j] = self.cfg.mu * self.beta_t[(ctx.center as usize, j)];
+        for (hj, &bj) in h.iter_mut().zip(self.beta_t.row(ctx.center as usize)) {
+            *hj = self.cfg.mu * bj;
         }
         let mut ph = vec![0.0f32; d];
         ops::gemv(&self.p, &h, &mut ph);

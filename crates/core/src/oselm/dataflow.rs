@@ -25,7 +25,7 @@ use crate::model::{init_weight, EmbeddingModel, NegativeDraw};
 use crate::oselm::model::OsElmConfig;
 use seqge_graph::NodeId;
 use seqge_linalg::{ops, Mat};
-use seqge_sampling::{contexts, NegativeTable, Rng64};
+use seqge_sampling::{context_windows, NegativeTable, Rng64};
 use std::collections::HashMap;
 
 /// How the in-flight `ΔP` is exposed to stage 2 within a walk.
@@ -106,6 +106,11 @@ pub struct DataflowOsElm {
     h: Vec<f32>,
     ph: Vec<f32>,
     phn: Vec<f32>,
+    /// Gathered sample-stage scratch: β-row indices, targets, and the
+    /// batched frozen `H·β` dots ([`ops::gemv_rows`]).
+    sample_ids: Vec<usize>,
+    sample_ys: Vec<f32>,
+    frozen_dots: Vec<f32>,
     clamped: u64,
     guarded: u64,
 }
@@ -132,6 +137,9 @@ impl DataflowOsElm {
             h: vec![0.0; d],
             ph: vec![0.0; d],
             phn: vec![0.0; d],
+            sample_ids: Vec::new(),
+            sample_ys: Vec::new(),
+            frozen_dots: Vec::new(),
             clamped: 0,
             guarded: 0,
             cfg,
@@ -177,13 +185,12 @@ impl DataflowOsElm {
 impl EmbeddingModel for DataflowOsElm {
     fn train_walk(&mut self, walk: &[NodeId], negatives: &NegativeTable, rng: &mut Rng64) {
         let d = self.cfg.model.dim;
-        let ctxs = contexts(walk, self.cfg.model.window);
         self.draw.begin_walk(walk, negatives, rng);
         debug_assert_eq!(self.delta_beta.touched_count(), 0);
-        for ctx in &ctxs {
+        for (center, positives) in context_windows(walk, self.cfg.model.window) {
             // Stage 1: H from the walk-entry β (the center column's Δ is in
             // the stage-3/4 accumulators, not visible to stage 1).
-            let brow = self.beta_t.row(ctx.center as usize);
+            let brow = self.beta_t.row(center as usize);
             for (hi, &b) in self.h.iter_mut().zip(brow) {
                 *hi = self.cfg.mu * b;
             }
@@ -217,26 +224,23 @@ impl EmbeddingModel for DataflowOsElm {
             {
                 match self.p_visibility {
                     PVisibility::Running => {
-                        ops::p_downdate(&mut self.p_run, &self.ph, &self.ph, denom);
                         if lambda < 1.0 {
-                            // EW-RLS inflation with PSD-preserving trace
-                            // normalization against covariance wind-up, plus
-                            // re-symmetrization (the inflation amplifies the
-                            // antisymmetric rounding component exponentially
-                            // otherwise — see `oselm::model::symmetrize`).
-                            ops::scal(1.0 / lambda, self.p_run.as_mut_slice());
-                            let trace: f32 = (0..d).map(|i| self.p_run[(i, i)]).sum();
+                            // EW-RLS downdate + inflation with PSD-preserving
+                            // trace normalization against covariance wind-up,
+                            // plus re-symmetrization (the inflation amplifies
+                            // the antisymmetric rounding component
+                            // exponentially otherwise) — fused into one
+                            // upper-triangle sweep.
                             let cap = self.cfg.p0_scale * d as f32;
-                            if trace > cap {
-                                ops::scal(cap / trace, self.p_run.as_mut_slice());
-                            }
-                            for r in 0..d {
-                                for c in (r + 1)..d {
-                                    let avg = 0.5 * (self.p_run[(r, c)] + self.p_run[(c, r)]);
-                                    self.p_run[(r, c)] = avg;
-                                    self.p_run[(c, r)] = avg;
-                                }
-                            }
+                            ops::p_downdate_forget(
+                                &mut self.p_run,
+                                &self.ph,
+                                denom,
+                                1.0 / lambda,
+                                cap,
+                            );
+                        } else {
+                            ops::p_downdate_sym(&mut self.p_run, &self.ph, denom);
                         }
                     }
                     PVisibility::PerWalk => {
@@ -244,7 +248,7 @@ impl EmbeddingModel for DataflowOsElm {
                         // (the 1/λ inflation cannot be deferred soundly);
                         // the config validator allows it but the ablation
                         // binary runs λ = 1.
-                        ops::p_downdate(&mut self.delta_p, &self.ph, &self.ph, denom);
+                        ops::p_downdate_sym(&mut self.delta_p, &self.ph, denom);
                     }
                 }
                 // PʜΝ = P_ctx·Hᵀ where P_ctx = P − Pʜ·Pʜᵀ/denom = a scalar
@@ -261,22 +265,28 @@ impl EmbeddingModel for DataflowOsElm {
             // is frozen; freezing β too makes the 500-odd per-walk touches
             // of a shared negative column an unstable fixed-step iteration
             // that diverges — see DESIGN.md §1 "Faithfulness notes".)
-            for &pos in &ctx.positives {
-                {
-                    let frozen = ops::dot(&self.h, self.beta_t.row(pos as usize));
-                    let slot = self.delta_beta.slot_mut(pos);
-                    let e = 1.0 - (frozen + ops::dot(&self.h, slot));
-                    ops::axpy(e, &self.phn, slot);
+            //
+            // The frozen dots read main-memory β, which never moves inside
+            // the walk — so they batch into one gathered-row block kernel.
+            // The Δβ slot dots stay per-sample: slots are the running
+            // accumulators whose latest value each error must see.
+            self.sample_ids.clear();
+            self.sample_ys.clear();
+            for &pos in positives {
+                self.sample_ids.push(pos as usize);
+                self.sample_ys.push(1.0);
+                // `for_positive` borrows self.draw; the id/target scratch
+                // vectors are disjoint fields, so these borrows coexist.
+                for &neg in self.draw.for_positive(pos, negatives, rng) {
+                    self.sample_ids.push(neg as usize);
+                    self.sample_ys.push(0.0);
                 }
-                let negs = self.draw.for_positive(pos, negatives, rng);
-                for &neg in negs {
-                    let frozen = ops::dot(&self.h, self.beta_t.row(neg as usize));
-                    // `negs` borrows self.draw; the arena and weight matrix
-                    // are disjoint fields, so these borrows coexist.
-                    let slot = self.delta_beta.slot_mut(neg);
-                    let e = 0.0 - (frozen + ops::dot(&self.h, slot));
-                    ops::axpy(e, &self.phn, slot);
-                }
+            }
+            ops::gemv_rows(&self.beta_t, &self.sample_ids, &self.h, &mut self.frozen_dots);
+            for (k, &id) in self.sample_ids.iter().enumerate() {
+                let slot = self.delta_beta.slot_mut(id as NodeId);
+                let e = self.sample_ys[k] - (self.frozen_dots[k] + ops::dot(&self.h, slot));
+                ops::axpy(e, &self.phn, slot);
             }
         }
         // Lines 19–20: commit once per walk. Under Running visibility the

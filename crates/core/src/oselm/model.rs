@@ -28,7 +28,7 @@ use crate::config::ModelConfig;
 use crate::model::{init_weight, EmbeddingModel, NegativeDraw};
 use seqge_graph::NodeId;
 use seqge_linalg::{ops, Mat};
-use seqge_sampling::{contexts, NegativeTable, Rng64};
+use seqge_sampling::{context_windows, contexts, NegativeTable, Rng64};
 
 /// Configuration of the OS-ELM family of models.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -111,25 +111,19 @@ pub struct OsElmSkipGram {
     clamped: u64,
 }
 
-
-/// Re-symmetrizes a square matrix in place: `P ← (P + Pᵀ)/2`.
-///
-/// The RLS downdate is symmetric, so it can damp symmetric drift but is
-/// *blind* to the antisymmetric component — under the EW-RLS 1/λ inflation
-/// that component grows as (1/λ)ⁿ from its rounding seed until it destroys
-/// P's definiteness (observed empirically: e-fold per 1/(1−λ) contexts).
-/// Hardware stores a triangular P and never has the problem; the float
-/// models mirror that by re-symmetrizing whenever forgetting is active.
-fn symmetrize(p: &mut Mat<f32>) {
-    let n = p.rows();
-    for r in 0..n {
-        for c in (r + 1)..n {
-            let avg = 0.5 * (p[(r, c)] + p[(c, r)]);
-            p[(r, c)] = avg;
-            p[(c, r)] = avg;
-        }
-    }
-}
+// Why P's exact symmetry is an enforced invariant: the RLS downdate is
+// symmetric, so it can damp symmetric drift but is *blind* to the
+// antisymmetric component — under the EW-RLS 1/λ inflation that component
+// grows as (1/λ)ⁿ from its rounding seed until it destroys P's
+// definiteness (observed empirically: e-fold per 1/(1−λ) contexts).
+// Hardware stores a triangular P and never has the problem; the float
+// models mirror that by establishing exact symmetry once at every cold
+// entry point (`Mat::symmetrize` in `new`'s identity init trivially, in
+// `init_batch` and `from_parts` explicitly) and then *preserving* it
+// bit-for-bit in the hot path: `ops::p_downdate_sym` and
+// `ops::p_downdate_forget` form the rank-1 term from a commutative
+// product, so the (r,c)/(c,r) updates are identical and no per-context
+// re-symmetrization pass is needed.
 
 /// Smallest admissible |denominator| before clamping; prevents a division
 /// blow-up when the unregularized variant drives `H·P·Hᵀ` to zero.
@@ -184,6 +178,9 @@ impl OsElmSkipGram {
         }
         self.p = seqge_linalg::solve::cholesky_inverse(&gram)
             .map_err(|e| format!("batch init failed: {e}"))?;
+        // Cold entry point: the inverse is symmetric only up to rounding,
+        // and the hot-path kernels preserve (not restore) symmetry.
+        self.p.symmetrize();
         Ok(())
     }
 
@@ -201,6 +198,12 @@ impl OsElmSkipGram {
         if !beta_t.all_finite() || !p.all_finite() {
             return Err("persisted weights contain non-finite values".into());
         }
+        // Cold entry point: persisted P round-trips bit-exactly (so this is
+        // a no-op for our own snapshots), but hand-assembled or truncated
+        // state must enter the symmetry-preserving hot path exactly
+        // symmetric.
+        let mut p = p;
+        p.symmetrize();
         Ok(OsElmSkipGram {
             beta_t,
             p,
@@ -254,65 +257,60 @@ impl OsElmSkipGram {
             // P update for this context (β still trains with gain Pʜ).
             self.clamped += 1;
             phn.copy_from_slice(ph);
-            for &(sample, y) in samples {
-                let col = self.beta_t.row_mut(sample as usize);
-                let e = y - ops::dot(h, col);
-                ops::axpy(e, phn, col);
+        } else {
+            if denom.abs() < DENOM_FLOOR {
+                denom = if denom < 0.0 { -DENOM_FLOOR } else { DENOM_FLOOR };
+                self.clamped += 1;
             }
-            return;
-        }
-        if denom.abs() < DENOM_FLOOR {
-            denom = if denom < 0.0 { -DENOM_FLOOR } else { DENOM_FLOOR };
-            self.clamped += 1;
-        }
-        ops::p_downdate(&mut self.p, ph, ph, denom);
-        if lambda < 1.0 {
-            // Exponentially-weighted RLS: inflate P so old evidence decays.
-            // Wind-up control: if the inflation pushes trace(P) beyond its
-            // initial value, rescale the whole matrix (PSD-preserving —
-            // entrywise clamping destroys definiteness and diverges).
-            ops::scal(1.0 / lambda, self.p.as_mut_slice());
-            let d = self.cfg.model.dim;
-            let trace: f32 = (0..d).map(|i| self.p[(i, i)]).sum();
-            let cap = self.cfg.p0_scale * d as f32;
-            if trace > cap {
-                ops::scal(cap / trace, self.p.as_mut_slice());
+            if lambda < 1.0 {
+                // Exponentially-weighted RLS: downdate, inflate P so old
+                // evidence decays, and cap the trace against wind-up
+                // (PSD-preserving — entrywise clamping destroys definiteness
+                // and diverges) — all in one fused sweep that keeps P
+                // exactly symmetric (see the invariant note above).
+                let cap = self.cfg.p0_scale * d as f32;
+                ops::p_downdate_forget(&mut self.p, ph, denom, 1.0 / lambda, cap);
+            } else {
+                ops::p_downdate_sym(&mut self.p, ph, denom);
             }
-            symmetrize(&mut self.p);
+            // Line 7: PʜΝ = P_i·Hᵀ with the updated P. Expanding the
+            // downdate, P_i·Hᵀ = Pʜ − Pʜ·(HPHᵀ)/denom = Pʜ·(1 − HPHᵀ/denom)
+            // — an exact scalar rescale, so the second O(d²) gemv of the
+            // literal algorithm is unnecessary.
+            let rescale = 1.0 - hph / denom;
+            for i in 0..d {
+                phn[i] = ph[i] * rescale;
+            }
         }
-        // Line 7: PʜΝ = P_i·Hᵀ with the updated P. Expanding the downdate,
-        // P_i·Hᵀ = Pʜ − Pʜ·(HPHᵀ)/denom = Pʜ·(1 − HPHᵀ/denom) — an exact
-        // scalar rescale, so the second O(d²) gemv of the literal algorithm
-        // is unnecessary.
-        let rescale = 1.0 - hph / denom;
-        for i in 0..d {
-            phn[i] = ph[i] * rescale;
-        }
-        // Column updates.
+        // Column updates: per-sample dot → axpy interleave, exactly
+        // Algorithm 1 lines 9–10. Each dot and axpy is internally unrolled,
+        // and touching a row's 128 cache-hot bytes for both its read and
+        // its update in one pass beats the gather-then-scatter block form
+        // (`ops::gemv_rows`/`ger_rows`) that the dataflow model uses —
+        // there the gather is *semantic* (stage 3 reads frozen β), here it
+        // would only add a second pass plus duplicate-row bookkeeping.
         for &(sample, y) in samples {
-            let col = self.beta_t.row_mut(sample as usize);
-            let e = y - ops::dot(h, col);
-            ops::axpy(e, phn, col);
+            let row = self.beta_t.row_mut(sample as usize);
+            let e = y - ops::dot(h, row);
+            ops::axpy(e, phn, row);
         }
     }
 }
 
 impl EmbeddingModel for OsElmSkipGram {
     fn train_walk(&mut self, walk: &[NodeId], negatives: &NegativeTable, rng: &mut Rng64) {
-        let ctxs = contexts(walk, self.cfg.model.window);
         self.draw.begin_walk(walk, negatives, rng);
-        let mut samples: Vec<(NodeId, f32)> = Vec::with_capacity(
-            (self.cfg.model.window - 1) * (self.cfg.model.negative_samples + 1),
-        );
-        for ctx in &ctxs {
+        let mut samples: Vec<(NodeId, f32)> =
+            Vec::with_capacity((self.cfg.model.window - 1) * (self.cfg.model.negative_samples + 1));
+        for (center, positives) in context_windows(walk, self.cfg.model.window) {
             samples.clear();
-            for &pos in &ctx.positives {
+            for &pos in positives {
                 samples.push((pos, 1.0));
                 for &neg in self.draw.for_positive(pos, negatives, rng) {
                     samples.push((neg, 0.0));
                 }
             }
-            self.train_context(ctx.center, &samples);
+            self.train_context(center, &samples);
         }
     }
 
@@ -391,10 +389,7 @@ mod tests {
             m.train_walk(&(0..30u32).collect::<Vec<_>>(), &table, &mut rng);
         }
         let trace_after: f32 = (0..8).map(|i| m.p()[(i, i)]).sum();
-        assert!(
-            trace_after < trace_before,
-            "RLS must contract P: {trace_before} → {trace_after}"
-        );
+        assert!(trace_after < trace_before, "RLS must contract P: {trace_before} → {trace_after}");
         assert!(trace_after > 0.0, "P must remain positive on the diagonal");
     }
 

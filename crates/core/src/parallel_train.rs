@@ -84,8 +84,11 @@ pub fn train_all_parallel(
                 .into_par_iter()
                 .map(|s| {
                     let mut replica = master.clone();
+                    // SplitMix-mixed (shard, round) stream: `seed ^ (s<<32)
+                    // ^ round` left the low seed bits shared across shards,
+                    // giving replicas correlated negative draws.
                     let mut shard_rng =
-                        Rng64::seed_from_u64(seed ^ ((s as u64) << 32) ^ rounds as u64);
+                        Rng64::for_stream(seed, (s as u64) << 32 | (rounds as u64 & 0xFFFF_FFFF));
                     for walk in shard_walks[s].iter().skip(cursor).take(end - cursor) {
                         replica.train_walk(walk, table, &mut shard_rng);
                     }
@@ -126,13 +129,8 @@ mod tests {
         let cfg = cfg();
         let mut m = SkipGram::new(40, cfg.model);
         let before = m.embedding();
-        let rounds = train_all_parallel(
-            &g,
-            &mut m,
-            &cfg,
-            &ParallelConfig { shards: 4, sync_every: 8 },
-            7,
-        );
+        let rounds =
+            train_all_parallel(&g, &mut m, &cfg, &ParallelConfig { shards: 4, sync_every: 8 }, 7);
         assert!(rounds >= 1);
         assert_ne!(m.embedding(), before);
         assert!(m.w_in().all_finite());
@@ -152,12 +150,22 @@ mod tests {
         // move weights away from init by a comparable magnitude.
         let mut seq = SkipGram::new(30, cfg.model);
         train_all_scenario(&g, &mut seq, &cfg, 5);
-        let norm = |m: &SkipGram| {
-            m.w_in().as_slice().iter().map(|&x| x * x).sum::<f64>().sqrt()
-        };
+        let norm = |m: &SkipGram| m.w_in().as_slice().iter().map(|&x| x * x).sum::<f64>().sqrt();
         let (a, b) = (norm(&par), norm(&seq));
         assert!(a > 0.0 && b > 0.0);
         assert!(a / b < 3.0 && b / a < 3.0, "magnitudes comparable: {a} vs {b}");
+    }
+
+    #[test]
+    fn shard_streams_are_decorrelated() {
+        // Two shards in the same round must not share a prefix of negative
+        // draws (the old xor-shift mixing collided on low bits).
+        let mut a = Rng64::for_stream(3, 0u64 << 32);
+        let mut b = Rng64::for_stream(3, 1u64 << 32);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(va[0], vb[0], "first draws must already differ");
+        assert_ne!(va, vb);
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
         let mut cfg = TrainConfig::paper_defaults(8);
         cfg.walk.walk_length = 10;
         cfg.walk.walks_per_node = 2;
-        let mut m = OsElmSkipGram::new(30, OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(8) });
+        let mut m = OsElmSkipGram::new(
+            30,
+            OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(8) },
+        );
         train_all_scenario(&g, &mut m, &cfg, 1);
         m
     }

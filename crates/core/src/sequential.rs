@@ -14,8 +14,10 @@ use crate::config::TrainConfig;
 use crate::model::EmbeddingModel;
 use seqge_graph::{spanning_forest, EdgeStream, Graph};
 use seqge_sampling::{
-    generate_corpus, NegativeTable, Rng64, UpdatePolicy, WalkCorpus, Walker,
+    generate_corpus, stream_walks, NegativeTable, PipelineConfig, Rng64, StepStrategy,
+    UpdatePolicy, WalkCorpus, Walker,
 };
+use std::time::{Duration, Instant};
 
 /// Telemetry from a sequential training run.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -50,6 +52,129 @@ pub fn train_all_scenario<M: EmbeddingModel>(
     }
     for walk in &walks {
         model.train_walk(walk, &table, &mut rng);
+    }
+}
+
+/// Telemetry from a pipelined "all"-scenario run (see
+/// [`train_all_pipelined`]).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PipelinedOutcome {
+    /// Walker threads used.
+    pub threads: usize,
+    /// Walks delivered by the pipeline (including skipped isolated-node
+    /// walks).
+    pub walks_generated: u64,
+    /// Walks actually trained.
+    pub walks_trained: usize,
+    /// Time walker threads spent inside the walk kernel, summed over
+    /// threads, in ms.
+    pub gen_busy_ms: f64,
+    /// Time the consumer spent inside `train_walk`, in ms.
+    pub train_busy_ms: f64,
+    /// End-to-end wall-clock time, in ms.
+    pub wall_ms: f64,
+}
+
+impl PipelinedOutcome {
+    /// How much of the ideal serial time the overlap hid:
+    /// `1 − wall / (gen_busy / threads + train_busy)`. 0 means no overlap
+    /// (or overheads ate it); the upper bound for a two-stage pipeline is
+    /// `min(gen, train) / (gen + train)` ≤ 0.5.
+    pub fn overlap_ratio(&self) -> f64 {
+        let serial = self.gen_busy_ms / self.threads.max(1) as f64 + self.train_busy_ms;
+        if serial <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.wall_ms / serial).max(0.0)
+    }
+}
+
+/// The RNG stream index reserved for the consumer's negative sampling —
+/// walk streams use indices `0..n·r`, far from `u64::MAX`.
+const TRAIN_STREAM: u64 = u64::MAX;
+
+/// Pipelined counterpart of [`train_all_scenario`]: walker threads generate
+/// the corpus while this thread trains it, overlapping the two stages.
+///
+/// Differences from the serial driver, both deterministic per seed and
+/// independent of `threads`:
+///
+/// * each walk has its own RNG stream (see
+///   [`seqge_sampling::pipeline`]), so the corpus differs from
+///   `train_all_scenario`'s single-stream corpus at equal seeds;
+/// * the negative table is built from the **first round** of walks (one per
+///   node) instead of the full corpus, so training can start after round 0
+///   rather than after all `r` rounds — the table still covers every
+///   non-isolated node, but its frequencies are estimated from `1/r` of the
+///   corpus.
+pub fn train_all_pipelined<M: EmbeddingModel>(
+    g: &Graph,
+    model: &mut M,
+    cfg: &TrainConfig,
+    seed: u64,
+    threads: usize,
+) -> PipelinedOutcome {
+    cfg.validate().expect("invalid train config");
+    assert_eq!(g.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
+    let wall_start = Instant::now();
+    let csr = g.to_csr();
+    let n = g.num_nodes() as u64;
+
+    let mut corpus = WalkCorpus::new(g.num_nodes());
+    let mut table = NegativeTable::new(UpdatePolicy::every_edge());
+    let mut pending: Vec<Vec<seqge_graph::NodeId>> = Vec::new();
+    let mut rng = Rng64::for_stream(seed, TRAIN_STREAM);
+    let mut walks_trained = 0usize;
+    let mut train_busy = Duration::ZERO;
+
+    let stats = stream_walks(
+        &csr,
+        cfg.walk,
+        StepStrategy::Cumulative,
+        seed,
+        PipelineConfig::with_threads(threads),
+        |index, walk| {
+            if walk.len() >= 2 {
+                corpus.record(&walk);
+                pending.push(walk);
+            }
+            // Round 0 done: freeze the table and start training. Everything
+            // buffered so far drains now; later walks train on arrival.
+            if index + 1 == n && !pending.is_empty() {
+                table.rebuild(&corpus);
+            }
+            if table.is_ready() {
+                let t0 = Instant::now();
+                for w in pending.drain(..) {
+                    model.train_walk(&w, &table, &mut rng);
+                    walks_trained += 1;
+                }
+                train_busy += t0.elapsed();
+            }
+        },
+    );
+
+    // Graphs with one round (r = 1), or whose round 0 ended in skipped
+    // isolated-node walks, reach here with untrained leftovers.
+    if !pending.is_empty() {
+        table.rebuild(&corpus);
+        if table.is_ready() {
+            let t0 = Instant::now();
+            for w in pending.drain(..) {
+                model.train_walk(&w, &table, &mut rng);
+                walks_trained += 1;
+            }
+            train_busy += t0.elapsed();
+        }
+    }
+
+    PipelinedOutcome {
+        threads: stats.threads,
+        walks_generated: stats.walks_generated,
+        walks_trained,
+        gen_busy_ms: stats.gen_busy.as_secs_f64() * 1e3,
+        train_busy_ms: train_busy.as_secs_f64() * 1e3,
+        wall_ms: wall_start.elapsed().as_secs_f64() * 1e3,
     }
 }
 
@@ -95,7 +220,17 @@ pub fn train_seq_scenario<M: EmbeddingModel>(
         }
     }
 
-    replay_edges(&mut g, stream.edges(), model, cfg, &mut walker, &mut rng, &mut corpus, &mut table, &mut outcome);
+    replay_edges(
+        &mut g,
+        stream.edges(),
+        model,
+        cfg,
+        &mut walker,
+        &mut rng,
+        &mut corpus,
+        &mut table,
+        &mut outcome,
+    );
     outcome.table_rebuilds = table.rebuild_count();
     (g, outcome)
 }
@@ -160,7 +295,17 @@ pub fn train_stream_scenario<M: EmbeddingModel>(
     let mut corpus = WalkCorpus::new(num_nodes);
     let mut table = NegativeTable::new(policy);
     let mut outcome = SeqOutcome { edges_inserted: 0, walks_trained: 0, table_rebuilds: 0 };
-    replay_edges(&mut g, edges, model, cfg, &mut walker, &mut rng, &mut corpus, &mut table, &mut outcome);
+    replay_edges(
+        &mut g,
+        edges,
+        model,
+        cfg,
+        &mut walker,
+        &mut rng,
+        &mut corpus,
+        &mut table,
+        &mut outcome,
+    );
     outcome.table_rebuilds = table.rebuild_count();
     (g, outcome)
 }
@@ -230,6 +375,68 @@ mod tests {
         assert_eq!(model.embedding(), before);
     }
 
+    /// Acceptance criterion: pipelined training is bit-identical across
+    /// thread counts (walk values, table, and training order are all
+    /// functions of the seed alone).
+    #[test]
+    fn pipelined_training_identical_across_thread_counts() {
+        let g = erdos_renyi(50, 0.12, 13);
+        let cfg = small_cfg(8);
+        let mut reference = OsElmSkipGram::new(50, oselm_cfg(8));
+        let ref_out = train_all_pipelined(&g, &mut reference, &cfg, 21, 1);
+        for threads in [2, 4, 7] {
+            let mut model = OsElmSkipGram::new(50, oselm_cfg(8));
+            let out = train_all_pipelined(&g, &mut model, &cfg, 21, threads);
+            assert_eq!(out.walks_trained, ref_out.walks_trained);
+            assert_eq!(
+                model.beta_t(),
+                reference.beta_t(),
+                "β differs between 1 and {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_training_moves_weights_and_reports_sane_telemetry() {
+        let g = erdos_renyi(40, 0.15, 3);
+        let cfg = small_cfg(8);
+        let mut model = OsElmSkipGram::new(40, oselm_cfg(8));
+        let before = model.beta_t().clone();
+        let out = train_all_pipelined(&g, &mut model, &cfg, 1, 2);
+        assert_ne!(model.beta_t(), &before);
+        assert!(model.beta_t().all_finite());
+        assert_eq!(out.walks_generated, 40 * 2);
+        assert_eq!(out.walks_trained, 80, "no isolated nodes at p=0.15, n=40, seed 3");
+        assert!(out.gen_busy_ms >= 0.0 && out.train_busy_ms > 0.0 && out.wall_ms > 0.0);
+        assert!((0.0..=1.0).contains(&out.overlap_ratio()));
+    }
+
+    #[test]
+    fn pipelined_on_empty_graph_is_noop() {
+        let g = Graph::with_nodes(10);
+        let cfg = small_cfg(4);
+        let mut model = SkipGram::new(10, cfg.model);
+        let before = model.embedding();
+        let out = train_all_pipelined(&g, &mut model, &cfg, 1, 4);
+        assert_eq!(model.embedding(), before);
+        assert_eq!(out.walks_trained, 0);
+    }
+
+    #[test]
+    fn pipelined_single_round_still_trains() {
+        // r = 1: round 0 is the whole stream, so the table is built at the
+        // very last walk and everything drains in one burst.
+        let g = ring(16);
+        let cfg = TrainConfig {
+            walk: Node2VecParams { walk_length: 10, walks_per_node: 1, ..Default::default() },
+            ..small_cfg(4)
+        };
+        let mut model = OsElmSkipGram::new(16, oselm_cfg(4));
+        let out = train_all_pipelined(&g, &mut model, &cfg, 5, 3);
+        assert_eq!(out.walks_trained, 16);
+        assert!(model.beta_t().all_finite());
+    }
+
     #[test]
     fn seq_scenario_replays_all_edges_at_fraction_one() {
         let full = erdos_renyi(30, 0.2, 7);
@@ -263,8 +470,7 @@ mod tests {
         let full = ring(20);
         let cfg = small_cfg(4);
         let mut model = OsElmSkipGram::new(20, oselm_cfg(4));
-        let (_, outcome) =
-            train_seq_scenario(&full, &mut model, &cfg, UpdatePolicy::Never, 3, 1.0);
+        let (_, outcome) = train_seq_scenario(&full, &mut model, &cfg, UpdatePolicy::Never, 3, 1.0);
         assert_eq!(outcome.table_rebuilds, 1);
     }
 

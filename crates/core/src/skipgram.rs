@@ -22,7 +22,7 @@ use crate::config::ModelConfig;
 use crate::model::{init_weight, EmbeddingModel, NegativeDraw};
 use seqge_graph::NodeId;
 use seqge_linalg::{ops, Mat};
-use seqge_sampling::{contexts, NegativeTable, Rng64};
+use seqge_sampling::{context_windows, NegativeTable, Rng64};
 
 /// SGD-trained skip-gram with negative sampling.
 #[derive(Debug, Clone)]
@@ -136,12 +136,19 @@ fn train_pair(
 
 impl EmbeddingModel for SkipGram {
     fn train_walk(&mut self, walk: &[NodeId], negatives: &NegativeTable, rng: &mut Rng64) {
-        let ctxs = contexts(walk, self.cfg.window);
         self.draw.begin_walk(walk, negatives, rng);
-        for ctx in &ctxs {
+        for (center, positives) in context_windows(walk, self.cfg.window) {
             self.grad_h.fill(0.0);
-            for &pos in &ctx.positives {
-                train_pair(&self.w_in, &mut self.w_out, &mut self.grad_h, self.lr, ctx.center, pos, 1.0);
+            for &pos in positives {
+                train_pair(
+                    &self.w_in,
+                    &mut self.w_out,
+                    &mut self.grad_h,
+                    self.lr,
+                    center,
+                    pos,
+                    1.0,
+                );
                 // Disjoint field borrows: `negs` borrows `self.draw` while
                 // `train_pair` borrows the weight matrices.
                 let negs = self.draw.for_positive(pos, negatives, rng);
@@ -151,14 +158,14 @@ impl EmbeddingModel for SkipGram {
                         &mut self.w_out,
                         &mut self.grad_h,
                         self.lr,
-                        ctx.center,
+                        center,
                         neg,
                         0.0,
                     );
                 }
             }
             // Apply the accumulated center gradient once per context.
-            let row = self.w_in.row_mut(ctx.center as usize);
+            let row = self.w_in.row_mut(center as usize);
             for (w, &g) in row.iter_mut().zip(&self.grad_h) {
                 *w += g;
             }

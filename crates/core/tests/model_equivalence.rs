@@ -4,8 +4,8 @@
 
 use seqge_core::model::EmbeddingModel;
 use seqge_core::{
-    AlphaOsElm, DataflowOsElm, ModelConfig, NegativeMode, OsElmConfig, OsElmSkipGram,
-    PVisibility, SkipGram,
+    AlphaOsElm, DataflowOsElm, ModelConfig, NegativeMode, OsElmConfig, OsElmSkipGram, PVisibility,
+    SkipGram,
 };
 use seqge_graph::NodeId;
 use seqge_sampling::{NegativeTable, Rng64, UpdatePolicy, WalkCorpus};

@@ -46,13 +46,10 @@ fn stream_builds_full_graph_and_trains() {
 #[test]
 fn empty_stream_is_noop() {
     let cfg = cfg(4);
-    let mut m = OsElmSkipGram::new(
-        10,
-        OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(4) },
-    );
+    let mut m =
+        OsElmSkipGram::new(10, OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(4) });
     let before = m.embedding();
-    let (g, outcome) =
-        train_stream_scenario(10, &[], &mut m, &cfg, UpdatePolicy::every_edge(), 1);
+    let (g, outcome) = train_stream_scenario(10, &[], &mut m, &cfg, UpdatePolicy::every_edge(), 1);
     assert_eq!(g.num_edges(), 0);
     assert_eq!(outcome.edges_inserted, 0);
     assert_eq!(m.embedding(), before);
@@ -62,9 +59,7 @@ fn empty_stream_is_noop() {
 #[should_panic(expected = "node count mismatch")]
 fn mismatched_model_rejected() {
     let cfg = cfg(4);
-    let mut m = OsElmSkipGram::new(
-        5,
-        OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(4) },
-    );
+    let mut m =
+        OsElmSkipGram::new(5, OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(4) });
     let _ = train_stream_scenario(10, &[], &mut m, &cfg, UpdatePolicy::every_edge(), 1);
 }

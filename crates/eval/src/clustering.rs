@@ -32,10 +32,10 @@ pub fn kmeans(data: &Mat<f32>, k: usize, max_iters: usize, seed: u64) -> KMeans 
     centroids.row_mut(0).copy_from_slice(data.row(first));
     let mut dist2 = vec![f64::INFINITY; n];
     for c in 1..k {
-        for i in 0..n {
+        for (i, di) in dist2.iter_mut().enumerate() {
             let dd = sq_dist(data.row(i), centroids.row(c - 1));
-            if dd < dist2[i] {
-                dist2[i] = dd;
+            if dd < *di {
+                *di = dd;
             }
         }
         let total: f64 = dist2.iter().sum();
@@ -62,7 +62,7 @@ pub fn kmeans(data: &Mat<f32>, k: usize, max_iters: usize, seed: u64) -> KMeans 
     for it in 0..max_iters {
         iterations = it + 1;
         let mut changed = false;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let mut best = 0usize;
             let mut best_d = f64::INFINITY;
             for c in 0..k {
@@ -72,8 +72,8 @@ pub fn kmeans(data: &Mat<f32>, k: usize, max_iters: usize, seed: u64) -> KMeans 
                     best = c;
                 }
             }
-            if assignment[i] != best as u16 {
-                assignment[i] = best as u16;
+            if *slot != best as u16 {
+                *slot = best as u16;
                 changed = true;
             }
         }
@@ -102,9 +102,7 @@ pub fn kmeans(data: &Mat<f32>, k: usize, max_iters: usize, seed: u64) -> KMeans 
             break;
         }
     }
-    let inertia = (0..n)
-        .map(|i| sq_dist(data.row(i), centroids.row(assignment[i] as usize)))
-        .sum();
+    let inertia = (0..n).map(|i| sq_dist(data.row(i), centroids.row(assignment[i] as usize))).sum();
     KMeans { assignment, centroids, iterations, inertia }
 }
 

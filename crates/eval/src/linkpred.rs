@@ -173,9 +173,8 @@ mod tests {
     fn random_embedding_near_half() {
         let g = graph();
         let set = LinkPredSet::sample(&g, 0.25, 4);
-        let emb = Mat::from_fn(g.num_nodes(), 8, |r, c| {
-            (((r * 31 + c * 17) % 97) as f32 / 97.0) - 0.5
-        });
+        let emb =
+            Mat::from_fn(g.num_nodes(), 8, |r, c| (((r * 31 + c * 17) % 97) as f32 / 97.0) - 0.5);
         let auc = set.auc(&emb, EdgeOp::Dot);
         assert!((0.3..0.7).contains(&auc), "random AUC {auc}");
     }

@@ -6,11 +6,7 @@ use rand::{Rng, SeedableRng};
 /// Splits indices `0..labels.len()` into (train, test) with `test_fraction`
 /// of *each class* held out (stratified, so small classes keep test
 /// representation even at the paper's 10 % split). Deterministic per seed.
-pub fn train_test_split(
-    labels: &[u16],
-    test_fraction: f64,
-    seed: u64,
-) -> (Vec<usize>, Vec<usize>) {
+pub fn train_test_split(labels: &[u16], test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
     assert!((0.0..1.0).contains(&test_fraction), "test fraction must be in [0, 1)");
     let num_classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
     let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
@@ -39,11 +35,7 @@ mod tests {
     use super::*;
 
     fn labels(counts: &[usize]) -> Vec<u16> {
-        counts
-            .iter()
-            .enumerate()
-            .flat_map(|(c, &n)| std::iter::repeat_n(c as u16, n))
-            .collect()
+        counts.iter().enumerate().flat_map(|(c, &n)| std::iter::repeat_n(c as u16, n)).collect()
     }
 
     #[test]

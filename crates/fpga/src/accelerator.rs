@@ -96,8 +96,7 @@ impl Accelerator {
             p[i * d + i] = Q8_24::from_f32(cfg.p0_scale);
         }
         let design = AcceleratorDesign::for_dim(d);
-        let (_, _, cache_banks, _) =
-            crate::resources::estimate_resources(&design).bram_parts;
+        let (_, _, cache_banks, _) = crate::resources::estimate_resources(&design).bram_parts;
         Accelerator {
             beta,
             p,
@@ -213,17 +212,12 @@ impl Accelerator {
         for &(sample, positive) in samples {
             self.tile.touch(sample);
             let frozen = mac_dot(&self.h, self.beta_row(sample));
-            let slot_score = self
-                .delta_beta
-                .get(&sample)
-                .map_or(Q8_24::ZERO, |slot| mac_dot(&self.h, slot));
+            let slot_score =
+                self.delta_beta.get(&sample).map_or(Q8_24::ZERO, |slot| mac_dot(&self.h, slot));
             let score = frozen.sat_add(slot_score);
             let y = if positive { Q8_24::ONE } else { Q8_24::ZERO };
             let e = y.sat_sub(score);
-            let slot = self
-                .delta_beta
-                .entry(sample)
-                .or_insert_with(|| vec![Q8_24::ZERO; d]);
+            let slot = self.delta_beta.entry(sample).or_insert_with(|| vec![Q8_24::ZERO; d]);
             for (si, &phn_i) in slot.iter_mut().zip(self.phn.iter()) {
                 let mut acc = MacAccumulator::new();
                 acc.mac(phn_i, e);
@@ -285,9 +279,7 @@ impl EmbeddingModel for Accelerator {
 
     fn embedding(&self) -> Mat<f32> {
         let mu = self.mu.to_f32();
-        Mat::from_fn(self.num_nodes, self.dim, |r, c| {
-            mu * self.beta[r * self.dim + c].to_f32()
-        })
+        Mat::from_fn(self.num_nodes, self.dim, |r, c| mu * self.beta[r * self.dim + c].to_f32())
     }
 
     fn num_nodes(&self) -> usize {

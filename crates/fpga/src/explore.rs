@@ -52,8 +52,7 @@ pub fn explore(dim: usize, device: &FpgaDevice) -> Vec<DesignPoint> {
             let mut est = estimate_resources(&design);
             // Port widening adds β-bandwidth banks beyond the cache growth.
             est.bram36 += 16 * (port_mult - 1);
-            let mut timing = TimingModel::default();
-            timing.port_bytes = port_bytes;
+            let timing = TimingModel { port_bytes, ..TimingModel::default() };
             // More lanes shorten the compute II; the timing model takes the
             // max of traffic and compute, so faster ports translate directly
             // until compute binds.
@@ -89,9 +88,7 @@ mod tests {
         assert!(best.fits);
         // The paper's own build (1× lanes, 36 B port) must be in the set.
         let points = explore(32, &FpgaDevice::XCZU7EV);
-        assert!(points
-            .iter()
-            .any(|p| p.port_bytes == 36 && p.design.mac_lanes == 457 && p.fits));
+        assert!(points.iter().any(|p| p.port_bytes == 36 && p.design.mac_lanes == 457 && p.fits));
     }
 
     #[test]
@@ -115,8 +112,7 @@ mod tests {
         // DSP is the binding resource (Table 6: 80–91 % used), so 3× lanes
         // must be infeasible on the paper's device.
         let points = explore(64, &FpgaDevice::XCZU7EV);
-        let tripled: Vec<_> =
-            points.iter().filter(|p| p.design.mac_lanes > 1500).collect();
+        let tripled: Vec<_> = points.iter().filter(|p| p.design.mac_lanes > 1500).collect();
         assert!(!tripled.is_empty());
         assert!(tripled.iter().all(|p| !p.fits), "3x lanes should blow the DSP budget");
     }
@@ -130,7 +126,10 @@ mod tests {
         let at = |dim: usize, port: u32| {
             explore(dim, &XCZU15EG)
                 .into_iter()
-                .find(|p| p.port_bytes == port && p.design.mac_lanes == AcceleratorDesign::for_dim(dim).mac_lanes)
+                .find(|p| {
+                    p.port_bytes == port
+                        && p.design.mac_lanes == AcceleratorDesign::for_dim(dim).mac_lanes
+                })
                 .unwrap()
         };
         let narrow96 = at(96, 36);

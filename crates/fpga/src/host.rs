@@ -11,7 +11,7 @@
 
 use crate::accelerator::Accelerator;
 use seqge_core::model::EmbeddingModel;
-use seqge_core::{OsElmConfig, TrainConfig};
+use seqge_core::{train_all_pipelined, OsElmConfig, PipelinedOutcome, TrainConfig};
 use seqge_graph::Graph;
 use seqge_linalg::Mat;
 use seqge_sampling::{generate_corpus, NegativeTable, Rng64, UpdatePolicy, Walker};
@@ -28,6 +28,44 @@ pub struct HostReport {
     pub accel_ms: f64,
     /// Measured host-side time (walk generation + pre-sampling) in ms.
     pub host_ms: f64,
+}
+
+/// Outcome of a pipelined host-driven run: host-side pipeline telemetry
+/// plus the modeled accelerator cost of the same walks.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HostPipelineReport {
+    /// Host-side generation/training telemetry.
+    pub pipeline: PipelinedOutcome,
+    /// Contexts trained on the fabric.
+    pub contexts: u64,
+    /// Modeled PL cycles.
+    pub accel_cycles: u64,
+    /// Modeled PL time in ms.
+    pub accel_ms: f64,
+}
+
+impl HostPipelineReport {
+    /// End-to-end trained walks per wall-clock second.
+    pub fn walks_per_sec(&self) -> f64 {
+        if self.pipeline.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.pipeline.walks_trained as f64 / (self.pipeline.wall_ms / 1e3)
+    }
+
+    /// End-to-end trained contexts per wall-clock second.
+    pub fn contexts_per_sec(&self) -> f64 {
+        if self.pipeline.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.contexts as f64 / (self.pipeline.wall_ms / 1e3)
+    }
+
+    /// Fraction of ideal serial time hidden by the overlap (see
+    /// [`PipelinedOutcome::overlap_ratio`]).
+    pub fn overlap_ratio(&self) -> f64 {
+        self.pipeline.overlap_ratio()
+    }
 }
 
 /// Host driver wrapping an accelerator instance.
@@ -69,6 +107,32 @@ impl HostDriver {
         }
     }
 
+    /// Runs the "all" scenario with overlapped walk generation: walker
+    /// threads presample walks while this thread streams them into the
+    /// accelerator (the host-side analogue of the paper's CPU-presamples /
+    /// PL-trains split, §3.2). Deterministic per seed, independent of
+    /// `threads`; see [`seqge_core::sequential::train_all_pipelined`] for
+    /// the protocol details.
+    pub fn train_all_pipelined(
+        &mut self,
+        g: &Graph,
+        seed: u64,
+        threads: usize,
+    ) -> HostPipelineReport {
+        let cycles_before = self.accel.stats.cycles;
+        let contexts_before = self.accel.stats.contexts;
+        let cfg = self.cfg;
+        let pipeline = train_all_pipelined(g, &mut self.accel, &cfg, seed, threads);
+        let cycles = self.accel.stats.cycles - cycles_before;
+        let clock = self.accel.design().clock_mhz;
+        HostPipelineReport {
+            pipeline,
+            contexts: self.accel.stats.contexts - contexts_before,
+            accel_cycles: cycles,
+            accel_ms: cycles as f64 / (clock as f64 * 1e3),
+        }
+    }
+
     /// Runs the paper's "seq" scenario (§4.3.2) through the accelerator:
     /// spanning-forest start, then per-edge walks from both endpoints of
     /// each inserted edge, all trained on the simulated fabric.
@@ -77,8 +141,7 @@ impl HostDriver {
         let host_start = Instant::now();
         let split = spanning_forest(full);
         let mut g = split.initial_graph(full);
-        let stream =
-            EdgeStream::from_forest_split(&split, seed ^ 0xED6E).subsample(edge_fraction);
+        let stream = EdgeStream::from_forest_split(&split, seed ^ 0xED6E).subsample(edge_fraction);
         let mut walker = Walker::new(self.cfg.walk);
         let mut rng = Rng64::seed_from_u64(seed);
         let cycles_before = self.accel.stats.cycles;
@@ -148,12 +211,8 @@ mod tests {
     use seqge_sampling::Node2VecParams;
 
     fn cfgs(dim: usize) -> (TrainConfig, OsElmConfig) {
-        let model = ModelConfig {
-            dim,
-            window: 4,
-            negative_samples: 3,
-            ..ModelConfig::paper_defaults(dim)
-        };
+        let model =
+            ModelConfig { dim, window: 4, negative_samples: 3, ..ModelConfig::paper_defaults(dim) };
         let train = TrainConfig {
             walk: Node2VecParams { walk_length: 12, walks_per_node: 2, ..Default::default() },
             model,
@@ -185,6 +244,23 @@ mod tests {
         let report = driver.train_all(&g, 1);
         assert_eq!(report.walks, 0);
         assert_eq!(report.accel_cycles, 0);
+    }
+
+    #[test]
+    fn pipelined_host_run_matches_thread_counts_and_reports_throughput() {
+        let g = erdos_renyi(30, 0.2, 1);
+        let (train, oselm) = cfgs(8);
+        let mut d1 = HostDriver::new(30, train, oselm);
+        let r1 = d1.train_all_pipelined(&g, 7, 1);
+        let mut d4 = HostDriver::new(30, train, oselm);
+        let r4 = d4.train_all_pipelined(&g, 7, 4);
+        assert_eq!(d1.embedding(), d4.embedding(), "thread count must not change the model");
+        assert_eq!(r1.accel_cycles, r4.accel_cycles, "same walks → same modeled cycles");
+        assert_eq!(r1.contexts, r4.contexts);
+        assert_eq!(r1.pipeline.walks_trained, 60);
+        assert!(r4.walks_per_sec() > 0.0);
+        assert!(r4.contexts_per_sec() > 0.0);
+        assert!((0.0..=1.0).contains(&r4.overlap_ratio()));
     }
 
     #[test]

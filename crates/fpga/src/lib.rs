@@ -34,6 +34,6 @@ pub mod walker_accel;
 
 pub use accelerator::{AccelStats, Accelerator};
 pub use device::{FpgaDevice, Utilization};
-pub use host::{HostDriver, HostReport};
+pub use host::{HostDriver, HostPipelineReport, HostReport};
 pub use resources::{estimate_resources, AcceleratorDesign, ResourceEstimate};
 pub use timing::{TimingModel, WalkTiming};

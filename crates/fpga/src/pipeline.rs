@@ -76,12 +76,14 @@ pub fn stage_intervals(dim: usize, samples: usize) -> StageIntervals {
         // Stage 1: read+scale d values, lanes-wide.
         s1: chunks(d, lanes.s1) + 2,
         // Stage 2: d rows of a d-wide MAC each, rows pipelined at II=chunks.
-        s2: d * chunks(d, lanes.s2) / d.min(lanes.s2 as u64).max(1) + chunks(d, lanes.s2)
+        s2: d * chunks(d, lanes.s2) / d.min(lanes.s2 as u64).max(1)
+            + chunks(d, lanes.s2)
             + REDUCTION_LATENCY,
         // Stage 3: one dot product per sample, lanes-wide reduction.
         s3: samples as u64 * chunks(d, lanes.s3) + REDUCTION_LATENCY,
         // Stage 4: divider + rank-1 ΔP rows + Δβ columns.
-        s4: DIVIDER_LATENCY + d * chunks(d, lanes.s4) / d.min(lanes.s4 as u64).max(1)
+        s4: DIVIDER_LATENCY
+            + d * chunks(d, lanes.s4) / d.min(lanes.s4 as u64).max(1)
             + samples as u64 * chunks(d, lanes.s4),
     }
 }
@@ -106,10 +108,7 @@ mod tests {
         let i32_ = stage_intervals(32, 77).bottleneck();
         let i96 = stage_intervals(96, 77).bottleneck();
         assert!(i96 > i32_, "more work at higher dim");
-        assert!(
-            (i96 as f64) < 3.0 * i32_ as f64,
-            "lane widening must damp growth: {i32_} → {i96}"
-        );
+        assert!((i96 as f64) < 3.0 * i32_ as f64, "lane widening must damp growth: {i32_} → {i96}");
     }
 
     #[test]

@@ -188,7 +188,12 @@ mod tests {
         let dev = FpgaDevice::XCZU7EV;
         for &(dim, ..) in &PAPER_TABLE6 {
             let u = estimate_resources(&AcceleratorDesign::for_dim(dim)).utilization(&dev);
-            assert!(u.dsp_pct > u.bram_pct || dim == 64, "d={dim}: dsp {} bram {}", u.dsp_pct, u.bram_pct);
+            assert!(
+                u.dsp_pct > u.bram_pct || dim == 64,
+                "d={dim}: dsp {} bram {}",
+                u.dsp_pct,
+                u.bram_pct
+            );
             assert!(u.dsp_pct > u.ff_pct && u.dsp_pct > u.lut_pct, "d={dim}");
         }
     }

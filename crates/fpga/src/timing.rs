@@ -98,8 +98,8 @@ impl TimingModel {
         let dma_cycles = 2 * self.dma.transfer_cycles(p_bytes);
         let sample_bytes = (contexts as u64 * cols) * 4;
         let delta_bytes = cols * d * 4;
-        let overlapped = self.dma.transfer_cycles(sample_bytes)
-            + self.dma.transfer_cycles(delta_bytes);
+        let overlapped =
+            self.dma.transfer_cycles(sample_bytes) + self.dma.transfer_cycles(delta_bytes);
         let total = contexts as u64 * per_ctx + ii.fill() + dma_cycles;
         WalkTiming {
             contexts: contexts as u64,

@@ -48,7 +48,12 @@ impl WalkerDesign {
     /// Estimates walk-generation latency for walks of `walk_length` over a
     /// graph with `avg_degree`. Each step fetches the current node's
     /// neighbor list from DRAM (gather pattern) and runs the sampler.
-    pub fn walk_timing(&self, walk_length: usize, avg_degree: f64, dma: &DmaModel) -> WalkGenTiming {
+    pub fn walk_timing(
+        &self,
+        walk_length: usize,
+        avg_degree: f64,
+        dma: &DmaModel,
+    ) -> WalkGenTiming {
         let neighbor_bytes = (avg_degree.max(1.0) * 4.0).ceil() as u64;
         let fetch = dma.gather_cycles(1, neighbor_bytes);
         let per_step = fetch + self.sample_cycles as u64;

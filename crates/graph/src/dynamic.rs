@@ -61,8 +61,7 @@ impl EdgeStream {
         }
         let keep = ((self.edges.len() as f64 * fraction).round() as usize).max(1);
         let stride = self.edges.len() as f64 / keep as f64;
-        let edges =
-            (0..keep).map(|i| self.edges[(i as f64 * stride) as usize]).collect::<Vec<_>>();
+        let edges = (0..keep).map(|i| self.edges[(i as f64 * stride) as usize]).collect::<Vec<_>>();
         EdgeStream { edges }
     }
 

@@ -52,7 +52,10 @@ impl SbmParams {
         }
         let max_edges = self.num_nodes * (self.num_nodes - 1) / 2;
         if self.num_edges > max_edges {
-            return Err(format!("{} edges exceed the {} possible pairs", self.num_edges, max_edges));
+            return Err(format!(
+                "{} edges exceed the {} possible pairs",
+                self.num_edges, max_edges
+            ));
         }
         if !(0.0..=1.0).contains(&self.intra_fraction) {
             return Err("intra_fraction must be in [0, 1]".into());
@@ -236,10 +239,7 @@ mod tests {
     fn intra_fraction_is_respected() {
         let g = small().generate(3);
         let labels = g.labels().unwrap();
-        let intra = g
-            .edges()
-            .filter(|&(u, v, _)| labels[u as usize] == labels[v as usize])
-            .count();
+        let intra = g.edges().filter(|&(u, v, _)| labels[u as usize] == labels[v as usize]).count();
         let frac = intra as f64 / g.num_edges() as f64;
         assert!((0.7..=0.9).contains(&frac), "intra fraction {frac} outside expected band");
     }
@@ -258,18 +258,14 @@ mod tests {
 
     #[test]
     fn degree_skew_creates_hubs() {
-        let skewed = PlantedPartition::new(SbmParams {
-            degree_skew: 0.9,
-            ..SbmParams::new(400, 2400, 4)
-        })
-        .unwrap()
-        .generate(5);
-        let flat = PlantedPartition::new(SbmParams {
-            degree_skew: 0.0,
-            ..SbmParams::new(400, 2400, 4)
-        })
-        .unwrap()
-        .generate(5);
+        let skewed =
+            PlantedPartition::new(SbmParams { degree_skew: 0.9, ..SbmParams::new(400, 2400, 4) })
+                .unwrap()
+                .generate(5);
+        let flat =
+            PlantedPartition::new(SbmParams { degree_skew: 0.0, ..SbmParams::new(400, 2400, 4) })
+                .unwrap()
+                .generate(5);
         let max_deg = |g: &Graph| (0..g.num_nodes() as NodeId).map(|u| g.degree(u)).max().unwrap();
         assert!(
             max_deg(&skewed) > max_deg(&flat),

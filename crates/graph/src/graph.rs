@@ -204,10 +204,7 @@ mod tests {
         assert!(matches!(g.add_weighted_edge(0, 1, 0.0), Err(GraphError::BadWeight(_))));
         assert!(matches!(g.add_weighted_edge(0, 1, -2.0), Err(GraphError::BadWeight(_))));
         assert!(matches!(g.add_weighted_edge(0, 1, f32::NAN), Err(GraphError::BadWeight(_))));
-        assert!(matches!(
-            g.add_weighted_edge(0, 1, f32::INFINITY),
-            Err(GraphError::BadWeight(_))
-        ));
+        assert!(matches!(g.add_weighted_edge(0, 1, f32::INFINITY), Err(GraphError::BadWeight(_))));
     }
 
     #[test]
@@ -230,10 +227,7 @@ mod tests {
     #[test]
     fn labels_length_checked() {
         let mut g = triangle();
-        assert!(matches!(
-            g.set_labels(vec![0, 1]),
-            Err(GraphError::LabelLengthMismatch { .. })
-        ));
+        assert!(matches!(g.set_labels(vec![0, 1]), Err(GraphError::LabelLengthMismatch { .. })));
     }
 
     #[test]

@@ -72,9 +72,8 @@ pub fn read_graph<R: Read>(r: R) -> Result<Graph> {
             labels.push(l);
             continue;
         }
-        let g = g
-            .as_mut()
-            .ok_or_else(|| GraphError::Io("edge before '# nodes <n>' header".into()))?;
+        let g =
+            g.as_mut().ok_or_else(|| GraphError::Io("edge before '# nodes <n>' header".into()))?;
         let mut it = line.split_whitespace();
         let parse_u32 = |s: Option<&str>| -> Result<u32> {
             s.ok_or_else(|| GraphError::Io(format!("line {}: missing field", lineno + 1)))?
@@ -84,9 +83,9 @@ pub fn read_graph<R: Read>(r: R) -> Result<Graph> {
         let u = parse_u32(it.next())?;
         let v = parse_u32(it.next())?;
         let w: f32 = match it.next() {
-            Some(s) => s
-                .parse()
-                .map_err(|_| GraphError::Io(format!("line {}: bad weight", lineno + 1)))?,
+            Some(s) => {
+                s.parse().map_err(|_| GraphError::Io(format!("line {}: bad weight", lineno + 1)))?
+            }
             None => 1.0,
         };
         g.add_weighted_edge(u, v, w)?;
@@ -124,10 +123,7 @@ mod tests {
         let g = ring(5);
         let h = roundtrip(&g);
         assert_eq!(h.num_nodes(), 5);
-        assert_eq!(
-            g.edges().collect::<Vec<_>>(),
-            h.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
         assert!(h.labels().is_none());
     }
 

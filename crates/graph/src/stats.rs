@@ -74,11 +74,9 @@ pub fn label_homophily(g: &Graph) -> Option<f64> {
     if g.num_edges() == 0 {
         return None;
     }
-    let intra =
-        g.edges().filter(|&(u, v, _)| labels[u as usize] == labels[v as usize]).count();
+    let intra = g.edges().filter(|&(u, v, _)| labels[u as usize] == labels[v as usize]).count();
     Some(intra as f64 / g.num_edges() as f64)
 }
-
 
 /// PageRank by power iteration with uniform teleport (damping `d`), on the
 /// undirected graph (each edge contributes both directions). Dangling nodes
@@ -95,13 +93,13 @@ pub fn pagerank(g: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
     for _ in 0..iterations {
         let mut dangling_mass = 0.0f64;
         next.fill((1.0 - damping) * uniform);
-        for u in 0..n {
+        for (u, &rank_u) in rank.iter().enumerate() {
             let deg = g.degree(u as NodeId);
             if deg == 0 {
-                dangling_mass += rank[u];
+                dangling_mass += rank_u;
                 continue;
             }
-            let share = damping * rank[u] / deg as f64;
+            let share = damping * rank_u / deg as f64;
             for &(v, _) in g.neighbors(u as NodeId) {
                 next[v as usize] += share;
             }
@@ -248,5 +246,4 @@ mod tests {
         let p = path(3);
         assert_eq!(local_clustering(&p, 1), 0.0);
     }
-
 }

@@ -6,8 +6,7 @@ use seqge_graph::stats::connected_components;
 use seqge_graph::{spanning_forest, EdgeStream, Graph};
 
 fn random_graph() -> impl Strategy<Value = Graph> {
-    (5usize..60, 0.0f64..0.3, any::<u64>())
-        .prop_map(|(n, p, seed)| erdos_renyi(n, p, seed))
+    (5usize..60, 0.0f64..0.3, any::<u64>()).prop_map(|(n, p, seed)| erdos_renyi(n, p, seed))
 }
 
 proptest! {

@@ -119,6 +119,24 @@ impl<T: Scalar> Mat<T> {
         &mut self.data
     }
 
+    /// Forces exact symmetry in place: `self[(r,c)] = self[(c,r)] =
+    /// ½·(self[(r,c)] + self[(c,r)])`. A no-op (bit-for-bit) on an
+    /// already-symmetric matrix. The OS-ELM models call this once at cold
+    /// entry points (batch init, state restore) so the hot-path `P`
+    /// kernels — which *preserve* exact symmetry but do not restore it —
+    /// can skip per-update symmetrization.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize: matrix must be square");
+        let half = T::from_f64(0.5);
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                let avg = half * (self[(r, c)] + self[(c, r)]);
+                self[(r, c)] = avg;
+                self[(c, r)] = avg;
+            }
+        }
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> Mat<T> {
         Mat::from_fn(self.cols, self.rows, |r, c| self[(c, r)])

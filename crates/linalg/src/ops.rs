@@ -3,13 +3,70 @@
 //! These are the exact operations in Algorithm 1 / Algorithm 2 of the paper:
 //! dot products (`H·βcol`), axpy column updates (`β += (P·Hᵀ)·e`), gemv
 //! (`P·Hᵀ`, `H·P`), and the symmetric rank-1 downdate of `P`.
+//!
+//! The element-parallel kernels (`dot`, `axpy`, `scal`, `gemv`, …) are
+//! written over `chunks_exact` with 8-wide unrolling so LLVM autovectorizes
+//! them without a SIMD dependency. `axpy`/`scal` stay bit-identical to a
+//! sequential loop (elementwise, no reassociation); `dot` carries eight
+//! independent accumulators, which reassociates the sum — [`dot_ref`] keeps
+//! the sequential fold as the tolerance oracle and bench baseline.
+//!
+//! Two fused/batched kernels serve the OS-ELM hot path specifically:
+//! [`p_downdate_forget`] collapses the EW-RLS `P` maintenance
+//! (downdate → inflate → trace-cap → symmetrize) into one contiguous
+//! full-matrix sweep, and [`gemv_rows`]/[`ger_rows`] turn the sample
+//! stage's scattered per-column dot/axpy pairs into gathered-row block
+//! operations.
+//!
+//! The symmetric `P` kernels ([`p_downdate_sym`], [`p_downdate_forget`])
+//! rest on one IEEE-754 fact: multiplication is commutative *bitwise*
+//! (`a*b == b*a` exactly). Writing the rank-1 term as
+//! `neg_inv·(ph[r]·ph[c])` — instead of hoisting `neg_inv·ph[r]` per
+//! row — makes the (r,c) and (c,r) updates compute the identical value,
+//! so exactly symmetric input stays exactly symmetric through a plain
+//! full-matrix sweep with contiguous stores. An earlier iteration
+//! mirrored an upper-triangle sweep into the lower triangle instead;
+//! the column-strided stores made it ~3× slower than the naive ger it
+//! replaced, which is why no kernel here writes across rows.
 
 use crate::matrix::Mat;
 use crate::scalar::Scalar;
 
-/// `x · y`.
+/// `x · y`, unrolled 8-wide with independent accumulators (two 4-lane
+/// registers' worth, enough chains to hide the add latency).
+///
+/// The accumulator chains reassociate the sum relative to a sequential
+/// fold; the difference is bounded by ordinary float summation error
+/// (≈ n·ε·Σ|xᵢyᵢ|). For `len < 8` only the tail loop runs and the
+/// result is bit-identical to [`dot_ref`].
 #[inline]
 pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    debug_assert_eq!(x.len(), y.len());
+    let mut xs = x.chunks_exact(8);
+    let mut ys = y.chunks_exact(8);
+    let (mut a0, mut a1, mut a2, mut a3) = (T::ZERO, T::ZERO, T::ZERO, T::ZERO);
+    let (mut a4, mut a5, mut a6, mut a7) = (T::ZERO, T::ZERO, T::ZERO, T::ZERO);
+    for (cx, cy) in (&mut xs).zip(&mut ys) {
+        a0 += cx[0] * cy[0];
+        a1 += cx[1] * cy[1];
+        a2 += cx[2] * cy[2];
+        a3 += cx[3] * cy[3];
+        a4 += cx[4] * cy[4];
+        a5 += cx[5] * cy[5];
+        a6 += cx[6] * cy[6];
+        a7 += cx[7] * cy[7];
+    }
+    let mut tail = T::ZERO;
+    for (&xv, &yv) in xs.remainder().iter().zip(ys.remainder()) {
+        tail += xv * yv;
+    }
+    ((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7)) + tail
+}
+
+/// Sequential-fold `x · y` — the pre-vectorization kernel, kept as the
+/// reassociation oracle for tests and the baseline for the kernel benches.
+#[inline]
+pub fn dot_ref<T: Scalar>(x: &[T], y: &[T]) -> T {
     debug_assert_eq!(x.len(), y.len());
     let mut acc = T::ZERO;
     for i in 0..x.len() {
@@ -18,19 +75,43 @@ pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     acc
 }
 
-/// `y += a · x`.
+/// `y += a · x`. Elementwise (no reassociation): bit-identical to the
+/// sequential loop for every length.
 #[inline]
 pub fn axpy<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
     debug_assert_eq!(x.len(), y.len());
-    for i in 0..x.len() {
-        y[i] += a * x[i];
+    let mut xs = x.chunks_exact(8);
+    let mut ys = y.chunks_exact_mut(8);
+    for (cx, cy) in (&mut xs).zip(&mut ys) {
+        cy[0] += a * cx[0];
+        cy[1] += a * cx[1];
+        cy[2] += a * cx[2];
+        cy[3] += a * cx[3];
+        cy[4] += a * cx[4];
+        cy[5] += a * cx[5];
+        cy[6] += a * cx[6];
+        cy[7] += a * cx[7];
+    }
+    for (&xv, yv) in xs.remainder().iter().zip(ys.into_remainder()) {
+        *yv += a * xv;
     }
 }
 
-/// `x *= a`.
+/// `x *= a`. Elementwise: bit-identical to the sequential loop.
 #[inline]
 pub fn scal<T: Scalar>(a: T, x: &mut [T]) {
-    for v in x {
+    let mut xs = x.chunks_exact_mut(8);
+    for c in &mut xs {
+        c[0] *= a;
+        c[1] *= a;
+        c[2] *= a;
+        c[3] *= a;
+        c[4] *= a;
+        c[5] *= a;
+        c[6] *= a;
+        c[7] *= a;
+    }
+    for v in xs.into_remainder() {
         *v *= a;
     }
 }
@@ -41,6 +122,10 @@ pub fn norm2<T: Scalar>(x: &[T]) -> T {
 }
 
 /// `y = A · x` for row-major `A` (`rows×cols`), `x` of length `cols`.
+/// One unrolled [`dot`] per row: consecutive rows carry independent
+/// accumulator chains, so the out-of-order core overlaps them without
+/// any explicit interleaving (hand-paired two-row chains measured
+/// *slower* than this loop).
 pub fn gemv<T: Scalar>(a: &Mat<T>, x: &[T], y: &mut [T]) {
     assert_eq!(a.cols(), x.len(), "gemv: x length mismatch");
     assert_eq!(a.rows(), y.len(), "gemv: y length mismatch");
@@ -69,6 +154,33 @@ pub fn ger<T: Scalar>(a_mat: &mut Mat<T>, a: T, x: &[T], y: &[T]) {
     }
 }
 
+/// Batched gathered-row dot: `out[k] = A[rows[k], :] · x`.
+///
+/// This is the sample stage's block kernel — the per-sample `H·β[:,s]`
+/// dots of Algorithm 1 line 9 gathered into one call, writing into a
+/// reused buffer so the sample loop carries no per-sample bounds
+/// re-derivation or allocation. Each output is `dot(a.row(rows[k]), x)`
+/// exactly.
+pub fn gemv_rows<T: Scalar>(a: &Mat<T>, rows: &[usize], x: &[T], out: &mut Vec<T>) {
+    assert_eq!(a.cols(), x.len(), "gemv_rows: x length mismatch");
+    out.clear();
+    out.reserve(rows.len());
+    for &r in rows {
+        out.push(dot(a.row(r), x));
+    }
+}
+
+/// Batched gathered-row rank-1 accumulation: `A[rows[k], :] += coeffs[k]·x`,
+/// applied in index order so duplicate rows accumulate exactly like the
+/// sequential axpy loop it replaces.
+pub fn ger_rows<T: Scalar>(a: &mut Mat<T>, rows: &[usize], coeffs: &[T], x: &[T]) {
+    assert_eq!(rows.len(), coeffs.len(), "ger_rows: coeffs length mismatch");
+    assert_eq!(a.cols(), x.len(), "ger_rows: x length mismatch");
+    for (&r, &c) in rows.iter().zip(coeffs) {
+        axpy(c, x, a.row_mut(r));
+    }
+}
+
 /// The OS-ELM `P` downdate:
 /// `P ← P − (P Hᵀ)(H P) / denom`, where `ph = P·Hᵀ` and `hp = H·P` are
 /// precomputed `d`-vectors and `denom` is `1 + H·P·Hᵀ` (regularized) or
@@ -81,6 +193,98 @@ pub fn p_downdate<T: Scalar>(p: &mut Mat<T>, ph: &[T], hp: &[T], denom: T) {
     assert_eq!(p.cols(), hp.len());
     let inv = T::ONE / denom;
     ger(p, -inv, ph, hp);
+}
+
+/// Symmetric rank-1 downdate `P ← P − (ph·phᵀ)/denom`.
+///
+/// The update term is formed as `neg_inv·(ph[r]·ph[c])` — both inner
+/// products commute bitwise, so positions (r,c) and (c,r) receive the
+/// identical addend and exactly symmetric `P` stays exactly symmetric:
+/// the property the downdate analytically preserves and the hardware's
+/// triangular `P` storage enforces for free. Versus [`p_downdate`]
+/// (which hoists `neg_inv·ph[r]` per row) each element differs by at
+/// most the one re-rounding of the reassociated product — ulp-level.
+/// The sweep itself is full-matrix with contiguous stores, so it runs
+/// at [`ger`] speed rather than paying strided mirror writes.
+pub fn p_downdate_sym<T: Scalar>(p: &mut Mat<T>, ph: &[T], denom: T) {
+    let d = p.rows();
+    assert_eq!(p.cols(), d, "p_downdate_sym: P must be square");
+    assert_eq!(ph.len(), d, "p_downdate_sym: ph length mismatch");
+    let neg_inv = -(T::ONE / denom);
+    let s = p.as_mut_slice();
+    for (row, &phr) in s.chunks_exact_mut(d).zip(ph) {
+        for (v, &phc) in row.iter_mut().zip(ph) {
+            *v += neg_inv * (phr * phc);
+        }
+    }
+}
+
+/// Fused EW-RLS `P` maintenance: rank-1 downdate, `1/λ` inflation, and
+/// PSD-preserving trace cap in one O(d) diagonal pass plus one
+/// contiguous full-matrix sweep. The multi-pass form
+/// ([`p_downdate_forget_ref`]) walks the `d×d` matrix up to four times
+/// (downdate, inflate, cap, symmetrize); the fused sweep touches each
+/// element exactly once.
+///
+/// `inv_lambda` must be the caller-computed `1/λ` and `cap` the trace cap
+/// (`p0_scale · d`).
+///
+/// The reference's symmetrize pass is not replicated — it is made
+/// redundant: the commutative-product form `neg_inv·(ph[r]·ph[c])` gives
+/// (r,c) and (c,r) bitwise-identical updates, so exactly symmetric `P`
+/// stays exactly symmetric with no averaging pass (callers establish
+/// exact symmetry at cold entry points; see `Mat::symmetrize`). Versus
+/// the reference the result differs only by float reassociation: one
+/// re-rounding from the product regrouping plus the symmetrize average
+/// of two ulp-apart mirror values — ≤ a few ulp per element, covered by
+/// the tolerance test below. (The λ = 1 model path calls
+/// [`p_downdate_sym`], which makes the same trade.)
+pub fn p_downdate_forget<T: Scalar>(p: &mut Mat<T>, ph: &[T], denom: T, inv_lambda: T, cap: T) {
+    let d = p.rows();
+    assert_eq!(p.cols(), d, "p_downdate_forget: P must be square");
+    assert_eq!(ph.len(), d, "p_downdate_forget: ph length mismatch");
+    let neg_inv = -(T::ONE / denom);
+    let s = p.as_mut_slice();
+    // The trace cap depends on the post-downdate inflated diagonal, which
+    // is computable in O(d) before any element is written.
+    let mut trace = T::ZERO;
+    for i in 0..d {
+        trace += (s[i * d + i] + neg_inv * (ph[i] * ph[i])) * inv_lambda;
+    }
+    let capped = trace > cap;
+    let gain = if capped { cap / trace } else { T::ONE };
+    for (row, &phr) in s.chunks_exact_mut(d).zip(ph) {
+        if capped {
+            for (v, &phc) in row.iter_mut().zip(ph) {
+                *v = ((*v + neg_inv * (phr * phc)) * inv_lambda) * gain;
+            }
+        } else {
+            for (v, &phc) in row.iter_mut().zip(ph) {
+                *v = (*v + neg_inv * (phr * phc)) * inv_lambda;
+            }
+        }
+    }
+}
+
+/// Multi-pass reference for [`p_downdate_forget`]: the literal
+/// downdate → `scal(1/λ)` → trace-cap → symmetrize sequence the fused
+/// kernel replaces. Kept as the equivalence oracle and the bench baseline.
+pub fn p_downdate_forget_ref<T: Scalar>(p: &mut Mat<T>, ph: &[T], denom: T, inv_lambda: T, cap: T) {
+    p_downdate(p, ph, ph, denom);
+    scal(inv_lambda, p.as_mut_slice());
+    let d = p.rows();
+    let trace: T = (0..d).map(|i| p[(i, i)]).sum();
+    if trace > cap {
+        scal(cap / trace, p.as_mut_slice());
+    }
+    let half = T::from_f64(0.5);
+    for r in 0..d {
+        for c in (r + 1)..d {
+            let avg = half * (p[(r, c)] + p[(c, r)]);
+            p[(r, c)] = avg;
+            p[(c, r)] = avg;
+        }
+    }
 }
 
 /// Elementwise `out = x - y`.
@@ -108,6 +312,10 @@ pub fn sigmoid<T: Scalar>(x: T) -> T {
 mod tests {
     use super::*;
 
+    fn fill(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
     #[test]
     fn dot_axpy_scal() {
         let x = [1.0f64, 2.0, 3.0];
@@ -121,12 +329,61 @@ mod tests {
     }
 
     #[test]
+    fn unrolled_dot_close_to_sequential_reference() {
+        // The 4-accumulator unroll reassociates the sum; the drift must
+        // stay within float summation error at every length (remainder
+        // paths 0..3 included).
+        for n in [1usize, 3, 4, 5, 7, 8, 31, 64, 97] {
+            let x = fill(n, |i| (i as f64 * 0.7).sin());
+            let y = fill(n, |i| (i as f64 * 1.3).cos());
+            let (a, b) = (dot(&x, &y), dot_ref(&x, &y));
+            assert!((a - b).abs() <= 1e-12 * n as f64, "n={n}: {a} vs {b}");
+            if n < 4 {
+                assert_eq!(a, b, "sub-chunk lengths take the sequential tail path");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_scal_bit_identical_to_sequential() {
+        for n in [1usize, 3, 4, 6, 8, 17, 33] {
+            let x = fill(n, |i| (i as f64 * 0.9).sin());
+            let mut y = fill(n, |i| (i as f64 * 0.4).cos());
+            let mut y_ref = y.clone();
+            axpy(1.7, &x, &mut y);
+            for i in 0..n {
+                y_ref[i] += 1.7 * x[i];
+            }
+            assert_eq!(y, y_ref, "axpy n={n}");
+            let mut z = y.clone();
+            let mut z_ref = y;
+            scal(0.3, &mut z);
+            for v in &mut z_ref {
+                *v *= 0.3;
+            }
+            assert_eq!(z, z_ref, "scal n={n}");
+        }
+    }
+
+    #[test]
     fn gemv_matches_manual() {
         let a = Mat::from_vec(2, 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let x = [1.0, 0.0, -1.0];
         let mut y = [0.0; 2];
         gemv(&a, &x, &mut y);
         assert_eq!(y, [-2.0, -2.0]);
+    }
+
+    #[test]
+    fn gemv_row_pairing_matches_per_row_dots() {
+        // Odd row count and width exercise the unrolled body plus the tail.
+        let a = Mat::from_fn(7, 9, |r, c| ((r * 9 + c) as f64 * 0.31).sin());
+        let x = fill(9, |i| (i as f64 * 0.77).cos());
+        let mut y = [0.0; 7];
+        gemv(&a, &x, &mut y);
+        for (r, &yr) in y.iter().enumerate() {
+            assert_eq!(yr, dot(a.row(r), &x), "row {r}");
+        }
     }
 
     #[test]
@@ -138,7 +395,11 @@ mod tests {
         let at = a.transpose();
         let mut y2 = [0.0; 2];
         gemv(&at, &x, &mut y2);
-        assert_eq!(y1, y2);
+        // gemv_t accumulates by row-sweep, gemv by per-row dot: the sums
+        // reassociate, so equality is up to float summation error.
+        for (v1, v2) in y1.iter().zip(&y2) {
+            assert!((v1 - v2).abs() < 1e-12, "{v1} vs {v2}");
+        }
     }
 
     #[test]
@@ -146,6 +407,31 @@ mod tests {
         let mut a = Mat::<f64>::zeros(2, 2);
         ger(&mut a, 2.0, &[1.0, 3.0], &[5.0, 7.0]);
         assert_eq!(a.as_slice(), &[10.0, 14.0, 30.0, 42.0]);
+    }
+
+    #[test]
+    fn gemv_rows_matches_individual_dots() {
+        let a = Mat::from_fn(10, 13, |r, c| ((r * 13 + c) as f64 * 0.23).sin());
+        let x = fill(13, |i| (i as f64 * 0.5).cos());
+        for rows in [vec![3usize], vec![9, 0], vec![1, 1, 4, 4, 2]] {
+            let mut out = Vec::new();
+            gemv_rows(&a, &rows, &x, &mut out);
+            assert_eq!(out.len(), rows.len());
+            for (k, &r) in rows.iter().enumerate() {
+                assert_eq!(out[k], dot(a.row(r), &x), "rows={rows:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn ger_rows_accumulates_duplicates_in_order() {
+        let mut a = Mat::<f64>::zeros(4, 3);
+        let x = [1.0, 2.0, 4.0];
+        // Row 2 appears twice: updates must stack exactly like two axpys.
+        ger_rows(&mut a, &[2, 0, 2], &[1.0, 10.0, 0.5], &x);
+        assert_eq!(a.row(0), &[10.0, 20.0, 40.0]);
+        assert_eq!(a.row(2), &[1.5, 3.0, 6.0]);
+        assert_eq!(a.row(1), &[0.0, 0.0, 0.0]);
     }
 
     #[test]
@@ -181,6 +467,98 @@ mod tests {
         ger(&mut m, 1.0, &h, &h);
         let prod = p.matmul(&m);
         assert!(prod.max_abs_diff(&Mat::identity(2)) < 1e-12);
+    }
+
+    /// An exactly symmetric PSD-ish matrix (the invariant the models
+    /// establish at cold entry points via `Mat::symmetrize`).
+    fn sym_p(d: usize) -> Mat<f32> {
+        Mat::from_fn(d, d, |r, c| {
+            let (lo, hi) = (r.min(c), r.max(c));
+            if r == c {
+                5.0
+            } else {
+                0.1 * ((lo * d + hi) as f32 * 0.7).sin()
+            }
+        })
+    }
+
+    #[test]
+    fn sym_downdate_matches_general_within_reassociation() {
+        for d in [1usize, 2, 3, 8, 17] {
+            let ph: Vec<f32> = (0..d).map(|i| ((i + 1) as f32 * 0.37).sin()).collect();
+            let mut sym = sym_p(d);
+            let mut gen = sym_p(d);
+            p_downdate_sym(&mut sym, &ph, 1.37);
+            p_downdate(&mut gen, &ph, &ph, 1.37);
+            // One product regrouping per element: ulp-level drift only.
+            assert!(sym.max_abs_diff(&gen) <= 1e-5, "d={d}");
+        }
+    }
+
+    #[test]
+    fn sym_downdate_preserves_exact_symmetry() {
+        let mut p = sym_p(9);
+        let ph: Vec<f32> = (0..9).map(|i| (i as f32 * 0.9).cos()).collect();
+        for _ in 0..50 {
+            p_downdate_sym(&mut p, &ph, 2.0);
+        }
+        for r in 0..9 {
+            for c in 0..9 {
+                assert_eq!(p[(r, c)], p[(c, r)], "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_p_downdate_forget_matches_multipass_within_reassociation() {
+        for d in [1usize, 2, 3, 8, 17] {
+            let ph: Vec<f32> = (0..d).map(|i| ((i + 1) as f32 * 0.37).sin()).collect();
+            let denom = 1.37f32;
+            let inv_lambda = 1.0 / 0.98f32;
+            // Cap low enough to trigger the rescale branch on some dims.
+            for cap in [4.0f32 * d as f32, 1000.0] {
+                let mut fused = sym_p(d);
+                let mut multi = sym_p(d);
+                p_downdate_forget(&mut fused, &ph, denom, inv_lambda, cap);
+                p_downdate_forget_ref(&mut multi, &ph, denom, inv_lambda, cap);
+                // Drift bound: the product regrouping re-rounds once and
+                // the reference's symmetrize averages two ulp-apart mirror
+                // values — a few ulp of ~5.0-magnitude f32 entries.
+                assert!(
+                    fused.max_abs_diff(&multi) <= 1e-5,
+                    "d={d} cap={cap}: fused sweep beyond reassociation bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_p_downdate_forget_preserves_exact_symmetry() {
+        let mut p = sym_p(9);
+        let ph: Vec<f32> = (0..9).map(|i| (i as f32 * 0.9).cos()).collect();
+        // Iterate with forgetting: any seeded asymmetry would inflate by
+        // 1/λ per step, so exact preservation is load-bearing here.
+        for _ in 0..50 {
+            p_downdate_forget(&mut p, &ph, 2.0, 1.0 / 0.95, 45.0);
+        }
+        for r in 0..9 {
+            for c in 0..9 {
+                assert_eq!(p[(r, c)], p[(c, r)], "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn mat_symmetrize_is_noop_on_symmetric_input() {
+        let mut p = sym_p(6);
+        let before = p.as_slice().to_vec();
+        p.symmetrize();
+        assert_eq!(p.as_slice(), &before[..], "½·(a+a) must round-trip");
+        // And it repairs a dented matrix to exact symmetry.
+        let mut dented = sym_p(6);
+        dented[(2, 4)] += 1e-3;
+        dented.symmetrize();
+        assert_eq!(dented[(2, 4)], dented[(4, 2)]);
     }
 
     #[test]

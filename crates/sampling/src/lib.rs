@@ -15,10 +15,13 @@
 //! * [`window`] — slicing a walk into (center, positives) training contexts.
 //! * [`corpus`] — walk accumulation and node-frequency bookkeeping.
 //! * [`negative`] — the negative-sampling table with its update policy.
+//! * [`pipeline`] — overlapped walk generation: walker threads feed a
+//!   consumer in deterministic walk-index order over bounded channels.
 
 pub mod alias;
 pub mod corpus;
 pub mod negative;
+pub mod pipeline;
 pub mod preprocessed;
 pub mod rng;
 pub mod walk;
@@ -27,7 +30,8 @@ pub mod window;
 pub use alias::AliasTable;
 pub use corpus::{generate_corpus, WalkCorpus};
 pub use negative::{NegativeTable, UpdatePolicy};
+pub use pipeline::{generate_corpus_pipelined, stream_walks, PipelineConfig, PipelineStats};
 pub use preprocessed::PreprocessedWalker;
-pub use rng::Rng64;
+pub use rng::{stream_seed, Rng64};
 pub use walk::{Node2VecParams, StepStrategy, WalkGraph, Walker};
-pub use window::{contexts, Context};
+pub use window::{context_windows, contexts, Context, ContextWindows};

@@ -85,6 +85,31 @@ impl Rng64 {
     pub fn split(&mut self) -> Rng64 {
         Rng64::seed_from_u64(self.next_u64())
     }
+
+    /// Creates the generator for logical stream `stream` of `seed` — see
+    /// [`stream_seed`]. This is how the walk pipeline gives every walk its
+    /// own decorrelated generator that depends only on `(seed, walk_index)`,
+    /// never on which worker thread runs the walk.
+    pub fn for_stream(seed: u64, stream: u64) -> Rng64 {
+        Rng64::seed_from_u64(stream_seed(seed, stream))
+    }
+}
+
+/// Mixes `(seed, stream)` into a single decorrelated seed by running two
+/// rounds of the SplitMix64 finalizer over their combination.
+///
+/// Unlike ad-hoc mixes such as `seed ^ (stream << 32)` (which leave most
+/// low bits of `stream` untouched and collide for small seeds), every input
+/// bit avalanches through both multiply-xorshift rounds, so adjacent stream
+/// indices produce unrelated xoshiro initial states.
+pub fn stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -169,6 +194,30 @@ mod tests {
         let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
         let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn stream_seeds_decorrelated_even_for_adjacent_streams() {
+        // Small seeds and consecutive stream indices must still give
+        // unrelated streams (the failure mode of shift-based mixing).
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..8u64 {
+            for stream in 0..256u64 {
+                assert!(seen.insert(stream_seed(seed, stream)), "collision at ({seed},{stream})");
+            }
+        }
+        let mut a = Rng64::for_stream(3, 0);
+        let mut b = Rng64::for_stream(3, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn stream_zero_differs_from_plain_seed() {
+        // for_stream(seed, 0) is its own stream, not an alias of
+        // seed_from_u64(seed).
+        assert_ne!(Rng64::for_stream(7, 0).next_u64(), Rng64::seed_from_u64(7).next_u64());
     }
 
     #[test]

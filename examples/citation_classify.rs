@@ -13,11 +13,8 @@ use seqge::eval::{evaluate_embedding, EvalConfig};
 use seqge::graph::Dataset;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.3f64)
-        .clamp(0.01, 1.0);
+    let scale: f64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.3f64).clamp(0.01, 1.0);
     let g = Dataset::Cora.generate_scaled(scale, 11);
     let labels = g.labels().expect("labelled").to_vec();
     println!(

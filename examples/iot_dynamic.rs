@@ -78,12 +78,7 @@ fn main() {
         table.on_edge_inserted(&corpus);
         if (i + 1) % chunk == 0 || i + 1 == stream.len() {
             let f = evaluate_embedding(&model.embedding(), &labels, classes, &eval_cfg, 5);
-            println!(
-                "F1 after {:>5} / {} edges arrived: {:.3}",
-                i + 1,
-                stream.len(),
-                f.micro_f1
-            );
+            println!("F1 after {:>5} / {} edges arrived: {:.3}", i + 1, stream.len(), f.micro_f1);
         }
     }
     println!("sequential training absorbed the dynamic graph without retraining from scratch ✓");

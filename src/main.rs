@@ -13,10 +13,10 @@
 
 use seqge::core::model::EmbeddingModel;
 use seqge::core::{
-    persist, train_all_scenario, train_seq_scenario, OsElmConfig, OsElmSkipGram, SkipGram,
-    TrainConfig,
+    persist, train_all_pipelined, train_all_scenario, train_seq_scenario, OsElmConfig,
+    OsElmSkipGram, SkipGram, TrainConfig,
 };
-use seqge::eval::{evaluate_embedding, EvalConfig, EdgeOp, LinkPredSet};
+use seqge::eval::{evaluate_embedding, EdgeOp, EvalConfig, LinkPredSet};
 use seqge::fpga::{estimate_resources, AcceleratorDesign, FpgaDevice, TimingModel};
 use seqge::graph::{io as graph_io, Dataset, Graph};
 use seqge::sampling::UpdatePolicy;
@@ -60,8 +60,11 @@ const USAGE: &str = "seqge — sequential graph embedding (node2vec + OS-ELM)
 
 commands:
   generate --dataset cora|ampt|amcp [--scale f] [--seed n] --out FILE
-  train    --graph FILE [--model oselm|skipgram] [--dim n] [--seq]
+  train    --graph FILE [--model oselm|skipgram] [--dim n] [--seq] [--threads n]
            [--mu f] [--forgetting f] [--seed n] [--out MODEL] [--emb FILE] [--tsv FILE]
+           (--threads n overlaps walk generation with training on n walker
+            threads, 0 = all cores; the trained model is identical for any
+            thread count)
   eval     --graph FILE --emb FILE [--linkpred] [--seed n]
   simulate [--dim n]";
 
@@ -106,7 +109,8 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     let scale: f64 = get(flags, "scale", 1.0)?;
     let seed: u64 = get(flags, "seed", 42)?;
     let out = require(flags, "out")?;
-    let g = if scale >= 1.0 { dataset.generate(seed) } else { dataset.generate_scaled(scale, seed) };
+    let g =
+        if scale >= 1.0 { dataset.generate(seed) } else { dataset.generate_scaled(scale, seed) };
     graph_io::save_graph(&g, out).map_err(|e| e.to_string())?;
     println!(
         "wrote {} ({} nodes, {} edges, {} classes)",
@@ -127,6 +131,13 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let dim: usize = get(flags, "dim", 32)?;
     let seed: u64 = get(flags, "seed", 42)?;
     let seq = flags.contains_key("seq");
+    let threads: Option<usize> = match flags.get("threads") {
+        Some(v) => Some(v.parse().map_err(|_| format!("--threads: cannot parse `{v}`"))?),
+        None => None,
+    };
+    if seq && threads.is_some() {
+        return Err("--threads overlaps full-corpus training; it cannot combine with --seq".into());
+    }
     let model_kind = flags.get("model").map(String::as_str).unwrap_or("oselm");
     let mut cfg = TrainConfig::paper_defaults(dim);
     cfg.model.seed = seed;
@@ -148,6 +159,8 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
                     "sequential: {} edges replayed, {} walks trained, {} table rebuilds",
                     outcome.edges_inserted, outcome.walks_trained, outcome.table_rebuilds
                 );
+            } else if let Some(t) = threads {
+                report_pipelined(train_all_pipelined(&g, &mut m, &cfg, seed, t));
             } else {
                 train_all_scenario(&g, &mut m, &cfg, seed);
             }
@@ -166,6 +179,8 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
                     "sequential: {} edges replayed, {} walks trained",
                     outcome.edges_inserted, outcome.walks_trained
                 );
+            } else if let Some(t) = threads {
+                report_pipelined(train_all_pipelined(&g, &mut m, &cfg, seed, t));
             } else {
                 train_all_scenario(&g, &mut m, &cfg, seed);
             }
@@ -192,6 +207,18 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         println!("embedding TSV written to {path}");
     }
     Ok(())
+}
+
+fn report_pipelined(outcome: seqge::core::PipelinedOutcome) {
+    println!(
+        "pipelined: {} walker thread(s), {} walks trained, gen busy {:.0} ms, \
+         train busy {:.0} ms, overlap {:.2}",
+        outcome.threads,
+        outcome.walks_trained,
+        outcome.gen_busy_ms,
+        outcome.train_busy_ms,
+        outcome.overlap_ratio()
+    );
 }
 
 fn cmd_eval(flags: &Flags) -> Result<(), String> {
@@ -231,7 +258,11 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let est = estimate_resources(&design);
     let util = est.utilization(&FpgaDevice::XCZU7EV);
     let timing = TimingModel::default();
-    println!("accelerator build d={dim} @ {} MHz on {}:", design.clock_mhz, FpgaDevice::XCZU7EV.name);
+    println!(
+        "accelerator build d={dim} @ {} MHz on {}:",
+        design.clock_mhz,
+        FpgaDevice::XCZU7EV.name
+    );
     println!(
         "  BRAM {:>4} ({:5.2}%)   DSP {:>4} ({:5.2}%)",
         est.bram36, util.bram_pct, est.dsp, util.dsp_pct

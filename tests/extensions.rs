@@ -11,8 +11,7 @@ use seqge::core::{
 use seqge::eval::{evaluate_embedding, EvalConfig, LogRegConfig};
 use seqge::graph::Dataset;
 use seqge::sampling::{
-    generate_corpus, NegativeTable, Node2VecParams, PreprocessedWalker, Rng64, UpdatePolicy,
-    Walker,
+    generate_corpus, NegativeTable, Node2VecParams, PreprocessedWalker, Rng64, UpdatePolicy, Walker,
 };
 
 fn eval_cfg() -> EvalConfig {
@@ -42,8 +41,7 @@ fn block_oselm_quality_comparable() {
     let mut scalar = OsElmSkipGram::new(g.num_nodes(), ocfg);
     train_all_scenario(&g, &mut scalar, &cfg, 4);
     let f_scalar =
-        evaluate_embedding(&scalar.embedding(), &labels, g.num_classes(), &eval_cfg(), 1)
-            .micro_f1;
+        evaluate_embedding(&scalar.embedding(), &labels, g.num_classes(), &eval_cfg(), 1).micro_f1;
 
     let mut block = BlockOsElm::new(g.num_nodes(), ocfg, 8);
     train_all_scenario(&g, &mut block, &cfg, 4);

@@ -3,9 +3,7 @@
 //! runs).
 
 use seqge::core::model_size::{original_model_bytes, proposed_model_bytes};
-use seqge::core::{
-    train_all_scenario, EmbeddingModel, OsElmConfig, OsElmSkipGram, TrainConfig,
-};
+use seqge::core::{train_all_scenario, EmbeddingModel, OsElmConfig, OsElmSkipGram, TrainConfig};
 use seqge::eval::{evaluate_embedding, EvalConfig, LogRegConfig};
 use seqge::fpga::{estimate_resources, AcceleratorDesign, FpgaDevice, TimingModel};
 use seqge::graph::Dataset;
@@ -24,8 +22,7 @@ fn model_size_reduction_band() {
     for ds in Dataset::ALL {
         let n = ds.spec().num_nodes;
         for dim in [32usize, 64, 96] {
-            let ratio =
-                original_model_bytes(n, dim) as f64 / proposed_model_bytes(n, dim) as f64;
+            let ratio = original_model_bytes(n, dim) as f64 / proposed_model_bytes(n, dim) as f64;
             assert!((3.0..4.2).contains(&ratio), "{ds} d={dim}: ratio {ratio}");
         }
     }
@@ -69,10 +66,7 @@ fn mu_collapse_and_plateau() {
     };
     let tiny = f1_of(0.001);
     let plateau = f1_of(0.05);
-    assert!(
-        plateau > tiny + 0.25,
-        "plateau {plateau:.3} should clearly beat collapsed {tiny:.3}"
-    );
+    assert!(plateau > tiny + 0.25, "plateau {plateau:.3} should clearly beat collapsed {tiny:.3}");
     assert!(plateau > 0.4, "plateau must recover communities: {plateau:.3}");
 }
 
@@ -90,14 +84,9 @@ fn fixed_point_embedding_close_to_float() {
 
     let mut float_model = OsElmSkipGram::new(g.num_nodes(), ocfg);
     train_all_scenario(&g, &mut float_model, &cfg, 5);
-    let f_float = evaluate_embedding(
-        &float_model.embedding(),
-        &labels,
-        g.num_classes(),
-        &eval_cfg(),
-        2,
-    )
-    .micro_f1;
+    let f_float =
+        evaluate_embedding(&float_model.embedding(), &labels, g.num_classes(), &eval_cfg(), 2)
+            .micro_f1;
 
     let mut accel = Accelerator::new(g.num_nodes(), ocfg);
     // Same walk stream as train_all_scenario uses internally.
@@ -105,7 +94,8 @@ fn fixed_point_embedding_close_to_float() {
     let mut walker = seqge::sampling::Walker::new(cfg.walk);
     let mut rng = Rng64::seed_from_u64(5);
     let (corpus, walks) = seqge::sampling::generate_corpus(&csr, &mut walker, &mut rng);
-    let mut table = seqge::sampling::NegativeTable::new(seqge::sampling::UpdatePolicy::every_edge());
+    let mut table =
+        seqge::sampling::NegativeTable::new(seqge::sampling::UpdatePolicy::every_edge());
     table.rebuild(&corpus);
     for w in &walks {
         accel.train_walk(w, &table, &mut rng);

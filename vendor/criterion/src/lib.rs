@@ -1,0 +1,226 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Keeps the upstream API the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `BenchmarkId`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) but replaces the statistical engine with
+//! a plain wall-clock loop: each benchmark is warmed up briefly, then timed
+//! over enough iterations to fill a measurement window, and the mean
+//! ns/iteration is printed. Good enough for the relative before/after
+//! comparisons this repo's perf work needs; not a replacement for real
+//! criterion confidence intervals.
+//!
+//! Environment knobs: `SEQGE_BENCH_FAST=1` shrinks the windows (used to
+//! smoke-test bench binaries), `CRITERION_MEASURE_MS` overrides the
+//! measurement window per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, same contract as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `new("label", param)` or `from_parameter(param)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and times
+/// the routine.
+pub struct Bencher<'a> {
+    measured: &'a mut Measurement,
+    warmup: Duration,
+    measure: Duration,
+}
+
+#[derive(Default)]
+struct Measurement {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl<'a> Bencher<'a> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many iterations fit the window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((self.measure.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.measured.elapsed = start.elapsed();
+        self.measured.iterations = target;
+    }
+}
+
+fn window(env: &str, default_ms: u64) -> Duration {
+    let fast = std::env::var("SEQGE_BENCH_FAST").map(|v| v == "1").unwrap_or(false);
+    let ms = std::env::var(env).ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(if fast {
+        5
+    } else {
+        default_ms
+    });
+    Duration::from_millis(ms)
+}
+
+fn run_one(group: Option<&str>, id: &str, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut m = Measurement::default();
+    let mut b = Bencher {
+        measured: &mut m,
+        warmup: window("CRITERION_WARMUP_MS", 60),
+        measure: window("CRITERION_MEASURE_MS", 240),
+    };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if m.iterations == 0 {
+        println!("{full:<48} (no iterations recorded)");
+        return;
+    }
+    let ns = m.elapsed.as_nanos() as f64 / m.iterations as f64;
+    let human = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    };
+    println!("{full:<48} {human:>12}/iter  ({} iters)", m.iterations);
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(Some(&self.name), &id.into_id(), &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by wall-clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry object handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- {name} --");
+        BenchmarkGroup { name, _criterion: self }
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(None, &id.into_id(), &mut f);
+        self
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, f, g, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        std::env::set_var("SEQGE_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(10)
+            .bench_function(BenchmarkId::new("sum", 8), |b| b.iter(|| (0..8u64).sum::<u64>()));
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).into_id(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+}

@@ -1,0 +1,69 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty vec size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty vec size range");
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Strategy yielding `Vec`s whose elements come from `element` and whose
+/// length comes from `size`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.gen(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::seed_from_u64(8);
+        let fixed = vec(0.0f64..1.0, 7usize);
+        assert_eq!(fixed.gen(&mut rng).len(), 7);
+        let ranged = vec(0u8..10, 1usize..5);
+        for _ in 0..200 {
+            let v = ranged.gen(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let nested = vec(vec(0u8..3, 2usize), 3usize);
+        let vv = nested.gen(&mut rng);
+        assert_eq!((vv.len(), vv[0].len()), (3, 2));
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait (ranges, tuples, `Just`, `prop_map`,
+//! `prop_oneof!`, `collection::vec`, `any::<T>()`), the `proptest!` test
+//! macro with `ProptestConfig::with_cases`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream, by design: case generation is **fully
+//! deterministic** (seeded from the test name, so failures reproduce on
+//! every run with no persistence files), and there is **no shrinking** — a
+//! failing case reports the inputs' debug representation instead.
+
+pub mod collection;
+pub mod prelude;
+pub mod runner;
+pub mod strategy;
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed with this message.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is retried, not failed.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration; only `cases` is honored by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Defines property tests. Supports the upstream surface this repo uses:
+/// an optional `#![proptest_config(...)]` header and `#[test]` functions
+/// whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ($($strat,)+);
+                $crate::runner::run($cfg, stringify!($name), |__rng| {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::gen(&__strategies, __rng);
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    (__result, __inputs)
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (retried without counting toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks one of several same-valued strategies uniformly at random.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}

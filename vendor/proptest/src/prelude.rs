@@ -1,0 +1,5 @@
+//! Everything a property test needs, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Just, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

@@ -1,0 +1,92 @@
+//! The case loop behind `proptest!`.
+
+use crate::strategy::TestRng;
+use crate::{ProptestConfig, TestCaseError};
+
+/// FNV-1a, used to give each test its own deterministic RNG stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` up to `config.cases` times with fresh deterministic inputs.
+/// `case` returns the outcome plus a debug rendering of its inputs (used in
+/// the panic message; the shim does not shrink).
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+{
+    let base = hash_name(name);
+    let max_rejects = config.cases.max(1) * 16;
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut stream = 0u64;
+    while accepted < config.cases {
+        let mut rng = TestRng::seed_from_u64(base.wrapping_add(stream));
+        stream += 1;
+        let (outcome, inputs) = case(&mut rng);
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case {accepted} \
+                     (seed {base:#x}+{})\ninputs: {inputs}\n{msg}",
+                    stream - 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0;
+        run(ProptestConfig::with_cases(10), "t", |_rng| {
+            count += 1;
+            (Ok(()), String::new())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut total = 0;
+        let mut kept = 0;
+        run(ProptestConfig::with_cases(5), "t2", |rng| {
+            total += 1;
+            if rng.next_u64() % 2 == 0 {
+                (Err(TestCaseError::Reject), String::new())
+            } else {
+                kept += 1;
+                (Ok(()), String::new())
+            }
+        });
+        assert_eq!(kept, 5);
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run(ProptestConfig::with_cases(3), "t3", |_rng| {
+            (Err(TestCaseError::fail("boom")), "x = 1".to_string())
+        });
+    }
+}

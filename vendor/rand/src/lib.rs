@@ -1,0 +1,211 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Implements the subset of the 0.8 API this workspace uses — `SeedableRng`,
+//! `rngs::StdRng`, and `Rng::{gen, gen_range, gen_bool}` — over a
+//! xoshiro256** core (the same generator family as `seqge_sampling::Rng64`,
+//! but with an independent stream layout; graph generators seeded through
+//! this shim are deterministic per seed and platform-independent, which is
+//! the property the experiment harness relies on).
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only `seed_from_u64` is provided; that is the one
+/// entry point the workspace calls).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range abstraction for [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Type abstraction for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws a sample from the standard distribution of `Self`.
+    fn sample_standard(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard(rng: &mut dyn RngCore) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Lemire's multiply-shift bounded sampler (unbiased).
+fn below(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    assert!(bound > 0, "gen_range over an empty range");
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let lo = m as u64;
+        if lo >= bound || lo >= lo.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                lo.wrapping_add(below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_ranges!(usize, u64, u32, u16, u8, i64, i32, i16, i8, isize);
+
+macro_rules! float_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_ranges!(f64, f32);
+
+/// The user-facing convenience methods, blanket-implemented for every core.
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Standard-distribution sample (`f64`/`f32` in `[0,1)`, full-range
+    /// integers).
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256**-backed replacement for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion; never yields the all-zero state.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0usize..100), b.gen_range(0usize..100));
+        }
+        assert_ne!(StdRng::seed_from_u64(1).gen::<f64>(), StdRng::seed_from_u64(2).gen::<f64>());
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_range(5usize..17);
+            assert!((5..17).contains(&x));
+            let y = r.gen_range(-4i32..=4);
+            assert!((-4..=4).contains(&y));
+            let f = r.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.25)).count();
+        let f = hits as f64 / 20_000.0;
+        assert!((f - 0.25).abs() < 0.02, "frequency {f}");
+    }
+}

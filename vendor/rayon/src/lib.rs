@@ -1,0 +1,127 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! The workspace only uses data-parallel *iterator* entry points
+//! (`par_iter`, `par_iter_mut`, `par_chunks_mut`, `into_par_iter`) followed
+//! by ordinary adapters (`map`, `zip`, `enumerate`, `for_each`, `collect`,
+//! `sum`). Every such use in this repo is an independent-per-item map, so
+//! this shim hands back **standard sequential iterators**: semantics are
+//! identical, only the speedup is gone. That keeps the whole workspace
+//! buildable offline with zero unsafe code; the overlapped
+//! producer/consumer pipeline in `seqge-sampling` provides real threading
+//! where it matters for the paper's host-side numbers.
+
+/// Number of worker threads a real pool would use on this machine.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs two closures (on two threads, like upstream) and returns both
+/// results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+pub mod prelude {
+    /// `.par_iter()` — sequential `.iter()` under this shim.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// `.par_iter_mut()` — sequential `.iter_mut()` under this shim.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    /// `.into_par_iter()` — sequential `.into_iter()` under this shim.
+    pub trait IntoParallelIterator {
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// `.par_chunks_mut(n)` — sequential `.chunks_mut(n)` under this shim.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<'data, C> IntoParallelRefIterator<'data> for C
+    where
+        C: ?Sized + 'data,
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<'data, C> IntoParallelRefMutIterator<'data> for C
+    where
+        C: ?Sized + 'data,
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Iter = C::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_compose_like_rayon() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, [2, 4, 6, 8]);
+
+        let mut w = vec![0usize; 6];
+        w.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert_eq!(w, [0, 1, 2, 3, 4, 5]);
+
+        let sum: u64 = (0u64..10).into_par_iter().sum();
+        assert_eq!(sum, 45);
+
+        let mut buf = vec![0.0f64; 9];
+        buf.as_mut_slice().par_chunks_mut(3).enumerate().for_each(|(r, row)| {
+            for x in row.iter_mut() {
+                *x = r as f64;
+            }
+        });
+        assert_eq!(buf[3..6], [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+        assert!(super::current_num_threads() >= 1);
+    }
+}

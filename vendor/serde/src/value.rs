@@ -1,0 +1,82 @@
+//! The JSON value tree shared by the `serde` and `serde_json` shims.
+
+/// A JSON value. Object entries preserve insertion order (the derive emits
+/// fields in declaration order, which keeps result files stable and
+/// diffable).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Array(Vec<Value>),
+    /// Objects, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Object-field or array-index access, mirroring `serde_json`'s `get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `self` as an `f64` when it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// `self` as a `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// `self` as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `self` as an array slice.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}

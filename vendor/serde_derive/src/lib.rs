@@ -1,0 +1,276 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (a `Value`-tree data model, see `vendor/serde`). The parser is
+//! deliberately small: it supports the shapes this workspace derives on —
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are unit or single-field tuples,
+//!
+//! and fails with a compile error on anything else, so unsupported shapes
+//! surface at build time instead of serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<(String, usize)> },
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]`, including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "derive shim supports only brace-bodied, non-generic types \
+                 (while deriving for `{name}`, got {other:?})"
+            ))
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct { fields: parse_struct_fields(body)? },
+        "enum" => Shape::Enum { variants: parse_enum_variants(body)? },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok(Input { name, shape })
+}
+
+/// Field names of a named-field struct body. Commas inside `<...>` belong to
+/// the field's type, so angle-bracket depth is tracked while scanning for
+/// the field separator.
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// `(variant name, tuple arity)` pairs; arity 0 = unit variant. Only arities
+/// 0 and 1 are supported (the shapes serde's externally-tagged JSON uses in
+/// this workspace).
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let mut arity = 0usize;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut angle_depth = 0i32;
+                let mut commas = 0usize;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            commas += 1
+                        }
+                        _ => {}
+                    }
+                }
+                arity = if inner.is_empty() { 0 } else { commas + 1 };
+                if arity > 1 {
+                    return Err(format!(
+                        "variant `{name}`: only unit and single-field tuple variants \
+                         are supported by the derive shim"
+                    ));
+                }
+                i += 1;
+            } else if g.delimiter() == Delimiter::Brace {
+                return Err(format!("variant `{name}`: struct variants are unsupported"));
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, arity));
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())")
+                    } else {
+                        format!(
+                            "{name}::{v}(ref __f0) => ::serde::Value::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::Serialize::to_value(__f0))])"
+                        )
+                    }
+                })
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Enum { variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v})"))
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 1)
+                .map(|(v, _)| {
+                    format!(
+                        "if let Some(__inner) = ::serde::__private::newtype_variant(__v, \"{v}\") \
+                         {{ return Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)); }}"
+                    )
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(ref __s) = *__v {{\n\
+                     match __s.as_str() {{ {unit} _ => {{}} }}\n\
+                 }}\n\
+                 {newtypes}\n\
+                 Err(::serde::DeError(format!(\
+                     \"no variant of `{name}` matches {{:?}}\", __v)))",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                newtypes = newtype_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,224 @@
+//! Offline shim for the `serde_json` crate: JSON text ⇄ the vendored
+//! [`serde::Value`] tree. Implements the surface the workspace uses —
+//! `json!`, `to_string`, `to_string_pretty`, `to_vec`, `from_slice`,
+//! `from_str` — with standards-compliant escaping and number handling
+//! (non-finite floats serialize as `null`, like upstream).
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+mod parse;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`] (the `json!` back end).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Pretty JSON text (two-space indent, like upstream's default).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::from_value(&value).map_err(|e| Error(e.0))
+}
+
+/// Parses a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 1e15 {
+        // Keep integral floats readable ("3.0", not "3"): upstream prints
+        // the shortest representation that round-trips, which for whole
+        // floats includes the ".0".
+        out.push_str(&format!("{n:.1}"));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => write_f64(out, *n),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(w) = indent {
+                    out.push('\n');
+                    out.push_str(&" ".repeat(w * (depth + 1)));
+                }
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Builds a [`Value`] from a JSON-looking literal. Supports the forms the
+/// workspace uses: object literals with string-literal keys and expression
+/// values (which may themselves be nested `json!` calls), array literals of
+/// expressions, `null`, and bare expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::to_value(&$value))),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::to_value(&$item)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects_arrays_and_exprs() {
+        let dim = 32usize;
+        let v = json!({
+            "dim": dim,
+            "time": 1.5f64,
+            "name": "cora",
+            "missing": Option::<u64>::None,
+            "nested": json!({"a": 1u64}),
+            "list": json!([1u64, 2u64]),
+        });
+        assert_eq!(v.get("dim").and_then(Value::as_u64), Some(32));
+        assert_eq!(v.get("missing"), Some(&Value::Null));
+        assert_eq!(v.get("nested").and_then(|n| n.get("a")).and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("list").and_then(Value::as_array).map(Vec::len), Some(2));
+    }
+
+    #[test]
+    fn pretty_printing_shape() {
+        let v = json!({"a": 1u64, "b": json!([true])});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains('\n'));
+        assert_eq!(to_string(&v).unwrap(), "{\"a\":1,\"b\":[true]}");
+    }
+
+    #[test]
+    fn escaping_and_floats() {
+        let s = to_string(&json!({"k\"ey": "a\nb"})).unwrap();
+        assert_eq!(s, "{\"k\\\"ey\":\"a\\nb\"}");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&3.25f64).unwrap(), "3.25");
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let v = json!({
+            "i": -4i64,
+            "u": 7u64,
+            "f": 0.5f64,
+            "s": "hi",
+            "b": true,
+            "n": Option::<u64>::None,
+            "arr": json!([1u64, 2u64])
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}
