@@ -41,6 +41,6 @@ pub use oselm::{AlphaOsElm, BlockOsElm, DataflowOsElm, OsElmConfig, OsElmSkipGra
 pub use parallel_train::{train_all_parallel, ParallelConfig};
 pub use sequential::{
     train_all_pipelined, train_all_scenario, train_seq_scenario, train_stream_scenario,
-    PipelinedOutcome, SeqOutcome,
+    IncrementalTrainer, PipelinedOutcome, SeqOutcome,
 };
 pub use skipgram::SkipGram;

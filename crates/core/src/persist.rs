@@ -40,10 +40,42 @@ fn write_f32s<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
     Ok(())
 }
 
+/// Largest number of f32 elements any payload section may declare
+/// (embedding or β: 2³¹ elements = 8 GiB). Declared sizes above this are
+/// treated as corruption rather than honored with a giant allocation.
+const MAX_ELEMS: usize = 1 << 31;
+
+/// Largest serialized-config blob [`read_oselm`] will accept; real configs
+/// are well under a kilobyte, so anything bigger is a corrupt length field.
+const MAX_CONFIG_BYTES: usize = 1 << 20;
+
 fn read_f32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
-    let mut bytes = vec![0u8; n * 4];
-    r.read_exact(&mut bytes)?;
+    let byte_len = n
+        .checked_mul(4)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "element count overflows"))?;
+    // Grow incrementally instead of trusting the declared length with one
+    // up-front allocation: a corrupt header then fails with UnexpectedEof
+    // after reading the (short) real payload, not by exhausting memory.
+    let mut bytes = Vec::new();
+    r.take(byte_len as u64).read_to_end(&mut bytes)?;
+    if bytes.len() != byte_len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!("payload truncated: expected {byte_len} bytes, found {}", bytes.len()),
+        ));
+    }
     Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+/// Validates a declared `rows × cols` shape: no overflow, bounded total.
+fn checked_shape(rows: usize, cols: usize, what: &str) -> io::Result<usize> {
+    match rows.checked_mul(cols) {
+        Some(n) if n <= MAX_ELEMS => Ok(n),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unreasonable {what} shape {rows}x{cols}"),
+        )),
+    }
 }
 
 fn check_header<R: Read>(r: &mut R, kind: u8) -> io::Result<()> {
@@ -77,10 +109,8 @@ pub fn read_embedding<R: Read>(mut r: R) -> io::Result<Mat<f32>> {
     check_header(&mut r, KIND_EMBEDDING)?;
     let rows = read_u64(&mut r)? as usize;
     let cols = read_u64(&mut r)? as usize;
-    if rows.checked_mul(cols).is_none() || rows * cols > (1 << 31) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unreasonable embedding shape"));
-    }
-    let data = read_f32s(&mut r, rows * cols)?;
+    let n = checked_shape(rows, cols, "embedding")?;
+    let data = read_f32s(&mut r, n)?;
     Ok(Mat::from_vec(rows, cols, data))
 }
 
@@ -116,7 +146,14 @@ pub fn read_oselm<R: Read>(mut r: R) -> io::Result<OsElmSkipGram> {
     check_header(&mut r, KIND_OSELM)?;
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
-    let mut cfg_bytes = vec![0u8; u32::from_le_bytes(len) as usize];
+    let cfg_len = u32::from_le_bytes(len) as usize;
+    if cfg_len > MAX_CONFIG_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unreasonable config length {cfg_len}"),
+        ));
+    }
+    let mut cfg_bytes = vec![0u8; cfg_len];
     r.read_exact(&mut cfg_bytes)?;
     let cfg: OsElmConfig = serde_json::from_slice(&cfg_bytes)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -125,8 +162,10 @@ pub fn read_oselm<R: Read>(mut r: R) -> io::Result<OsElmSkipGram> {
     if cols != cfg.model.dim {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "dim/config mismatch"));
     }
-    let beta = Mat::from_vec(rows, cols, read_f32s(&mut r, rows * cols)?);
-    let p = Mat::from_vec(cols, cols, read_f32s(&mut r, cols * cols)?);
+    let beta_n = checked_shape(rows, cols, "beta")?;
+    let p_n = checked_shape(cols, cols, "P")?;
+    let beta = Mat::from_vec(rows, cols, read_f32s(&mut r, beta_n)?);
+    let p = Mat::from_vec(cols, cols, read_f32s(&mut r, p_n)?);
     OsElmSkipGram::from_parts(beta, p, cfg)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
@@ -210,5 +249,70 @@ mod tests {
         let mut buf = Vec::new();
         write_oselm(&m, &mut buf).unwrap();
         assert!(read_oselm(&buf[..buf.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn rejects_unreasonable_config_length() {
+        // Header + a 4 GiB config-length field: must error out immediately
+        // instead of attempting the allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(KIND_OSELM);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_oselm(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("config length"));
+    }
+
+    #[test]
+    fn rejects_unreasonable_shapes_without_allocating() {
+        // Valid header + config, then a corrupt β shape claiming u64::MAX
+        // rows: the reader must reject the shape, not allocate for it.
+        let m = trained_model();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(KIND_OSELM);
+        let cfg = serde_json::to_vec(m.config()).unwrap();
+        buf.extend_from_slice(&(cfg.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&cfg);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // rows
+        buf.extend_from_slice(&(m.config().model.dim as u64).to_le_bytes()); // cols
+        let err = read_oselm(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("shape"));
+
+        // Same for embeddings.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(KIND_EMBEDDING);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_embedding(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn corrupt_config_json_is_invalid_data() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(KIND_OSELM);
+        let garbage = b"{not json";
+        buf.extend_from_slice(&(garbage.len() as u32).to_le_bytes());
+        buf.extend_from_slice(garbage);
+        let err = read_oselm(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn declared_payload_longer_than_file_is_unexpected_eof() {
+        // A plausible shape whose payload is missing: clean UnexpectedEof,
+        // not a panic from a short buffer.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(KIND_EMBEDDING);
+        buf.extend_from_slice(&100u64.to_le_bytes());
+        buf.extend_from_slice(&100u64.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]); // far fewer than 100*100*4 bytes
+        let err = read_embedding(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

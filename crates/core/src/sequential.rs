@@ -12,7 +12,7 @@
 
 use crate::config::TrainConfig;
 use crate::model::EmbeddingModel;
-use seqge_graph::{spanning_forest, EdgeStream, Graph};
+use seqge_graph::{spanning_forest, EdgeEvent, EdgeStream, Graph, GraphError, NodeId};
 use seqge_sampling::{
     generate_corpus, stream_walks, NegativeTable, PipelineConfig, Rng64, StepStrategy,
     UpdatePolicy, WalkCorpus, Walker,
@@ -178,6 +178,134 @@ pub fn train_all_pipelined<M: EmbeddingModel>(
     }
 }
 
+/// Incremental training driver for live dynamic graphs.
+///
+/// Owns everything the per-edge training loop needs besides the graph and
+/// the model — the walker, the RNG, the walk corpus, and the negative
+/// table — so edge events can be folded into the model *one at a time*
+/// over an arbitrarily long lifetime. [`train_seq_scenario`] and
+/// [`train_stream_scenario`] are thin replays over this driver; the
+/// `seqge-serve` daemon feeds it from a live ingestion log instead of a
+/// prerecorded stream.
+pub struct IncrementalTrainer {
+    walker: Walker,
+    rng: Rng64,
+    corpus: WalkCorpus,
+    table: NegativeTable,
+    outcome: SeqOutcome,
+    edges_removed: usize,
+    buf: Vec<NodeId>,
+}
+
+impl IncrementalTrainer {
+    /// Creates a driver for graphs over `num_nodes` nodes. `policy` is the
+    /// negative-table rebuild cadence (Fig. 7's knob); `seed` fixes the
+    /// walk/negative RNG stream.
+    pub fn new(num_nodes: usize, cfg: &TrainConfig, policy: UpdatePolicy, seed: u64) -> Self {
+        cfg.validate().expect("invalid train config");
+        IncrementalTrainer {
+            walker: Walker::new(cfg.walk),
+            rng: Rng64::seed_from_u64(seed),
+            corpus: WalkCorpus::new(num_nodes),
+            table: NegativeTable::new(policy),
+            outcome: SeqOutcome { edges_inserted: 0, walks_trained: 0, table_rebuilds: 0 },
+            edges_removed: 0,
+            buf: Vec::with_capacity(cfg.walk.walk_length),
+        }
+    }
+
+    /// Trains a full "all"-protocol pass over the current graph (`r` walks
+    /// per node) and builds the negative table from its frequencies. Used
+    /// once at start-up on the initial graph ("only a fraction of edges is
+    /// trained first" — the spanning forest in the paper's protocol, the
+    /// boot graph in a server).
+    pub fn bootstrap<M: EmbeddingModel>(&mut self, g: &Graph, model: &mut M) {
+        assert_eq!(g.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
+        let csr = g.to_csr();
+        let (c, walks) = generate_corpus(&csr, &mut self.walker, &mut self.rng);
+        self.corpus = c;
+        self.table.rebuild(&self.corpus);
+        if self.table.is_ready() {
+            for walk in &walks {
+                model.train_walk(walk, &self.table, &mut self.rng);
+                self.outcome.walks_trained += 1;
+            }
+        }
+    }
+
+    /// Applies one edge event to `g` and folds it into `model`: mutate the
+    /// graph, restart a random walk from both endpoints (§4.3.2), train each
+    /// walk, and notify the negative table. Returns the number of walks
+    /// trained, or the graph's rejection (duplicate add, missing remove,
+    /// out-of-range node) with the graph, corpus, and model untouched.
+    pub fn ingest<M: EmbeddingModel>(
+        &mut self,
+        g: &mut Graph,
+        event: EdgeEvent,
+        model: &mut M,
+    ) -> Result<usize, GraphError> {
+        event.apply(g)?;
+        match event {
+            EdgeEvent::Add(..) => self.outcome.edges_inserted += 1,
+            EdgeEvent::Remove(..) => self.edges_removed += 1,
+        }
+        let (u, v) = event.endpoints();
+        let mut trained = 0usize;
+        for start in [u, v] {
+            self.walker.walk_into(&*g, start, &mut self.rng, &mut self.buf);
+            if self.buf.len() < 2 {
+                continue;
+            }
+            self.corpus.record(&self.buf);
+            // Table must exist before the first training step (a forest of
+            // isolated nodes can reach here with no table yet).
+            if !self.table.is_ready() {
+                self.table.rebuild(&self.corpus);
+            }
+            if self.table.is_ready() {
+                model.train_walk(&self.buf, &self.table, &mut self.rng);
+                trained += 1;
+            }
+        }
+        self.outcome.walks_trained += trained;
+        self.table.on_edge_inserted(&self.corpus);
+        Ok(trained)
+    }
+
+    /// Resamples the walk corpus from scratch over the current graph and
+    /// trains the fresh walks — the "resample" arm of a serving update
+    /// policy. Per-edge walks only ever *add* appearance counts, so after
+    /// many removals (or heavy drift) the table frequencies go stale; a
+    /// refresh replaces them wholesale. Returns the walks trained.
+    pub fn refresh<M: EmbeddingModel>(&mut self, g: &Graph, model: &mut M) -> usize {
+        assert_eq!(g.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
+        let csr = g.to_csr();
+        let (c, walks) = generate_corpus(&csr, &mut self.walker, &mut self.rng);
+        self.corpus = c;
+        self.table.rebuild(&self.corpus);
+        let mut trained = 0usize;
+        if self.table.is_ready() {
+            for walk in &walks {
+                model.train_walk(walk, &self.table, &mut self.rng);
+                trained += 1;
+            }
+        }
+        self.outcome.walks_trained += trained;
+        trained
+    }
+
+    /// Telemetry so far (the `table_rebuilds` field is kept current).
+    pub fn outcome(&self) -> SeqOutcome {
+        SeqOutcome { table_rebuilds: self.table.rebuild_count(), ..self.outcome.clone() }
+    }
+
+    /// Edges retracted so far (not part of [`SeqOutcome`], whose shape the
+    /// experiment harness serializes).
+    pub fn edges_removed(&self) -> usize {
+        self.edges_removed
+    }
+}
+
 /// Trains `model` sequentially (the "seq" scenario). Returns the final graph
 /// (forest + replayed edges) and run telemetry.
 ///
@@ -199,79 +327,16 @@ pub fn train_seq_scenario<M: EmbeddingModel>(
     let mut g = split.initial_graph(full);
     let stream = EdgeStream::from_forest_split(&split, seed ^ 0xED6E).subsample(edge_fraction);
 
-    let mut walker = Walker::new(cfg.walk);
-    let mut rng = Rng64::seed_from_u64(seed);
-    let mut outcome = SeqOutcome { edges_inserted: 0, walks_trained: 0, table_rebuilds: 0 };
-
     // Initial pass: train the forest with the "all" protocol ("only a
-    // fraction of edges is trained first").
-    let mut corpus;
-    let mut table = NegativeTable::new(policy);
-    {
-        let csr = g.to_csr();
-        let (c, walks) = generate_corpus(&csr, &mut walker, &mut rng);
-        corpus = c;
-        table.rebuild(&corpus);
-        if table.is_ready() {
-            for walk in &walks {
-                model.train_walk(walk, &table, &mut rng);
-                outcome.walks_trained += 1;
-            }
-        }
+    // fraction of edges is trained first"), then replay the stream.
+    let mut trainer = IncrementalTrainer::new(full.num_nodes(), cfg, policy, seed);
+    trainer.bootstrap(&g, model);
+    for &(u, v) in stream.edges() {
+        trainer
+            .ingest(&mut g, EdgeEvent::Add(u, v), model)
+            .expect("stream edges are insertable exactly once");
     }
-
-    replay_edges(
-        &mut g,
-        stream.edges(),
-        model,
-        cfg,
-        &mut walker,
-        &mut rng,
-        &mut corpus,
-        &mut table,
-        &mut outcome,
-    );
-    outcome.table_rebuilds = table.rebuild_count();
-    (g, outcome)
-}
-
-/// The per-edge insertion loop shared by [`train_seq_scenario`] and
-/// [`train_stream_scenario`]: insert, walk from both endpoints, train,
-/// notify the negative table.
-#[allow(clippy::too_many_arguments)]
-fn replay_edges<M: EmbeddingModel>(
-    g: &mut Graph,
-    edges: &[(seqge_graph::NodeId, seqge_graph::NodeId)],
-    model: &mut M,
-    cfg: &TrainConfig,
-    walker: &mut Walker,
-    rng: &mut Rng64,
-    corpus: &mut WalkCorpus,
-    table: &mut NegativeTable,
-    outcome: &mut SeqOutcome,
-) {
-    let mut buf = Vec::with_capacity(cfg.walk.walk_length);
-    for &(u, v) in edges {
-        g.add_edge(u, v).expect("stream edges are insertable exactly once");
-        outcome.edges_inserted += 1;
-        for start in [u, v] {
-            walker.walk_into(&*g, start, rng, &mut buf);
-            if buf.len() < 2 {
-                continue;
-            }
-            corpus.record(&buf);
-            // Table must exist before the first training step (a forest of
-            // isolated nodes can reach here with no table yet).
-            if !table.is_ready() {
-                table.rebuild(corpus);
-            }
-            if table.is_ready() {
-                model.train_walk(&buf, table, rng);
-                outcome.walks_trained += 1;
-            }
-        }
-        table.on_edge_inserted(corpus);
-    }
+    (g, trainer.outcome())
 }
 
 /// Trains `model` on an explicit edge-arrival stream starting from an empty
@@ -290,24 +355,13 @@ pub fn train_stream_scenario<M: EmbeddingModel>(
     cfg.validate().expect("invalid train config");
     assert_eq!(num_nodes, model.num_nodes(), "graph/model node count mismatch");
     let mut g = Graph::with_nodes(num_nodes);
-    let mut walker = Walker::new(cfg.walk);
-    let mut rng = Rng64::seed_from_u64(seed);
-    let mut corpus = WalkCorpus::new(num_nodes);
-    let mut table = NegativeTable::new(policy);
-    let mut outcome = SeqOutcome { edges_inserted: 0, walks_trained: 0, table_rebuilds: 0 };
-    replay_edges(
-        &mut g,
-        edges,
-        model,
-        cfg,
-        &mut walker,
-        &mut rng,
-        &mut corpus,
-        &mut table,
-        &mut outcome,
-    );
-    outcome.table_rebuilds = table.rebuild_count();
-    (g, outcome)
+    let mut trainer = IncrementalTrainer::new(num_nodes, cfg, policy, seed);
+    for &(u, v) in edges {
+        trainer
+            .ingest(&mut g, EdgeEvent::Add(u, v), model)
+            .expect("stream edges are insertable exactly once");
+    }
+    (g, trainer.outcome())
 }
 
 /// Builds a ready negative table from a fresh corpus over `g` (helper for
@@ -483,6 +537,63 @@ mod tests {
             train_seq_scenario(&full, &mut model, &cfg, UpdatePolicy::every_edge(), 4, 1.0);
         assert!(outcome.walks_trained > 0);
         assert!(model.w_in().all_finite());
+    }
+
+    #[test]
+    fn incremental_trainer_matches_stream_scenario_bit_for_bit() {
+        // train_stream_scenario is a thin replay over IncrementalTrainer;
+        // driving the trainer by hand must reproduce it exactly.
+        let edges: Vec<(u32, u32)> = (0..20u32).map(|i| (i, (i + 1) % 21)).collect();
+        let cfg = small_cfg(8);
+        let mut m1 = OsElmSkipGram::new(21, oselm_cfg(8));
+        let (g1, out1) =
+            train_stream_scenario(21, &edges, &mut m1, &cfg, UpdatePolicy::every_edge(), 9);
+
+        let mut m2 = OsElmSkipGram::new(21, oselm_cfg(8));
+        let mut g2 = Graph::with_nodes(21);
+        let mut tr = IncrementalTrainer::new(21, &cfg, UpdatePolicy::every_edge(), 9);
+        for &(u, v) in &edges {
+            tr.ingest(&mut g2, seqge_graph::EdgeEvent::Add(u, v), &mut m2).unwrap();
+        }
+        assert_eq!(m1.beta_t(), m2.beta_t());
+        assert_eq!(m1.p(), m2.p());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(out1, tr.outcome());
+    }
+
+    #[test]
+    fn incremental_trainer_handles_removals_and_rejections() {
+        let cfg = small_cfg(8);
+        let mut m = OsElmSkipGram::new(10, oselm_cfg(8));
+        let mut g = Graph::with_nodes(10);
+        let mut tr = IncrementalTrainer::new(10, &cfg, UpdatePolicy::every_edge(), 4);
+        for i in 0..9u32 {
+            tr.ingest(&mut g, seqge_graph::EdgeEvent::Add(i, i + 1), &mut m).unwrap();
+        }
+        // Duplicate add and missing remove are rejected without touching state.
+        let before = tr.outcome();
+        assert!(tr.ingest(&mut g, seqge_graph::EdgeEvent::Add(0, 1), &mut m).is_err());
+        assert!(tr.ingest(&mut g, seqge_graph::EdgeEvent::Remove(0, 5), &mut m).is_err());
+        assert_eq!(tr.outcome(), before);
+        // A real removal mutates the graph and retrains both neighborhoods.
+        let trained = tr.ingest(&mut g, seqge_graph::EdgeEvent::Remove(4, 5), &mut m).unwrap();
+        assert!(trained > 0, "endpoints still have neighbors, so walks train");
+        assert!(!g.has_edge(4, 5));
+        assert_eq!(tr.edges_removed(), 1);
+        assert!(m.beta_t().all_finite());
+    }
+
+    #[test]
+    fn incremental_refresh_resamples_and_trains() {
+        let cfg = small_cfg(4);
+        let g = ring(12);
+        let mut m = OsElmSkipGram::new(12, oselm_cfg(4));
+        let mut tr = IncrementalTrainer::new(12, &cfg, UpdatePolicy::Never, 2);
+        tr.bootstrap(&g, &mut m);
+        let before = tr.outcome().walks_trained;
+        let trained = tr.refresh(&g, &mut m);
+        assert_eq!(trained, 12 * cfg.walk.walks_per_node);
+        assert_eq!(tr.outcome().walks_trained, before + trained);
     }
 
     #[test]

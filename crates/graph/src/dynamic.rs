@@ -6,10 +6,44 @@
 //! [`EdgeStream`] owns the insertion order (seeded shuffle) and supports
 //! subsampling for scaled-down runs.
 
+use crate::error::GraphError;
 use crate::forest::ForestSplit;
-use crate::graph::NodeId;
+use crate::graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// A single mutation of a dynamic graph, as delivered by a live write
+/// plane (e.g. the `seqge-serve` ingestion log). The "seq" scenario of the
+/// paper only ever *adds* edges; a deployed system also sees retractions,
+/// so the event vocabulary carries both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeEvent {
+    /// Insert the undirected edge `(u, v)`.
+    Add(NodeId, NodeId),
+    /// Retract the undirected edge `(u, v)`.
+    Remove(NodeId, NodeId),
+}
+
+impl EdgeEvent {
+    /// The two endpoints the event touches (walk restart points for
+    /// incremental training — the paper restarts walks "from both the ends
+    /// of an added edge", and retraction symmetrically refreshes both
+    /// stranded neighborhoods).
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        match *self {
+            EdgeEvent::Add(u, v) | EdgeEvent::Remove(u, v) => (u, v),
+        }
+    }
+
+    /// Applies the event to `g`, enforcing all graph invariants
+    /// (range/self-loop/duplicate checks on add, existence on remove).
+    pub fn apply(&self, g: &mut Graph) -> Result<(), GraphError> {
+        match *self {
+            EdgeEvent::Add(u, v) => g.add_edge(u, v),
+            EdgeEvent::Remove(u, v) => g.remove_edge(u, v),
+        }
+    }
+}
 
 /// A deterministic, optionally subsampled ordering of edges to insert.
 #[derive(Debug, Clone)]
@@ -121,6 +155,21 @@ mod tests {
             }
             assert!(pos < s.len(), "subsample element not found in order");
         }
+    }
+
+    #[test]
+    fn edge_events_apply_and_roundtrip() {
+        let mut g = Graph::with_nodes(4);
+        EdgeEvent::Add(0, 1).apply(&mut g).unwrap();
+        EdgeEvent::Add(1, 2).apply(&mut g).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(EdgeEvent::Add(0, 1).apply(&mut g).is_err(), "duplicate add rejected");
+        EdgeEvent::Remove(0, 1).apply(&mut g).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(EdgeEvent::Remove(0, 1).apply(&mut g).is_err(), "missing remove rejected");
+        assert_eq!(EdgeEvent::Remove(3, 2).endpoints(), (3, 2));
     }
 
     #[test]

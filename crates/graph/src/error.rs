@@ -14,6 +14,8 @@ pub enum GraphError {
     },
     /// Attempted to add an edge that already exists.
     DuplicateEdge(u32, u32),
+    /// Attempted to remove an edge that does not exist.
+    MissingEdge(u32, u32),
     /// Attempted to add a self loop, which the walk model forbids.
     SelfLoop(u32),
     /// An edge weight was non-finite or non-positive.
@@ -36,6 +38,7 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
             }
             GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
             GraphError::SelfLoop(u) => write!(f, "self loop on node {u} is not allowed"),
             GraphError::BadWeight(w) => write!(f, "edge weight {w} must be finite and positive"),
             GraphError::LabelLengthMismatch { labels, num_nodes } => {

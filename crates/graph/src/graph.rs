@@ -93,6 +93,25 @@ impl Graph {
         Ok(())
     }
 
+    /// Removes the undirected edge `(u, v)`. The reverse of
+    /// [`Graph::add_edge`], needed by live-ingestion write planes where
+    /// edges can be retracted as well as inserted.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        let n = self.num_nodes();
+        for x in [u, v] {
+            if x as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: x, num_nodes: n });
+            }
+        }
+        if !self.has_edge(u, v) {
+            return Err(GraphError::MissingEdge(u, v));
+        }
+        self.adj[u as usize].retain(|&(w, _)| w != v);
+        self.adj[v as usize].retain(|&(w, _)| w != u);
+        self.num_edges -= 1;
+        Ok(())
+    }
+
     /// Attaches one class label per node (used by the downstream
     /// classification evaluation). Labels are small unsigned class indices.
     pub fn set_labels(&mut self, labels: Vec<u16>) -> Result<()> {
@@ -164,6 +183,21 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.degree(3), 0);
         assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn remove_edge_is_symmetric_and_validated() {
+        let mut g = triangle();
+        g.remove_edge(1, 0).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(0, 1) && !g.has_edge(1, 0));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.remove_edge(0, 1), Err(GraphError::MissingEdge(0, 1)));
+        assert!(matches!(g.remove_edge(0, 9), Err(GraphError::NodeOutOfRange { .. })));
+        // Removed edges can be re-added (full add/remove cycle).
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.num_edges(), 3);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod stats;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use datasets::{Dataset, DatasetSpec};
-pub use dynamic::EdgeStream;
+pub use dynamic::{EdgeEvent, EdgeStream};
 pub use error::GraphError;
 pub use forest::{spanning_forest, ForestSplit};
 pub use graph::{Graph, NodeId};

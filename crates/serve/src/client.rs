@@ -1,0 +1,151 @@
+//! A small scriptable client for the serve protocol.
+//!
+//! One request per call, blocking, line-delimited — exactly what the smoke
+//! script and the end-to-end tests need, and a reference implementation of
+//! the wire format for other languages.
+
+use seqge_eval::EdgeOp;
+use seqge_graph::NodeId;
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::op_name;
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn bad_data(msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg.to_string())
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        writer.set_read_timeout(Some(Duration::from_secs(300)))?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one raw request line, returns the raw response line.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(io::Error::new(ErrorKind::UnexpectedEof, "server closed connection"));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+
+    /// Sends one request line and parses the response, mapping
+    /// `{"ok": false}` to an `InvalidData` error carrying the message.
+    pub fn call(&mut self, line: &str) -> io::Result<Value> {
+        let resp = self.call_raw(line)?;
+        let v: Value =
+            serde_json::from_str(&resp).map_err(|e| bad_data(format!("bad response: {e}")))?;
+        match v.get("ok") {
+            Some(Value::Bool(true)) => Ok(v),
+            Some(Value::Bool(false)) => Err(bad_data(
+                v.get("error").and_then(Value::as_str).unwrap_or("unknown server error"),
+            )),
+            _ => Err(bad_data("response missing `ok` field")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.call(r#"{"cmd":"ping"}"#).map(|_| ())
+    }
+
+    /// Server telemetry as the raw response object.
+    pub fn stats(&mut self) -> io::Result<Value> {
+        self.call(r#"{"cmd":"stats"}"#)
+    }
+
+    /// Queues an edge insertion.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> io::Result<()> {
+        self.call(&format!(r#"{{"cmd":"add_edge","u":{u},"v":{v}}}"#)).map(|_| ())
+    }
+
+    /// Queues an edge retraction.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> io::Result<()> {
+        self.call(&format!(r#"{{"cmd":"remove_edge","u":{u},"v":{v}}}"#)).map(|_| ())
+    }
+
+    /// Barrier: returns the snapshot version that includes every event
+    /// queued before this call.
+    pub fn flush(&mut self) -> io::Result<u64> {
+        let v = self.call(r#"{"cmd":"flush"}"#)?;
+        v.get("version").and_then(Value::as_u64).ok_or_else(|| bad_data("flush: no version"))
+    }
+
+    /// One embedding row.
+    pub fn get_embedding(&mut self, node: NodeId) -> io::Result<Vec<f32>> {
+        let v = self.call(&format!(r#"{{"cmd":"get_embedding","node":{node}}}"#))?;
+        let arr = v
+            .get("embedding")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad_data("get_embedding: no embedding array"))?;
+        arr.iter()
+            .map(|x| x.as_f64().map(|f| f as f32).ok_or_else(|| bad_data("non-numeric element")))
+            .collect()
+    }
+
+    /// Nearest neighbors, best first.
+    pub fn topk(&mut self, node: NodeId, k: usize, op: EdgeOp) -> io::Result<Vec<(NodeId, f64)>> {
+        let line = format!(r#"{{"cmd":"topk","node":{node},"k":{k},"op":"{}"}}"#, op_name(op));
+        let v = self.call(&line)?;
+        let arr = v
+            .get("results")
+            .and_then(Value::as_array)
+            .ok_or_else(|| bad_data("topk: no results"))?;
+        arr.iter()
+            .map(|item| {
+                let node = item
+                    .get("node")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| bad_data("topk: bad node"))?;
+                let score = item
+                    .get("score")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| bad_data("topk: bad score"))?;
+                Ok((node as NodeId, score))
+            })
+            .collect()
+    }
+
+    /// Link score for a candidate edge.
+    pub fn score_link(&mut self, u: NodeId, v: NodeId, op: EdgeOp) -> io::Result<f64> {
+        let line = format!(r#"{{"cmd":"score_link","u":{u},"v":{v},"op":"{}"}}"#, op_name(op));
+        let resp = self.call(&line)?;
+        resp.get("score").and_then(Value::as_f64).ok_or_else(|| bad_data("score_link: no score"))
+    }
+
+    /// Persists model + graph server-side; returns the model path.
+    pub fn snapshot(&mut self) -> io::Result<String> {
+        let v = self.call(r#"{"cmd":"snapshot"}"#)?;
+        v.get("model")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| bad_data("snapshot: no model path"))
+    }
+
+    /// Reloads model + graph from the server's snapshot paths.
+    pub fn restore(&mut self) -> io::Result<u64> {
+        let v = self.call(r#"{"cmd":"restore"}"#)?;
+        v.get("version").and_then(Value::as_u64).ok_or_else(|| bad_data("restore: no version"))
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.call(r#"{"cmd":"shutdown"}"#).map(|_| ())
+    }
+}

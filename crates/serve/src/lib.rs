@@ -1,0 +1,38 @@
+//! # seqge-serve — online graph-embedding service
+//!
+//! The deployment story the paper motivates: OS-ELM skip-gram is
+//! *sequentially trainable*, so a long-lived process can absorb dynamic-
+//! graph updates without batch retraining. This crate is that process — a
+//! pure-`std` daemon (no async runtime; `std::net` + a hand-rolled worker
+//! pool) with two planes over one line-delimited JSON protocol:
+//!
+//! * **write plane** — `add_edge` / `remove_edge` events are queued to a
+//!   dedicated trainer thread, batched, and folded into the model through
+//!   [`seqge_core::IncrementalTrainer`] (walks restarted from both
+//!   endpoints of each event, §4.3.2), with an optional full-corpus
+//!   resample cadence for heavy drift;
+//! * **read plane** — `get_embedding`, `topk`, and `score_link` (reusing
+//!   `seqge-eval`'s link-prediction operators) answered from an immutable
+//!   [`snapshot::EmbeddingSnapshot`] republished after every batch, so no
+//!   query ever blocks on a training step;
+//!
+//! plus `snapshot` / `restore` commands backed by `seqge_core::persist`
+//! for crash recovery: a restored server resumes with bit-identical β/P.
+//!
+//! Modules: [`protocol`] (wire grammar), [`snapshot`] (read-optimized
+//! state + publication cell), [`trainer`] (write plane), [`server`] (TCP
+//! front end), [`client`] (scriptable reference client).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod trainer;
+
+pub use client::Client;
+pub use protocol::{parse_request, Request, Response, MAX_LINE_BYTES};
+pub use server::{boot_cold, boot_restore, start, ServeConfig, ServerHandle};
+pub use snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
+pub use trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};

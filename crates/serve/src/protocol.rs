@@ -1,0 +1,347 @@
+//! The wire protocol: one JSON object per LF-terminated line, both ways.
+//!
+//! ```text
+//! request  := { "cmd": <name>, ...params } "\n"
+//! response := { "ok": true, ...fields } "\n"
+//!           | { "ok": false, "error": <message> } "\n"
+//! ```
+//!
+//! Commands (write plane → trainer thread, read plane → snapshot):
+//!
+//! | cmd             | params                        | plane  |
+//! |-----------------|-------------------------------|--------|
+//! | `ping`          | —                             | read   |
+//! | `stats`         | —                             | read   |
+//! | `get_embedding` | `node`                        | read   |
+//! | `topk`          | `node`, `k?=10`, `op?=cosine` | read   |
+//! | `score_link`    | `u`, `v`, `op?=cosine`        | read   |
+//! | `add_edge`      | `u`, `v`                      | write  |
+//! | `remove_edge`   | `u`, `v`                      | write  |
+//! | `flush`         | —                             | write  |
+//! | `snapshot`      | —                             | write  |
+//! | `restore`       | —                             | write  |
+//! | `shutdown`      | —                             | ctrl   |
+//!
+//! `op` is one of `"dot"`, `"cosine"`, `"neg_l2"`. Lines longer than
+//! [`MAX_LINE_BYTES`] are a protocol violation: the server answers with an
+//! error and closes the connection (a misbehaving writer cannot make it
+//! buffer unboundedly).
+
+use seqge_eval::EdgeOp;
+use seqge_graph::NodeId;
+use serde_json::Value;
+
+/// Hard cap on one request line (including the newline).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Default `k` for `topk` requests.
+pub const DEFAULT_TOPK: usize = 10;
+
+/// A parsed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server/trainer telemetry.
+    Stats,
+    /// One embedding row.
+    GetEmbedding {
+        /// Node to look up.
+        node: NodeId,
+    },
+    /// Nearest neighbors of a node.
+    TopK {
+        /// Query node.
+        node: NodeId,
+        /// Result count.
+        k: usize,
+        /// Scoring operator.
+        op: EdgeOp,
+    },
+    /// Edge score for a candidate link.
+    ScoreLink {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+        /// Scoring operator.
+        op: EdgeOp,
+    },
+    /// Queue an edge insertion.
+    AddEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Queue an edge retraction.
+    RemoveEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// Barrier: wait until every queued event is trained and published.
+    Flush,
+    /// Persist model + graph to the configured snapshot paths.
+    Snapshot,
+    /// Reload model + graph from the configured snapshot paths.
+    Restore,
+    /// Graceful shutdown of the whole server.
+    Shutdown,
+}
+
+fn get_u32(v: &Value, key: &str) -> Result<u32, String> {
+    match v.get(key) {
+        Some(f) => f
+            .as_u64()
+            .filter(|&x| x <= u32::MAX as u64)
+            .map(|x| x as u32)
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer node id")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn get_op(v: &Value) -> Result<EdgeOp, String> {
+    match v.get("op") {
+        None => Ok(EdgeOp::Cosine),
+        Some(o) => match o.as_str() {
+            Some("dot") => Ok(EdgeOp::Dot),
+            Some("cosine") => Ok(EdgeOp::Cosine),
+            Some("neg_l2") => Ok(EdgeOp::NegL2),
+            _ => Err("`op` must be one of \"dot\", \"cosine\", \"neg_l2\"".to_string()),
+        },
+    }
+}
+
+/// Parses one request line. Errors are human-readable strings the server
+/// echoes back verbatim in the `error` field.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!("line exceeds {MAX_LINE_BYTES} bytes"));
+    }
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    if !matches!(v, Value::Object(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let cmd = v
+        .get("cmd")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field `cmd`".to_string())?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "get_embedding" => Ok(Request::GetEmbedding { node: get_u32(&v, "node")? }),
+        "topk" => {
+            let k = match v.get("k") {
+                None => DEFAULT_TOPK,
+                Some(kv) => {
+                    kv.as_u64()
+                        .filter(|&x| (1..=10_000).contains(&x))
+                        .ok_or("`k` must be an integer in 1..=10000")? as usize
+                }
+            };
+            Ok(Request::TopK { node: get_u32(&v, "node")?, k, op: get_op(&v)? })
+        }
+        "score_link" => {
+            Ok(Request::ScoreLink { u: get_u32(&v, "u")?, v: get_u32(&v, "v")?, op: get_op(&v)? })
+        }
+        "add_edge" => Ok(Request::AddEdge { u: get_u32(&v, "u")?, v: get_u32(&v, "v")? }),
+        "remove_edge" => Ok(Request::RemoveEdge { u: get_u32(&v, "u")?, v: get_u32(&v, "v")? }),
+        "flush" => Ok(Request::Flush),
+        "snapshot" => Ok(Request::Snapshot),
+        "restore" => Ok(Request::Restore),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Conversion into the vendored [`Value`] tree for response fields (the
+/// shim's `Value` carries no `From` impls, so the builder brings its own).
+pub trait ToJson {
+    /// Renders `self` as a [`Value`].
+    fn to_json(self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(self) -> Value {
+        self
+    }
+}
+impl ToJson for bool {
+    fn to_json(self) -> Value {
+        Value::Bool(self)
+    }
+}
+impl ToJson for u64 {
+    fn to_json(self) -> Value {
+        Value::U64(self)
+    }
+}
+impl ToJson for usize {
+    fn to_json(self) -> Value {
+        Value::U64(self as u64)
+    }
+}
+impl ToJson for u32 {
+    fn to_json(self) -> Value {
+        Value::U64(self as u64)
+    }
+}
+impl ToJson for f64 {
+    fn to_json(self) -> Value {
+        Value::F64(self)
+    }
+}
+impl ToJson for &str {
+    fn to_json(self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl ToJson for String {
+    fn to_json(self) -> Value {
+        Value::Str(self)
+    }
+}
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(self) -> Value {
+        Value::Array(self.into_iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Builder for one response line (without the trailing newline).
+pub struct Response {
+    fields: Vec<(String, Value)>,
+}
+
+impl Response {
+    /// Starts an `{"ok": true, ...}` response.
+    pub fn ok() -> Self {
+        Response { fields: vec![("ok".to_string(), Value::Bool(true))] }
+    }
+
+    /// A complete `{"ok": false, "error": msg}` line.
+    pub fn err(msg: impl std::fmt::Display) -> String {
+        let fields = vec![
+            ("ok".to_string(), Value::Bool(false)),
+            ("error".to_string(), Value::Str(msg.to_string())),
+        ];
+        serde_json::to_string(&Value::Object(fields)).expect("response serializes")
+    }
+
+    /// Appends one field.
+    pub fn field(mut self, key: &str, value: impl ToJson) -> Self {
+        self.fields.push((key.to_string(), value.to_json()));
+        self
+    }
+
+    /// Renders the line.
+    pub fn build(self) -> String {
+        serde_json::to_string(&Value::Object(self.fields)).expect("response serializes")
+    }
+}
+
+/// The wire name of an [`EdgeOp`] (inverse of the `op` parameter).
+pub fn op_name(op: EdgeOp) -> &'static str {
+    match op {
+        EdgeOp::Dot => "dot",
+        EdgeOp::Cosine => "cosine",
+        EdgeOp::NegL2 => "neg_l2",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"get_embedding","node":3}"#).unwrap(),
+            Request::GetEmbedding { node: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topk","node":1,"k":5,"op":"dot"}"#).unwrap(),
+            Request::TopK { node: 1, k: 5, op: EdgeOp::Dot }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topk","node":1}"#).unwrap(),
+            Request::TopK { node: 1, k: DEFAULT_TOPK, op: EdgeOp::Cosine }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"score_link","u":1,"v":2,"op":"neg_l2"}"#).unwrap(),
+            Request::ScoreLink { u: 1, v: 2, op: EdgeOp::NegL2 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"add_edge","u":4,"v":9}"#).unwrap(),
+            Request::AddEdge { u: 4, v: 9 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"remove_edge","u":4,"v":9}"#).unwrap(),
+            Request::RemoveEdge { u: 4, v: 9 }
+        );
+        assert_eq!(parse_request(r#"{"cmd":"flush"}"#).unwrap(), Request::Flush);
+        assert_eq!(parse_request(r#"{"cmd":"snapshot"}"#).unwrap(), Request::Snapshot);
+        assert_eq!(parse_request(r#"{"cmd":"restore"}"#).unwrap(), Request::Restore);
+        assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        let err = parse_request("{not json at all").unwrap_err();
+        assert!(err.contains("malformed JSON"), "{err}");
+        assert!(parse_request("").is_err());
+        assert!(parse_request("[1,2,3]").unwrap_err().contains("object"));
+        assert!(parse_request("42").unwrap_err().contains("object"));
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_missing_fields() {
+        assert!(parse_request(r#"{"cmd":"frobnicate"}"#)
+            .unwrap_err()
+            .contains("unknown command `frobnicate`"));
+        assert!(parse_request(r#"{"nocmd":true}"#).unwrap_err().contains("cmd"));
+        assert!(parse_request(r#"{"cmd":"add_edge","u":1}"#).unwrap_err().contains("`v`"));
+        assert!(parse_request(r#"{"cmd":"get_embedding"}"#).unwrap_err().contains("`node`"));
+        assert!(parse_request(r#"{"cmd":"add_edge","u":-3,"v":1}"#).unwrap_err().contains("`u`"));
+        assert!(parse_request(r#"{"cmd":"add_edge","u":"x","v":1}"#).unwrap_err().contains("`u`"));
+    }
+
+    #[test]
+    fn rejects_bad_op_and_bad_k() {
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"op":"manhattan"}"#)
+            .unwrap_err()
+            .contains("op"));
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"k":0}"#).unwrap_err().contains("k"));
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"k":999999}"#).unwrap_err().contains("k"));
+    }
+
+    #[test]
+    fn rejects_oversized_line() {
+        let big = format!(r#"{{"cmd":"ping","pad":"{}"}}"#, "x".repeat(MAX_LINE_BYTES));
+        assert!(parse_request(&big).unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn responses_render_json() {
+        let line = Response::ok().field("version", Value::U64(3)).build();
+        assert!(line.contains("\"ok\":true") || line.contains("\"ok\": true"));
+        assert!(line.contains("version"));
+        let err = Response::err("boom");
+        assert!(err.contains("\"ok\":false") || err.contains("\"ok\": false"));
+        assert!(err.contains("boom"));
+        // Round-trips through the parser side.
+        let v: Value = serde_json::from_str(&err).unwrap();
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn op_names_roundtrip() {
+        for op in [EdgeOp::Dot, EdgeOp::Cosine, EdgeOp::NegL2] {
+            let line = format!(r#"{{"cmd":"score_link","u":0,"v":1,"op":"{}"}}"#, op_name(op));
+            assert_eq!(parse_request(&line).unwrap(), Request::ScoreLink { u: 0, v: 1, op });
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The TCP front end: accept loop, worker thread pool, request dispatch.
+//!
+//! Pure `std` (no async runtime): a nonblocking acceptor feeds accepted
+//! connections into a `Mutex<VecDeque>`/`Condvar` work queue drained by a
+//! fixed pool of worker threads. Each worker handles one connection at a
+//! time, reading LF-delimited JSON requests with a short read timeout so it
+//! can notice shutdown, answering read-plane queries from its own
+//! [`SnapshotReader`] cache (lock-free in steady state) and forwarding
+//! write-plane commands to the trainer thread.
+
+use crate::protocol::{self, op_name, Request, Response, MAX_LINE_BYTES};
+use crate::snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
+use crate::trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};
+use seqge_core::{IncrementalTrainer, OsElmSkipGram, TrainConfig};
+use seqge_graph::{EdgeEvent, Graph};
+use seqge_sampling::UpdatePolicy;
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server-side configuration (trainer knobs ride along in [`TrainerConfig`]).
+pub struct ServeConfig {
+    /// Worker threads answering queries (≥ 1).
+    pub workers: usize,
+    /// Trainer-side knobs: batching, resample policy, snapshot paths.
+    pub trainer: TrainerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 4, trainer: TrainerConfig::default() }
+    }
+}
+
+impl ServeConfig {
+    /// Points `snapshot`/`restore` (and the final shutdown snapshot) at
+    /// `dir/model.sge` + `dir/graph.edges`, creating `dir` if needed.
+    pub fn with_snapshot_dir(mut self, dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        self.trainer.snapshot_model = Some(dir.join("model.sge"));
+        self.trainer.snapshot_graph = Some(dir.join("graph.edges"));
+        Ok(self)
+    }
+}
+
+/// Boots a cold model: fresh OS-ELM weights, one bootstrap training pass
+/// over `graph` (the "all" protocol), ready to ingest.
+pub fn boot_cold(
+    graph: &Graph,
+    cfg: &TrainConfig,
+    ocfg: seqge_core::OsElmConfig,
+    policy: UpdatePolicy,
+    seed: u64,
+) -> (OsElmSkipGram, IncrementalTrainer) {
+    let mut model = OsElmSkipGram::new(graph.num_nodes(), ocfg);
+    let mut inc = IncrementalTrainer::new(graph.num_nodes(), cfg, policy, seed);
+    inc.bootstrap(graph, &mut model);
+    (model, inc)
+}
+
+/// Restores a previously snapshotted server: the model and graph come back
+/// bit-identical from disk and **no retraining happens** — the incremental
+/// trainer starts with an empty corpus and rebuilds its negative table from
+/// the first post-restore walk.
+pub fn boot_restore(
+    dir: &Path,
+    cfg: &TrainConfig,
+    policy: UpdatePolicy,
+    seed: u64,
+) -> io::Result<(Graph, OsElmSkipGram, IncrementalTrainer)> {
+    let model = seqge_core::persist::load_oselm(dir.join("model.sge"))?;
+    let graph = seqge_graph::io::load_graph(dir.join("graph.edges"))
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    if model.beta_t().rows() != graph.num_nodes() {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "snapshot mismatch: model covers {} nodes, graph has {}",
+                model.beta_t().rows(),
+                graph.num_nodes()
+            ),
+        ));
+    }
+    let inc = IncrementalTrainer::new(graph.num_nodes(), cfg, policy, seed);
+    Ok((graph, model, inc))
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] aborts ungracefully (threads are detached).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    cell: Arc<SnapshotCell>,
+    trainer_tx: Sender<TrainerMsg>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (port is concrete even when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The stop flag; external signal handlers set this to request a
+    /// graceful shutdown (then call [`ServerHandle::shutdown`] to wait).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// Shared telemetry counters.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        self.stats.clone()
+    }
+
+    /// The snapshot cell (in-process clients can query without TCP).
+    pub fn cell(&self) -> Arc<SnapshotCell> {
+        self.cell.clone()
+    }
+
+    /// Blocks until the stop flag is set (by SIGINT, a `shutdown` command,
+    /// or another thread), then tears down gracefully.
+    pub fn wait(self) -> io::Result<()> {
+        while !self.stop.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown()
+    }
+
+    /// Graceful shutdown: stop accepting, drain the in-flight training
+    /// batch, write a final snapshot (if configured), join every thread.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        let (ack_tx, ack_rx) = channel();
+        // The trainer may already be gone if every sender dropped; both
+        // outcomes mean "drained".
+        if self.trainer_tx.send(TrainerMsg::Shutdown(ack_tx)).is_ok() {
+            let _ = ack_rx.recv_timeout(Duration::from_secs(30));
+        }
+        drop(self.trainer_tx);
+        for t in self.threads {
+            t.join().map_err(|_| io::Error::other("server thread panicked"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Starts the server on `addr` (use port 0 for an ephemeral port) and
+/// returns immediately; all work happens on background threads.
+pub fn start(
+    addr: &str,
+    graph: Graph,
+    model: OsElmSkipGram,
+    inc: IncrementalTrainer,
+    config: ServeConfig,
+) -> io::Result<ServerHandle> {
+    assert!(config.workers >= 1, "need at least one worker");
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let stats = Arc::new(ServeStats::default());
+    let boot = EmbeddingSnapshot {
+        version: 0,
+        emb: seqge_core::model::EmbeddingModel::embedding(&model),
+        num_edges: graph.num_edges(),
+        walks_trained: 0,
+        edges_inserted: 0,
+        edges_removed: 0,
+    };
+    let cell = Arc::new(SnapshotCell::new(boot));
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::<TrainerMsg>();
+
+    let mut threads = Vec::new();
+
+    // Trainer thread — sole owner of graph/model/incremental state.
+    let trainer = Trainer::new(graph, model, inc, cell.clone(), stats.clone(), config.trainer);
+    threads.push(
+        thread::Builder::new().name("seqge-trainer".to_string()).spawn(move || trainer.run(rx))?,
+    );
+
+    // Work queue of accepted connections.
+    let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
+        Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+
+    for i in 0..config.workers {
+        let ctx = WorkerCtx {
+            queue: queue.clone(),
+            cell: cell.clone(),
+            stats: stats.clone(),
+            stop: stop.clone(),
+            trainer_tx: tx.clone(),
+        };
+        threads.push(
+            thread::Builder::new().name(format!("seqge-worker-{i}")).spawn(move || ctx.run())?,
+        );
+    }
+
+    // Acceptor.
+    {
+        let queue = queue.clone();
+        let stop = stop.clone();
+        threads.push(thread::Builder::new().name("seqge-accept".to_string()).spawn(move || {
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    // Wake any workers parked on the condvar so they can exit.
+                    queue.1.notify_all();
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let mut q = queue.0.lock().expect("conn queue poisoned");
+                        q.push_back(stream);
+                        queue.1.notify_one();
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })?);
+    }
+
+    Ok(ServerHandle { addr, stop, stats, cell, trainer_tx: tx, threads })
+}
+
+struct WorkerCtx {
+    queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)>,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServeStats>,
+    stop: Arc<AtomicBool>,
+    trainer_tx: Sender<TrainerMsg>,
+}
+
+impl WorkerCtx {
+    fn run(self) {
+        loop {
+            let conn = {
+                let guard = self.queue.0.lock().expect("conn queue poisoned");
+                let (mut guard, _) = self
+                    .queue
+                    .1
+                    .wait_timeout_while(guard, Duration::from_millis(100), |q| q.is_empty())
+                    .expect("conn queue poisoned");
+                guard.pop_front()
+            };
+            if let Some(stream) = conn {
+                let _ = self.handle_connection(stream);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+
+    /// Serves one connection until EOF, protocol violation, or shutdown.
+    fn handle_connection(&self, mut stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        stream.set_nodelay(true).ok();
+        let mut reader = SnapshotReader::new(self.cell.clone());
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let n = match stream.read(&mut chunk) {
+                Ok(0) => return Ok(()), // EOF
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            pending.extend_from_slice(&chunk[..n]);
+            // Process every complete line in the buffer.
+            while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = pending.drain(..=nl).collect();
+                let text = String::from_utf8_lossy(&line[..nl]);
+                let (response, close) = self.dispatch(text.trim(), &mut reader);
+                stream.write_all(response.as_bytes())?;
+                stream.write_all(b"\n")?;
+                if close {
+                    return Ok(());
+                }
+            }
+            // A line still growing past the cap is a protocol violation:
+            // answer once and drop the connection.
+            if pending.len() > MAX_LINE_BYTES {
+                let msg = Response::err(format!("line exceeds {MAX_LINE_BYTES} bytes"));
+                stream.write_all(msg.as_bytes())?;
+                stream.write_all(b"\n")?;
+                return Ok(());
+            }
+        }
+    }
+
+    fn dispatch(&self, line: &str, reader: &mut SnapshotReader) -> (String, bool) {
+        if line.is_empty() {
+            return (Response::err("empty request line"), false);
+        }
+        let req = match protocol::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => return (Response::err(e), false),
+        };
+        match req {
+            Request::Ping => (Response::ok().field("pong", true).build(), false),
+            Request::Stats => {
+                let snap = reader.current();
+                let resp = Response::ok()
+                    .field("version", snap.version)
+                    .field("nodes", snap.num_nodes())
+                    .field("edges", snap.num_edges)
+                    .field("dim", snap.dim())
+                    .field("walks_trained", snap.walks_trained)
+                    .field("edges_inserted", snap.edges_inserted)
+                    .field("edges_removed", snap.edges_removed)
+                    .field("pending", self.stats.pending())
+                    .field("applied", self.stats.applied.load(Ordering::Relaxed))
+                    .field("rejected", self.stats.rejected.load(Ordering::Relaxed))
+                    .field("refreshes", self.stats.refreshes.load(Ordering::Relaxed))
+                    .build();
+                (resp, false)
+            }
+            Request::GetEmbedding { node } => {
+                let snap = reader.current();
+                match snap.embedding(node) {
+                    Some(row) => {
+                        let vec: Vec<Value> = row.iter().map(|&x| Value::F64(x as f64)).collect();
+                        (
+                            Response::ok()
+                                .field("node", node)
+                                .field("version", snap.version)
+                                .field("embedding", Value::Array(vec))
+                                .build(),
+                            false,
+                        )
+                    }
+                    None => (
+                        Response::err(format!(
+                            "node {node} out of range (0..{})",
+                            snap.num_nodes()
+                        )),
+                        false,
+                    ),
+                }
+            }
+            Request::TopK { node, k, op } => {
+                let snap = reader.current();
+                match snap.topk(node, k, op) {
+                    Some(hits) => {
+                        let items: Vec<Value> = hits
+                            .into_iter()
+                            .map(|(v, s)| {
+                                Value::Object(vec![
+                                    ("node".to_string(), Value::U64(v as u64)),
+                                    ("score".to_string(), Value::F64(s)),
+                                ])
+                            })
+                            .collect();
+                        (
+                            Response::ok()
+                                .field("node", node)
+                                .field("op", op_name(op))
+                                .field("version", snap.version)
+                                .field("results", Value::Array(items))
+                                .build(),
+                            false,
+                        )
+                    }
+                    None => (
+                        Response::err(format!(
+                            "node {node} out of range (0..{})",
+                            snap.num_nodes()
+                        )),
+                        false,
+                    ),
+                }
+            }
+            Request::ScoreLink { u, v, op } => {
+                let snap = reader.current();
+                match snap.score(u, v, op) {
+                    Some(s) => (
+                        Response::ok()
+                            .field("u", u)
+                            .field("v", v)
+                            .field("op", op_name(op))
+                            .field("version", snap.version)
+                            .field("score", s)
+                            .build(),
+                        false,
+                    ),
+                    None => (
+                        Response::err(format!(
+                            "node pair ({u}, {v}) out of range (0..{})",
+                            snap.num_nodes()
+                        )),
+                        false,
+                    ),
+                }
+            }
+            Request::AddEdge { u, v } | Request::RemoveEdge { u, v } => {
+                let n = reader.current().num_nodes();
+                if u as usize >= n || v as usize >= n {
+                    return (
+                        Response::err(format!("node pair ({u}, {v}) out of range (0..{n})")),
+                        false,
+                    );
+                }
+                if u == v {
+                    return (Response::err("self loops are not allowed"), false);
+                }
+                let event = match req {
+                    Request::AddEdge { .. } => EdgeEvent::Add(u, v),
+                    _ => EdgeEvent::Remove(u, v),
+                };
+                match self.trainer_tx.send(TrainerMsg::Event(event)) {
+                    Ok(()) => {
+                        self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                        (
+                            Response::ok()
+                                .field("queued", true)
+                                .field("pending", self.stats.pending())
+                                .build(),
+                            false,
+                        )
+                    }
+                    Err(_) => (Response::err("trainer is shut down"), true),
+                }
+            }
+            Request::Flush => {
+                let (ack_tx, ack_rx) = channel();
+                if self.trainer_tx.send(TrainerMsg::Flush(ack_tx)).is_err() {
+                    return (Response::err("trainer is shut down"), true);
+                }
+                match ack_rx.recv_timeout(Duration::from_secs(120)) {
+                    Ok(version) => (Response::ok().field("version", version).build(), false),
+                    Err(_) => (Response::err("flush timed out"), false),
+                }
+            }
+            Request::Snapshot => {
+                let (ack_tx, ack_rx) = channel();
+                if self.trainer_tx.send(TrainerMsg::Snapshot(ack_tx)).is_err() {
+                    return (Response::err("trainer is shut down"), true);
+                }
+                match ack_rx.recv_timeout(Duration::from_secs(120)) {
+                    Ok(Ok((model, graph))) => (
+                        Response::ok()
+                            .field("model", model.display().to_string())
+                            .field("graph", graph.display().to_string())
+                            .build(),
+                        false,
+                    ),
+                    Ok(Err(e)) => (Response::err(e), false),
+                    Err(_) => (Response::err("snapshot timed out"), false),
+                }
+            }
+            Request::Restore => {
+                let (ack_tx, ack_rx) = channel();
+                if self.trainer_tx.send(TrainerMsg::Restore(ack_tx)).is_err() {
+                    return (Response::err("trainer is shut down"), true);
+                }
+                match ack_rx.recv_timeout(Duration::from_secs(120)) {
+                    Ok(Ok(version)) => (Response::ok().field("version", version).build(), false),
+                    Ok(Err(e)) => (Response::err(e), false),
+                    Err(_) => (Response::err("restore timed out"), false),
+                }
+            }
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                (Response::ok().field("shutting_down", true).build(), true)
+            }
+        }
+    }
+}

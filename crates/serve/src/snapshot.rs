@@ -1,0 +1,211 @@
+//! Read-optimized embedding snapshots and their publication cell.
+//!
+//! The serving invariant: **queries never block on a training step.** The
+//! trainer thread periodically renders its model into an immutable
+//! [`EmbeddingSnapshot`] and publishes it through a [`SnapshotCell`] — a
+//! versioned `Arc` slot whose swap is a pointer store under a micro-lock
+//! (nanoseconds, never held across training). Readers go through a
+//! [`SnapshotReader`], which caches the last `Arc` it saw and consults only
+//! a lock-free atomic version counter per query; the micro-lock is touched
+//! once per *publication*, not once per query.
+
+use seqge_eval::EdgeOp;
+use seqge_graph::NodeId;
+use seqge_linalg::Mat;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An immutable view of the model at one training version: the embedding
+/// matrix plus the telemetry the `stats` command reports.
+#[derive(Debug, Clone)]
+pub struct EmbeddingSnapshot {
+    /// Monotonic publication version (0 = boot snapshot).
+    pub version: u64,
+    /// One embedding row per node.
+    pub emb: Mat<f32>,
+    /// Edges in the graph when the snapshot was taken.
+    pub num_edges: usize,
+    /// Walks trained since boot.
+    pub walks_trained: usize,
+    /// Edge insertions applied since boot.
+    pub edges_inserted: usize,
+    /// Edge retractions applied since boot.
+    pub edges_removed: usize,
+}
+
+impl EmbeddingSnapshot {
+    /// Number of nodes the model covers.
+    pub fn num_nodes(&self) -> usize {
+        self.emb.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.emb.cols()
+    }
+
+    /// The embedding row for `node`, or `None` if out of range.
+    pub fn embedding(&self, node: NodeId) -> Option<&[f32]> {
+        if (node as usize) < self.emb.rows() {
+            Some(self.emb.row(node as usize))
+        } else {
+            None
+        }
+    }
+
+    /// Scores the pair `(u, v)` under `op` (the `score_link` read command,
+    /// reusing the link-prediction edge operators). `None` if either node
+    /// is out of range.
+    pub fn score(&self, u: NodeId, v: NodeId, op: EdgeOp) -> Option<f64> {
+        let n = self.emb.rows();
+        if (u as usize) < n && (v as usize) < n {
+            Some(op.score(&self.emb, u, v))
+        } else {
+            None
+        }
+    }
+
+    /// The `k` nearest neighbors of `node` under `op`, best first, the
+    /// query node itself excluded. `None` if `node` is out of range.
+    pub fn topk(&self, node: NodeId, k: usize, op: EdgeOp) -> Option<Vec<(NodeId, f64)>> {
+        if node as usize >= self.emb.rows() {
+            return None;
+        }
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        // Bounded selection: keep the k best seen so far in a small vec
+        // (k ≪ n in practice), replacing the current worst on improvement.
+        let mut best: Vec<(NodeId, f64)> = Vec::with_capacity(k + 1);
+        for v in 0..self.emb.rows() as NodeId {
+            if v == node {
+                continue;
+            }
+            let s = op.score(&self.emb, node, v);
+            if best.len() < k {
+                best.push((v, s));
+                best.sort_by(|a, b| b.1.total_cmp(&a.1));
+            } else if s > best[k - 1].1 {
+                best[k - 1] = (v, s);
+                best.sort_by(|a, b| b.1.total_cmp(&a.1));
+            }
+        }
+        Some(best)
+    }
+}
+
+/// The publication point between the trainer and the query plane.
+pub struct SnapshotCell {
+    version: AtomicU64,
+    slot: Mutex<Arc<EmbeddingSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates a cell holding `initial` (stamped as its own version).
+    pub fn new(initial: EmbeddingSnapshot) -> Self {
+        SnapshotCell {
+            version: AtomicU64::new(initial.version),
+            slot: Mutex::new(Arc::new(initial)),
+        }
+    }
+
+    /// Publishes a snapshot: swaps the `Arc` and bumps the version counter.
+    /// The lock guards only the pointer store; readers holding the previous
+    /// `Arc` keep it alive without any coordination.
+    pub fn publish(&self, snapshot: EmbeddingSnapshot) {
+        let v = snapshot.version;
+        *self.slot.lock().expect("snapshot slot poisoned") = Arc::new(snapshot);
+        self.version.store(v, Ordering::Release);
+    }
+
+    /// Current published version — a single lock-free atomic load.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Clones the current snapshot `Arc` (brief lock; use a
+    /// [`SnapshotReader`] on query paths to avoid even that per query).
+    pub fn load(&self) -> Arc<EmbeddingSnapshot> {
+        self.slot.lock().expect("snapshot slot poisoned").clone()
+    }
+}
+
+/// A per-connection cache over a [`SnapshotCell`]: each query costs one
+/// atomic version check, and the slot lock is only touched when the trainer
+/// actually published something new since the last query.
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCell>,
+    cached: Arc<EmbeddingSnapshot>,
+}
+
+impl SnapshotReader {
+    /// Creates a reader over `cell`, pre-populating the cache.
+    pub fn new(cell: Arc<SnapshotCell>) -> Self {
+        let cached = cell.load();
+        SnapshotReader { cell, cached }
+    }
+
+    /// The freshest published snapshot.
+    pub fn current(&mut self) -> &Arc<EmbeddingSnapshot> {
+        if self.cell.version() != self.cached.version {
+            self.cached = self.cell.load();
+        }
+        &self.cached
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(version: u64, rows: usize) -> EmbeddingSnapshot {
+        EmbeddingSnapshot {
+            version,
+            emb: Mat::from_fn(rows, 4, |r, c| (r * 4 + c) as f32 / 10.0),
+            num_edges: 0,
+            walks_trained: 0,
+            edges_inserted: 0,
+            edges_removed: 0,
+        }
+    }
+
+    #[test]
+    fn embedding_and_score_are_range_checked() {
+        let s = snap(1, 3);
+        assert_eq!(s.embedding(2).unwrap().len(), 4);
+        assert!(s.embedding(3).is_none());
+        assert!(s.score(0, 2, EdgeOp::Dot).is_some());
+        assert!(s.score(0, 3, EdgeOp::Dot).is_none());
+        assert!(s.score(9, 0, EdgeOp::Cosine).is_none());
+    }
+
+    #[test]
+    fn topk_orders_best_first_and_excludes_self() {
+        // Rows: e0 = [1,0], e1 = [1,0], e2 = [0.5,0], e3 = [-1,0].
+        let emb = Mat::from_vec(4, 2, vec![1.0, 0.0, 1.0, 0.0, 0.5, 0.0, -1.0, 0.0]);
+        let s = EmbeddingSnapshot { emb, ..snap(1, 0) };
+        let top = s.topk(0, 2, EdgeOp::Dot).unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1, "identical row is nearest");
+        assert_eq!(top[1].0, 2);
+        assert!(top[0].1 >= top[1].1);
+        // k larger than candidate pool truncates to n-1.
+        assert_eq!(s.topk(0, 10, EdgeOp::Dot).unwrap().len(), 3);
+        assert!(s.topk(4, 2, EdgeOp::Dot).is_none(), "out-of-range node");
+    }
+
+    #[test]
+    fn cell_publish_bumps_version_and_readers_refresh() {
+        let cell = Arc::new(SnapshotCell::new(snap(0, 2)));
+        let mut reader = SnapshotReader::new(cell.clone());
+        assert_eq!(reader.current().version, 0);
+        cell.publish(snap(7, 2));
+        assert_eq!(cell.version(), 7);
+        assert_eq!(reader.current().version, 7);
+        // Old Arcs stay valid after publication.
+        let old = cell.load();
+        cell.publish(snap(8, 2));
+        assert_eq!(old.version, 7);
+        assert_eq!(reader.current().version, 8);
+    }
+}

@@ -1,0 +1,273 @@
+//! The write plane: a dedicated trainer thread that drains edge events into
+//! incremental OS-ELM updates and publishes fresh embedding snapshots.
+//!
+//! One thread owns the graph, the model, and the
+//! [`seqge_core::IncrementalTrainer`]; everything else talks to it through
+//! an MPSC channel. Events are batched opportunistically — whatever has
+//! queued up since the last training step is drained in one go (up to
+//! `batch_max`), then a snapshot is published, so query staleness is
+//! bounded by one batch rather than one connection's burst.
+
+use crate::snapshot::{EmbeddingSnapshot, SnapshotCell};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{persist, IncrementalTrainer, OsElmSkipGram};
+use seqge_graph::{io as graph_io, EdgeEvent, Graph};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+/// Counters shared between the trainer thread and the query plane (the
+/// `stats` command reads them lock-free).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Events accepted onto the queue by the server.
+    pub enqueued: AtomicU64,
+    /// Events applied to the graph and trained.
+    pub applied: AtomicU64,
+    /// Events the graph rejected (duplicate add, missing remove, …).
+    pub rejected: AtomicU64,
+    /// Walks trained since boot (bootstrap + incremental + refreshes).
+    pub walks_trained: AtomicU64,
+    /// Full walk-corpus resamples performed by the update policy.
+    pub refreshes: AtomicU64,
+    /// Snapshots written to disk.
+    pub snapshots_written: AtomicU64,
+}
+
+impl ServeStats {
+    /// Events queued but not yet applied or rejected.
+    pub fn pending(&self) -> u64 {
+        self.enqueued
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.applied.load(Ordering::Relaxed))
+            .saturating_sub(self.rejected.load(Ordering::Relaxed))
+    }
+}
+
+/// Messages the trainer thread understands.
+pub enum TrainerMsg {
+    /// An edge mutation from the write plane.
+    Event(EdgeEvent),
+    /// Barrier: drain everything queued before this message, publish, and
+    /// ack with the published version.
+    Flush(Sender<u64>),
+    /// Persist model + graph; ack with the written paths or an error.
+    Snapshot(Sender<Result<(PathBuf, PathBuf), String>>),
+    /// Reload model + graph from disk, replacing in-memory state; ack with
+    /// the restored version or an error.
+    Restore(Sender<Result<u64, String>>),
+    /// Drain in-flight events, write a final snapshot (if configured),
+    /// publish, ack, and exit the thread.
+    Shutdown(Sender<u64>),
+}
+
+/// Trainer-side configuration.
+pub struct TrainerConfig {
+    /// Max events folded into the model between two snapshot publications.
+    pub batch_max: usize,
+    /// Resample the full walk corpus after this many applied events
+    /// (0 = never). Counters the staleness of per-edge walks under heavy
+    /// drift — see [`IncrementalTrainer::refresh`].
+    pub refresh_every: u64,
+    /// Where `snapshot`/`restore` (and the final shutdown snapshot) write
+    /// the model; `None` disables persistence commands.
+    pub snapshot_model: Option<PathBuf>,
+    /// Companion path for the graph.
+    pub snapshot_graph: Option<PathBuf>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            batch_max: 256,
+            refresh_every: 0,
+            snapshot_model: None,
+            snapshot_graph: None,
+        }
+    }
+}
+
+/// The trainer thread's whole world.
+pub struct Trainer {
+    graph: Graph,
+    model: OsElmSkipGram,
+    inc: IncrementalTrainer,
+    cell: Arc<SnapshotCell>,
+    stats: Arc<ServeStats>,
+    cfg: TrainerConfig,
+    version: u64,
+    events_since_refresh: u64,
+}
+
+impl Trainer {
+    /// Builds the trainer and publishes the boot snapshot (version 0).
+    pub fn new(
+        graph: Graph,
+        model: OsElmSkipGram,
+        inc: IncrementalTrainer,
+        cell: Arc<SnapshotCell>,
+        stats: Arc<ServeStats>,
+        cfg: TrainerConfig,
+    ) -> Self {
+        let mut t =
+            Trainer { graph, model, inc, cell, stats, cfg, version: 0, events_since_refresh: 0 };
+        t.sync_stats();
+        t.publish();
+        t
+    }
+
+    fn sync_stats(&self) {
+        self.stats.walks_trained.store(self.inc.outcome().walks_trained as u64, Ordering::Relaxed);
+    }
+
+    fn publish(&mut self) {
+        let out = self.inc.outcome();
+        self.cell.publish(EmbeddingSnapshot {
+            version: self.version,
+            emb: self.model.embedding(),
+            num_edges: self.graph.num_edges(),
+            walks_trained: out.walks_trained,
+            edges_inserted: out.edges_inserted,
+            edges_removed: self.inc.edges_removed(),
+        });
+        self.version += 1;
+    }
+
+    fn apply(&mut self, event: EdgeEvent) {
+        match self.inc.ingest(&mut self.graph, event, &mut self.model) {
+            Ok(_) => {
+                self.stats.applied.fetch_add(1, Ordering::Relaxed);
+                self.events_since_refresh += 1;
+            }
+            Err(_) => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if self.cfg.refresh_every > 0 && self.events_since_refresh >= self.cfg.refresh_every {
+            self.inc.refresh(&self.graph, &mut self.model);
+            self.stats.refreshes.fetch_add(1, Ordering::Relaxed);
+            self.events_since_refresh = 0;
+        }
+        self.sync_stats();
+    }
+
+    fn snapshot_paths(&self) -> Result<(PathBuf, PathBuf), String> {
+        match (&self.cfg.snapshot_model, &self.cfg.snapshot_graph) {
+            (Some(m), Some(g)) => Ok((m.clone(), g.clone())),
+            _ => Err("server started without --snapshot-dir".to_string()),
+        }
+    }
+
+    /// Writes model + graph via temp-file-then-rename so a crash mid-write
+    /// never clobbers the previous good snapshot.
+    fn write_snapshot(&self) -> Result<(PathBuf, PathBuf), String> {
+        let (model_path, graph_path) = self.snapshot_paths()?;
+        let mtmp = model_path.with_extension("tmp");
+        let gtmp = graph_path.with_extension("tmp");
+        persist::save_oselm(&self.model, &mtmp).map_err(|e| format!("model snapshot: {e}"))?;
+        graph_io::save_graph(&self.graph, &gtmp).map_err(|e| format!("graph snapshot: {e}"))?;
+        std::fs::rename(&mtmp, &model_path).map_err(|e| format!("model rename: {e}"))?;
+        std::fs::rename(&gtmp, &graph_path).map_err(|e| format!("graph rename: {e}"))?;
+        self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        Ok((model_path, graph_path))
+    }
+
+    fn restore_snapshot(&mut self) -> Result<u64, String> {
+        let (model_path, graph_path) = self.snapshot_paths()?;
+        let model = persist::load_oselm(&model_path).map_err(|e| format!("model restore: {e}"))?;
+        let graph = graph_io::load_graph(&graph_path).map_err(|e| format!("graph restore: {e}"))?;
+        if model.beta_t().rows() != graph.num_nodes() {
+            return Err(format!(
+                "snapshot mismatch: model covers {} nodes, graph has {}",
+                model.beta_t().rows(),
+                graph.num_nodes()
+            ));
+        }
+        self.model = model;
+        self.graph = graph;
+        self.publish();
+        Ok(self.version - 1)
+    }
+
+    /// Runs the event loop until [`TrainerMsg::Shutdown`] or every sender
+    /// hangs up. Consumes the trainer.
+    pub fn run(mut self, rx: Receiver<TrainerMsg>) {
+        loop {
+            let first = match rx.recv() {
+                Ok(m) => m,
+                Err(_) => return, // all senders gone: server tore down
+            };
+            let mut control = None;
+            match first {
+                TrainerMsg::Event(e) => {
+                    self.apply(e);
+                    let mut batched = 1usize;
+                    // Opportunistic batch: drain whatever queued up while
+                    // training, then publish once.
+                    while batched < self.cfg.batch_max {
+                        match rx.try_recv() {
+                            Ok(TrainerMsg::Event(e)) => {
+                                self.apply(e);
+                                batched += 1;
+                            }
+                            Ok(other) => {
+                                control = Some(other);
+                                break;
+                            }
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    self.publish();
+                }
+                other => control = Some(other),
+            }
+            if let Some(msg) = control {
+                match msg {
+                    TrainerMsg::Event(_) => unreachable!("events handled above"),
+                    TrainerMsg::Flush(ack) => {
+                        // Everything sent before the flush is already
+                        // applied (single FIFO channel), so just publish.
+                        self.publish();
+                        let _ = ack.send(self.version - 1);
+                    }
+                    TrainerMsg::Snapshot(ack) => {
+                        let _ = ack.send(self.write_snapshot());
+                    }
+                    TrainerMsg::Restore(ack) => {
+                        let _ = ack.send(self.restore_snapshot());
+                    }
+                    TrainerMsg::Shutdown(ack) => {
+                        // Drain in-flight events so nothing queued is lost…
+                        while let Ok(msg) = rx.try_recv() {
+                            match msg {
+                                TrainerMsg::Event(e) => self.apply(e),
+                                TrainerMsg::Flush(a) => {
+                                    let _ = a.send(self.version);
+                                }
+                                TrainerMsg::Snapshot(a) => {
+                                    let _ = a.send(Err("shutting down".to_string()));
+                                }
+                                TrainerMsg::Restore(a) => {
+                                    let _ = a.send(Err("shutting down".to_string()));
+                                }
+                                TrainerMsg::Shutdown(a) => {
+                                    let _ = a.send(self.version);
+                                }
+                            }
+                        }
+                        // …then leave a final on-disk snapshot if configured.
+                        if self.cfg.snapshot_model.is_some() {
+                            if let Err(e) = self.write_snapshot() {
+                                eprintln!("seqge-serve: final snapshot failed: {e}");
+                            }
+                        }
+                        self.publish();
+                        let _ = ack.send(self.version - 1);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}

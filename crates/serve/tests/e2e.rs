@@ -1,0 +1,257 @@
+//! End-to-end tests: a real server on a loopback socket, a real client.
+//!
+//! The acceptance loop — boot from a partial graph, stream the held-out
+//! edges in over the write plane while querying the read plane, watch
+//! link-prediction scores improve, snapshot, kill, restore bit-identically.
+
+use seqge_core::{OsElmConfig, TrainConfig};
+use seqge_eval::EdgeOp;
+use seqge_graph::generators::classic::erdos_renyi;
+use seqge_graph::spanning_forest;
+use seqge_sampling::UpdatePolicy;
+use seqge_serve::{boot_cold, boot_restore, start, Client, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+const DIM: usize = 8;
+const SEED: u64 = 11;
+
+fn train_cfg() -> TrainConfig {
+    let mut cfg = TrainConfig::paper_defaults(DIM);
+    cfg.walk.walk_length = 12;
+    cfg.walk.walks_per_node = 2;
+    cfg
+}
+
+fn ocfg() -> OsElmConfig {
+    OsElmConfig { model: train_cfg().model, ..OsElmConfig::paper_defaults(DIM) }
+}
+
+/// Boots a server over the spanning forest of a random graph; returns the
+/// handle plus the removed (held-out) edges.
+fn forest_server(config: ServeConfig) -> (seqge_serve::ServerHandle, Vec<(u32, u32)>) {
+    let full = erdos_renyi(40, 0.18, 7);
+    let split = spanning_forest(&full);
+    let initial = split.initial_graph(&full);
+    let cfg = train_cfg();
+    let (model, inc) = boot_cold(&initial, &cfg, ocfg(), UpdatePolicy::every_edge(), SEED);
+    let handle = start("127.0.0.1:0", initial, model, inc, config).expect("server starts");
+    (handle, split.removed_edges)
+}
+
+#[test]
+fn serves_queries_while_ingesting_and_scores_improve() {
+    let (handle, removed) = forest_server(ServeConfig::default());
+    assert!(removed.len() >= 10, "test graph must hold out a real stream");
+    let mut c = Client::connect(handle.addr()).expect("client connects");
+    c.ping().unwrap();
+
+    // Cold read plane.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("nodes").and_then(|v| v.as_u64()), Some(40));
+    let emb = c.get_embedding(0).unwrap();
+    assert_eq!(emb.len(), DIM);
+    let cold_mean: f64 =
+        removed.iter().map(|&(u, v)| c.score_link(u, v, EdgeOp::Cosine).unwrap()).sum::<f64>()
+            / removed.len() as f64;
+
+    // Stream every held-out edge in while interleaving reads (the reads
+    // must never error or observe a torn snapshot, whatever the trainer is
+    // doing at that moment).
+    for (i, &(u, v)) in removed.iter().enumerate() {
+        c.add_edge(u, v).unwrap();
+        if i % 5 == 0 {
+            let top = c.topk(u, 3, EdgeOp::Cosine).unwrap();
+            assert!(top.len() <= 3);
+            assert!(top.iter().all(|&(n, _)| n != u), "query node excluded");
+            let row = c.get_embedding(v).unwrap();
+            assert_eq!(row.len(), DIM);
+            assert!(row.iter().all(|x| x.is_finite()));
+        }
+    }
+    let version = c.flush().unwrap();
+    assert!(version > 0, "training must have published new snapshots");
+
+    // Everything queued was applied (nothing rejected, nothing pending).
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("edges_inserted").and_then(|v| v.as_u64()), Some(removed.len() as u64));
+    assert_eq!(stats.get("pending").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(stats.get("rejected").and_then(|v| v.as_u64()), Some(0));
+
+    // The model has now trained on the held-out edges: their link scores
+    // must improve over the cold forest-only model on average.
+    let warm_mean: f64 =
+        removed.iter().map(|&(u, v)| c.score_link(u, v, EdgeOp::Cosine).unwrap()).sum::<f64>()
+            / removed.len() as f64;
+    assert!(
+        warm_mean > cold_mean,
+        "ingesting edges must raise their mean link score (cold {cold_mean:.4}, warm {warm_mean:.4})"
+    );
+
+    // topk of an endpoint should now rank its freshly trained neighbors
+    // with finite, ordered scores.
+    let (u, _) = removed[0];
+    let top = c.topk(u, 5, EdgeOp::Cosine).unwrap();
+    assert!(!top.is_empty());
+    assert!(top.windows(2).all(|w| w[0].1 >= w[1].1), "topk is sorted best-first");
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn protocol_errors_are_clean_and_connection_survives() {
+    let (handle, _) = forest_server(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Malformed JSON, unknown command, missing fields, bad values: each
+    // gets an {"ok":false} line and the connection stays usable.
+    for bad in [
+        "{this is not json",
+        r#"{"cmd":"warp_drive"}"#,
+        r#"{"cmd":"add_edge","u":1}"#,
+        r#"{"cmd":"topk","node":1,"op":"manhattan"}"#,
+        r#"[1,2,3]"#,
+        r#"{"cmd":"get_embedding","node":4999}"#,
+        r#"{"cmd":"add_edge","u":0,"v":0}"#,
+        r#"{"cmd":"add_edge","u":0,"v":4999}"#,
+        r#"{"cmd":"snapshot"}"#, // no snapshot dir configured
+    ] {
+        let resp = c.call_raw(bad).unwrap();
+        assert!(resp.contains("\"ok\":false") || resp.contains("\"ok\": false"), "{bad} → {resp}");
+        c.ping().expect("connection survives a protocol error");
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_line_is_rejected_and_connection_closed() {
+    let (handle, _) = forest_server(ServeConfig::default());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    let big = vec![b'x'; seqge_serve::MAX_LINE_BYTES + 4096];
+    stream.write_all(&big).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("exceeds"), "oversized line must be called out: {line}");
+    // Server closes: next read sees EOF.
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection must be closed");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn concurrent_readers_and_writer_make_progress() {
+    let (handle, removed) = forest_server(ServeConfig::default());
+    let addr = handle.addr();
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        for &(u, v) in &removed {
+            c.add_edge(u, v).unwrap();
+        }
+        c.flush().unwrap()
+    });
+    let readers: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for q in 0..60u32 {
+                    let node = (q * 7 + i) % 40;
+                    let emb = c.get_embedding(node).unwrap();
+                    assert!(emb.iter().all(|x| x.is_finite()));
+                    let _ = c.score_link(node, (node + 1) % 40, EdgeOp::Dot).unwrap();
+                }
+            })
+        })
+        .collect();
+    let version = writer.join().expect("writer thread");
+    assert!(version > 0);
+    for r in readers {
+        r.join().expect("reader thread");
+    }
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn snapshot_restore_roundtrip_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("seqge_serve_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig::default().with_snapshot_dir(&dir).unwrap();
+    let (handle, removed) = forest_server(config);
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Train on half the stream, snapshot, record state.
+    let half = removed.len() / 2;
+    for &(u, v) in &removed[..half] {
+        c.add_edge(u, v).unwrap();
+    }
+    c.flush().unwrap();
+    c.snapshot().unwrap();
+    let frozen: Vec<Vec<f32>> = (0..40).map(|n| c.get_embedding(n).unwrap()).collect();
+    let frozen_edges = c.stats().unwrap().get("edges").and_then(|v| v.as_u64()).unwrap();
+
+    // "Kill" the server (graceful here; the final snapshot also runs, but
+    // we already snapshotted explicitly) and boot a fresh one from disk.
+    handle.shutdown().unwrap();
+    let cfg = train_cfg();
+    let (graph, model, inc) =
+        boot_restore(&dir, &cfg, UpdatePolicy::every_edge(), SEED).expect("restore boots");
+    assert_eq!(graph.num_edges() as u64, frozen_edges);
+    let handle2 = start(
+        "127.0.0.1:0",
+        graph,
+        model,
+        inc,
+        ServeConfig::default().with_snapshot_dir(&dir).unwrap(),
+    )
+    .unwrap();
+    let mut c2 = Client::connect(handle2.addr()).unwrap();
+
+    // Bit-identical embeddings (f32-exact through the JSON wire).
+    for (n, frozen_row) in frozen.iter().enumerate() {
+        let row = c2.get_embedding(n as u32).unwrap();
+        assert_eq!(&row, frozen_row, "row {n} differs after restore");
+    }
+
+    // The restored server keeps ingesting the rest of the stream.
+    for &(u, v) in &removed[half..] {
+        c2.add_edge(u, v).unwrap();
+    }
+    c2.flush().unwrap();
+    let stats = c2.stats().unwrap();
+    assert_eq!(stats.get("rejected").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(
+        stats.get("edges_inserted").and_then(|v| v.as_u64()),
+        Some((removed.len() - half) as u64)
+    );
+
+    // The in-protocol restore command rolls back to the on-disk state.
+    let restored_version = c2.restore().unwrap();
+    assert!(restored_version > 0);
+    for (n, frozen_row) in frozen.iter().enumerate() {
+        let row = c2.get_embedding(n as u32).unwrap();
+        assert_eq!(&row, frozen_row, "row {n} differs after in-protocol restore");
+    }
+
+    handle2.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_command_drains_and_stops_the_server() {
+    let (handle, removed) = forest_server(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for &(u, v) in &removed {
+        c.add_edge(u, v).unwrap();
+    }
+    c.shutdown_server().unwrap();
+    // wait() returns once the stop flag (set by the command) is honored;
+    // the trainer drains queued events before exiting.
+    let stats = handle.stats();
+    handle.wait().unwrap();
+    assert_eq!(
+        stats.applied.load(std::sync::atomic::Ordering::Relaxed),
+        removed.len() as u64,
+        "queued events must be drained during graceful shutdown"
+    );
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Smoke test for the seqge-serve daemon: boot from a generated graph, run a
+# scripted client session over the line-delimited JSON protocol, SIGINT the
+# server, and verify the snapshot-backed restart path. Exits non-zero on any
+# failed assertion. CI runs this as the `serve-smoke` job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release/seqge}
+if [[ ! -x $BIN ]]; then
+  cargo build --release
+fi
+
+work=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [[ -n $SERVER_PID ]] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+"$BIN" generate --dataset cora --scale 0.05 --out "$work/g.edges"
+
+"$BIN" serve --graph "$work/g.edges" --port 0 --dim 8 \
+  --snapshot-dir "$work/snaps" >"$work/serve.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 150); do
+  grep -q "^listening on " "$work/serve.log" && break
+  sleep 0.2
+done
+ADDR=$(grep "^listening on " "$work/serve.log" | awk '{print $3}')
+[[ -n $ADDR ]] || { echo "FAIL: server never came up"; cat "$work/serve.log"; exit 1; }
+echo "server at $ADDR"
+
+# One scripted session exercising both planes plus an error path.
+"$BIN" client --addr "$ADDR" >"$work/session.out" <<'EOF'
+{"cmd":"ping"}
+{"cmd":"add_edge","u":0,"v":5}
+{"cmd":"flush"}
+{"cmd":"get_embedding","node":5}
+{"cmd":"topk","node":0,"k":3,"op":"cosine"}
+{"cmd":"score_link","u":0,"v":5,"op":"cosine"}
+{"cmd":"stats"}
+{"cmd":"snapshot"}
+{"cmd":"definitely_not_a_command"}
+EOF
+cat "$work/session.out"
+
+grep -q '"pong":true' "$work/session.out" || { echo "FAIL: no pong"; exit 1; }
+ok_count=$(grep -c '"ok":true' "$work/session.out")
+[[ $ok_count -eq 8 ]] || { echo "FAIL: expected 8 ok responses, got $ok_count"; exit 1; }
+grep -q '"ok":false' "$work/session.out" || { echo "FAIL: unknown command not rejected"; exit 1; }
+grep -q '"embedding":' "$work/session.out" || { echo "FAIL: no embedding row"; exit 1; }
+grep -q '"edges_inserted":1' "$work/session.out" || { echo "FAIL: edge not applied"; exit 1; }
+
+# Graceful SIGINT: drain, write the final snapshot, exit 0.
+kill -INT "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; cat "$work/serve.log"; exit 1; }
+SERVER_PID=""
+grep -q "server stopped" "$work/serve.log" || { echo "FAIL: no graceful-stop line"; exit 1; }
+[[ -f $work/snaps/model.sge && -f $work/snaps/graph.edges ]] ||
+  { echo "FAIL: final snapshot missing"; exit 1; }
+
+# Kill -> restart: boots from the snapshot dir alone (no --graph), with the
+# ingested edge persisted.
+"$BIN" serve --port 0 --dim 8 --snapshot-dir "$work/snaps" >"$work/serve2.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 150); do
+  grep -q "^listening on " "$work/serve2.log" && break
+  sleep 0.2
+done
+ADDR2=$(grep "^listening on " "$work/serve2.log" | awk '{print $3}')
+[[ -n $ADDR2 ]] || { echo "FAIL: restarted server never came up"; cat "$work/serve2.log"; exit 1; }
+grep -q "^restored " "$work/serve2.log" || { echo "FAIL: restart did not restore"; exit 1; }
+
+printf '%s\n' '{"cmd":"stats"}' '{"cmd":"shutdown"}' |
+  "$BIN" client --addr "$ADDR2" >"$work/session2.out"
+cat "$work/session2.out"
+grep -q '"ok":true' "$work/session2.out" || { echo "FAIL: restored server not answering"; exit 1; }
+grep -q '"shutting_down":true' "$work/session2.out" || { echo "FAIL: shutdown not acked"; exit 1; }
+wait "$SERVER_PID" || { echo "FAIL: restored server exited non-zero"; exit 1; }
+SERVER_PID=""
+
+echo "serve smoke OK"

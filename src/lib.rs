@@ -11,6 +11,8 @@
 //!   (Algorithm 1), and the dataflow-optimized variant (Algorithm 2).
 //! * [`fpga`] — cycle-approximate simulator of the ZCU104 accelerator.
 //! * [`eval`] — one-vs-rest logistic regression and F1 scoring.
+//! * [`serve`] — online embedding service: live edge ingestion, incremental
+//!   sequential training, lock-free snapshot queries over TCP.
 
 pub use seqge_core as core;
 pub use seqge_eval as eval;
@@ -19,3 +21,4 @@ pub use seqge_fpga as fpga;
 pub use seqge_graph as graph;
 pub use seqge_linalg as linalg;
 pub use seqge_sampling as sampling;
+pub use seqge_serve as serve;

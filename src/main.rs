@@ -20,8 +20,10 @@ use seqge::eval::{evaluate_embedding, EdgeOp, EvalConfig, LinkPredSet};
 use seqge::fpga::{estimate_resources, AcceleratorDesign, FpgaDevice, TimingModel};
 use seqge::graph::{io as graph_io, Dataset, Graph};
 use seqge::sampling::UpdatePolicy;
+use seqge::serve;
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +43,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "eval" => cmd_eval(&flags),
         "simulate" => cmd_simulate(&flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -66,7 +70,17 @@ commands:
             threads, 0 = all cores; the trained model is identical for any
             thread count)
   eval     --graph FILE --emb FILE [--linkpred] [--seed n]
-  simulate [--dim n]";
+  simulate [--dim n]
+  serve    --graph FILE [--port n] [--dim n] [--seed n] [--workers n]
+           [--batch n] [--refresh-every n] [--mu f] [--forgetting f]
+           [--snapshot-dir DIR]
+           (long-running daemon; line-delimited JSON over TCP. With
+            --snapshot-dir, boots from DIR/model.sge when present —
+            bit-identical restore, no retraining — and writes a final
+            snapshot on graceful shutdown. SIGINT/SIGTERM drain the
+            in-flight batch before exiting. --port 0 = ephemeral)
+  client   [--addr HOST:PORT] (reads JSON requests from stdin, one per
+           line, prints each response; for scripting and smoke tests)";
 
 type Flags = HashMap<String, String>;
 
@@ -247,6 +261,128 @@ fn cmd_eval(flags: &Flags) -> Result<(), String> {
         let set = LinkPredSet::sample(&g, 0.1, seed);
         for op in [EdgeOp::Dot, EdgeOp::Cosine, EdgeOp::NegL2] {
             println!("link prediction AUC ({op:?}): {:.4}", set.auc(&emb, op));
+        }
+    }
+    Ok(())
+}
+
+/// Set by the SIGINT/SIGTERM handler; a bridge thread forwards it onto the
+/// server's stop flag so `serve` drains and snapshots before exiting.
+static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // No libc crate in this offline workspace: declare the one symbol we
+    // need. The handler only touches an atomic, which is async-signal-safe.
+    extern "C" fn on_signal(_sig: i32) {
+        STOP_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(2, on_signal as *const () as usize); // SIGINT
+        signal(15, on_signal as *const () as usize); // SIGTERM
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let dim: usize = get(flags, "dim", 32)?;
+    let seed: u64 = get(flags, "seed", 42)?;
+    let port: u16 = get(flags, "port", 7878)?;
+    let mut cfg = TrainConfig::paper_defaults(dim);
+    cfg.model.seed = seed;
+    let policy = UpdatePolicy::every_edge();
+
+    let trainer = serve::TrainerConfig {
+        batch_max: get(flags, "batch", 256)?,
+        refresh_every: get(flags, "refresh-every", 0)?,
+        ..Default::default()
+    };
+    let mut config = serve::ServeConfig { workers: get(flags, "workers", 4)?, trainer };
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let snapshot_dir = flags.get("snapshot-dir").map(std::path::PathBuf::from);
+    if let Some(dir) = &snapshot_dir {
+        config = config.with_snapshot_dir(dir).map_err(|e| e.to_string())?;
+    }
+
+    // A populated snapshot dir wins over --graph: kill → restart resumes
+    // with bit-identical model state, no retraining.
+    let restorable = snapshot_dir.as_ref().is_some_and(|d| d.join("model.sge").is_file());
+    let (graph, model, inc) = if restorable {
+        let dir = snapshot_dir.as_ref().expect("restorable implies a snapshot dir");
+        let (g, m, i) = serve::boot_restore(dir, &cfg, policy, seed).map_err(|e| e.to_string())?;
+        println!(
+            "restored {} nodes / {} edges from {}",
+            g.num_nodes(),
+            g.num_edges(),
+            dir.display()
+        );
+        (g, m, i)
+    } else {
+        let g = load(flags)?;
+        let ocfg = OsElmConfig {
+            model: cfg.model,
+            mu: get(flags, "mu", 0.05f32)?,
+            forgetting: get(flags, "forgetting", 1.0f32)?,
+            ..OsElmConfig::paper_defaults(dim)
+        };
+        let t0 = std::time::Instant::now();
+        let (m, i) = serve::boot_cold(&g, &cfg, ocfg, policy, seed);
+        println!(
+            "bootstrapped d={dim} on {} nodes / {} edges in {:.1}s",
+            g.num_nodes(),
+            g.num_edges(),
+            t0.elapsed().as_secs_f64()
+        );
+        (g, m, i)
+    };
+
+    install_signal_handlers();
+    let handle = serve::start(&format!("127.0.0.1:{port}"), graph, model, inc, config)
+        .map_err(|e| e.to_string())?;
+    println!("listening on {}", handle.addr());
+
+    let stop = handle.stop_flag();
+    std::thread::spawn(move || loop {
+        if STOP_REQUESTED.load(Ordering::SeqCst) {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return; // server stopped on its own (shutdown command)
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    handle.wait().map_err(|e| e.to_string())?;
+    println!("server stopped");
+    Ok(())
+}
+
+fn cmd_client(flags: &Flags) -> Result<(), String> {
+    use std::io::BufRead;
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
+    let mut client = serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match client.call_raw(line) {
+            Ok(resp) => println!("{resp}"),
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                // Expected after a `shutdown` request: report and stop.
+                println!(r#"{{"ok":false,"error":"connection closed by server"}}"#);
+                return Ok(());
+            }
+            Err(e) => return Err(e.to_string()),
         }
     }
     Ok(())
