@@ -1,0 +1,169 @@
+//! Observability-overhead benchmark: proves the `seqge-obs` instrumentation
+//! stays inside its <2% budget on the pipelined-training hot path.
+//!
+//! Three arms over the same workload (`train_all_pipelined` on scaled
+//! Cora):
+//!
+//! * **enabled** — instrumentation compiled in, span timing on (the
+//!   default production configuration);
+//! * **runtime_disabled** — compiled in, `SEQGE_OBS=off`-equivalent (span
+//!   clock reads gated off; counters stay live);
+//! * **compiled_out** — built with `--features obs-disabled`, which
+//!   forwards to `seqge-obs/disabled` and compiles every recording call to
+//!   a no-op.
+//!
+//! One binary can only run the arms its build supports, so the two builds
+//! **merge** into `results/bench_obs.json`: each run replaces its own arms
+//! in the existing file and recomputes the overhead once both the
+//! `enabled` and `compiled_out` arms are present. `scripts/bench_obs.sh`
+//! orchestrates the two builds; the pass threshold comes from
+//! `SEQGE_OBS_MAX_OVERHEAD_PCT` (default 2.0).
+
+use seqge_bench::{banner, write_json, Args};
+use seqge_core::{train_all_pipelined, OsElmConfig, OsElmSkipGram, TrainConfig};
+use seqge_graph::{Dataset, Graph};
+use serde_json::Value;
+use std::path::Path;
+use std::time::Instant;
+
+const REPS: usize = 5;
+const THREADS: usize = 2;
+
+/// Best-of-`REPS` wall time for one full pipelined training run.
+fn measure(g: &Graph, cfg: &TrainConfig, ocfg: OsElmConfig, seed: u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut walks = 0u64;
+    for _ in 0..REPS {
+        let mut m = OsElmSkipGram::new(g.num_nodes(), ocfg);
+        let t = Instant::now();
+        let out = train_all_pipelined(g, &mut m, cfg, seed, THREADS);
+        best = best.min(t.elapsed().as_secs_f64());
+        walks = out.walks_trained as u64;
+    }
+    (best, walks)
+}
+
+fn arm_record(wall_s: f64, walks: u64) -> Value {
+    Value::Object(vec![
+        ("wall_s".to_string(), Value::F64(wall_s)),
+        ("walks".to_string(), Value::U64(walks)),
+        ("walks_per_sec".to_string(), Value::F64(walks as f64 / wall_s)),
+    ])
+}
+
+fn arm_wall(arms: &[(String, Value)], name: &str) -> Option<f64> {
+    arms.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.get("wall_s")).and_then(Value::as_f64)
+}
+
+fn main() {
+    let args = Args::parse(0.3);
+    banner("observability overhead (obs on vs runtime-off vs compiled-out)", args.scale);
+
+    let dim = *args.dims.first().unwrap_or(&32);
+    let mut cfg = TrainConfig::paper_defaults(dim);
+    cfg.model.seed = args.seed;
+    let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+    let g = Dataset::Cora.generate_scaled(args.scale, args.seed);
+    println!(
+        "cora scale {}: {} nodes / {} edges, d={dim}, {} reps (best-of), {} walker thread(s)",
+        args.scale,
+        g.num_nodes(),
+        g.num_edges(),
+        REPS,
+        THREADS
+    );
+
+    // Warm-up run so page faults and allocator growth hit no arm.
+    let _ = measure(&g, &cfg, ocfg, args.seed);
+
+    let mut fresh: Vec<(String, Value)> = Vec::new();
+    if seqge_obs::COMPILED {
+        seqge_obs::set_timing_enabled(true);
+        let (wall, walks) = measure(&g, &cfg, ocfg, args.seed);
+        println!("  enabled          {:.3} s   {:.0} walks/s", wall, walks as f64 / wall);
+        fresh.push(("enabled".to_string(), arm_record(wall, walks)));
+
+        seqge_obs::set_timing_enabled(false);
+        let (wall, walks) = measure(&g, &cfg, ocfg, args.seed);
+        println!("  runtime_disabled {:.3} s   {:.0} walks/s", wall, walks as f64 / wall);
+        fresh.push(("runtime_disabled".to_string(), arm_record(wall, walks)));
+        seqge_obs::set_timing_enabled(true);
+    } else {
+        let (wall, walks) = measure(&g, &cfg, ocfg, args.seed);
+        println!("  compiled_out     {:.3} s   {:.0} walks/s", wall, walks as f64 / wall);
+        fresh.push(("compiled_out".to_string(), arm_record(wall, walks)));
+    }
+
+    // Merge with whatever a previous build's run left behind.
+    let path = args.json.clone().unwrap_or_else(|| Path::new("results/bench_obs.json").into());
+    let mut arms: Vec<(String, Value)> = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+        .and_then(|v| match v.get("arms") {
+            Some(Value::Object(pairs)) => Some(pairs.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    for (name, rec) in fresh {
+        arms.retain(|(n, _)| *n != name);
+        arms.push((name, rec));
+    }
+    arms.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let max_pct: f64 = std::env::var("SEQGE_OBS_MAX_OVERHEAD_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let overhead = |arm: &str| -> Option<f64> {
+        let base = arm_wall(&arms, "compiled_out")?;
+        Some((arm_wall(&arms, arm)? - base) / base * 100.0)
+    };
+    let enabled_pct = overhead("enabled");
+    let runtime_off_pct = overhead("runtime_disabled");
+    let pass = enabled_pct.map(|p| p <= max_pct);
+
+    let mut record = vec![
+        ("dataset".to_string(), Value::Str("cora".to_string())),
+        ("scale".to_string(), Value::F64(args.scale)),
+        ("dim".to_string(), Value::U64(dim as u64)),
+        ("reps_best_of".to_string(), Value::U64(REPS as u64)),
+        ("walker_threads".to_string(), Value::U64(THREADS as u64)),
+        ("arms".to_string(), Value::Object(arms)),
+        ("max_overhead_pct".to_string(), Value::F64(max_pct)),
+    ];
+    if let Some(p) = enabled_pct {
+        record.push(("overhead_enabled_vs_compiled_out_pct".to_string(), Value::F64(p)));
+        println!("overhead enabled vs compiled_out: {p:+.2}% (budget {max_pct}%)");
+    }
+    if let Some(p) = runtime_off_pct {
+        record.push(("overhead_runtime_disabled_vs_compiled_out_pct".to_string(), Value::F64(p)));
+        println!("overhead runtime_disabled vs compiled_out: {p:+.2}%");
+    }
+    if let Some(ok) = pass {
+        record.push(("pass".to_string(), Value::Bool(ok)));
+    } else {
+        println!("(one arm so far; run the other build to compute overhead)");
+    }
+    record.push((
+        "note".to_string(),
+        Value::Str(
+            "best-of-N wall time of train_all_pipelined on scaled Cora. \
+             The two builds differ in code layout as well as \
+             instrumentation, so negative overhead means the recording \
+             cost is below build-to-build variance; the enabled vs \
+             runtime_disabled arms share one binary and isolate the \
+             span-timing cost alone"
+                .to_string(),
+        ),
+    ));
+    write_json(&path, &Value::Object(record)).expect("write json");
+    println!("json written to {}", path.display());
+
+    if let Some(false) = pass {
+        eprintln!(
+            "FAIL: instrumentation overhead {:.2}% exceeds {max_pct}%",
+            enabled_pct.unwrap_or(f64::NAN)
+        );
+        std::process::exit(1);
+    }
+}

@@ -144,7 +144,7 @@ fn main() {
     writer.join().expect("writer thread");
 
     let stats = handle.stats();
-    let walks = stats.walks_trained.load(std::sync::atomic::Ordering::Relaxed);
+    let walks = stats.walks_trained.get();
     handle.shutdown().expect("shutdown");
 
     let record = serde_json::json!({

@@ -256,11 +256,13 @@ impl OsElmSkipGram {
             // would FLIP the downdate into an explosive update, so skip the
             // P update for this context (β still trains with gain Pʜ).
             self.clamped += 1;
+            seqge_obs::static_counter!("seqge_core_p_guard_total").inc();
             phn.copy_from_slice(ph);
         } else {
             if denom.abs() < DENOM_FLOOR {
                 denom = if denom < 0.0 { -DENOM_FLOOR } else { DENOM_FLOOR };
                 self.clamped += 1;
+                seqge_obs::static_counter!("seqge_core_p_guard_total").inc();
             }
             if lambda < 1.0 {
                 // Exponentially-weighted RLS: downdate, inflate P so old
@@ -302,6 +304,7 @@ impl EmbeddingModel for OsElmSkipGram {
         self.draw.begin_walk(walk, negatives, rng);
         let mut samples: Vec<(NodeId, f32)> =
             Vec::with_capacity((self.cfg.model.window - 1) * (self.cfg.model.negative_samples + 1));
+        let mut ctxs = 0u64;
         for (center, positives) in context_windows(walk, self.cfg.model.window) {
             samples.clear();
             for &pos in positives {
@@ -311,7 +314,11 @@ impl EmbeddingModel for OsElmSkipGram {
                 }
             }
             self.train_context(center, &samples);
+            ctxs += 1;
         }
+        // One registry touch per walk, not per context: the inner loop is
+        // the paper's Algorithm 1 hot path.
+        seqge_obs::static_counter!("seqge_core_contexts_total").add(ctxs);
     }
 
     fn embedding(&self) -> Mat<f32> {

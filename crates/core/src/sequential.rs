@@ -145,10 +145,13 @@ pub fn train_all_pipelined<M: EmbeddingModel>(
             }
             if table.is_ready() {
                 let t0 = Instant::now();
+                let burst = pending.len() as u64;
                 for w in pending.drain(..) {
+                    let _t = seqge_obs::span!("seqge_core_train_walk_ns");
                     model.train_walk(&w, &table, &mut rng);
                     walks_trained += 1;
                 }
+                seqge_obs::static_counter!("seqge_core_walks_trained_total").add(burst);
                 train_busy += t0.elapsed();
             }
         },
@@ -160,10 +163,13 @@ pub fn train_all_pipelined<M: EmbeddingModel>(
         table.rebuild(&corpus);
         if table.is_ready() {
             let t0 = Instant::now();
+            let burst = pending.len() as u64;
             for w in pending.drain(..) {
+                let _t = seqge_obs::span!("seqge_core_train_walk_ns");
                 model.train_walk(&w, &table, &mut rng);
                 walks_trained += 1;
             }
+            seqge_obs::static_counter!("seqge_core_walks_trained_total").add(burst);
             train_busy += t0.elapsed();
         }
     }
@@ -221,6 +227,7 @@ impl IncrementalTrainer {
     /// boot graph in a server).
     pub fn bootstrap<M: EmbeddingModel>(&mut self, g: &Graph, model: &mut M) {
         assert_eq!(g.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
+        let _span = seqge_obs::span!("seqge_core_bootstrap_ns");
         let csr = g.to_csr();
         let (c, walks) = generate_corpus(&csr, &mut self.walker, &mut self.rng);
         self.corpus = c;
@@ -230,6 +237,7 @@ impl IncrementalTrainer {
                 model.train_walk(walk, &self.table, &mut self.rng);
                 self.outcome.walks_trained += 1;
             }
+            seqge_obs::static_counter!("seqge_core_walks_trained_total").add(walks.len() as u64);
         }
     }
 
@@ -245,6 +253,7 @@ impl IncrementalTrainer {
         model: &mut M,
     ) -> Result<usize, GraphError> {
         event.apply(g)?;
+        let _span = seqge_obs::span!("seqge_core_ingest_ns");
         match event {
             EdgeEvent::Add(..) => self.outcome.edges_inserted += 1,
             EdgeEvent::Remove(..) => self.edges_removed += 1,
@@ -268,6 +277,7 @@ impl IncrementalTrainer {
             }
         }
         self.outcome.walks_trained += trained;
+        seqge_obs::static_counter!("seqge_core_walks_trained_total").add(trained as u64);
         self.table.on_edge_inserted(&self.corpus);
         Ok(trained)
     }
@@ -279,6 +289,7 @@ impl IncrementalTrainer {
     /// refresh replaces them wholesale. Returns the walks trained.
     pub fn refresh<M: EmbeddingModel>(&mut self, g: &Graph, model: &mut M) -> usize {
         assert_eq!(g.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
+        let _span = seqge_obs::span!("seqge_core_refresh_ns");
         let csr = g.to_csr();
         let (c, walks) = generate_corpus(&csr, &mut self.walker, &mut self.rng);
         self.corpus = c;
@@ -291,6 +302,7 @@ impl IncrementalTrainer {
             }
         }
         self.outcome.walks_trained += trained;
+        seqge_obs::static_counter!("seqge_core_walks_trained_total").add(trained as u64);
         trained
     }
 

@@ -54,13 +54,35 @@ pub fn evaluate_embedding(
         let pred = model.predict_all(embedding, &test);
         let truth: Vec<u16> = test.iter().map(|&i| labels[i]).collect();
         let f1: F1 = f1_scores(&truth, &pred, num_classes);
+        seqge_obs::debug!(
+            "eval",
+            "trial {t}/{}: micro-F1 {:.4}, macro-F1 {:.4} ({} test rows)",
+            cfg.trials,
+            f1.micro,
+            f1.macro_,
+            test.len()
+        );
         micros.push(f1.micro);
         macros.push(f1.macro_);
     }
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let m = mean(&micros);
     let var = micros.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / micros.len() as f64;
-    EvalResult { micro_f1: m, macro_f1: mean(&macros), micro_std: var.sqrt(), trials: cfg.trials }
+    let result = EvalResult {
+        micro_f1: m,
+        macro_f1: mean(&macros),
+        micro_std: var.sqrt(),
+        trials: cfg.trials,
+    };
+    seqge_obs::debug!(
+        "eval",
+        "averaged {} trial(s): micro-F1 {:.4} +/- {:.4}, macro-F1 {:.4}",
+        result.trials,
+        result.micro_f1,
+        result.micro_std,
+        result.macro_f1
+    );
+    result
 }
 
 #[cfg(test)]

@@ -68,6 +68,9 @@ pub struct WalkTiming {
     pub fill_cycles: u64,
     /// Total cycles.
     pub total_cycles: u64,
+    /// Per-stage initiation intervals behind `compute_ii` (Table 4's
+    /// breakdown; occupancy = stage II / bottleneck).
+    pub stages: StageIntervals,
 }
 
 impl WalkTiming {
@@ -109,6 +112,7 @@ impl TimingModel {
             overlapped_dma_cycles: overlapped,
             fill_cycles: ii.fill(),
             total_cycles: total,
+            stages: ii,
         }
     }
 
@@ -192,6 +196,7 @@ mod tests {
             overlapped_dma_cycles: 0,
             fill_cycles: 0,
             total_cycles: 200_000,
+            stages: StageIntervals { s1: 0, s2: 0, s3: 0, s4: 0 },
         };
         assert!((t.millis(200) - 1.0).abs() < 1e-12);
     }

@@ -17,6 +17,11 @@
 //!   sends them over its own bounded channel in increasing order, so the
 //!   consumer recovers global order by round-robining the channels — no
 //!   reorder buffer, and memory is bounded by `threads × queue_depth` walks.
+//!
+//! The pipeline feeds the global `seqge_obs` registry:
+//! `seqge_pipeline_walk_gen_ns` (per-walk kernel time histogram),
+//! `seqge_pipeline_queue_depth` (walks in flight between producers and the
+//! consumer), and `seqge_pipeline_walks_total` (walks delivered).
 
 use crate::corpus::WalkCorpus;
 use crate::rng::Rng64;
@@ -115,12 +120,16 @@ where
                     let mut rng = Rng64::for_stream(seed, index);
                     let t0 = Instant::now();
                     walker.walk_into(csr, start, &mut rng, &mut walk);
-                    busy += t0.elapsed();
+                    let gen = t0.elapsed();
+                    busy += gen;
+                    seqge_obs::static_histogram!("seqge_pipeline_walk_gen_ns")
+                        .record(gen.as_nanos().min(u64::MAX as u128) as u64);
                     // A send error means the consumer hung up early (it
                     // panicked); stop producing rather than panic twice.
                     if tx.send(std::mem::take(&mut walk)).is_err() {
                         break;
                     }
+                    seqge_obs::static_gauge!("seqge_pipeline_queue_depth").inc();
                     walk = Vec::with_capacity(params.walk_length);
                     index += threads as u64;
                 }
@@ -132,6 +141,8 @@ where
             let walk = receivers[(index % threads as u64) as usize]
                 .recv()
                 .expect("walker thread terminated early");
+            seqge_obs::static_gauge!("seqge_pipeline_queue_depth").dec();
+            seqge_obs::static_counter!("seqge_pipeline_walks_total").inc();
             on_walk(index, walk);
         }
 

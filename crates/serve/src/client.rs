@@ -70,6 +70,17 @@ impl Client {
         self.call(r#"{"cmd":"stats"}"#)
     }
 
+    /// The merged metrics registries; `format` is `"prometheus"` or
+    /// `"json"`. Returns the unescaped body (Prometheus text exposition or
+    /// one JSON document).
+    pub fn metrics(&mut self, format: &str) -> io::Result<String> {
+        let v = self.call(&format!(r#"{{"cmd":"metrics","format":"{format}"}}"#))?;
+        v.get("body")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| bad_data("metrics: no body"))
+    }
+
     /// Queues an edge insertion.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> io::Result<()> {
         self.call(&format!(r#"{{"cmd":"add_edge","u":{u},"v":{v}}}"#)).map(|_| ())

@@ -20,6 +20,7 @@
 //! | `flush`         | —                             | write  |
 //! | `snapshot`      | —                             | write  |
 //! | `restore`       | —                             | write  |
+//! | `metrics`       | `format?="prometheus"`        | read   |
 //! | `shutdown`      | —                             | ctrl   |
 //!
 //! `op` is one of `"dot"`, `"cosine"`, `"neg_l2"`. Lines longer than
@@ -36,6 +37,25 @@ pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Default `k` for `topk` requests.
 pub const DEFAULT_TOPK: usize = 10;
+
+/// Rendering of the `metrics` op's registry dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text-exposition format (for scrapers).
+    Prometheus,
+    /// One JSON document (for `seqge obs dump`).
+    Json,
+}
+
+impl MetricsFormat {
+    /// Wire name (the `format` request parameter / response field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricsFormat::Prometheus => "prometheus",
+            MetricsFormat::Json => "json",
+        }
+    }
+}
 
 /// A parsed request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,8 +107,33 @@ pub enum Request {
     Snapshot,
     /// Reload model + graph from the configured snapshot paths.
     Restore,
+    /// Dump the metrics registries (server instance + process-global).
+    Metrics {
+        /// Output rendering.
+        format: MetricsFormat,
+    },
     /// Graceful shutdown of the whole server.
     Shutdown,
+}
+
+impl Request {
+    /// The wire command name (label value for per-op latency series).
+    pub fn cmd_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Stats => "stats",
+            Request::GetEmbedding { .. } => "get_embedding",
+            Request::TopK { .. } => "topk",
+            Request::ScoreLink { .. } => "score_link",
+            Request::AddEdge { .. } => "add_edge",
+            Request::RemoveEdge { .. } => "remove_edge",
+            Request::Flush => "flush",
+            Request::Snapshot => "snapshot",
+            Request::Restore => "restore",
+            Request::Metrics { .. } => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 fn get_u32(v: &Value, key: &str) -> Result<u32, String> {
@@ -151,6 +196,17 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "flush" => Ok(Request::Flush),
         "snapshot" => Ok(Request::Snapshot),
         "restore" => Ok(Request::Restore),
+        "metrics" => {
+            let format = match v.get("format") {
+                None => MetricsFormat::Prometheus,
+                Some(f) => match f.as_str() {
+                    Some("prometheus") => MetricsFormat::Prometheus,
+                    Some("json") => MetricsFormat::Json,
+                    _ => return Err("`format` must be one of \"prometheus\", \"json\"".to_string()),
+                },
+            };
+            Ok(Request::Metrics { format })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -285,7 +341,42 @@ mod tests {
         assert_eq!(parse_request(r#"{"cmd":"flush"}"#).unwrap(), Request::Flush);
         assert_eq!(parse_request(r#"{"cmd":"snapshot"}"#).unwrap(), Request::Snapshot);
         assert_eq!(parse_request(r#"{"cmd":"restore"}"#).unwrap(), Request::Restore);
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
+            Request::Metrics { format: MetricsFormat::Prometheus }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics","format":"json"}"#).unwrap(),
+            Request::Metrics { format: MetricsFormat::Json }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics","format":"prometheus"}"#).unwrap(),
+            Request::Metrics { format: MetricsFormat::Prometheus }
+        );
         assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_bad_metrics_format_and_names_every_command() {
+        assert!(parse_request(r#"{"cmd":"metrics","format":"xml"}"#)
+            .unwrap_err()
+            .contains("format"));
+        for (line, name) in [
+            (r#"{"cmd":"ping"}"#, "ping"),
+            (r#"{"cmd":"stats"}"#, "stats"),
+            (r#"{"cmd":"get_embedding","node":0}"#, "get_embedding"),
+            (r#"{"cmd":"topk","node":0}"#, "topk"),
+            (r#"{"cmd":"score_link","u":0,"v":1}"#, "score_link"),
+            (r#"{"cmd":"add_edge","u":0,"v":1}"#, "add_edge"),
+            (r#"{"cmd":"remove_edge","u":0,"v":1}"#, "remove_edge"),
+            (r#"{"cmd":"flush"}"#, "flush"),
+            (r#"{"cmd":"snapshot"}"#, "snapshot"),
+            (r#"{"cmd":"restore"}"#, "restore"),
+            (r#"{"cmd":"metrics"}"#, "metrics"),
+            (r#"{"cmd":"shutdown"}"#, "shutdown"),
+        ] {
+            assert_eq!(parse_request(line).unwrap().cmd_name(), name);
+        }
     }
 
     #[test]

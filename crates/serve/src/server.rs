@@ -8,11 +8,12 @@
 //! [`SnapshotReader`] cache (lock-free in steady state) and forwarding
 //! write-plane commands to the trainer thread.
 
-use crate::protocol::{self, op_name, Request, Response, MAX_LINE_BYTES};
+use crate::protocol::{self, op_name, MetricsFormat, Request, Response, MAX_LINE_BYTES};
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
 use crate::trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};
 use seqge_core::{IncrementalTrainer, OsElmSkipGram, TrainConfig};
 use seqge_graph::{EdgeEvent, Graph};
+use seqge_obs::{export, Counter, Histogram, Registry};
 use seqge_sampling::UpdatePolicy;
 use serde_json::Value;
 use std::collections::VecDeque;
@@ -23,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server-side configuration (trainer knobs ride along in [`TrainerConfig`]).
 pub struct ServeConfig {
@@ -98,6 +99,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<ServeStats>,
+    registry: Arc<Registry>,
     cell: Arc<SnapshotCell>,
     trainer_tx: Sender<TrainerMsg>,
     threads: Vec<JoinHandle<()>>,
@@ -118,6 +120,12 @@ impl ServerHandle {
     /// Shared telemetry counters.
     pub fn stats(&self) -> Arc<ServeStats> {
         self.stats.clone()
+    }
+
+    /// This server's metrics registry (the `metrics` op merges it with
+    /// [`Registry::global`]).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
     }
 
     /// The snapshot cell (in-process clients can query without TCP).
@@ -166,7 +174,12 @@ pub fn start(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
-    let stats = Arc::new(ServeStats::default());
+    // Per-server registry: concurrent servers in one process (tests) keep
+    // isolated request series; library-level series stay in the global
+    // registry and are merged at export time.
+    let registry = Arc::new(Registry::new());
+    let stats = Arc::new(ServeStats::new(&registry));
+    let started = Instant::now();
     let boot = EmbeddingSnapshot {
         version: 0,
         emb: seqge_core::model::EmbeddingModel::embedding(&model),
@@ -196,6 +209,9 @@ pub fn start(
             queue: queue.clone(),
             cell: cell.clone(),
             stats: stats.clone(),
+            registry: registry.clone(),
+            ops: OpMetrics::new(&registry),
+            started,
             stop: stop.clone(),
             trainer_tx: tx.clone(),
         };
@@ -230,13 +246,59 @@ pub fn start(
         })?);
     }
 
-    Ok(ServerHandle { addr, stop, stats, cell, trainer_tx: tx, threads })
+    Ok(ServerHandle { addr, stop, stats, registry, cell, trainer_tx: tx, threads })
+}
+
+/// Every wire command, for pre-registering per-op request series.
+const OP_NAMES: [&str; 12] = [
+    "ping",
+    "stats",
+    "get_embedding",
+    "topk",
+    "score_link",
+    "add_edge",
+    "remove_edge",
+    "flush",
+    "snapshot",
+    "restore",
+    "metrics",
+    "shutdown",
+];
+
+/// Per-op request telemetry handles, resolved once per worker so the
+/// dispatch path never takes the registry mutex.
+struct OpMetrics {
+    ops: Vec<(&'static str, Arc<Histogram>, Arc<Counter>)>,
+    protocol_errors: Arc<Counter>,
+}
+
+impl OpMetrics {
+    fn new(registry: &Registry) -> Self {
+        let ops = OP_NAMES
+            .iter()
+            .map(|&op| {
+                (
+                    op,
+                    registry.histogram_with("seqge_serve_request_latency_ns", &[("op", op)]),
+                    registry.counter_with("seqge_serve_requests_total", &[("op", op)]),
+                )
+            })
+            .collect();
+        OpMetrics { ops, protocol_errors: registry.counter("seqge_serve_protocol_errors_total") }
+    }
+
+    fn get(&self, op: &str) -> Option<&(&'static str, Arc<Histogram>, Arc<Counter>)> {
+        self.ops.iter().find(|(name, _, _)| *name == op)
+    }
 }
 
 struct WorkerCtx {
     queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)>,
     cell: Arc<SnapshotCell>,
     stats: Arc<ServeStats>,
+    registry: Arc<Registry>,
+    ops: OpMetrics,
+    started: Instant,
     stop: Arc<AtomicBool>,
     trainer_tx: Sender<TrainerMsg>,
 }
@@ -307,12 +369,31 @@ impl WorkerCtx {
 
     fn dispatch(&self, line: &str, reader: &mut SnapshotReader) -> (String, bool) {
         if line.is_empty() {
+            self.ops.protocol_errors.inc();
             return (Response::err("empty request line"), false);
         }
         let req = match protocol::parse_request(line) {
             Ok(r) => r,
-            Err(e) => return (Response::err(e), false),
+            Err(e) => {
+                self.ops.protocol_errors.inc();
+                return (Response::err(e), false);
+            }
         };
+        let op = req.cmd_name();
+        // The clock reads are gated like spans; the request counter is
+        // always live (it backs throughput accounting).
+        let t0 = if seqge_obs::timing_enabled() { Some(Instant::now()) } else { None };
+        let out = self.handle_request(req, reader);
+        if let Some((_, latency, count)) = self.ops.get(op) {
+            count.inc();
+            if let Some(t0) = t0 {
+                latency.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+        }
+        out
+    }
+
+    fn handle_request(&self, req: Request, reader: &mut SnapshotReader) -> (String, bool) {
         match req {
             Request::Ping => (Response::ok().field("pong", true).build(), false),
             Request::Stats => {
@@ -325,10 +406,14 @@ impl WorkerCtx {
                     .field("walks_trained", snap.walks_trained)
                     .field("edges_inserted", snap.edges_inserted)
                     .field("edges_removed", snap.edges_removed)
+                    .field("snapshot_version", self.cell.version())
+                    .field("uptime_ms", self.started.elapsed().as_millis() as u64)
                     .field("pending", self.stats.pending())
-                    .field("applied", self.stats.applied.load(Ordering::Relaxed))
-                    .field("rejected", self.stats.rejected.load(Ordering::Relaxed))
-                    .field("refreshes", self.stats.refreshes.load(Ordering::Relaxed))
+                    .field("enqueued", self.stats.enqueued.get())
+                    .field("applied", self.stats.applied.get())
+                    .field("rejected", self.stats.rejected.get())
+                    .field("refreshes", self.stats.refreshes.get())
+                    .field("snapshots_written", self.stats.snapshots_written.get())
                     .build();
                 (resp, false)
             }
@@ -426,7 +511,8 @@ impl WorkerCtx {
                 };
                 match self.trainer_tx.send(TrainerMsg::Event(event)) {
                     Ok(()) => {
-                        self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+                        self.stats.enqueued.inc();
+                        self.stats.update_backlog();
                         (
                             Response::ok()
                                 .field("queued", true)
@@ -475,6 +561,14 @@ impl WorkerCtx {
                     Ok(Err(e)) => (Response::err(e), false),
                     Err(_) => (Response::err("restore timed out"), false),
                 }
+            }
+            Request::Metrics { format } => {
+                let regs: [&Registry; 2] = [self.registry.as_ref(), Registry::global()];
+                let body = match format {
+                    MetricsFormat::Prometheus => export::prometheus(&regs),
+                    MetricsFormat::Json => export::dump_json(&regs),
+                };
+                (Response::ok().field("format", format.as_str()).field("body", body).build(), false)
             }
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);

@@ -12,36 +12,70 @@ use crate::snapshot::{EmbeddingSnapshot, SnapshotCell};
 use seqge_core::model::EmbeddingModel;
 use seqge_core::{persist, IncrementalTrainer, OsElmSkipGram};
 use seqge_graph::{io as graph_io, EdgeEvent, Graph};
+use seqge_obs::{Counter, Gauge, Histogram, Registry};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Counters shared between the trainer thread and the query plane (the
-/// `stats` command reads them lock-free).
-#[derive(Debug, Default)]
+/// `stats` command reads them lock-free). Each field is a handle into the
+/// server's [`Registry`], so the same numbers surface through the `metrics`
+/// op without double bookkeeping.
 pub struct ServeStats {
-    /// Events accepted onto the queue by the server.
-    pub enqueued: AtomicU64,
-    /// Events applied to the graph and trained.
-    pub applied: AtomicU64,
-    /// Events the graph rejected (duplicate add, missing remove, …).
-    pub rejected: AtomicU64,
-    /// Walks trained since boot (bootstrap + incremental + refreshes).
-    pub walks_trained: AtomicU64,
-    /// Full walk-corpus resamples performed by the update policy.
-    pub refreshes: AtomicU64,
-    /// Snapshots written to disk.
-    pub snapshots_written: AtomicU64,
+    /// Events accepted onto the queue by the server
+    /// (`seqge_serve_events_enqueued_total`).
+    pub enqueued: Arc<Counter>,
+    /// Events applied to the graph and trained
+    /// (`seqge_serve_events_applied_total`).
+    pub applied: Arc<Counter>,
+    /// Events the graph rejected (duplicate add, missing remove, …;
+    /// `seqge_serve_events_rejected_total`).
+    pub rejected: Arc<Counter>,
+    /// Walks trained since boot (bootstrap + incremental + refreshes;
+    /// `seqge_serve_walks_trained_total`).
+    pub walks_trained: Arc<Counter>,
+    /// Full walk-corpus resamples performed by the update policy
+    /// (`seqge_serve_refreshes_total`).
+    pub refreshes: Arc<Counter>,
+    /// Snapshots written to disk (`seqge_serve_snapshots_written_total`).
+    pub snapshots_written: Arc<Counter>,
+    /// Events queued but not yet applied or rejected
+    /// (`seqge_serve_trainer_backlog`).
+    pub backlog: Arc<Gauge>,
+    /// Events folded into the model per snapshot publication
+    /// (`seqge_serve_ingest_batch_size`).
+    pub ingest_batch: Arc<Histogram>,
+    /// Wall time of each on-disk snapshot write
+    /// (`seqge_serve_snapshot_write_ns`).
+    pub snapshot_ns: Arc<Histogram>,
 }
 
 impl ServeStats {
+    /// Registers every serve-plane series in `registry` and returns the
+    /// shared handles.
+    pub fn new(registry: &Registry) -> Self {
+        ServeStats {
+            enqueued: registry.counter("seqge_serve_events_enqueued_total"),
+            applied: registry.counter("seqge_serve_events_applied_total"),
+            rejected: registry.counter("seqge_serve_events_rejected_total"),
+            walks_trained: registry.counter("seqge_serve_walks_trained_total"),
+            refreshes: registry.counter("seqge_serve_refreshes_total"),
+            snapshots_written: registry.counter("seqge_serve_snapshots_written_total"),
+            backlog: registry.gauge("seqge_serve_trainer_backlog"),
+            ingest_batch: registry.histogram("seqge_serve_ingest_batch_size"),
+            snapshot_ns: registry.histogram("seqge_serve_snapshot_write_ns"),
+        }
+    }
+
     /// Events queued but not yet applied or rejected.
     pub fn pending(&self) -> u64 {
-        self.enqueued
-            .load(Ordering::Relaxed)
-            .saturating_sub(self.applied.load(Ordering::Relaxed))
-            .saturating_sub(self.rejected.load(Ordering::Relaxed))
+        self.enqueued.get().saturating_sub(self.applied.get()).saturating_sub(self.rejected.get())
+    }
+
+    /// Refreshes the backlog gauge from the monotonic counters.
+    pub fn update_backlog(&self) {
+        self.backlog.set(self.pending() as i64);
     }
 }
 
@@ -118,7 +152,9 @@ impl Trainer {
     }
 
     fn sync_stats(&self) {
-        self.stats.walks_trained.store(self.inc.outcome().walks_trained as u64, Ordering::Relaxed);
+        // `set_to` keeps the counter monotone even though the trainer
+        // publishes an absolute count.
+        self.stats.walks_trained.set_to(self.inc.outcome().walks_trained as u64);
     }
 
     fn publish(&mut self) {
@@ -137,19 +173,20 @@ impl Trainer {
     fn apply(&mut self, event: EdgeEvent) {
         match self.inc.ingest(&mut self.graph, event, &mut self.model) {
             Ok(_) => {
-                self.stats.applied.fetch_add(1, Ordering::Relaxed);
+                self.stats.applied.inc();
                 self.events_since_refresh += 1;
             }
             Err(_) => {
-                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.stats.rejected.inc();
             }
         }
         if self.cfg.refresh_every > 0 && self.events_since_refresh >= self.cfg.refresh_every {
             self.inc.refresh(&self.graph, &mut self.model);
-            self.stats.refreshes.fetch_add(1, Ordering::Relaxed);
+            self.stats.refreshes.inc();
             self.events_since_refresh = 0;
         }
         self.sync_stats();
+        self.stats.update_backlog();
     }
 
     fn snapshot_paths(&self) -> Result<(PathBuf, PathBuf), String> {
@@ -162,6 +199,7 @@ impl Trainer {
     /// Writes model + graph via temp-file-then-rename so a crash mid-write
     /// never clobbers the previous good snapshot.
     fn write_snapshot(&self) -> Result<(PathBuf, PathBuf), String> {
+        let t0 = Instant::now();
         let (model_path, graph_path) = self.snapshot_paths()?;
         let mtmp = model_path.with_extension("tmp");
         let gtmp = graph_path.with_extension("tmp");
@@ -169,7 +207,8 @@ impl Trainer {
         graph_io::save_graph(&self.graph, &gtmp).map_err(|e| format!("graph snapshot: {e}"))?;
         std::fs::rename(&mtmp, &model_path).map_err(|e| format!("model rename: {e}"))?;
         std::fs::rename(&gtmp, &graph_path).map_err(|e| format!("graph rename: {e}"))?;
-        self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        self.stats.snapshots_written.inc();
+        self.stats.snapshot_ns.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         Ok((model_path, graph_path))
     }
 
@@ -219,6 +258,7 @@ impl Trainer {
                         }
                     }
                     self.publish();
+                    self.stats.ingest_batch.record(batched as u64);
                 }
                 other => control = Some(other),
             }
@@ -259,7 +299,7 @@ impl Trainer {
                         // …then leave a final on-disk snapshot if configured.
                         if self.cfg.snapshot_model.is_some() {
                             if let Err(e) = self.write_snapshot() {
-                                eprintln!("seqge-serve: final snapshot failed: {e}");
+                                seqge_obs::error!("serve", "final snapshot failed: {e}");
                             }
                         }
                         self.publish();

@@ -238,6 +238,84 @@ fn snapshot_restore_roundtrip_is_bit_identical() {
 }
 
 #[test]
+fn metrics_op_exposes_request_latency_after_traffic() {
+    let (handle, removed) = forest_server(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // Generate traffic on both planes so every core series has samples.
+    for &(u, v) in removed.iter().take(8) {
+        c.add_edge(u, v).unwrap();
+        let _ = c.get_embedding(u).unwrap();
+    }
+    c.flush().unwrap();
+    let _ = c.stats().unwrap();
+
+    let text = c.metrics("prometheus").unwrap();
+    // Request-latency summary with quantile labels, per op.
+    assert!(
+        text.contains("# TYPE seqge_serve_request_latency_ns summary"),
+        "missing latency family:
+{text}"
+    );
+    for needle in [
+        "seqge_serve_request_latency_ns{op=\"get_embedding\",quantile=\"0.5\"}",
+        "seqge_serve_request_latency_ns{op=\"get_embedding\",quantile=\"0.99\"}",
+        "seqge_serve_requests_total{op=\"add_edge\"} 8",
+        "seqge_serve_events_enqueued_total 8",
+        "seqge_serve_events_applied_total 8",
+        "seqge_serve_trainer_backlog 0",
+        "seqge_serve_ingest_batch_size_count",
+        "seqge_serve_walks_trained_total",
+    ] {
+        assert!(
+            text.contains(needle),
+            "missing `{needle}` in:
+{text}"
+        );
+    }
+    // Every non-comment line must parse as `id value`.
+    for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(value.parse::<f64>().is_ok(), "unparseable exposition line: {line}");
+    }
+    // Latency histograms actually saw the traffic.
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("seqge_serve_request_latency_ns_count{op=\"get_embedding\"}"))
+        .expect("latency count series present");
+    let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(count >= 8, "expected >=8 get_embedding samples, saw {count}");
+
+    // JSON rendering of the same registry.
+    let js = c.metrics("json").unwrap();
+    assert!(js.starts_with("{\"counters\":["), "{js}");
+    assert!(js.contains("seqge_serve_request_latency_ns"));
+    assert!(js.contains("\"p99\":"));
+
+    // Unknown format is a clean protocol error.
+    assert!(c.call(r#"{"cmd":"metrics","format":"xml"}"#).is_err());
+
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn stats_reports_uptime_and_versions() {
+    let (handle, removed) = forest_server(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for &(u, v) in removed.iter().take(3) {
+        c.add_edge(u, v).unwrap();
+    }
+    c.flush().unwrap();
+    let stats = c.stats().unwrap();
+    assert!(stats.get("uptime_ms").and_then(|v| v.as_u64()).is_some(), "{stats:?}");
+    let snap_ver = stats.get("snapshot_version").and_then(|v| v.as_u64()).unwrap();
+    assert!(snap_ver > 0, "flush must have published: {stats:?}");
+    assert_eq!(stats.get("enqueued").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(stats.get("snapshots_written").and_then(|v| v.as_u64()), Some(0));
+    handle.shutdown().unwrap();
+}
+
+#[test]
 fn shutdown_command_drains_and_stops_the_server() {
     let (handle, removed) = forest_server(ServeConfig::default());
     let mut c = Client::connect(handle.addr()).unwrap();
@@ -250,7 +328,7 @@ fn shutdown_command_drains_and_stops_the_server() {
     let stats = handle.stats();
     handle.wait().unwrap();
     assert_eq!(
-        stats.applied.load(std::sync::atomic::Ordering::Relaxed),
+        stats.applied.get(),
         removed.len() as u64,
         "queued events must be drained during graceful shutdown"
     );

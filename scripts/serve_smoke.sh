@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Smoke test for the seqge-serve daemon: boot from a generated graph, run a
-# scripted client session over the line-delimited JSON protocol, SIGINT the
-# server, and verify the snapshot-backed restart path. Exits non-zero on any
-# failed assertion. CI runs this as the `serve-smoke` job.
+# scripted client session over the line-delimited JSON protocol, scrape the
+# metrics registry, SIGINT the server, and verify the snapshot-backed
+# restart path. Exits non-zero on any failed assertion. CI runs this as the
+# `serve-smoke` job.
+#
+# The server logs structured JSONL to stderr (seqge-obs), so readiness and
+# lifecycle checks match on the "msg" field rather than raw lines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,19 +23,36 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Extracts the address from the JSONL "listening on HOST:PORT" record.
+listen_addr() {
+  sed -n 's/.*"msg":"listening on \([^"]*\)".*/\1/p' "$1" | head -n1
+}
+
+# Asserts that a Prometheus series (exact id, including any label block) is
+# present in $work/metrics.txt with a value > 0.
+check_series() {
+  awk -v id="$1" '{v=$NF; sub(/ [^ ]*$/, ""); if ($0 == id && v + 0 > 0) found = 1}
+                  END {exit !found}' "$work/metrics.txt" ||
+    { echo "FAIL: metrics series missing or zero: $1"; cat "$work/metrics.txt"; exit 1; }
+}
+
 "$BIN" generate --dataset cora --scale 0.05 --out "$work/g.edges"
 
-"$BIN" serve --graph "$work/g.edges" --port 0 --dim 8 \
+"$BIN" serve --graph "$work/g.edges" --port 0 --dim 8 --log-level debug \
   --snapshot-dir "$work/snaps" >"$work/serve.log" 2>&1 &
 SERVER_PID=$!
 
 for _ in $(seq 1 150); do
-  grep -q "^listening on " "$work/serve.log" && break
+  grep -q '"msg":"listening on ' "$work/serve.log" && break
   sleep 0.2
 done
-ADDR=$(grep "^listening on " "$work/serve.log" | awk '{print $3}')
+ADDR=$(listen_addr "$work/serve.log")
 [[ -n $ADDR ]] || { echo "FAIL: server never came up"; cat "$work/serve.log"; exit 1; }
 echo "server at $ADDR"
+
+# Startup logging is structured JSONL at info level.
+grep -q '"level":"info".*"msg":"bootstrapped ' "$work/serve.log" ||
+  { echo "FAIL: no structured bootstrap record"; cat "$work/serve.log"; exit 1; }
 
 # One scripted session exercising both planes plus an error path.
 "$BIN" client --addr "$ADDR" >"$work/session.out" <<'EOF'
@@ -42,6 +63,7 @@ echo "server at $ADDR"
 {"cmd":"topk","node":0,"k":3,"op":"cosine"}
 {"cmd":"score_link","u":0,"v":5,"op":"cosine"}
 {"cmd":"stats"}
+{"cmd":"metrics","format":"json"}
 {"cmd":"snapshot"}
 {"cmd":"definitely_not_a_command"}
 EOF
@@ -49,16 +71,44 @@ cat "$work/session.out"
 
 grep -q '"pong":true' "$work/session.out" || { echo "FAIL: no pong"; exit 1; }
 ok_count=$(grep -c '"ok":true' "$work/session.out")
-[[ $ok_count -eq 8 ]] || { echo "FAIL: expected 8 ok responses, got $ok_count"; exit 1; }
+[[ $ok_count -eq 9 ]] || { echo "FAIL: expected 9 ok responses, got $ok_count"; exit 1; }
 grep -q '"ok":false' "$work/session.out" || { echo "FAIL: unknown command not rejected"; exit 1; }
 grep -q '"embedding":' "$work/session.out" || { echo "FAIL: no embedding row"; exit 1; }
 grep -q '"edges_inserted":1' "$work/session.out" || { echo "FAIL: edge not applied"; exit 1; }
+grep -q '"uptime_ms":' "$work/session.out" || { echo "FAIL: stats lacks uptime_ms"; exit 1; }
+grep -q '"snapshot_version":' "$work/session.out" ||
+  { echo "FAIL: stats lacks snapshot_version"; exit 1; }
+
+# Scrape the registry through the metrics op; core series must be present
+# and non-zero after the traffic above.
+"$BIN" obs dump --addr "$ADDR" --format prometheus >"$work/metrics.txt"
+check_series 'seqge_serve_requests_total{op="ping"}'
+check_series 'seqge_serve_requests_total{op="stats"}'
+check_series 'seqge_serve_request_latency_ns_count{op="get_embedding"}'
+check_series 'seqge_serve_events_enqueued_total'
+check_series 'seqge_serve_events_applied_total'
+check_series 'seqge_serve_walks_trained_total'
+check_series 'seqge_serve_snapshots_written_total'
+check_series 'seqge_serve_ingest_batch_size_count'
+check_series 'seqge_serve_snapshot_write_ns_count'
+check_series 'seqge_core_walks_trained_total'
+check_series 'seqge_core_contexts_total'
+grep -q '^# TYPE seqge_serve_request_latency_ns summary$' "$work/metrics.txt" ||
+  { echo "FAIL: latency family untyped"; exit 1; }
+
+# The JSON rendering of the same registry must parse as one object.
+"$BIN" obs dump --addr "$ADDR" --format json >"$work/metrics.json"
+head -c 13 "$work/metrics.json" | grep -q '{"counters":\[' ||
+  { echo "FAIL: obs dump json malformed"; cat "$work/metrics.json"; exit 1; }
+grep -q '"name":"seqge_serve_request_latency_ns"' "$work/metrics.json" ||
+  { echo "FAIL: obs dump json lacks latency histogram"; exit 1; }
 
 # Graceful SIGINT: drain, write the final snapshot, exit 0.
 kill -INT "$SERVER_PID"
 wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; cat "$work/serve.log"; exit 1; }
 SERVER_PID=""
-grep -q "server stopped" "$work/serve.log" || { echo "FAIL: no graceful-stop line"; exit 1; }
+grep -q '"msg":"server stopped"' "$work/serve.log" ||
+  { echo "FAIL: no graceful-stop record"; cat "$work/serve.log"; exit 1; }
 [[ -f $work/snaps/model.sge && -f $work/snaps/graph.edges ]] ||
   { echo "FAIL: final snapshot missing"; exit 1; }
 
@@ -67,12 +117,13 @@ grep -q "server stopped" "$work/serve.log" || { echo "FAIL: no graceful-stop lin
 "$BIN" serve --port 0 --dim 8 --snapshot-dir "$work/snaps" >"$work/serve2.log" 2>&1 &
 SERVER_PID=$!
 for _ in $(seq 1 150); do
-  grep -q "^listening on " "$work/serve2.log" && break
+  grep -q '"msg":"listening on ' "$work/serve2.log" && break
   sleep 0.2
 done
-ADDR2=$(grep "^listening on " "$work/serve2.log" | awk '{print $3}')
+ADDR2=$(listen_addr "$work/serve2.log")
 [[ -n $ADDR2 ]] || { echo "FAIL: restarted server never came up"; cat "$work/serve2.log"; exit 1; }
-grep -q "^restored " "$work/serve2.log" || { echo "FAIL: restart did not restore"; exit 1; }
+grep -q '"msg":"restored ' "$work/serve2.log" ||
+  { echo "FAIL: restart did not restore"; cat "$work/serve2.log"; exit 1; }
 
 printf '%s\n' '{"cmd":"stats"}' '{"cmd":"shutdown"}' |
   "$BIN" client --addr "$ADDR2" >"$work/session2.out"

@@ -10,6 +10,8 @@
 //! * [`core`] — the paper's models: SGD skip-gram baseline, OS-ELM skip-gram
 //!   (Algorithm 1), and the dataflow-optimized variant (Algorithm 2).
 //! * [`fpga`] — cycle-approximate simulator of the ZCU104 accelerator.
+//! * [`obs`] — zero-dependency metrics registry, span timers, and the
+//!   structured JSONL logger shared by every runtime component.
 //! * [`eval`] — one-vs-rest logistic regression and F1 scoring.
 //! * [`serve`] — online embedding service: live edge ingestion, incremental
 //!   sequential training, lock-free snapshot queries over TCP.
@@ -20,5 +22,6 @@ pub use seqge_fixed as fixed;
 pub use seqge_fpga as fpga;
 pub use seqge_graph as graph;
 pub use seqge_linalg as linalg;
+pub use seqge_obs as obs;
 pub use seqge_sampling as sampling;
 pub use seqge_serve as serve;

@@ -31,6 +31,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `obs` takes a positional subcommand, so it parses its own flags.
+    if cmd == "obs" {
+        return match cmd_obs(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -73,14 +83,23 @@ commands:
   simulate [--dim n]
   serve    --graph FILE [--port n] [--dim n] [--seed n] [--workers n]
            [--batch n] [--refresh-every n] [--mu f] [--forgetting f]
-           [--snapshot-dir DIR]
+           [--snapshot-dir DIR] [--log-level error|warn|info|debug|trace]
            (long-running daemon; line-delimited JSON over TCP. With
             --snapshot-dir, boots from DIR/model.sge when present —
             bit-identical restore, no retraining — and writes a final
             snapshot on graceful shutdown. SIGINT/SIGTERM drain the
             in-flight batch before exiting. --port 0 = ephemeral)
   client   [--addr HOST:PORT] (reads JSON requests from stdin, one per
-           line, prints each response; for scripting and smoke tests)";
+           line, prints each response; for scripting and smoke tests)
+  obs      dump [--addr HOST:PORT] [--format json|prometheus]
+           (fetches the running server's metrics registries — counters,
+            gauges, latency histograms — via the `metrics` protocol op
+            and prints the body; json is the default rendering)
+
+observability: the serve daemon logs structured JSONL to stderr
+  (level from --log-level or SEQGE_LOG, default info) and answers the
+  `metrics` op with Prometheus text for scrapers; SEQGE_OBS=off turns
+  span timers off at runtime.";
 
 type Flags = HashMap<String, String>;
 
@@ -290,6 +309,11 @@ fn install_signal_handlers() {
 fn install_signal_handlers() {}
 
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    if let Some(lv) = flags.get("log-level") {
+        let level = seqge::obs::log::Level::parse(lv)
+            .ok_or_else(|| format!("--log-level: unknown level `{lv}`"))?;
+        seqge::obs::log::set_level(level);
+    }
     let dim: usize = get(flags, "dim", 32)?;
     let seed: u64 = get(flags, "seed", 42)?;
     let port: u16 = get(flags, "port", 7878)?;
@@ -317,7 +341,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let (graph, model, inc) = if restorable {
         let dir = snapshot_dir.as_ref().expect("restorable implies a snapshot dir");
         let (g, m, i) = serve::boot_restore(dir, &cfg, policy, seed).map_err(|e| e.to_string())?;
-        println!(
+        seqge::obs::info!(
+            "serve",
             "restored {} nodes / {} edges from {}",
             g.num_nodes(),
             g.num_edges(),
@@ -334,7 +359,8 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         };
         let t0 = std::time::Instant::now();
         let (m, i) = serve::boot_cold(&g, &cfg, ocfg, policy, seed);
-        println!(
+        seqge::obs::info!(
+            "serve",
             "bootstrapped d={dim} on {} nodes / {} edges in {:.1}s",
             g.num_nodes(),
             g.num_edges(),
@@ -346,7 +372,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     install_signal_handlers();
     let handle = serve::start(&format!("127.0.0.1:{port}"), graph, model, inc, config)
         .map_err(|e| e.to_string())?;
-    println!("listening on {}", handle.addr());
+    seqge::obs::info!("serve", "listening on {}", handle.addr());
 
     let stop = handle.stop_flag();
     std::thread::spawn(move || loop {
@@ -360,7 +386,27 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         std::thread::sleep(std::time::Duration::from_millis(50));
     });
     handle.wait().map_err(|e| e.to_string())?;
-    println!("server stopped");
+    seqge::obs::info!("serve", "server stopped");
+    Ok(())
+}
+
+fn cmd_obs(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("obs needs a subcommand: `dump`".into());
+    };
+    if sub != "dump" {
+        return Err(format!("unknown obs subcommand `{sub}` (expected `dump`)"));
+    }
+    let flags = parse_flags(rest)?;
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
+    let format = match flags.get("format").map(String::as_str).unwrap_or("json") {
+        "json" => "json",
+        "prom" | "prometheus" => "prometheus",
+        other => return Err(format!("--format must be json or prometheus, got `{other}`")),
+    };
+    let mut client = serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let body = client.metrics(format).map_err(|e| e.to_string())?;
+    println!("{body}");
     Ok(())
 }
 
