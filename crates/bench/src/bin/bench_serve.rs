@@ -9,7 +9,9 @@
 //!    `score_link` against a quiescent server (trainer thread parked);
 //! 2. **ingest** — stream the spanning-forest-removed edges through
 //!    `add_edge` and `flush`; throughput counts the full pipeline (walk
-//!    restart from both endpoints, OS-ELM updates, snapshot republication);
+//!    restart from both endpoints, OS-ELM updates, snapshot republication),
+//!    then the same stream again through a WAL-backed server (fsync=batch)
+//!    to price the durability tax (`wal_overhead_pct`);
 //! 3. **contended queries** — `get_embedding` p50/p99 while a second
 //!    connection streams edges, demonstrating that the lock-free snapshot
 //!    reads hold up under concurrent training.
@@ -81,6 +83,7 @@ fn main() {
     let t = Instant::now();
     let (model, inc) = boot_cold(&initial, &cfg, ocfg, UpdatePolicy::every_edge(), args.seed);
     println!("bootstrap: {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+    let initial_wal = initial.clone();
     let handle =
         start("127.0.0.1:0", initial, model, inc, ServeConfig::default()).expect("server starts");
     let addr = handle.addr();
@@ -107,18 +110,65 @@ fn main() {
     );
 
     // Phase 2: ingest throughput (queue everything, flush barrier = fully
-    // trained and republished).
-    let t = Instant::now();
-    for &(u, v) in &stream {
-        c.add_edge(u, v).expect("add_edge");
-    }
-    let version = c.flush().expect("flush");
-    let ingest_s = t.elapsed().as_secs_f64();
-    let edges_per_sec = stream.len() as f64 / ingest_s;
+    // trained and republished). The initial stream is followed by toggle
+    // rounds (remove + re-add keeps the graph invariant) so each arm runs
+    // long enough for the plain-vs-WAL comparison to rise above scheduler
+    // noise.
+    let ingest_events = |c: &mut Client, stream: &[(u32, u32)]| -> (u64, f64) {
+        const TOGGLE_ROUNDS: usize = 2;
+        let t = Instant::now();
+        for &(u, v) in stream {
+            c.add_edge(u, v).expect("add_edge");
+        }
+        for _ in 0..TOGGLE_ROUNDS {
+            for &(u, v) in stream {
+                c.remove_edge(u, v).expect("remove_edge");
+                c.add_edge(u, v).expect("add_edge");
+            }
+        }
+        c.flush().expect("flush");
+        (stream.len() as u64 * (1 + 2 * TOGGLE_ROUNDS as u64), t.elapsed().as_secs_f64())
+    };
+    let (events, ingest_s) = ingest_events(&mut c, &stream);
+    let edges_per_sec = events as f64 / ingest_s;
+    println!("ingest: {events} events trained in {ingest_s:.2} s  ({edges_per_sec:.0} events/s)");
+
+    // Phase 2b: the same stream through a WAL-backed server with the
+    // default `--fsync batch` policy — the steady-state durability tax.
+    // Booted identically (boot_cold is deterministic), so the trained work
+    // per edge matches the plain arm exactly.
+    let wal_dir = std::env::temp_dir().join(format!("seqge_bench_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let wcfg =
+        seqge_serve::WalConfig { dir: wal_dir.clone(), fsync: seqge_serve::FsyncPolicy::Batch };
+    let boot = seqge_serve::boot_wal(
+        &wcfg,
+        Some(initial_wal),
+        &cfg,
+        ocfg,
+        0,
+        UpdatePolicy::every_edge(),
+        args.seed,
+    )
+    .expect("wal server boots");
+    let wal_handle = start(
+        "127.0.0.1:0",
+        boot.graph,
+        boot.model,
+        boot.inc,
+        ServeConfig { wal: Some(std::sync::Arc::new(boot.wal)), ..ServeConfig::default() },
+    )
+    .expect("wal server starts");
+    let mut wc = Client::connect(wal_handle.addr()).expect("wal client connects");
+    let (wal_events, wal_ingest_s) = ingest_events(&mut wc, &stream);
+    let wal_edges_per_sec = wal_events as f64 / wal_ingest_s;
+    let wal_overhead_pct = (1.0 - wal_edges_per_sec / edges_per_sec) * 100.0;
     println!(
-        "ingest: {} edges trained in {ingest_s:.2} s  ({edges_per_sec:.0} edges/s, snapshot v{version})",
-        stream.len()
+        "ingest (wal, fsync=batch): {wal_events} events in {wal_ingest_s:.2} s  \
+         ({wal_edges_per_sec:.0} events/s, overhead {wal_overhead_pct:+.1}%)"
     );
+    wal_handle.shutdown().expect("wal shutdown");
+    let _ = std::fs::remove_dir_all(&wal_dir);
 
     // Phase 3: query latency under write contention. A writer connection
     // re-toggles a slice of stream edges (remove + re-add keeps the graph
@@ -153,6 +203,7 @@ fn main() {
         "dim": dim,
         "nodes": num_nodes,
         "streamed_edges": stream.len(),
+        "ingest_events": events,
         "requests_per_sweep": n,
         "get_embedding_p50_us": emb_p50,
         "get_embedding_p99_us": emb_p99,
@@ -162,13 +213,20 @@ fn main() {
         "score_link_p99_us": score_p99,
         "ingest_edges_per_sec": edges_per_sec,
         "ingest_wall_s": ingest_s,
+        "ingest_edges_per_sec_wal_batch": wal_edges_per_sec,
+        "ingest_wall_s_wal_batch": wal_ingest_s,
+        "wal_overhead_pct": wal_overhead_pct,
         "walks_trained": walks,
         "get_embedding_busy_p50_us": busy_p50,
         "get_embedding_busy_p99_us": busy_p99,
         "note": "loopback TCP, line-delimited JSON, one request in flight; \
                  ingest throughput includes walk restarts from both edge \
-                 endpoints, OS-ELM training, and snapshot republication; \
-                 the busy sweep runs against a concurrent writer connection",
+                 endpoints, OS-ELM training, and snapshot republication, \
+                 measured over the stream plus two remove/re-add toggle \
+                 rounds; the wal arm runs the identical workload through a \
+                 write-ahead-logged server with the default batch fsync \
+                 policy; the busy sweep runs against a concurrent writer \
+                 connection",
     });
     let path = args.json.clone().unwrap_or_else(|| Path::new("results/bench_serve.json").into());
     write_json(&path, &record).expect("write json");

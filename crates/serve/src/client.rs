@@ -3,37 +3,173 @@
 //! One request per call, blocking, line-delimited — exactly what the smoke
 //! script and the end-to-end tests need, and a reference implementation of
 //! the wire format for other languages.
+//!
+//! The client is failure-aware (see [`ClientConfig`]): every call has a
+//! read deadline, transport errors and `overloaded` shedding are retried a
+//! bounded number of times with jittered exponential backoff (reconnecting
+//! when the transport died), and write ops carry a
+//! [`crate::protocol::WriteId`] — the *same* sequence number is resent on
+//! every retry of one logical write, so a retry whose original ack was
+//! lost dedups server-side instead of double-applying.
 
 use seqge_eval::EdgeOp;
 use seqge_graph::NodeId;
+use seqge_obs::{Counter, Registry};
 use serde_json::Value;
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::protocol::op_name;
 
+/// Process-wide counter for generated client ids.
+static CLIENT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Client resilience knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-call read deadline (a server stalled longer counts as a
+    /// transport failure and is retried).
+    pub timeout: Duration,
+    /// Extra attempts after the first failure (0 = fail fast, the PR 2
+    /// behavior).
+    pub retries: u32,
+    /// Base backoff; attempt `n` sleeps `base * 2^n` plus deterministic
+    /// jitter, capped at one second.
+    pub backoff: Duration,
+    /// Dedup identity sent with writes. Defaults to a process-unique id;
+    /// set explicitly when several processes must share one write stream.
+    pub client_id: String,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            timeout: Duration::from_secs(300),
+            retries: 0,
+            backoff: Duration::from_millis(20),
+            client_id: format!(
+                "c{}-{}",
+                std::process::id(),
+                CLIENT_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ),
+        }
+    }
+}
+
 /// A connected protocol client.
 pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Next write sequence number (strictly increasing per client id).
+    next_seq: u64,
+    /// Deterministic jitter state (seeded from the client id).
+    jitter: u64,
+    retries_total: Arc<Counter>,
+    reconnects_total: Arc<Counter>,
+    gaveup_total: Arc<Counter>,
 }
 
 fn bad_data(msg: impl std::fmt::Display) -> io::Error {
     io::Error::new(ErrorKind::InvalidData, msg.to_string())
 }
 
+/// Whether an error is worth a retry: transport failures (reconnect first)
+/// and explicit `overloaded` shedding (same connection, after backoff).
+fn retryable(e: &io::Error) -> RetryKind {
+    match e.kind() {
+        ErrorKind::TimedOut
+        | ErrorKind::WouldBlock
+        | ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::ConnectionRefused
+        | ErrorKind::BrokenPipe => RetryKind::Reconnect,
+        ErrorKind::InvalidData if e.to_string().starts_with("overloaded") => RetryKind::Backoff,
+        _ => RetryKind::No,
+    }
+}
+
+#[derive(PartialEq)]
+enum RetryKind {
+    No,
+    Backoff,
+    Reconnect,
+}
+
+fn open_stream(
+    addr: SocketAddr,
+    cfg: &ClientConfig,
+) -> io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let writer = TcpStream::connect(addr)?;
+    writer.set_nodelay(true).ok();
+    writer.set_read_timeout(Some(cfg.timeout))?;
+    writer.set_write_timeout(Some(cfg.timeout))?;
+    let reader = BufReader::new(writer.try_clone()?);
+    Ok((writer, reader))
+}
+
 impl Client {
-    /// Connects to a running server.
+    /// Connects with default (fail-fast) configuration.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let writer = TcpStream::connect(addr)?;
-        writer.set_nodelay(true).ok();
-        writer.set_read_timeout(Some(Duration::from_secs(300)))?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+        Client::connect_with(addr, ClientConfig::default())
     }
 
-    /// Sends one raw request line, returns the raw response line.
+    /// Connects with explicit timeout/retry configuration.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: ClientConfig) -> io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let (writer, reader) = open_stream(addr, &cfg)?;
+        let global = Registry::global();
+        let jitter = cfg
+            .client_id
+            .bytes()
+            .fold(0x9E37_79B9_7F4A_7C15u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01B3));
+        Ok(Client {
+            addr,
+            writer,
+            reader,
+            next_seq: 1,
+            jitter: jitter | 1,
+            retries_total: global.counter("seqge_serve_client_retries_total"),
+            reconnects_total: global.counter("seqge_serve_client_reconnects_total"),
+            gaveup_total: global.counter("seqge_serve_client_gaveup_total"),
+            cfg,
+        })
+    }
+
+    /// The configured dedup identity.
+    pub fn client_id(&self) -> &str {
+        &self.cfg.client_id
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let (writer, reader) = open_stream(self.addr, &self.cfg)?;
+        self.writer = writer;
+        self.reader = reader;
+        self.reconnects_total.inc();
+        Ok(())
+    }
+
+    fn backoff(&mut self, attempt: u32) {
+        // xorshift64* jitter — deterministic per client id, so chaos runs
+        // with a fixed id replay the same pacing.
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let base = self.cfg.backoff.saturating_mul(1u32 << attempt.min(8));
+        let capped = base.min(Duration::from_secs(1));
+        let jitter_ns = self.jitter % (capped.as_nanos().max(1) as u64 / 2 + 1);
+        std::thread::sleep(capped + Duration::from_nanos(jitter_ns));
+    }
+
+    /// Sends one raw request line, returns the raw response line. Single
+    /// attempt — retry policy lives in [`Client::call`].
     pub fn call_raw(&mut self, line: &str) -> io::Result<String> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
@@ -45,9 +181,7 @@ impl Client {
         Ok(resp.trim_end().to_string())
     }
 
-    /// Sends one request line and parses the response, mapping
-    /// `{"ok": false}` to an `InvalidData` error carrying the message.
-    pub fn call(&mut self, line: &str) -> io::Result<Value> {
+    fn call_once(&mut self, line: &str) -> io::Result<Value> {
         let resp = self.call_raw(line)?;
         let v: Value =
             serde_json::from_str(&resp).map_err(|e| bad_data(format!("bad response: {e}")))?;
@@ -57,6 +191,38 @@ impl Client {
                 v.get("error").and_then(Value::as_str).unwrap_or("unknown server error"),
             )),
             _ => Err(bad_data("response missing `ok` field")),
+        }
+    }
+
+    /// Sends one request line and parses the response, mapping
+    /// `{"ok": false}` to an `InvalidData` error carrying the message.
+    /// Transport failures and `overloaded` shedding are retried up to
+    /// `cfg.retries` times with backoff (reconnecting as needed); the line
+    /// is resent verbatim, so writes must already carry their
+    /// [`crate::protocol::WriteId`].
+    pub fn call(&mut self, line: &str) -> io::Result<Value> {
+        let mut attempt = 0u32;
+        loop {
+            match self.call_once(line) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    let kind = retryable(&e);
+                    if kind == RetryKind::No || attempt >= self.cfg.retries {
+                        if kind != RetryKind::No {
+                            self.gaveup_total.inc();
+                        }
+                        return Err(e);
+                    }
+                    self.retries_total.inc();
+                    self.backoff(attempt);
+                    if kind == RetryKind::Reconnect {
+                        // Best-effort: a refused reconnect burns this
+                        // attempt and backs off again.
+                        let _ = self.reconnect();
+                    }
+                    attempt += 1;
+                }
+            }
         }
     }
 
@@ -81,14 +247,26 @@ impl Client {
             .ok_or_else(|| bad_data("metrics: no body"))
     }
 
-    /// Queues an edge insertion.
-    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> io::Result<()> {
-        self.call(&format!(r#"{{"cmd":"add_edge","u":{u},"v":{v}}}"#)).map(|_| ())
+    fn write_edge(&mut self, cmd: &str, u: NodeId, v: NodeId) -> io::Result<Value> {
+        // The sequence number is fixed *before* the retry loop: every
+        // resend of this logical write carries the same id.
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let line = format!(
+            r#"{{"cmd":"{cmd}","u":{u},"v":{v},"client":"{}","seq":{seq}}}"#,
+            self.cfg.client_id
+        );
+        self.call(&line)
     }
 
-    /// Queues an edge retraction.
+    /// Queues an edge insertion (retry-safe: dedups server-side).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> io::Result<()> {
+        self.write_edge("add_edge", u, v).map(|_| ())
+    }
+
+    /// Queues an edge retraction (retry-safe: dedups server-side).
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> io::Result<()> {
-        self.call(&format!(r#"{{"cmd":"remove_edge","u":{u},"v":{v}}}"#)).map(|_| ())
+        self.write_edge("remove_edge", u, v).map(|_| ())
     }
 
     /// Barrier: returns the snapshot version that includes every event

@@ -19,20 +19,33 @@
 //! plus `snapshot` / `restore` commands backed by `seqge_core::persist`
 //! for crash recovery: a restored server resumes with bit-identical β/P.
 //!
+//! Crash safety (this PR): the [`wal`] module adds a write-ahead log so
+//! every *acknowledged* write survives kill -9 — appended and checksummed
+//! before the trainer sees it, replayed over the snapshot at boot. The
+//! [`fault`] module injects deterministic failures (torn writes, dropped
+//! connections, trainer panics) for the chaos suite, and both client and
+//! server grew deadlines, bounded retries, write dedup, and read-shedding
+//! backpressure around it.
+//!
 //! Modules: [`protocol`] (wire grammar), [`snapshot`] (read-optimized
 //! state + publication cell), [`trainer`] (write plane), [`server`] (TCP
-//! front end), [`client`] (scriptable reference client).
+//! front end), [`client`] (scriptable reference client), [`wal`]
+//! (durability), [`fault`] (failure injection).
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
 pub mod trainer;
+pub mod wal;
 
-pub use client::Client;
-pub use protocol::{parse_request, Request, Response, MAX_LINE_BYTES};
-pub use server::{boot_cold, boot_restore, start, ServeConfig, ServerHandle};
+pub use client::{Client, ClientConfig};
+pub use fault::{FaultInjector, FaultPoint};
+pub use protocol::{parse_request, Request, Response, WriteId, MAX_LINE_BYTES};
+pub use server::{boot_cold, boot_restore, boot_wal, start, ServeConfig, ServerHandle};
 pub use snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
 pub use trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};
+pub use wal::{FsyncPolicy, RecoveryReport, Wal, WalBoot, WalConfig};

@@ -15,8 +15,8 @@
 //! | `get_embedding` | `node`                        | read   |
 //! | `topk`          | `node`, `k?=10`, `op?=cosine` | read   |
 //! | `score_link`    | `u`, `v`, `op?=cosine`        | read   |
-//! | `add_edge`      | `u`, `v`                      | write  |
-//! | `remove_edge`   | `u`, `v`                      | write  |
+//! | `add_edge`      | `u`, `v`, `client?`, `seq?`   | write  |
+//! | `remove_edge`   | `u`, `v`, `client?`, `seq?`   | write  |
 //! | `flush`         | —                             | write  |
 //! | `snapshot`      | —                             | write  |
 //! | `restore`       | —                             | write  |
@@ -27,6 +27,11 @@
 //! [`MAX_LINE_BYTES`] are a protocol violation: the server answers with an
 //! error and closes the connection (a misbehaving writer cannot make it
 //! buffer unboundedly).
+//!
+//! Write commands may carry a [`WriteId`] (`client` + `seq`): a client that
+//! retries after a lost ack resends the *same* id, and the server answers
+//! `deduped: true` instead of applying the event twice. `seq` must be
+//! strictly increasing per `client` string.
 
 use seqge_eval::EdgeOp;
 use seqge_graph::NodeId;
@@ -57,8 +62,21 @@ impl MetricsFormat {
     }
 }
 
+/// Retry-safe identity of one write: clients number their writes so a
+/// resend after a lost ack dedups server-side instead of double-applying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteId {
+    /// Client identity (any non-empty string, ≤ 128 bytes).
+    pub client: String,
+    /// Strictly increasing per-client write number.
+    pub seq: u64,
+}
+
+/// Longest accepted `client` string.
+pub const MAX_CLIENT_ID_BYTES: usize = 128;
+
 /// A parsed request.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -93,6 +111,8 @@ pub enum Request {
         u: NodeId,
         /// Second endpoint.
         v: NodeId,
+        /// Optional retry-dedup identity.
+        write_id: Option<WriteId>,
     },
     /// Queue an edge retraction.
     RemoveEdge {
@@ -100,6 +120,8 @@ pub enum Request {
         u: NodeId,
         /// Second endpoint.
         v: NodeId,
+        /// Optional retry-dedup identity.
+        write_id: Option<WriteId>,
     },
     /// Barrier: wait until every queued event is trained and published.
     Flush,
@@ -159,6 +181,23 @@ fn get_op(v: &Value) -> Result<EdgeOp, String> {
     }
 }
 
+fn get_write_id(v: &Value) -> Result<Option<WriteId>, String> {
+    match (v.get("client"), v.get("seq")) {
+        (None, None) => Ok(None),
+        (Some(c), Some(s)) => {
+            let client = c
+                .as_str()
+                .filter(|c| !c.is_empty() && c.len() <= MAX_CLIENT_ID_BYTES)
+                .ok_or_else(|| {
+                    format!("`client` must be a non-empty string of at most {MAX_CLIENT_ID_BYTES} bytes")
+                })?;
+            let seq = s.as_u64().filter(|&x| x > 0).ok_or("`seq` must be a positive integer")?;
+            Ok(Some(WriteId { client: client.to_string(), seq }))
+        }
+        _ => Err("`client` and `seq` must be given together".to_string()),
+    }
+}
+
 /// Parses one request line. Errors are human-readable strings the server
 /// echoes back verbatim in the `error` field.
 pub fn parse_request(line: &str) -> Result<Request, String> {
@@ -191,8 +230,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "score_link" => {
             Ok(Request::ScoreLink { u: get_u32(&v, "u")?, v: get_u32(&v, "v")?, op: get_op(&v)? })
         }
-        "add_edge" => Ok(Request::AddEdge { u: get_u32(&v, "u")?, v: get_u32(&v, "v")? }),
-        "remove_edge" => Ok(Request::RemoveEdge { u: get_u32(&v, "u")?, v: get_u32(&v, "v")? }),
+        "add_edge" => Ok(Request::AddEdge {
+            u: get_u32(&v, "u")?,
+            v: get_u32(&v, "v")?,
+            write_id: get_write_id(&v)?,
+        }),
+        "remove_edge" => Ok(Request::RemoveEdge {
+            u: get_u32(&v, "u")?,
+            v: get_u32(&v, "v")?,
+            write_id: get_write_id(&v)?,
+        }),
         "flush" => Ok(Request::Flush),
         "snapshot" => Ok(Request::Snapshot),
         "restore" => Ok(Request::Restore),
@@ -332,11 +379,19 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"cmd":"add_edge","u":4,"v":9}"#).unwrap(),
-            Request::AddEdge { u: 4, v: 9 }
+            Request::AddEdge { u: 4, v: 9, write_id: None }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"remove_edge","u":4,"v":9}"#).unwrap(),
-            Request::RemoveEdge { u: 4, v: 9 }
+            Request::RemoveEdge { u: 4, v: 9, write_id: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"add_edge","u":4,"v":9,"client":"c1","seq":7}"#).unwrap(),
+            Request::AddEdge {
+                u: 4,
+                v: 9,
+                write_id: Some(WriteId { client: "c1".to_string(), seq: 7 })
+            }
         );
         assert_eq!(parse_request(r#"{"cmd":"flush"}"#).unwrap(), Request::Flush);
         assert_eq!(parse_request(r#"{"cmd":"snapshot"}"#).unwrap(), Request::Snapshot);
@@ -398,6 +453,30 @@ mod tests {
         assert!(parse_request(r#"{"cmd":"get_embedding"}"#).unwrap_err().contains("`node`"));
         assert!(parse_request(r#"{"cmd":"add_edge","u":-3,"v":1}"#).unwrap_err().contains("`u`"));
         assert!(parse_request(r#"{"cmd":"add_edge","u":"x","v":1}"#).unwrap_err().contains("`u`"));
+    }
+
+    #[test]
+    fn rejects_bad_write_ids() {
+        // One of the pair without the other.
+        assert!(parse_request(r#"{"cmd":"add_edge","u":0,"v":1,"client":"c1"}"#)
+            .unwrap_err()
+            .contains("together"));
+        assert!(parse_request(r#"{"cmd":"add_edge","u":0,"v":1,"seq":3}"#)
+            .unwrap_err()
+            .contains("together"));
+        // seq must be positive, client non-empty and bounded.
+        assert!(parse_request(r#"{"cmd":"add_edge","u":0,"v":1,"client":"c1","seq":0}"#)
+            .unwrap_err()
+            .contains("seq"));
+        assert!(parse_request(r#"{"cmd":"add_edge","u":0,"v":1,"client":"","seq":1}"#)
+            .unwrap_err()
+            .contains("client"));
+        let long = "x".repeat(MAX_CLIENT_ID_BYTES + 1);
+        assert!(parse_request(&format!(
+            r#"{{"cmd":"add_edge","u":0,"v":1,"client":"{long}","seq":1}}"#
+        ))
+        .unwrap_err()
+        .contains("client"));
     }
 
     #[test]

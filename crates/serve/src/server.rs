@@ -7,16 +7,33 @@
 //! can notice shutdown, answering read-plane queries from its own
 //! [`SnapshotReader`] cache (lock-free in steady state) and forwarding
 //! write-plane commands to the trainer thread.
+//!
+//! Failure-awareness (all off by default, see [`ServeConfig`]):
+//!
+//! * with a WAL attached, every write is appended + (policy) fsynced
+//!   *before* it is queued to the trainer — an acked write survives kill -9;
+//! * retried writes carrying a [`protocol::WriteId`] dedup against a
+//!   per-client high-water-mark table instead of double-applying;
+//! * read-plane requests are shed with an explicit `overloaded` error once
+//!   the trainer backlog passes `max_backlog` — the write plane is never
+//!   blocked to protect reads;
+//! * the acceptor sheds whole connections once the worker queue passes
+//!   `max_conn_queue`;
+//! * idle connections are closed after `read_deadline`, and response
+//!   writes time out after `write_timeout` instead of blocking a worker
+//!   forever on a stalled peer.
 
+use crate::fault::{FaultInjector, FaultPoint};
 use crate::protocol::{self, op_name, MetricsFormat, Request, Response, MAX_LINE_BYTES};
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
 use crate::trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};
-use seqge_core::{IncrementalTrainer, OsElmSkipGram, TrainConfig};
+use crate::wal::{Wal, WalBoot, WalConfig};
+use seqge_core::{IncrementalTrainer, OsElmConfig, OsElmSkipGram, TrainConfig};
 use seqge_graph::{EdgeEvent, Graph};
 use seqge_obs::{export, Counter, Histogram, Registry};
 use seqge_sampling::UpdatePolicy;
 use serde_json::Value;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -26,17 +43,47 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+/// Entries kept in the write-dedup table before it is wholesale cleared.
+/// Clearing (rather than LRU-evicting) is deliberate: after a clear, a
+/// replayed retry is no longer recognized, but the graph invariants
+/// (duplicate add / missing remove are rejected) still stop it from
+/// training twice — the table is an optimization for crisp `deduped` acks,
+/// not the correctness backstop.
+const DEDUP_MAX_CLIENTS: usize = 65_536;
+
 /// Server-side configuration (trainer knobs ride along in [`TrainerConfig`]).
 pub struct ServeConfig {
     /// Worker threads answering queries (≥ 1).
     pub workers: usize,
     /// Trainer-side knobs: batching, resample policy, snapshot paths.
     pub trainer: TrainerConfig,
+    /// Write-ahead log; `None` preserves PR 2's snapshot-only durability.
+    pub wal: Option<Arc<Wal>>,
+    /// Fault injection schedule (disabled outside chaos testing).
+    pub fault: Arc<FaultInjector>,
+    /// Shed read-plane requests with `overloaded` once the trainer backlog
+    /// passes this many events.
+    pub max_backlog: u64,
+    /// Shed new connections once this many are queued for workers.
+    pub max_conn_queue: usize,
+    /// Close a connection after this long without a complete request.
+    pub read_deadline: Duration,
+    /// Give up writing a response after this long (stalled peer).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 4, trainer: TrainerConfig::default() }
+        ServeConfig {
+            workers: 4,
+            trainer: TrainerConfig::default(),
+            wal: None,
+            fault: Arc::new(FaultInjector::disabled()),
+            max_backlog: 8192,
+            max_conn_queue: 1024,
+            read_deadline: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(10),
+        }
     }
 }
 
@@ -91,6 +138,33 @@ pub fn boot_restore(
     }
     let inc = IncrementalTrainer::new(graph.num_nodes(), cfg, policy, seed);
     Ok((graph, model, inc))
+}
+
+/// Boots a WAL-backed store: recovers a committed one (snapshot restore +
+/// replay of the unapplied log suffix — `cold_graph` is then ignored), or
+/// initialises a fresh store from `cold_graph` with a bootstrap pass.
+pub fn boot_wal(
+    wcfg: &WalConfig,
+    cold_graph: Option<Graph>,
+    cfg: &TrainConfig,
+    ocfg: OsElmConfig,
+    refresh_every: u64,
+    policy: UpdatePolicy,
+    seed: u64,
+) -> io::Result<WalBoot> {
+    if let Some(boot) = Wal::recover(wcfg, cfg, refresh_every, policy, seed)? {
+        return Ok(boot);
+    }
+    let graph = cold_graph.ok_or_else(|| {
+        io::Error::new(
+            ErrorKind::NotFound,
+            format!("{}: no committed store and no graph to cold-boot from", wcfg.dir.display()),
+        )
+    })?;
+    let (model, inc) = boot_cold(&graph, cfg, ocfg, policy, seed);
+    let wal = Wal::init(wcfg, &model, &graph)?;
+    let report = wal.recovery();
+    Ok(WalBoot { graph, model, inc, wal, report })
 }
 
 /// A running server. Dropping the handle without calling
@@ -191,11 +265,13 @@ pub fn start(
     let cell = Arc::new(SnapshotCell::new(boot));
     let stop = Arc::new(AtomicBool::new(false));
     let (tx, rx) = channel::<TrainerMsg>();
+    let dedup: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
 
     let mut threads = Vec::new();
 
     // Trainer thread — sole owner of graph/model/incremental state.
-    let trainer = Trainer::new(graph, model, inc, cell.clone(), stats.clone(), config.trainer);
+    let mut trainer = Trainer::new(graph, model, inc, cell.clone(), stats.clone(), config.trainer);
+    trainer.attach_wal(config.wal.clone(), config.fault.clone());
     threads.push(
         thread::Builder::new().name("seqge-trainer".to_string()).spawn(move || trainer.run(rx))?,
     );
@@ -214,6 +290,12 @@ pub fn start(
             started,
             stop: stop.clone(),
             trainer_tx: tx.clone(),
+            wal: config.wal.clone(),
+            fault: config.fault.clone(),
+            dedup: dedup.clone(),
+            max_backlog: config.max_backlog,
+            read_deadline: config.read_deadline,
+            write_timeout: config.write_timeout,
         };
         threads.push(
             thread::Builder::new().name(format!("seqge-worker-{i}")).spawn(move || ctx.run())?,
@@ -224,6 +306,8 @@ pub fn start(
     {
         let queue = queue.clone();
         let stop = stop.clone();
+        let stats = stats.clone();
+        let max_conn_queue = config.max_conn_queue;
         threads.push(thread::Builder::new().name("seqge-accept".to_string()).spawn(move || {
             loop {
                 if stop.load(Ordering::SeqCst) {
@@ -232,8 +316,19 @@ pub fn start(
                     return;
                 }
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok((mut stream, _)) => {
                         let mut q = queue.0.lock().expect("conn queue poisoned");
+                        if q.len() >= max_conn_queue {
+                            // Shed at the door rather than queue unboundedly;
+                            // the refusal is best-effort (the socket is still
+                            // nonblocking here).
+                            drop(q);
+                            stats.conn_shed.inc();
+                            let msg = Response::err("overloaded: connection queue full");
+                            let _ = stream.write_all(msg.as_bytes());
+                            let _ = stream.write_all(b"\n");
+                            continue;
+                        }
                         q.push_back(stream);
                         queue.1.notify_one();
                     }
@@ -301,6 +396,13 @@ struct WorkerCtx {
     started: Instant,
     stop: Arc<AtomicBool>,
     trainer_tx: Sender<TrainerMsg>,
+    wal: Option<Arc<Wal>>,
+    fault: Arc<FaultInjector>,
+    /// Per-client highest acked write `seq` (see [`protocol::WriteId`]).
+    dedup: Arc<Mutex<HashMap<String, u64>>>,
+    max_backlog: u64,
+    read_deadline: Duration,
+    write_timeout: Duration,
 }
 
 impl WorkerCtx {
@@ -324,13 +426,16 @@ impl WorkerCtx {
         }
     }
 
-    /// Serves one connection until EOF, protocol violation, or shutdown.
+    /// Serves one connection until EOF, protocol violation, deadline
+    /// expiry, or shutdown.
     fn handle_connection(&self, mut stream: TcpStream) -> io::Result<()> {
         stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        stream.set_write_timeout(Some(self.write_timeout))?;
         stream.set_nodelay(true).ok();
         let mut reader = SnapshotReader::new(self.cell.clone());
         let mut pending: Vec<u8> = Vec::new();
         let mut chunk = [0u8; 4096];
+        let mut last_activity = Instant::now();
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 return Ok(());
@@ -339,17 +444,30 @@ impl WorkerCtx {
                 Ok(0) => return Ok(()), // EOF
                 Ok(n) => n,
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    continue
+                    if last_activity.elapsed() >= self.read_deadline {
+                        // Idle past the deadline: free the worker.
+                        return Ok(());
+                    }
+                    continue;
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             };
+            last_activity = Instant::now();
             pending.extend_from_slice(&chunk[..n]);
             // Process every complete line in the buffer.
             while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
                 let line: Vec<u8> = pending.drain(..=nl).collect();
                 let text = String::from_utf8_lossy(&line[..nl]);
                 let (response, close) = self.dispatch(text.trim(), &mut reader);
+                if self.fault.should(FaultPoint::ConnDrop) {
+                    // Ack lost: the request may have been fully applied.
+                    // This is the case WriteId dedup exists for.
+                    return Ok(());
+                }
+                if self.fault.should(FaultPoint::ConnStall) {
+                    thread::sleep(self.fault.stall());
+                }
                 stream.write_all(response.as_bytes())?;
                 stream.write_all(b"\n")?;
                 if close {
@@ -393,12 +511,30 @@ impl WorkerCtx {
         out
     }
 
+    /// Whether a read-plane request must be shed to protect the write
+    /// plane. The check is a couple of relaxed counter loads.
+    fn overloaded(&self) -> bool {
+        self.stats.pending() > self.max_backlog
+    }
+
+    fn shed_read(&self) -> (String, bool) {
+        self.stats.overloaded.inc();
+        (
+            Response::err(format!(
+                "overloaded: trainer backlog {} exceeds {}",
+                self.stats.pending(),
+                self.max_backlog
+            )),
+            false,
+        )
+    }
+
     fn handle_request(&self, req: Request, reader: &mut SnapshotReader) -> (String, bool) {
         match req {
             Request::Ping => (Response::ok().field("pong", true).build(), false),
             Request::Stats => {
                 let snap = reader.current();
-                let resp = Response::ok()
+                let mut resp = Response::ok()
                     .field("version", snap.version)
                     .field("nodes", snap.num_nodes())
                     .field("edges", snap.num_edges)
@@ -414,10 +550,27 @@ impl WorkerCtx {
                     .field("rejected", self.stats.rejected.get())
                     .field("refreshes", self.stats.refreshes.get())
                     .field("snapshots_written", self.stats.snapshots_written.get())
-                    .build();
-                (resp, false)
+                    .field("deduped", self.stats.deduped.get())
+                    .field("overloaded", self.stats.overloaded.get());
+                if let Some(wal) = &self.wal {
+                    resp = resp
+                        .field("wal", true)
+                        .field("wal_fsync", wal.fsync_policy().as_str())
+                        .field("wal_appends", wal.appended())
+                        .field("wal_append_errors", wal.append_errors())
+                        .field("wal_fsyncs", wal.fsyncs())
+                        .field("wal_rotations", wal.rotations())
+                        .field("wal_replayed", wal.recovery().replayed)
+                        .field("wal_gen", wal.recovery().gen);
+                } else {
+                    resp = resp.field("wal", false);
+                }
+                (resp.build(), false)
             }
             Request::GetEmbedding { node } => {
+                if self.overloaded() {
+                    return self.shed_read();
+                }
                 let snap = reader.current();
                 match snap.embedding(node) {
                     Some(row) => {
@@ -441,6 +594,9 @@ impl WorkerCtx {
                 }
             }
             Request::TopK { node, k, op } => {
+                if self.overloaded() {
+                    return self.shed_read();
+                }
                 let snap = reader.current();
                 match snap.topk(node, k, op) {
                     Some(hits) => {
@@ -473,6 +629,9 @@ impl WorkerCtx {
                 }
             }
             Request::ScoreLink { u, v, op } => {
+                if self.overloaded() {
+                    return self.shed_read();
+                }
                 let snap = reader.current();
                 match snap.score(u, v, op) {
                     Some(s) => (
@@ -494,7 +653,8 @@ impl WorkerCtx {
                     ),
                 }
             }
-            Request::AddEdge { u, v } | Request::RemoveEdge { u, v } => {
+            Request::AddEdge { u, v, ref write_id }
+            | Request::RemoveEdge { u, v, ref write_id } => {
                 let n = reader.current().num_nodes();
                 if u as usize >= n || v as usize >= n {
                     return (
@@ -505,24 +665,70 @@ impl WorkerCtx {
                 if u == v {
                     return (Response::err("self loops are not allowed"), false);
                 }
-                let event = match req {
+                // A retry of an already-acked write: answer success without
+                // re-applying (the original ack was lost, not the write).
+                if let Some(wid) = write_id {
+                    let map = self.dedup.lock().expect("dedup table poisoned");
+                    if map.get(&wid.client).is_some_and(|&last| wid.seq <= last) {
+                        drop(map);
+                        self.stats.deduped.inc();
+                        return (
+                            Response::ok().field("queued", true).field("deduped", true).build(),
+                            false,
+                        );
+                    }
+                }
+                let event = match &req {
                     Request::AddEdge { .. } => EdgeEvent::Add(u, v),
                     _ => EdgeEvent::Remove(u, v),
                 };
-                match self.trainer_tx.send(TrainerMsg::Event(event)) {
-                    Ok(()) => {
-                        self.stats.enqueued.inc();
-                        self.stats.update_backlog();
-                        (
-                            Response::ok()
-                                .field("queued", true)
-                                .field("pending", self.stats.pending())
-                                .build(),
-                            false,
-                        )
+                // `Some(seq)` when WAL-logged, `None` when queued directly.
+                let queued: Option<u64> = match &self.wal {
+                    Some(wal) => {
+                        let t0 =
+                            if seqge_obs::timing_enabled() { Some(Instant::now()) } else { None };
+                        let appended = wal.append_then(event, &self.fault, |seq| {
+                            self.trainer_tx.send(TrainerMsg::Event(seq, event))
+                        });
+                        if let Some(t0) = t0 {
+                            self.stats
+                                .wal_append_ns
+                                .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                        }
+                        match appended {
+                            Ok(seq) => Some(seq),
+                            Err(e) if e.kind() == ErrorKind::BrokenPipe => {
+                                return (Response::err("trainer is shut down"), true);
+                            }
+                            Err(e) => {
+                                self.stats.wal_append_errors.set_to(wal.append_errors());
+                                return (Response::err(format!("wal append failed: {e}")), false);
+                            }
+                        }
                     }
-                    Err(_) => (Response::err("trainer is shut down"), true),
+                    None => match self.trainer_tx.send(TrainerMsg::Event(0, event)) {
+                        Ok(()) => None,
+                        Err(_) => return (Response::err("trainer is shut down"), true),
+                    },
+                };
+                // Only now — after the event is durably logged and queued —
+                // does the write count as acked for dedup purposes. A
+                // failed append above must leave the retry replayable.
+                if let Some(wid) = write_id {
+                    let mut map = self.dedup.lock().expect("dedup table poisoned");
+                    if map.len() >= DEDUP_MAX_CLIENTS && !map.contains_key(&wid.client) {
+                        map.clear();
+                    }
+                    map.insert(wid.client.clone(), wid.seq);
                 }
+                self.stats.enqueued.inc();
+                self.stats.update_backlog();
+                let mut resp =
+                    Response::ok().field("queued", true).field("pending", self.stats.pending());
+                if let Some(seq) = queued {
+                    resp = resp.field("seq", seq);
+                }
+                (resp.build(), false)
             }
             Request::Flush => {
                 let (ack_tx, ack_rx) = channel();
@@ -563,6 +769,10 @@ impl WorkerCtx {
                 }
             }
             Request::Metrics { format } => {
+                if let Some(wal) = &self.wal {
+                    self.stats.sync_wal(wal);
+                }
+                self.stats.sync_faults(&self.fault);
                 let regs: [&Registry; 2] = [self.registry.as_ref(), Registry::global()];
                 let body = match format {
                     MetricsFormat::Prometheus => export::prometheus(&regs),

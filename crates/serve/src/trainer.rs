@@ -7,8 +7,17 @@
 //! queued up since the last training step is drained in one go (up to
 //! `batch_max`), then a snapshot is published, so query staleness is
 //! bounded by one batch rather than one connection's burst.
+//!
+//! With a WAL attached ([`Trainer::attach_wal`]), events arrive already
+//! logged (the worker appends before sending, holding the log lock across
+//! both, so log order equals apply order); the trainer tracks the highest
+//! applied sequence number, fsyncs the log at every batch boundary under
+//! the `batch` policy, and turns snapshots into atomic generation
+//! rotations via [`Wal::commit_snapshot`].
 
+use crate::fault::{FaultInjector, FaultPoint};
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell};
+use crate::wal::Wal;
 use seqge_core::model::EmbeddingModel;
 use seqge_core::{persist, IncrementalTrainer, OsElmSkipGram};
 use seqge_graph::{io as graph_io, EdgeEvent, Graph};
@@ -49,6 +58,33 @@ pub struct ServeStats {
     /// Wall time of each on-disk snapshot write
     /// (`seqge_serve_snapshot_write_ns`).
     pub snapshot_ns: Arc<Histogram>,
+    /// WAL records appended (`seqge_serve_wal_appends_total`).
+    pub wal_appends: Arc<Counter>,
+    /// WAL appends that failed, including injected faults
+    /// (`seqge_serve_wal_append_errors_total`).
+    pub wal_append_errors: Arc<Counter>,
+    /// WAL fsyncs issued (`seqge_serve_wal_fsyncs_total`).
+    pub wal_fsyncs: Arc<Counter>,
+    /// WAL segment rotations (`seqge_serve_wal_rotations_total`).
+    pub wal_rotations: Arc<Counter>,
+    /// Events replayed from the WAL at boot
+    /// (`seqge_serve_wal_replayed_total`).
+    pub wal_replayed: Arc<Counter>,
+    /// Wall time of one WAL append, including policy fsync
+    /// (`seqge_serve_wal_append_ns`).
+    pub wal_append_ns: Arc<Histogram>,
+    /// Read-plane requests shed with `overloaded`
+    /// (`seqge_serve_overloaded_total`).
+    pub overloaded: Arc<Counter>,
+    /// Retried writes answered from the dedup table instead of re-applied
+    /// (`seqge_serve_deduped_total`).
+    pub deduped: Arc<Counter>,
+    /// Connections dropped by the acceptor because the worker queue was
+    /// full (`seqge_serve_conn_shed_total`).
+    pub conn_shed: Arc<Counter>,
+    /// Injected faults that actually fired, labelled by point
+    /// (`seqge_serve_fault_injected_total{point=...}`).
+    pub faults: Vec<(FaultPoint, Arc<Counter>)>,
 }
 
 impl ServeStats {
@@ -65,6 +101,27 @@ impl ServeStats {
             backlog: registry.gauge("seqge_serve_trainer_backlog"),
             ingest_batch: registry.histogram("seqge_serve_ingest_batch_size"),
             snapshot_ns: registry.histogram("seqge_serve_snapshot_write_ns"),
+            wal_appends: registry.counter("seqge_serve_wal_appends_total"),
+            wal_append_errors: registry.counter("seqge_serve_wal_append_errors_total"),
+            wal_fsyncs: registry.counter("seqge_serve_wal_fsyncs_total"),
+            wal_rotations: registry.counter("seqge_serve_wal_rotations_total"),
+            wal_replayed: registry.counter("seqge_serve_wal_replayed_total"),
+            wal_append_ns: registry.histogram("seqge_serve_wal_append_ns"),
+            overloaded: registry.counter("seqge_serve_overloaded_total"),
+            deduped: registry.counter("seqge_serve_deduped_total"),
+            conn_shed: registry.counter("seqge_serve_conn_shed_total"),
+            faults: FaultPoint::ALL
+                .iter()
+                .map(|&p| {
+                    (
+                        p,
+                        registry.counter_with(
+                            "seqge_serve_fault_injected_total",
+                            &[("point", p.name())],
+                        ),
+                    )
+                })
+                .collect(),
         }
     }
 
@@ -77,19 +134,37 @@ impl ServeStats {
     pub fn update_backlog(&self) {
         self.backlog.set(self.pending() as i64);
     }
+
+    /// Mirrors the WAL's internal counters into the registry (the WAL is
+    /// created before the registry exists, so it counts in plain atomics).
+    pub fn sync_wal(&self, wal: &Wal) {
+        self.wal_appends.set_to(wal.appended());
+        self.wal_append_errors.set_to(wal.append_errors());
+        self.wal_fsyncs.set_to(wal.fsyncs());
+        self.wal_rotations.set_to(wal.rotations());
+        self.wal_replayed.set_to(wal.recovery().replayed);
+    }
+
+    /// Mirrors fired fault counts into the registry.
+    pub fn sync_faults(&self, inj: &FaultInjector) {
+        for (p, c) in &self.faults {
+            c.set_to(inj.fired(*p));
+        }
+    }
 }
 
 /// Messages the trainer thread understands.
 pub enum TrainerMsg {
-    /// An edge mutation from the write plane.
-    Event(EdgeEvent),
+    /// An edge mutation from the write plane, tagged with its WAL sequence
+    /// number (0 when the server runs without a WAL).
+    Event(u64, EdgeEvent),
     /// Barrier: drain everything queued before this message, publish, and
     /// ack with the published version.
     Flush(Sender<u64>),
     /// Persist model + graph; ack with the written paths or an error.
     Snapshot(Sender<Result<(PathBuf, PathBuf), String>>),
     /// Reload model + graph from disk, replacing in-memory state; ack with
-    /// the restored version or an error.
+    /// the restored version or an error. Unavailable in WAL mode.
     Restore(Sender<Result<u64, String>>),
     /// Drain in-flight events, write a final snapshot (if configured),
     /// publish, ack, and exit the thread.
@@ -105,7 +180,8 @@ pub struct TrainerConfig {
     /// drift — see [`IncrementalTrainer::refresh`].
     pub refresh_every: u64,
     /// Where `snapshot`/`restore` (and the final shutdown snapshot) write
-    /// the model; `None` disables persistence commands.
+    /// the model; `None` disables persistence commands. Ignored in WAL
+    /// mode (generations live in the WAL directory).
     pub snapshot_model: Option<PathBuf>,
     /// Companion path for the graph.
     pub snapshot_graph: Option<PathBuf>,
@@ -130,8 +206,13 @@ pub struct Trainer {
     cell: Arc<SnapshotCell>,
     stats: Arc<ServeStats>,
     cfg: TrainerConfig,
+    wal: Option<Arc<Wal>>,
+    fault: Arc<FaultInjector>,
     version: u64,
     events_since_refresh: u64,
+    /// Highest WAL sequence number consumed (applied *or* rejected — a
+    /// rejected event is settled and must not replay either).
+    applied_seq: u64,
 }
 
 impl Trainer {
@@ -144,11 +225,35 @@ impl Trainer {
         stats: Arc<ServeStats>,
         cfg: TrainerConfig,
     ) -> Self {
-        let mut t =
-            Trainer { graph, model, inc, cell, stats, cfg, version: 0, events_since_refresh: 0 };
+        let mut t = Trainer {
+            graph,
+            model,
+            inc,
+            cell,
+            stats,
+            cfg,
+            wal: None,
+            fault: Arc::new(FaultInjector::disabled()),
+            version: 0,
+            events_since_refresh: 0,
+            applied_seq: 0,
+        };
         t.sync_stats();
         t.publish();
         t
+    }
+
+    /// Attaches the WAL and fault injector, resuming the sequence/refresh
+    /// cursors from the recovery report. Must be called before `run`.
+    pub fn attach_wal(&mut self, wal: Option<Arc<Wal>>, fault: Arc<FaultInjector>) {
+        if let Some(w) = &wal {
+            let rec = w.recovery();
+            self.applied_seq = rec.next_seq.saturating_sub(1);
+            self.events_since_refresh = rec.since_refresh;
+            self.stats.sync_wal(w);
+        }
+        self.wal = wal;
+        self.fault = fault;
     }
 
     fn sync_stats(&self) {
@@ -170,7 +275,13 @@ impl Trainer {
         self.version += 1;
     }
 
-    fn apply(&mut self, event: EdgeEvent) {
+    fn apply(&mut self, seq: u64, event: EdgeEvent) {
+        if self.fault.should(FaultPoint::TrainerPanic) {
+            panic!("injected trainer panic");
+        }
+        if self.fault.should(FaultPoint::TrainerStall) {
+            std::thread::sleep(self.fault.stall());
+        }
         match self.inc.ingest(&mut self.graph, event, &mut self.model) {
             Ok(_) => {
                 self.stats.applied.inc();
@@ -179,6 +290,9 @@ impl Trainer {
             Err(_) => {
                 self.stats.rejected.inc();
             }
+        }
+        if seq > self.applied_seq {
+            self.applied_seq = seq;
         }
         if self.cfg.refresh_every > 0 && self.events_since_refresh >= self.cfg.refresh_every {
             self.inc.refresh(&self.graph, &mut self.model);
@@ -192,27 +306,45 @@ impl Trainer {
     fn snapshot_paths(&self) -> Result<(PathBuf, PathBuf), String> {
         match (&self.cfg.snapshot_model, &self.cfg.snapshot_graph) {
             (Some(m), Some(g)) => Ok((m.clone(), g.clone())),
-            _ => Err("server started without --snapshot-dir".to_string()),
+            _ => Err("server started without --snapshot-dir or --wal-dir".to_string()),
         }
     }
 
     /// Writes model + graph via temp-file-then-rename so a crash mid-write
-    /// never clobbers the previous good snapshot.
+    /// never clobbers the previous good snapshot. In WAL mode this is a
+    /// generation rotation: the new files plus a rotated segment become
+    /// visible atomically through the `meta.json` swap.
     fn write_snapshot(&self) -> Result<(PathBuf, PathBuf), String> {
         let t0 = Instant::now();
-        let (model_path, graph_path) = self.snapshot_paths()?;
+        let (model_path, graph_path) = match &self.wal {
+            Some(wal) => {
+                let (_, m, g) = wal.begin_snapshot();
+                (m, g)
+            }
+            None => self.snapshot_paths()?,
+        };
         let mtmp = model_path.with_extension("tmp");
         let gtmp = graph_path.with_extension("tmp");
         persist::save_oselm(&self.model, &mtmp).map_err(|e| format!("model snapshot: {e}"))?;
         graph_io::save_graph(&self.graph, &gtmp).map_err(|e| format!("graph snapshot: {e}"))?;
         std::fs::rename(&mtmp, &model_path).map_err(|e| format!("model rename: {e}"))?;
         std::fs::rename(&gtmp, &graph_path).map_err(|e| format!("graph rename: {e}"))?;
+        if let Some(wal) = &self.wal {
+            wal.commit_snapshot(self.applied_seq, self.events_since_refresh)
+                .map_err(|e| format!("wal rotation: {e}"))?;
+            self.stats.sync_wal(wal);
+        }
         self.stats.snapshots_written.inc();
         self.stats.snapshot_ns.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         Ok((model_path, graph_path))
     }
 
     fn restore_snapshot(&mut self) -> Result<u64, String> {
+        if self.wal.is_some() {
+            return Err("restore is unavailable in WAL mode: on-disk state is authoritative; \
+                 restart the server to recover"
+                .to_string());
+        }
         let (model_path, graph_path) = self.snapshot_paths()?;
         let model = persist::load_oselm(&model_path).map_err(|e| format!("model restore: {e}"))?;
         let graph = graph_io::load_graph(&graph_path).map_err(|e| format!("graph restore: {e}"))?;
@@ -229,6 +361,21 @@ impl Trainer {
         Ok(self.version - 1)
     }
 
+    /// Fsync + counter mirror at a batch boundary. `force` commits
+    /// unconditionally (queue drained, flush barrier, shutdown); otherwise
+    /// the WAL group-commits on its count/age threshold so a busy trainer
+    /// is not stalled by an fsync per batch.
+    fn batch_boundary(&self, force: bool) {
+        if let Some(wal) = &self.wal {
+            let r = if force { wal.commit() } else { wal.batch_commit() };
+            if let Err(e) = r {
+                seqge_obs::error!("serve", "wal batch fsync failed: {e}");
+            }
+            self.stats.sync_wal(wal);
+        }
+        self.stats.sync_faults(&self.fault);
+    }
+
     /// Runs the event loop until [`TrainerMsg::Shutdown`] or every sender
     /// hangs up. Consumes the trainer.
     pub fn run(mut self, rx: Receiver<TrainerMsg>) {
@@ -239,36 +386,44 @@ impl Trainer {
             };
             let mut control = None;
             match first {
-                TrainerMsg::Event(e) => {
-                    self.apply(e);
+                TrainerMsg::Event(seq, e) => {
+                    self.apply(seq, e);
                     let mut batched = 1usize;
+                    let mut drained = false;
                     // Opportunistic batch: drain whatever queued up while
                     // training, then publish once.
                     while batched < self.cfg.batch_max {
                         match rx.try_recv() {
-                            Ok(TrainerMsg::Event(e)) => {
-                                self.apply(e);
+                            Ok(TrainerMsg::Event(seq, e)) => {
+                                self.apply(seq, e);
                                 batched += 1;
                             }
                             Ok(other) => {
                                 control = Some(other);
                                 break;
                             }
-                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => {
+                                drained = true;
+                                break;
+                            }
                         }
                     }
                     self.publish();
                     self.stats.ingest_batch.record(batched as u64);
+                    // Force the fsync when the queue is empty: the next
+                    // boundary could be arbitrarily far away.
+                    self.batch_boundary(drained);
                 }
                 other => control = Some(other),
             }
             if let Some(msg) = control {
                 match msg {
-                    TrainerMsg::Event(_) => unreachable!("events handled above"),
+                    TrainerMsg::Event(..) => unreachable!("events handled above"),
                     TrainerMsg::Flush(ack) => {
                         // Everything sent before the flush is already
                         // applied (single FIFO channel), so just publish.
                         self.publish();
+                        self.batch_boundary(true);
                         let _ = ack.send(self.version - 1);
                     }
                     TrainerMsg::Snapshot(ack) => {
@@ -281,7 +436,7 @@ impl Trainer {
                         // Drain in-flight events so nothing queued is lost…
                         while let Ok(msg) = rx.try_recv() {
                             match msg {
-                                TrainerMsg::Event(e) => self.apply(e),
+                                TrainerMsg::Event(seq, e) => self.apply(seq, e),
                                 TrainerMsg::Flush(a) => {
                                     let _ = a.send(self.version);
                                 }
@@ -296,13 +451,16 @@ impl Trainer {
                                 }
                             }
                         }
-                        // …then leave a final on-disk snapshot if configured.
-                        if self.cfg.snapshot_model.is_some() {
+                        // …then leave a final on-disk snapshot if configured
+                        // (in WAL mode: a final generation rotation, so the
+                        // next boot replays nothing).
+                        if self.wal.is_some() || self.cfg.snapshot_model.is_some() {
                             if let Err(e) = self.write_snapshot() {
                                 seqge_obs::error!("serve", "final snapshot failed: {e}");
                             }
                         }
                         self.publish();
+                        self.batch_boundary(true);
                         let _ = ack.send(self.version - 1);
                         return;
                     }

@@ -316,6 +316,162 @@ fn stats_reports_uptime_and_versions() {
 }
 
 #[test]
+fn reads_shed_with_overloaded_while_writes_keep_flowing() {
+    // trainer_stall=1.0 makes every apply sleep, so a tiny write burst
+    // builds real backlog; max_backlog 0 sheds reads at the first pending
+    // event. Writes are never shed — that's the plane we protect.
+    let fault = seqge_serve::FaultInjector::parse("trainer_stall=1.0", 0)
+        .unwrap()
+        .with_stall(std::time::Duration::from_millis(30));
+    let config =
+        ServeConfig { max_backlog: 0, fault: std::sync::Arc::new(fault), ..ServeConfig::default() };
+    let (handle, removed) = forest_server(config);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for &(u, v) in removed.iter().take(8) {
+        c.add_edge(u, v).expect("writes are never shed");
+    }
+    let err = c.get_embedding(0).expect_err("read plane must shed under backlog");
+    assert!(err.to_string().contains("overloaded"), "unexpected shed error: {err}");
+
+    // flush is the barrier that drains the backlog; afterwards reads serve
+    // again and the shed is visible in stats.
+    c.flush().unwrap();
+    let emb = c.get_embedding(0).expect("reads recover once the backlog drains");
+    assert_eq!(emb.len(), DIM);
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.get("overloaded").and_then(|v| v.as_u64()).unwrap() >= 1,
+        "shed not counted: {stats:?}"
+    );
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn retried_writes_dedup_by_client_sequence() {
+    let (handle, removed) = forest_server(ServeConfig::default());
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let (u, v) = removed[0];
+    let (u2, v2) = removed[1];
+
+    let first = c
+        .call_raw(&format!(r#"{{"cmd":"add_edge","u":{u},"v":{v},"client":"t1","seq":1}}"#))
+        .unwrap();
+    assert!(first.contains("\"queued\":true"), "{first}");
+    assert!(!first.contains("deduped"), "fresh write must not be deduped: {first}");
+
+    // The retry of an acknowledged write: acked again, applied never.
+    let retry = c
+        .call_raw(&format!(r#"{{"cmd":"add_edge","u":{u},"v":{v},"client":"t1","seq":1}}"#))
+        .unwrap();
+    assert!(retry.contains("\"deduped\":true"), "{retry}");
+
+    // A later sequence number is new work; replaying below the high-water
+    // mark dedups even for a different edge (the mark is per client).
+    let second = c
+        .call_raw(&format!(r#"{{"cmd":"add_edge","u":{u2},"v":{v2},"client":"t1","seq":2}}"#))
+        .unwrap();
+    assert!(second.contains("\"queued\":true") && !second.contains("deduped"), "{second}");
+    let stale = c
+        .call_raw(&format!(r#"{{"cmd":"add_edge","u":{u2},"v":{v2},"client":"t1","seq":2}}"#))
+        .unwrap();
+    assert!(stale.contains("\"deduped\":true"), "{stale}");
+
+    // A different client id is a different stream: same seq, fresh write.
+    let other = c
+        .call_raw(&format!(
+            r#"{{"cmd":"add_edge","u":{},"v":{},"client":"t2","seq":1}}"#,
+            removed[2].0, removed[2].1
+        ))
+        .unwrap();
+    assert!(other.contains("\"queued\":true") && !other.contains("deduped"), "{other}");
+
+    c.flush().unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("enqueued").and_then(|s| s.as_u64()), Some(3), "{stats:?}");
+    assert_eq!(stats.get("deduped").and_then(|s| s.as_u64()), Some(2), "{stats:?}");
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn wal_mode_survives_graceful_shutdown_bit_identically_and_blocks_restore() {
+    use seqge_serve::wal::{FsyncPolicy, WalConfig};
+    let dir = std::env::temp_dir().join(format!("seqge_serve_wal_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wcfg = WalConfig { dir: dir.clone(), fsync: FsyncPolicy::Batch };
+
+    let full = erdos_renyi(40, 0.18, 7);
+    let split = spanning_forest(&full);
+    let initial = split.initial_graph(&full);
+    let removed = split.removed_edges;
+    let cfg = train_cfg();
+    let boot = seqge_serve::boot_wal(
+        &wcfg,
+        Some(initial),
+        &cfg,
+        ocfg(),
+        0,
+        UpdatePolicy::every_edge(),
+        SEED,
+    )
+    .expect("cold init commits a store");
+    assert_eq!(boot.report.gen, 0);
+    let config = ServeConfig { wal: Some(std::sync::Arc::new(boot.wal)), ..ServeConfig::default() };
+    let handle = start("127.0.0.1:0", boot.graph, boot.model, boot.inc, config).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // WAL-mode acks carry the assigned log sequence number.
+    let (u, v) = removed[0];
+    let ack = c
+        .call_raw(&format!(r#"{{"cmd":"add_edge","u":{u},"v":{v},"client":"w","seq":1}}"#))
+        .unwrap();
+    assert!(ack.contains("\"seq\":1"), "WAL ack must carry the log seq: {ack}");
+    let half = removed.len() / 2;
+    for &(u, v) in &removed[1..half] {
+        c.add_edge(u, v).unwrap();
+    }
+    c.flush().unwrap();
+
+    // The on-disk generations are authoritative; in-protocol restore would
+    // silently fork them, so it is refused.
+    let resp = c.call_raw(r#"{"cmd":"restore"}"#).unwrap();
+    assert!(
+        resp.contains("\"ok\":false") && resp.contains("WAL mode"),
+        "restore must be refused in WAL mode: {resp}"
+    );
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("wal"), Some(&serde::value::Value::Bool(true)), "{stats:?}");
+    assert_eq!(stats.get("wal_fsync").and_then(|s| s.as_str()), Some("batch"), "{stats:?}");
+    let frozen: Vec<Vec<f32>> = (0..40).map(|n| c.get_embedding(n).unwrap()).collect();
+
+    // Graceful shutdown commits a snapshot generation and rotates the log,
+    // so the reboot replays nothing — and matches bit for bit.
+    handle.shutdown().unwrap();
+    let boot2 =
+        seqge_serve::boot_wal(&wcfg, None, &cfg, ocfg(), 0, UpdatePolicy::every_edge(), SEED)
+            .expect("store recovers");
+    assert!(boot2.report.gen >= 1, "shutdown must commit a generation: {:?}", boot2.report);
+    assert_eq!(boot2.report.replayed, 0, "rotation left nothing to replay: {:?}", boot2.report);
+    let config2 =
+        ServeConfig { wal: Some(std::sync::Arc::new(boot2.wal)), ..ServeConfig::default() };
+    let handle2 = start("127.0.0.1:0", boot2.graph, boot2.model, boot2.inc, config2).unwrap();
+    let mut c2 = Client::connect(handle2.addr()).unwrap();
+    for (n, frozen_row) in frozen.iter().enumerate() {
+        let row = c2.get_embedding(n as u32).unwrap();
+        assert_eq!(&row, frozen_row, "row {n} differs after WAL reboot");
+    }
+
+    // The rebooted server keeps ingesting.
+    for &(u, v) in &removed[half..] {
+        c2.add_edge(u, v).unwrap();
+    }
+    c2.flush().unwrap();
+    let stats = c2.stats().unwrap();
+    assert_eq!(stats.get("rejected").and_then(|s| s.as_u64()), Some(0), "{stats:?}");
+    handle2.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shutdown_command_drains_and_stops_the_server() {
     let (handle, removed) = forest_server(ServeConfig::default());
     let mut c = Client::connect(handle.addr()).unwrap();

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Perf-regression gate: re-runs the pipelined-training benchmark (the
+# `table3` binary) and compares its *ratio* metrics against the checked-in
+# results/baseline_pipeline.json with a ±15% band. Only ratios are gated —
+# speedup_vs_reference_kernels and end_to_end_speedup_vs_seed_multicore
+# divide two measurements taken on the same host in the same process, so
+# they hold steady across machines where absolute wall times do not.
+#
+# A drop below the band fails the gate (perf regression). A rise above the
+# band passes but warns: refresh the baseline so the gate keeps teeth
+# (cp results/bench_pipeline.json results/baseline_pipeline.json).
+#
+# Band override: SEQGE_BENCH_BAND_PCT (default 15).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+BASELINE=${BASELINE:-results/baseline_pipeline.json}
+BAND_PCT=${SEQGE_BENCH_BAND_PCT:-15}
+
+[[ -f $BASELINE ]] || { echo "FAIL: baseline missing: $BASELINE"; exit 1; }
+
+cargo build --locked --release -q -p seqge-bench --bin table3
+
+# table3 writes results/bench_pipeline.json relative to its cwd; run it
+# from a scratch dir so the checked-in artifact stays untouched.
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+mkdir -p "$work/results"
+(cd "$work" && "$ROOT/target/release/table3" --json results/table3.json)
+FRESH=$work/results/bench_pipeline.json
+[[ -f $FRESH ]] || { echo "FAIL: benchmark did not write bench_pipeline.json"; exit 1; }
+
+# Pulls one numeric field out of a flat pretty-printed JSON file.
+json_num() {
+  sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p' "$1" | head -n1
+}
+
+fail=0
+warn=0
+for key in speedup_vs_reference_kernels end_to_end_speedup_vs_seed_multicore; do
+  base=$(json_num "$BASELINE" "$key")
+  now=$(json_num "$FRESH" "$key")
+  if [[ -z $base || -z $now ]]; then
+    echo "FAIL: metric $key missing (baseline='$base' fresh='$now')"
+    fail=1
+    continue
+  fi
+  verdict=$(awk -v b="$base" -v n="$now" -v band="$BAND_PCT" 'BEGIN {
+    d = (n - b) / b * 100
+    if (d < -band)     printf "%+.1f%% REGRESSION (band ±%s%%)", d, band
+    else if (d > band) printf "%+.1f%% above band — refresh baseline", d
+    else               printf "%+.1f%% ok", d
+  }')
+  echo "$key: baseline $base -> $now  ($verdict)"
+  case $verdict in
+  *REGRESSION*) fail=1 ;;
+  *"refresh baseline"*) warn=1 ;;
+  esac
+done
+
+if ((fail)); then
+  echo "bench gate FAILED: ratio metric regressed more than ${BAND_PCT}% vs $BASELINE"
+  exit 1
+fi
+((warn)) && echo "bench gate passed with warnings (baseline looks stale)"
+echo "bench gate OK (band ±${BAND_PCT}%)"

@@ -4,6 +4,6 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cargo test --workspace --release 2>&1 | tee /root/repo/test_output.txt
-cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt
+cargo test --locked --workspace --release 2>&1 | tee /root/repo/test_output.txt
+cargo bench --locked --workspace 2>&1 | tee /root/repo/bench_output.txt
 echo FINALIZE-DONE

@@ -8,12 +8,12 @@ mkdir -p results
 run() {
   local name="$1"; shift
   echo "=== $name ==="
-  cargo run --release -p seqge-bench --bin "$name" -- "$@" --json "results/$name.json" \
+  cargo run --locked --release -p seqge-bench --bin "$name" -- "$@" --json "results/$name.json" \
     | tee "results/$name.txt"
   echo
 }
 
-cargo build --release -p seqge-bench --bins
+cargo build --locked --release -p seqge-bench --bins
 
 # Scales tuned for a single-core CI box (~30 min total); raise them (and
 # SCALE_FULL=1) on real hardware.

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 BIN=${BIN:-target/release/seqge}
 if [[ ! -x $BIN ]]; then
-  cargo build --release
+  cargo build --locked --release
 fi
 
 work=$(mktemp -d)

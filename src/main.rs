@@ -84,13 +84,24 @@ commands:
   serve    --graph FILE [--port n] [--dim n] [--seed n] [--workers n]
            [--batch n] [--refresh-every n] [--mu f] [--forgetting f]
            [--snapshot-dir DIR] [--log-level error|warn|info|debug|trace]
+           [--wal-dir DIR] [--fsync always|batch|never] [--wal-replay-check]
            (long-running daemon; line-delimited JSON over TCP. With
             --snapshot-dir, boots from DIR/model.sge when present —
             bit-identical restore, no retraining — and writes a final
-            snapshot on graceful shutdown. SIGINT/SIGTERM drain the
-            in-flight batch before exiting. --port 0 = ephemeral)
-  client   [--addr HOST:PORT] (reads JSON requests from stdin, one per
-           line, prints each response; for scripting and smoke tests)
+            snapshot on graceful shutdown. With --wal-dir, every
+            acknowledged write is appended to a checksummed write-ahead
+            log before training, so kill -9 loses nothing: on restart the
+            log replays over the last snapshot, bit-identically. --fsync
+            picks the durability/throughput point (default batch).
+            --wal-replay-check replays the store twice, verifies the
+            result is deterministic, prints a report, and exits.
+            SIGINT/SIGTERM drain the in-flight batch before exiting.
+            --port 0 = ephemeral)
+  client   [--addr HOST:PORT] [--timeout-ms n] [--retries n]
+           (reads JSON requests from stdin, one per line, prints each
+            response; --timeout-ms bounds each call, --retries retries
+            timed-out/refused calls with backoff; for scripting and
+            smoke tests)
   obs      dump [--addr HOST:PORT] [--format json|prometheus]
            (fetches the running server's metrics registries — counters,
             gauges, latency histograms — via the `metrics` protocol op
@@ -111,7 +122,7 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{flag}`"));
         };
         // Boolean flags have no value.
-        if matches!(key, "seq" | "linkpred") {
+        if matches!(key, "seq" | "linkpred" | "wal-replay-check") {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -321,18 +332,63 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     cfg.model.seed = seed;
     let policy = UpdatePolicy::every_edge();
 
+    let refresh_every: u64 = get(flags, "refresh-every", 0)?;
     let trainer = serve::TrainerConfig {
         batch_max: get(flags, "batch", 256)?,
-        refresh_every: get(flags, "refresh-every", 0)?,
+        refresh_every,
         ..Default::default()
     };
-    let mut config = serve::ServeConfig { workers: get(flags, "workers", 4)?, trainer };
+    let mut config =
+        serve::ServeConfig { workers: get(flags, "workers", 4)?, trainer, ..Default::default() };
     if config.workers == 0 {
         return Err("--workers must be at least 1".into());
     }
     let snapshot_dir = flags.get("snapshot-dir").map(std::path::PathBuf::from);
+    let wal_dir = flags.get("wal-dir").map(std::path::PathBuf::from);
+    if wal_dir.is_some() && snapshot_dir.is_some() {
+        return Err("--wal-dir and --snapshot-dir are mutually exclusive: the WAL store \
+             carries its own snapshot generations"
+            .into());
+    }
+    if wal_dir.is_none() && (flags.contains_key("fsync") || flags.contains_key("wal-replay-check"))
+    {
+        return Err("--fsync / --wal-replay-check require --wal-dir".into());
+    }
     if let Some(dir) = &snapshot_dir {
         config = config.with_snapshot_dir(dir).map_err(|e| e.to_string())?;
+    }
+    // Fault injection is environmental (SEQGE_FAULT*); disabled when unset.
+    config.fault = std::sync::Arc::new(serve::FaultInjector::from_env()?);
+
+    if let Some(dir) = wal_dir {
+        let fsync = match flags.get("fsync") {
+            Some(v) => serve::FsyncPolicy::parse(v)?,
+            None => serve::FsyncPolicy::Batch,
+        };
+        let wcfg = serve::WalConfig { dir, fsync };
+        if flags.contains_key("wal-replay-check") {
+            return cmd_wal_replay_check(&wcfg, &cfg, refresh_every, policy, seed);
+        }
+        let cold_graph = if flags.contains_key("graph") { Some(load(flags)?) } else { None };
+        let ocfg = OsElmConfig {
+            model: cfg.model,
+            mu: get(flags, "mu", 0.05f32)?,
+            forgetting: get(flags, "forgetting", 1.0f32)?,
+            ..OsElmConfig::paper_defaults(dim)
+        };
+        let boot = serve::boot_wal(&wcfg, cold_graph, &cfg, ocfg, refresh_every, policy, seed)
+            .map_err(|e| e.to_string())?;
+        seqge::obs::info!(
+            "serve",
+            "wal boot: gen {} segment {}, {} replayed, {} skipped, torn tail: {}",
+            boot.report.gen,
+            boot.report.segment,
+            boot.report.replayed,
+            boot.report.skipped_applied,
+            boot.report.torn_tail
+        );
+        config.wal = Some(std::sync::Arc::new(boot.wal));
+        return run_server(config, boot.graph, boot.model, boot.inc, port);
     }
 
     // A populated snapshot dir wins over --graph: kill → restart resumes
@@ -369,6 +425,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         (g, m, i)
     };
 
+    run_server(config, graph, model, inc, port)
+}
+
+fn run_server(
+    config: serve::ServeConfig,
+    graph: Graph,
+    model: seqge::core::OsElmSkipGram,
+    inc: seqge::core::IncrementalTrainer,
+    port: u16,
+) -> Result<(), String> {
     install_signal_handlers();
     let handle = serve::start(&format!("127.0.0.1:{port}"), graph, model, inc, config)
         .map_err(|e| e.to_string())?;
@@ -387,6 +453,40 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     });
     handle.wait().map_err(|e| e.to_string())?;
     seqge::obs::info!("serve", "server stopped");
+    Ok(())
+}
+
+/// `serve --wal-dir DIR --wal-replay-check`: audit the store without
+/// serving — replay twice, verify determinism, report, exit.
+fn cmd_wal_replay_check(
+    wcfg: &serve::WalConfig,
+    cfg: &TrainConfig,
+    refresh_every: u64,
+    policy: UpdatePolicy,
+    seed: u64,
+) -> Result<(), String> {
+    let check = serve::wal::verify_replay(wcfg, cfg, refresh_every, policy, seed)
+        .map_err(|e| e.to_string())?;
+    let r = &check.report;
+    println!(
+        "wal store {}: gen {}, segment {}, next seq {}",
+        wcfg.dir.display(),
+        r.gen,
+        r.segment,
+        r.next_seq
+    );
+    println!(
+        "replay: {} applied, {} skipped (snapshot already covered), {} duplicate seqs, \
+         {} rejected by graph, {} refreshes, torn tail: {}",
+        r.replayed, r.skipped_applied, r.duplicates, r.rejected, r.refreshes, r.torn_tail
+    );
+    println!(
+        "recovered embedding: {} nodes at d={}; deterministic: {}",
+        check.nodes, check.dim, check.deterministic
+    );
+    if !check.deterministic {
+        return Err("replay produced different embeddings on two runs".into());
+    }
     Ok(())
 }
 
@@ -413,7 +513,14 @@ fn cmd_obs(rest: &[String]) -> Result<(), String> {
 fn cmd_client(flags: &Flags) -> Result<(), String> {
     use std::io::BufRead;
     let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
-    let mut client = serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut ccfg = serve::ClientConfig::default();
+    if let Some(ms) = flags.get("timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("--timeout-ms: cannot parse `{ms}`"))?;
+        ccfg.timeout = std::time::Duration::from_millis(ms);
+    }
+    ccfg.retries = get(flags, "retries", ccfg.retries)?;
+    let mut client =
+        serve::Client::connect_with(addr, ccfg).map_err(|e| format!("connect {addr}: {e}"))?;
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| e.to_string())?;
