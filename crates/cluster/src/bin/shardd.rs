@@ -1,37 +1,32 @@
-//! chaosd — a minimal WAL-backed serve daemon for the chaos suite.
+//! shardd — one cluster shard as a standalone process.
 //!
-//! The integration tests need a process they can really `kill -9`
-//! (in-process threads can't be SIGKILLed selectively), so this binary
-//! boots a server from a committed WAL store and serves until killed.
-//! Fault injection is armed through the usual `SEQGE_FAULT*` environment.
+//! The cluster's child backend spawns one of these per vertex partition;
+//! the e2e tests `kill -9` them and let the health loop respawn them.
+//! A shard is just a WAL-backed serve engine: this binary is `chaosd`
+//! minus fault injection, booting **only** through WAL recovery (the
+//! cluster commits the initial store before the first spawn, so cold
+//! boot and crash recovery are the same code path).
 //!
 //! ```text
-//! chaosd --dir STORE [--dim 8] [--seed 11] [--fsync batch]
+//! shardd --dir STORE [--dim 8] [--seed 11] [--fsync batch]
 //!        [--refresh-every 0] [--addr 127.0.0.1:0]
 //! ```
 //!
 //! Prints `READY <addr>` on stdout once the listener is up. The training
-//! configuration is fixed (and mirrored in `tests/chaos.rs`): paper
-//! defaults at the given dim with walk_length 12, walks_per_node 2.
+//! configuration is fixed to [`seqge_cluster::train_cfg`] — every shard,
+//! replica, and replay in one cluster must agree on it.
 
-use seqge_core::{OsElmConfig, TrainConfig};
+use seqge_cluster::{oselm_cfg, train_cfg};
 use seqge_sampling::UpdatePolicy;
 use seqge_serve::wal::WalConfig;
-use seqge_serve::{boot_wal, ready, start, FaultInjector, FsyncPolicy, ServeConfig, TrainerConfig};
+use seqge_serve::{boot_wal, ready, start, FsyncPolicy, ServeConfig, TrainerConfig};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
 
 fn fail(msg: impl std::fmt::Display) -> ! {
-    eprintln!("chaosd: {msg}");
+    eprintln!("shardd: {msg}");
     exit(2);
-}
-
-fn train_cfg(dim: usize) -> TrainConfig {
-    let mut cfg = TrainConfig::paper_defaults(dim);
-    cfg.walk.walk_length = 12;
-    cfg.walk.walks_per_node = 2;
-    cfg
 }
 
 fn main() {
@@ -60,20 +55,22 @@ fn main() {
     }
     let dir = dir.unwrap_or_else(|| fail("--dir is required"));
 
-    let fault = match FaultInjector::from_env() {
-        Ok(f) => f,
-        Err(e) => fail(e),
-    };
     let cfg = train_cfg(dim);
-    let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
     let wcfg = WalConfig { dir, fsync };
-    let boot =
-        match boot_wal(&wcfg, None, &cfg, ocfg, refresh_every, UpdatePolicy::every_edge(), seed) {
-            Ok(b) => b,
-            Err(e) => fail(format!("boot: {e}")),
-        };
+    let boot = match boot_wal(
+        &wcfg,
+        None,
+        &cfg,
+        oselm_cfg(dim),
+        refresh_every,
+        UpdatePolicy::every_edge(),
+        seed,
+    ) {
+        Ok(b) => b,
+        Err(e) => fail(format!("boot: {e}")),
+    };
     eprintln!(
-        "chaosd: recovered gen {} segment {} (replayed {}, skipped {}, torn tail: {})",
+        "shardd: recovered gen {} segment {} (replayed {}, skipped {}, torn tail: {})",
         boot.report.gen,
         boot.report.segment,
         boot.report.replayed,
@@ -83,7 +80,6 @@ fn main() {
     let config = ServeConfig {
         trainer: TrainerConfig { refresh_every, ..TrainerConfig::default() },
         wal: Some(Arc::new(boot.wal)),
-        fault: Arc::new(fault),
         ..ServeConfig::default()
     };
     let handle = match start(&addr, boot.graph, boot.model, boot.inc, config) {

@@ -1,0 +1,98 @@
+//! Vertex-space partitioning: which shard owns which node.
+//!
+//! The scheme is plain modulo — `owner(v) = v % shards` — chosen over a
+//! mixing hash deliberately: the serve protocol's `topk` residue-class
+//! filter (`mod`/`rem`) expresses exactly this partition, so the router
+//! can ask shard `s` for "your slice of the answer" with
+//! `{"mod": shards, "rem": s}` and the filter *is* the ownership test.
+//! Modulo also keeps the partition stable under node-id growth: adding
+//! nodes never migrates existing ones between shards.
+//!
+//! An edge `(u, v)` is routed to **both** endpoint owners (once when they
+//! coincide). Each shard therefore trains on the subgraph of edges that
+//! touch its slice, so the random walks restarted from an event's
+//! endpoints (§4.3.2 of the paper) see every incident edge locally — no
+//! cross-shard traffic during walk generation or training.
+
+use seqge_graph::{Graph, NodeId};
+
+/// The shard that owns node `v`. Panics if `shards` is zero.
+pub fn owner(v: NodeId, shards: usize) -> usize {
+    assert!(shards > 0, "a cluster has at least one shard");
+    (v as usize) % shards
+}
+
+/// The shards an edge event must reach: owner of `u`, plus owner of `v`
+/// when different. Writes go to both so each side's training inputs stay
+/// shard-local.
+pub fn edge_owners(u: NodeId, v: NodeId, shards: usize) -> (usize, Option<usize>) {
+    let a = owner(u, shards);
+    let b = owner(v, shards);
+    if a == b {
+        (a, None)
+    } else {
+        (a, Some(b))
+    }
+}
+
+/// The subgraph shard `shard` trains on: every node (embeddings are
+/// indexed by global id on every shard), but only the edges with at least
+/// one endpoint in the shard's slice.
+pub fn shard_subgraph(g: &Graph, shard: usize, shards: usize) -> Graph {
+    let edges: Vec<(NodeId, NodeId)> = g
+        .edges()
+        .filter(|&(u, v, _)| owner(u, shards) == shard || owner(v, shards) == shard)
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    Graph::from_edges_lossy(g.num_nodes(), &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqge_graph::generators::classic::erdos_renyi;
+
+    #[test]
+    fn ownership_is_total_and_disjoint() {
+        for shards in 1..6 {
+            for v in 0..100u32 {
+                let s = owner(v, shards);
+                assert!(s < shards);
+                assert_eq!(s, owner(v, shards), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_owners_covers_both_endpoints_once_each() {
+        assert_eq!(edge_owners(3, 7, 4), (3, None)); // 3 % 4 == 7 % 4
+        assert_eq!(edge_owners(1, 5, 4), (1, None));
+        assert_eq!(edge_owners(2, 5, 4), (2, Some(1)));
+        assert_eq!(edge_owners(5, 2, 4), (1, Some(2)));
+    }
+
+    #[test]
+    fn subgraphs_cover_every_edge() {
+        let g = erdos_renyi(60, 0.1, 3);
+        let shards = 4;
+        let parts: Vec<Graph> = (0..shards).map(|s| shard_subgraph(&g, s, shards)).collect();
+        for (u, v, _) in g.edges() {
+            let owners = [owner(u, shards), owner(v, shards)];
+            for (s, part) in parts.iter().enumerate() {
+                let should_have = owners.contains(&s);
+                assert_eq!(
+                    part.has_edge(u, v),
+                    should_have,
+                    "edge ({u},{v}) vs shard {s}: owners {owners:?}"
+                );
+            }
+        }
+        // Edge multiplicity across shards: one copy per distinct owner.
+        let total: usize = parts.iter().map(Graph::num_edges).sum();
+        let expected: usize = g
+            .edges()
+            .map(|(u, v, _)| if owner(u, shards) == owner(v, shards) { 1 } else { 2 })
+            .sum();
+        assert_eq!(total, expected);
+    }
+}

@@ -1,0 +1,715 @@
+//! The scatter-gather router: one TCP front end speaking the exact serve
+//! protocol, fanning work across the shard plane.
+//!
+//! Routing rules per op:
+//!
+//! * **writes** (`add_edge`/`remove_edge`) — forwarded *verbatim* (the
+//!   client's `WriteId` rides along unchanged) to the owner of `u` and,
+//!   when different, the owner of `v`, pipelined. Both must acknowledge;
+//!   if either shard is unreachable the router answers
+//!   `overloaded: shard N unavailable…`, which the serve client treats as
+//!   backoff-and-retry **with the same WriteId** — the shard that did ack
+//!   dedups the retry, so a partial write converges instead of
+//!   double-applying.
+//! * **`topk`** — scattered to every shard with the residue-class filter
+//!   `{"mod": shards, "rem": s}` injected, so each shard competes only
+//!   its own slice; the router merges the per-shard heaps under the
+//!   protocol's total order (score desc, node id asc). Client-supplied
+//!   `mod`/`rem` are rejected: in cluster mode the partition owns that
+//!   filter.
+//! * **`get_embedding` / `score_link`** — forwarded to the owner shard;
+//!   on failure the router falls back to the peer owner (`score_link`)
+//!   and then to the shard's read replica snapshot, tagging the response
+//!   `"source": "replica"`.
+//! * **fan-out reads** (`stats`, `flush`, `snapshot`, `restore`) — sent
+//!   to every shard with one shared deadline; responses that miss it are
+//!   dropped and the reply carries `"degraded": true` plus the missing
+//!   shard list. `flush` is the exception: it is a barrier, so a missing
+//!   shard turns the whole call into `overloaded` (retryable) rather
+//!   than a silently partial barrier.
+//!
+//! Every fan-out is pipelined — requests are written to all shards
+//! before any response is read — so the wall clock is the slowest shard,
+//! not the sum. Per-worker connections are cached and tagged with the
+//! shard's incarnation epoch; a respawned shard (new epoch, possibly new
+//! port) invalidates the cache lazily on next use.
+
+use crate::partition::{edge_owners, owner};
+use crate::shard::{mark_unhealthy, shard_info, ShardTable};
+use seqge_eval::EdgeOp;
+use seqge_obs::{export, Counter, Registry};
+use seqge_serve::protocol::{self, op_name, MetricsFormat, Request, Response, MAX_LINE_BYTES};
+use seqge_serve::snapshot::SnapshotCell;
+use seqge_serve::{Client, ClientConfig};
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Router knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Worker threads serving client connections.
+    pub workers: usize,
+    /// Per-shard fan-out budget: one scatter-gather never waits longer
+    /// than this on any single shard before degrading.
+    pub deadline: Duration,
+    /// Idle client connections are closed after this long.
+    pub read_deadline: Duration,
+    /// Socket write timeout toward clients.
+    pub write_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            workers: 2,
+            deadline: Duration::from_millis(2_000),
+            read_deadline: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Read-side fallback state the router holds per shard.
+#[derive(Clone)]
+pub struct ReplicaView {
+    /// The replica's published snapshot cell.
+    pub cell: Arc<SnapshotCell>,
+    /// Highest WAL sequence the replica has applied (for status/lag).
+    pub applied: Arc<AtomicU64>,
+}
+
+/// A running router. Dropping without [`RouterHandle::shutdown`] detaches
+/// the threads.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    registry: Arc<Registry>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound front-end address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The stop flag (a `shutdown` command or signal handler sets it).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// The router's metrics registry.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// Blocks until the stop flag is set, then joins the threads.
+    pub fn wait(self) -> io::Result<()> {
+        while !self.stop.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(50));
+        }
+        self.shutdown()
+    }
+
+    /// Stops accepting and joins every router thread.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            t.join().map_err(|_| io::Error::other("router thread panicked"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Starts the router on `addr` over an existing shard table. `replicas`
+/// holds one optional [`ReplicaView`] per shard (index-aligned).
+pub fn start_router(
+    addr: &str,
+    shards: ShardTable,
+    replicas: Vec<Option<ReplicaView>>,
+    cfg: RouterConfig,
+) -> io::Result<RouterHandle> {
+    assert!(cfg.workers >= 1, "need at least one router worker");
+    assert_eq!(replicas.len(), shards.len(), "one replica slot per shard");
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let registry = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
+        Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+    let mut threads = Vec::new();
+
+    for i in 0..cfg.workers {
+        let ctx = RouterCtx {
+            queue: queue.clone(),
+            stop: stop.clone(),
+            shards: shards.clone(),
+            replicas: replicas.clone(),
+            registry: registry.clone(),
+            degraded_total: registry.counter("seqge_cluster_degraded_total"),
+            shard_errors: registry.counter("seqge_cluster_shard_errors_total"),
+            protocol_errors: registry.counter("seqge_cluster_protocol_errors_total"),
+            started: Instant::now(),
+            cfg: cfg.clone(),
+        };
+        threads.push(
+            thread::Builder::new().name(format!("seqge-router-{i}")).spawn(move || ctx.run())?,
+        );
+    }
+
+    // Acceptor (same shed-at-the-door shape as the serve front end).
+    {
+        let queue = queue.clone();
+        let stop = stop.clone();
+        threads.push(thread::Builder::new().name("seqge-router-accept".to_string()).spawn(
+            move || loop {
+                if stop.load(Ordering::SeqCst) {
+                    queue.1.notify_all();
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let mut q = queue.0.lock().expect("router conn queue poisoned");
+                        q.push_back(stream);
+                        queue.1.notify_one();
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(20)),
+                }
+            },
+        )?);
+    }
+
+    Ok(RouterHandle { addr, stop, registry, threads })
+}
+
+/// Per-worker cached shard connections, tagged with the incarnation
+/// epoch they were dialed against.
+type Conns = Vec<Option<(u64, Client)>>;
+
+struct RouterCtx {
+    queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)>,
+    stop: Arc<AtomicBool>,
+    shards: ShardTable,
+    replicas: Vec<Option<ReplicaView>>,
+    registry: Arc<Registry>,
+    degraded_total: Arc<Counter>,
+    shard_errors: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    started: Instant,
+    cfg: RouterConfig,
+}
+
+impl RouterCtx {
+    fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn run(self) {
+        let mut conns: Conns = (0..self.num_shards()).map(|_| None).collect();
+        loop {
+            let conn = {
+                let guard = self.queue.0.lock().expect("router conn queue poisoned");
+                let (mut guard, _) = self
+                    .queue
+                    .1
+                    .wait_timeout_while(guard, Duration::from_millis(100), |q| q.is_empty())
+                    .expect("router conn queue poisoned");
+                guard.pop_front()
+            };
+            if let Some(stream) = conn {
+                let _ = self.handle_connection(stream, &mut conns);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+
+    /// Serves one client connection: LF-framed lines, size-capped, idle
+    /// deadline — identical framing to the serve front end.
+    fn handle_connection(&self, mut stream: TcpStream, conns: &mut Conns) -> io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        stream.set_write_timeout(Some(self.cfg.write_timeout))?;
+        stream.set_nodelay(true).ok();
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let mut last_activity = Instant::now();
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let n = match stream.read(&mut chunk) {
+                Ok(0) => return Ok(()),
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if last_activity.elapsed() >= self.cfg.read_deadline {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            last_activity = Instant::now();
+            pending.extend_from_slice(&chunk[..n]);
+            while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = pending.drain(..=nl).collect();
+                let text = String::from_utf8_lossy(&line[..nl]);
+                let (response, close) = self.dispatch(text.trim(), conns);
+                stream.write_all(response.as_bytes())?;
+                stream.write_all(b"\n")?;
+                if close {
+                    return Ok(());
+                }
+            }
+            if pending.len() > MAX_LINE_BYTES {
+                let msg = Response::err(format!("line exceeds {MAX_LINE_BYTES} bytes"));
+                stream.write_all(msg.as_bytes())?;
+                stream.write_all(b"\n")?;
+                return Ok(());
+            }
+        }
+    }
+
+    fn dispatch(&self, line: &str, conns: &mut Conns) -> (String, bool) {
+        if line.is_empty() {
+            self.protocol_errors.inc();
+            return (Response::err("empty request line"), false);
+        }
+        // Router-only command, not part of the shard grammar.
+        if let Ok(v) = serde_json::from_str::<Value>(line) {
+            if v.get("cmd").and_then(Value::as_str) == Some("cluster_status") {
+                self.count_op("cluster_status");
+                return (self.cluster_status(), false);
+            }
+        }
+        let req = match protocol::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.protocol_errors.inc();
+                return (Response::err(e), false);
+            }
+        };
+        self.count_op(req.cmd_name());
+        match req {
+            Request::Ping => {
+                (Response::ok().field("pong", true).field("role", "router").build(), false)
+            }
+            Request::Stats => (self.stats(conns), false),
+            Request::Metrics { format } => (self.metrics(format), false),
+            Request::GetEmbedding { node } => (self.get_embedding(node, line, conns), false),
+            Request::TopK { node, k, op, filter } => {
+                if filter.is_some() {
+                    self.protocol_errors.inc();
+                    return (
+                        Response::err(
+                            "mod/rem are router-internal: the cluster owns the shard filter",
+                        ),
+                        false,
+                    );
+                }
+                (self.topk(node, k, op, conns), false)
+            }
+            Request::ScoreLink { u, v, op } => (self.score_link(u, v, op, line, conns), false),
+            Request::AddEdge { u, v, .. } | Request::RemoveEdge { u, v, .. } => {
+                (self.write(u, v, line, conns), false)
+            }
+            Request::Flush => (self.flush(conns), false),
+            Request::Snapshot => {
+                (self.fan_collect("snapshot", r#"{"cmd":"snapshot"}"#, conns), false)
+            }
+            Request::Restore => (self.fan_collect("restore", r#"{"cmd":"restore"}"#, conns), false),
+            Request::Shutdown => {
+                self.stop.store(true, Ordering::SeqCst);
+                (Response::ok().field("stopping", true).build(), true)
+            }
+        }
+    }
+
+    fn count_op(&self, op: &str) {
+        self.registry.counter_with("seqge_cluster_requests_total", &[("op", op)]).inc();
+    }
+
+    /// Fetches (dialing if needed) the cached connection for shard `s`.
+    fn client<'c>(&self, conns: &'c mut Conns, s: usize) -> Option<&'c mut Client> {
+        let info = shard_info(&self.shards, s);
+        if let Some((epoch, _)) = &conns[s] {
+            if *epoch != info.epoch {
+                conns[s] = None; // stale incarnation
+            }
+        }
+        if conns[s].is_none() {
+            let ccfg = ClientConfig {
+                timeout: self.cfg.deadline,
+                retries: 0,
+                client_id: format!("router-s{s}"),
+                ..ClientConfig::default()
+            };
+            match Client::connect_with(info.addr, ccfg) {
+                Ok(c) => conns[s] = Some((info.epoch, c)),
+                Err(_) => {
+                    self.shard_errors.inc();
+                    mark_unhealthy(&self.shards, s);
+                    return None;
+                }
+            }
+        }
+        conns[s].as_mut().map(|(_, c)| c)
+    }
+
+    fn drop_conn(&self, conns: &mut Conns, s: usize) {
+        conns[s] = None;
+        self.shard_errors.inc();
+        mark_unhealthy(&self.shards, s);
+    }
+
+    /// Pipelined scatter-gather: sends `line(s)` to every target shard,
+    /// then collects responses under one shared deadline. Returns one
+    /// `Option<Value>` per target (`None` = unreachable or past
+    /// deadline).
+    fn scatter_gather(
+        &self,
+        conns: &mut Conns,
+        targets: &[usize],
+        line: impl Fn(usize) -> String,
+    ) -> Vec<Option<Value>> {
+        let mut sent = vec![false; targets.len()];
+        for (i, &s) in targets.iter().enumerate() {
+            if let Some(c) = self.client(conns, s) {
+                match c.send_line(&line(s)) {
+                    Ok(()) => sent[i] = true,
+                    Err(_) => self.drop_conn(conns, s),
+                }
+            }
+        }
+        let deadline = Instant::now() + self.cfg.deadline;
+        let mut out = Vec::with_capacity(targets.len());
+        for (i, &s) in targets.iter().enumerate() {
+            if !sent[i] {
+                out.push(None);
+                continue;
+            }
+            let remaining =
+                deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(1));
+            let resp = {
+                let c = conns[s].as_mut().map(|(_, c)| c).expect("sent implies connected");
+                c.set_read_timeout(Some(remaining)).and_then(|()| c.recv_line())
+            };
+            match resp.ok().and_then(|r| serde_json::from_str::<Value>(&r).ok()) {
+                Some(v) => {
+                    // Restore the default timeout for future single calls.
+                    if let Some((_, c)) = conns[s].as_mut() {
+                        let _ = c.set_read_timeout(Some(self.cfg.deadline));
+                    }
+                    out.push(Some(v));
+                }
+                None => {
+                    self.drop_conn(conns, s);
+                    out.push(None);
+                }
+            }
+        }
+        out
+    }
+
+    /// Forwards one raw request line to shard `s`, returning the raw
+    /// response line (verbatim passthrough).
+    fn forward_one(&self, conns: &mut Conns, s: usize, line: &str) -> Option<String> {
+        let c = self.client(conns, s)?;
+        match c.call_raw(line) {
+            Ok(resp) => Some(resp),
+            Err(_) => {
+                self.drop_conn(conns, s);
+                None
+            }
+        }
+    }
+
+    fn all_shards(&self) -> Vec<usize> {
+        (0..self.num_shards()).collect()
+    }
+
+    fn missing_field(missing: &[usize]) -> Value {
+        Value::Array(missing.iter().map(|&s| Value::U64(s as u64)).collect())
+    }
+
+    fn stats(&self, conns: &mut Conns) -> String {
+        let targets = self.all_shards();
+        let got = self.scatter_gather(conns, &targets, |_| r#"{"cmd":"stats"}"#.to_string());
+        let mut missing = Vec::new();
+        let shards: Vec<Value> = got
+            .into_iter()
+            .enumerate()
+            .map(|(s, v)| match v {
+                Some(v) => v,
+                None => {
+                    missing.push(s);
+                    Value::Null
+                }
+            })
+            .collect();
+        if !missing.is_empty() {
+            self.degraded_total.inc();
+        }
+        Response::ok()
+            .field("role", "router")
+            .field("num_shards", self.num_shards())
+            .field("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .field("shards", Value::Array(shards))
+            .field("degraded", !missing.is_empty())
+            .field("missing_shards", Self::missing_field(&missing))
+            .build()
+    }
+
+    fn metrics(&self, format: MetricsFormat) -> String {
+        let global = Registry::global();
+        let regs: [&Registry; 2] = [self.registry.as_ref(), global];
+        let body = match format {
+            MetricsFormat::Prometheus => export::prometheus(&regs),
+            MetricsFormat::Json => export::dump_json(&regs),
+        };
+        Response::ok().field("format", format.as_str()).field("body", body).build()
+    }
+
+    fn get_embedding(&self, node: u32, line: &str, conns: &mut Conns) -> String {
+        let s = owner(node, self.num_shards());
+        if let Some(resp) = self.forward_one(conns, s, line) {
+            return resp;
+        }
+        self.degraded_total.inc();
+        if let Some(view) = &self.replicas[s] {
+            let snap = view.cell.load();
+            if let Some(row) = snap.embedding(node) {
+                let vec: Vec<Value> = row.iter().map(|&x| Value::F64(x as f64)).collect();
+                return Response::ok()
+                    .field("node", node)
+                    .field("version", snap.version)
+                    .field("embedding", Value::Array(vec))
+                    .field("source", "replica")
+                    .build();
+            }
+        }
+        Response::err(format!("degraded: shard {s} unavailable and no replica covers it"))
+    }
+
+    fn score_link(&self, u: u32, v: u32, op: EdgeOp, line: &str, conns: &mut Conns) -> String {
+        let (a, b) = edge_owners(u, v, self.num_shards());
+        // Either owner can answer: embeddings are global rows on every
+        // shard; the owner distinction only matters for training.
+        for s in std::iter::once(a).chain(b) {
+            if let Some(resp) = self.forward_one(conns, s, line) {
+                return resp;
+            }
+        }
+        self.degraded_total.inc();
+        if let Some(view) = &self.replicas[a] {
+            let snap = view.cell.load();
+            if let Some(score) = snap.score(u, v, op) {
+                return Response::ok()
+                    .field("u", u)
+                    .field("v", v)
+                    .field("op", op_name(op))
+                    .field("version", snap.version)
+                    .field("score", score)
+                    .field("source", "replica")
+                    .build();
+            }
+        }
+        Response::err(format!("degraded: shard {a} unavailable and no replica covers it"))
+    }
+
+    fn topk(&self, node: u32, k: usize, op: EdgeOp, conns: &mut Conns) -> String {
+        let n = self.num_shards();
+        let targets = self.all_shards();
+        let got = self.scatter_gather(conns, &targets, |s| {
+            format!(
+                r#"{{"cmd":"topk","node":{node},"k":{k},"op":"{}","mod":{n},"rem":{s}}}"#,
+                op_name(op)
+            )
+        });
+        let mut missing = Vec::new();
+        let mut errors = Vec::new();
+        let mut merged: Vec<(u32, f64)> = Vec::new();
+        for (s, v) in got.into_iter().enumerate() {
+            let Some(v) = v else {
+                missing.push(s);
+                continue;
+            };
+            if v.get("ok") != Some(&Value::Bool(true)) {
+                let msg = v.get("error").and_then(Value::as_str).unwrap_or("unknown").to_string();
+                errors.push(msg);
+                missing.push(s);
+                continue;
+            }
+            if let Some(items) = v.get("results").and_then(Value::as_array) {
+                for item in items {
+                    let (Some(id), Some(score)) = (
+                        item.get("node").and_then(Value::as_u64),
+                        item.get("score").and_then(Value::as_f64),
+                    ) else {
+                        continue;
+                    };
+                    merged.push((id as u32, score));
+                }
+            }
+        }
+        // Every shard rejected the query (e.g. node out of range): that
+        // is a real error, not degradation.
+        if missing.len() == self.num_shards() {
+            if let Some(e) = errors.first() {
+                return Response::err(e);
+            }
+            self.degraded_total.inc();
+            return Response::err("degraded: no shard reachable");
+        }
+        // Protocol total order: score desc, node id asc. Cross-shard ties
+        // are resolved here under the same rule every shard uses locally.
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(k);
+        let items: Vec<Value> = merged
+            .into_iter()
+            .map(|(v, s)| {
+                Value::Object(vec![
+                    ("node".to_string(), Value::U64(v as u64)),
+                    ("score".to_string(), Value::F64(s)),
+                ])
+            })
+            .collect();
+        if !missing.is_empty() {
+            self.degraded_total.inc();
+        }
+        Response::ok()
+            .field("node", node)
+            .field("op", op_name(op))
+            .field("results", Value::Array(items))
+            .field("degraded", !missing.is_empty())
+            .field("missing_shards", Self::missing_field(&missing))
+            .build()
+    }
+
+    fn write(&self, u: u32, v: u32, line: &str, conns: &mut Conns) -> String {
+        let (a, b) = edge_owners(u, v, self.num_shards());
+        let targets: Vec<usize> = std::iter::once(a).chain(b).collect();
+        let got = self.scatter_gather(conns, &targets, |_| line.to_string());
+        let mut first_ok: Option<Value> = None;
+        for (i, resp) in got.into_iter().enumerate() {
+            let s = targets[i];
+            let Some(resp) = resp else {
+                self.degraded_total.inc();
+                // Retryable by contract: the client backs off and resends
+                // the same WriteId; the shard that did ack dedups it.
+                return Response::err(format!("overloaded: shard {s} unavailable, retry"));
+            };
+            if resp.get("ok") != Some(&Value::Bool(true)) {
+                let msg =
+                    resp.get("error").and_then(Value::as_str).unwrap_or("unknown shard error");
+                // Keep the client's retry classification intact: an
+                // `overloaded` message must stay prefix-recognizable.
+                if msg.starts_with("overloaded") {
+                    return Response::err(msg);
+                }
+                return Response::err(format!("shard {s}: {msg}"));
+            }
+            first_ok.get_or_insert(resp);
+        }
+        let deduped = first_ok.as_ref().and_then(|r| r.get("deduped")) == Some(&Value::Bool(true));
+        Response::ok()
+            .field("queued", true)
+            .field("deduped", deduped)
+            .field("shards", Value::Array(targets.iter().map(|&s| Value::U64(s as u64)).collect()))
+            .build()
+    }
+
+    fn flush(&self, conns: &mut Conns) -> String {
+        let targets = self.all_shards();
+        let got = self.scatter_gather(conns, &targets, |_| r#"{"cmd":"flush"}"#.to_string());
+        let mut versions = Vec::with_capacity(targets.len());
+        for (s, v) in got.into_iter().enumerate() {
+            let version = v
+                .filter(|v| v.get("ok") == Some(&Value::Bool(true)))
+                .and_then(|v| v.get("version").and_then(Value::as_u64));
+            match version {
+                Some(ver) => versions.push(ver),
+                None => {
+                    self.degraded_total.inc();
+                    // A partial barrier is not a barrier; make it
+                    // retryable instead.
+                    return Response::err(format!("overloaded: shard {s} unavailable, retry"));
+                }
+            }
+        }
+        let max = versions.iter().copied().max().unwrap_or(0);
+        Response::ok()
+            .field("version", max)
+            .field("versions", Value::Array(versions.into_iter().map(Value::U64).collect()))
+            .build()
+    }
+
+    /// Generic all-shard fan-out that reports per-shard responses plus
+    /// degradation (used by `snapshot` and `restore`).
+    fn fan_collect(&self, _op: &str, line: &str, conns: &mut Conns) -> String {
+        let targets = self.all_shards();
+        let got = self.scatter_gather(conns, &targets, |_| line.to_string());
+        let mut missing = Vec::new();
+        let shards: Vec<Value> = got
+            .into_iter()
+            .enumerate()
+            .map(|(s, v)| match v {
+                Some(v) => v,
+                None => {
+                    missing.push(s);
+                    Value::Null
+                }
+            })
+            .collect();
+        if !missing.is_empty() {
+            self.degraded_total.inc();
+        }
+        Response::ok()
+            .field("shards", Value::Array(shards))
+            .field("degraded", !missing.is_empty())
+            .field("missing_shards", Self::missing_field(&missing))
+            .build()
+    }
+
+    fn cluster_status(&self) -> String {
+        let shards: Vec<Value> = (0..self.num_shards())
+            .map(|s| {
+                let info = shard_info(&self.shards, s);
+                let mut fields = vec![
+                    ("shard".to_string(), Value::U64(s as u64)),
+                    ("addr".to_string(), Value::Str(info.addr.to_string())),
+                    ("epoch".to_string(), Value::U64(info.epoch)),
+                    ("healthy".to_string(), Value::Bool(info.healthy)),
+                ];
+                match &self.replicas[s] {
+                    Some(view) => fields.push((
+                        "replica_applied_seq".to_string(),
+                        Value::U64(view.applied.load(Ordering::SeqCst)),
+                    )),
+                    None => fields.push(("replica_applied_seq".to_string(), Value::Null)),
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        let healthy =
+            shards.iter().filter(|v| v.get("healthy") == Some(&Value::Bool(true))).count();
+        Response::ok()
+            .field("role", "router")
+            .field("num_shards", self.num_shards())
+            .field("healthy_shards", healthy)
+            .field("uptime_ms", self.started.elapsed().as_millis() as u64)
+            .field("shards", Value::Array(shards))
+            .build()
+    }
+}

@@ -1,0 +1,410 @@
+//! Cluster end-to-end suite.
+//!
+//! Scenarios:
+//!
+//! 1. **1-shard equivalence** — a one-shard cluster is byte-for-byte the
+//!    single-node service: every embedding row matches an in-process
+//!    reference trainer fed the same event stream.
+//! 2. **kill -9 one shard** — a 4-shard child-backed cluster loses one
+//!    shard mid-stream; writes targeting it answer `overloaded` (the
+//!    client backs off and retries with the same WriteId), the health
+//!    loop respawns it, WAL replay restores its state, and the final
+//!    embeddings are bit-identical to an uninterrupted run of the same
+//!    stream. Seeds come from `SEQGE_CLUSTER_SEED` (comma-separated; CI
+//!    fans a matrix).
+//! 3. **cross-shard topk agreement** — on a planted-community graph
+//!    (communities laid along residue classes mod 4, so each community
+//!    is shard-pure), the sharded `topk` recovers the same community
+//!    structure as a single-node run. Exact score equality across the
+//!    two deployments is *not* expected — shard-local training sees
+//!    only edges touching its slice, and the OS-ELM `P` matrix and walk
+//!    RNG are global state in single-node training — so the assertion
+//!    is structural, as documented in DESIGN.md.
+//! 4. **degraded reads + replica fallback** — a router over a table with
+//!    one dead shard serves `topk` with `degraded: true` + the missing
+//!    shard list, and serves `get_embedding` for the dead shard's nodes
+//!    from a WAL-fed replica tagged `"source": "replica"`.
+
+use seqge_cluster::{
+    owner, start_router, train_cfg, Backend, Cluster, ClusterConfig, ReplicaView, RouterConfig,
+};
+use seqge_core::model::EmbeddingModel;
+use seqge_graph::generators::classic::erdos_renyi;
+use seqge_graph::{spanning_forest, EdgeEvent, Graph, NodeId};
+use seqge_sampling::UpdatePolicy;
+use seqge_serve::{boot_cold, Client, ClientConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const DIM: usize = 8;
+const SEED: u64 = 11;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seqge_cluster_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn client(addr: &str) -> Client {
+    Client::connect_with(
+        addr,
+        ClientConfig {
+            timeout: Duration::from_secs(5),
+            retries: 12,
+            client_id: "e2e".to_string(),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("client connects to router")
+}
+
+/// The chaos-suite graph: a spanning forest committed up front, the held
+/// out edges streamed live.
+fn test_stream(graph_seed: u64) -> (Graph, Vec<(u32, u32)>) {
+    let full = erdos_renyi(40, 0.18, graph_seed);
+    let split = spanning_forest(&full);
+    let initial = split.initial_graph(&full);
+    (initial, split.removed_edges)
+}
+
+fn embedding_rows(model: &seqge_core::OsElmSkipGram) -> Vec<Vec<f32>> {
+    let emb = model.embedding();
+    (0..emb.rows()).map(|r| emb.as_slice()[r * emb.cols()..(r + 1) * emb.cols()].to_vec()).collect()
+}
+
+#[test]
+fn one_shard_cluster_is_bit_identical_to_single_node() {
+    let base = scratch("one");
+    let (initial, edges) = test_stream(7);
+    let cfg = ClusterConfig::in_process(1, base.clone(), DIM, SEED);
+    let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
+
+    // Reference: the exact single-node construction, fed the same stream.
+    // The shard boots through WAL recovery (bootstrap pass, commit,
+    // recover), so the reference is a bootstrap-trained model driven by a
+    // *fresh* trainer — `boot_restore` semantics.
+    let (mut model, _boot_inc) = boot_cold(
+        &initial,
+        &train_cfg(DIM),
+        seqge_cluster::oselm_cfg(DIM),
+        UpdatePolicy::every_edge(),
+        SEED,
+    );
+    let mut inc = seqge_core::IncrementalTrainer::new(
+        initial.num_nodes(),
+        &train_cfg(DIM),
+        UpdatePolicy::every_edge(),
+        SEED,
+    );
+    let mut reference_graph = initial.clone();
+
+    let mut c = client(&cluster.addr().to_string());
+    for &(u, v) in &edges {
+        c.add_edge(u, v).expect("routed write acks");
+        let _ = inc.ingest(&mut reference_graph, EdgeEvent::Add(u, v), &mut model);
+    }
+    c.flush().expect("flush barrier");
+
+    for (n, want) in embedding_rows(&model).iter().enumerate() {
+        let got = c.get_embedding(n as u32).expect("row readable");
+        assert_eq!(&got, want, "node {n}: one-shard cluster diverged from single-node");
+    }
+    // Sanity on the merged stats plane.
+    let stats = c.stats().expect("stats fan-out");
+    assert_eq!(stats.get("degraded"), Some(&serde_json::Value::Bool(false)));
+    drop(c);
+    cluster.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Seeds for the kill -9 scenario, from `SEQGE_CLUSTER_SEED` (CI matrix).
+fn cluster_seeds() -> Vec<u64> {
+    match std::env::var("SEQGE_CLUSTER_SEED") {
+        Ok(s) => s
+            .split(',')
+            .map(|p| p.trim().parse().expect("SEQGE_CLUSTER_SEED: comma-separated u64s"))
+            .collect(),
+        Err(_) => vec![1],
+    }
+}
+
+#[test]
+fn kill9_one_shard_recovers_bit_identical_to_uninterrupted_run() {
+    for seed in cluster_seeds() {
+        run_kill9_scenario(seed);
+    }
+}
+
+fn run_kill9_scenario(seed: u64) {
+    const SHARDS: usize = 4;
+    let exe = PathBuf::from(env!("CARGO_BIN_EXE_shardd"));
+    let (initial, edges) = test_stream(7 ^ seed);
+    assert!(edges.len() >= 20, "need a real stream, got {}", edges.len());
+    let kill_at = edges.len() / 4 + (seed as usize % (edges.len() / 2));
+
+    let mut runs: Vec<Vec<Vec<f32>>> = Vec::new();
+    for interrupted in [true, false] {
+        let tag = if interrupted { "kill9_a" } else { "kill9_b" };
+        let base = scratch(&format!("{tag}_{seed}"));
+        let cfg = ClusterConfig {
+            replicas: 1,
+            backend: Backend::Child { exe: exe.clone() },
+            ..ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED)
+        };
+        let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
+        let mut c = client(&cluster.addr().to_string());
+
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if interrupted && i == kill_at {
+                // SIGKILL the owner of the next write's first endpoint:
+                // the write is guaranteed to hit the dead shard and take
+                // the overloaded-retry path.
+                cluster.kill_child(owner(u, SHARDS));
+            }
+            c.add_edge(u, v)
+                .unwrap_or_else(|e| panic!("seed {seed}: write ({u},{v}) never succeeded: {e}"));
+        }
+        c.flush().expect("flush barrier");
+
+        if interrupted {
+            // The storm must have been observable: the router degraded at
+            // least one call while the shard was down.
+            let metrics = c.metrics("json").expect("metrics fan");
+            assert!(
+                metrics.contains("seqge_cluster_degraded_total")
+                    || metrics.contains("seqge_cluster_shard_errors_total"),
+                "seed {seed}: router metrics missing cluster series"
+            );
+            let status = c.call(r#"{"cmd":"cluster_status"}"#).expect("cluster_status");
+            let shards = status.get("shards").and_then(serde_json::Value::as_array).unwrap();
+            assert_eq!(shards.len(), SHARDS);
+            // The killed shard respawned: epoch advanced past 1.
+            let max_epoch = shards
+                .iter()
+                .filter_map(|s| s.get("epoch").and_then(serde_json::Value::as_u64))
+                .max()
+                .unwrap();
+            assert!(max_epoch >= 2, "seed {seed}: no shard was ever respawned");
+        }
+
+        let rows: Vec<Vec<f32>> = (0..initial.num_nodes() as NodeId)
+            .map(|n| c.get_embedding(n).expect("row readable"))
+            .collect();
+        runs.push(rows);
+        drop(c);
+        cluster.shutdown().expect("clean shutdown");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    for (n, (a, b)) in runs[0].iter().zip(&runs[1]).enumerate() {
+        assert_eq!(
+            a, b,
+            "seed {seed}, node {n}: kill -9 + WAL replay diverged from uninterrupted run"
+        );
+    }
+}
+
+/// Four shard-pure communities: community `c` is the residue class
+/// `{c, c+4, …}` — dense inside, sparse across. Every node also gets one
+/// neighbor in each *other* residue class (offsets 1..3): cross-shard
+/// score merging assumes every shard has trained the query node's row,
+/// which holds exactly when each node has an edge into every shard's
+/// slice (see DESIGN.md, "Cross-shard score comparability").
+fn community_graph(nodes: usize) -> Graph {
+    const SHARDS: u32 = 4;
+    let mut edges = Vec::new();
+    for u in 0..nodes as u32 {
+        for v in (u + 1)..nodes as u32 {
+            if u % SHARDS == v % SHARDS {
+                edges.push((u, v)); // intra-community clique
+            }
+        }
+    }
+    // Sparse inter-community rings touching every residue class.
+    for u in 0..nodes as u32 {
+        for off in 1..SHARDS {
+            edges.push((u, (u + off) % nodes as u32));
+        }
+    }
+    Graph::from_edges_lossy(nodes, &edges)
+}
+
+#[test]
+fn four_shard_topk_agrees_with_single_node_on_community_structure() {
+    const SHARDS: usize = 4;
+    const NODES: usize = 48;
+    const K: usize = 5;
+    let graph = community_graph(NODES);
+
+    // Single-node reference ranking.
+    let (model, _inc) = boot_cold(
+        &graph,
+        &train_cfg(DIM),
+        seqge_cluster::oselm_cfg(DIM),
+        UpdatePolicy::every_edge(),
+        SEED,
+    );
+    let single = seqge_serve::snapshot::EmbeddingSnapshot {
+        version: 0,
+        emb: model.embedding(),
+        num_edges: graph.num_edges(),
+        walks_trained: 0,
+        edges_inserted: 0,
+        edges_removed: 0,
+    };
+
+    let base = scratch("topk");
+    let cfg = ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED);
+    let cluster = Cluster::start(&cfg, &graph).expect("cluster boots");
+    let mut c = client(&cluster.addr().to_string());
+
+    let mut single_hits = 0usize;
+    let mut cluster_hits = 0usize;
+    let queries: Vec<u32> = (0..NODES as u32).collect();
+    for &q in &queries {
+        let want_comm = q % SHARDS as u32;
+        let reference = single.topk(q, K, seqge_eval::EdgeOp::Cosine).expect("query node in range");
+        single_hits += reference.iter().filter(|(v, _)| v % SHARDS as u32 == want_comm).count();
+        let routed = c.topk(q, K, seqge_eval::EdgeOp::Cosine).expect("routed topk");
+        assert_eq!(routed.len(), K, "router merged fewer than k results");
+        cluster_hits += routed.iter().filter(|(v, _)| v % SHARDS as u32 == want_comm).count();
+    }
+    // Both deployments must recover the planted communities: on average
+    // at least 2 of the top-5 neighbors are community members (the
+    // comparability edges — one per foreign residue class per node — cap
+    // the attainable purity well below a clean planted partition), and
+    // the sharded deployment must not lag the single-node one by more
+    // than a quarter. Exact rank agreement is impossible by construction:
+    // each shard trains an independent model (own P matrix, own RNG), so
+    // only the structural signal is comparable (see DESIGN.md).
+    let floor = queries.len() * 2;
+    eprintln!(
+        "community recovery: single {single_hits}/{t}, cluster {cluster_hits}/{t}",
+        t = queries.len() * K
+    );
+    assert!(
+        single_hits >= floor,
+        "single-node failed community recovery: {single_hits}/{} < {floor}",
+        queries.len() * K
+    );
+    assert!(
+        cluster_hits >= floor,
+        "cluster failed community recovery: {cluster_hits}/{} < {floor}",
+        queries.len() * K
+    );
+    assert!(
+        cluster_hits * 4 >= single_hits * 3,
+        "sharded topk lost the community signal: cluster {cluster_hits} vs single {single_hits}"
+    );
+    drop(c);
+    cluster.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn dead_shard_degrades_topk_and_replica_serves_reads() {
+    const SHARDS: usize = 2;
+    let base = scratch("degraded");
+    let (initial, edges) = test_stream(7);
+
+    // Boot a real 2-shard in-process cluster, stream some edges, then
+    // build a *second* router whose table points shard 1 at a dead port.
+    let cfg =
+        ClusterConfig { replicas: 1, ..ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED) };
+    let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
+    let mut c = client(&cluster.addr().to_string());
+    for &(u, v) in &edges[..edges.len() / 2] {
+        c.add_edge(u, v).expect("write acks");
+    }
+    c.flush().expect("flush");
+    // Read every row through the healthy path first (replica will be
+    // compared against these exact bytes).
+    let healthy_rows: Vec<Vec<f32>> =
+        (0..initial.num_nodes() as u32).map(|n| c.get_embedding(n).expect("row")).collect();
+
+    // Give the replica a moment to drain the tail, then wire the broken
+    // router: shard 0 live, shard 1 pointed at a port nothing listens on.
+    let dead: std::net::SocketAddr = "127.0.0.1:9".parse().unwrap();
+    let table = seqge_cluster::shard::shard_table(&[cluster.shard_addrs()[0], dead]);
+    let replica = seqge_cluster::Replica::start(
+        &base.join("shard-1"),
+        seqge_cluster::ReplicaConfig {
+            train: train_cfg(DIM),
+            refresh_every: 0,
+            seed: SEED,
+            poll: Duration::from_millis(10),
+        },
+    )
+    .expect("replica boots");
+    // Wait for the replica to catch up to the primary's applied stream.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = replica.cell().load();
+        let owned_caught_up = (0..initial.num_nodes() as u32)
+            .filter(|v| owner(*v, SHARDS) == 1)
+            .all(|v| snap.embedding(v).map(|r| r == &healthy_rows[v as usize][..]) == Some(true));
+        if owned_caught_up {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "replica never caught up to primary");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let views =
+        vec![None, Some(ReplicaView { cell: replica.cell(), applied: replica.applied_counter() })];
+    let router = start_router(
+        "127.0.0.1:0",
+        table,
+        views,
+        RouterConfig { deadline: Duration::from_millis(300), ..RouterConfig::default() },
+    )
+    .expect("broken router boots");
+
+    let mut broken = Client::connect_with(
+        router.addr(),
+        ClientConfig { timeout: Duration::from_secs(5), retries: 0, ..ClientConfig::default() },
+    )
+    .expect("client connects");
+
+    // topk: partial result, flagged.
+    let v = broken.call(r#"{"cmd":"topk","node":0,"k":3}"#).expect("degraded topk still ok");
+    assert_eq!(v.get("degraded"), Some(&serde_json::Value::Bool(true)));
+    let missing = v.get("missing_shards").and_then(serde_json::Value::as_array).unwrap();
+    assert_eq!(missing.len(), 1, "exactly shard 1 missing: {v:?}");
+
+    // get_embedding for a shard-1 node: answered by the replica, bit-
+    // identical to the primary's row.
+    let odd = (0..initial.num_nodes() as u32).find(|v| owner(*v, SHARDS) == 1).unwrap();
+    let resp = broken
+        .call(&format!(r#"{{"cmd":"get_embedding","node":{odd}}}"#))
+        .expect("replica fallback");
+    assert_eq!(
+        resp.get("source").and_then(serde_json::Value::as_str),
+        Some("replica"),
+        "expected the replica to answer: {resp:?}"
+    );
+    let row: Vec<f32> = resp
+        .get("embedding")
+        .and_then(serde_json::Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|x| x.as_f64().unwrap() as f32)
+        .collect();
+    assert_eq!(row, healthy_rows[odd as usize], "replica row diverged from primary");
+
+    // cluster_status reports the broken shard and the replica's horizon.
+    let status = broken.call(r#"{"cmd":"cluster_status"}"#).expect("status");
+    let shards = status.get("shards").and_then(serde_json::Value::as_array).unwrap();
+    assert_eq!(
+        shards[1].get("healthy"),
+        Some(&serde_json::Value::Bool(false)),
+        "dead shard not marked unhealthy: {status:?}"
+    );
+
+    drop(broken);
+    router.shutdown().expect("router down");
+    replica.stop();
+    drop(c);
+    cluster.shutdown().expect("cluster down");
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,0 +1,146 @@
+//! Adversarial protocol-framing property tests against the *router*.
+//!
+//! The router fronts the whole cluster, so a wedged router is a wedged
+//! deployment. Same contract as the single-node server (see
+//! `crates/serve/tests/proto_prop.rs`): arbitrary bytes, truncated
+//! requests, type-confused JSON, and oversized lines each get exactly one
+//! `ok:false` reply, only the length cap closes the connection, and a
+//! `ping` still answers afterward — the garbage must never reach a shard
+//! as a half-parsed write, panic a worker, or hang the scatter-gather
+//! path.
+
+use proptest::prelude::*;
+use seqge_cluster::{Cluster, ClusterConfig};
+use seqge_graph::generators::classic::erdos_renyi;
+use seqge_serve::protocol::MAX_LINE_BYTES;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+const DIM: usize = 4;
+const SEED: u64 = 9;
+
+/// One shared 2-shard in-process cluster for every generated case. The
+/// cluster is forgotten (not torn down): it lives for the binary's life,
+/// and the scratch WAL directory is process-unique.
+fn router_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let base = std::env::temp_dir().join(format!("seqge_routerprop_{}", std::process::id()));
+        let graph = erdos_renyi(12, 0.3, 42);
+        let cfg = ClusterConfig::in_process(2, base, DIM, SEED);
+        let cluster = Cluster::start(&cfg, &graph).expect("prop cluster boots");
+        let addr = cluster.addr();
+        std::mem::forget(cluster);
+        addr
+    })
+}
+
+fn connect() -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(router_addr()).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+fn send_raw(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &[u8]) -> String {
+    stream.write_all(line).expect("write line");
+    stream.write_all(b"\n").expect("write newline");
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply).expect("router must reply, not hang");
+    assert!(n > 0, "router closed instead of replying");
+    reply.trim_end().to_string()
+}
+
+fn assert_error_reply(reply: &str) -> String {
+    let v: Value =
+        serde_json::from_str(reply).unwrap_or_else(|e| panic!("reply is not JSON ({e}): {reply}"));
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "garbage must be refused: {reply}");
+    v.get("error").and_then(Value::as_str).expect("error string present").to_string()
+}
+
+/// The liveness probe doubles as a routing check: the reply must come from
+/// the router itself, not be blind-forwarded to a shard.
+fn assert_alive(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>) {
+    let reply = send_raw(stream, reader, br#"{"cmd":"ping"}"#);
+    let v: Value = serde_json::from_str(&reply).expect("ping reply is JSON");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "ping after garbage: {reply}");
+    assert_eq!(v.get("role").and_then(Value::as_str), Some("router"), "router answers pings");
+}
+
+/// Router-specific confusion on top of the generic shapes: garbage around
+/// the `cluster_status` peek path and the router-internal topk filter.
+const CONFUSED: &[&str] = &[
+    r#"{"cmd":"no_such_op"}"#,
+    r#"{"cmd":42}"#,
+    r#"{"notcmd":true,"extra":[{"deep":{"deeper":null}}]}"#,
+    r#"{"cmd":"cluster_statu"}"#,
+    r#"{"cmd":["cluster_status"]}"#,
+    r#"{"cmd":"topk","node":0,"k":1,"mod":2,"rem":0}"#,
+    r#"{"cmd":"topk","node":0,"k":1,"rem":1}"#,
+    r#"{"cmd":"add_edge","u":"zero","v":1}"#,
+    r#"{"cmd":"score_link","u":0}"#,
+    r#"{"cmd":"get_embedding","node":-3}"#,
+    r#"{}"#,
+    r#"[]"#,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary non-newline bytes: one error reply per line, connection
+    /// survives, and the router (not a shard) still answers pings.
+    #[test]
+    fn arbitrary_bytes_get_an_error_reply_and_never_wedge(
+        raw in proptest::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let line: Vec<u8> = raw.iter().map(|&b| if b == b'\n' { b' ' } else { b }).collect();
+        let (mut stream, mut reader) = connect();
+        let reply = send_raw(&mut stream, &mut reader, &line);
+        assert_error_reply(&reply);
+        assert_alive(&mut stream, &mut reader);
+    }
+
+    /// Every proper prefix of a valid write is refused at the router —
+    /// nothing half-parsed may fan out to the shards.
+    #[test]
+    fn truncated_requests_are_refused_not_fanned_out(
+        u in 0u32..12, v in 0u32..12, pct in 0usize..100,
+    ) {
+        let full = format!(r#"{{"cmd":"add_edge","u":{u},"v":{v}}}"#);
+        let cut = pct * (full.len() - 1) / 100; // always a *proper* prefix
+        let (mut stream, mut reader) = connect();
+        let reply = send_raw(&mut stream, &mut reader, &full.as_bytes()[..cut]);
+        assert_error_reply(&reply);
+        assert_alive(&mut stream, &mut reader);
+    }
+
+    /// Well-formed JSON that is not a well-formed request — including the
+    /// router-reserved `mod`/`rem` topk fields — is refused with an error.
+    #[test]
+    fn type_confused_json_is_refused(idx in 0usize..12) {
+        let (mut stream, mut reader) = connect();
+        let reply = send_raw(&mut stream, &mut reader, CONFUSED[idx].as_bytes());
+        let err = assert_error_reply(&reply);
+        assert!(!err.is_empty(), "error message must not be empty");
+        assert_alive(&mut stream, &mut reader);
+    }
+
+    /// A line past the cap: one error reply, then close. The router must
+    /// not buffer unboundedly while scatter-gather connections sit idle.
+    #[test]
+    fn oversized_lines_are_answered_then_closed(pad in 1usize..1024) {
+        let (mut stream, mut reader) = connect();
+        let line = vec![b'x'; MAX_LINE_BYTES + pad];
+        stream.write_all(&line).expect("write oversized");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("cap reply, not a hang");
+        let err = assert_error_reply(reply.trim_end());
+        prop_assert!(err.contains("exceeds"), "cap error names the limit: {}", err);
+        let mut rest = String::new();
+        let n = reader.read_line(&mut rest).expect("read after cap reply");
+        prop_assert_eq!(n, 0, "router must close after the cap reply");
+    }
+}

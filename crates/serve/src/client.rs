@@ -171,14 +171,36 @@ impl Client {
     /// Sends one raw request line, returns the raw response line. Single
     /// attempt — retry policy lives in [`Client::call`].
     pub fn call_raw(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// Pipelining half 1: writes one request line without waiting for the
+    /// response. The cluster router fans a query out by sending to every
+    /// shard first, then collecting responses — wall clock is the slowest
+    /// shard, not the sum.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Pipelining half 2: reads one response line (blocking up to the
+    /// configured timeout, see [`Client::set_read_timeout`]).
+    pub fn recv_line(&mut self) -> io::Result<String> {
         let mut resp = String::new();
         let n = self.reader.read_line(&mut resp)?;
         if n == 0 {
             return Err(io::Error::new(ErrorKind::UnexpectedEof, "server closed connection"));
         }
         Ok(resp.trim_end().to_string())
+    }
+
+    /// Overrides the socket read timeout for subsequent receives. The
+    /// router shrinks this to each shard's *remaining* deadline while
+    /// gathering a fan-out, so one slow shard cannot hold the whole reply
+    /// past the budget.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
     }
 
     fn call_once(&mut self, line: &str) -> io::Result<Value> {

@@ -1,0 +1,224 @@
+//! Bounded write-dedup table.
+//!
+//! Retried writes carry a [`crate::protocol::WriteId`] (`client` + `seq`),
+//! and the server answers `deduped: true` for any sequence number at or
+//! below the client's high-water mark instead of double-applying. PR 4
+//! stored those marks in a plain `HashMap` that was wholesale cleared when
+//! it filled — correct (the graph invariants are the real backstop) but
+//! with a nasty cliff: one clear forgot *every* client at once.
+//!
+//! This table bounds memory with a sliding recency window instead. Each
+//! `record` stamps the client with a monotone tick and pushes the stamp on
+//! a queue; once more than `max_clients` distinct clients are tracked, the
+//! stalest clients (by last stamp) are evicted as the window slides over
+//! them. Active clients keep their marks indefinitely; only clients idle
+//! for a full window's worth of writes fall out. The queue uses lazy
+//! invalidation (stale stamps are skipped on pop), so both structures stay
+//! within a constant factor of `max_clients` no matter how many writes —
+//! or retries — pass through. The 1M-retry unit test below pins that down.
+
+use crate::protocol::WriteId;
+use std::collections::HashMap;
+
+/// Per-client entry: high-water sequence number + last-touch tick.
+struct Entry {
+    seq: u64,
+    tick: u64,
+}
+
+/// A bounded map from client id to highest acked write sequence number.
+///
+/// Not internally synchronized — the server wraps it in a `Mutex` (the
+/// critical section is a hash probe, far from contended next to a WAL
+/// append).
+pub struct DedupTable {
+    max_clients: usize,
+    tick: u64,
+    map: HashMap<String, Entry>,
+    /// Recency window: `(tick, client)` stamps in issue order. A client's
+    /// live stamp is the one matching `map[client].tick`; older stamps are
+    /// skipped when they surface (lazy invalidation).
+    window: Vec<(u64, String)>,
+    /// Index of the first unconsumed stamp in `window` (the window is
+    /// compacted once the consumed prefix dominates).
+    head: usize,
+    evictions: u64,
+}
+
+impl DedupTable {
+    /// Creates a table remembering at most `max_clients` distinct clients
+    /// (minimum 1).
+    pub fn new(max_clients: usize) -> Self {
+        DedupTable {
+            max_clients: max_clients.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            window: Vec::new(),
+            head: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Whether `id` is a retry of an already-acked write (its `seq` is at
+    /// or below the client's high-water mark).
+    pub fn already_acked(&self, id: &WriteId) -> bool {
+        self.map.get(&id.client).is_some_and(|e| id.seq <= e.seq)
+    }
+
+    /// Records an acked write, advancing the client's high-water mark and
+    /// sliding the recency window (possibly evicting stale clients).
+    pub fn record(&mut self, id: &WriteId) {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&id.client) {
+            Some(e) => {
+                e.seq = e.seq.max(id.seq);
+                e.tick = tick;
+            }
+            None => {
+                self.map.insert(id.client.clone(), Entry { seq: id.seq, tick });
+            }
+        }
+        self.window.push((tick, id.client.clone()));
+        self.slide();
+    }
+
+    /// Evicts stalest clients until at most `max_clients` remain, then
+    /// compacts the consumed window prefix. Every pop retires one stamp, so
+    /// the amortized cost per `record` is O(1) and `window` never holds
+    /// more than `2 * max_clients + 1` live-or-stale stamps after a slide
+    /// settles (each tracked client has exactly one live stamp; stale
+    /// stamps are bounded by the compaction threshold).
+    fn slide(&mut self) {
+        while self.map.len() > self.max_clients
+            || self.window.len() - self.head > 2 * self.max_clients
+        {
+            let (tick, client) = {
+                let s = &self.window[self.head];
+                (s.0, s.1.clone())
+            };
+            self.head += 1;
+            // Only a client's *latest* stamp is live; an older one means the
+            // client was touched again later and must not be evicted here.
+            let live = self.map.get(&client).is_some_and(|e| e.tick == tick);
+            if live && self.map.len() > self.max_clients {
+                self.map.remove(&client);
+                self.evictions += 1;
+            } else if live {
+                // Live stamp surfaced while only compacting: re-stamp at the
+                // tail so the client stays tracked with a fresh stamp.
+                self.tick += 1;
+                let t = self.tick;
+                if let Some(e) = self.map.get_mut(&client) {
+                    e.tick = t;
+                }
+                self.window.push((t, client));
+            }
+        }
+        if self.head > self.max_clients && self.head * 2 >= self.window.len() {
+            self.window.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    /// Distinct clients currently tracked.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no client is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Clients evicted by the sliding window since creation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Stamps currently buffered (live + stale); exposed so tests can
+    /// assert memory stays flat.
+    pub fn window_len(&self) -> usize {
+        self.window.len() - self.head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(client: &str, seq: u64) -> WriteId {
+        WriteId { client: client.to_string(), seq }
+    }
+
+    #[test]
+    fn dedups_at_or_below_high_water_mark() {
+        let mut t = DedupTable::new(8);
+        assert!(!t.already_acked(&id("a", 1)));
+        t.record(&id("a", 3));
+        assert!(t.already_acked(&id("a", 1)));
+        assert!(t.already_acked(&id("a", 3)));
+        assert!(!t.already_acked(&id("a", 4)));
+        assert!(!t.already_acked(&id("b", 1)));
+    }
+
+    #[test]
+    fn evicts_stalest_client_first() {
+        let mut t = DedupTable::new(2);
+        t.record(&id("a", 1));
+        t.record(&id("b", 1));
+        t.record(&id("a", 2)); // refresh a: b is now the stalest
+        t.record(&id("c", 1)); // window slides over b
+        assert_eq!(t.len(), 2);
+        assert!(t.already_acked(&id("a", 2)));
+        assert!(t.already_acked(&id("c", 1)));
+        assert!(!t.already_acked(&id("b", 1)), "stalest client was evicted");
+        assert_eq!(t.evictions(), 1);
+    }
+
+    /// The satellite's acceptance test: a million retried writes (heavy
+    /// re-stamping of a bounded client population plus a drifting tail of
+    /// one-shot clients) must keep both the map and the stamp window flat.
+    #[test]
+    fn memory_stays_flat_over_one_million_retried_writes() {
+        const CAP: usize = 512;
+        let mut t = DedupTable::new(CAP);
+        let mut max_window = 0usize;
+        for i in 0u64..1_000_000 {
+            // 3/4 of traffic: retries from a hot pool twice the cap wide, so
+            // eviction runs continuously; 1/4: fresh one-shot clients.
+            let w = if i % 4 != 0 {
+                id(&format!("hot-{}", i % (2 * CAP as u64)), i / 7 + 1)
+            } else {
+                id(&format!("cold-{i}"), 1)
+            };
+            // Every write is immediately retried: the second attempt must
+            // dedup (its seq equals the recorded high-water mark).
+            if !t.already_acked(&w) {
+                t.record(&w);
+            }
+            assert!(t.already_acked(&w), "write {i} not remembered immediately after record");
+            assert!(t.len() <= CAP, "map grew past cap at write {i}: {}", t.len());
+            max_window = max_window.max(t.window_len());
+        }
+        assert!(
+            max_window <= 2 * CAP + 2,
+            "stamp window not flat: peaked at {max_window} (cap {CAP})"
+        );
+        assert!(t.evictions() > 0, "eviction never exercised");
+    }
+
+    #[test]
+    fn hot_client_survives_cold_churn() {
+        let mut t = DedupTable::new(4);
+        t.record(&id("hot", 10));
+        for i in 0..100u64 {
+            t.record(&id(&format!("cold-{i}"), 1));
+            // Touch the hot client every other write: it must never age out.
+            if i % 2 == 0 {
+                t.record(&id("hot", 10 + i));
+            }
+        }
+        assert!(t.already_acked(&id("hot", 10)), "hot client evicted despite constant traffic");
+    }
+}

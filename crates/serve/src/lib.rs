@@ -30,19 +30,24 @@
 //! Modules: [`protocol`] (wire grammar), [`snapshot`] (read-optimized
 //! state + publication cell), [`trainer`] (write plane), [`server`] (TCP
 //! front end), [`client`] (scriptable reference client), [`wal`]
-//! (durability), [`fault`] (failure injection).
+//! (durability), [`fault`] (failure injection), [`dedup`] (bounded
+//! retry-dedup table), [`ready`] (port-0 readiness handshake for spawned
+//! daemons).
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod dedup;
 pub mod fault;
 pub mod protocol;
+pub mod ready;
 pub mod server;
 pub mod snapshot;
 pub mod trainer;
 pub mod wal;
 
 pub use client::{Client, ClientConfig};
+pub use dedup::DedupTable;
 pub use fault::{FaultInjector, FaultPoint};
 pub use protocol::{parse_request, Request, Response, WriteId, MAX_LINE_BYTES};
 pub use server::{boot_cold, boot_restore, boot_wal, start, ServeConfig, ServerHandle};

@@ -13,7 +13,7 @@
 //! | `ping`          | —                             | read   |
 //! | `stats`         | —                             | read   |
 //! | `get_embedding` | `node`                        | read   |
-//! | `topk`          | `node`, `k?=10`, `op?=cosine` | read   |
+//! | `topk`          | `node`, `k?=10`, `op?=cosine`, `mod?`, `rem?` | read |
 //! | `score_link`    | `u`, `v`, `op?=cosine`        | read   |
 //! | `add_edge`      | `u`, `v`, `client?`, `seq?`   | write  |
 //! | `remove_edge`   | `u`, `v`, `client?`, `seq?`   | write  |
@@ -23,7 +23,10 @@
 //! | `metrics`       | `format?="prometheus"`        | read   |
 //! | `shutdown`      | —                             | ctrl   |
 //!
-//! `op` is one of `"dot"`, `"cosine"`, `"neg_l2"`. Lines longer than
+//! `op` is one of `"dot"`, `"cosine"`, `"neg_l2"`. `topk` optionally takes
+//! a residue-class candidate filter (`mod` + `rem`): only nodes `v` with
+//! `v % mod == rem` compete. The cluster router uses it so each shard
+//! answers exactly for the vertex slice it owns. Lines longer than
 //! [`MAX_LINE_BYTES`] are a protocol violation: the server answers with an
 //! error and closes the connection (a misbehaving writer cannot make it
 //! buffer unboundedly).
@@ -95,6 +98,10 @@ pub enum Request {
         k: usize,
         /// Scoring operator.
         op: EdgeOp,
+        /// Residue-class candidate filter `(modulus, remainder)`: only
+        /// nodes `v` with `v % modulus == remainder` compete. `None`
+        /// considers every node.
+        filter: Option<(u32, u32)>,
     },
     /// Edge score for a candidate link.
     ScoreLink {
@@ -225,7 +232,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .ok_or("`k` must be an integer in 1..=10000")? as usize
                 }
             };
-            Ok(Request::TopK { node: get_u32(&v, "node")?, k, op: get_op(&v)? })
+            let filter = match (v.get("mod"), v.get("rem")) {
+                (None, None) => None,
+                (Some(m), Some(r)) => {
+                    let m = m
+                        .as_u64()
+                        .filter(|&x| (1..=u32::MAX as u64).contains(&x))
+                        .ok_or("`mod` must be a positive integer")?
+                        as u32;
+                    let r = r
+                        .as_u64()
+                        .filter(|&x| x < m as u64)
+                        .ok_or("`rem` must be an integer below `mod`")?
+                        as u32;
+                    Some((m, r))
+                }
+                _ => return Err("`mod` and `rem` must be given together".to_string()),
+            };
+            Ok(Request::TopK { node: get_u32(&v, "node")?, k, op: get_op(&v)?, filter })
         }
         "score_link" => {
             Ok(Request::ScoreLink { u: get_u32(&v, "u")?, v: get_u32(&v, "v")?, op: get_op(&v)? })
@@ -367,11 +391,15 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","node":1,"k":5,"op":"dot"}"#).unwrap(),
-            Request::TopK { node: 1, k: 5, op: EdgeOp::Dot }
+            Request::TopK { node: 1, k: 5, op: EdgeOp::Dot, filter: None }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","node":1}"#).unwrap(),
-            Request::TopK { node: 1, k: DEFAULT_TOPK, op: EdgeOp::Cosine }
+            Request::TopK { node: 1, k: DEFAULT_TOPK, op: EdgeOp::Cosine, filter: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topk","node":1,"mod":4,"rem":3}"#).unwrap(),
+            Request::TopK { node: 1, k: DEFAULT_TOPK, op: EdgeOp::Cosine, filter: Some((4, 3)) }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"score_link","u":1,"v":2,"op":"neg_l2"}"#).unwrap(),
@@ -486,6 +514,27 @@ mod tests {
             .contains("op"));
         assert!(parse_request(r#"{"cmd":"topk","node":1,"k":0}"#).unwrap_err().contains("k"));
         assert!(parse_request(r#"{"cmd":"topk","node":1,"k":999999}"#).unwrap_err().contains("k"));
+    }
+
+    #[test]
+    fn rejects_bad_shard_filters() {
+        // One of the pair without the other.
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"mod":4}"#)
+            .unwrap_err()
+            .contains("together"));
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"rem":0}"#)
+            .unwrap_err()
+            .contains("together"));
+        // mod must be positive, rem strictly below mod.
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"mod":0,"rem":0}"#)
+            .unwrap_err()
+            .contains("mod"));
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"mod":4,"rem":4}"#)
+            .unwrap_err()
+            .contains("rem"));
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"mod":4,"rem":-1}"#)
+            .unwrap_err()
+            .contains("rem"));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Bind-on-port-0-then-report readiness handshake for test daemons.
+//!
+//! Every daemon the integration suites spawn (`chaosd`, the cluster's
+//! `shardd`) binds `127.0.0.1:0`, lets the kernel pick a free port, and
+//! announces the concrete address on stdout with [`announce`]. The test
+//! side blocks in [`await_ready`] until the banner arrives. This kills the
+//! two classic port races in one move: no fixed port can collide across
+//! parallel test processes, and no test connects before the listener is
+//! accepting (the banner is only printed once `bind` returned).
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::SocketAddr;
+use std::process::Child;
+
+/// The stdout banner prefix both sides agree on.
+pub const READY_PREFIX: &str = "READY ";
+
+/// Daemon side: prints `READY <addr>` on stdout and flushes, so a parent
+/// blocked on the pipe wakes immediately.
+pub fn announce(addr: SocketAddr) {
+    println!("{READY_PREFIX}{addr}");
+    let _ = io::stdout().flush();
+}
+
+/// Parses one banner line into the announced address.
+pub fn parse_banner(line: &str) -> Option<SocketAddr> {
+    line.strip_prefix(READY_PREFIX)?.trim().parse().ok()
+}
+
+/// Test side: reads the child's piped stdout until the `READY` banner and
+/// returns the announced address. Fails if the child closes stdout first
+/// (it died during boot) or prints something that is not a banner.
+pub fn await_ready(child: &mut Child) -> io::Result<SocketAddr> {
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| io::Error::new(ErrorKind::InvalidInput, "child stdout is not piped"))?;
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line)?;
+    parse_banner(&line).ok_or_else(|| {
+        io::Error::new(
+            ErrorKind::InvalidData,
+            format!("expected `{READY_PREFIX}<addr>` banner, got {line:?}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_roundtrips() {
+        let addr: SocketAddr = "127.0.0.1:41234".parse().unwrap();
+        let line = format!("{READY_PREFIX}{addr}\n");
+        assert_eq!(parse_banner(&line), Some(addr));
+        assert_eq!(parse_banner("BOOTING\n"), None);
+        assert_eq!(parse_banner("READY not-an-addr\n"), None);
+    }
+}

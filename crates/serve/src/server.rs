@@ -23,6 +23,7 @@
 //!   writes time out after `write_timeout` instead of blocking a worker
 //!   forever on a stalled peer.
 
+use crate::dedup::DedupTable;
 use crate::fault::{FaultInjector, FaultPoint};
 use crate::protocol::{self, op_name, MetricsFormat, Request, Response, MAX_LINE_BYTES};
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
@@ -33,7 +34,7 @@ use seqge_graph::{EdgeEvent, Graph};
 use seqge_obs::{export, Counter, Histogram, Registry};
 use seqge_sampling::UpdatePolicy;
 use serde_json::Value;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
@@ -43,12 +44,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-/// Entries kept in the write-dedup table before it is wholesale cleared.
-/// Clearing (rather than LRU-evicting) is deliberate: after a clear, a
-/// replayed retry is no longer recognized, but the graph invariants
-/// (duplicate add / missing remove are rejected) still stop it from
-/// training twice — the table is an optimization for crisp `deduped` acks,
-/// not the correctness backstop.
+/// Distinct clients the write-dedup table remembers; stalest clients fall
+/// out of the sliding window past this (see [`crate::dedup::DedupTable`]).
+/// An evicted client's replayed retry is no longer recognized, but the
+/// graph invariants (duplicate add / missing remove are rejected) still
+/// stop it from training twice — the table is an optimization for crisp
+/// `deduped` acks, not the correctness backstop.
 const DEDUP_MAX_CLIENTS: usize = 65_536;
 
 /// Server-side configuration (trainer knobs ride along in [`TrainerConfig`]).
@@ -265,7 +266,7 @@ pub fn start(
     let cell = Arc::new(SnapshotCell::new(boot));
     let stop = Arc::new(AtomicBool::new(false));
     let (tx, rx) = channel::<TrainerMsg>();
-    let dedup: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let dedup = Arc::new(Mutex::new(DedupTable::new(DEDUP_MAX_CLIENTS)));
 
     let mut threads = Vec::new();
 
@@ -398,8 +399,9 @@ struct WorkerCtx {
     trainer_tx: Sender<TrainerMsg>,
     wal: Option<Arc<Wal>>,
     fault: Arc<FaultInjector>,
-    /// Per-client highest acked write `seq` (see [`protocol::WriteId`]).
-    dedup: Arc<Mutex<HashMap<String, u64>>>,
+    /// Per-client highest acked write `seq` (see [`protocol::WriteId`]),
+    /// bounded by a sliding recency window.
+    dedup: Arc<Mutex<DedupTable>>,
     max_backlog: u64,
     read_deadline: Duration,
     write_timeout: Duration,
@@ -593,12 +595,12 @@ impl WorkerCtx {
                     ),
                 }
             }
-            Request::TopK { node, k, op } => {
+            Request::TopK { node, k, op, filter } => {
                 if self.overloaded() {
                     return self.shed_read();
                 }
                 let snap = reader.current();
-                match snap.topk(node, k, op) {
+                match snap.topk_filtered(node, k, op, filter) {
                     Some(hits) => {
                         let items: Vec<Value> = hits
                             .into_iter()
@@ -668,9 +670,9 @@ impl WorkerCtx {
                 // A retry of an already-acked write: answer success without
                 // re-applying (the original ack was lost, not the write).
                 if let Some(wid) = write_id {
-                    let map = self.dedup.lock().expect("dedup table poisoned");
-                    if map.get(&wid.client).is_some_and(|&last| wid.seq <= last) {
-                        drop(map);
+                    let table = self.dedup.lock().expect("dedup table poisoned");
+                    if table.already_acked(wid) {
+                        drop(table);
                         self.stats.deduped.inc();
                         return (
                             Response::ok().field("queued", true).field("deduped", true).build(),
@@ -715,11 +717,7 @@ impl WorkerCtx {
                 // does the write count as acked for dedup purposes. A
                 // failed append above must leave the retry replayable.
                 if let Some(wid) = write_id {
-                    let mut map = self.dedup.lock().expect("dedup table poisoned");
-                    if map.len() >= DEDUP_MAX_CLIENTS && !map.contains_key(&wid.client) {
-                        map.clear();
-                    }
-                    map.insert(wid.client.clone(), wid.seq);
+                    self.dedup.lock().expect("dedup table poisoned").record(wid);
                 }
                 self.stats.enqueued.inc();
                 self.stats.update_backlog();

@@ -68,6 +68,23 @@ impl EmbeddingSnapshot {
     /// The `k` nearest neighbors of `node` under `op`, best first, the
     /// query node itself excluded. `None` if `node` is out of range.
     pub fn topk(&self, node: NodeId, k: usize, op: EdgeOp) -> Option<Vec<(NodeId, f64)>> {
+        self.topk_filtered(node, k, op, None)
+    }
+
+    /// [`EmbeddingSnapshot::topk`] restricted to one residue class of the
+    /// vertex space: with `filter = Some((m, r))`, only candidates `v` with
+    /// `v % m == r` compete. The cluster router fans a query out with each
+    /// shard's own `(shards, shard_id)` filter so every candidate is scored
+    /// by exactly the shard that owns (and trains) it, then merges the
+    /// per-shard lists. Ties break deterministically: equal scores order by
+    /// ascending node id.
+    pub fn topk_filtered(
+        &self,
+        node: NodeId,
+        k: usize,
+        op: EdgeOp,
+        filter: Option<(u32, u32)>,
+    ) -> Option<Vec<(NodeId, f64)>> {
         if node as usize >= self.emb.rows() {
             return None;
         }
@@ -76,18 +93,26 @@ impl EmbeddingSnapshot {
         }
         // Bounded selection: keep the k best seen so far in a small vec
         // (k ≪ n in practice), replacing the current worst on improvement.
+        // `total_cmp` on (score desc, id asc) makes the order total, so the
+        // same snapshot always returns the same list.
+        let better = |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
         let mut best: Vec<(NodeId, f64)> = Vec::with_capacity(k + 1);
         for v in 0..self.emb.rows() as NodeId {
             if v == node {
                 continue;
             }
+            if let Some((m, r)) = filter {
+                if v % m != r {
+                    continue;
+                }
+            }
             let s = op.score(&self.emb, node, v);
             if best.len() < k {
                 best.push((v, s));
-                best.sort_by(|a, b| b.1.total_cmp(&a.1));
-            } else if s > best[k - 1].1 {
+                best.sort_by(better);
+            } else if better(&(v, s), &best[k - 1]).is_lt() {
                 best[k - 1] = (v, s);
-                best.sort_by(|a, b| b.1.total_cmp(&a.1));
+                best.sort_by(better);
             }
         }
         Some(best)
@@ -192,6 +217,29 @@ mod tests {
         // k larger than candidate pool truncates to n-1.
         assert_eq!(s.topk(0, 10, EdgeOp::Dot).unwrap().len(), 3);
         assert!(s.topk(4, 2, EdgeOp::Dot).is_none(), "out-of-range node");
+    }
+
+    #[test]
+    fn topk_ties_break_by_ascending_node_id() {
+        // Nodes 1, 2, 3 are identical: scores tie, ids decide.
+        let emb = Mat::from_vec(4, 2, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let s = EmbeddingSnapshot { emb, ..snap(1, 0) };
+        let top = s.topk(0, 2, EdgeOp::Dot).unwrap();
+        assert_eq!(top.iter().map(|h| h.0).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn topk_filter_restricts_to_residue_class() {
+        let emb = Mat::from_fn(10, 2, |r, _| 1.0 - r as f32 / 10.0);
+        let s = EmbeddingSnapshot { emb, ..snap(1, 0) };
+        // Only v ≡ 1 (mod 3) compete for node 0's neighbors: 1, 4, 7.
+        let hits = s.topk_filtered(0, 10, EdgeOp::Dot, Some((3, 1))).unwrap();
+        assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), vec![1, 4, 7]);
+        // The query node is excluded even when it matches the class.
+        let hits = s.topk_filtered(3, 10, EdgeOp::Dot, Some((3, 0))).unwrap();
+        assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), vec![0, 6, 9]);
+        // Unfiltered call is the same as filter None.
+        assert_eq!(s.topk(2, 4, EdgeOp::Cosine), s.topk_filtered(2, 4, EdgeOp::Cosine, None));
     }
 
     #[test]

@@ -220,6 +220,147 @@ pub fn read_segment(path: &Path) -> io::Result<SegmentScan> {
     Ok(SegmentScan { records, valid_bytes: off as u64, torn })
 }
 
+/// Incremental reader over a *live* segment file — the replication feed.
+///
+/// A replica cannot use [`read_segment`] in a loop (quadratic re-reads)
+/// or [`Wal::recover`] (it truncates torn tails, which on a live primary
+/// are just records mid-write). The tailer instead holds the file open,
+/// remembers how far it has consumed, and on each [`SegmentTailer::poll`]
+/// decodes every record that has become complete since the last call. An
+/// incomplete tail — the primary's `write_all` caught in flight — is kept
+/// pending and retried on the next poll. Appends are visible to the
+/// tailer as soon as they hit the page cache; the primary's fsync policy
+/// affects durability only, not this feed, which is what bounds
+/// replication lag to one poll interval.
+///
+/// Holding the `File` open also survives segment rotation: after
+/// [`Wal::commit_snapshot`] unlinks the old segment, the open descriptor
+/// still reads every byte that was written to it, so the replica can
+/// drain the old generation to EOF before switching to the new segment
+/// path (sequence-number dedup absorbs the records the rotation carried
+/// forward).
+#[derive(Debug)]
+pub struct SegmentTailer {
+    path: PathBuf,
+    file: Option<File>,
+    /// Bytes consumed from the file so far (including any held in
+    /// `pending`).
+    offset: u64,
+    pending: Vec<u8>,
+    saw_magic: bool,
+    /// Consecutive polls stuck on the same undecodable tail.
+    stalled: u32,
+}
+
+/// Polls a tail can spend on one incomplete record before the tailer
+/// declares it corrupt rather than in-flight. At the replica's poll
+/// cadence this is tens of seconds — no real `write_all` straddles that.
+const TAILER_STALL_LIMIT: u32 = 2_000;
+
+impl SegmentTailer {
+    /// Starts tailing `path`. The file need not exist yet — polls return
+    /// empty until it appears (the primary creates segments atomically
+    /// enough that a visible file always starts with the magic).
+    pub fn new(path: PathBuf) -> SegmentTailer {
+        SegmentTailer {
+            path,
+            file: None,
+            offset: 0,
+            pending: Vec::new(),
+            saw_magic: false,
+            stalled: 0,
+        }
+    }
+
+    /// The segment path this tailer follows.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reads newly appended bytes and returns every record that is now
+    /// complete, in file order. A torn tail is *not* an error — it stays
+    /// pending — but a checksum or framing failure that persists across
+    /// many polls is reported as `InvalidData`.
+    pub fn poll(&mut self) -> io::Result<Vec<WalRecord>> {
+        if self.file.is_none() {
+            match File::open(&self.path) {
+                Ok(f) => self.file = Some(f),
+                Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+                Err(e) => return Err(e),
+            }
+        }
+        let file = self.file.as_mut().expect("tailer file open");
+        // A recovery pass on the primary may truncate a torn tail we have
+        // buffered but not decoded; drop the vanished bytes from pending.
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            let gone = (self.offset - len) as usize;
+            if gone > self.pending.len() {
+                return Err(bad_data("segment truncated past decoded records"));
+            }
+            let keep = self.pending.len() - gone;
+            self.pending.truncate(keep);
+            self.offset = len;
+            self.stalled = 0;
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let before = self.pending.len();
+        file.read_to_end(&mut self.pending)?;
+        self.offset += (self.pending.len() - before) as u64;
+
+        if !self.saw_magic {
+            if self.pending.len() < MAGIC.len() {
+                return Ok(Vec::new());
+            }
+            if &self.pending[..MAGIC.len()] != MAGIC {
+                return Err(bad_data("bad WAL segment magic"));
+            }
+            self.pending.drain(..MAGIC.len());
+            self.saw_magic = true;
+        }
+
+        let mut out = Vec::new();
+        let mut consumed = 0usize;
+        loop {
+            let buf = &self.pending[consumed..];
+            if buf.len() < 8 {
+                break;
+            }
+            let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+            if len == 0 || len > MAX_RECORD_BYTES {
+                self.pending.drain(..consumed);
+                return Err(bad_data(format!("tailer: bad record length {len}")));
+            }
+            if buf.len() - 8 < len as usize {
+                break;
+            }
+            let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+            let payload = &buf[8..8 + len as usize];
+            if crc32(payload) != crc {
+                // Could be a write caught mid-flight (header landed, body
+                // not yet). Leave it pending; give up only if it never
+                // resolves.
+                self.stalled += 1;
+                if self.stalled > TAILER_STALL_LIMIT {
+                    return Err(bad_data("tailer: checksum mismatch persisted"));
+                }
+                break;
+            }
+            match decode_payload(payload) {
+                Some(rec) => out.push(rec),
+                None => {
+                    self.pending.drain(..consumed);
+                    return Err(bad_data("tailer: undecodable record payload"));
+                }
+            }
+            consumed += 8 + len as usize;
+            self.stalled = 0;
+        }
+        self.pending.drain(..consumed);
+        Ok(out)
+    }
+}
+
 /// The atomic commit pointer (`meta.json`). A generation/segment exists as
 /// far as recovery is concerned only once it is named here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -837,6 +978,81 @@ mod tests {
         // Wrong magic: hard error, not a silent empty log.
         std::fs::write(&path, b"NOPE").unwrap();
         assert!(read_segment(&path).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tailer_follows_incremental_appends_and_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("seqge-wal-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.log");
+
+        // Tailing a file that doesn't exist yet is quietly empty.
+        let mut tailer = SegmentTailer::new(path.clone());
+        assert!(tailer.poll().unwrap().is_empty());
+
+        use std::io::Write as _;
+        let mut f = File::create(&path).unwrap();
+        f.write_all(MAGIC).unwrap();
+        f.flush().unwrap();
+        assert!(tailer.poll().unwrap().is_empty());
+
+        // One complete record appears in the next poll…
+        f.write_all(&encode_record(1, EdgeEvent::Add(0, 1))).unwrap();
+        f.flush().unwrap();
+        assert_eq!(tailer.poll().unwrap(), vec![WalRecord { seq: 1, event: EdgeEvent::Add(0, 1) }]);
+        // …and is not re-delivered.
+        assert!(tailer.poll().unwrap().is_empty());
+
+        // A record split across two writes stays pending until complete.
+        let rec = encode_record(2, EdgeEvent::Remove(0, 1));
+        f.write_all(&rec[..10]).unwrap();
+        f.flush().unwrap();
+        assert!(tailer.poll().unwrap().is_empty());
+        f.write_all(&rec[10..]).unwrap();
+        // A third record lands in the same window: both arrive in order.
+        f.write_all(&encode_record(3, EdgeEvent::Add(2, 3))).unwrap();
+        f.flush().unwrap();
+        assert_eq!(
+            tailer.poll().unwrap(),
+            vec![
+                WalRecord { seq: 2, event: EdgeEvent::Remove(0, 1) },
+                WalRecord { seq: 3, event: EdgeEvent::Add(2, 3) },
+            ]
+        );
+
+        // A torn tail that recovery truncates away: the tailer buffers the
+        // partial bytes, then forgets them when the file shrinks back.
+        let rec4 = encode_record(4, EdgeEvent::Add(4, 5));
+        f.write_all(&rec4[..7]).unwrap();
+        f.flush().unwrap();
+        let len_with_torn = f.metadata().unwrap().len();
+        assert!(tailer.poll().unwrap().is_empty());
+        f.set_len(len_with_torn - 7).unwrap();
+        assert!(tailer.poll().unwrap().is_empty());
+        f.seek(SeekFrom::End(0)).unwrap();
+        f.write_all(&rec4).unwrap();
+        f.flush().unwrap();
+        assert_eq!(tailer.poll().unwrap(), vec![WalRecord { seq: 4, event: EdgeEvent::Add(4, 5) }]);
+
+        // The open descriptor keeps delivering after the path is unlinked
+        // (segment rotation on the primary).
+        std::fs::remove_file(&path).unwrap();
+        f.write_all(&encode_record(5, EdgeEvent::Remove(2, 3))).unwrap();
+        f.flush().unwrap();
+        assert_eq!(
+            tailer.poll().unwrap(),
+            vec![WalRecord { seq: 5, event: EdgeEvent::Remove(2, 3) }]
+        );
+
+        // A garbage length field is a hard error, not a hang.
+        let bad = dir.join("bad.log");
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[0xFF; 16]);
+        std::fs::write(&bad, &bytes).unwrap();
+        let mut t2 = SegmentTailer::new(bad);
+        assert!(t2.poll().is_err());
 
         std::fs::remove_dir_all(&dir).ok();
     }

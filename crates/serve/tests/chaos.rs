@@ -31,8 +31,8 @@ use seqge_graph::generators::classic::erdos_renyi;
 use seqge_graph::{spanning_forest, EdgeEvent};
 use seqge_sampling::UpdatePolicy;
 use seqge_serve::wal::{self, FsyncPolicy, Wal, WalConfig};
-use seqge_serve::{boot_cold, Client, ClientConfig};
-use std::io::{BufRead, BufReader, Seek};
+use seqge_serve::{boot_cold, ready, Client, ClientConfig};
+use std::io::Seek;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
@@ -82,14 +82,7 @@ impl Daemon {
             .stderr(Stdio::null())
             .spawn()
             .expect("chaosd spawns");
-        let stdout = child.stdout.take().expect("piped stdout");
-        let mut line = String::new();
-        BufReader::new(stdout).read_line(&mut line).expect("chaosd announces readiness");
-        let addr = line
-            .strip_prefix("READY ")
-            .unwrap_or_else(|| panic!("unexpected chaosd banner: {line:?}"))
-            .trim()
-            .to_string();
+        let addr = ready::await_ready(&mut child).expect("chaosd announces readiness").to_string();
         Daemon { child, addr }
     }
 

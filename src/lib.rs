@@ -15,7 +15,10 @@
 //! * [`eval`] — one-vs-rest logistic regression and F1 scoring.
 //! * [`serve`] — online embedding service: live edge ingestion, incremental
 //!   sequential training, lock-free snapshot queries over TCP.
+//! * [`cluster`] — sharded, replicated serving: hash-partitioned shard
+//!   plane, scatter-gather router, WAL-fed read replicas.
 
+pub use seqge_cluster as cluster;
 pub use seqge_core as core;
 pub use seqge_eval as eval;
 pub use seqge_fixed as fixed;

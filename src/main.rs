@@ -54,6 +54,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&flags),
         "simulate" => cmd_simulate(&flags),
         "serve" => cmd_serve(&flags),
+        "cluster" => cmd_cluster(&flags),
         "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -97,6 +98,20 @@ commands:
             result is deterministic, prints a report, and exits.
             SIGINT/SIGTERM drain the in-flight batch before exiting.
             --port 0 = ephemeral)
+  cluster  --graph FILE --base-dir DIR [--shards n] [--replicas n]
+           [--port n] [--dim n] [--seed n] [--fsync always|batch|never]
+           [--refresh-every n] [--log-level error|warn|info|debug|trace]
+           (sharded deployment: N in-process serve engines, each owning
+            the vertices with id % N == shard and journaling to
+            DIR/shard-<s>/, behind a scatter-gather router speaking the
+            same protocol as `serve`. Writes fan to both endpoint owners;
+            topk/score_link scatter with per-shard deadlines and degrade
+            to partial results (`degraded:true`) when a shard is down.
+            --replicas 1 adds a WAL-tailing read replica per shard that
+            keeps get_embedding answering for dead shards. --graph seeds
+            shards on first boot; restarts recover from the per-shard
+            WALs and ignore it. `cluster_status` reports per-shard
+            health. --port 0 = ephemeral)
   client   [--addr HOST:PORT] [--timeout-ms n] [--retries n]
            (reads JSON requests from stdin, one per line, prints each
             response; --timeout-ms bounds each call, --retries retries
@@ -426,6 +441,70 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     };
 
     run_server(config, graph, model, inc, port)
+}
+
+/// `seqge cluster`: boots N in-process shards plus the router and blocks
+/// until a signal or a `shutdown` command. The training pipeline is the
+/// fixed cluster-wide one ([`seqge::cluster::train_cfg`]) — every shard,
+/// replica, and future recovery must agree on it, so it is not tunable
+/// from the command line.
+fn cmd_cluster(flags: &Flags) -> Result<(), String> {
+    if let Some(lv) = flags.get("log-level") {
+        let level = seqge::obs::log::Level::parse(lv)
+            .ok_or_else(|| format!("--log-level: unknown level `{lv}`"))?;
+        seqge::obs::log::set_level(level);
+    }
+    let dim: usize = get(flags, "dim", 32)?;
+    let seed: u64 = get(flags, "seed", 42)?;
+    let port: u16 = get(flags, "port", 7879)?;
+    let shards: usize = get(flags, "shards", 2)?;
+    let replicas: usize = get(flags, "replicas", 0)?;
+    let base_dir = flags
+        .get("base-dir")
+        .ok_or("--base-dir is required (root for the per-shard WAL stores)")?;
+    let fsync = match flags.get("fsync") {
+        Some(v) => serve::FsyncPolicy::parse(v)?,
+        None => serve::FsyncPolicy::Batch,
+    };
+    let graph = load(flags)?;
+
+    let cfg = seqge::cluster::ClusterConfig {
+        shards,
+        replicas,
+        base_dir: std::path::PathBuf::from(base_dir),
+        dim,
+        seed,
+        fsync,
+        refresh_every: get(flags, "refresh-every", 0)?,
+        addr: format!("127.0.0.1:{port}"),
+        router: Default::default(),
+        replica_poll: std::time::Duration::from_millis(20),
+        backend: seqge::cluster::Backend::InProcess,
+    };
+    install_signal_handlers();
+    let cluster = seqge::cluster::Cluster::start(&cfg, &graph).map_err(|e| e.to_string())?;
+    seqge::obs::info!(
+        "cluster",
+        "{} shard(s), {} replica(s)/shard, router on {}",
+        shards,
+        replicas,
+        cluster.addr()
+    );
+
+    let stop = cluster.stop_flag();
+    std::thread::spawn(move || loop {
+        if STOP_REQUESTED.load(Ordering::SeqCst) {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return; // router stopped on its own (shutdown command)
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    cluster.wait().map_err(|e| e.to_string())?;
+    seqge::obs::info!("cluster", "cluster stopped");
+    Ok(())
 }
 
 fn run_server(
