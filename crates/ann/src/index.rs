@@ -1,0 +1,296 @@
+//! The published index and its incremental maintainer.
+
+use crate::lsh::{AnnConfig, Hyperplanes};
+use seqge_linalg::Mat;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One band's table: signature → bucket of vertex ids. Buckets are
+/// `Arc`'d so successive index versions share every bucket the dirty
+/// region did not touch.
+type Band = HashMap<u32, Arc<Vec<u32>>>;
+
+/// An immutable ANN index over one embedding snapshot. Cheap to clone
+/// across versions (buckets are structurally shared); queries are
+/// lock-free and allocation is bounded by the candidate-set size.
+#[derive(Debug, Clone)]
+pub struct AnnIndex {
+    planes: Arc<Hyperplanes>,
+    bands: Vec<Band>,
+    num_points: usize,
+}
+
+impl AnnIndex {
+    /// Vertices the index covers.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Number of bands (hash tables).
+    pub fn bands(&self) -> usize {
+        self.planes.bands()
+    }
+
+    /// Signature bits per band.
+    pub fn bits(&self) -> usize {
+        self.planes.bits()
+    }
+
+    /// Candidate set for query vector `x`: the union of the matching
+    /// bucket in every band, plus `probes` low-margin bit-flip probes per
+    /// band, deduplicated and in ascending-id order (deterministic for a
+    /// given index version). The caller re-ranks these exactly.
+    pub fn candidates(&self, x: &[f32], probes: usize) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        self.planes.probe_signatures(x, probes, |band, sig| {
+            if let Some(bucket) = self.bands[band].get(&sig) {
+                out.extend_from_slice(bucket);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// What one [`AnnBuilder::sync`] did — the trainer mirrors this into the
+/// `seqge_ann_*` metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Vertices the index covers after the sync.
+    pub total: usize,
+    /// Vertices whose embedding bytes changed since the previous sync
+    /// (on the first sync: every vertex).
+    pub dirty: usize,
+    /// Vertices actually re-hashed. Equals `dirty` — reported separately
+    /// so the metrics assert the incremental invariant rather than assume
+    /// it.
+    pub rehashed: usize,
+    /// Wall time of the sync (dirty scan + re-hash + publish clone).
+    pub build_ns: u64,
+}
+
+impl SyncReport {
+    /// Dirty vertices as parts-per-million of the total (0 when empty).
+    pub fn dirty_ppm(&self) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        (self.dirty as u64).saturating_mul(1_000_000) / self.total as u64
+    }
+}
+
+/// The trainer-side maintainer: owns the mutable bucket tables and the
+/// per-row change-detection hashes, and renders an immutable [`AnnIndex`]
+/// per snapshot publication.
+///
+/// Change detection compares an FNV-1a hash of each row's raw bytes
+/// against the previous sync — O(n·d) reads per publish, roughly two
+/// orders of magnitude cheaper than re-hashing every row through
+/// `bands × bits` hyperplanes. (A hash collision would leave one vertex
+/// filed under a stale signature: a recall blip on that vertex until its
+/// row changes again, never a scoring error — candidates are always
+/// re-ranked against the snapshot's true embeddings.)
+#[derive(Debug)]
+pub struct AnnBuilder {
+    cfg: AnnConfig,
+    planes: Option<Arc<Hyperplanes>>,
+    row_hash: Vec<u64>,
+    sigs: Vec<u32>,
+    bands: Vec<Band>,
+    num_points: usize,
+}
+
+impl AnnBuilder {
+    /// A builder with no points; dimensions are fixed by the first
+    /// [`AnnBuilder::sync`].
+    pub fn new(cfg: AnnConfig) -> Self {
+        AnnBuilder {
+            cfg,
+            planes: None,
+            row_hash: Vec::new(),
+            sigs: Vec::new(),
+            bands: Vec::new(),
+            num_points: 0,
+        }
+    }
+
+    /// Brings the index in line with `emb` and returns the immutable
+    /// version to publish. Only rows whose bytes changed since the last
+    /// sync are re-hashed; the first sync (or a geometry change — row or
+    /// column count) is a full rebuild.
+    pub fn sync(&mut self, emb: &Mat<f32>) -> (Arc<AnnIndex>, SyncReport) {
+        let t0 = Instant::now();
+        let n = emb.rows();
+        let full = match &self.planes {
+            Some(p) => p.dim() != emb.cols() || self.num_points != n,
+            None => true,
+        };
+        if full {
+            let bits = self.cfg.bits_for(n);
+            let bands = self.cfg.bands.max(1);
+            self.planes =
+                Some(Arc::new(Hyperplanes::generate(emb.cols(), bands, bits, self.cfg.seed)));
+            self.bands = vec![Band::new(); bands];
+            self.row_hash = vec![0; n];
+            self.sigs = vec![0; n * bands];
+            self.num_points = n;
+        }
+        let planes = self.planes.as_ref().expect("planes exist after init").clone();
+        let bands = planes.bands();
+        let mut dirty = 0usize;
+        let mut fresh = vec![0u32; bands];
+        for row in 0..n {
+            let h = fnv1a(emb.row(row));
+            if !full && self.row_hash[row] == h {
+                continue;
+            }
+            dirty += 1;
+            planes.signatures(emb.row(row), &mut fresh);
+            let old = &mut self.sigs[row * bands..(row + 1) * bands];
+            for band in 0..bands {
+                if full {
+                    bucket_insert(&mut self.bands[band], fresh[band], row as u32);
+                } else if old[band] != fresh[band] {
+                    bucket_remove(&mut self.bands[band], old[band], row as u32);
+                    bucket_insert(&mut self.bands[band], fresh[band], row as u32);
+                }
+            }
+            old.copy_from_slice(&fresh);
+            self.row_hash[row] = h;
+        }
+        let index = Arc::new(AnnIndex {
+            planes,
+            // Shallow clone: one Arc bump per bucket, no vertex copies.
+            bands: self.bands.clone(),
+            num_points: n,
+        });
+        let report = SyncReport {
+            total: n,
+            dirty,
+            rehashed: dirty,
+            build_ns: t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        };
+        (index, report)
+    }
+}
+
+/// Copy-on-write bucket insert: clones the bucket only if a published
+/// index still shares it.
+fn bucket_insert(band: &mut Band, sig: u32, id: u32) {
+    Arc::make_mut(band.entry(sig).or_default()).push(id);
+}
+
+fn bucket_remove(band: &mut Band, sig: u32, id: u32) {
+    if let Some(bucket) = band.get_mut(&sig) {
+        let b = Arc::make_mut(bucket);
+        if let Some(pos) = b.iter().position(|&v| v == id) {
+            // Order inside a bucket is irrelevant: candidates are sorted
+            // and deduped at query time.
+            b.swap_remove(pos);
+        }
+        if b.is_empty() {
+            band.remove(&sig);
+        }
+    }
+}
+
+fn fnv1a(row: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in row {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered(n: usize, dim: usize) -> Mat<f32> {
+        // Two antipodal clusters with a small deterministic wobble.
+        Mat::from_fn(n, dim, |r, c| {
+            let base = if r % 2 == 0 { 1.0 } else { -1.0 };
+            base + ((r * 31 + c * 7) % 13) as f32 * 0.01
+        })
+    }
+
+    #[test]
+    fn first_sync_indexes_everything() {
+        let emb = clustered(100, 8);
+        let mut b = AnnBuilder::new(AnnConfig::default());
+        let (idx, rep) = b.sync(&emb);
+        assert_eq!(rep, SyncReport { total: 100, dirty: 100, rehashed: 100, ..rep });
+        assert_eq!(idx.num_points(), 100);
+        // Every point is its own candidate at zero probes.
+        for r in (0..100).step_by(17) {
+            assert!(idx.candidates(emb.row(r), 0).contains(&(r as u32)));
+        }
+    }
+
+    #[test]
+    fn resync_rehashes_only_dirty_rows() {
+        let mut emb = clustered(200, 8);
+        let mut b = AnnBuilder::new(AnnConfig::default());
+        let (idx0, _) = b.sync(&emb);
+        // Move one vertex to the other cluster.
+        for c in 0..8 {
+            emb.row_mut(42)[c] = -1.0 - c as f32 * 0.01;
+        }
+        let (idx1, rep) = b.sync(&emb);
+        assert_eq!((rep.total, rep.dirty, rep.rehashed), (200, 1, 1));
+        assert_eq!(rep.dirty_ppm(), 5_000);
+        // The new index files 42 under its new signature…
+        assert!(idx1.candidates(emb.row(42), 0).contains(&42));
+        // …while the previously published index is untouched (old home).
+        assert!(idx0.candidates(clustered(200, 8).row(42), 0).contains(&42));
+        // A no-op sync is free.
+        let (_, rep) = b.sync(&emb);
+        assert_eq!(rep.dirty, 0);
+    }
+
+    #[test]
+    fn geometry_change_forces_full_rebuild() {
+        let mut b = AnnBuilder::new(AnnConfig::default());
+        let (_, rep) = b.sync(&clustered(50, 8));
+        assert_eq!(rep.dirty, 50);
+        let (_, rep) = b.sync(&clustered(60, 8));
+        assert_eq!((rep.total, rep.dirty), (60, 60));
+        let (idx, rep) = b.sync(&clustered(60, 4));
+        assert_eq!(rep.dirty, 60);
+        assert!(idx.candidates(clustered(60, 4).row(3), 0).contains(&3));
+    }
+
+    #[test]
+    fn candidates_are_sorted_dedup_and_cluster_local() {
+        let emb = clustered(300, 16);
+        let mut b = AnnBuilder::new(AnnConfig { bands: 6, bits: 4, seed: 9 });
+        let (idx, _) = b.sync(&emb);
+        let cands = idx.candidates(emb.row(10), 2);
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        assert!(cands.contains(&10));
+        // The antipodal cluster should be (almost) absent at zero probes.
+        let tight = idx.candidates(emb.row(10), 0);
+        let wrong = tight.iter().filter(|&&v| v % 2 == 1).count();
+        assert!(
+            wrong * 5 < tight.len().max(1),
+            "opposite cluster dominates the bucket: {wrong}/{}",
+            tight.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_fine() {
+        let mut b = AnnBuilder::new(AnnConfig::default());
+        let (idx, rep) = b.sync(&Mat::zeros(0, 8));
+        assert_eq!((idx.num_points(), rep.total), (0, 0));
+        assert_eq!(rep.dirty_ppm(), 0);
+        assert!(idx.candidates(&[0.0; 8], 4).is_empty());
+        let (idx, _) = b.sync(&Mat::filled(1, 8, 0.5));
+        assert_eq!(idx.candidates(&[0.5; 8], 0), vec![0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # seqge-ann — incremental approximate-nearest-neighbor index
+//!
+//! The serving read path answers `topk` by scoring the query embedding
+//! against *every* vertex in the published snapshot — O(n·d) per query,
+//! which is fine at cora scale and fatal at 10^6+ vertices under heavy
+//! read traffic. This crate is the sublinear alternative: locality-
+//! sensitive hashing with `bands` independent hash tables, each keyed by a
+//! `bits`-bit signature of signed random-hyperplane projections. A query
+//! hashes its embedding (O(bands·bits·d)), unions the matching buckets
+//! (plus `probes` low-margin bit-flip probes per band), and the caller
+//! exactly re-ranks that candidate set under the requested operator — so
+//! the approximation only ever affects *which* vertices compete, never the
+//! scores or the tie-break order of the survivors.
+//!
+//! Two halves:
+//!
+//! * [`AnnIndex`] — the immutable artifact published alongside an
+//!   embedding snapshot. Buckets are `Arc<Vec<u32>>`, so publishing a new
+//!   version shares every untouched bucket with its predecessor
+//!   structurally; readers holding an old snapshot keep a consistent
+//!   index/embedding pair forever.
+//! * [`AnnBuilder`] — the trainer-side maintainer. On every snapshot
+//!   republish it detects the *dirty region* (rows whose bytes actually
+//!   changed, via per-row hashes) and re-hashes only those vertices:
+//!   O(dirty·bands·bits·d) instead of a full rebuild. Bucket edits
+//!   copy-on-write through `Arc::make_mut`, and [`AnnBuilder::sync`]
+//!   returns a fresh immutable [`AnnIndex`] whose cost is one shallow
+//!   bucket-map clone (O(#buckets), not O(n)).
+//!
+//! The exemplar shape is SNIPPETS.md snippets 2–3 (`ATree`, `LayeredLsh`,
+//! `DynamicQuery` from the wembed/rembed line of work): a spatial index
+//! maintained *dynamically* under a mutating embedding set, queried
+//! through the same interface as the brute-force path it replaces.
+
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod lsh;
+
+pub use index::{AnnBuilder, AnnIndex, SyncReport};
+pub use lsh::{AnnConfig, Hyperplanes};

@@ -1,0 +1,212 @@
+//! Signed random-hyperplane hashing: configuration, plane generation, and
+//! signature/multi-probe computation.
+//!
+//! A signature bit is `sign(⟨plane, x⟩)`, so two vectors collide in a band
+//! with probability `(1 - θ/π)^bits` for angle `θ` — the family is
+//! locality-sensitive for *angular* similarity. The serving layer re-ranks
+//! candidates exactly under the requested operator (`dot`, `cosine`,
+//! `neg_l2`), so the hash family only shapes the candidate pool; the
+//! recall guarantee is strongest for cosine-like operators and degrades
+//! gracefully for norm-sensitive ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqge_linalg::Mat;
+
+/// Hard cap on the per-band signature width.
+pub const MAX_BITS: usize = 24;
+
+/// Index configuration. `Default` matches the serving defaults documented
+/// in DESIGN.md ("Sublinear reads").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnConfig {
+    /// Independent hash tables (bands). More bands buy recall linearly in
+    /// index size and query hash cost.
+    pub bands: usize,
+    /// Signature bits per band. `0` picks `ceil(log2(n / 32))` clamped to
+    /// `4..=MAX_BITS` at first sync, targeting ~32-vertex buckets.
+    pub bits: usize,
+    /// Seed for the hyperplane matrix (deterministic index layout).
+    pub seed: u64,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        AnnConfig { bands: 8, bits: 0, seed: 0xA55_5EED }
+    }
+}
+
+impl AnnConfig {
+    /// The signature width used for an `n`-point index: the explicit
+    /// `bits` if nonzero, otherwise the auto rule.
+    pub fn bits_for(&self, n: usize) -> usize {
+        if self.bits != 0 {
+            return self.bits.clamp(1, MAX_BITS);
+        }
+        let mut bits = 4usize;
+        while (n >> bits) > 32 && bits < MAX_BITS {
+            bits += 1;
+        }
+        bits
+    }
+}
+
+/// The `bands × bits` random hyperplanes, one row per bit, generated once
+/// per index lifetime and shared (`Arc`) between builder and every
+/// published [`crate::AnnIndex`].
+#[derive(Debug)]
+pub struct Hyperplanes {
+    planes: Mat<f32>,
+    bands: usize,
+    bits: usize,
+}
+
+impl Hyperplanes {
+    /// Draws `bands * bits` planes of dimension `dim` from `seed`
+    /// (coordinates uniform in `[-1, 1)`; any symmetric coordinate
+    /// distribution yields the sign-collision property).
+    pub fn generate(dim: usize, bands: usize, bits: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planes = Mat::from_fn(bands * bits, dim, |_, _| rng.gen_range(-1.0f64..1.0) as f32);
+        Hyperplanes { planes, bands, bits }
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Signature bits per band.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Embedding dimensionality the planes were drawn for.
+    pub fn dim(&self) -> usize {
+        self.planes.cols()
+    }
+
+    /// Writes the per-band signatures of `x` into `sigs` (`bands` slots).
+    pub fn signatures(&self, x: &[f32], sigs: &mut [u32]) {
+        debug_assert_eq!(sigs.len(), self.bands);
+        for (band, sig) in sigs.iter_mut().enumerate() {
+            *sig = 0;
+            for bit in 0..self.bits {
+                if self.project(band * self.bits + bit, x) >= 0.0 {
+                    *sig |= 1 << bit;
+                }
+            }
+        }
+    }
+
+    /// Per-band signatures of `x` plus, for each band, up to `probes`
+    /// extra signatures obtained by flipping the bits with the smallest
+    /// projection magnitude — the bits most likely to disagree between a
+    /// vector and its near neighbors (classic multi-probe LSH). Calls
+    /// `visit(band, signature)` for the exact signature first, then each
+    /// probe in ascending-margin order.
+    pub fn probe_signatures(&self, x: &[f32], probes: usize, mut visit: impl FnMut(usize, u32)) {
+        let probes = probes.min(self.bits);
+        let mut margins: Vec<(f32, usize)> = Vec::with_capacity(self.bits);
+        for band in 0..self.bands {
+            let mut sig = 0u32;
+            margins.clear();
+            for bit in 0..self.bits {
+                let p = self.project(band * self.bits + bit, x);
+                if p >= 0.0 {
+                    sig |= 1 << bit;
+                }
+                margins.push((p.abs(), bit));
+            }
+            visit(band, sig);
+            if probes > 0 {
+                // Total order (f32 margins are finite for finite input;
+                // NaN sorts last via total_cmp) keeps probe sets
+                // deterministic across republishes.
+                margins.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for &(_, bit) in margins.iter().take(probes) {
+                    visit(band, sig ^ (1 << bit));
+                }
+            }
+        }
+    }
+
+    fn project(&self, plane: usize, x: &[f32]) -> f32 {
+        let row = self.planes.row(plane);
+        let d = row.len().min(x.len());
+        let mut acc = 0.0f32;
+        for i in 0..d {
+            acc += row[i] * x[i];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_bits_track_point_count() {
+        let cfg = AnnConfig::default();
+        assert_eq!(cfg.bits_for(0), 4);
+        assert_eq!(cfg.bits_for(1_000), 5);
+        assert_eq!(cfg.bits_for(100_000), 12);
+        assert_eq!(cfg.bits_for(1_000_000), 15);
+        // Explicit bits win and are capped.
+        assert_eq!(AnnConfig { bits: 10, ..cfg }.bits_for(7), 10);
+        assert_eq!(AnnConfig { bits: 99, ..cfg }.bits_for(7), MAX_BITS);
+    }
+
+    #[test]
+    fn signatures_are_deterministic_and_band_sized() {
+        let h = Hyperplanes::generate(8, 4, 6, 7);
+        let x: Vec<f32> = (0..8).map(|i| i as f32 / 3.0 - 1.0).collect();
+        let mut a = vec![0u32; 4];
+        let mut b = vec![0u32; 4];
+        h.signatures(&x, &mut a);
+        h.signatures(&x, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s < 1 << 6));
+        // Same seed, same planes.
+        let h2 = Hyperplanes::generate(8, 4, 6, 7);
+        h2.signatures(&x, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn opposite_vectors_get_complementary_signatures() {
+        let h = Hyperplanes::generate(16, 2, 12, 3);
+        let x: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let neg: Vec<f32> = x.iter().map(|&v| -v).collect();
+        let (mut sx, mut sn) = (vec![0u32; 2], vec![0u32; 2]);
+        h.signatures(&x, &mut sx);
+        h.signatures(&neg, &mut sn);
+        // A plane projecting exactly to 0.0 would put both on the same
+        // side; with generic inputs every bit flips.
+        for (a, b) in sx.iter().zip(&sn) {
+            assert_eq!(a ^ b, (1 << 12) - 1);
+        }
+    }
+
+    #[test]
+    fn probe_signatures_yield_exact_then_single_bit_flips() {
+        let h = Hyperplanes::generate(8, 3, 8, 11);
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut exact = vec![0u32; 3];
+        h.signatures(&x, &mut exact);
+        let mut seen: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        h.probe_signatures(&x, 4, |band, sig| seen[band].push(sig));
+        for band in 0..3 {
+            assert_eq!(seen[band].len(), 5, "exact + 4 probes");
+            assert_eq!(seen[band][0], exact[band]);
+            for &p in &seen[band][1..] {
+                assert_eq!((p ^ exact[band]).count_ones(), 1, "single-bit probe");
+            }
+        }
+        // probes are capped at `bits`.
+        let mut count = 0usize;
+        h.probe_signatures(&x, 999, |_, _| count += 1);
+        assert_eq!(count, 3 * (1 + 8));
+    }
+}

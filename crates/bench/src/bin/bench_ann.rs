@@ -1,0 +1,211 @@
+//! Sublinear-read benchmark: brute-force vs ANN `topk` latency at
+//! 10^5–10^6 nodes, plus measured recall@10 and the incremental-republish
+//! cost of the index.
+//!
+//! The vertex set and geometry come from the streamed SBM synthesizer
+//! (`seqge_bench::sbm_stream`): per-block Gaussian centers plus jitter —
+//! the closed-form shape a planted-partition graph trains into — so the
+//! read path is measured at a scale where actually training first would
+//! take hours. Both arms query the *same* published snapshot: brute goes
+//! through `EmbeddingSnapshot::topk`, ANN through
+//! `EmbeddingSnapshot::topk_ann` at the protocol-default probe count, and
+//! recall@10 compares the two id sets per query.
+//!
+//! Headline numbers (gated by scripts/bench_gate.sh):
+//!
+//! * `p99_speedup` — brute p99 / ANN p99 on the same host and snapshot;
+//!   the acceptance floor for this benchmark is ≥ 5 at 10^5 nodes.
+//! * `recall_at_10` — mean |ANN ∩ brute| / k over the query set (floor 0.9).
+//! * `incremental_speedup` — full index build time / re-sync time after
+//!   dirtying <1% of vertices.
+//!
+//! Flags beyond the common set: `--nodes <n>` (default 100000, scaled by
+//! `--scale`), `--queries <q>` (default 200), `--probes <p>` (default the
+//! protocol default). Writes `results/bench_ann.json` (or `--json <path>`).
+
+use seqge_ann::{AnnBuilder, AnnConfig};
+use seqge_bench::sbm_stream::SbmStreamParams;
+use seqge_bench::{banner, clustered_embeddings, write_json, Args};
+use seqge_eval::EdgeOp;
+use seqge_serve::{EmbeddingSnapshot, DEFAULT_PROBES};
+use serde::Serialize;
+use std::path::Path;
+use std::time::Instant;
+
+const K: usize = 10;
+const DIM: usize = 32;
+const NOISE: f32 = 0.35;
+
+#[derive(Serialize)]
+struct AnnResults {
+    nodes: usize,
+    dim: usize,
+    blocks: usize,
+    queries: usize,
+    k: usize,
+    probes: usize,
+    bands: usize,
+    bits: usize,
+    brute_p50_ns: u64,
+    brute_p99_ns: u64,
+    ann_p50_ns: u64,
+    ann_p99_ns: u64,
+    p50_speedup: f64,
+    p99_speedup: f64,
+    recall_at_10: f64,
+    mean_candidates: f64,
+    fallbacks: usize,
+    full_build_ns: u64,
+    incr_sync_ns: u64,
+    incremental_speedup: f64,
+    dirty_vertices: usize,
+    dirty_fraction: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let args = Args::parse(1.0);
+    let nodes = args
+        .extra("nodes")
+        .map(|v| v.parse().expect("--nodes expects an integer"))
+        .unwrap_or(((100_000.0 * args.scale) as usize).max(1_000));
+    let queries: usize = args
+        .extra("queries")
+        .map(|v| v.parse().expect("--queries expects an integer"))
+        .unwrap_or(200);
+    let probes: usize = args
+        .extra("probes")
+        .map(|v| v.parse().expect("--probes expects an integer"))
+        .unwrap_or(DEFAULT_PROBES);
+    banner("bench_ann (brute vs ANN topk)", args.scale);
+
+    let blocks = SbmStreamParams::sized(nodes, args.seed).blocks;
+    println!("synthesizing {nodes} x {DIM} embeddings over {blocks} SBM blocks ...");
+    let emb = clustered_embeddings(nodes, DIM, blocks, NOISE, args.seed);
+
+    let cfg = AnnConfig::default();
+    let mut builder = AnnBuilder::new(cfg);
+    let (index, full) = builder.sync(&emb);
+    println!(
+        "index: {} bands x {} bits, full build {:.1} ms",
+        index.bands(),
+        index.bits(),
+        full.build_ns as f64 / 1e6
+    );
+    let (bands, bits) = (index.bands(), index.bits());
+    let snap = EmbeddingSnapshot {
+        version: 1,
+        emb,
+        num_edges: 0,
+        walks_trained: 0,
+        edges_inserted: 0,
+        edges_removed: 0,
+        ann: Some(index),
+    };
+
+    let stride = (nodes / queries).max(1);
+    let nodes_q: Vec<u32> = (0..queries).map(|i| ((i * stride) % nodes) as u32).collect();
+
+    // Warmup both paths (page in the matrix, stabilize clocks).
+    for &q in nodes_q.iter().take(8) {
+        let _ = snap.topk(q, K, EdgeOp::Cosine);
+        let _ = snap.topk_ann(q, K, EdgeOp::Cosine, None, probes);
+    }
+
+    let mut brute_ns = Vec::with_capacity(queries);
+    let mut ann_ns = Vec::with_capacity(queries);
+    let mut recall_sum = 0.0f64;
+    let mut cand_sum = 0usize;
+    let mut fallbacks = 0usize;
+    for &q in &nodes_q {
+        let t0 = Instant::now();
+        let exact = snap.topk(q, K, EdgeOp::Cosine).expect("query in range");
+        brute_ns.push(t0.elapsed().as_nanos() as u64);
+
+        let t0 = Instant::now();
+        let ann = snap.topk_ann(q, K, EdgeOp::Cosine, None, probes).expect("query in range");
+        ann_ns.push(t0.elapsed().as_nanos() as u64);
+
+        let truth: Vec<u32> = exact.iter().map(|h| h.0).collect();
+        let hit = ann.hits.iter().filter(|h| truth.contains(&h.0)).count();
+        recall_sum += hit as f64 / K as f64;
+        cand_sum += ann.candidates;
+        fallbacks += ann.fallback as usize;
+    }
+    brute_ns.sort_unstable();
+    ann_ns.sort_unstable();
+
+    // Incremental republish: dirty ~0.5% of vertices, re-sync, and compare
+    // against the full build. The dirty count is exact (per-row hashing),
+    // so `dirty_vertices` doubles as the correctness check bench_gate
+    // keeps an eye on.
+    let mut emb2 = snap.emb.clone();
+    let step = 200; // 1 in 200 rows = 0.5% dirty
+    let mut dirtied = 0usize;
+    let mut r = 0;
+    while r < nodes {
+        emb2.row_mut(r)[0] += 0.25;
+        dirtied += 1;
+        r += step;
+    }
+    let (_, incr) = builder.sync(&emb2);
+    assert_eq!(incr.dirty, dirtied, "per-row hashing must find exactly the dirtied rows");
+
+    let res = AnnResults {
+        nodes,
+        dim: DIM,
+        blocks,
+        queries,
+        k: K,
+        probes,
+        bands,
+        bits,
+        brute_p50_ns: percentile(&brute_ns, 0.50),
+        brute_p99_ns: percentile(&brute_ns, 0.99),
+        ann_p50_ns: percentile(&ann_ns, 0.50),
+        ann_p99_ns: percentile(&ann_ns, 0.99),
+        p50_speedup: percentile(&brute_ns, 0.50) as f64 / percentile(&ann_ns, 0.50).max(1) as f64,
+        p99_speedup: percentile(&brute_ns, 0.99) as f64 / percentile(&ann_ns, 0.99).max(1) as f64,
+        recall_at_10: recall_sum / queries as f64,
+        mean_candidates: cand_sum as f64 / queries as f64,
+        fallbacks,
+        full_build_ns: full.build_ns,
+        incr_sync_ns: incr.build_ns,
+        incremental_speedup: full.build_ns as f64 / incr.build_ns.max(1) as f64,
+        dirty_vertices: incr.dirty,
+        dirty_fraction: incr.dirty as f64 / nodes as f64,
+    };
+
+    println!();
+    println!("topk k={K} cosine over {queries} queries @ {nodes} nodes:");
+    println!(
+        "  brute  p50 {:>9.1} us   p99 {:>9.1} us",
+        res.brute_p50_ns as f64 / 1e3,
+        res.brute_p99_ns as f64 / 1e3
+    );
+    println!(
+        "  ann    p50 {:>9.1} us   p99 {:>9.1} us   ({} probes, ~{:.0} candidates, {} fallbacks)",
+        res.ann_p50_ns as f64 / 1e3,
+        res.ann_p99_ns as f64 / 1e3,
+        probes,
+        res.mean_candidates,
+        res.fallbacks
+    );
+    println!("  p99 speedup {:.1}x   recall@10 {:.3}", res.p99_speedup, res.recall_at_10);
+    println!(
+        "  index: full build {:.1} ms, resync with {:.2}% dirty {:.2} ms ({:.0}x cheaper)",
+        res.full_build_ns as f64 / 1e6,
+        res.dirty_fraction * 100.0,
+        res.incr_sync_ns as f64 / 1e6,
+        res.incremental_speedup
+    );
+
+    let path =
+        args.json.clone().unwrap_or_else(|| Path::new("results/bench_ann.json").to_path_buf());
+    write_json(&path, &res).expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -15,10 +15,12 @@
 
 pub mod args;
 pub mod prep;
+pub mod sbm_stream;
 pub mod timing;
 
 pub use args::Args;
 pub use prep::{prepared_walks, PreparedGraph};
+pub use sbm_stream::{clustered_embeddings, SbmStream, SbmStreamParams};
 pub use timing::time_walk_training;
 
 use std::io::Write as _;

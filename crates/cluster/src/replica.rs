@@ -83,6 +83,7 @@ impl Replica {
             walks_trained: 0,
             edges_inserted: 0,
             edges_removed: 0,
+            ann: None,
         };
         let cell = Arc::new(SnapshotCell::new(boot));
         let applied = Arc::new(AtomicU64::new(meta.applied_seq));
@@ -237,6 +238,7 @@ impl TailLoop {
             walks_trained: self.walks_trained,
             edges_inserted: self.edges_inserted,
             edges_removed: self.edges_removed,
+            ann: None,
         });
         self.applied.store(self.applied_seq, Ordering::SeqCst);
     }

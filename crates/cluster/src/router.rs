@@ -308,7 +308,7 @@ impl RouterCtx {
             Request::Stats => (self.stats(conns), false),
             Request::Metrics { format } => (self.metrics(format), false),
             Request::GetEmbedding { node } => (self.get_embedding(node, line, conns), false),
-            Request::TopK { node, k, op, filter } => {
+            Request::TopK { node, k, op, filter, mode, probes } => {
                 if filter.is_some() {
                     self.protocol_errors.inc();
                     return (
@@ -318,7 +318,7 @@ impl RouterCtx {
                         false,
                     );
                 }
-                (self.topk(node, k, op, conns), false)
+                (self.topk(node, k, op, mode, probes, conns), false)
             }
             Request::ScoreLink { u, v, op } => (self.score_link(u, v, op, line, conns), false),
             Request::AddEdge { u, v, .. } | Request::RemoveEdge { u, v, .. } => {
@@ -528,13 +528,26 @@ impl RouterCtx {
         Response::err(format!("degraded: shard {a} unavailable and no replica covers it"))
     }
 
-    fn topk(&self, node: u32, k: usize, op: EdgeOp, conns: &mut Conns) -> String {
+    fn topk(
+        &self,
+        node: u32,
+        k: usize,
+        op: EdgeOp,
+        mode: protocol::TopKMode,
+        probes: usize,
+        conns: &mut Conns,
+    ) -> String {
         let n = self.num_shards();
         let targets = self.all_shards();
+        // The recall knob rides through scatter-gather verbatim: each
+        // shard runs ANN over its own residue class, and because every
+        // candidate is re-ranked exactly shard-side, the merged order is
+        // still the protocol total order.
         let got = self.scatter_gather(conns, &targets, |s| {
             format!(
-                r#"{{"cmd":"topk","node":{node},"k":{k},"op":"{}","mod":{n},"rem":{s}}}"#,
-                op_name(op)
+                r#"{{"cmd":"topk","node":{node},"k":{k},"op":"{}","mode":"{}","probes":{probes},"mod":{n},"rem":{s}}}"#,
+                op_name(op),
+                mode.as_str()
             )
         });
         let mut missing = Vec::new();

@@ -252,6 +252,7 @@ fn four_shard_topk_agrees_with_single_node_on_community_structure() {
         walks_trained: 0,
         edges_inserted: 0,
         edges_removed: 0,
+        ann: None,
     };
 
     let base = scratch("topk");

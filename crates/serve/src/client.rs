@@ -310,10 +310,31 @@ impl Client {
             .collect()
     }
 
-    /// Nearest neighbors, best first.
+    /// Nearest neighbors, best first (exact scan).
     pub fn topk(&mut self, node: NodeId, k: usize, op: EdgeOp) -> io::Result<Vec<(NodeId, f64)>> {
         let line = format!(r#"{{"cmd":"topk","node":{node},"k":{k},"op":"{}"}}"#, op_name(op));
-        let v = self.call(&line)?;
+        self.parse_topk(&line)
+    }
+
+    /// Nearest neighbors via the ANN index: candidates come from the LSH
+    /// buckets (`probes` extra probes per band) and are re-ranked exactly.
+    /// The server falls back to the exact scan when no index is published.
+    pub fn topk_ann(
+        &mut self,
+        node: NodeId,
+        k: usize,
+        op: EdgeOp,
+        probes: usize,
+    ) -> io::Result<Vec<(NodeId, f64)>> {
+        let line = format!(
+            r#"{{"cmd":"topk","node":{node},"k":{k},"op":"{}","mode":"ann","probes":{probes}}}"#,
+            op_name(op)
+        );
+        self.parse_topk(&line)
+    }
+
+    fn parse_topk(&mut self, line: &str) -> io::Result<Vec<(NodeId, f64)>> {
+        let v = self.call(line)?;
         let arr = v
             .get("results")
             .and_then(Value::as_array)

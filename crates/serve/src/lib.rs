@@ -49,8 +49,10 @@ pub mod wal;
 pub use client::{Client, ClientConfig};
 pub use dedup::DedupTable;
 pub use fault::{FaultInjector, FaultPoint};
-pub use protocol::{parse_request, Request, Response, WriteId, MAX_LINE_BYTES};
+pub use protocol::{
+    parse_request, Request, Response, TopKMode, WriteId, DEFAULT_PROBES, MAX_LINE_BYTES,
+};
 pub use server::{boot_cold, boot_restore, boot_wal, start, ServeConfig, ServerHandle};
-pub use snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
+pub use snapshot::{AnnTopK, EmbeddingSnapshot, SnapshotCell, SnapshotReader};
 pub use trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};
 pub use wal::{FsyncPolicy, RecoveryReport, Wal, WalBoot, WalConfig};

@@ -13,7 +13,7 @@
 //! | `ping`          | —                             | read   |
 //! | `stats`         | —                             | read   |
 //! | `get_embedding` | `node`                        | read   |
-//! | `topk`          | `node`, `k?=10`, `op?=cosine`, `mod?`, `rem?` | read |
+//! | `topk`          | `node`, `k?=10`, `op?=cosine`, `mode?=exact`, `probes?=8`, `mod?`, `rem?` | read |
 //! | `score_link`    | `u`, `v`, `op?=cosine`        | read   |
 //! | `add_edge`      | `u`, `v`, `client?`, `seq?`   | write  |
 //! | `remove_edge`   | `u`, `v`, `client?`, `seq?`   | write  |
@@ -26,7 +26,11 @@
 //! `op` is one of `"dot"`, `"cosine"`, `"neg_l2"`. `topk` optionally takes
 //! a residue-class candidate filter (`mod` + `rem`): only nodes `v` with
 //! `v % mod == rem` compete. The cluster router uses it so each shard
-//! answers exactly for the vertex slice it owns. Lines longer than
+//! answers exactly for the vertex slice it owns. `mode` selects the
+//! candidate-generation strategy: `"exact"` (default) scans every vertex,
+//! `"ann"` unions LSH buckets (plus `probes` low-margin bit-flip probes per
+//! band) and re-ranks the candidates exactly — same scores, same tie-break,
+//! approximate only in *which* vertices compete. Lines longer than
 //! [`MAX_LINE_BYTES`] are a protocol violation: the server answers with an
 //! error and closes the connection (a misbehaving writer cannot make it
 //! buffer unboundedly).
@@ -45,6 +49,34 @@ pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Default `k` for `topk` requests.
 pub const DEFAULT_TOPK: usize = 10;
+
+/// Default per-band multi-probe count for `mode:"ann"` topk requests.
+pub const DEFAULT_PROBES: usize = 8;
+
+/// Hard cap on the per-request `probes` knob.
+pub const MAX_PROBES: usize = 64;
+
+/// Candidate-generation strategy for `topk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopKMode {
+    /// Brute-force scan over every vertex (the bit-exact reference).
+    #[default]
+    Exact,
+    /// LSH candidate generation with exact re-ranking; falls back to the
+    /// exact scan when no index is published or too few candidates
+    /// survive the filters.
+    Ann,
+}
+
+impl TopKMode {
+    /// Wire name (the `mode` request parameter / response field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TopKMode::Exact => "exact",
+            TopKMode::Ann => "ann",
+        }
+    }
+}
 
 /// Rendering of the `metrics` op's registry dump.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +134,11 @@ pub enum Request {
         /// nodes `v` with `v % modulus == remainder` compete. `None`
         /// considers every node.
         filter: Option<(u32, u32)>,
+        /// Candidate-generation strategy (exact scan vs ANN index).
+        mode: TopKMode,
+        /// Per-band multi-probe count for [`TopKMode::Ann`]; ignored by
+        /// the exact path.
+        probes: usize,
     },
     /// Edge score for a candidate link.
     ScoreLink {
@@ -249,7 +286,30 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 }
                 _ => return Err("`mod` and `rem` must be given together".to_string()),
             };
-            Ok(Request::TopK { node: get_u32(&v, "node")?, k, op: get_op(&v)?, filter })
+            let mode = match v.get("mode") {
+                None => TopKMode::Exact,
+                Some(m) => match m.as_str() {
+                    Some("exact") => TopKMode::Exact,
+                    Some("ann") => TopKMode::Ann,
+                    _ => return Err("`mode` must be one of \"exact\", \"ann\"".to_string()),
+                },
+            };
+            let probes = match v.get("probes") {
+                None => DEFAULT_PROBES,
+                Some(p) => p
+                    .as_u64()
+                    .filter(|&x| x <= MAX_PROBES as u64)
+                    .ok_or_else(|| format!("`probes` must be an integer in 0..={MAX_PROBES}"))?
+                    as usize,
+            };
+            Ok(Request::TopK {
+                node: get_u32(&v, "node")?,
+                k,
+                op: get_op(&v)?,
+                filter,
+                mode,
+                probes,
+            })
         }
         "score_link" => {
             Ok(Request::ScoreLink { u: get_u32(&v, "u")?, v: get_u32(&v, "v")?, op: get_op(&v)? })
@@ -389,17 +449,40 @@ mod tests {
             parse_request(r#"{"cmd":"get_embedding","node":3}"#).unwrap(),
             Request::GetEmbedding { node: 3 }
         );
+        let topk_defaults = |node, k, op, filter| Request::TopK {
+            node,
+            k,
+            op,
+            filter,
+            mode: TopKMode::Exact,
+            probes: DEFAULT_PROBES,
+        };
         assert_eq!(
             parse_request(r#"{"cmd":"topk","node":1,"k":5,"op":"dot"}"#).unwrap(),
-            Request::TopK { node: 1, k: 5, op: EdgeOp::Dot, filter: None }
+            topk_defaults(1, 5, EdgeOp::Dot, None)
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","node":1}"#).unwrap(),
-            Request::TopK { node: 1, k: DEFAULT_TOPK, op: EdgeOp::Cosine, filter: None }
+            topk_defaults(1, DEFAULT_TOPK, EdgeOp::Cosine, None)
         );
         assert_eq!(
             parse_request(r#"{"cmd":"topk","node":1,"mod":4,"rem":3}"#).unwrap(),
-            Request::TopK { node: 1, k: DEFAULT_TOPK, op: EdgeOp::Cosine, filter: Some((4, 3)) }
+            topk_defaults(1, DEFAULT_TOPK, EdgeOp::Cosine, Some((4, 3)))
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topk","node":1,"mode":"ann","probes":2}"#).unwrap(),
+            Request::TopK {
+                node: 1,
+                k: DEFAULT_TOPK,
+                op: EdgeOp::Cosine,
+                filter: None,
+                mode: TopKMode::Ann,
+                probes: 2
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"topk","node":1,"mode":"exact"}"#).unwrap(),
+            topk_defaults(1, DEFAULT_TOPK, EdgeOp::Cosine, None)
         );
         assert_eq!(
             parse_request(r#"{"cmd":"score_link","u":1,"v":2,"op":"neg_l2"}"#).unwrap(),
@@ -514,6 +597,24 @@ mod tests {
             .contains("op"));
         assert!(parse_request(r#"{"cmd":"topk","node":1,"k":0}"#).unwrap_err().contains("k"));
         assert!(parse_request(r#"{"cmd":"topk","node":1,"k":999999}"#).unwrap_err().contains("k"));
+    }
+
+    #[test]
+    fn rejects_bad_mode_and_probes() {
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"mode":"fuzzy"}"#)
+            .unwrap_err()
+            .contains("mode"));
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"probes":65}"#)
+            .unwrap_err()
+            .contains("probes"));
+        assert!(parse_request(r#"{"cmd":"topk","node":1,"probes":-1}"#)
+            .unwrap_err()
+            .contains("probes"));
+        // probes=0 (exact signature only, no bit flips) is valid.
+        assert!(matches!(
+            parse_request(r#"{"cmd":"topk","node":1,"mode":"ann","probes":0}"#).unwrap(),
+            Request::TopK { probes: 0, mode: TopKMode::Ann, .. }
+        ));
     }
 
     #[test]

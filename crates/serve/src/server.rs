@@ -262,6 +262,9 @@ pub fn start(
         walks_trained: 0,
         edges_inserted: 0,
         edges_removed: 0,
+        // The trainer's version-0 publish (inside `Trainer::new`, before
+        // workers spawn) replaces this indexless snapshot immediately.
+        ann: None,
     };
     let cell = Arc::new(SnapshotCell::new(boot));
     let stop = Arc::new(AtomicBool::new(false));
@@ -595,13 +598,28 @@ impl WorkerCtx {
                     ),
                 }
             }
-            Request::TopK { node, k, op, filter } => {
+            Request::TopK { node, k, op, filter, mode, probes } => {
                 if self.overloaded() {
                     return self.shed_read();
                 }
                 let snap = reader.current();
-                match snap.topk_filtered(node, k, op, filter) {
-                    Some(hits) => {
+                let answered = match mode {
+                    protocol::TopKMode::Exact => {
+                        snap.topk_filtered(node, k, op, filter).map(|hits| (hits, None))
+                    }
+                    protocol::TopKMode::Ann => {
+                        snap.topk_ann(node, k, op, filter, probes).map(|r| {
+                            self.stats.ann_queries.inc();
+                            self.stats.ann_candidates.record(r.candidates as u64);
+                            if r.fallback {
+                                self.stats.ann_fallbacks.inc();
+                            }
+                            (r.hits, Some(r.fallback))
+                        })
+                    }
+                };
+                match answered {
+                    Some((hits, fallback)) => {
                         let items: Vec<Value> = hits
                             .into_iter()
                             .map(|(v, s)| {
@@ -611,15 +629,16 @@ impl WorkerCtx {
                                 ])
                             })
                             .collect();
-                        (
-                            Response::ok()
-                                .field("node", node)
-                                .field("op", op_name(op))
-                                .field("version", snap.version)
-                                .field("results", Value::Array(items))
-                                .build(),
-                            false,
-                        )
+                        let mut resp = Response::ok()
+                            .field("node", node)
+                            .field("op", op_name(op))
+                            .field("mode", mode.as_str())
+                            .field("version", snap.version)
+                            .field("results", Value::Array(items));
+                        if let Some(fb) = fallback {
+                            resp = resp.field("fallback", fb);
+                        }
+                        (resp.build(), false)
                     }
                     None => (
                         Response::err(format!(

@@ -9,6 +9,7 @@
 //! a lock-free atomic version counter per query; the micro-lock is touched
 //! once per *publication*, not once per query.
 
+use seqge_ann::AnnIndex;
 use seqge_eval::EdgeOp;
 use seqge_graph::NodeId;
 use seqge_linalg::Mat;
@@ -31,6 +32,27 @@ pub struct EmbeddingSnapshot {
     pub edges_inserted: usize,
     /// Edge retractions applied since boot.
     pub edges_removed: usize,
+    /// ANN index over `emb`, built by the trainer *for this exact matrix*
+    /// and published inside the same `Arc` — a reader can never pair a
+    /// stale index with fresh embeddings or vice versa. `None` when ANN is
+    /// disabled (queries with `mode:"ann"` then fall back to the exact
+    /// scan).
+    pub ann: Option<Arc<AnnIndex>>,
+}
+
+/// Result of [`EmbeddingSnapshot::topk_ann`]: the hits plus how the
+/// candidate set was produced (mirrored into `seqge_ann_*` metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnTopK {
+    /// The `k` best candidates, best first — scored and tie-broken exactly
+    /// like the brute-force path.
+    pub hits: Vec<(NodeId, f64)>,
+    /// Candidates scored (after self/filter exclusion). For a fallback
+    /// this is the brute-force pool size.
+    pub candidates: usize,
+    /// `true` when the exact scan answered instead of the index (index
+    /// absent, geometry mismatch, or candidate pool smaller than `k`).
+    pub fallback: bool,
 }
 
 impl EmbeddingSnapshot {
@@ -88,34 +110,78 @@ impl EmbeddingSnapshot {
         if node as usize >= self.emb.rows() {
             return None;
         }
+        let keep = move |v: &NodeId| *v != node && filter.is_none_or(|(m, r)| *v % m == r);
+        Some(self.rank_top_k(node, k, op, (0..self.emb.rows() as NodeId).filter(keep)))
+    }
+
+    /// [`EmbeddingSnapshot::topk_filtered`] answered from the published
+    /// ANN index: the candidate pool is the union of the query's LSH
+    /// buckets (plus `probes` low-margin probes per band) instead of every
+    /// vertex, then re-ranked *exactly* — scores and tie-breaks are
+    /// identical to the brute-force path; only membership of the pool is
+    /// approximate. Falls back to the exact scan (and says so) when no
+    /// index is published, the index covers a different matrix geometry,
+    /// or fewer than `k` candidates survive the self/filter exclusion.
+    /// `None` if `node` is out of range.
+    pub fn topk_ann(
+        &self,
+        node: NodeId,
+        k: usize,
+        op: EdgeOp,
+        filter: Option<(u32, u32)>,
+        probes: usize,
+    ) -> Option<AnnTopK> {
+        if node as usize >= self.emb.rows() {
+            return None;
+        }
         if k == 0 {
-            return Some(Vec::new());
+            return Some(AnnTopK { hits: Vec::new(), candidates: 0, fallback: false });
         }
-        // Bounded selection: keep the k best seen so far in a small vec
-        // (k ≪ n in practice), replacing the current worst on improvement.
-        // `total_cmp` on (score desc, id asc) makes the order total, so the
-        // same snapshot always returns the same list.
+        let keep = move |v: &NodeId| *v != node && filter.is_none_or(|(m, r)| *v % m == r);
+        if let Some(index) = self.ann.as_ref().filter(|ix| ix.num_points() == self.emb.rows()) {
+            let cands: Vec<NodeId> = index
+                .candidates(self.emb.row(node as usize), probes)
+                .into_iter()
+                .filter(keep)
+                .collect();
+            if cands.len() >= k {
+                let n = cands.len();
+                return Some(AnnTopK {
+                    hits: self.rank_top_k(node, k, op, cands.into_iter()),
+                    candidates: n,
+                    fallback: false,
+                });
+            }
+        }
+        let pool = (0..self.emb.rows() as NodeId).filter(keep);
+        let candidates = pool.clone().count();
+        Some(AnnTopK { hits: self.rank_top_k(node, k, op, pool), candidates, fallback: true })
+    }
+
+    /// Exact ranking of an explicit candidate pool: score everything, move
+    /// the k best to the front with `select_nth_unstable_by` (O(c)), then
+    /// sort only those k survivors (O(k log k)) — the pool never pays a
+    /// full O(c log c) sort. `total_cmp` on (score desc, id asc) makes the
+    /// order total, so the same snapshot always returns the same list.
+    fn rank_top_k(
+        &self,
+        node: NodeId,
+        k: usize,
+        op: EdgeOp,
+        candidates: impl Iterator<Item = NodeId>,
+    ) -> Vec<(NodeId, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
         let better = |a: &(NodeId, f64), b: &(NodeId, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
-        let mut best: Vec<(NodeId, f64)> = Vec::with_capacity(k + 1);
-        for v in 0..self.emb.rows() as NodeId {
-            if v == node {
-                continue;
-            }
-            if let Some((m, r)) = filter {
-                if v % m != r {
-                    continue;
-                }
-            }
-            let s = op.score(&self.emb, node, v);
-            if best.len() < k {
-                best.push((v, s));
-                best.sort_by(better);
-            } else if better(&(v, s), &best[k - 1]).is_lt() {
-                best[k - 1] = (v, s);
-                best.sort_by(better);
-            }
+        let mut scored: Vec<(NodeId, f64)> =
+            candidates.map(|v| (v, op.score(&self.emb, node, v))).collect();
+        if scored.len() > k {
+            scored.select_nth_unstable_by(k - 1, better);
+            scored.truncate(k);
         }
-        Some(best)
+        scored.sort_by(better);
+        scored
     }
 }
 
@@ -191,6 +257,7 @@ mod tests {
             walks_trained: 0,
             edges_inserted: 0,
             edges_removed: 0,
+            ann: None,
         }
     }
 
@@ -240,6 +307,54 @@ mod tests {
         assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), vec![0, 6, 9]);
         // Unfiltered call is the same as filter None.
         assert_eq!(s.topk(2, 4, EdgeOp::Cosine), s.topk_filtered(2, 4, EdgeOp::Cosine, None));
+    }
+
+    #[test]
+    fn topk_ann_without_index_falls_back_to_exact() {
+        let emb = Mat::from_fn(20, 4, |r, c| ((r * 5 + c) % 7) as f32 - 3.0);
+        let s = EmbeddingSnapshot { emb, ..snap(1, 0) };
+        let got = s.topk_ann(3, 5, EdgeOp::Cosine, None, 4).unwrap();
+        assert!(got.fallback);
+        assert_eq!(got.candidates, 19);
+        assert_eq!(got.hits, s.topk(3, 5, EdgeOp::Cosine).unwrap());
+        assert!(s.topk_ann(20, 5, EdgeOp::Dot, None, 4).is_none(), "out of range");
+        let empty = s.topk_ann(3, 0, EdgeOp::Dot, None, 4).unwrap();
+        assert!(empty.hits.is_empty() && !empty.fallback);
+    }
+
+    #[test]
+    fn topk_ann_with_index_matches_exact_on_clustered_data() {
+        use seqge_ann::{AnnBuilder, AnnConfig};
+        // Two tight antipodal clusters: candidate recall is perfect, so
+        // ANN and exact must agree bit-for-bit.
+        let emb = Mat::from_fn(64, 8, |r, c| {
+            let sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            sign * (1.0 + (r * 3 + c) as f32 * 0.003)
+        });
+        let (index, _) = AnnBuilder::new(AnnConfig::default()).sync(&emb);
+        let s = EmbeddingSnapshot { emb, ann: Some(index), ..snap(1, 0) };
+        for node in [0, 7, 31] {
+            let ann = s.topk_ann(node, 8, EdgeOp::Cosine, None, 8).unwrap();
+            assert!(!ann.fallback, "cluster bucket holds ≥ 8 candidates");
+            assert!(ann.candidates < 64, "candidate pool is a strict subset");
+            assert_eq!(ann.hits, s.topk(node, 8, EdgeOp::Cosine).unwrap());
+        }
+        // Residue filter composes: survivors all match the class.
+        let ann = s.topk_ann(0, 3, EdgeOp::Dot, Some((4, 2)), 8).unwrap();
+        assert!(ann.hits.iter().all(|h| h.0 % 4 == 2));
+        assert_eq!(ann.hits, s.topk_filtered(0, 3, EdgeOp::Dot, Some((4, 2))).unwrap());
+    }
+
+    #[test]
+    fn topk_ann_geometry_mismatch_falls_back() {
+        use seqge_ann::{AnnBuilder, AnnConfig};
+        let stale = Mat::from_fn(10, 4, |r, c| (r + c) as f32);
+        let (index, _) = AnnBuilder::new(AnnConfig::default()).sync(&stale);
+        let emb = Mat::from_fn(12, 4, |r, c| (r + c) as f32);
+        let s = EmbeddingSnapshot { emb, ann: Some(index), ..snap(1, 0) };
+        let got = s.topk_ann(0, 3, EdgeOp::Dot, None, 4).unwrap();
+        assert!(got.fallback, "index covers 10 points, snapshot has 12");
+        assert_eq!(got.hits, s.topk(0, 3, EdgeOp::Dot).unwrap());
     }
 
     #[test]

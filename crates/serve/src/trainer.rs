@@ -18,6 +18,7 @@
 use crate::fault::{FaultInjector, FaultPoint};
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell};
 use crate::wal::Wal;
+use seqge_ann::{AnnBuilder, AnnConfig, SyncReport};
 use seqge_core::model::EmbeddingModel;
 use seqge_core::{persist, IncrementalTrainer, OsElmSkipGram};
 use seqge_graph::{io as graph_io, EdgeEvent, Graph};
@@ -85,6 +86,27 @@ pub struct ServeStats {
     /// Injected faults that actually fired, labelled by point
     /// (`seqge_serve_fault_injected_total{point=...}`).
     pub faults: Vec<(FaultPoint, Arc<Counter>)>,
+    /// `mode:"ann"` topk queries answered (`seqge_ann_queries_total`).
+    pub ann_queries: Arc<Counter>,
+    /// ANN queries that fell back to the exact scan — no index, geometry
+    /// mismatch, or candidate pool under `k`
+    /// (`seqge_ann_fallbacks_total`).
+    pub ann_fallbacks: Arc<Counter>,
+    /// Candidate-set size per ANN query (`seqge_ann_candidates`).
+    pub ann_candidates: Arc<Histogram>,
+    /// Wall time of each index sync at snapshot publication
+    /// (`seqge_ann_sync_ns`).
+    pub ann_sync_ns: Arc<Histogram>,
+    /// Vertices re-hashed across all syncs — the incremental invariant is
+    /// that this tracks *dirty* vertices, not total republishes × n
+    /// (`seqge_ann_rehashed_total`).
+    pub ann_rehashed: Arc<Counter>,
+    /// Vertices covered by the most recent published index
+    /// (`seqge_ann_indexed_points`).
+    pub ann_indexed: Arc<Gauge>,
+    /// Dirty fraction of the latest republish in parts-per-million
+    /// (`seqge_ann_dirty_ppm`).
+    pub ann_dirty_ppm: Arc<Gauge>,
 }
 
 impl ServeStats {
@@ -122,7 +144,22 @@ impl ServeStats {
                     )
                 })
                 .collect(),
+            ann_queries: registry.counter("seqge_ann_queries_total"),
+            ann_fallbacks: registry.counter("seqge_ann_fallbacks_total"),
+            ann_candidates: registry.histogram("seqge_ann_candidates"),
+            ann_sync_ns: registry.histogram("seqge_ann_sync_ns"),
+            ann_rehashed: registry.counter("seqge_ann_rehashed_total"),
+            ann_indexed: registry.gauge("seqge_ann_indexed_points"),
+            ann_dirty_ppm: registry.gauge("seqge_ann_dirty_ppm"),
         }
+    }
+
+    /// Mirrors one [`AnnBuilder::sync`] outcome into the registry.
+    pub fn record_ann_sync(&self, rep: &SyncReport) {
+        self.ann_sync_ns.record(rep.build_ns);
+        self.ann_rehashed.add(rep.rehashed as u64);
+        self.ann_indexed.set(rep.total as i64);
+        self.ann_dirty_ppm.set(rep.dirty_ppm() as i64);
     }
 
     /// Events queued but not yet applied or rejected.
@@ -185,6 +222,10 @@ pub struct TrainerConfig {
     pub snapshot_model: Option<PathBuf>,
     /// Companion path for the graph.
     pub snapshot_graph: Option<PathBuf>,
+    /// ANN index maintenance: `Some(cfg)` keeps an LSH index in sync with
+    /// every published snapshot (incremental — only dirty rows re-hash);
+    /// `None` disables it and `mode:"ann"` queries answer exactly.
+    pub ann: Option<AnnConfig>,
 }
 
 impl Default for TrainerConfig {
@@ -194,6 +235,7 @@ impl Default for TrainerConfig {
             refresh_every: 0,
             snapshot_model: None,
             snapshot_graph: None,
+            ann: Some(AnnConfig::default()),
         }
     }
 }
@@ -213,6 +255,8 @@ pub struct Trainer {
     /// Highest WAL sequence number consumed (applied *or* rejected — a
     /// rejected event is settled and must not replay either).
     applied_seq: u64,
+    /// Incremental ANN index maintainer (`None` when ANN is disabled).
+    ann: Option<AnnBuilder>,
 }
 
 impl Trainer {
@@ -225,6 +269,7 @@ impl Trainer {
         stats: Arc<ServeStats>,
         cfg: TrainerConfig,
     ) -> Self {
+        let ann = cfg.ann.map(AnnBuilder::new);
         let mut t = Trainer {
             graph,
             model,
@@ -237,6 +282,7 @@ impl Trainer {
             version: 0,
             events_since_refresh: 0,
             applied_seq: 0,
+            ann,
         };
         t.sync_stats();
         t.publish();
@@ -264,13 +310,23 @@ impl Trainer {
 
     fn publish(&mut self) {
         let out = self.inc.outcome();
+        let emb = self.model.embedding();
+        // Sync the ANN index against the matrix we are about to publish:
+        // index and embeddings travel in the same `Arc`, so a reader can
+        // never observe one without the other.
+        let ann = self.ann.as_mut().map(|b| {
+            let (index, rep) = b.sync(&emb);
+            self.stats.record_ann_sync(&rep);
+            index
+        });
         self.cell.publish(EmbeddingSnapshot {
             version: self.version,
-            emb: self.model.embedding(),
+            emb,
             num_edges: self.graph.num_edges(),
             walks_trained: out.walks_trained,
             edges_inserted: out.edges_inserted,
             edges_removed: self.inc.edges_removed(),
+            ann,
         });
         self.version += 1;
     }

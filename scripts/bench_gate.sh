@@ -20,6 +20,10 @@
 # to pay for it); a multicore runner will land above the band and warn
 # until the baseline is refreshed there.
 #
+# Also gates the ANN read path (`bench_ann` → p99_speedup, recall_at_10):
+# the brute/ANN p99 ratio is banded (SEQGE_BENCH_ANN_BAND_PCT, default 40)
+# and floored at 5x, and recall@10 is floored at 0.9 outright.
+#
 # Band override: SEQGE_BENCH_BAND_PCT (default 15).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -95,6 +99,51 @@ else
   case $verdict in
   *REGRESSION*) fail=1 ;;
   *"refresh baseline"*) warn=1 ;;
+  esac
+fi
+
+# ANN read-path gate (`bench_ann`): p99_speedup (brute p99 / ANN p99,
+# both arms on the same snapshot in the same process, so the ratio is
+# host-independent) is banded like the other ratios but wider by default
+# — latency ratios carry both arms' scheduler jitter. It also has hard
+# floors from the acceptance criteria, checked regardless of baseline:
+# ANN must stay >= 5x faster at p99 and recall@10 must stay >= 0.9. The
+# recall floor is absolute rather than banded because a recall drop is a
+# correctness regression however the baseline moved.
+# Band override: SEQGE_BENCH_ANN_BAND_PCT.
+ANN_BAND_PCT=${SEQGE_BENCH_ANN_BAND_PCT:-40}
+ANN_BASELINE=${ANN_BASELINE:-results/bench_ann.json}
+[[ -f $ANN_BASELINE ]] || { echo "FAIL: baseline missing: $ANN_BASELINE"; exit 1; }
+cargo build --locked --release -q -p seqge-bench --bin bench_ann
+(cd "$work" && "$ROOT/target/release/bench_ann" --json results/bench_ann.json)
+ANN_FRESH=$work/results/bench_ann.json
+[[ -f $ANN_FRESH ]] || { echo "FAIL: benchmark did not write bench_ann.json"; exit 1; }
+base=$(json_num "$ANN_BASELINE" p99_speedup)
+now=$(json_num "$ANN_FRESH" p99_speedup)
+recall=$(json_num "$ANN_FRESH" recall_at_10)
+if [[ -z $base || -z $now || -z $recall ]]; then
+  echo "FAIL: ann metrics missing (baseline='$base' fresh='$now' recall='$recall')"
+  fail=1
+else
+  verdict=$(awk -v b="$base" -v n="$now" -v band="$ANN_BAND_PCT" 'BEGIN {
+    d = (n - b) / b * 100
+    if (n < 5)         printf "%+.1f%% REGRESSION (below the 5x acceptance floor)", d
+    else if (d < -band)     printf "%+.1f%% REGRESSION (band ±%s%%)", d, band
+    else if (d > band) printf "%+.1f%% above band — refresh baseline", d
+    else               printf "%+.1f%% ok", d
+  }')
+  echo "p99_speedup: baseline $base -> $now  ($verdict)"
+  case $verdict in
+  *REGRESSION*) fail=1 ;;
+  *"refresh baseline"*) warn=1 ;;
+  esac
+  recall_verdict=$(awk -v r="$recall" 'BEGIN {
+    if (r < 0.9) printf "%.3f REGRESSION (floor 0.9)", r
+    else         printf "%.3f ok (floor 0.9)", r
+  }')
+  echo "recall_at_10: $recall_verdict"
+  case $recall_verdict in
+  *REGRESSION*) fail=1 ;;
   esac
 fi
 

@@ -15,9 +15,12 @@
 //! * [`eval`] — one-vs-rest logistic regression and F1 scoring.
 //! * [`serve`] — online embedding service: live edge ingestion, incremental
 //!   sequential training, lock-free snapshot queries over TCP.
+//! * [`ann`] — incremental LSH index behind the serve plane's sublinear
+//!   `topk mode:"ann"` path, versioned with each published snapshot.
 //! * [`cluster`] — sharded, replicated serving: hash-partitioned shard
 //!   plane, scatter-gather router, WAL-fed read replicas.
 
+pub use seqge_ann as ann;
 pub use seqge_cluster as cluster;
 pub use seqge_core as core;
 pub use seqge_eval as eval;

@@ -84,6 +84,7 @@ commands:
   simulate [--dim n]
   serve    --graph FILE [--port n] [--dim n] [--seed n] [--workers n]
            [--batch n] [--refresh-every n] [--mu f] [--forgetting f]
+           [--no-ann] [--ann-bands n] [--ann-bits n]
            [--snapshot-dir DIR] [--log-level error|warn|info|debug|trace]
            [--wal-dir DIR] [--fsync always|batch|never] [--wal-replay-check]
            (long-running daemon; line-delimited JSON over TCP. With
@@ -96,6 +97,11 @@ commands:
             picks the durability/throughput point (default batch).
             --wal-replay-check replays the store twice, verifies the
             result is deterministic, prints a report, and exits.
+            Every published snapshot carries an incrementally maintained
+            LSH index answering `topk` with `\"mode\":\"ann\"` in sublinear
+            time; --ann-bands/--ann-bits shape it (bits 0 = auto-sized
+            from the node count) and --no-ann disables it, making ANN
+            queries fall back to the exact scan.
             SIGINT/SIGTERM drain the in-flight batch before exiting.
             --port 0 = ephemeral)
   cluster  --graph FILE --base-dir DIR [--shards n] [--replicas n]
@@ -137,7 +143,7 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{flag}`"));
         };
         // Boolean flags have no value.
-        if matches!(key, "seq" | "linkpred" | "wal-replay-check") {
+        if matches!(key, "seq" | "linkpred" | "wal-replay-check" | "no-ann") {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -351,6 +357,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let trainer = serve::TrainerConfig {
         batch_max: get(flags, "batch", 256)?,
         refresh_every,
+        ann: ann_config(flags)?,
         ..Default::default()
     };
     let mut config =
@@ -441,6 +448,32 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     };
 
     run_server(config, graph, model, inc, port)
+}
+
+/// ANN knobs for the serve trainer: `--no-ann` publishes snapshots without
+/// an index (ANN queries then fall back to the exact scan), `--ann-bands` /
+/// `--ann-bits` reshape the LSH tables (`bits 0` = auto-sized from the
+/// node count at first sync).
+fn ann_config(flags: &Flags) -> Result<Option<seqge::ann::AnnConfig>, String> {
+    if flags.contains_key("no-ann") {
+        if flags.contains_key("ann-bands") || flags.contains_key("ann-bits") {
+            return Err("--no-ann cannot combine with --ann-bands/--ann-bits".into());
+        }
+        return Ok(None);
+    }
+    let default = seqge::ann::AnnConfig::default();
+    let cfg = seqge::ann::AnnConfig {
+        bands: get(flags, "ann-bands", default.bands)?,
+        bits: get(flags, "ann-bits", default.bits)?,
+        ..default
+    };
+    if cfg.bands == 0 {
+        return Err("--ann-bands must be at least 1".into());
+    }
+    if cfg.bits > seqge::ann::lsh::MAX_BITS {
+        return Err(format!("--ann-bits is capped at {}", seqge::ann::lsh::MAX_BITS));
+    }
+    Ok(Some(cfg))
 }
 
 /// `seqge cluster`: boots N in-process shards plus the router and blocks
