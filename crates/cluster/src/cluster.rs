@@ -16,7 +16,9 @@ use seqge_core::{OsElmConfig, TrainConfig};
 use seqge_graph::Graph;
 use seqge_sampling::UpdatePolicy;
 use seqge_serve::wal::{FsyncPolicy, Wal, WalConfig};
-use seqge_serve::{boot_cold, boot_wal, start, ServeConfig, ServerHandle, TrainerConfig};
+use seqge_serve::{
+    boot_cold, boot_wal, start, FaultInjector, ServeConfig, ServerHandle, TrainerConfig,
+};
 use std::io::{self, ErrorKind};
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -158,12 +160,19 @@ impl Cluster {
                         policy(),
                         cfg.seed,
                     )?;
+                    // In-process shards honor SEQGE_FAULT like a standalone
+                    // `seqge serve` would, so chaos runs (load smoke, local
+                    // soak) can inject shard-side faults through the same
+                    // env knob.
+                    let fault = FaultInjector::from_env()
+                        .map_err(|e| io::Error::new(ErrorKind::InvalidInput, e))?;
                     let scfg = ServeConfig {
                         trainer: TrainerConfig {
                             refresh_every: cfg.refresh_every,
                             ..TrainerConfig::default()
                         },
                         wal: Some(Arc::new(boot.wal)),
+                        fault: Arc::new(fault),
                         ..ServeConfig::default()
                     };
                     let handle = start("127.0.0.1:0", boot.graph, boot.model, boot.inc, scfg)?;

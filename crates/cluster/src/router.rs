@@ -28,6 +28,13 @@
 //!   shard turns the whole call into `overloaded` (retryable) rather
 //!   than a silently partial barrier.
 //!
+//! Partial and fallback replies are classifiable without string-matching:
+//! every degraded success (`degraded:true`, `source:"replica"`) and every
+//! degraded/overloaded failure carries the protocol's machine-readable
+//! `code` field (see `seqge_serve::protocol`), and a shard's `overloaded`
+//! code passes through writes intact so client retry policy keeps working
+//! end to end.
+//!
 //! Every fan-out is pipelined — requests are written to all shards
 //! before any response is read — so the wall clock is the slowest shard,
 //! not the sum. Per-worker connections are cached and tagged with the
@@ -38,7 +45,9 @@ use crate::partition::{edge_owners, owner};
 use crate::shard::{mark_unhealthy, shard_info, ShardTable};
 use seqge_eval::EdgeOp;
 use seqge_obs::{export, Counter, Registry};
-use seqge_serve::protocol::{self, op_name, MetricsFormat, Request, Response, MAX_LINE_BYTES};
+use seqge_serve::protocol::{
+    self, op_name, MetricsFormat, Request, Response, CODE_DEGRADED, CODE_OVERLOADED, MAX_LINE_BYTES,
+};
 use seqge_serve::snapshot::SnapshotCell;
 use seqge_serve::{Client, ClientConfig};
 use serde_json::Value;
@@ -306,7 +315,7 @@ impl RouterCtx {
                 (Response::ok().field("pong", true).field("role", "router").build(), false)
             }
             Request::Stats => (self.stats(conns), false),
-            Request::Metrics { format } => (self.metrics(format), false),
+            Request::Metrics { format } => (self.metrics(format, conns), false),
             Request::GetEmbedding { node } => (self.get_embedding(node, line, conns), false),
             Request::TopK { node, k, op, filter, mode, probes } => {
                 if filter.is_some() {
@@ -461,24 +470,67 @@ impl RouterCtx {
         if !missing.is_empty() {
             self.degraded_total.inc();
         }
-        Response::ok()
+        // Every shard carries the full (global-id) node set, so any
+        // reachable shard's count is the cluster's; surfacing it at the
+        // top level lets clients (the load generator's node probe among
+        // them) treat router and single-node stats uniformly.
+        let nodes =
+            shards.iter().filter_map(|s| s.get("nodes").and_then(Value::as_u64)).max().unwrap_or(0);
+        let mut resp = Response::ok()
             .field("role", "router")
+            .field("nodes", nodes)
             .field("num_shards", self.num_shards())
             .field("uptime_ms", self.started.elapsed().as_millis() as u64)
             .field("shards", Value::Array(shards))
             .field("degraded", !missing.is_empty())
-            .field("missing_shards", Self::missing_field(&missing))
-            .build()
+            .field("missing_shards", Self::missing_field(&missing));
+        if !missing.is_empty() {
+            resp = resp.field("code", CODE_DEGRADED);
+        }
+        resp.build()
     }
 
-    fn metrics(&self, format: MetricsFormat) -> String {
-        let global = Registry::global();
-        let regs: [&Registry; 2] = [self.registry.as_ref(), global];
+    /// Scatters a JSON metrics scrape to every shard and sums the serve
+    /// plane into a scratch registry before rendering, so one scrape shows
+    /// cluster-wide `seqge_serve_*` counters and gauges. Only that prefix
+    /// is merged: each in-process shard's reply also embeds the
+    /// process-global registry, which every shard shares — summing it
+    /// would multiply library-level series by the shard count. Histograms
+    /// are not merged (per-shard quantiles don't sum); scrape a shard
+    /// directly for its latency distribution.
+    fn metrics(&self, format: MetricsFormat, conns: &mut Conns) -> String {
+        let targets = self.all_shards();
+        let got = self.scatter_gather(conns, &targets, |_| {
+            r#"{"cmd":"metrics","format":"json"}"#.to_string()
+        });
+        let merged = Registry::new();
+        let mut missing = Vec::new();
+        for (s, v) in got.into_iter().enumerate() {
+            let body = v
+                .filter(|v| v.get("ok") == Some(&Value::Bool(true)))
+                .and_then(|v| v.get("body").and_then(Value::as_str).map(str::to_string));
+            match body.and_then(|b| serde_json::from_str::<Value>(&b).ok()) {
+                Some(doc) => Self::merge_serve_series_into(&merged, &doc),
+                None => missing.push(s),
+            }
+        }
+        if !missing.is_empty() {
+            self.degraded_total.inc();
+        }
+        let regs: [&Registry; 3] = [&merged, self.registry.as_ref(), Registry::global()];
         let body = match format {
             MetricsFormat::Prometheus => export::prometheus(&regs),
             MetricsFormat::Json => export::dump_json(&regs),
         };
-        Response::ok().field("format", format.as_str()).field("body", body).build()
+        let mut resp = Response::ok()
+            .field("format", format.as_str())
+            .field("body", body)
+            .field("degraded", !missing.is_empty())
+            .field("missing_shards", Self::missing_field(&missing));
+        if !missing.is_empty() {
+            resp = resp.field("code", CODE_DEGRADED);
+        }
+        resp.build()
     }
 
     fn get_embedding(&self, node: u32, line: &str, conns: &mut Conns) -> String {
@@ -496,10 +548,14 @@ impl RouterCtx {
                     .field("version", snap.version)
                     .field("embedding", Value::Array(vec))
                     .field("source", "replica")
+                    .field("code", CODE_DEGRADED)
                     .build();
             }
         }
-        Response::err(format!("degraded: shard {s} unavailable and no replica covers it"))
+        Response::err_code(
+            CODE_DEGRADED,
+            format!("degraded: shard {s} unavailable and no replica covers it"),
+        )
     }
 
     fn score_link(&self, u: u32, v: u32, op: EdgeOp, line: &str, conns: &mut Conns) -> String {
@@ -522,10 +578,14 @@ impl RouterCtx {
                     .field("version", snap.version)
                     .field("score", score)
                     .field("source", "replica")
+                    .field("code", CODE_DEGRADED)
                     .build();
             }
         }
-        Response::err(format!("degraded: shard {a} unavailable and no replica covers it"))
+        Response::err_code(
+            CODE_DEGRADED,
+            format!("degraded: shard {a} unavailable and no replica covers it"),
+        )
     }
 
     fn topk(
@@ -583,7 +643,7 @@ impl RouterCtx {
                 return Response::err(e);
             }
             self.degraded_total.inc();
-            return Response::err("degraded: no shard reachable");
+            return Response::err_code(CODE_DEGRADED, "degraded: no shard reachable");
         }
         // Protocol total order: score desc, node id asc. Cross-shard ties
         // are resolved here under the same rule every shard uses locally.
@@ -601,13 +661,16 @@ impl RouterCtx {
         if !missing.is_empty() {
             self.degraded_total.inc();
         }
-        Response::ok()
+        let mut resp = Response::ok()
             .field("node", node)
             .field("op", op_name(op))
             .field("results", Value::Array(items))
             .field("degraded", !missing.is_empty())
-            .field("missing_shards", Self::missing_field(&missing))
-            .build()
+            .field("missing_shards", Self::missing_field(&missing));
+        if !missing.is_empty() {
+            resp = resp.field("code", CODE_DEGRADED);
+        }
+        resp.build()
     }
 
     fn write(&self, u: u32, v: u32, line: &str, conns: &mut Conns) -> String {
@@ -621,15 +684,21 @@ impl RouterCtx {
                 self.degraded_total.inc();
                 // Retryable by contract: the client backs off and resends
                 // the same WriteId; the shard that did ack dedups it.
-                return Response::err(format!("overloaded: shard {s} unavailable, retry"));
+                return Response::err_code(
+                    CODE_OVERLOADED,
+                    format!("overloaded: shard {s} unavailable, retry"),
+                );
             };
             if resp.get("ok") != Some(&Value::Bool(true)) {
                 let msg =
                     resp.get("error").and_then(Value::as_str).unwrap_or("unknown shard error");
-                // Keep the client's retry classification intact: an
-                // `overloaded` message must stay prefix-recognizable.
-                if msg.starts_with("overloaded") {
-                    return Response::err(msg);
+                // Keep the client's retry classification intact: a shed
+                // reply stays `code`-classified (and prefix-recognizable)
+                // through the router.
+                if resp.get("code").and_then(Value::as_str) == Some(CODE_OVERLOADED)
+                    || msg.starts_with("overloaded")
+                {
+                    return Response::err_code(CODE_OVERLOADED, msg);
                 }
                 return Response::err(format!("shard {s}: {msg}"));
             }
@@ -657,7 +726,10 @@ impl RouterCtx {
                     self.degraded_total.inc();
                     // A partial barrier is not a barrier; make it
                     // retryable instead.
-                    return Response::err(format!("overloaded: shard {s} unavailable, retry"));
+                    return Response::err_code(
+                        CODE_OVERLOADED,
+                        format!("overloaded: shard {s} unavailable, retry"),
+                    );
                 }
             }
         }
@@ -688,11 +760,44 @@ impl RouterCtx {
         if !missing.is_empty() {
             self.degraded_total.inc();
         }
-        Response::ok()
+        let mut resp = Response::ok()
             .field("shards", Value::Array(shards))
             .field("degraded", !missing.is_empty())
-            .field("missing_shards", Self::missing_field(&missing))
-            .build()
+            .field("missing_shards", Self::missing_field(&missing));
+        if !missing.is_empty() {
+            resp = resp.field("code", CODE_DEGRADED);
+        }
+        resp.build()
+    }
+
+    /// See `metrics` for why only `seqge_serve_*` is summed and histograms
+    /// are left out.
+    fn merge_serve_series_into(reg: &Registry, doc: &Value) {
+        for (section, is_counter) in [("counters", true), ("gauges", false)] {
+            let Some(items) = doc.get(section).and_then(Value::as_array) else { continue };
+            for item in items {
+                let Some(name) = item.get("name").and_then(Value::as_str) else { continue };
+                if !name.starts_with("seqge_serve_") {
+                    continue;
+                }
+                let labels: Vec<(String, String)> = match item.get("labels") {
+                    Some(Value::Object(entries)) => entries
+                        .iter()
+                        .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let refs: Vec<(&str, &str)> =
+                    labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                if is_counter {
+                    if let Some(val) = item.get("value").and_then(Value::as_u64) {
+                        reg.counter_with(name, &refs).add(val);
+                    }
+                } else if let Some(val) = item.get("value").and_then(Value::as_f64) {
+                    reg.gauge_with(name, &refs).add(val as i64);
+                }
+            }
+        }
     }
 
     fn cluster_status(&self) -> String {

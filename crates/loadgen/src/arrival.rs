@@ -1,0 +1,151 @@
+//! Arrival processes: when each request of a phase is due.
+//!
+//! Open-loop processes emit a deterministic schedule of offsets from the
+//! phase start; the driver sleeps until each offset and measures latency
+//! from the *scheduled* start, so a server that falls behind is charged
+//! its queueing delay instead of being let off the hook (the coordinated-
+//! omission trap). The closed loop is the classic back-to-back prober:
+//! offset 0 for every op, latency measured from send.
+
+use rand::Rng;
+
+/// How a connection paces its requests within one phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Closed loop: next request leaves when the previous reply lands.
+    Closed,
+    /// Open loop at a fixed per-connection rate (requests/second):
+    /// request `i` is due at `i/rate`.
+    Fixed {
+        /// Requests per second per connection.
+        rate: f64,
+    },
+    /// Open loop, Poisson process: exponential inter-arrival gaps with
+    /// mean `1/rate`.
+    Poisson {
+        /// Mean requests per second per connection.
+        rate: f64,
+    },
+    /// On/off bursty traffic: Poisson at `rate` during `on_ms` windows,
+    /// silent for `off_ms` between them. Arrivals falling into an off
+    /// window are pushed to the start of the next on window — the front
+    /// edge of each burst carries the pile-up, which is the point.
+    OnOff {
+        /// Mean requests per second while the source is on.
+        rate: f64,
+        /// Burst length in milliseconds.
+        on_ms: u64,
+        /// Silence between bursts in milliseconds.
+        off_ms: u64,
+    },
+}
+
+impl Arrival {
+    /// Whether the driver paces sends by wall clock (vs reply-driven).
+    pub fn is_open_loop(&self) -> bool {
+        !matches!(self, Arrival::Closed)
+    }
+
+    /// The deterministic offsets (nanoseconds from phase start) of
+    /// `count` requests. Non-decreasing; all zeros for the closed loop.
+    pub fn offsets<R: Rng>(&self, count: usize, rng: &mut R) -> Vec<u64> {
+        match *self {
+            Arrival::Closed => vec![0; count],
+            Arrival::Fixed { rate } => {
+                assert!(rate > 0.0, "fixed rate must be positive");
+                (0..count).map(|i| (i as f64 / rate * 1e9) as u64).collect()
+            }
+            Arrival::Poisson { rate } => {
+                assert!(rate > 0.0, "poisson rate must be positive");
+                let mut t = 0.0f64;
+                (0..count)
+                    .map(|_| {
+                        t += exp_gap_ns(rate, rng);
+                        t as u64
+                    })
+                    .collect()
+            }
+            Arrival::OnOff { rate, on_ms, off_ms } => {
+                assert!(rate > 0.0, "on/off rate must be positive");
+                assert!(on_ms > 0, "on window must be non-empty");
+                let on_ns = on_ms as f64 * 1e6;
+                let period_ns = (on_ms + off_ms) as f64 * 1e6;
+                let mut t = 0.0f64;
+                (0..count)
+                    .map(|_| {
+                        t += exp_gap_ns(rate, rng);
+                        let phase = t % period_ns;
+                        if phase >= on_ns {
+                            // Landed in silence: jump to the next burst.
+                            t = (t / period_ns).floor() * period_ns + period_ns;
+                        }
+                        t as u64
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// One exponential inter-arrival gap in nanoseconds.
+fn exp_gap_ns<R: Rng>(rate: f64, rng: &mut R) -> f64 {
+    // 1 - gen ∈ (0, 1] keeps ln away from zero.
+    -(1.0 - rng.gen::<f64>()).ln() / rate * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closed_loop_is_all_zeros() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Arrival::Closed.offsets(4, &mut rng), vec![0, 0, 0, 0]);
+        assert!(!Arrival::Closed.is_open_loop());
+    }
+
+    #[test]
+    fn fixed_rate_is_an_even_grid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let offs = Arrival::Fixed { rate: 1000.0 }.offsets(5, &mut rng);
+        assert_eq!(offs, vec![0, 1_000_000, 2_000_000, 3_000_000, 4_000_000]);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let offs = Arrival::Poisson { rate: 10_000.0 }.offsets(20_000, &mut rng);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        // Mean inter-arrival should be ~100µs = 1e5 ns, within 5%.
+        let mean = *offs.last().unwrap() as f64 / offs.len() as f64;
+        assert!((0.95e5..=1.05e5).contains(&mean), "mean gap {mean} ns");
+    }
+
+    #[test]
+    fn on_off_never_schedules_into_silence() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (on_ms, off_ms) = (10u64, 30u64);
+        let offs = Arrival::OnOff { rate: 5_000.0, on_ms, off_ms }.offsets(2_000, &mut rng);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        let period = (on_ms + off_ms) * 1_000_000;
+        let on = on_ms * 1_000_000;
+        for &t in &offs {
+            assert!(t % period <= on, "offset {t} lands {} into the period", t % period);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for arrival in
+            [Arrival::Poisson { rate: 777.0 }, Arrival::OnOff { rate: 777.0, on_ms: 5, off_ms: 7 }]
+        {
+            let a = arrival.offsets(500, &mut StdRng::seed_from_u64(123));
+            let b = arrival.offsets(500, &mut StdRng::seed_from_u64(123));
+            assert_eq!(a, b);
+            let c = arrival.offsets(500, &mut StdRng::seed_from_u64(124));
+            assert_ne!(a, c, "different seed must move the schedule");
+        }
+    }
+}

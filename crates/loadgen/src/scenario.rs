@@ -1,0 +1,507 @@
+//! The scenario matrix: named, phased workload schedules.
+//!
+//! A scenario is a sequence of [`Phase`]s. Each phase names an accounting
+//! [`Window`] (`steady` or `fault` — the split the chaos report is built
+//! on), an op source, an arrival process, and a per-connection op count.
+//! [`schedule`] expands a scenario into fully materialized per-connection
+//! schedules *before* any traffic flows, seeded so the same
+//! `(scenario, nodes, connections, seed)` tuple is bit-identical across
+//! runs, hosts, and thread interleavings — [`schedule_hash`] is the proof
+//! the CI smoke asserts on.
+//!
+//! Built-ins (`--list`):
+//!
+//! * `hot_read` — Zipf-skewed read storm on hot vertices.
+//! * `edge_churn` — bursty add/remove churn against a read background.
+//! * `deletion_storm` — grow, then mass-retract.
+//! * `drift_replay` — temporal community drift: streamed-SBM edges whose
+//!   block structure rotates phase over phase, reads interleaved.
+
+use crate::arrival::Arrival;
+use crate::workload::{OpMix, WireOp, WorkloadGen};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqge_bench::{SbmStream, SbmStreamParams};
+
+/// Accounting window of a phase: SLO violations are reported separately
+/// per window, so chaos degradation is quantified against the steady
+/// baseline instead of polluting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Baseline traffic; SLOs are enforced here.
+    Steady,
+    /// The storm/chaos window; violations are counted but only bounded,
+    /// not forbidden.
+    Fault,
+}
+
+impl Window {
+    /// The report/metric label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Window::Steady => "steady",
+            Window::Fault => "fault",
+        }
+    }
+}
+
+/// Where a phase's ops come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpSource {
+    /// Draw from an [`OpMix`] with Zipf key skew.
+    Mix {
+        /// Op weights.
+        mix: OpMix,
+        /// Zipf exponent for key choice (0 = uniform).
+        skew: f64,
+    },
+    /// Replay a streamed-SBM edge sequence whose community membership is
+    /// rotated by `rotation_num/rotation_den · nodes` vertex ids — the
+    /// temporal-drift emulation: the same block structure, progressively
+    /// relabeled, so edges increasingly contradict what the model learned
+    /// in earlier phases. Every `read_every`-th op is a `topk` probe on
+    /// the last touched vertex instead of a write.
+    DriftReplay {
+        /// Rotation numerator (of `nodes`).
+        rotation_num: u32,
+        /// Rotation denominator.
+        rotation_den: u32,
+        /// Interleave one read per this many ops.
+        read_every: usize,
+    },
+}
+
+/// One phase of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Display name (also the progress log label).
+    pub name: &'static str,
+    /// Accounting window this phase belongs to.
+    pub window: Window,
+    /// Op source.
+    pub source: OpSource,
+    /// Arrival pacing.
+    pub arrival: Arrival,
+    /// Ops per connection at scale 1.0.
+    pub ops_per_conn: usize,
+    /// Issue a cluster-wide `flush` barrier when the phase ends (conn 0
+    /// only), so later read phases observe this phase's writes.
+    pub flush_after: bool,
+}
+
+/// A named, phased workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The `--scenario` name.
+    pub name: &'static str,
+    /// One-line description (`--list`).
+    pub description: &'static str,
+    /// The phases, in order.
+    pub phases: Vec<Phase>,
+}
+
+/// `(name, description)` of every built-in scenario.
+pub fn names() -> Vec<(&'static str, &'static str)> {
+    ["hot_read", "edge_churn", "deletion_storm", "drift_replay"]
+        .iter()
+        .map(|&n| {
+            let s = builtin(n, 1.0).expect("builtin exists");
+            (s.name, s.description)
+        })
+        .collect()
+}
+
+/// Builds a built-in scenario by name; `scale` multiplies every phase's
+/// op count (floor 1), so the same shape runs as a 2-second smoke or a
+/// minutes-long soak.
+pub fn builtin(name: &str, scale: f64) -> Option<Scenario> {
+    assert!(scale > 0.0, "scale must be positive");
+    let n = |base: usize| ((base as f64 * scale) as usize).max(1);
+    let mixed_background = OpSource::Mix {
+        mix: OpMix {
+            add_edge: 10,
+            remove_edge: 5,
+            get_embedding: 40,
+            topk_exact: 15,
+            topk_ann: 20,
+            score_link: 10,
+        },
+        skew: 0.8,
+    };
+    let scenario = match name {
+        "hot_read" => Scenario {
+            name: "hot_read",
+            description:
+                "Zipf-skewed read storm hammering hot vertices (topk exact+ann, embeddings)",
+            phases: vec![
+                Phase {
+                    name: "warmup",
+                    window: Window::Steady,
+                    source: mixed_background,
+                    arrival: Arrival::Poisson { rate: 200.0 },
+                    ops_per_conn: n(200),
+                    flush_after: true,
+                },
+                Phase {
+                    name: "hot_storm",
+                    window: Window::Fault,
+                    source: OpSource::Mix { mix: OpMix::reads(50, 15, 25, 10), skew: 1.2 },
+                    arrival: Arrival::Poisson { rate: 500.0 },
+                    ops_per_conn: n(600),
+                    flush_after: false,
+                },
+                Phase {
+                    name: "cooldown",
+                    window: Window::Steady,
+                    source: mixed_background,
+                    arrival: Arrival::Fixed { rate: 100.0 },
+                    ops_per_conn: n(100),
+                    flush_after: false,
+                },
+            ],
+        },
+        "edge_churn" => Scenario {
+            name: "edge_churn",
+            description: "Bursty add/remove churn (on/off arrivals) against a read background",
+            phases: vec![
+                Phase {
+                    name: "seed_edges",
+                    window: Window::Steady,
+                    source: OpSource::Mix { mix: OpMix::writes(1, 0), skew: 0.6 },
+                    arrival: Arrival::Closed,
+                    ops_per_conn: n(250),
+                    flush_after: true,
+                },
+                Phase {
+                    name: "churn_burst",
+                    window: Window::Fault,
+                    source: OpSource::Mix {
+                        mix: OpMix {
+                            add_edge: 35,
+                            remove_edge: 35,
+                            get_embedding: 10,
+                            topk_exact: 5,
+                            topk_ann: 10,
+                            score_link: 5,
+                        },
+                        skew: 0.9,
+                    },
+                    arrival: Arrival::OnOff { rate: 800.0, on_ms: 200, off_ms: 100 },
+                    ops_per_conn: n(600),
+                    flush_after: true,
+                },
+                Phase {
+                    name: "settle",
+                    window: Window::Steady,
+                    source: OpSource::Mix { mix: OpMix::reads(40, 20, 30, 10), skew: 0.9 },
+                    arrival: Arrival::Poisson { rate: 200.0 },
+                    ops_per_conn: n(150),
+                    flush_after: false,
+                },
+            ],
+        },
+        "deletion_storm" => Scenario {
+            name: "deletion_storm",
+            description: "Grow the graph, then mass-retract edges while reads continue",
+            phases: vec![
+                Phase {
+                    name: "grow",
+                    window: Window::Steady,
+                    source: OpSource::Mix { mix: OpMix::writes(1, 0), skew: 0.7 },
+                    arrival: Arrival::Closed,
+                    ops_per_conn: n(400),
+                    flush_after: true,
+                },
+                Phase {
+                    name: "storm",
+                    window: Window::Fault,
+                    source: OpSource::Mix {
+                        mix: OpMix {
+                            add_edge: 10,
+                            remove_edge: 70,
+                            get_embedding: 5,
+                            topk_exact: 5,
+                            topk_ann: 5,
+                            score_link: 5,
+                        },
+                        skew: 1.1,
+                    },
+                    arrival: Arrival::Poisson { rate: 600.0 },
+                    ops_per_conn: n(500),
+                    flush_after: true,
+                },
+                Phase {
+                    name: "recovery",
+                    window: Window::Steady,
+                    source: OpSource::Mix { mix: OpMix::reads(50, 20, 20, 10), skew: 0.9 },
+                    arrival: Arrival::Fixed { rate: 200.0 },
+                    ops_per_conn: n(150),
+                    flush_after: false,
+                },
+            ],
+        },
+        "drift_replay" => Scenario {
+            name: "drift_replay",
+            description:
+                "Temporal community drift: streamed-SBM edges, block labels rotating each epoch",
+            phases: vec![
+                Phase {
+                    name: "epoch_0",
+                    window: Window::Steady,
+                    source: OpSource::DriftReplay {
+                        rotation_num: 0,
+                        rotation_den: 4,
+                        read_every: 4,
+                    },
+                    arrival: Arrival::Closed,
+                    ops_per_conn: n(300),
+                    flush_after: true,
+                },
+                Phase {
+                    name: "epoch_1",
+                    window: Window::Fault,
+                    source: OpSource::DriftReplay {
+                        rotation_num: 1,
+                        rotation_den: 4,
+                        read_every: 4,
+                    },
+                    arrival: Arrival::Poisson { rate: 400.0 },
+                    ops_per_conn: n(300),
+                    flush_after: true,
+                },
+                Phase {
+                    name: "epoch_2",
+                    window: Window::Fault,
+                    source: OpSource::DriftReplay {
+                        rotation_num: 2,
+                        rotation_den: 4,
+                        read_every: 4,
+                    },
+                    arrival: Arrival::Poisson { rate: 400.0 },
+                    ops_per_conn: n(300),
+                    flush_after: true,
+                },
+                Phase {
+                    name: "verify_reads",
+                    window: Window::Steady,
+                    source: OpSource::Mix { mix: OpMix::reads(30, 25, 35, 10), skew: 0.9 },
+                    arrival: Arrival::Poisson { rate: 200.0 },
+                    ops_per_conn: n(150),
+                    flush_after: false,
+                },
+            ],
+        },
+        _ => return None,
+    };
+    Some(scenario)
+}
+
+/// One scheduled request: due at `offset_ns` from its phase start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Nanoseconds from phase start (0 in closed loops).
+    pub offset_ns: u64,
+    /// The request.
+    pub op: WireOp,
+}
+
+/// One connection's fully materialized run: `phases[p]` is that phase's
+/// op sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnSchedule {
+    /// Per-phase scheduled ops.
+    pub phases: Vec<Vec<ScheduledOp>>,
+}
+
+/// Mixes `(seed, phase, conn, stream)` into one RNG seed. SplitMix-style
+/// multiplies keep distinct coordinates from colliding under xor.
+fn lane_seed(seed: u64, phase: usize, conn: usize, stream: u64) -> u64 {
+    seed ^ (phase as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (conn as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ stream.wrapping_mul(0x1656_67B1_9E37_79F9)
+}
+
+/// Expands `scenario` into the per-connection schedule for connection
+/// `conn` of `connections`, over a server with `nodes` vertices, with
+/// `topk` asking for `k` results. Deterministic in all arguments.
+pub fn schedule(
+    scenario: &Scenario,
+    nodes: u32,
+    k: usize,
+    conn: usize,
+    connections: usize,
+    seed: u64,
+) -> ConnSchedule {
+    assert!(conn < connections);
+    assert!(nodes >= 4, "loadgen needs a server with at least 4 nodes");
+    let mut phases = Vec::with_capacity(scenario.phases.len());
+    for (p, phase) in scenario.phases.iter().enumerate() {
+        let mut op_rng = StdRng::seed_from_u64(lane_seed(seed, p, conn, 1));
+        let mut arr_rng = StdRng::seed_from_u64(lane_seed(seed, p, conn, 2));
+        let offsets = phase.arrival.offsets(phase.ops_per_conn, &mut arr_rng);
+        let ops: Vec<WireOp> = match phase.source {
+            OpSource::Mix { mix, skew } => {
+                let mut gen = WorkloadGen::new(mix, nodes, skew, k);
+                (0..phase.ops_per_conn).map(|_| gen.next_op(&mut op_rng)).collect()
+            }
+            OpSource::DriftReplay { rotation_num, rotation_den, read_every } => drift_ops(
+                nodes,
+                k,
+                phase.ops_per_conn,
+                rotation_num,
+                rotation_den,
+                read_every,
+                lane_seed(seed, p, conn, 3),
+            ),
+        };
+        phases.push(
+            offsets
+                .into_iter()
+                .zip(ops)
+                .map(|(offset_ns, op)| ScheduledOp { offset_ns, op })
+                .collect(),
+        );
+    }
+    ConnSchedule { phases }
+}
+
+/// The drift replay op stream: SBM edges with vertex ids rotated by
+/// `nodes · num/den`, one `topk` read interleaved every `read_every` ops
+/// on the most recently written vertex.
+fn drift_ops(
+    nodes: u32,
+    k: usize,
+    count: usize,
+    rotation_num: u32,
+    rotation_den: u32,
+    read_every: usize,
+    seed: u64,
+) -> Vec<WireOp> {
+    assert!(rotation_den > 0);
+    let rot = (nodes as u64 * rotation_num as u64 / rotation_den as u64) as u32;
+    let mut params = SbmStreamParams::sized(nodes as usize, seed);
+    // The stream length only bounds the iterator; ask for exactly what the
+    // phase consumes (writes = count minus the interleaved reads).
+    params.edges = count;
+    let mut stream = SbmStream::new(params);
+    let mut out = Vec::with_capacity(count);
+    let mut last = 0u32;
+    for i in 0..count {
+        if read_every > 0 && i % read_every.max(1) == read_every.max(1) - 1 {
+            out.push(WireOp::TopK(last, k, i % 2 == 0));
+            continue;
+        }
+        let Some((u, v)) = stream.next() else {
+            // Stream exhausted (can't happen with edges = count, but keep
+            // the fallback total): re-read the last vertex.
+            out.push(WireOp::GetEmbedding(last));
+            continue;
+        };
+        let (u, v) = (
+            ((u as u64 + rot as u64) % nodes as u64) as u32,
+            ((v as u64 + rot as u64) % nodes as u64) as u32,
+        );
+        last = u;
+        out.push(WireOp::AddEdge(u, v));
+    }
+    out
+}
+
+/// FNV-1a over every scheduled op of every connection: the run's
+/// bit-determinism witness (dedup client ids and wall-clock jitter are
+/// excluded by construction).
+pub fn schedule_hash(schedules: &[ConnSchedule]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (c, sched) in schedules.iter().enumerate() {
+        for (p, ops) in sched.phases.iter().enumerate() {
+            for s in ops {
+                eat(&(c as u64).to_le_bytes());
+                eat(&(p as u64).to_le_bytes());
+                eat(&s.offset_ns.to_le_bytes());
+                eat(s.op.hash_repr().as_bytes());
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_builds_and_lists() {
+        for (name, desc) in names() {
+            assert!(!desc.is_empty());
+            let s = builtin(name, 1.0).unwrap();
+            assert!(!s.phases.is_empty(), "{name} has phases");
+            assert!(
+                s.phases.iter().any(|p| p.window == Window::Fault),
+                "{name} needs a fault window for the chaos split"
+            );
+            assert!(
+                s.phases.iter().any(|p| p.window == Window::Steady),
+                "{name} needs a steady window for the SLO baseline"
+            );
+        }
+        assert!(builtin("no_such_scenario", 1.0).is_none());
+    }
+
+    #[test]
+    fn scale_shrinks_op_counts_with_a_floor() {
+        let full = builtin("hot_read", 1.0).unwrap();
+        let tiny = builtin("hot_read", 0.001).unwrap();
+        for (f, t) in full.phases.iter().zip(&tiny.phases) {
+            assert!(t.ops_per_conn >= 1);
+            assert!(t.ops_per_conn < f.ops_per_conn);
+        }
+    }
+
+    #[test]
+    fn schedules_are_bit_deterministic_under_seed() {
+        let s = builtin("edge_churn", 0.05).unwrap();
+        let make = |seed| {
+            let scheds: Vec<ConnSchedule> =
+                (0..3).map(|c| schedule(&s, 120, 10, c, 3, seed)).collect();
+            (schedule_hash(&scheds), scheds)
+        };
+        let (h1, s1) = make(42);
+        let (h2, s2) = make(42);
+        assert_eq!(h1, h2);
+        assert_eq!(s1, s2, "same seed ⇒ identical schedules, not just identical hashes");
+        let (h3, _) = make(43);
+        assert_ne!(h1, h3, "seed must move the schedule");
+    }
+
+    #[test]
+    fn connections_get_distinct_streams() {
+        let s = builtin("hot_read", 0.05).unwrap();
+        let a = schedule(&s, 120, 10, 0, 2, 7);
+        let b = schedule(&s, 120, 10, 1, 2, 7);
+        assert_ne!(a, b, "per-connection lanes must differ");
+    }
+
+    #[test]
+    fn drift_replay_rotates_and_interleaves_reads() {
+        let ops = drift_ops(100, 10, 200, 1, 4, 4, 99);
+        assert_eq!(ops.len(), 200);
+        let reads = ops.iter().filter(|o| matches!(o, WireOp::TopK(..))).count();
+        assert_eq!(reads, 50, "every 4th op is a read");
+        for op in &ops {
+            if let WireOp::AddEdge(u, v) = op {
+                assert!(*u < 100 && *v < 100);
+                assert_ne!(u, v);
+            }
+        }
+        // Rotation relabels the writes: same seed, different rotation ⇒
+        // different edges.
+        let rotated = drift_ops(100, 10, 200, 2, 4, 4, 99);
+        assert_ne!(ops, rotated);
+    }
+}

@@ -1,0 +1,78 @@
+//! SLO definitions: per-op tail-latency targets and an error-rate budget.
+//!
+//! Two kinds of accounting hang off an [`Slo`]:
+//!
+//! * **per-sample violations** — every reply slower than its op's target
+//!   increments `seqge_loadgen_slo_violations_total{op,window}`; the
+//!   fault/steady split in the report quantifies chaos degradation as
+//!   "violations during the fault window vs steady state".
+//! * **pass/fail verdict** — the run passes if, in the *steady* window
+//!   only, every op's measured p99 is under its target and the error rate
+//!   (hard + transport errors over total ops) is within budget. Fault
+//!   windows are reported but never fail the run by themselves.
+
+/// Per-op p99 targets (milliseconds) and an error-rate ceiling.
+#[derive(Debug, Clone)]
+pub struct Slo {
+    /// `(op label, p99 target in ms)` — ops not listed are unconstrained.
+    pub p99_ms: Vec<(&'static str, f64)>,
+    /// Maximum tolerated `(hard + transport errors) / ops` in the steady
+    /// window.
+    pub max_error_rate: f64,
+}
+
+impl Default for Slo {
+    /// Generous defaults sized for CI machines, not production hardware:
+    /// the point of the default band is to catch order-of-magnitude
+    /// regressions, not to benchmark. They must also survive deliberate
+    /// chaos — smoke runs inject ~30ms connection stalls, and at smoke
+    /// scale an op may have only a handful of steady samples (p99 = max),
+    /// so one stalled reply must not breach a target on its own.
+    fn default() -> Self {
+        Slo {
+            p99_ms: vec![
+                ("get_embedding", 50.0),
+                ("topk_exact", 100.0),
+                ("topk_ann", 50.0),
+                ("score_link", 50.0),
+                ("add_edge", 100.0),
+                ("remove_edge", 100.0),
+            ],
+            max_error_rate: 0.02,
+        }
+    }
+}
+
+impl Slo {
+    /// The p99 target for `op`, if one is defined.
+    pub fn threshold_ms(&self, op: &str) -> Option<f64> {
+        self.p99_ms.iter().find(|(name, _)| *name == op).map(|&(_, ms)| ms)
+    }
+
+    /// Whether a single sample of `op` at `latency_ms` violates its target.
+    pub fn violates(&self, op: &str, latency_ms: f64) -> bool {
+        self.threshold_ms(op).is_some_and(|t| latency_ms > t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_covers_every_workload_op() {
+        let slo = Slo::default();
+        for op in crate::workload::OP_LABELS {
+            assert!(slo.threshold_ms(op).is_some(), "{op} has no SLO target");
+        }
+        assert!(slo.threshold_ms("ping").is_none());
+    }
+
+    #[test]
+    fn violation_is_a_strict_threshold() {
+        let slo = Slo { p99_ms: vec![("topk_exact", 10.0)], max_error_rate: 0.0 };
+        assert!(!slo.violates("topk_exact", 10.0));
+        assert!(slo.violates("topk_exact", 10.01));
+        assert!(!slo.violates("unlisted_op", 1e9));
+    }
+}

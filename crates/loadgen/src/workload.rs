@@ -1,0 +1,325 @@
+//! The workload model: which op, on which keys, rendered as wire lines.
+//!
+//! An [`OpMix`] gives integer weights to the six workload ops; a
+//! [`WorkloadGen`] draws ops from the mix with Zipf-skewed key choice and
+//! yields [`WireOp`]s — pre-rendered protocol lines except for write ids,
+//! which the driver stamps at send time (the sequence number must be fixed
+//! per *logical* write, and only the driver knows the retry story).
+
+use crate::zipf::Zipf;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Edges remembered for later removal (per connection).
+const RECENT_EDGE_CAP: usize = 1024;
+
+/// Integer weights over the workload ops; zero weight removes an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Weight of `add_edge`.
+    pub add_edge: u32,
+    /// Weight of `remove_edge`.
+    pub remove_edge: u32,
+    /// Weight of `get_embedding`.
+    pub get_embedding: u32,
+    /// Weight of `topk` with `mode:"exact"`.
+    pub topk_exact: u32,
+    /// Weight of `topk` with `mode:"ann"`.
+    pub topk_ann: u32,
+    /// Weight of `score_link`.
+    pub score_link: u32,
+}
+
+impl OpMix {
+    /// A read-only mix (no writes).
+    pub const fn reads(
+        get_embedding: u32,
+        topk_exact: u32,
+        topk_ann: u32,
+        score_link: u32,
+    ) -> Self {
+        OpMix { add_edge: 0, remove_edge: 0, get_embedding, topk_exact, topk_ann, score_link }
+    }
+
+    /// A write-only mix.
+    pub const fn writes(add_edge: u32, remove_edge: u32) -> Self {
+        OpMix { add_edge, remove_edge, get_embedding: 0, topk_exact: 0, topk_ann: 0, score_link: 0 }
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u32 {
+        self.add_edge
+            + self.remove_edge
+            + self.get_embedding
+            + self.topk_exact
+            + self.topk_ann
+            + self.score_link
+    }
+
+    fn pick<R: Rng>(&self, rng: &mut R) -> OpKind {
+        let total = self.total();
+        assert!(total > 0, "op mix must have at least one positive weight");
+        let mut roll = rng.gen_range(0..total);
+        for (weight, kind) in [
+            (self.add_edge, OpKind::AddEdge),
+            (self.remove_edge, OpKind::RemoveEdge),
+            (self.get_embedding, OpKind::GetEmbedding),
+            (self.topk_exact, OpKind::TopKExact),
+            (self.topk_ann, OpKind::TopKAnn),
+            (self.score_link, OpKind::ScoreLink),
+        ] {
+            if roll < weight {
+                return kind;
+            }
+            roll -= weight;
+        }
+        unreachable!("roll bounded by total")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    AddEdge,
+    RemoveEdge,
+    GetEmbedding,
+    TopKExact,
+    TopKAnn,
+    ScoreLink,
+}
+
+/// One concrete request, keys chosen, ready to render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOp {
+    /// `add_edge` of `(u, v)`.
+    AddEdge(u32, u32),
+    /// `remove_edge` of `(u, v)`.
+    RemoveEdge(u32, u32),
+    /// `get_embedding` of a node.
+    GetEmbedding(u32),
+    /// `topk` — `(node, k, ann)`.
+    TopK(u32, usize, bool),
+    /// `score_link` of `(u, v)`.
+    ScoreLink(u32, u32),
+}
+
+/// Report/metric label of each op (splits the two `topk` modes, unlike the
+/// server's wire-level `op` label).
+pub const OP_LABELS: [&str; 6] =
+    ["add_edge", "remove_edge", "get_embedding", "topk_exact", "topk_ann", "score_link"];
+
+impl WireOp {
+    /// The label used in the accounting plane (see [`OP_LABELS`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireOp::AddEdge(..) => "add_edge",
+            WireOp::RemoveEdge(..) => "remove_edge",
+            WireOp::GetEmbedding(..) => "get_embedding",
+            WireOp::TopK(_, _, false) => "topk_exact",
+            WireOp::TopK(_, _, true) => "topk_ann",
+            WireOp::ScoreLink(..) => "score_link",
+        }
+    }
+
+    /// Whether this op goes through the write plane (and needs a
+    /// [`seqge_serve::protocol::WriteId`]).
+    pub fn is_write(&self) -> bool {
+        matches!(self, WireOp::AddEdge(..) | WireOp::RemoveEdge(..))
+    }
+
+    /// Renders the request line. Writes take the caller's dedup identity
+    /// and consume one sequence number from `next_seq`; reads leave it
+    /// untouched.
+    pub fn request_line(&self, client: &str, next_seq: &mut u64) -> String {
+        match *self {
+            WireOp::AddEdge(u, v) | WireOp::RemoveEdge(u, v) => {
+                let cmd =
+                    if matches!(self, WireOp::AddEdge(..)) { "add_edge" } else { "remove_edge" };
+                let seq = *next_seq;
+                *next_seq += 1;
+                format!(r#"{{"cmd":"{cmd}","u":{u},"v":{v},"client":"{client}","seq":{seq}}}"#)
+            }
+            WireOp::GetEmbedding(node) => format!(r#"{{"cmd":"get_embedding","node":{node}}}"#),
+            WireOp::TopK(node, k, ann) => {
+                let mode = if ann { "ann" } else { "exact" };
+                format!(r#"{{"cmd":"topk","node":{node},"k":{k},"mode":"{mode}"}}"#)
+            }
+            WireOp::ScoreLink(u, v) => format!(r#"{{"cmd":"score_link","u":{u},"v":{v}}}"#),
+        }
+    }
+
+    /// A stable byte rendering *without* write ids, for schedule hashing:
+    /// two runs with the same seed must hash identically even though their
+    /// dedup client ids differ.
+    pub fn hash_repr(&self) -> String {
+        match *self {
+            WireOp::AddEdge(u, v) => format!("add:{u}:{v}"),
+            WireOp::RemoveEdge(u, v) => format!("rem:{u}:{v}"),
+            WireOp::GetEmbedding(node) => format!("get:{node}"),
+            WireOp::TopK(node, k, ann) => format!("topk:{node}:{k}:{}", ann as u8),
+            WireOp::ScoreLink(u, v) => format!("score:{u}:{v}"),
+        }
+    }
+}
+
+/// Draws a stream of [`WireOp`]s from a mix with Zipf key skew.
+pub struct WorkloadGen {
+    mix: OpMix,
+    zipf: Zipf,
+    nodes: u32,
+    k: usize,
+    /// Edges this generator has added and not yet removed: removals target
+    /// these first so a churn mix actually retracts existing edges instead
+    /// of bouncing off `rejected`.
+    recent_edges: VecDeque<(u32, u32)>,
+}
+
+impl WorkloadGen {
+    /// A generator over `nodes ≥ 2` vertices with the given skew and
+    /// `topk` result count.
+    pub fn new(mix: OpMix, nodes: u32, skew: f64, k: usize) -> Self {
+        assert!(nodes >= 2, "need at least two nodes for edges");
+        WorkloadGen {
+            mix,
+            zipf: Zipf::new(nodes as u64, skew),
+            nodes,
+            k,
+            recent_edges: VecDeque::new(),
+        }
+    }
+
+    /// One Zipf-hot node.
+    fn hot<R: Rng>(&self, rng: &mut R) -> u32 {
+        self.zipf.sample(rng) as u32
+    }
+
+    /// A uniform partner distinct from `u`.
+    fn partner<R: Rng>(&self, rng: &mut R, u: u32) -> u32 {
+        let v = rng.gen_range(0..self.nodes - 1);
+        if v >= u {
+            v + 1
+        } else {
+            v
+        }
+    }
+
+    /// Draws the next op.
+    pub fn next_op<R: Rng>(&mut self, rng: &mut R) -> WireOp {
+        match self.mix.pick(rng) {
+            OpKind::AddEdge => {
+                let u = self.hot(rng);
+                let v = self.partner(rng, u);
+                if self.recent_edges.len() == RECENT_EDGE_CAP {
+                    self.recent_edges.pop_front();
+                }
+                self.recent_edges.push_back((u, v));
+                WireOp::AddEdge(u, v)
+            }
+            OpKind::RemoveEdge => match self.recent_edges.pop_front() {
+                Some((u, v)) => WireOp::RemoveEdge(u, v),
+                None => {
+                    // Nothing known to remove: target a random pair. The
+                    // server may reject it (`rejected` counter) — a
+                    // deletion storm hitting absent edges is itself a
+                    // realistic failure mode worth exercising.
+                    let u = self.hot(rng);
+                    WireOp::RemoveEdge(u, self.partner(rng, u))
+                }
+            },
+            OpKind::GetEmbedding => WireOp::GetEmbedding(self.hot(rng)),
+            OpKind::TopKExact => WireOp::TopK(self.hot(rng), self.k, false),
+            OpKind::TopKAnn => WireOp::TopK(self.hot(rng), self.k, true),
+            OpKind::ScoreLink => {
+                let u = self.hot(rng);
+                WireOp::ScoreLink(u, self.partner(rng, u))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_respects_zero_weights() {
+        let mix = OpMix::reads(1, 1, 1, 1);
+        let mut gen = WorkloadGen::new(mix, 100, 0.9, 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            assert!(!gen.next_op(&mut rng).is_write(), "read-only mix produced a write");
+        }
+    }
+
+    #[test]
+    fn writes_never_self_loop_or_leave_range() {
+        let mix = OpMix::writes(3, 1);
+        let mut gen = WorkloadGen::new(mix, 17, 1.1, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            match gen.next_op(&mut rng) {
+                WireOp::AddEdge(u, v) | WireOp::RemoveEdge(u, v) => {
+                    assert_ne!(u, v, "self loop generated");
+                    assert!(u < 17 && v < 17, "({u},{v}) out of range");
+                }
+                other => panic!("write-only mix produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn removals_prefer_previously_added_edges() {
+        let mix = OpMix { add_edge: 1, remove_edge: 1, ..OpMix::reads(0, 0, 0, 0) };
+        let mut gen = WorkloadGen::new(mix, 50, 0.8, 10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut added = Vec::new();
+        let mut removed_known = 0usize;
+        let mut removed = 0usize;
+        for _ in 0..1_000 {
+            match gen.next_op(&mut rng) {
+                WireOp::AddEdge(u, v) => added.push((u, v)),
+                WireOp::RemoveEdge(u, v) => {
+                    removed += 1;
+                    if added.contains(&(u, v)) {
+                        removed_known += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(removed > 100);
+        assert!(
+            removed_known * 10 >= removed * 9,
+            "only {removed_known}/{removed} removals hit known edges"
+        );
+    }
+
+    #[test]
+    fn write_lines_consume_sequence_numbers_and_reads_do_not() {
+        let mut seq = 1u64;
+        let add = WireOp::AddEdge(1, 2).request_line("cX", &mut seq);
+        assert_eq!(seq, 2);
+        assert!(add.contains(r#""seq":1"#) && add.contains(r#""client":"cX""#), "{add}");
+        let get = WireOp::GetEmbedding(5).request_line("cX", &mut seq);
+        assert_eq!(seq, 2, "reads must not consume seq");
+        assert!(!get.contains("seq"));
+        let rem = WireOp::RemoveEdge(2, 1).request_line("cX", &mut seq);
+        assert!(rem.contains(r#""cmd":"remove_edge""#) && rem.contains(r#""seq":2"#), "{rem}");
+        // Every rendered line parses under the server grammar.
+        for line in [&add, &get, &rem] {
+            seqge_serve::protocol::parse_request(line).expect("rendered line parses");
+        }
+    }
+
+    #[test]
+    fn topk_lines_carry_the_mode() {
+        let mut seq = 1u64;
+        let exact = WireOp::TopK(3, 10, false).request_line("c", &mut seq);
+        let ann = WireOp::TopK(3, 10, true).request_line("c", &mut seq);
+        assert!(exact.contains(r#""mode":"exact""#), "{exact}");
+        assert!(ann.contains(r#""mode":"ann""#), "{ann}");
+        assert_eq!(WireOp::TopK(3, 10, false).label(), "topk_exact");
+        assert_eq!(WireOp::TopK(3, 10, true).label(), "topk_ann");
+    }
+}

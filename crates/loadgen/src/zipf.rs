@@ -1,0 +1,178 @@
+//! Allocation-free Zipf(s) rank sampling by rejection inversion.
+//!
+//! Production read traffic is not uniform: a handful of celebrity vertices
+//! absorb most of the queries. The sampler draws ranks `0..n` with
+//! `P(rank = k) ∝ 1/(k+1)^s` using Hörmann & Derflinger's
+//! rejection-inversion method (the same algorithm behind Apache Commons'
+//! `RejectionInversionZipfSampler`): O(1) state computed once in `new`,
+//! no per-draw allocation, an expected ~1.1 RNG draws per sample at any
+//! skew, and bit-deterministic output for a seeded RNG — the property the
+//! whole schedule-hash contract rests on.
+//!
+//! Rank 0 is the hottest key. Callers map ranks to vertex ids directly:
+//! consecutive ids spread across modulo-partitioned shards, so a hot-rank
+//! prefix also exercises every shard.
+
+use rand::Rng;
+
+/// A Zipf(s) sampler over ranks `0..n` (rank 0 most probable).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    exponent: f64,
+    /// `H(1.5) - 1`: lower bound of the inversion domain.
+    h_x1: f64,
+    /// `H(n + 0.5)`: upper bound of the inversion domain.
+    h_n: f64,
+    /// Acceptance shortcut threshold `s` from the paper.
+    s: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n ≥ 1` ranks with skew `exponent ≥ 0`
+    /// (0 = uniform, 1 = classic Zipf, >1 = sharper head).
+    pub fn new(n: u64, exponent: f64) -> Zipf {
+        assert!(n >= 1, "need at least one rank");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "skew exponent must be finite and non-negative"
+        );
+        let h_x1 = h_integral(1.5, exponent) - 1.0;
+        let h_n = h_integral(n as f64 + 0.5, exponent);
+        let s = 2.0 - h_integral_inverse(h_integral(2.5, exponent) - h(2.0, exponent), exponent);
+        Zipf { n, exponent, h_x1, h_n, s }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        loop {
+            // u uniform in (h_x1, h_n]: gen::<f64>() ∈ [0,1) walks from
+            // h_n (inclusive) toward h_x1 (exclusive).
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.exponent);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if k - x <= self.s || u >= h_integral(k + 0.5, self.exponent) - h(k, self.exponent) {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+/// The density `h(x) = x^(-e)`.
+fn h(x: f64, e: f64) -> f64 {
+    x.powf(-e)
+}
+
+/// `H(x) = ∫₁ˣ t^(-e) dt = (x^(1-e) - 1)/(1-e)`, continued as `ln x` at
+/// `e = 1`.
+fn h_integral(x: f64, e: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - e) * log_x) * log_x
+}
+
+/// `H⁻¹(y)`.
+fn h_integral_inverse(y: f64, e: f64) -> f64 {
+    let mut t = y * (1.0 - e);
+    if t < -1.0 {
+        // Numerical round-off can push t slightly past the domain edge.
+        t = -1.0;
+    }
+    (helper1(t) * y).exp()
+}
+
+/// `(exp(x) - 1)/x`, stable near 0.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+/// `ln(1 + x)/x`, stable near 0.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequencies(n: u64, s: f64, draws: usize, seed: u64) -> Vec<usize> {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; n as usize];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn stays_in_range_and_is_deterministic() {
+        let z = Zipf::new(100, 1.1);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = z.sample(&mut a);
+            assert!(x < 100);
+            assert_eq!(x, z.sample(&mut b), "same seed, same stream");
+        }
+    }
+
+    #[test]
+    fn head_dominates_at_high_skew() {
+        let counts = frequencies(1_000, 1.2, 50_000, 3);
+        // Rank 0 beats rank 10 beats rank 100 by wide margins.
+        assert!(counts[0] > 2 * counts[10], "{} vs {}", counts[0], counts[10]);
+        assert!(counts[10] > 2 * counts[100], "{} vs {}", counts[10], counts[100]);
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let counts = frequencies(50, 0.0, 100_000, 5);
+        let expect = 100_000 / 50;
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < expect as u64 / 2,
+                "rank {rank}: {c} far from uniform {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn classic_zipf_ratio_roughly_two() {
+        // At s=1, P(0)/P(1) = 2.
+        let counts = frequencies(10_000, 1.0, 200_000, 11);
+        let ratio = counts[0] as f64 / counts[1].max(1) as f64;
+        assert!((1.6..=2.5).contains(&ratio), "P(0)/P(1) = {ratio}, expected ≈ 2");
+    }
+
+    #[test]
+    fn single_rank_never_loops() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -80,6 +80,10 @@ fn bad_data(msg: impl std::fmt::Display) -> io::Error {
 
 /// Whether an error is worth a retry: transport failures (reconnect first)
 /// and explicit `overloaded` shedding (same connection, after backoff).
+/// [`Client::call_once`] normalizes server errors so the message always
+/// leads with the reply's `code` when one was sent — this prefix check is
+/// code-driven for modern servers and falls back to the historical message
+/// prefix for older ones.
 fn retryable(e: &io::Error) -> RetryKind {
     match e.kind() {
         ErrorKind::TimedOut
@@ -209,9 +213,17 @@ impl Client {
             serde_json::from_str(&resp).map_err(|e| bad_data(format!("bad response: {e}")))?;
         match v.get("ok") {
             Some(Value::Bool(true)) => Ok(v),
-            Some(Value::Bool(false)) => Err(bad_data(
-                v.get("error").and_then(Value::as_str).unwrap_or("unknown server error"),
-            )),
+            Some(Value::Bool(false)) => {
+                let msg = v.get("error").and_then(Value::as_str).unwrap_or("unknown server error");
+                // The machine-readable `code` is authoritative: lead the
+                // error message with it (unless the text already does) so
+                // `retryable` classifies on one shape.
+                let msg = match v.get("code").and_then(Value::as_str) {
+                    Some(code) if !msg.starts_with(code) => format!("{code}: {msg}"),
+                    _ => msg.to_string(),
+                };
+                Err(bad_data(msg))
+            }
             _ => Err(bad_data("response missing `ok` field")),
         }
     }

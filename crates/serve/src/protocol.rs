@@ -3,7 +3,7 @@
 //! ```text
 //! request  := { "cmd": <name>, ...params } "\n"
 //! response := { "ok": true, ...fields } "\n"
-//!           | { "ok": false, "error": <message> } "\n"
+//!           | { "ok": false, "code"?: <class>, "error": <message> } "\n"
 //! ```
 //!
 //! Commands (write plane → trainer thread, read plane → snapshot):
@@ -39,6 +39,28 @@
 //! retries after a lost ack resends the *same* id, and the server answers
 //! `deduped: true` instead of applying the event twice. `seq` must be
 //! strictly increasing per `client` string.
+//!
+//! ## Reply classification: the `code` field
+//!
+//! Replies that are neither clean successes nor hard errors carry a stable
+//! machine-readable `code` so clients classify them without string-matching
+//! the `error` message:
+//!
+//! - [`CODE_OVERLOADED`] (`"overloaded"`) — the request was *shed*, not
+//!   answered: trainer backlog over `max_backlog`, connection queue full,
+//!   or (through the router) the owning shard unreachable for a write.
+//!   Always on an `ok:false` reply; safe to retry with backoff, reusing
+//!   the same [`WriteId`].
+//! - [`CODE_DEGRADED`] (`"degraded"`) — the reply is best-effort: a
+//!   partial scatter-gather answer (`ok:true` with `degraded:true` +
+//!   `missing_shards`), a read served from a lagging replica
+//!   (`source:"replica"`), or an `ok:false` when no fallback covered the
+//!   key at all. Retrying may or may not improve the answer.
+//!
+//! Hard errors (bad request, unknown node, malformed JSON) carry no
+//! `code`. The `error` text keeps its historical `overloaded:` /
+//! `degraded:` prefixes for older string-matching clients, but `code` is
+//! the authoritative classifier.
 
 use seqge_eval::EdgeOp;
 use seqge_graph::NodeId;
@@ -46,6 +68,14 @@ use serde_json::Value;
 
 /// Hard cap on one request line (including the newline).
 pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// `code` value for shed requests (backlog / queue / shard overload):
+/// nothing was answered; retry with backoff under the same [`WriteId`].
+pub const CODE_OVERLOADED: &str = "overloaded";
+
+/// `code` value for best-effort replies (partial scatter-gather, replica
+/// fallback) and for failures where no fallback covered the key.
+pub const CODE_DEGRADED: &str = "degraded";
 
 /// Default `k` for `topk` requests.
 pub const DEFAULT_TOPK: usize = 10;
@@ -416,6 +446,19 @@ impl Response {
         serde_json::to_string(&Value::Object(fields)).expect("response serializes")
     }
 
+    /// A complete `{"ok": false, "code": code, "error": msg}` line. `code`
+    /// is one of [`CODE_OVERLOADED`] / [`CODE_DEGRADED`]; the message is
+    /// carried verbatim (shed paths keep their `overloaded:` prefix for
+    /// clients that still classify by text).
+    pub fn err_code(code: &str, msg: impl std::fmt::Display) -> String {
+        let fields = vec![
+            ("ok".to_string(), Value::Bool(false)),
+            ("code".to_string(), Value::Str(code.to_string())),
+            ("error".to_string(), Value::Str(msg.to_string())),
+        ];
+        serde_json::to_string(&Value::Object(fields)).expect("response serializes")
+    }
+
     /// Appends one field.
     pub fn field(mut self, key: &str, value: impl ToJson) -> Self {
         self.fields.push((key.to_string(), value.to_json()));
@@ -655,6 +698,28 @@ mod tests {
         // Round-trips through the parser side.
         let v: Value = serde_json::from_str(&err).unwrap();
         assert_eq!(v.get("error").and_then(Value::as_str), Some("boom"));
+    }
+
+    #[test]
+    fn coded_errors_carry_the_classifier_and_stay_error_prefixed() {
+        let err = Response::err_code(CODE_OVERLOADED, "overloaded: trainer backlog 9 exceeds 8");
+        // Compact rendering: error replies start with the ok:false prefix
+        // the server's per-op error counter keys on.
+        assert!(err.starts_with(r#"{"ok":false"#), "{err}");
+        let v: Value = serde_json::from_str(&err).unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("overloaded"));
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("overloaded: trainer backlog 9 exceeds 8")
+        );
+
+        let deg = Response::err_code(CODE_DEGRADED, "degraded: no shard reachable");
+        let v: Value = serde_json::from_str(&deg).unwrap();
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("degraded"));
+
+        // Uncoded errors stay exactly as before: no `code` field at all.
+        let plain: Value = serde_json::from_str(&Response::err("boom")).unwrap();
+        assert!(plain.get("code").is_none());
     }
 
     #[test]

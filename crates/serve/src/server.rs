@@ -25,13 +25,15 @@
 
 use crate::dedup::DedupTable;
 use crate::fault::{FaultInjector, FaultPoint};
-use crate::protocol::{self, op_name, MetricsFormat, Request, Response, MAX_LINE_BYTES};
+use crate::protocol::{
+    self, op_name, MetricsFormat, Request, Response, CODE_OVERLOADED, MAX_LINE_BYTES,
+};
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
 use crate::trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};
 use crate::wal::{Wal, WalBoot, WalConfig};
 use seqge_core::{IncrementalTrainer, OsElmConfig, OsElmSkipGram, TrainConfig};
 use seqge_graph::{EdgeEvent, Graph};
-use seqge_obs::{export, Counter, Histogram, Registry};
+use seqge_obs::{export, Counter, Gauge, Histogram, Registry};
 use seqge_sampling::UpdatePolicy;
 use serde_json::Value;
 use std::collections::VecDeque;
@@ -328,7 +330,10 @@ pub fn start(
                             // nonblocking here).
                             drop(q);
                             stats.conn_shed.inc();
-                            let msg = Response::err("overloaded: connection queue full");
+                            let msg = Response::err_code(
+                                CODE_OVERLOADED,
+                                "overloaded: connection queue full",
+                            );
                             let _ = stream.write_all(msg.as_bytes());
                             let _ = stream.write_all(b"\n");
                             continue;
@@ -364,11 +369,18 @@ const OP_NAMES: [&str; 12] = [
     "shutdown",
 ];
 
+/// One op's telemetry handles:
+/// `(op, latency histogram, request counter, error-reply counter)`.
+type OpSeries = (&'static str, Arc<Histogram>, Arc<Counter>, Arc<Counter>);
+
 /// Per-op request telemetry handles, resolved once per worker so the
 /// dispatch path never takes the registry mutex.
 struct OpMetrics {
-    ops: Vec<(&'static str, Arc<Histogram>, Arc<Counter>)>,
+    ops: Vec<OpSeries>,
     protocol_errors: Arc<Counter>,
+    /// Connections currently inside `handle_connection` across all workers
+    /// (the registry hands every worker the same gauge).
+    open_conns: Arc<Gauge>,
 }
 
 impl OpMetrics {
@@ -380,14 +392,19 @@ impl OpMetrics {
                     op,
                     registry.histogram_with("seqge_serve_request_latency_ns", &[("op", op)]),
                     registry.counter_with("seqge_serve_requests_total", &[("op", op)]),
+                    registry.counter_with("seqge_serve_errors_total", &[("op", op)]),
                 )
             })
             .collect();
-        OpMetrics { ops, protocol_errors: registry.counter("seqge_serve_protocol_errors_total") }
+        OpMetrics {
+            ops,
+            protocol_errors: registry.counter("seqge_serve_protocol_errors_total"),
+            open_conns: registry.gauge("seqge_serve_open_connections"),
+        }
     }
 
-    fn get(&self, op: &str) -> Option<&(&'static str, Arc<Histogram>, Arc<Counter>)> {
-        self.ops.iter().find(|(name, _, _)| *name == op)
+    fn get(&self, op: &str) -> Option<&OpSeries> {
+        self.ops.iter().find(|(name, ..)| *name == op)
     }
 }
 
@@ -423,7 +440,9 @@ impl WorkerCtx {
                 guard.pop_front()
             };
             if let Some(stream) = conn {
+                self.ops.open_conns.inc();
                 let _ = self.handle_connection(stream);
+                self.ops.open_conns.dec();
             }
             if self.stop.load(Ordering::SeqCst) {
                 return;
@@ -507,8 +526,14 @@ impl WorkerCtx {
         // always live (it backs throughput accounting).
         let t0 = if seqge_obs::timing_enabled() { Some(Instant::now()) } else { None };
         let out = self.handle_request(req, reader);
-        if let Some((_, latency, count)) = self.ops.get(op) {
+        if let Some((_, latency, count, errors)) = self.ops.get(op) {
             count.inc();
+            // Compact rendering guarantees error replies start with this
+            // prefix (asserted in the protocol tests), so shed + hard
+            // errors are counted without re-parsing the reply.
+            if out.0.starts_with(r#"{"ok":false"#) {
+                errors.inc();
+            }
             if let Some(t0) = t0 {
                 latency.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             }
@@ -525,11 +550,14 @@ impl WorkerCtx {
     fn shed_read(&self) -> (String, bool) {
         self.stats.overloaded.inc();
         (
-            Response::err(format!(
-                "overloaded: trainer backlog {} exceeds {}",
-                self.stats.pending(),
-                self.max_backlog
-            )),
+            Response::err_code(
+                CODE_OVERLOADED,
+                format!(
+                    "overloaded: trainer backlog {} exceeds {}",
+                    self.stats.pending(),
+                    self.max_backlog
+                ),
+            ),
             false,
         )
     }

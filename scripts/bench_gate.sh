@@ -24,6 +24,15 @@
 # the brute/ANN p99 ratio is banded (SEQGE_BENCH_ANN_BAND_PCT, default 40)
 # and floored at 5x, and recall@10 is floored at 0.9 outright.
 #
+# Also gates the serving plane under load (`seqge loadgen` hot_read
+# against a freshly booted single-node server): steady_ok_rate is floored
+# at 0.99 and the steady topk p99 is banded against
+# results/bench_load.json with a deliberately wide initial band
+# (SEQGE_BENCH_LOAD_BAND_PCT, default 75) — absolute latency varies
+# across hosts far more than the in-process ratios above, so this band
+# only catches order-of-magnitude serving regressions. Lower is better
+# here: only a *rise* beyond the band fails.
+#
 # Band override: SEQGE_BENCH_BAND_PCT (default 15).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,7 +48,12 @@ cargo build --locked --release -q -p seqge-bench --bin table3
 # table3 writes results/bench_pipeline.json relative to its cwd; run it
 # from a scratch dir so the checked-in artifact stays untouched.
 work=$(mktemp -d)
-trap 'rm -rf "$work"' EXIT
+LOAD_SERVER_PID=""
+cleanup() {
+  [[ -n $LOAD_SERVER_PID ]] && kill "$LOAD_SERVER_PID" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
 mkdir -p "$work/results"
 (cd "$work" && "$ROOT/target/release/table3" --json results/table3.json)
 FRESH=$work/results/bench_pipeline.json
@@ -146,6 +160,66 @@ else
   *REGRESSION*) fail=1 ;;
   esac
 fi
+
+# Serving-under-load gate (`seqge loadgen` hot_read vs a single-node
+# serve booted here, no fault injection): steady_ok_rate has a hard floor
+# — availability does not depend on host speed — and the steady topk p99
+# is banded wide (latency in ms does). A p99 *above* the band fails; a
+# drop below it warns to refresh the baseline. slo_pass must hold.
+LOAD_BAND_PCT=${SEQGE_BENCH_LOAD_BAND_PCT:-75}
+LOAD_BASELINE=${LOAD_BASELINE:-results/bench_load.json}
+[[ -f $LOAD_BASELINE ]] || { echo "FAIL: baseline missing: $LOAD_BASELINE"; exit 1; }
+cargo build --locked --release -q
+"$ROOT/target/release/seqge" generate --dataset cora --scale 0.1 --out "$work/load_g.edges"
+"$ROOT/target/release/seqge" serve --graph "$work/load_g.edges" --port 0 --dim 8 \
+  >"$work/load_serve.log" 2>&1 &
+LOAD_SERVER_PID=$!
+for _ in $(seq 1 300); do
+  grep -q '"msg":"listening on ' "$work/load_serve.log" && break
+  sleep 0.2
+done
+LOAD_ADDR=$(sed -n 's/.*"msg":"listening on \([^"]*\)".*/\1/p' "$work/load_serve.log" | head -n1)
+if [[ -z $LOAD_ADDR ]]; then
+  echo "FAIL: load-gate server never came up"; cat "$work/load_serve.log"; fail=1
+else
+  LOAD_FRESH=$work/results/bench_load.json
+  if ! "$ROOT/target/release/seqge" loadgen --scenario hot_read --target "$LOAD_ADDR" \
+    --seed 42 --connections 2 --scale 0.3 --json "$LOAD_FRESH"; then
+    echo "FAIL: loadgen run failed (steady-state SLO or transport)"
+    fail=1
+  else
+    ok_rate=$(json_num "$LOAD_FRESH" steady_ok_rate)
+    base=$(json_num "$LOAD_BASELINE" steady_topk_p99_ms)
+    now=$(json_num "$LOAD_FRESH" steady_topk_p99_ms)
+    if [[ -z $ok_rate || -z $base || -z $now ]]; then
+      echo "FAIL: load metrics missing (ok_rate='$ok_rate' baseline='$base' fresh='$now')"
+      fail=1
+    else
+      rate_verdict=$(awk -v r="$ok_rate" 'BEGIN {
+        if (r < 0.99) printf "%.4f REGRESSION (floor 0.99)", r
+        else          printf "%.4f ok (floor 0.99)", r
+      }')
+      echo "steady_ok_rate: $rate_verdict"
+      case $rate_verdict in
+      *REGRESSION*) fail=1 ;;
+      esac
+      verdict=$(awk -v b="$base" -v n="$now" -v band="$LOAD_BAND_PCT" 'BEGIN {
+        d = (n - b) / b * 100
+        if (d > band)       printf "%+.1f%% REGRESSION (latency band ±%s%%)", d, band
+        else if (d < -band) printf "%+.1f%% below band — refresh baseline", d
+        else                printf "%+.1f%% ok", d
+      }')
+      echo "steady_topk_p99_ms: baseline $base -> $now  ($verdict)"
+      case $verdict in
+      *REGRESSION*) fail=1 ;;
+      *"refresh baseline"*) warn=1 ;;
+      esac
+    fi
+  fi
+fi
+kill "$LOAD_SERVER_PID" 2>/dev/null || true
+wait "$LOAD_SERVER_PID" 2>/dev/null || true
+LOAD_SERVER_PID=""
 
 if ((fail)); then
   echo "bench gate FAILED: ratio metric regressed more than ${BAND_PCT}% vs $BASELINE"
