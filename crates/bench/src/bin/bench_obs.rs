@@ -20,9 +20,12 @@
 //! out and the comparison isolates the span-timing cost alone. The
 //! enabled-vs-`compiled_out` number spans two builds whose code layout
 //! differs for reasons unrelated to instrumentation; it is recorded for
-//! information and never gates. `scripts/bench_obs.sh` orchestrates the
-//! two builds; the pass threshold comes from `SEQGE_OBS_MAX_OVERHEAD_PCT`
-//! (default 5.0).
+//! information and never gates. The `runtime_disabled`-vs-`compiled_out`
+//! delta, however, bounds the residual cost of the tracing-capable code
+//! with tracing off (one atomic load per request plus dead branches) and
+//! gates at `SEQGE_TRACE_OFF_MAX_OVERHEAD_PCT` (default 2.0).
+//! `scripts/bench_obs.sh` orchestrates the two builds; the primary pass
+//! threshold comes from `SEQGE_OBS_MAX_OVERHEAD_PCT` (default 5.0).
 
 use seqge_bench::{banner, write_json, Args};
 use seqge_core::{train_all_pipelined, OsElmConfig, OsElmSkipGram, TrainConfig};
@@ -139,8 +142,18 @@ fn main() {
     let gate_pct = overhead_vs("enabled", "runtime_disabled");
     // Informational only: spans two builds with different code layout.
     let enabled_pct = overhead_vs("enabled", "compiled_out");
+    // Gated (loosely): runtime_disabled carries the full tracing-capable
+    // code (span/trace branches compiled in, gated off by one atomic load),
+    // so its delta against compiled_out bounds the tracing-off residual.
+    // The comparison spans two builds, so the budget must absorb layout
+    // variance — default 2%, overridable for noisy hosts.
     let runtime_off_pct = overhead_vs("runtime_disabled", "compiled_out");
-    let pass = gate_pct.map(|p| p <= max_pct);
+    let trace_off_max: f64 = std::env::var("SEQGE_TRACE_OFF_MAX_OVERHEAD_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
+    let trace_off_pass = runtime_off_pct.map(|p| p <= trace_off_max);
+    let pass = gate_pct.map(|p| p <= max_pct && trace_off_pass != Some(false));
 
     let mut record = vec![
         ("dataset".to_string(), Value::Str("cora".to_string())),
@@ -161,7 +174,11 @@ fn main() {
     }
     if let Some(p) = runtime_off_pct {
         record.push(("overhead_runtime_disabled_vs_compiled_out_pct".to_string(), Value::F64(p)));
-        println!("overhead runtime_disabled vs compiled_out: {p:+.2}% (informational)");
+        record.push(("trace_off_max_overhead_pct".to_string(), Value::F64(trace_off_max)));
+        println!(
+            "overhead runtime_disabled vs compiled_out: {p:+.2}% \
+             (tracing-off residual, budget {trace_off_max}%)"
+        );
     }
     if let Some(ok) = pass {
         record.push(("pass".to_string(), Value::Bool(ok)));
@@ -172,13 +189,15 @@ fn main() {
         "note".to_string(),
         Value::Str(
             "best-of-N wall time of train_all_pipelined on scaled Cora. \
-             The gated comparison (enabled vs runtime_disabled) runs both \
+             The primary gate (enabled vs runtime_disabled) runs both \
              arms interleaved in one binary, isolating the span-timing \
              cost from build-to-build code-layout variance. The \
              compiled_out comparisons span two builds whose layout differs \
              for reasons unrelated to instrumentation — negative numbers \
-             there mean the recording cost is below build variance — and \
-             never gate"
+             there mean the recording cost is below build variance. The \
+             runtime_disabled-vs-compiled_out delta bounds the residual \
+             cost of the tracing-capable code with tracing off and gates \
+             at trace_off_max_overhead_pct"
                 .to_string(),
         ),
     ));
@@ -186,10 +205,19 @@ fn main() {
     println!("json written to {}", path.display());
 
     if let Some(false) = pass {
-        eprintln!(
-            "FAIL: span-timing overhead {:.2}% (enabled vs runtime_disabled) exceeds {max_pct}%",
-            gate_pct.unwrap_or(f64::NAN)
-        );
+        if gate_pct.is_some_and(|p| p > max_pct) {
+            eprintln!(
+                "FAIL: span-timing overhead {:.2}% (enabled vs runtime_disabled) exceeds {max_pct}%",
+                gate_pct.unwrap_or(f64::NAN)
+            );
+        }
+        if trace_off_pass == Some(false) {
+            eprintln!(
+                "FAIL: tracing-off residual {:.2}% (runtime_disabled vs compiled_out) \
+                 exceeds {trace_off_max}%",
+                runtime_off_pct.unwrap_or(f64::NAN)
+            );
+        }
         std::process::exit(1);
     }
 }

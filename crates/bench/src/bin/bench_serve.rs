@@ -195,6 +195,34 @@ fn main() {
 
     let stats = handle.stats();
     let walks = stats.walks_trained.get();
+
+    // Write-to-visibility freshness: enqueue -> snapshot-publish latency,
+    // bucketed by how many writes the publishing batch folded. Populated
+    // by the ingest phases above (tracing on by default; SEQGE_OBS=off
+    // would leave the histograms empty but keep the event counter).
+    println!("write-to-visibility freshness (seqge_freshness_ns):");
+    let mut freshness = Vec::new();
+    let mut freshness_p99_ms_max = 0.0f64;
+    for (bucket, hist) in &stats.freshness_ns {
+        let count = hist.count();
+        if count == 0 {
+            continue;
+        }
+        let p50_ms = hist.quantile(0.5) / 1e6;
+        let p99_ms = hist.quantile(0.99) / 1e6;
+        freshness_p99_ms_max = freshness_p99_ms_max.max(p99_ms);
+        println!(
+            "  batch={bucket:<6} p50 {p50_ms:8.2} ms   p99 {p99_ms:8.2} ms   ({count} publishes)"
+        );
+        freshness.push(serde_json::json!({
+            "batch": *bucket,
+            "publishes": count,
+            "p50_ms": p50_ms,
+            "p99_ms": p99_ms,
+        }));
+    }
+    let writes_visible = stats.writes_visible.get();
+    println!("  writes visible: {writes_visible}");
     handle.shutdown().expect("shutdown");
 
     let record = serde_json::json!({
@@ -219,6 +247,9 @@ fn main() {
         "walks_trained": walks,
         "get_embedding_busy_p50_us": busy_p50,
         "get_embedding_busy_p99_us": busy_p99,
+        "freshness_ns_buckets": freshness,
+        "freshness_p99_ms_max": freshness_p99_ms_max,
+        "writes_visible": writes_visible,
         "note": "loopback TCP, line-delimited JSON, one request in flight; \
                  ingest throughput includes walk restarts from both edge \
                  endpoints, OS-ELM training, and snapshot republication, \

@@ -30,6 +30,9 @@ fn fail(msg: impl std::fmt::Display) -> ! {
 }
 
 fn main() {
+    // Arm the flight recorder before anything else: the e2e suites kill -9
+    // this process, and the periodic dump is what survives for forensics.
+    seqge_obs::flightrec::configure_from_env("shard");
     let mut dir: Option<PathBuf> = None;
     let mut dim = 8usize;
     let mut seed = 11u64;
@@ -90,4 +93,5 @@ fn main() {
     if let Err(e) = handle.wait() {
         fail(format!("server: {e}"));
     }
+    let _ = seqge_obs::flightrec::dump();
 }

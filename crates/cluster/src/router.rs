@@ -46,7 +46,8 @@ use crate::shard::{mark_unhealthy, shard_info, ShardTable};
 use seqge_eval::EdgeOp;
 use seqge_obs::{export, Counter, Registry};
 use seqge_serve::protocol::{
-    self, op_name, MetricsFormat, Request, Response, CODE_DEGRADED, CODE_OVERLOADED, MAX_LINE_BYTES,
+    self, op_name, span_value, MetricsFormat, Request, Response, CODE_DEGRADED, CODE_OVERLOADED,
+    MAX_LINE_BYTES,
 };
 use seqge_serve::snapshot::SnapshotCell;
 use seqge_serve::{Client, ClientConfig};
@@ -205,6 +206,27 @@ pub fn start_router(
 /// epoch they were dialed against.
 type Conns = Vec<Option<(u64, Client)>>;
 
+/// `"cluster."`-prefixed span name for a wire op, precomputed so
+/// tracing-off dispatch never allocates.
+fn cluster_span_name(op: &str) -> &'static str {
+    match op {
+        "ping" => "cluster.ping",
+        "stats" => "cluster.stats",
+        "get_embedding" => "cluster.get_embedding",
+        "topk" => "cluster.topk",
+        "score_link" => "cluster.score_link",
+        "add_edge" => "cluster.add_edge",
+        "remove_edge" => "cluster.remove_edge",
+        "flush" => "cluster.flush",
+        "snapshot" => "cluster.snapshot",
+        "restore" => "cluster.restore",
+        "metrics" => "cluster.metrics",
+        "trace" => "cluster.trace",
+        "flightrec" => "cluster.flightrec",
+        _ => "cluster.shutdown",
+    }
+}
+
 struct RouterCtx {
     queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)>,
     stop: Arc<AtomicBool>,
@@ -302,7 +324,7 @@ impl RouterCtx {
                 return (self.cluster_status(), false);
             }
         }
-        let req = match protocol::parse_request(line) {
+        let (req, wire_ctx) = match protocol::parse_request_traced(line) {
             Ok(r) => r,
             Err(e) => {
                 self.protocol_errors.inc();
@@ -310,7 +332,10 @@ impl RouterCtx {
             }
         };
         self.count_op(req.cmd_name());
-        match req {
+        // The fan-out root: per-shard children open under it (via the
+        // thread-local stack) inside `scatter_gather` / `forward_one`.
+        let mut span = seqge_obs::trace::start_span(cluster_span_name(req.cmd_name()), wire_ctx);
+        let (out, close) = match req {
             Request::Ping => {
                 (Response::ok().field("pong", true).field("role", "router").build(), false)
             }
@@ -338,11 +363,25 @@ impl RouterCtx {
                 (self.fan_collect("snapshot", r#"{"cmd":"snapshot"}"#, conns), false)
             }
             Request::Restore => (self.fan_collect("restore", r#"{"cmd":"restore"}"#, conns), false),
+            Request::Trace { after } => (self.trace_dump(after), false),
+            Request::Flightrec => (self.flightrec(conns), false),
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);
                 (Response::ok().field("stopping", true).build(), true)
             }
+        };
+        if span.is_active() {
+            // Degraded and shed replies are the traces worth keeping
+            // regardless of the head-sampling rate.
+            if out.contains("\"code\":\"overloaded\"") {
+                span.force_sample();
+                span.tag("outcome", "shed");
+            } else if out.contains("\"code\":\"degraded\"") || out.contains("\"degraded\":true") {
+                span.force_sample();
+                span.tag("outcome", "degraded");
+            }
         }
+        (out, close)
     }
 
     fn count_op(&self, op: &str) {
@@ -392,19 +431,41 @@ impl RouterCtx {
         targets: &[usize],
         line: impl Fn(usize) -> String,
     ) -> Vec<Option<Value>> {
+        // All children share the dispatch root as their parent — explicit
+        // ctx, because nested `start_span(.., None)` calls would chain the
+        // siblings into a bogus ancestry.
+        let parent = seqge_obs::trace::current_ctx();
         let mut sent = vec![false; targets.len()];
+        let mut spans: Vec<Option<seqge_obs::Span>> = Vec::with_capacity(targets.len());
         for (i, &s) in targets.iter().enumerate() {
+            let mut sp = seqge_obs::trace::start_span("cluster.shard", parent);
+            if sp.is_active() {
+                sp.tag("shard", s.to_string());
+            }
             if let Some(c) = self.client(conns, s) {
-                match c.send_line(&line(s)) {
+                let l = line(s);
+                // Each shard call carries the *child* context, so the
+                // shard-side span parents to this fan-out leg.
+                let l = match sp.ctx() {
+                    Some(ctx) => protocol::attach_trace(&l, &ctx),
+                    None => l,
+                };
+                match c.send_line(&l) {
                     Ok(()) => sent[i] = true,
                     Err(_) => self.drop_conn(conns, s),
                 }
             }
+            spans.push(Some(sp));
         }
         let deadline = Instant::now() + self.cfg.deadline;
         let mut out = Vec::with_capacity(targets.len());
         for (i, &s) in targets.iter().enumerate() {
+            let mut sp = spans[i].take().expect("one span per target");
             if !sent[i] {
+                if sp.is_active() {
+                    sp.force_sample();
+                    sp.tag("outcome", "unreachable");
+                }
                 out.push(None);
                 continue;
             }
@@ -423,6 +484,10 @@ impl RouterCtx {
                     out.push(Some(v));
                 }
                 None => {
+                    if sp.is_active() {
+                        sp.force_sample();
+                        sp.tag("outcome", "missed_deadline");
+                    }
                     self.drop_conn(conns, s);
                     out.push(None);
                 }
@@ -432,12 +497,31 @@ impl RouterCtx {
     }
 
     /// Forwards one raw request line to shard `s`, returning the raw
-    /// response line (verbatim passthrough).
+    /// response line (verbatim passthrough, plus this hop's trace context
+    /// so the shard span parents here).
     fn forward_one(&self, conns: &mut Conns, s: usize, line: &str) -> Option<String> {
-        let c = self.client(conns, s)?;
-        match c.call_raw(line) {
+        let mut sp = seqge_obs::trace::start_span("cluster.shard", None);
+        if sp.is_active() {
+            sp.tag("shard", s.to_string());
+        }
+        let Some(c) = self.client(conns, s) else {
+            if sp.is_active() {
+                sp.force_sample();
+                sp.tag("outcome", "unreachable");
+            }
+            return None;
+        };
+        let resp = match sp.ctx() {
+            Some(ctx) => c.call_traced(line, &ctx),
+            None => c.call_raw(line),
+        };
+        match resp {
             Ok(resp) => Some(resp),
             Err(_) => {
+                if sp.is_active() {
+                    sp.force_sample();
+                    sp.tag("outcome", "unreachable");
+                }
                 self.drop_conn(conns, s);
                 None
             }
@@ -798,6 +882,61 @@ impl RouterCtx {
                 }
             }
         }
+    }
+
+    /// Serves the `trace` op from this process's span ring. The in-process
+    /// cluster (`seqge cluster`) runs router and shards in one process, so
+    /// this one ring already holds the full cross-layer trees; a
+    /// multi-process deployment scrapes each shard's own `trace` op.
+    fn trace_dump(&self, after: u64) -> String {
+        let (spans, next) = seqge_obs::trace::snapshot_since(after);
+        let items: Vec<Value> = spans.iter().map(span_value).collect();
+        Response::ok()
+            .field("role", "router")
+            .field("spans", Value::Array(items))
+            .field("next", next)
+            .field("sample_every", seqge_obs::trace::sample_every() as u64)
+            .field("pid", std::process::id() as u64)
+            .build()
+    }
+
+    /// Fans `flightrec` out to every shard and merges: the router's own
+    /// document plus one per-shard document (or `null` past the deadline).
+    fn flightrec(&self, conns: &mut Conns) -> String {
+        let own = seqge_obs::flightrec::document("router");
+        let own = serde_json::from_str::<Value>(&own).unwrap_or(Value::Str(own));
+        let targets = self.all_shards();
+        let got = self.scatter_gather(conns, &targets, |_| r#"{"cmd":"flightrec"}"#.to_string());
+        let mut missing = Vec::new();
+        let shards: Vec<Value> = got
+            .into_iter()
+            .enumerate()
+            .map(|(s, v)| {
+                let body = v
+                    .filter(|v| v.get("ok") == Some(&Value::Bool(true)))
+                    .and_then(|v| v.get("body").cloned());
+                match body {
+                    Some(doc) => doc,
+                    None => {
+                        missing.push(s);
+                        Value::Null
+                    }
+                }
+            })
+            .collect();
+        if !missing.is_empty() {
+            self.degraded_total.inc();
+        }
+        let mut resp = Response::ok()
+            .field("role", "router")
+            .field("router", own)
+            .field("shards", Value::Array(shards))
+            .field("degraded", !missing.is_empty())
+            .field("missing_shards", Self::missing_field(&missing));
+        if !missing.is_empty() {
+            resp = resp.field("code", CODE_DEGRADED);
+        }
+        resp.build()
     }
 
     fn cluster_status(&self) -> String {

@@ -409,3 +409,60 @@ fn dead_shard_degrades_topk_and_replica_serves_reads() {
     cluster.shutdown().expect("cluster down");
     let _ = std::fs::remove_dir_all(&base);
 }
+
+/// A traced `topk` through a 2-shard cluster produces the full span tree
+/// in one trace: the router's `cluster.topk` root (parented to the wire
+/// context), one `cluster.shard` leg per shard under it, and one
+/// `serve.topk` span per shard parented to its own leg — cross-layer
+/// propagation with no mixing. In-process shards share the router's span
+/// ring, so the whole tree is visible from one snapshot.
+#[test]
+fn traced_topk_produces_cross_layer_span_tree() {
+    seqge_obs::set_timing_enabled(true);
+    let base = scratch("trace_tree");
+    let (initial, _) = test_stream(7);
+    let cfg = ClusterConfig::in_process(2, base.clone(), DIM, SEED);
+    let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
+    let mut c = client(&cluster.addr().to_string());
+
+    let ctx = seqge_obs::TraceCtx {
+        trace_id: seqge_obs::trace::next_id(),
+        parent_span: seqge_obs::trace::next_id(),
+        sampled: true,
+    };
+    let reply = c
+        .call_traced(r#"{"cmd":"topk","node":0,"k":3,"op":"dot"}"#, &ctx)
+        .expect("traced topk answers");
+    assert!(reply.contains(r#""ok":true"#), "topk must succeed: {reply}");
+
+    // The root span closes before the response is written, so by the time
+    // call_traced returns the whole tree is in the ring.
+    let (spans, _) = seqge_obs::trace::snapshot_since(0);
+    let mine: Vec<_> = spans.iter().filter(|s| s.trace_id == ctx.trace_id).collect();
+
+    let roots: Vec<_> = mine.iter().filter(|s| s.name == "cluster.topk").collect();
+    assert_eq!(roots.len(), 1, "exactly one router root span: {mine:?}");
+    let root = roots[0];
+    assert_eq!(root.parent_span, ctx.parent_span, "router root must parent to the wire context");
+
+    let legs: Vec<_> = mine.iter().filter(|s| s.name == "cluster.shard").collect();
+    assert_eq!(legs.len(), 2, "one fan-out leg per shard: {mine:?}");
+    for leg in &legs {
+        assert_eq!(leg.parent_span, root.span_id, "legs parent to the root");
+    }
+
+    let shard_spans: Vec<_> = mine.iter().filter(|s| s.name == "serve.topk").collect();
+    assert_eq!(shard_spans.len(), 2, "one shard-side span per leg: {mine:?}");
+    let leg_ids: Vec<u64> = legs.iter().map(|l| l.span_id).collect();
+    let mut parents: Vec<u64> = shard_spans.iter().map(|s| s.parent_span).collect();
+    parents.sort_unstable();
+    parents.dedup();
+    assert_eq!(parents.len(), 2, "each shard span under its own leg: {mine:?}");
+    for p in &parents {
+        assert!(leg_ids.contains(p), "shard span parents to a fan-out leg: {mine:?}");
+    }
+
+    drop(c);
+    cluster.shutdown().expect("cluster down");
+    let _ = std::fs::remove_dir_all(&base);
+}

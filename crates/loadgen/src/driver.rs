@@ -159,7 +159,7 @@ fn drive_connection(
         for s in ops {
             let op_label = s.op.label();
             if consecutive_failures >= MAX_CONSECUTIVE_FAILURES {
-                acc.record(op_label, window, Outcome::Transport, None);
+                acc.record(op_label, window, Outcome::Transport, None, None);
                 continue;
             }
             let due = Duration::from_nanos(s.offset_ns);
@@ -170,6 +170,14 @@ fn drive_connection(
                 }
             }
             let line = s.op.request_line(&client_id, &mut next_seq);
+            // Every request carries a fresh always-sampled trace context:
+            // when the server has tracing on, each op leaves a span tree
+            // keyed by this id, and SLO-violating samples surface it as an
+            // exemplar in the report. The server ignores the field when
+            // tracing is off; id generation is one atomic add.
+            let trace_id = seqge_obs::trace::next_id();
+            let ctx = seqge_obs::TraceCtx { trace_id, parent_span: 0, sampled: true };
+            let line = seqge_serve::protocol::attach_trace(&line, &ctx);
             // Scheduled start for open loops (charges queueing delay when
             // the driver or server falls behind), actual send otherwise.
             let t0 = if open_loop { phase_start + due } else { Instant::now() };
@@ -181,11 +189,11 @@ fn drive_connection(
                 Ok(body) => {
                     consecutive_failures = 0;
                     let latency_ns = t0.elapsed().as_nanos() as u64;
-                    acc.record(op_label, window, classify(&body), Some(latency_ns));
+                    acc.record(op_label, window, classify(&body), Some(latency_ns), Some(trace_id));
                 }
                 Err(_) => {
                     consecutive_failures += 1;
-                    acc.record(op_label, window, Outcome::Transport, None);
+                    acc.record(op_label, window, Outcome::Transport, None, Some(trace_id));
                     std::thread::sleep(Duration::from_millis(20));
                     client = Client::connect_with(&opts.target, cfg.clone()).ok();
                 }

@@ -16,7 +16,13 @@ use seqge_obs::{Histogram, Registry};
 use seqge_serve::protocol::{CODE_DEGRADED, CODE_OVERLOADED};
 use serde::Serialize;
 use serde_json::Value;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Exemplar trace ids retained per `(op, window)` SLO-violation bucket —
+/// enough to pull a few representative span trees out of the server's
+/// `trace` op without unbounded growth.
+pub const MAX_EXEMPLARS: usize = 5;
 
 /// The accounting windows, in report order.
 pub const WINDOWS: [&str; 2] = ["steady", "fault"];
@@ -91,12 +97,16 @@ pub fn classify(line: &str) -> Outcome {
 pub struct Accounting {
     registry: Registry,
     slo: Slo,
+    /// `(op, window) -> exemplar trace ids` for SLO-violating samples.
+    /// Registries hold only numbers, so the ids live beside one; the
+    /// mutex is taken only on a violation (never on the happy path).
+    exemplars: Mutex<HashMap<(String, String), Vec<String>>>,
 }
 
 impl Accounting {
     /// A fresh sink enforcing `slo`.
     pub fn new(slo: Slo) -> Self {
-        Accounting { registry: Registry::new(), slo }
+        Accounting { registry: Registry::new(), slo, exemplars: Mutex::new(HashMap::new()) }
     }
 
     /// The SLO in force.
@@ -106,8 +116,18 @@ impl Accounting {
 
     /// Records one completed op: outcome, latency (for answered ops), and
     /// the per-sample SLO check. `latency_ns` is `None` for transport
-    /// failures, which have no meaningful service time.
-    pub fn record(&self, op: &str, window: &str, outcome: Outcome, latency_ns: Option<u64>) {
+    /// failures, which have no meaningful service time. `trace_id` (the
+    /// context the driver attached to the request) is kept as an exemplar
+    /// when the sample violates its SLO, so the report links straight to
+    /// the server-side span tree.
+    pub fn record(
+        &self,
+        op: &str,
+        window: &str,
+        outcome: Outcome,
+        latency_ns: Option<u64>,
+        trace_id: Option<u64>,
+    ) {
         self.registry
             .counter_with(
                 "seqge_loadgen_outcomes_total",
@@ -123,6 +143,13 @@ impl Accounting {
                         &[("op", op), ("window", window)],
                     )
                     .inc();
+                if let Some(id) = trace_id {
+                    let mut ex = self.exemplars.lock().expect("exemplar store poisoned");
+                    let bucket = ex.entry((op.to_string(), window.to_string())).or_default();
+                    if bucket.len() < MAX_EXEMPLARS {
+                        bucket.push(seqge_obs::trace::fmt_id(id));
+                    }
+                }
             }
         }
     }
@@ -182,6 +209,18 @@ impl Accounting {
         let slo_pass =
             slo.targets.iter().all(|t| t.pass) && steady.error_rate <= self.slo.max_error_rate;
         let total_ops = windows.iter().map(|w| w.ops).sum();
+        let mut exemplars: Vec<ExemplarReport> = self
+            .exemplars
+            .lock()
+            .expect("exemplar store poisoned")
+            .iter()
+            .map(|((op, window), ids)| ExemplarReport {
+                op: op.clone(),
+                window: window.clone(),
+                trace_ids: ids.clone(),
+            })
+            .collect();
+        exemplars.sort_by(|a, b| (&a.op, &a.window).cmp(&(&b.op, &b.window)));
         Report {
             scenario: meta.scenario,
             target: meta.target,
@@ -197,6 +236,7 @@ impl Accounting {
             slo_pass,
             windows,
             slo,
+            exemplars,
         }
     }
 
@@ -301,6 +341,20 @@ pub struct Report {
     pub windows: Vec<WindowReport>,
     /// The SLO in force and how the steady window measured against it.
     pub slo: SloReport,
+    /// Exemplar trace ids per SLO-violating `(op, window)` bucket — feed
+    /// one to `seqge obs trace` to pull the full span tree.
+    pub exemplars: Vec<ExemplarReport>,
+}
+
+/// Exemplar trace ids for one SLO-violating `(op, window)` bucket.
+#[derive(Serialize)]
+pub struct ExemplarReport {
+    /// Op label.
+    pub op: String,
+    /// Accounting window.
+    pub window: String,
+    /// Up to [`MAX_EXEMPLARS`] 16-hex-digit trace ids.
+    pub trace_ids: Vec<String>,
 }
 
 /// One accounting window's totals.
@@ -424,11 +478,11 @@ mod tests {
         let acc = Accounting::new(Slo { p99_ms: vec![("topk_exact", 5.0)], max_error_rate: 0.5 });
         // Steady: 3 fast oks; fault: one slow (violating) op and one shed.
         for _ in 0..3 {
-            acc.record("topk_exact", "steady", Outcome::Ok, Some(1_000_000));
+            acc.record("topk_exact", "steady", Outcome::Ok, Some(1_000_000), None);
         }
-        acc.record("topk_exact", "fault", Outcome::Ok, Some(50_000_000));
-        acc.record("topk_exact", "fault", Outcome::Shed, None);
-        acc.record("add_edge", "fault", Outcome::HardError, None);
+        acc.record("topk_exact", "fault", Outcome::Ok, Some(50_000_000), Some(0xabcd));
+        acc.record("topk_exact", "fault", Outcome::Shed, None, None);
+        acc.record("add_edge", "fault", Outcome::HardError, None, None);
         let meta = RunMeta {
             scenario: "t".into(),
             target: "t".into(),
@@ -450,10 +504,42 @@ mod tests {
         assert_eq!(r.windows[1].hard_errors, 1);
         assert!(r.slo_pass, "fault-window breaches must not fail the steady verdict");
         assert!((r.steady_ok_rate - 1.0).abs() < 1e-9);
+        // The violating sample carried a trace id: it must surface as an
+        // exemplar for its (op, window) bucket.
+        assert_eq!(r.exemplars.len(), 1);
+        assert_eq!(r.exemplars[0].op, "topk_exact");
+        assert_eq!(r.exemplars[0].window, "fault");
+        assert_eq!(r.exemplars[0].trace_ids, vec!["000000000000abcd".to_string()]);
         // Serializes into the schema the gate scrapes.
         let json = serde_json::to_string_pretty(&r).unwrap();
-        for key in ["steady_ok_rate", "steady_topk_p99_ms", "schedule_hash", "slo_pass"] {
+        for key in
+            ["steady_ok_rate", "steady_topk_p99_ms", "schedule_hash", "slo_pass", "exemplars"]
+        {
             assert!(json.contains(key), "report missing {key}");
         }
+        assert!(json.contains("000000000000abcd"), "exemplar trace id serialized");
+    }
+
+    #[test]
+    fn exemplars_cap_at_max_and_skip_non_violations() {
+        let acc = Accounting::new(Slo { p99_ms: vec![("topk_exact", 5.0)], max_error_rate: 0.5 });
+        for i in 0..(MAX_EXEMPLARS as u64 + 3) {
+            acc.record("topk_exact", "steady", Outcome::Ok, Some(50_000_000), Some(i + 1));
+        }
+        // Fast sample with a trace id: no violation, no exemplar.
+        acc.record("topk_exact", "fault", Outcome::Ok, Some(1_000_000), Some(99));
+        let meta = RunMeta {
+            scenario: "t".into(),
+            target: "t".into(),
+            seed: 1,
+            connections: 1,
+            scale: 1.0,
+            nodes: 8,
+            schedule_hash: "00".into(),
+            wall_s: 0.1,
+        };
+        let r = acc.report(meta);
+        assert_eq!(r.exemplars.len(), 1, "only the violating bucket collects exemplars");
+        assert_eq!(r.exemplars[0].trace_ids.len(), MAX_EXEMPLARS);
     }
 }

@@ -15,10 +15,27 @@ use crate::registry::{Metric, MetricKey, Registry};
 /// Quantiles exported for every histogram.
 pub const EXPORT_QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
 
+/// Escapes a Prometheus label *value* per the text-exposition rules: the
+/// only escapes are `\\`, `\"`, and `\n` (in that checking order so a
+/// backslash never double-escapes). Everything else passes through.
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
-    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v))).collect();
     if let Some((k, v)) = extra {
-        parts.push(format!("{k}=\"{v}\""));
+        parts.push(format!("{k}=\"{}\"", prom_escape(v)));
     }
     if parts.is_empty() {
         String::new()
@@ -229,5 +246,80 @@ mod tests {
         let r = Registry::new();
         assert_eq!(prometheus(&[&r]), "");
         assert_eq!(dump_json(&[&r]), "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
+        // Zero registries and several empty registries degrade the same way.
+        assert_eq!(prometheus(&[]), "");
+        let (a, b) = (Registry::new(), Registry::new());
+        assert_eq!(prometheus(&[&a, &b]), "");
+        assert_eq!(dump_json(&[]), "{\"counters\":[],\"gauges\":[],\"histograms\":[]}");
+    }
+
+    #[test]
+    fn label_values_escape_backslash_quote_newline() {
+        let r = Registry::new();
+        r.counter_with("seqge_esc_total", &[("path", "a\\b\"c\nd")]).inc();
+        let text = prometheus(&[&r]);
+        // Exposition-format escapes, exactly: \\ then \" then \n.
+        assert!(
+            text.contains(r#"seqge_esc_total{path="a\\b\"c\nd"} 1"#),
+            "unexpected escaping: {text}"
+        );
+        // The physical line must not be split by the raw newline.
+        assert_eq!(text.lines().filter(|l| l.starts_with("seqge_esc_total")).count(), 1);
+        // The JSON dump escapes the same value with JSON rules and stays
+        // on one line too.
+        let js = dump_json(&[&r]);
+        assert!(js.contains(r#""path":"a\\b\"c\nd""#), "{js}");
+        assert_eq!(js.lines().count(), 1);
+    }
+
+    #[test]
+    fn histogram_label_quantile_block_is_escaped_once() {
+        let r = Registry::new();
+        r.histogram_with("seqge_esc_ns", &[("op", "to\"pk")]).record(7);
+        let text = prometheus(&[&r]);
+        assert!(text.contains(r#"seqge_esc_ns{op="to\"pk",quantile="0.5"}"#), "{text}");
+        assert!(text.contains(r#"seqge_esc_ns_sum{op="to\"pk"} 7"#), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_exports_are_nan_free() {
+        let r = Registry::new();
+        r.histogram("seqge_empty_ns"); // registered, never recorded
+        let text = prometheus(&[&r]);
+        assert!(!text.contains("NaN") && !text.contains("inf"), "{text}");
+        assert!(text.contains("seqge_empty_ns{quantile=\"0.5\"} 0\n"));
+        assert!(text.contains("seqge_empty_ns{quantile=\"0.99\"} 0\n"));
+        assert!(text.contains("seqge_empty_ns_sum 0\n"));
+        assert!(text.contains("seqge_empty_ns_count 0\n"));
+        assert!(text.contains("seqge_empty_ns_max 0\n"));
+        let js = dump_json(&[&r]);
+        assert!(!js.contains("NaN"), "{js}");
+        assert!(js.contains("\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,\"p50\":0"));
+    }
+
+    /// Locks the full text rendering of a small registry so any formatting
+    /// drift (spacing, ordering, TYPE lines) is caught exactly.
+    #[test]
+    fn text_format_golden() {
+        let r = Registry::new();
+        r.counter_with("seqge_ops_total", &[("op", "ping")]).add(2);
+        r.gauge("seqge_depth").set(3);
+        r.histogram("seqge_lat_ns").record(100);
+        let text = prometheus(&[&r]);
+        let expected = "\
+# TYPE seqge_depth gauge
+seqge_depth 3
+# TYPE seqge_lat_ns summary
+seqge_lat_ns{quantile=\"0.5\"} 100
+seqge_lat_ns{quantile=\"0.9\"} 100
+seqge_lat_ns{quantile=\"0.99\"} 100
+seqge_lat_ns_sum 100
+seqge_lat_ns_count 1
+# TYPE seqge_lat_ns_max gauge
+seqge_lat_ns_max 100
+# TYPE seqge_ops_total counter
+seqge_ops_total{op=\"ping\"} 2
+";
+        assert_eq!(text, expected);
     }
 }

@@ -39,14 +39,17 @@
 //! pipelined-training bench).
 
 pub mod export;
+pub mod flightrec;
 pub mod hist;
 pub mod log;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, Registry};
 pub use span::SpanGuard;
+pub use trace::{Span, SpanRecord, TraceCtx};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

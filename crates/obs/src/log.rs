@@ -147,6 +147,9 @@ pub fn log(l: Level, target: &str, args: fmt::Arguments<'_>) {
     let ts_ms =
         SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis()).unwrap_or_default();
     let line = format_record(ts_ms, l, target, &args.to_string());
+    // Tee every emitted record into the flight recorder's bounded ring so
+    // crash dumps include the last ~256 log lines regardless of the sink.
+    crate::flightrec::record_log(&line);
     let mut sink = SINK.lock().expect("log sink poisoned");
     match sink.as_mut() {
         Some(f) => {

@@ -179,6 +179,12 @@ impl Client {
         self.recv_line()
     }
 
+    /// [`Client::call_raw`] with a trace context spliced into the request
+    /// line, so the server's span parents to the caller's.
+    pub fn call_traced(&mut self, line: &str, ctx: &seqge_obs::TraceCtx) -> io::Result<String> {
+        self.call_raw(&crate::protocol::attach_trace(line, ctx))
+    }
+
     /// Pipelining half 1: writes one request line without waiting for the
     /// response. The cluster router fans a query out by sending to every
     /// shard first, then collecting responses — wall clock is the slowest

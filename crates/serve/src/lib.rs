@@ -50,8 +50,8 @@ pub use client::{Client, ClientConfig};
 pub use dedup::DedupTable;
 pub use fault::{FaultInjector, FaultPoint};
 pub use protocol::{
-    parse_request, Request, Response, TopKMode, WriteId, CODE_DEGRADED, CODE_OVERLOADED,
-    DEFAULT_PROBES, MAX_LINE_BYTES,
+    attach_trace, parse_request, parse_request_traced, Request, Response, TopKMode, WriteId,
+    CODE_DEGRADED, CODE_OVERLOADED, DEFAULT_PROBES, MAX_LINE_BYTES,
 };
 pub use server::{boot_cold, boot_restore, boot_wal, start, ServeConfig, ServerHandle};
 pub use snapshot::{AnnTopK, EmbeddingSnapshot, SnapshotCell, SnapshotReader};

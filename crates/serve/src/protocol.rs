@@ -21,7 +21,19 @@
 //! | `snapshot`      | —                             | write  |
 //! | `restore`       | —                             | write  |
 //! | `metrics`       | `format?="prometheus"`        | read   |
+//! | `trace`         | `after?=0`                    | read   |
+//! | `flightrec`     | —                             | read   |
 //! | `shutdown`      | —                             | ctrl   |
+//!
+//! Any request may additionally carry a `trace` object —
+//! `{"trace":{"id":"<16 hex>","span":"<16 hex>","sampled":bool}}` — the
+//! propagated distributed-tracing context ([`seqge_obs::TraceCtx`]): the
+//! server parents its request span under it and honors the caller's
+//! sampling decision. The field is pure observability metadata: a
+//! malformed `trace` object is ignored rather than failing the request.
+//! `trace` returns completed sampled spans from the process ring with
+//! `seq > after` (pass the returned `next` back as `after` to tail);
+//! `flightrec` returns the live flight-recorder document.
 //!
 //! `op` is one of `"dot"`, `"cosine"`, `"neg_l2"`. `topk` optionally takes
 //! a residue-class candidate filter (`mod` + `rem`): only nodes `v` with
@@ -64,6 +76,7 @@
 
 use seqge_eval::EdgeOp;
 use seqge_graph::NodeId;
+use seqge_obs::TraceCtx;
 use serde_json::Value;
 
 /// Hard cap on one request line (including the newline).
@@ -208,6 +221,14 @@ pub enum Request {
         /// Output rendering.
         format: MetricsFormat,
     },
+    /// Fetch completed sampled spans from the process trace ring.
+    Trace {
+        /// Only spans with ring sequence strictly greater than this are
+        /// returned; pass a response's `next` back to tail incrementally.
+        after: u64,
+    },
+    /// Fetch the live flight-recorder document (recent spans + log lines).
+    Flightrec,
     /// Graceful shutdown of the whole server.
     Shutdown,
 }
@@ -227,6 +248,8 @@ impl Request {
             Request::Snapshot => "snapshot",
             Request::Restore => "restore",
             Request::Metrics { .. } => "metrics",
+            Request::Trace { .. } => "trace",
+            Request::Flightrec => "flightrec",
             Request::Shutdown => "shutdown",
         }
     }
@@ -272,9 +295,84 @@ fn get_write_id(v: &Value) -> Result<Option<WriteId>, String> {
     }
 }
 
+/// Extracts the optional propagated trace context from a parsed request
+/// object. Malformed contexts yield `None` — tracing metadata must never
+/// fail a request. Reads the *last* `trace` member so a hop that
+/// [`attach_trace`]es onto an already-traced line (the router re-parenting
+/// a forwarded write under its fan-out span) wins over the original.
+fn get_trace(v: &Value) -> Option<TraceCtx> {
+    let Value::Object(entries) = v else { return None };
+    let t = entries.iter().rev().find(|(k, _)| k == "trace").map(|(_, t)| t)?;
+    let trace_id = TraceCtx::parse_id(t.get("id")?.as_str()?)?;
+    let parent_span = TraceCtx::parse_id(t.get("span")?.as_str()?)?;
+    let sampled = match t.get("sampled") {
+        Some(Value::Bool(b)) => *b,
+        _ => true,
+    };
+    Some(TraceCtx { trace_id, parent_span, sampled })
+}
+
+/// Renders one completed span as the `trace` op's wire object (mirrors the
+/// JSONL exporter's field names so the CLI can treat both alike). Shared by
+/// the shard server and the cluster router.
+pub fn span_value(rec: &seqge_obs::SpanRecord) -> Value {
+    use seqge_obs::trace::fmt_id;
+    let mut fields = vec![
+        ("trace".to_string(), Value::Str(fmt_id(rec.trace_id))),
+        ("span".to_string(), Value::Str(fmt_id(rec.span_id))),
+        (
+            "parent".to_string(),
+            if rec.parent_span == 0 { Value::Null } else { Value::Str(fmt_id(rec.parent_span)) },
+        ),
+        ("name".to_string(), Value::Str(rec.name.clone())),
+        ("ts_us".to_string(), Value::U64(rec.start_unix_ns / 1_000)),
+        ("dur_us".to_string(), Value::U64(rec.dur_ns / 1_000)),
+        ("tid".to_string(), Value::U64(rec.tid)),
+        ("seq".to_string(), Value::U64(rec.seq)),
+    ];
+    if !rec.tags.is_empty() {
+        let tags: Vec<(String, Value)> =
+            rec.tags.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect();
+        fields.push(("tags".to_string(), Value::Object(tags)));
+    }
+    Value::Object(fields)
+}
+
+/// Renders a trace context as the wire `trace` field's value.
+fn trace_field(ctx: &TraceCtx) -> String {
+    format!(
+        r#"{{"id":"{}","span":"{}","sampled":{}}}"#,
+        seqge_obs::trace::fmt_id(ctx.trace_id),
+        seqge_obs::trace::fmt_id(ctx.parent_span),
+        ctx.sampled
+    )
+}
+
+/// Splices `"trace":{...}` into an already-valid request line (the router
+/// and loadgen compose lines textually; re-serializing through the parser
+/// would lose unknown fields). Replaces any existing `trace` field by
+/// appending after it — [`get_trace`] reads the last occurrence, so the
+/// newest hop's context wins without textual surgery on the original.
+pub fn attach_trace(line: &str, ctx: &TraceCtx) -> String {
+    let trimmed = line.trim_end();
+    match trimmed.strip_suffix('}') {
+        Some(body) => {
+            let sep = if body.trim_end().ends_with('{') { "" } else { "," };
+            format!("{body}{sep}\"trace\":{}}}", trace_field(ctx))
+        }
+        None => trimmed.to_string(),
+    }
+}
+
 /// Parses one request line. Errors are human-readable strings the server
 /// echoes back verbatim in the `error` field.
 pub fn parse_request(line: &str) -> Result<Request, String> {
+    parse_request_traced(line).map(|(req, _)| req)
+}
+
+/// Like [`parse_request`], also returning the propagated trace context if
+/// the line carried a well-formed `trace` object.
+pub fn parse_request_traced(line: &str) -> Result<(Request, Option<TraceCtx>), String> {
     if line.len() > MAX_LINE_BYTES {
         return Err(format!("line exceeds {MAX_LINE_BYTES} bytes"));
     }
@@ -286,7 +384,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .get("cmd")
         .and_then(Value::as_str)
         .ok_or_else(|| "missing string field `cmd`".to_string())?;
-    match cmd {
+    let trace = get_trace(&v);
+    let req = match cmd {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "get_embedding" => Ok(Request::GetEmbedding { node: get_u32(&v, "node")? }),
@@ -368,9 +467,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             };
             Ok(Request::Metrics { format })
         }
+        "trace" => {
+            let after = match v.get("after") {
+                None => 0,
+                Some(a) => a.as_u64().ok_or("`after` must be a non-negative integer")?,
+            };
+            Ok(Request::Trace { after })
+        }
+        "flightrec" => Ok(Request::Flightrec),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown command `{other}`")),
-    }
+    }?;
+    Ok((req, trace))
 }
 
 /// Conversion into the vendored [`Value`] tree for response fields (the
@@ -562,6 +670,12 @@ mod tests {
             parse_request(r#"{"cmd":"metrics","format":"prometheus"}"#).unwrap(),
             Request::Metrics { format: MetricsFormat::Prometheus }
         );
+        assert_eq!(parse_request(r#"{"cmd":"trace"}"#).unwrap(), Request::Trace { after: 0 });
+        assert_eq!(
+            parse_request(r#"{"cmd":"trace","after":42}"#).unwrap(),
+            Request::Trace { after: 42 }
+        );
+        assert_eq!(parse_request(r#"{"cmd":"flightrec"}"#).unwrap(), Request::Flightrec);
         assert_eq!(parse_request(r#"{"cmd":"shutdown"}"#).unwrap(), Request::Shutdown);
     }
 
@@ -582,10 +696,49 @@ mod tests {
             (r#"{"cmd":"snapshot"}"#, "snapshot"),
             (r#"{"cmd":"restore"}"#, "restore"),
             (r#"{"cmd":"metrics"}"#, "metrics"),
+            (r#"{"cmd":"trace"}"#, "trace"),
+            (r#"{"cmd":"flightrec"}"#, "flightrec"),
             (r#"{"cmd":"shutdown"}"#, "shutdown"),
         ] {
             assert_eq!(parse_request(line).unwrap().cmd_name(), name);
         }
+    }
+
+    #[test]
+    fn trace_context_round_trips_through_attach_and_parse() {
+        let ctx = TraceCtx { trace_id: 0xabcd, parent_span: 0x1234, sampled: true };
+        let line = attach_trace(r#"{"cmd":"topk","node":1,"k":5}"#, &ctx);
+        let (req, parsed) = parse_request_traced(&line).unwrap();
+        assert_eq!(req.cmd_name(), "topk");
+        assert_eq!(parsed, Some(ctx));
+        // Unsampled decision survives the wire.
+        let cold = TraceCtx { trace_id: 1, parent_span: 2, sampled: false };
+        let (_, parsed) = parse_request_traced(&attach_trace(r#"{"cmd":"ping"}"#, &cold)).unwrap();
+        assert_eq!(parsed, Some(cold));
+        // Lines without a trace field parse to None; plain parse_request
+        // still accepts traced lines.
+        assert_eq!(parse_request_traced(r#"{"cmd":"ping"}"#).unwrap().1, None);
+        assert!(parse_request(&attach_trace(r#"{"cmd":"ping"}"#, &ctx)).is_ok());
+    }
+
+    #[test]
+    fn malformed_trace_context_is_ignored_not_fatal() {
+        for line in [
+            r#"{"cmd":"ping","trace":"not an object"}"#,
+            r#"{"cmd":"ping","trace":{"id":"zz","span":"01"}}"#,
+            r#"{"cmd":"ping","trace":{"id":"01"}}"#,
+            r#"{"cmd":"ping","trace":{}}"#,
+        ] {
+            let (req, ctx) = parse_request_traced(line).unwrap();
+            assert_eq!(req, Request::Ping);
+            assert_eq!(ctx, None, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_trace_after() {
+        assert!(parse_request(r#"{"cmd":"trace","after":-1}"#).unwrap_err().contains("after"));
+        assert!(parse_request(r#"{"cmd":"trace","after":"x"}"#).unwrap_err().contains("after"));
     }
 
     #[test]

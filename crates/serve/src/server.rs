@@ -26,10 +26,10 @@
 use crate::dedup::DedupTable;
 use crate::fault::{FaultInjector, FaultPoint};
 use crate::protocol::{
-    self, op_name, MetricsFormat, Request, Response, CODE_OVERLOADED, MAX_LINE_BYTES,
+    self, op_name, span_value, MetricsFormat, Request, Response, CODE_OVERLOADED, MAX_LINE_BYTES,
 };
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
-use crate::trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};
+use crate::trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg, WriteCtx};
 use crate::wal::{Wal, WalBoot, WalConfig};
 use seqge_core::{IncrementalTrainer, OsElmConfig, OsElmSkipGram, TrainConfig};
 use seqge_graph::{EdgeEvent, Graph};
@@ -354,7 +354,7 @@ pub fn start(
 }
 
 /// Every wire command, for pre-registering per-op request series.
-const OP_NAMES: [&str; 12] = [
+const OP_NAMES: [&str; 14] = [
     "ping",
     "stats",
     "get_embedding",
@@ -366,8 +366,31 @@ const OP_NAMES: [&str; 12] = [
     "snapshot",
     "restore",
     "metrics",
+    "trace",
+    "flightrec",
     "shutdown",
 ];
+
+/// `"serve."`-prefixed span name for a wire op, precomputed so tracing-off
+/// dispatch never allocates.
+fn span_name(op: &str) -> &'static str {
+    match op {
+        "ping" => "serve.ping",
+        "stats" => "serve.stats",
+        "get_embedding" => "serve.get_embedding",
+        "topk" => "serve.topk",
+        "score_link" => "serve.score_link",
+        "add_edge" => "serve.add_edge",
+        "remove_edge" => "serve.remove_edge",
+        "flush" => "serve.flush",
+        "snapshot" => "serve.snapshot",
+        "restore" => "serve.restore",
+        "metrics" => "serve.metrics",
+        "trace" => "serve.trace",
+        "flightrec" => "serve.flightrec",
+        _ => "serve.shutdown",
+    }
+}
 
 /// One op's telemetry handles:
 /// `(op, latency histogram, request counter, error-reply counter)`.
@@ -514,7 +537,7 @@ impl WorkerCtx {
             self.ops.protocol_errors.inc();
             return (Response::err("empty request line"), false);
         }
-        let req = match protocol::parse_request(line) {
+        let (req, wire_ctx) = match protocol::parse_request_traced(line) {
             Ok(r) => r,
             Err(e) => {
                 self.ops.protocol_errors.inc();
@@ -522,10 +545,11 @@ impl WorkerCtx {
             }
         };
         let op = req.cmd_name();
-        // The clock reads are gated like spans; the request counter is
-        // always live (it backs throughput accounting).
+        // Span + clock reads are both gated on the timing switch; the
+        // request counter is always live (it backs throughput accounting).
+        let mut span = seqge_obs::trace::start_span(span_name(op), wire_ctx);
         let t0 = if seqge_obs::timing_enabled() { Some(Instant::now()) } else { None };
-        let out = self.handle_request(req, reader);
+        let out = self.handle_request(req, reader, span.ctx());
         if let Some((_, latency, count, errors)) = self.ops.get(op) {
             count.inc();
             // Compact rendering guarantees error replies start with this
@@ -536,6 +560,18 @@ impl WorkerCtx {
             }
             if let Some(t0) = t0 {
                 latency.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            }
+        }
+        if span.is_active() {
+            // Shed/degraded outcomes are always worth keeping, whatever the
+            // head-sampling decision said.
+            if out.0.contains(r#""code":"overloaded""#) {
+                span.force_sample();
+                span.tag("outcome", "shed");
+            } else if out.0.contains(r#""code":"degraded""#) || out.0.contains(r#""degraded":true"#)
+            {
+                span.force_sample();
+                span.tag("outcome", "degraded");
             }
         }
         out
@@ -562,7 +598,12 @@ impl WorkerCtx {
         )
     }
 
-    fn handle_request(&self, req: Request, reader: &mut SnapshotReader) -> (String, bool) {
+    fn handle_request(
+        &self,
+        req: Request,
+        reader: &mut SnapshotReader,
+        span_ctx: Option<seqge_obs::TraceCtx>,
+    ) -> (String, bool) {
         match req {
             Request::Ping => (Response::ok().field("pong", true).build(), false),
             Request::Stats => {
@@ -584,7 +625,10 @@ impl WorkerCtx {
                     .field("refreshes", self.stats.refreshes.get())
                     .field("snapshots_written", self.stats.snapshots_written.get())
                     .field("deduped", self.stats.deduped.get())
-                    .field("overloaded", self.stats.overloaded.get());
+                    .field("overloaded", self.stats.overloaded.get())
+                    // Always-on freshness readout: how old the published
+                    // snapshot is right now (no obs env flag required).
+                    .field("snapshot_staleness_ms", self.cell.staleness_ms());
                 if let Some(wal) = &self.wal {
                     resp = resp
                         .field("wal", true)
@@ -731,13 +775,19 @@ impl WorkerCtx {
                     Request::AddEdge { .. } => EdgeEvent::Add(u, v),
                     _ => EdgeEvent::Remove(u, v),
                 };
+                // The write's observability context rides the in-memory
+                // queue only (never the on-disk WAL format — replay stays
+                // bit-identical): the trainer closes the write-to-visibility
+                // measurement when the edge's effect lands in a published
+                // snapshot.
+                let wctx = WriteCtx::at_enqueue(span_ctx);
                 // `Some(seq)` when WAL-logged, `None` when queued directly.
                 let queued: Option<u64> = match &self.wal {
                     Some(wal) => {
                         let t0 =
                             if seqge_obs::timing_enabled() { Some(Instant::now()) } else { None };
                         let appended = wal.append_then(event, &self.fault, |seq| {
-                            self.trainer_tx.send(TrainerMsg::Event(seq, event))
+                            self.trainer_tx.send(TrainerMsg::Event(seq, event, wctx.clone()))
                         });
                         if let Some(t0) = t0 {
                             self.stats
@@ -755,7 +805,7 @@ impl WorkerCtx {
                             }
                         }
                     }
-                    None => match self.trainer_tx.send(TrainerMsg::Event(0, event)) {
+                    None => match self.trainer_tx.send(TrainerMsg::Event(0, event, wctx)) {
                         Ok(()) => None,
                         Err(_) => return (Response::err("trainer is shut down"), true),
                     },
@@ -824,6 +874,27 @@ impl WorkerCtx {
                     MetricsFormat::Json => export::dump_json(&regs),
                 };
                 (Response::ok().field("format", format.as_str()).field("body", body).build(), false)
+            }
+            Request::Trace { after } => {
+                let (spans, next) = seqge_obs::trace::snapshot_since(after);
+                let items: Vec<Value> = spans.iter().map(span_value).collect();
+                (
+                    Response::ok()
+                        .field("spans", Value::Array(items))
+                        .field("next", next)
+                        .field("sample_every", seqge_obs::trace::sample_every() as u64)
+                        .field("pid", std::process::id() as u64)
+                        .build(),
+                    false,
+                )
+            }
+            Request::Flightrec => {
+                let doc = seqge_obs::flightrec::document("serve");
+                // The document is known-valid JSON; embed it structurally so
+                // clients get an object, not a double-encoded string.
+                let body =
+                    serde_json::from_str::<Value>(&doc).unwrap_or_else(|_| Value::Str(doc.clone()));
+                (Response::ok().field("body", body).build(), false)
             }
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);

@@ -15,6 +15,7 @@ use seqge_graph::NodeId;
 use seqge_linalg::Mat;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// An immutable view of the model at one training version: the embedding
 /// matrix plus the telemetry the `stats` command reports.
@@ -189,6 +190,9 @@ impl EmbeddingSnapshot {
 pub struct SnapshotCell {
     version: AtomicU64,
     slot: Mutex<Arc<EmbeddingSnapshot>>,
+    /// When the current snapshot went out, for the always-on staleness
+    /// readout (`stats.snapshot_staleness_ms` works with `SEQGE_OBS=off`).
+    published_at: Mutex<Instant>,
 }
 
 impl SnapshotCell {
@@ -197,7 +201,19 @@ impl SnapshotCell {
         SnapshotCell {
             version: AtomicU64::new(initial.version),
             slot: Mutex::new(Arc::new(initial)),
+            published_at: Mutex::new(Instant::now()),
         }
+    }
+
+    /// Stamps the publication time of the current snapshot (called by the
+    /// trainer right after [`SnapshotCell::publish`]).
+    pub fn mark_published(&self, at: Instant) {
+        *self.published_at.lock().expect("publish stamp poisoned") = at;
+    }
+
+    /// Milliseconds since the current snapshot was published.
+    pub fn staleness_ms(&self) -> u64 {
+        self.published_at.lock().expect("publish stamp poisoned").elapsed().as_millis() as u64
     }
 
     /// Publishes a snapshot: swaps the `Arc` and bumps the version counter.

@@ -22,11 +22,54 @@ use seqge_ann::{AnnBuilder, AnnConfig, SyncReport};
 use seqge_core::model::EmbeddingModel;
 use seqge_core::{persist, IncrementalTrainer, OsElmSkipGram};
 use seqge_graph::{io as graph_io, EdgeEvent, Graph};
-use seqge_obs::{Counter, Gauge, Histogram, Registry};
+use seqge_obs::{Counter, Gauge, Histogram, Registry, TraceCtx};
 use std::path::PathBuf;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Batch-size buckets splitting the write-to-visibility distribution: a
+/// write published alone has a very different freshness profile than one
+/// riding a 200-event batch, and averaging them hides the tail.
+pub const FRESHNESS_BATCH_BUCKETS: [&str; 4] = ["1", "2-16", "17-64", "65+"];
+
+/// The `batch` label value for a publish folding `n` writes.
+pub fn batch_bucket(n: usize) -> &'static str {
+    match n {
+        0..=1 => FRESHNESS_BATCH_BUCKETS[0],
+        2..=16 => FRESHNESS_BATCH_BUCKETS[1],
+        17..=64 => FRESHNESS_BATCH_BUCKETS[2],
+        _ => FRESHNESS_BATCH_BUCKETS[3],
+    }
+}
+
+/// Observability context riding one write through the trainer queue: the
+/// worker stamps it at enqueue, the trainer closes it when the write's
+/// effect lands in a published snapshot. Never serialized into the WAL —
+/// replayed events carry [`WriteCtx::none`] and the on-disk format stays
+/// bit-identical.
+#[derive(Clone, Default)]
+pub struct WriteCtx {
+    /// Enqueue instant; `None` when timing is off (the always-on freshness
+    /// path then keeps only the counter + staleness gauge).
+    pub enqueued: Option<Instant>,
+    /// The request span's context; the trainer parents the
+    /// `write.visible` span under it.
+    pub trace: Option<TraceCtx>,
+}
+
+impl WriteCtx {
+    /// Context for a write entering the queue right now.
+    pub fn at_enqueue(trace: Option<TraceCtx>) -> Self {
+        let enqueued = if seqge_obs::timing_enabled() { Some(Instant::now()) } else { None };
+        WriteCtx { enqueued, trace }
+    }
+
+    /// Context-free marker for replayed or synthetic events.
+    pub fn none() -> Self {
+        WriteCtx::default()
+    }
+}
 
 /// Counters shared between the trainer thread and the query plane (the
 /// `stats` command reads them lock-free). Each field is a handle into the
@@ -107,6 +150,17 @@ pub struct ServeStats {
     /// Dirty fraction of the latest republish in parts-per-million
     /// (`seqge_ann_dirty_ppm`).
     pub ann_dirty_ppm: Arc<Gauge>,
+    /// Write-to-visibility latency (enqueue → snapshot publication) split
+    /// by batch-size bucket (`seqge_freshness_ns{batch=...}`). Recording is
+    /// gated on the timing switch like every other clock read.
+    pub freshness_ns: Vec<(&'static str, Arc<Histogram>)>,
+    /// Writes whose snapshot visibility was confirmed — always on, even
+    /// with `SEQGE_OBS=off` (`seqge_freshness_events_total`).
+    pub writes_visible: Arc<Counter>,
+    /// Age of the snapshot that was just replaced, in ms — i.e. how stale
+    /// reads were allowed to get before this publish. Always on
+    /// (`seqge_snapshot_staleness_ms`).
+    pub staleness_ms: Arc<Gauge>,
 }
 
 impl ServeStats {
@@ -151,7 +205,24 @@ impl ServeStats {
             ann_rehashed: registry.counter("seqge_ann_rehashed_total"),
             ann_indexed: registry.gauge("seqge_ann_indexed_points"),
             ann_dirty_ppm: registry.gauge("seqge_ann_dirty_ppm"),
+            freshness_ns: FRESHNESS_BATCH_BUCKETS
+                .iter()
+                .map(|&b| (b, registry.histogram_with("seqge_freshness_ns", &[("batch", b)])))
+                .collect(),
+            writes_visible: registry.counter("seqge_freshness_events_total"),
+            staleness_ms: registry.gauge("seqge_snapshot_staleness_ms"),
         }
+    }
+
+    /// The freshness histogram for a publish folding `n` writes.
+    pub fn freshness(&self, n: usize) -> &Histogram {
+        let bucket = batch_bucket(n);
+        let (_, h) = self
+            .freshness_ns
+            .iter()
+            .find(|(b, _)| *b == bucket)
+            .expect("every bucket pre-registered");
+        h
     }
 
     /// Mirrors one [`AnnBuilder::sync`] outcome into the registry.
@@ -193,8 +264,9 @@ impl ServeStats {
 /// Messages the trainer thread understands.
 pub enum TrainerMsg {
     /// An edge mutation from the write plane, tagged with its WAL sequence
-    /// number (0 when the server runs without a WAL).
-    Event(u64, EdgeEvent),
+    /// number (0 when the server runs without a WAL) and the observability
+    /// context closed at snapshot publication.
+    Event(u64, EdgeEvent, WriteCtx),
     /// Barrier: drain everything queued before this message, publish, and
     /// ack with the published version.
     Flush(Sender<u64>),
@@ -257,6 +329,12 @@ pub struct Trainer {
     applied_seq: u64,
     /// Incremental ANN index maintainer (`None` when ANN is disabled).
     ann: Option<AnnBuilder>,
+    /// Write contexts consumed since the last publish; closed (freshness
+    /// histogram + `write.visible` spans) when the next snapshot goes out.
+    inflight_writes: Vec<WriteCtx>,
+    /// When the current snapshot was published (drives the staleness gauge
+    /// and the `stats` op's always-on readout via the cell).
+    last_publish: Option<Instant>,
 }
 
 impl Trainer {
@@ -283,6 +361,8 @@ impl Trainer {
             events_since_refresh: 0,
             applied_seq: 0,
             ann,
+            inflight_writes: Vec::new(),
+            last_publish: None,
         };
         t.sync_stats();
         t.publish();
@@ -329,6 +409,48 @@ impl Trainer {
             ann,
         });
         self.version += 1;
+        self.close_freshness();
+    }
+
+    /// The always-on freshness bookkeeping at snapshot publication: set the
+    /// staleness gauge (age of the snapshot just replaced), count newly
+    /// visible writes, and — when timing is on — record write-to-visibility
+    /// latencies into the batch-bucketed histogram and close each sampled
+    /// write's `write.visible` span.
+    fn close_freshness(&mut self) {
+        // One clock read per publish (per *batch*, not per event), so this
+        // stays within the "cheap always-on" budget with SEQGE_OBS=off.
+        let now = Instant::now();
+        if let Some(prev) = self.last_publish {
+            self.stats.staleness_ms.set(now.duration_since(prev).as_millis() as i64);
+        }
+        self.last_publish = Some(now);
+        self.cell.mark_published(now);
+        if self.inflight_writes.is_empty() {
+            return;
+        }
+        let batch = self.inflight_writes.len();
+        let bucket = batch_bucket(batch);
+        let hist = self.stats.freshness(batch);
+        for w in std::mem::take(&mut self.inflight_writes) {
+            self.stats.writes_visible.inc();
+            if let Some(t) = w.enqueued {
+                let ns = now.saturating_duration_since(t).as_nanos() as u64;
+                hist.record(ns);
+                if let Some(ctx) = w.trace {
+                    seqge_obs::trace::record_closed(
+                        "write.visible",
+                        ctx,
+                        t,
+                        ns,
+                        vec![
+                            ("batch".to_string(), bucket.to_string()),
+                            ("version".to_string(), (self.version - 1).to_string()),
+                        ],
+                    );
+                }
+            }
+        }
     }
 
     fn apply(&mut self, seq: u64, event: EdgeEvent) {
@@ -442,16 +564,18 @@ impl Trainer {
             };
             let mut control = None;
             match first {
-                TrainerMsg::Event(seq, e) => {
+                TrainerMsg::Event(seq, e, ctx) => {
                     self.apply(seq, e);
+                    self.inflight_writes.push(ctx);
                     let mut batched = 1usize;
                     let mut drained = false;
                     // Opportunistic batch: drain whatever queued up while
                     // training, then publish once.
                     while batched < self.cfg.batch_max {
                         match rx.try_recv() {
-                            Ok(TrainerMsg::Event(seq, e)) => {
+                            Ok(TrainerMsg::Event(seq, e, ctx)) => {
                                 self.apply(seq, e);
+                                self.inflight_writes.push(ctx);
                                 batched += 1;
                             }
                             Ok(other) => {
@@ -492,7 +616,10 @@ impl Trainer {
                         // Drain in-flight events so nothing queued is lost…
                         while let Ok(msg) = rx.try_recv() {
                             match msg {
-                                TrainerMsg::Event(seq, e) => self.apply(seq, e),
+                                TrainerMsg::Event(seq, e, ctx) => {
+                                    self.apply(seq, e);
+                                    self.inflight_writes.push(ctx);
+                                }
                                 TrainerMsg::Flush(a) => {
                                     let _ = a.send(self.version);
                                 }

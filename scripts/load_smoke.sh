@@ -43,7 +43,10 @@ export SEQGE_FAULT_STALL_MS=30
 
 "$BIN" generate --dataset cora --scale 0.1 --out "$work/g.edges"
 
-"$BIN" cluster --graph "$work/g.edges" --base-dir "$work/shards" --shards 2 \
+# Arm the flight recorder: the periodic dump (default 2s) must leave a
+# parseable post-mortem even when the cluster is chaos-killed below.
+SEQGE_FLIGHTREC="$work/frec" \
+  "$BIN" cluster --graph "$work/g.edges" --base-dir "$work/shards" --shards 2 \
   --port 0 --dim 8 >"$work/cluster.log" 2>&1 &
 CLUSTER_PID=$!
 
@@ -80,10 +83,20 @@ run_scenario() {
 
   # Schema: the keys the bench gate and dashboards scrape.
   for key in scenario schedule_hash steady_ok_rate steady_topk_p99_ms slo_pass \
-             windows slo_violations per_op hard_errors transport_errors; do
+             windows slo_violations per_op hard_errors transport_errors exemplars; do
     grep -q "\"$key\"" "$out" ||
       { echo "FAIL: $scenario report lacks \"$key\""; cat "$out"; exit 1; }
   done
+
+  # Any violated SLO bucket must carry at least one exemplar trace id
+  # (loadgen traces every request, so a violation always has one).
+  total_viol=$(sed -n 's/.*"slo_violations": *\([0-9]*\).*/\1/p' "$out" |
+    awk '{s+=$1} END {print s+0}')
+  if ((total_viol > 0)); then
+    # Pretty-printed JSON puts array items on their own lines.
+    grep -A1 '"trace_ids"' "$out" | grep -Eq '"[0-9a-f]{16}"' ||
+      { echo "FAIL: $scenario violated SLOs but reports no exemplar trace ids"; cat "$out"; exit 1; }
+  fi
 
   # Zero hard protocol errors anywhere — chaos may shed or degrade, never
   # corrupt.
@@ -118,8 +131,17 @@ printf '%s\n' '{"cmd":"ping"}' '{"cmd":"cluster_status"}' |
   "$BIN" client --addr "$ADDR" >"$work/after.out"
 grep -q '"pong":true' "$work/after.out" || { echo "FAIL: router dead after load"; exit 1; }
 
-kill "$CLUSTER_PID" 2>/dev/null || true
+# Chaos-kill the cluster (no drain, no hooks) — the flight recorder's
+# periodic dump must still leave a parseable post-mortem on disk.
+kill -9 "$CLUSTER_PID" 2>/dev/null || true
 wait "$CLUSTER_PID" 2>/dev/null || true
 CLUSTER_PID=""
+frec_file=$(ls "$work"/frec/flightrec-*.json 2>/dev/null | head -n1)
+[[ -n $frec_file ]] ||
+  { echo "FAIL: no flightrec dump survived the kill -9"; ls -la "$work/frec" 2>/dev/null || true; exit 1; }
+jq -e '.role == "cluster" and (.spans | type == "array") and (.logs | type == "array")' \
+  "$frec_file" >/dev/null ||
+  { echo "FAIL: flightrec dump malformed"; cat "$frec_file"; exit 1; }
+echo "flightrec post-mortem OK: $frec_file"
 
 echo "load smoke OK"

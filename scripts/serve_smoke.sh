@@ -38,7 +38,10 @@ check_series() {
 
 "$BIN" generate --dataset cora --scale 0.05 --out "$work/g.edges"
 
-"$BIN" serve --graph "$work/g.edges" --port 0 --dim 8 --log-level debug \
+# Sample every trace and point the flight recorder at a scratch dir so the
+# trace/flightrec assertions below are deterministic.
+SEQGE_TRACE_SAMPLE=1 SEQGE_FLIGHTREC="$work/frec" \
+  "$BIN" serve --graph "$work/g.edges" --port 0 --dim 8 --log-level debug \
   --snapshot-dir "$work/snaps" >"$work/serve.log" 2>&1 &
 SERVER_PID=$!
 
@@ -103,6 +106,49 @@ head -c 13 "$work/metrics.json" | grep -q '{"counters":\[' ||
 grep -q '"name":"seqge_serve_request_latency_ns"' "$work/metrics.json" ||
   { echo "FAIL: obs dump json lacks latency histogram"; exit 1; }
 
+# Filtered + table renderings of the registry.
+"$BIN" obs dump --addr "$ADDR" --format prometheus --filter seqge_serve_requests_total \
+  >"$work/metrics.filtered.txt"
+grep -q '^seqge_serve_requests_total{' "$work/metrics.filtered.txt" ||
+  { echo "FAIL: --filter dropped the requested series"; exit 1; }
+! grep -q 'seqge_core_' "$work/metrics.filtered.txt" ||
+  { echo "FAIL: --filter leaked foreign series"; exit 1; }
+"$BIN" obs dump --addr "$ADDR" --format table >"$work/metrics.table.txt"
+grep -q 'seqge_serve_request_latency_ns' "$work/metrics.table.txt" ||
+  { echo "FAIL: table mode lacks latency row"; exit 1; }
+
+# The trace ring: every request above was sampled (SEQGE_TRACE_SAMPLE=1),
+# so JSONL spans for the serve ops must be drainable...
+"$BIN" obs trace --addr "$ADDR" >"$work/trace.jsonl"
+grep -q '"name":"serve.ping"' "$work/trace.jsonl" ||
+  { echo "FAIL: no serve.ping span in trace ring"; cat "$work/trace.jsonl"; exit 1; }
+grep -q '"name":"write.visible"' "$work/trace.jsonl" ||
+  { echo "FAIL: no write.visible freshness span"; exit 1; }
+jq -s -e 'length > 0 and all(.trace and .span and .name)' "$work/trace.jsonl" >/dev/null ||
+  { echo "FAIL: trace JSONL malformed"; exit 1; }
+
+# ...and the Chrome exporter must emit a trace_event document that a real
+# viewer would accept: complete events with µs timestamps and pid/tid.
+"$BIN" obs trace --addr "$ADDR" --chrome "$work/trace.chrome.json"
+jq -e '.displayTimeUnit == "ms" and (.traceEvents | length > 0) and
+       (.traceEvents | all(.ph == "X" and .name and .pid and .tid and
+                           (.ts | type == "number") and (.dur >= 1)))' \
+  "$work/trace.chrome.json" >/dev/null ||
+  { echo "FAIL: Chrome trace document malformed"; cat "$work/trace.chrome.json"; exit 1; }
+
+# Freshness plane: the add_edge above published, so the event counter and
+# the per-batch histogram must both be live.
+check_series 'seqge_freshness_events_total'
+grep -q 'seqge_freshness_ns_count{batch="1"}' "$work/metrics.txt" ||
+  { echo "FAIL: freshness histogram missing batch=1 bucket"; exit 1; }
+grep -q '"snapshot_staleness_ms":' "$work/session.out" ||
+  { echo "FAIL: stats lacks snapshot_staleness_ms"; exit 1; }
+
+# The flight recorder is live-fetchable while the server runs.
+printf '%s\n' '{"cmd":"flightrec"}' | "$BIN" client --addr "$ADDR" >"$work/frec.live.out"
+grep -q '"spans":' "$work/frec.live.out" ||
+  { echo "FAIL: flightrec op returned no span ring"; cat "$work/frec.live.out"; exit 1; }
+
 # Graceful SIGINT: drain, write the final snapshot, exit 0.
 kill -INT "$SERVER_PID"
 wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; cat "$work/serve.log"; exit 1; }
@@ -111,6 +157,14 @@ grep -q '"msg":"server stopped"' "$work/serve.log" ||
   { echo "FAIL: no graceful-stop record"; cat "$work/serve.log"; exit 1; }
 [[ -f $work/snaps/model.sge && -f $work/snaps/graph.edges ]] ||
   { echo "FAIL: final snapshot missing"; exit 1; }
+
+# The flight recorder left a parseable dump on the graceful path: recent
+# spans plus the JSONL log tail, stamped with role and pid.
+frec_file=$(ls "$work"/frec/flightrec-*.json 2>/dev/null | head -n1)
+[[ -n $frec_file ]] || { echo "FAIL: no flightrec dump after shutdown"; ls -la "$work/frec" || true; exit 1; }
+jq -e '.role == "serve" and .pid and (.spans | type == "array") and (.logs | type == "array")' \
+  "$frec_file" >/dev/null ||
+  { echo "FAIL: flightrec dump malformed"; cat "$frec_file"; exit 1; }
 
 # Kill -> restart: boots from the snapshot dir alone (no --graph), with the
 # ingested edge persisted.

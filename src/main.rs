@@ -136,15 +136,28 @@ commands:
             --nodes) prints the schedule hash without sending traffic.
             Writes the machine-readable report to --json, default
             results/bench_load.json)
-  obs      dump [--addr HOST:PORT] [--format json|prometheus]
-           (fetches the running server's metrics registries — counters,
-            gauges, latency histograms — via the `metrics` protocol op
-            and prints the body; json is the default rendering)
+  obs      dump  [--addr HOST:PORT] [--format json|prometheus|table]
+                 [--filter PREFIX] [--by-shard]
+           trace [--addr HOST:PORT] [--after n] [--follow] [--chrome FILE]
+           (dump fetches the running server's metrics registries via the
+            `metrics` protocol op; --filter keeps only series whose name
+            starts with PREFIX, --format table renders aligned
+            name/count/p50/p99 rows, and --by-shard asks a cluster
+            router's `cluster_status` for the shard addresses and dumps
+            each shard separately. trace drains completed request spans
+            from the target's in-process ring via the `trace` op as JSONL;
+            --follow tails the ring until Ctrl-C and --chrome writes a
+            chrome://tracing / Perfetto trace_event file instead)
 
 observability: the serve daemon logs structured JSONL to stderr
   (level from --log-level or SEQGE_LOG, default info) and answers the
   `metrics` op with Prometheus text for scrapers; SEQGE_OBS=off turns
-  span timers off at runtime.";
+  span timers and request tracing off at runtime. Tracing head-samples
+  1-in-SEQGE_TRACE_SAMPLE root requests (default 64; degraded/shed
+  requests are always kept). SEQGE_FLIGHTREC=DIR arms a crash flight
+  recorder: recent spans + log lines dumped to DIR/flightrec-<pid>.json
+  on panic, periodically, on graceful shutdown, and on demand via the
+  `flightrec` protocol op.";
 
 type Flags = HashMap<String, String>;
 
@@ -156,7 +169,17 @@ fn parse_flags(rest: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{flag}`"));
         };
         // Boolean flags have no value.
-        if matches!(key, "seq" | "linkpred" | "wal-replay-check" | "no-ann" | "list" | "dry-run") {
+        if matches!(
+            key,
+            "seq"
+                | "linkpred"
+                | "wal-replay-check"
+                | "no-ann"
+                | "list"
+                | "dry-run"
+                | "follow"
+                | "by-shard"
+        ) {
             flags.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -359,6 +382,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .ok_or_else(|| format!("--log-level: unknown level `{lv}`"))?;
         seqge::obs::log::set_level(level);
     }
+    // Crash forensics (SEQGE_FLIGHTREC=DIR): ring-buffer recent spans and
+    // log lines, dumped on panic, periodically, and on graceful shutdown.
+    seqge::obs::flightrec::configure_from_env("serve");
     let dim: usize = get(flags, "dim", 32)?;
     let seed: u64 = get(flags, "seed", 42)?;
     let port: u16 = get(flags, "port", 7878)?;
@@ -500,6 +526,7 @@ fn cmd_cluster(flags: &Flags) -> Result<(), String> {
             .ok_or_else(|| format!("--log-level: unknown level `{lv}`"))?;
         seqge::obs::log::set_level(level);
     }
+    seqge::obs::flightrec::configure_from_env("cluster");
     let dim: usize = get(flags, "dim", 32)?;
     let seed: u64 = get(flags, "seed", 42)?;
     let port: u16 = get(flags, "port", 7879)?;
@@ -549,6 +576,9 @@ fn cmd_cluster(flags: &Flags) -> Result<(), String> {
         std::thread::sleep(std::time::Duration::from_millis(50));
     });
     cluster.wait().map_err(|e| e.to_string())?;
+    if let Some(path) = seqge::obs::flightrec::dump() {
+        seqge::obs::info!("cluster", "flight recorder dumped to {}", path.display());
+    }
     seqge::obs::info!("cluster", "cluster stopped");
     Ok(())
 }
@@ -577,6 +607,11 @@ fn run_server(
         std::thread::sleep(std::time::Duration::from_millis(50));
     });
     handle.wait().map_err(|e| e.to_string())?;
+    // Graceful SIGINT/SIGTERM still leaves a final flight-recorder dump —
+    // the forensic file exists whether the exit was clean or not.
+    if let Some(path) = seqge::obs::flightrec::dump() {
+        seqge::obs::info!("serve", "flight recorder dumped to {}", path.display());
+    }
     seqge::obs::info!("serve", "server stopped");
     Ok(())
 }
@@ -617,22 +652,243 @@ fn cmd_wal_replay_check(
 
 fn cmd_obs(rest: &[String]) -> Result<(), String> {
     let Some((sub, rest)) = rest.split_first() else {
-        return Err("obs needs a subcommand: `dump`".into());
+        return Err("obs needs a subcommand: `dump` or `trace`".into());
     };
-    if sub != "dump" {
-        return Err(format!("unknown obs subcommand `{sub}` (expected `dump`)"));
-    }
     let flags = parse_flags(rest)?;
+    match sub.as_str() {
+        "dump" => cmd_obs_dump(&flags),
+        "trace" => cmd_obs_trace(&flags),
+        other => Err(format!("unknown obs subcommand `{other}` (expected `dump` or `trace`)")),
+    }
+}
+
+fn cmd_obs_dump(flags: &Flags) -> Result<(), String> {
     let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
     let format = match flags.get("format").map(String::as_str).unwrap_or("json") {
         "json" => "json",
         "prom" | "prometheus" => "prometheus",
-        other => return Err(format!("--format must be json or prometheus, got `{other}`")),
+        "table" => "table",
+        other => return Err(format!("--format must be json, prometheus, or table, got `{other}`")),
     };
+    let filter = flags.get("filter").map(String::as_str);
+    if flags.contains_key("by-shard") {
+        return obs_dump_by_shard(addr, format, filter);
+    }
     let mut client = serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let body = client.metrics(format).map_err(|e| e.to_string())?;
-    println!("{body}");
+    print_metrics(&mut client, format, filter)
+}
+
+/// Fetches one target's metrics and prints them in `format`, keeping only
+/// series whose name starts with `filter` when given.
+fn print_metrics(
+    client: &mut serve::Client,
+    format: &str,
+    filter: Option<&str>,
+) -> Result<(), String> {
+    let wire = if format == "prometheus" { "prometheus" } else { "json" };
+    let body = client.metrics(wire).map_err(|e| e.to_string())?;
+    match format {
+        "prometheus" => {
+            // Exposition lines lead with the metric name (`# HELP name` /
+            // `# TYPE name` / `name{labels} value`), so a prefix filter is
+            // a line filter.
+            for line in body.lines() {
+                let name = match line.strip_prefix("# ") {
+                    Some(rest) => rest.split_whitespace().nth(1).unwrap_or(""),
+                    None => line.split(['{', ' ']).next().unwrap_or(""),
+                };
+                if filter.is_none_or(|f| name.starts_with(f)) {
+                    println!("{line}");
+                }
+            }
+        }
+        "table" => print_metrics_table(&body, filter)?,
+        _ => {
+            let doc: serde_json::Value =
+                serde_json::from_str(&body).map_err(|e| format!("bad metrics body: {e}"))?;
+            let filtered = filter_metric_doc(&doc, filter);
+            println!("{}", serde_json::to_string(&filtered).map_err(|e| e.to_string())?);
+        }
+    }
     Ok(())
+}
+
+/// Drops series whose name does not start with `filter` from a
+/// `dump_json`-shaped document (counters/gauges/histograms arrays).
+fn filter_metric_doc(doc: &serde_json::Value, filter: Option<&str>) -> serde_json::Value {
+    use serde_json::Value;
+    let Some(f) = filter else { return doc.clone() };
+    let Value::Object(sections) = doc else { return doc.clone() };
+    Value::Object(
+        sections
+            .iter()
+            .map(|(section, items)| {
+                let kept = match items.as_array() {
+                    Some(arr) => Value::Array(
+                        arr.iter()
+                            .filter(|m| {
+                                m.get("name")
+                                    .and_then(Value::as_str)
+                                    .is_some_and(|n| n.starts_with(f))
+                            })
+                            .cloned()
+                            .collect(),
+                    ),
+                    None => items.clone(),
+                };
+                (section.clone(), kept)
+            })
+            .collect(),
+    )
+}
+
+/// Renders a `dump_json` body as aligned human-readable rows: every series
+/// with its count/value, histograms with p50/p99 as well.
+fn print_metrics_table(body: &str, filter: Option<&str>) -> Result<(), String> {
+    use serde_json::Value;
+    let doc: Value = serde_json::from_str(body).map_err(|e| format!("bad metrics body: {e}"))?;
+    let series_name = |m: &Value| -> String {
+        let name = m.get("name").and_then(Value::as_str).unwrap_or("?").to_string();
+        match m.get("labels") {
+            Some(Value::Object(labels)) if !labels.is_empty() => {
+                let parts: Vec<String> = labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                    .collect();
+                format!("{name}{{{}}}", parts.join(","))
+            }
+            _ => name,
+        }
+    };
+    let fmt_num = |v: f64| {
+        if v == 0.0 || v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.1}")
+        }
+    };
+    println!("{:<64} {:>14} {:>14} {:>14}", "metric", "count", "p50", "p99");
+    let mut rows: Vec<(String, String, String, String)> = Vec::new();
+    for (section, is_hist) in [("counters", false), ("gauges", false), ("histograms", true)] {
+        let Some(items) = doc.get(section).and_then(Value::as_array) else { continue };
+        for m in items {
+            let name = series_name(m);
+            if filter.is_some_and(|f| !name.starts_with(f)) {
+                continue;
+            }
+            if is_hist {
+                rows.push((
+                    name,
+                    fmt_num(m.get("count").and_then(Value::as_f64).unwrap_or(0.0)),
+                    fmt_num(m.get("p50").and_then(Value::as_f64).unwrap_or(0.0)),
+                    fmt_num(m.get("p99").and_then(Value::as_f64).unwrap_or(0.0)),
+                ));
+            } else {
+                let v = m.get("value").and_then(Value::as_f64).unwrap_or(0.0);
+                rows.push((name, fmt_num(v), "-".into(), "-".into()));
+            }
+        }
+    }
+    rows.sort();
+    for (name, count, p50, p99) in rows {
+        println!("{name:<64} {count:>14} {p50:>14} {p99:>14}");
+    }
+    Ok(())
+}
+
+/// `--by-shard`: asks the router's `cluster_status` for the shard plane's
+/// addresses and dumps each shard's own registries, labeled.
+fn obs_dump_by_shard(addr: &str, format: &str, filter: Option<&str>) -> Result<(), String> {
+    use serde_json::Value;
+    let mut router = serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let status = router
+        .call(r#"{"cmd":"cluster_status"}"#)
+        .map_err(|e| format!("cluster_status on {addr}: {e} (is this a cluster router?)"))?;
+    let shards = status
+        .get("shards")
+        .and_then(Value::as_array)
+        .ok_or("cluster_status reply carries no shard list")?;
+    for sh in shards {
+        let s = sh.get("shard").and_then(Value::as_u64).unwrap_or(0);
+        let Some(shard_addr) = sh.get("addr").and_then(Value::as_str) else { continue };
+        println!("== shard {s} @ {shard_addr} ==");
+        match serve::Client::connect(shard_addr) {
+            Ok(mut c) => print_metrics(&mut c, format, filter)?,
+            Err(e) => println!("(unreachable: {e})"),
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `seqge obs trace`: drains completed spans from the target's in-process
+/// ring via the `trace` op — JSONL to stdout, `--follow` to tail, or
+/// `--chrome FILE` for a chrome://tracing / Perfetto document.
+fn cmd_obs_trace(flags: &Flags) -> Result<(), String> {
+    use serde_json::Value;
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7878");
+    let follow = flags.contains_key("follow");
+    let chrome = flags.get("chrome");
+    if follow && chrome.is_some() {
+        return Err("--follow and --chrome cannot combine".into());
+    }
+    let mut after: u64 = get(flags, "after", 0u64)?;
+    let mut client = serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    if follow {
+        install_signal_handlers();
+    }
+    loop {
+        let v = client
+            .call(&format!(r#"{{"cmd":"trace","after":{after}}}"#))
+            .map_err(|e| e.to_string())?;
+        let next = v.get("next").and_then(Value::as_u64).unwrap_or(after);
+        let records = parse_span_records(&v);
+        if let Some(out) = chrome {
+            let pid = v.get("pid").and_then(Value::as_u64).unwrap_or(0) as u32;
+            let doc = seqge::obs::trace::chrome_trace(&records, pid);
+            std::fs::write(out, doc).map_err(|e| format!("write {out}: {e}"))?;
+            println!("wrote {} span(s) to {out}", records.len());
+            return Ok(());
+        }
+        for rec in &records {
+            println!("{}", seqge::obs::trace::jsonl_line(rec));
+        }
+        after = next;
+        if !follow || STOP_REQUESTED.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(500));
+    }
+}
+
+/// Rebuilds [`seqge::obs::SpanRecord`]s from a `trace` op reply, so the CLI
+/// reuses the library's JSONL and Chrome exporters verbatim.
+fn parse_span_records(v: &serde_json::Value) -> Vec<seqge::obs::SpanRecord> {
+    use serde_json::Value;
+    let id = |item: &Value, key: &str| {
+        item.get(key).and_then(Value::as_str).and_then(seqge::obs::TraceCtx::parse_id).unwrap_or(0)
+    };
+    let Some(items) = v.get("spans").and_then(Value::as_array) else { return Vec::new() };
+    items
+        .iter()
+        .map(|item| seqge::obs::SpanRecord {
+            seq: item.get("seq").and_then(Value::as_u64).unwrap_or(0),
+            trace_id: id(item, "trace"),
+            span_id: id(item, "span"),
+            parent_span: id(item, "parent"),
+            name: item.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+            start_unix_ns: item.get("ts_us").and_then(Value::as_u64).unwrap_or(0) * 1_000,
+            dur_ns: item.get("dur_us").and_then(Value::as_u64).unwrap_or(0) * 1_000,
+            tid: item.get("tid").and_then(Value::as_u64).unwrap_or(0),
+            tags: match item.get("tags") {
+                Some(Value::Object(entries)) => entries
+                    .iter()
+                    .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                    .collect(),
+                _ => Vec::new(),
+            },
+        })
+        .collect()
 }
 
 fn cmd_client(flags: &Flags) -> Result<(), String> {
