@@ -6,17 +6,22 @@
 //! with its own WAL at fsync=batch) and streams the spanning-forest-held
 //! edges through `add_edge` from four concurrent writer connections,
 //! finishing with a `flush` barrier so the wall time covers the full
-//! pipeline: routing, WAL append, walk restarts on both endpoint shards,
+//! pipeline: routing, WAL append, walk restarts on the owning shard,
 //! OS-ELM training, and snapshot republication. The client-side pressure
 //! (4 connections) is identical in both arms, so the ratio isolates the
 //! shard plane.
 //!
-//! `scaling_ratio` is the headline number: >1 means the shard plane
-//! parallelized training. Perfect 4x is not attainable — a cross-shard
-//! edge trains on *both* endpoint owners (the partitioning invariant), so
-//! a random stream roughly doubles total training work at 4 shards — and
-//! on a small host the arms share cores with the router and writers; the
-//! `cores` field records the budget the run actually had.
+//! `scaling_ratio` is the headline number: >1 means added shards bought
+//! real throughput. Under single-owner partitioning every edge trains on
+//! exactly one shard (`edge_owner(u, v) = owner(u)`), so the 4-shard arm
+//! performs the *same* total training work as the 1-shard arm, split
+//! across four trainer threads — on a ≥4-core host the ratio is gated in
+//! CI at >1.0 (target ≥1.5). Every run also reconciles the per-shard
+//! `edges_inserted` counters against the stream length, proving no
+//! cross-shard edge trained twice (the pre-halo both-endpoint router
+//! summed to ~2× here). On a smaller host the trainer threads timeshare
+//! and the ratio degrades toward 1.0 minus fan-out overhead; the `cores`
+//! field records the budget the run actually had.
 //!
 //! Writes `results/bench_cluster.json` via `--json` (experiment-script
 //! convention) or to that default path when the flag is omitted.
@@ -34,13 +39,18 @@ const WRITERS: usize = 4;
 /// estimator for the noise-free cost.
 const REPS: usize = 3;
 
-fn client(addr: &str) -> Client {
+/// One connection with its own client id. Write dedup keys on
+/// `(client, seq)` and every connection numbers its writes from 1, so
+/// writers sharing an id would collide and have most of their stream
+/// silently deduped instead of trained — the reconciliation assert below
+/// exists to catch exactly that class of bench bug.
+fn client(addr: &str, tag: &str) -> Client {
     Client::connect_with(
         addr,
         ClientConfig {
             timeout: Duration::from_secs(30),
             retries: 8,
-            client_id: format!("bench-{}", std::process::id()),
+            client_id: format!("bench-{}-{tag}", std::process::id()),
             ..ClientConfig::default()
         },
     )
@@ -83,16 +93,35 @@ fn ingest_run(
             let addr = &addr;
             let chunk: Vec<(u32, u32)> = stream.iter().copied().skip(w).step_by(WRITERS).collect();
             scope.spawn(move || {
-                let mut c = client(addr);
+                let mut c = client(addr, &format!("w{w}"));
                 for (u, v) in chunk {
                     c.add_edge(u, v).expect("write acks");
                 }
             });
         }
     });
-    let mut c = client(&addr);
+    let mut c = client(&addr, "flush");
     c.flush().expect("flush barrier");
     let wall = t0.elapsed().as_secs_f64();
+
+    // Exactly-once accounting (outside the timed window): the per-shard
+    // train counters must sum to the stream length, or the ratio is
+    // comparing arms that did different amounts of work.
+    let trained: u64 = cluster
+        .shard_addrs()
+        .iter()
+        .map(|a| {
+            let mut sc = client(&a.to_string(), "stats");
+            let stats = sc.call(r#"{"cmd":"stats"}"#).expect("shard stats");
+            stats.get("edges_inserted").and_then(serde_json::Value::as_u64).unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(
+        trained,
+        stream.len() as u64,
+        "{shards}-shard arm: per-shard edges_inserted must reconcile with the stream \
+         (an excess means a cross-shard edge trained twice)"
+    );
 
     cluster.shutdown().expect("clean shutdown");
     let _ = std::fs::remove_dir_all(&base);
@@ -138,14 +167,16 @@ fn main() {
         "ingest_4shard_eps": eps4,
         "ingest_4shard_wall_s": wall4,
         "scaling_ratio": ratio,
+        "exactly_once_verified": true,
         "note": "loopback TCP through the scatter-gather router, 4 concurrent \
                  writer connections in both arms, fsync=batch WAL per shard, \
                  flush barrier included in the wall time, fastest of 3 runs \
-                 per arm; cross-shard edges \
-                 train on both endpoint owners, so the 4-shard arm performs \
-                 roughly double the training work of the 1-shard arm and the \
-                 attainable ratio is bounded by min(cores, 4)/2 on top of \
-                 router overhead",
+                 per arm; single-owner partitioning trains every edge on \
+                 exactly one shard (per-shard edges_inserted counters \
+                 reconcile with the stream length each run), so both arms do \
+                 identical total training work and the ratio measures real \
+                 parallelism; attainable ratio is bounded by min(cores, 4) \
+                 minus router fan-out overhead",
     });
     let path = args.json.clone().unwrap_or_else(|| Path::new("results/bench_cluster.json").into());
     write_json(&path, &record).expect("write json");

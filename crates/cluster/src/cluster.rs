@@ -17,7 +17,7 @@ use seqge_graph::Graph;
 use seqge_sampling::UpdatePolicy;
 use seqge_serve::wal::{FsyncPolicy, Wal, WalConfig};
 use seqge_serve::{
-    boot_cold, boot_wal, start, FaultInjector, ServeConfig, ServerHandle, TrainerConfig,
+    boot_cold, boot_wal, start, FaultInjector, HaloConfig, ServeConfig, ServerHandle, TrainerConfig,
 };
 use std::io::{self, ErrorKind};
 use std::net::SocketAddr;
@@ -78,6 +78,10 @@ pub struct ClusterConfig {
     pub router: RouterConfig,
     /// Replica tail poll interval.
     pub replica_poll: Duration,
+    /// Halo delta-exchange cadence (the `--halo-sync-ms` knob): how often
+    /// each shard publishes its owned embedding rows and folds in its
+    /// peers'. Ignored with a single shard (there are no peers).
+    pub halo_sync: Duration,
     /// Shard hosting mode.
     pub backend: Backend,
 }
@@ -96,6 +100,7 @@ impl ClusterConfig {
             addr: "127.0.0.1:0".to_string(),
             router: RouterConfig::default(),
             replica_poll: Duration::from_millis(20),
+            halo_sync: Duration::from_millis(50),
             backend: Backend::InProcess,
         }
     }
@@ -173,6 +178,9 @@ impl Cluster {
                         },
                         wal: Some(Arc::new(boot.wal)),
                         fault: Arc::new(fault),
+                        halo: (cfg.shards > 1).then(|| {
+                            HaloConfig::for_shard(&cfg.base_dir, s, cfg.shards, cfg.halo_sync)
+                        }),
                         ..ServeConfig::default()
                     };
                     let handle = start("127.0.0.1:0", boot.graph, boot.model, boot.inc, scfg)?;
@@ -186,6 +194,10 @@ impl Cluster {
                         dim: cfg.dim,
                         seed: cfg.seed,
                         refresh_every: cfg.refresh_every,
+                        shard_id: s,
+                        shards: cfg.shards,
+                        base_dir: cfg.base_dir.clone(),
+                        halo_sync_ms: cfg.halo_sync.as_millis() as u64,
                     };
                     let (child, addr) = ChildShard::spawn(s, spec)?;
                     addrs.push(addr);

@@ -9,8 +9,10 @@
 //!
 //! * **Shard plane** ([`shard`], [`cluster`]) — engines run in-process
 //!   (`seqge cluster`) or as spawned `shardd` children (the e2e tests
-//!   kill -9 them). Cross-partition edges are routed to *both* endpoint
-//!   owners, so the walks an event restarts stay shard-local.
+//!   kill -9 them). Every edge has exactly one owner (the source vertex's
+//!   shard), so added shards divide the training work; non-owned vertex
+//!   rows are mirrored between shards as read-only **halo** embeddings by
+//!   the periodic delta-exchange in `seqge_serve::halo`.
 //! * **Router** ([`router`]) — consistent write routing by ownership;
 //!   `topk`/`stats` scatter-gather with per-shard deadlines and partial-
 //!   result degradation (`"degraded": true` + the missing-shard list);
@@ -36,7 +38,7 @@ pub mod router;
 pub mod shard;
 
 pub use cluster::{oselm_cfg, train_cfg, Backend, Cluster, ClusterConfig};
-pub use partition::{edge_owners, owner, shard_subgraph};
+pub use partition::{edge_owner, owner, shard_subgraph};
 pub use replica::{Replica, ReplicaConfig};
 pub use router::{start_router, ReplicaView, RouterConfig, RouterHandle};
 pub use shard::{ChildShard, ChildSpec, ShardInfo, ShardTable};

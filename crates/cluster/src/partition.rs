@@ -1,4 +1,4 @@
-//! Vertex-space partitioning: which shard owns which node.
+//! Vertex-space partitioning: which shard owns which node and edge.
 //!
 //! The scheme is plain modulo — `owner(v) = v % shards` — chosen over a
 //! mixing hash deliberately: the serve protocol's `topk` residue-class
@@ -8,11 +8,17 @@
 //! Modulo also keeps the partition stable under node-id growth: adding
 //! nodes never migrates existing ones between shards.
 //!
-//! An edge `(u, v)` is routed to **both** endpoint owners (once when they
-//! coincide). Each shard therefore trains on the subgraph of edges that
-//! touch its slice, so the random walks restarted from an event's
-//! endpoints (§4.3.2 of the paper) see every incident edge locally — no
-//! cross-shard traffic during walk generation or training.
+//! An edge `(u, v)` has exactly **one** owner: the owner of its source
+//! vertex `u`. Every edge is therefore applied and trained exactly once
+//! cluster-wide — the previous both-endpoint routing trained cross-shard
+//! edges twice, which capped 1→N-shard ingest scaling at ~N/2 of the
+//! attainable ratio. A shard's walks may still cross partition boundaries
+//! (the walk graph is the shard's owned-edge subgraph over the *global*
+//! node space); the authoritative embedding row for a non-owned vertex
+//! lives on its owner and is mirrored to the other shards as a read-only
+//! **halo** copy by the periodic delta-exchange in `seqge_serve::halo`.
+//! Ownership is residue-stable: the same `{"mod", "rem"}` filter the
+//! router already scatters for `topk` still partitions the answer.
 
 use seqge_graph::{Graph, NodeId};
 
@@ -22,26 +28,20 @@ pub fn owner(v: NodeId, shards: usize) -> usize {
     (v as usize) % shards
 }
 
-/// The shards an edge event must reach: owner of `u`, plus owner of `v`
-/// when different. Writes go to both so each side's training inputs stay
-/// shard-local.
-pub fn edge_owners(u: NodeId, v: NodeId, shards: usize) -> (usize, Option<usize>) {
-    let a = owner(u, shards);
-    let b = owner(v, shards);
-    if a == b {
-        (a, None)
-    } else {
-        (a, Some(b))
-    }
+/// The single shard an edge event must reach: the owner of the source
+/// vertex `u`. Exactly one shard applies (and trains) each edge, so added
+/// shards divide the training work instead of duplicating it.
+pub fn edge_owner(u: NodeId, _v: NodeId, shards: usize) -> usize {
+    owner(u, shards)
 }
 
 /// The subgraph shard `shard` trains on: every node (embeddings are
-/// indexed by global id on every shard), but only the edges with at least
-/// one endpoint in the shard's slice.
+/// indexed by global id on every shard), but only the edges it owns.
+/// The per-shard subgraphs are a disjoint cover of the full edge set.
 pub fn shard_subgraph(g: &Graph, shard: usize, shards: usize) -> Graph {
     let edges: Vec<(NodeId, NodeId)> = g
         .edges()
-        .filter(|&(u, v, _)| owner(u, shards) == shard || owner(v, shards) == shard)
+        .filter(|&(u, v, _)| edge_owner(u, v, shards) == shard)
         .map(|(u, v, _)| (u, v))
         .collect();
     Graph::from_edges_lossy(g.num_nodes(), &edges)
@@ -64,35 +64,39 @@ mod tests {
     }
 
     #[test]
-    fn edge_owners_covers_both_endpoints_once_each() {
-        assert_eq!(edge_owners(3, 7, 4), (3, None)); // 3 % 4 == 7 % 4
-        assert_eq!(edge_owners(1, 5, 4), (1, None));
-        assert_eq!(edge_owners(2, 5, 4), (2, Some(1)));
-        assert_eq!(edge_owners(5, 2, 4), (1, Some(2)));
+    fn edge_owner_is_the_source_owner() {
+        assert_eq!(edge_owner(3, 7, 4), 3);
+        assert_eq!(edge_owner(1, 5, 4), 1);
+        assert_eq!(edge_owner(2, 5, 4), 2);
+        // Direction matters: the source vertex decides.
+        assert_eq!(edge_owner(5, 2, 4), 1);
     }
 
     #[test]
-    fn subgraphs_cover_every_edge() {
+    fn subgraphs_are_a_disjoint_cover_of_the_edge_set() {
         let g = erdos_renyi(60, 0.1, 3);
         let shards = 4;
         let parts: Vec<Graph> = (0..shards).map(|s| shard_subgraph(&g, s, shards)).collect();
         for (u, v, _) in g.edges() {
-            let owners = [owner(u, shards), owner(v, shards)];
+            let own = edge_owner(u, v, shards);
             for (s, part) in parts.iter().enumerate() {
-                let should_have = owners.contains(&s);
                 assert_eq!(
                     part.has_edge(u, v),
-                    should_have,
-                    "edge ({u},{v}) vs shard {s}: owners {owners:?}"
+                    s == own,
+                    "edge ({u},{v}) vs shard {s}: owner {own}"
                 );
             }
         }
-        // Edge multiplicity across shards: one copy per distinct owner.
+        // Exactly one copy of every edge cluster-wide: summed shard edge
+        // counts reconcile with the full graph.
         let total: usize = parts.iter().map(Graph::num_edges).sum();
-        let expected: usize = g
-            .edges()
-            .map(|(u, v, _)| if owner(u, shards) == owner(v, shards) { 1 } else { 2 })
-            .sum();
-        assert_eq!(total, expected);
+        assert_eq!(total, g.num_edges(), "single-owner cover must not duplicate or drop edges");
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let g = erdos_renyi(30, 0.2, 9);
+        let part = shard_subgraph(&g, 0, 1);
+        assert_eq!(part.num_edges(), g.num_edges());
     }
 }

@@ -4,13 +4,13 @@
 //! Routing rules per op:
 //!
 //! * **writes** (`add_edge`/`remove_edge`) — forwarded *verbatim* (the
-//!   client's `WriteId` rides along unchanged) to the owner of `u` and,
-//!   when different, the owner of `v`, pipelined. Both must acknowledge;
-//!   if either shard is unreachable the router answers
-//!   `overloaded: shard N unavailable…`, which the serve client treats as
-//!   backoff-and-retry **with the same WriteId** — the shard that did ack
-//!   dedups the retry, so a partial write converges instead of
-//!   double-applying.
+//!   client's `WriteId` rides along unchanged) to the edge's **single
+//!   owner**, the owner of the source vertex `u` (see
+//!   [`crate::partition::edge_owner`]). Exactly one shard applies and
+//!   trains each edge, so added shards divide the work; if the owner is
+//!   unreachable the router answers `overloaded: shard N unavailable…`,
+//!   which the serve client treats as backoff-and-retry **with the same
+//!   WriteId** — a shard that already acked dedups the resend.
 //! * **`topk`** — scattered to every shard with the residue-class filter
 //!   `{"mod": shards, "rem": s}` injected, so each shard competes only
 //!   its own slice; the router merges the per-shard heaps under the
@@ -41,7 +41,7 @@
 //! shard's incarnation epoch; a respawned shard (new epoch, possibly new
 //! port) invalidates the cache lazily on next use.
 
-use crate::partition::{edge_owners, owner};
+use crate::partition::{edge_owner, owner};
 use crate::shard::{mark_unhealthy, shard_info, ShardTable};
 use seqge_eval::EdgeOp;
 use seqge_obs::{export, Counter, Registry};
@@ -223,6 +223,7 @@ fn cluster_span_name(op: &str) -> &'static str {
         "metrics" => "cluster.metrics",
         "trace" => "cluster.trace",
         "flightrec" => "cluster.flightrec",
+        "halo" => "cluster.halo",
         _ => "cluster.shutdown",
     }
 }
@@ -365,6 +366,12 @@ impl RouterCtx {
             Request::Restore => (self.fan_collect("restore", r#"{"cmd":"restore"}"#, conns), false),
             Request::Trace { after } => (self.trace_dump(after), false),
             Request::Flightrec => (self.flightrec(conns), false),
+            Request::Halo { .. } => (
+                // Halo state is per-shard (each shard mirrors *its peers'*
+                // rows); there is no meaningful cluster-wide aggregate.
+                Response::err("halo is a shard-local diagnostic: query a shard address directly"),
+                false,
+            ),
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);
                 (Response::ok().field("stopping", true).build(), true)
@@ -643,10 +650,11 @@ impl RouterCtx {
     }
 
     fn score_link(&self, u: u32, v: u32, op: EdgeOp, line: &str, conns: &mut Conns) -> String {
-        let (a, b) = edge_owners(u, v, self.num_shards());
-        // Either owner can answer: embeddings are global rows on every
-        // shard; the owner distinction only matters for training.
-        for s in std::iter::once(a).chain(b) {
+        let a = owner(u, self.num_shards());
+        let b = owner(v, self.num_shards());
+        // Either endpoint's owner can answer: embeddings are global rows
+        // on every shard; ownership only matters for training.
+        for s in std::iter::once(a).chain((b != a).then_some(b)) {
             if let Some(resp) = self.forward_one(conns, s, line) {
                 return resp;
             }
@@ -758,41 +766,39 @@ impl RouterCtx {
     }
 
     fn write(&self, u: u32, v: u32, line: &str, conns: &mut Conns) -> String {
-        let (a, b) = edge_owners(u, v, self.num_shards());
-        let targets: Vec<usize> = std::iter::once(a).chain(b).collect();
-        let got = self.scatter_gather(conns, &targets, |_| line.to_string());
-        let mut first_ok: Option<Value> = None;
-        for (i, resp) in got.into_iter().enumerate() {
-            let s = targets[i];
-            let Some(resp) = resp else {
-                self.degraded_total.inc();
-                // Retryable by contract: the client backs off and resends
-                // the same WriteId; the shard that did ack dedups it.
-                return Response::err_code(
-                    CODE_OVERLOADED,
-                    format!("overloaded: shard {s} unavailable, retry"),
-                );
-            };
-            if resp.get("ok") != Some(&Value::Bool(true)) {
-                let msg =
-                    resp.get("error").and_then(Value::as_str).unwrap_or("unknown shard error");
-                // Keep the client's retry classification intact: a shed
-                // reply stays `code`-classified (and prefix-recognizable)
-                // through the router.
-                if resp.get("code").and_then(Value::as_str) == Some(CODE_OVERLOADED)
-                    || msg.starts_with("overloaded")
-                {
-                    return Response::err_code(CODE_OVERLOADED, msg);
-                }
-                return Response::err(format!("shard {s}: {msg}"));
+        // Single-owner routing: exactly one shard (the source vertex's)
+        // applies and trains this edge. No other shard ever sees it, so
+        // cluster-wide each edge trains exactly once.
+        let s = edge_owner(u, v, self.num_shards());
+        let Some(resp) = self.forward_one(conns, s, line) else {
+            self.degraded_total.inc();
+            // Retryable by contract: the client backs off and resends the
+            // same WriteId; a shard that already acked dedups it.
+            return Response::err_code(
+                CODE_OVERLOADED,
+                format!("overloaded: shard {s} unavailable, retry"),
+            );
+        };
+        let Ok(parsed) = serde_json::from_str::<Value>(&resp) else {
+            return Response::err(format!("shard {s}: unparseable reply"));
+        };
+        if parsed.get("ok") != Some(&Value::Bool(true)) {
+            let msg = parsed.get("error").and_then(Value::as_str).unwrap_or("unknown shard error");
+            // Keep the client's retry classification intact: a shed reply
+            // stays `code`-classified (and prefix-recognizable) through
+            // the router.
+            if parsed.get("code").and_then(Value::as_str) == Some(CODE_OVERLOADED)
+                || msg.starts_with("overloaded")
+            {
+                return Response::err_code(CODE_OVERLOADED, msg);
             }
-            first_ok.get_or_insert(resp);
+            return Response::err(format!("shard {s}: {msg}"));
         }
-        let deduped = first_ok.as_ref().and_then(|r| r.get("deduped")) == Some(&Value::Bool(true));
+        let deduped = parsed.get("deduped") == Some(&Value::Bool(true));
         Response::ok()
             .field("queued", true)
             .field("deduped", deduped)
-            .field("shards", Value::Array(targets.iter().map(|&s| Value::U64(s as u64)).collect()))
+            .field("shards", Value::Array(vec![Value::U64(s as u64)]))
             .build()
     }
 

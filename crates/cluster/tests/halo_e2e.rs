@@ -1,0 +1,301 @@
+//! Halo-consistency end-to-end suite.
+//!
+//! Single-owner partitioning assigns every edge to exactly one shard
+//! (`edge_owner(u, v) = owner(u)`); the halo plane then mirrors each
+//! shard's owned embedding rows to its peers as read-only copies. These
+//! scenarios lock the three guarantees that make that split sound:
+//!
+//! 1. **Exactly-once training** — per-shard `edges_inserted` counters
+//!    summed across a 4-shard cluster reconcile with the number of edges
+//!    streamed: no cross-shard edge is trained twice (the pre-halo
+//!    both-endpoint router would sum to ~2× on cross-community edges).
+//! 2. **Halo mirroring** — every shard's halo row for a non-owned vertex
+//!    converges to the owner's authoritative embedding, bit-identically.
+//! 3. **kill -9 an owner** — after SIGKILL, WAL replay, and respawn, the
+//!    owner's halo log is rewritten from scratch (fresh rotation epoch)
+//!    and every peer re-converges to rows bit-identical to the recovered
+//!    owner's; the `(vertex, version)` dedup absorbs the replayed log.
+//!
+//! Plus the structural check the topk plane depends on: a 4-shard
+//! cluster on a planted-community graph with cross-community edges keeps
+//! the community signal within the single-node tolerance documented in
+//! DESIGN.md.
+
+use seqge_cluster::{owner, train_cfg, Backend, Cluster, ClusterConfig};
+use seqge_core::model::EmbeddingModel;
+use seqge_graph::generators::classic::erdos_renyi;
+use seqge_graph::{spanning_forest, Graph};
+use seqge_sampling::UpdatePolicy;
+use seqge_serve::{boot_cold, Client, ClientConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 8;
+const SEED: u64 = 11;
+const SHARDS: usize = 4;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seqge_halo_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn client(addr: &str) -> Client {
+    Client::connect_with(
+        addr,
+        ClientConfig {
+            timeout: Duration::from_secs(5),
+            retries: 12,
+            client_id: "halo-e2e".to_string(),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("client connects")
+}
+
+/// The chaos-suite graph: a spanning forest committed up front, the held
+/// out edges streamed live. Erdős–Rényi edges land across residue
+/// classes, so the stream is full of cross-shard edges — the case
+/// exactly-once accounting exists for.
+fn test_stream(graph_seed: u64) -> (Graph, Vec<(u32, u32)>) {
+    let full = erdos_renyi(40, 0.18, graph_seed);
+    let split = spanning_forest(&full);
+    let initial = split.initial_graph(&full);
+    (initial, split.removed_edges)
+}
+
+fn row_from(resp: &serde_json::Value) -> Vec<f32> {
+    resp.get("embedding")
+        .and_then(serde_json::Value::as_array)
+        .expect("embedding array")
+        .iter()
+        .map(|x| x.as_f64().expect("embedding component") as f32)
+        .collect()
+}
+
+/// Polls shard `p`'s halo store until its row for `v` equals `want`
+/// bit-for-bit, or the deadline passes. Reconnects each attempt so a
+/// respawned shard (new port) is picked up.
+fn await_halo_row(addr: &str, v: u32, want: &[f32], deadline: Instant) -> bool {
+    loop {
+        let mut c = client(addr);
+        if let Ok(resp) = c.call(&format!(r#"{{"cmd":"halo","node":{v}}}"#)) {
+            if resp.get("ok") == Some(&serde_json::Value::Bool(true)) && row_from(&resp) == want {
+                return true;
+            }
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn edges_train_exactly_once_and_halos_mirror_owners() {
+    let base = scratch("mirror");
+    let (initial, edges) = test_stream(7);
+    assert!(
+        edges.iter().any(|&(u, v)| u % SHARDS as u32 != v % SHARDS as u32),
+        "stream must contain cross-shard edges for the reconciliation to mean anything"
+    );
+    let cfg = ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED);
+    let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
+    let mut c = client(&cluster.addr().to_string());
+    for &(u, v) in &edges {
+        c.add_edge(u, v).expect("routed write acks");
+    }
+    c.flush().expect("flush barrier");
+
+    // (1) Exactly-once: per-shard applied-edge counters sum to the stream
+    // length. Under both-endpoint routing this sum would exceed the
+    // stream by one per cross-shard edge.
+    let addrs = cluster.shard_addrs();
+    let mut per_shard = Vec::new();
+    for addr in &addrs {
+        let mut sc = client(&addr.to_string());
+        let stats = sc.call(r#"{"cmd":"stats"}"#).expect("shard stats");
+        per_shard
+            .push(stats.get("edges_inserted").and_then(serde_json::Value::as_u64).unwrap_or(0));
+    }
+    let total: u64 = per_shard.iter().sum();
+    assert_eq!(
+        total,
+        edges.len() as u64,
+        "per-shard train counters must reconcile with the stream (per shard: {per_shard:?}) — \
+         a mismatch means an edge was trained twice (or dropped)"
+    );
+
+    // (2) Halo mirroring: every shard's halo row for a foreign vertex
+    // converges to the owner's authoritative row, bit-identically.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    for v in 0..12u32 {
+        let own = owner(v, SHARDS);
+        let authoritative =
+            client(&addrs[own].to_string()).get_embedding(v).expect("owner row readable");
+        for (p, addr) in addrs.iter().enumerate() {
+            if p == own {
+                continue;
+            }
+            assert!(
+                await_halo_row(&addr.to_string(), v, &authoritative, deadline),
+                "shard {p}: halo row for vertex {v} never converged to owner {own}'s embedding"
+            );
+        }
+    }
+    // The store-level counters are visible on the wire too.
+    let mut sc = client(&addrs[0].to_string());
+    let halo = sc.call(r#"{"cmd":"halo"}"#).expect("halo summary");
+    let vertices = halo.get("vertices").and_then(serde_json::Value::as_u64).unwrap();
+    assert!(vertices >= 12, "shard 0 should mirror its peers' rows, holds {vertices}");
+
+    drop(c);
+    cluster.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Planted communities along residue classes mod 4 (shard-pure), plus one
+/// edge from every node into each foreign residue class so cross-shard
+/// score merging stays comparable (see DESIGN.md).
+fn community_graph(nodes: usize) -> Graph {
+    let shards = SHARDS as u32;
+    let mut edges = Vec::new();
+    for u in 0..nodes as u32 {
+        for v in (u + 1)..nodes as u32 {
+            if u % shards == v % shards {
+                edges.push((u, v));
+            }
+        }
+    }
+    for u in 0..nodes as u32 {
+        for off in 1..shards {
+            edges.push((u, (u + off) % nodes as u32));
+        }
+    }
+    Graph::from_edges_lossy(nodes, &edges)
+}
+
+#[test]
+fn four_shard_topk_with_halos_keeps_community_signal() {
+    const NODES: usize = 48;
+    const K: usize = 5;
+    let graph = community_graph(NODES);
+
+    let (model, _inc) = boot_cold(
+        &graph,
+        &train_cfg(DIM),
+        seqge_cluster::oselm_cfg(DIM),
+        UpdatePolicy::every_edge(),
+        SEED,
+    );
+    let single = seqge_serve::snapshot::EmbeddingSnapshot {
+        version: 0,
+        emb: model.embedding(),
+        num_edges: graph.num_edges(),
+        walks_trained: 0,
+        edges_inserted: 0,
+        edges_removed: 0,
+        ann: None,
+    };
+
+    let base = scratch("topk");
+    let cfg = ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED);
+    let cluster = Cluster::start(&cfg, &graph).expect("cluster boots");
+    let mut c = client(&cluster.addr().to_string());
+
+    let mut single_hits = 0usize;
+    let mut cluster_hits = 0usize;
+    for q in 0..NODES as u32 {
+        let want_comm = q % SHARDS as u32;
+        let reference = single.topk(q, K, seqge_eval::EdgeOp::Cosine).expect("query in range");
+        single_hits += reference.iter().filter(|(v, _)| v % SHARDS as u32 == want_comm).count();
+        let routed = c.topk(q, K, seqge_eval::EdgeOp::Cosine).expect("routed topk");
+        assert_eq!(routed.len(), K, "router merged fewer than k results");
+        cluster_hits += routed.iter().filter(|(v, _)| v % SHARDS as u32 == want_comm).count();
+    }
+    // Same tolerance as the cluster e2e suite: both deployments recover
+    // the planted structure (≥2 of top-5 in-community on average), and
+    // the sharded run keeps at least three quarters of the single-node
+    // signal. Exact rank equality is impossible — each shard trains an
+    // independent model over its owned edges only.
+    let floor = NODES * 2;
+    eprintln!(
+        "community recovery: single {single_hits}/{t}, cluster {cluster_hits}/{t}",
+        t = NODES * K
+    );
+    assert!(single_hits >= floor, "single-node failed community recovery: {single_hits}");
+    assert!(cluster_hits >= floor, "cluster failed community recovery: {cluster_hits}");
+    assert!(
+        cluster_hits * 4 >= single_hits * 3,
+        "sharded topk lost the community signal: cluster {cluster_hits} vs single {single_hits}"
+    );
+    drop(c);
+    cluster.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn kill9_owner_shard_replays_halos_bit_identically() {
+    let exe = PathBuf::from(env!("CARGO_BIN_EXE_shardd"));
+    let base = scratch("kill9");
+    let (initial, edges) = test_stream(13);
+    assert!(edges.len() >= 20, "need a real stream, got {}", edges.len());
+    let kill_at = edges.len() / 2;
+
+    let cfg = ClusterConfig {
+        backend: Backend::Child { exe },
+        ..ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED)
+    };
+    let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
+    let mut c = client(&cluster.addr().to_string());
+
+    let mut killed = 0usize;
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if i == kill_at {
+            // SIGKILL the owner of the next write: the write retries until
+            // the health loop respawns the shard, so at least one event
+            // lands post-recovery and advances the owner's version past
+            // everything the peers' halo stores have seen.
+            killed = owner(u, SHARDS);
+            cluster.kill_child(killed);
+        }
+        c.add_edge(u, v).unwrap_or_else(|e| panic!("write ({u},{v}) never succeeded: {e}"));
+    }
+    c.flush().expect("flush barrier");
+
+    // The kill was real: the shard's incarnation epoch advanced.
+    let status = c.call(r#"{"cmd":"cluster_status"}"#).expect("cluster_status");
+    let shards = status.get("shards").and_then(serde_json::Value::as_array).unwrap();
+    let epoch = shards[killed].get("epoch").and_then(serde_json::Value::as_u64).unwrap();
+    assert!(epoch >= 2, "shard {killed} was never respawned (epoch {epoch})");
+
+    // Every peer's halo rows for the killed shard's vertices re-converge
+    // to the recovered owner's authoritative embeddings, bit-identically:
+    // the respawned owner rewrote its halo log from scratch (fresh epoch),
+    // peers reset and re-read, and the (vertex, version) dedup absorbed
+    // whatever they had already applied.
+    let addrs = cluster.shard_addrs();
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let owned: Vec<u32> =
+        (0..initial.num_nodes() as u32).filter(|v| owner(*v, SHARDS) == killed).take(6).collect();
+    assert!(!owned.is_empty(), "killed shard owns no vertices?");
+    for &v in &owned {
+        let authoritative = client(&addrs[killed].to_string())
+            .get_embedding(v)
+            .expect("recovered owner's row readable");
+        for (p, addr) in addrs.iter().enumerate() {
+            if p == killed {
+                continue;
+            }
+            assert!(
+                await_halo_row(&addr.to_string(), v, &authoritative, deadline),
+                "shard {p}: halo row for vertex {v} diverged from respawned owner {killed}"
+            );
+        }
+    }
+
+    drop(c);
+    cluster.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -14,8 +14,8 @@ use crate::config::TrainConfig;
 use crate::model::EmbeddingModel;
 use seqge_graph::{spanning_forest, EdgeEvent, EdgeStream, Graph, GraphError, NodeId};
 use seqge_sampling::{
-    generate_corpus, stream_walks, NegativeTable, PipelineConfig, Rng64, StepStrategy,
-    UpdatePolicy, WalkCorpus, Walker,
+    generate_corpus, stream_walks, NegativeTable, Node2VecParams, PipelineConfig, Rng64,
+    StepStrategy, UpdatePolicy, WalkCorpus, Walker,
 };
 use std::time::{Duration, Instant};
 
@@ -195,6 +195,8 @@ pub fn train_all_pipelined<M: EmbeddingModel>(
 /// prerecorded stream.
 pub struct IncrementalTrainer {
     walker: Walker,
+    params: Node2VecParams,
+    walk_threads: usize,
     rng: Rng64,
     corpus: WalkCorpus,
     table: NegativeTable,
@@ -211,6 +213,8 @@ impl IncrementalTrainer {
         cfg.validate().expect("invalid train config");
         IncrementalTrainer {
             walker: Walker::new(cfg.walk),
+            params: cfg.walk,
+            walk_threads: 0,
             rng: Rng64::seed_from_u64(seed),
             corpus: WalkCorpus::new(num_nodes),
             table: NegativeTable::new(policy),
@@ -220,17 +224,59 @@ impl IncrementalTrainer {
         }
     }
 
+    /// Sets the walker-thread count for corpus resamples ([`bootstrap`] /
+    /// [`refresh`]); 0 means one per available core. The trained model is
+    /// bit-identical for any value — every walk draws from its own RNG lane
+    /// seeded by `(resample nonce, walk index)`, and training consumes the
+    /// walks in schedule order on the calling thread — so this is purely a
+    /// throughput knob.
+    ///
+    /// [`bootstrap`]: IncrementalTrainer::bootstrap
+    /// [`refresh`]: IncrementalTrainer::refresh
+    pub fn set_walk_threads(&mut self, threads: usize) {
+        self.walk_threads = threads;
+    }
+
+    /// Regenerates the walk corpus over `g` with the pipelined walker
+    /// (per-walk RNG lanes fanned out over [`Self::set_walk_threads`]
+    /// workers), replacing `self.corpus` and returning the kept walks in
+    /// schedule order. The lane base is drawn from the sequential RNG, so
+    /// consecutive resamples explore different corpora and the main stream
+    /// advances by exactly one draw regardless of thread count.
+    fn resample(&mut self, g: &Graph) -> Vec<Vec<NodeId>> {
+        let csr = g.to_csr();
+        let lane_seed = self.rng.next_u64();
+        let mut corpus = WalkCorpus::new(g.num_nodes());
+        let mut walks = Vec::with_capacity(g.num_nodes() * self.params.walks_per_node);
+        stream_walks(
+            &csr,
+            self.params,
+            StepStrategy::Cumulative,
+            lane_seed,
+            PipelineConfig::with_threads(self.walk_threads),
+            |_, walk| {
+                if walk.len() < 2 {
+                    return;
+                }
+                corpus.record(&walk);
+                walks.push(walk);
+            },
+        );
+        self.corpus = corpus;
+        walks
+    }
+
     /// Trains a full "all"-protocol pass over the current graph (`r` walks
     /// per node) and builds the negative table from its frequencies. Used
     /// once at start-up on the initial graph ("only a fraction of edges is
     /// trained first" — the spanning forest in the paper's protocol, the
-    /// boot graph in a server).
+    /// boot graph in a server). Walk generation fans out across
+    /// [`Self::set_walk_threads`] workers; the OS-ELM update loop stays
+    /// sequential and the result is thread-count independent.
     pub fn bootstrap<M: EmbeddingModel>(&mut self, g: &Graph, model: &mut M) {
         assert_eq!(g.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
         let _span = seqge_obs::span!("seqge_core_bootstrap_ns");
-        let csr = g.to_csr();
-        let (c, walks) = generate_corpus(&csr, &mut self.walker, &mut self.rng);
-        self.corpus = c;
+        let walks = self.resample(g);
         self.table.rebuild(&self.corpus);
         if self.table.is_ready() {
             for walk in &walks {
@@ -290,9 +336,7 @@ impl IncrementalTrainer {
     pub fn refresh<M: EmbeddingModel>(&mut self, g: &Graph, model: &mut M) -> usize {
         assert_eq!(g.num_nodes(), model.num_nodes(), "graph/model node count mismatch");
         let _span = seqge_obs::span!("seqge_core_refresh_ns");
-        let csr = g.to_csr();
-        let (c, walks) = generate_corpus(&csr, &mut self.walker, &mut self.rng);
-        self.corpus = c;
+        let walks = self.resample(g);
         self.table.rebuild(&self.corpus);
         let mut trained = 0usize;
         if self.table.is_ready() {
@@ -593,6 +637,38 @@ mod tests {
         assert!(!g.has_edge(4, 5));
         assert_eq!(tr.edges_removed(), 1);
         assert!(m.beta_t().all_finite());
+    }
+
+    /// Acceptance criterion for the sharded trainer: bootstrap → sequential
+    /// ingest → refresh produces the same model for any walker-thread count
+    /// (per-walk RNG lanes + in-order training keep the result a function of
+    /// the seed alone).
+    #[test]
+    fn incremental_trainer_identical_across_walk_thread_counts() {
+        let cfg = small_cfg(8);
+        let run = |threads: usize| {
+            let mut g = ring(40);
+            let mut m = OsElmSkipGram::new(40, oselm_cfg(8));
+            let mut tr = IncrementalTrainer::new(40, &cfg, UpdatePolicy::every_edge(), 7);
+            tr.set_walk_threads(threads);
+            tr.bootstrap(&g, &mut m);
+            for (u, v) in [(0u32, 7u32), (3, 19), (11, 30)] {
+                tr.ingest(&mut g, seqge_graph::EdgeEvent::Add(u, v), &mut m).unwrap();
+            }
+            tr.refresh(&g, &mut m);
+            (m, tr.outcome())
+        };
+        let (reference, ref_out) = run(1);
+        for threads in [2, 4, 7] {
+            let (m, out) = run(threads);
+            assert_eq!(out, ref_out, "telemetry differs at {threads} walker threads");
+            assert_eq!(
+                m.beta_t(),
+                reference.beta_t(),
+                "β differs between 1 and {threads} walker threads"
+            );
+            assert_eq!(m.p(), reference.p());
+        }
     }
 
     #[test]

@@ -1,0 +1,716 @@
+//! Halo embeddings: periodic delta-exchange of owned vertex rows between
+//! shards.
+//!
+//! Under single-owner partitioning (`seqge-cluster`'s `edge_owner`), each
+//! edge is applied and trained on exactly one shard, so a shard's model
+//! only receives training signal for walks over its *owned* edges. The
+//! authoritative embedding row for vertex `v` lives on `owner(v)`; every
+//! other shard holds a read-only **halo** copy, refreshed by this module:
+//!
+//! * each shard appends its owned rows to a `halo.log` in its own shard
+//!   directory whenever its published snapshot version advances, stamping
+//!   every row with that version (a per-vertex monotonic counter);
+//! * each shard tails its peers' `halo.log`s with a [`HaloTailer`] — the
+//!   same incremental-decode discipline as [`crate::wal::SegmentTailer`] —
+//!   and folds newer rows into its [`HaloStore`].
+//!
+//! Halos live **outside the trainer**: they are serve-plane state answered
+//! by the `halo` protocol command, never written into the shard's model.
+//! Training therefore stays a pure function of the shard's own event
+//! stream — bit-identical recovery, replicas, and the chaos suites are
+//! untouched by sync timing.
+//!
+//! ## Log format
+//!
+//! `halo.log` mirrors the WAL's framing: a 12-byte header (4-byte magic
+//! `SGH1` + a `u64` rotation epoch), then length-prefixed CRC-checked
+//! frames
+//!
+//! ```text
+//! [len: u32 LE][crc32: u32 LE][payload: len bytes]
+//! payload = vertex: u32 LE | version: u64 LE | dim: u16 LE | dim × f32 LE
+//! ```
+//!
+//! The log is bounded: when it would exceed `max_log_bytes` the writer
+//! truncates it in place, bumps the epoch, and rewrites only the latest
+//! row per vertex. A tailer that observes the file shrink *or* the epoch
+//! change resets to offset zero and re-reads from scratch (the epoch is
+//! what makes rotation detectable even when the rewritten log happens to
+//! land at the old length); re-reads are harmless because
+//! [`HaloStore::apply`] dedups by `(vertex, version)` — a row is folded in
+//! only when its version is strictly newer than the stored one, so a
+//! rotation racing a torn-tail read can never double-apply a delta.
+
+use crate::snapshot::SnapshotCell;
+use crate::wal::crc32;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Magic bytes opening every halo log.
+pub const HALO_MAGIC: &[u8; 4] = b"SGH1";
+/// File name of the halo log inside a shard directory.
+pub const HALO_LOG_NAME: &str = "halo.log";
+/// Header length: magic + rotation epoch.
+const HALO_HEADER_LEN: u64 = 12;
+/// Hard cap on one frame's payload — dimension 4096 rows and change;
+/// anything larger is corruption, not data.
+pub const MAX_HALO_RECORD_BYTES: u32 = 4 + 8 + 2 + 4 * 4096;
+
+/// One decoded halo delta: vertex `vertex` had embedding `row` at snapshot
+/// `version` on its owner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaloRecord {
+    /// Global vertex id.
+    pub vertex: u32,
+    /// Owner-side snapshot version the row was published at.
+    pub version: u64,
+    /// The embedding row.
+    pub row: Vec<f32>,
+}
+
+/// Encodes one frame (header + payload) for `halo.log`.
+pub fn encode_halo_record(vertex: u32, version: u64, row: &[f32]) -> Vec<u8> {
+    let dim = u16::try_from(row.len()).expect("embedding dimension fits u16");
+    let mut payload = Vec::with_capacity(14 + row.len() * 4);
+    payload.extend_from_slice(&vertex.to_le_bytes());
+    payload.extend_from_slice(&version.to_le_bytes());
+    payload.extend_from_slice(&dim.to_le_bytes());
+    for x in row {
+        payload.extend_from_slice(&x.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one frame payload; `None` on any structural mismatch.
+pub fn decode_halo_payload(payload: &[u8]) -> Option<HaloRecord> {
+    if payload.len() < 14 {
+        return None;
+    }
+    let vertex = u32::from_le_bytes(payload[0..4].try_into().ok()?);
+    let version = u64::from_le_bytes(payload[4..12].try_into().ok()?);
+    let dim = u16::from_le_bytes(payload[12..14].try_into().ok()?) as usize;
+    if payload.len() != 14 + dim * 4 {
+        return None;
+    }
+    let row = payload[14..]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+        .collect();
+    Some(HaloRecord { vertex, version, row })
+}
+
+/// Append-side of a shard's halo log: writes owned-row deltas, truncating
+/// in place when the log outgrows its byte budget (readers recover via the
+/// shrink-reset in [`HaloTailer::poll`]).
+pub struct HaloLog {
+    path: PathBuf,
+    file: File,
+    written: u64,
+    max_bytes: u64,
+    epoch: u64,
+    rotations: u64,
+}
+
+impl HaloLog {
+    /// Opens (or creates) `dir/halo.log` and starts a **fresh epoch**: any
+    /// existing content — possibly ending in a torn frame from a crashed
+    /// previous incarnation — is truncated away, never appended after. The
+    /// log is a rolling cache of the latest owned rows and the first sync
+    /// tick after boot rewrites the full state, so nothing is lost; peers
+    /// see the epoch change and re-read from scratch (their
+    /// `(vertex, version)` dedup absorbs the replay).
+    pub fn open(dir: &Path, max_bytes: u64) -> io::Result<HaloLog> {
+        let path = dir.join(HALO_LOG_NAME);
+        let mut file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
+        let prev_epoch = if len >= HALO_HEADER_LEN {
+            let mut hdr = [0u8; HALO_HEADER_LEN as usize];
+            file.read_exact(&mut hdr)?;
+            if &hdr[0..4] == HALO_MAGIC {
+                u64::from_le_bytes(hdr[4..12].try_into().expect("8-byte slice"))
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        let epoch = prev_epoch + 1;
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(HALO_MAGIC)?;
+        file.write_all(&epoch.to_le_bytes())?;
+        file.flush()?;
+        Ok(HaloLog {
+            path,
+            file,
+            written: HALO_HEADER_LEN,
+            max_bytes: max_bytes.max(128),
+            epoch,
+            rotations: 0,
+        })
+    }
+
+    /// Path of the underlying log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// In-place truncations performed so far.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Appends one tick's worth of deltas: every `(vertex, row)` stamped
+    /// with `version`. If the append would push the file past the byte
+    /// budget, the log is truncated to zero first and only this (latest)
+    /// batch survives — tailers detect the shrink and re-read.
+    pub fn append_tick<'a>(
+        &mut self,
+        version: u64,
+        rows: impl Iterator<Item = (u32, &'a [f32])>,
+    ) -> io::Result<usize> {
+        let mut batch = Vec::new();
+        let mut count = 0usize;
+        for (vertex, row) in rows {
+            batch.extend_from_slice(&encode_halo_record(vertex, version, row));
+            count += 1;
+        }
+        if count == 0 {
+            return Ok(0);
+        }
+        if self.written + batch.len() as u64 > self.max_bytes && self.written > HALO_HEADER_LEN {
+            // Rotate: truncate in place with a bumped epoch; the latest
+            // batch IS the full current state of this shard's owned rows,
+            // so nothing is lost.
+            self.epoch += 1;
+            self.file.set_len(0)?;
+            self.file.seek(SeekFrom::Start(0))?;
+            self.file.write_all(HALO_MAGIC)?;
+            self.file.write_all(&self.epoch.to_le_bytes())?;
+            self.written = HALO_HEADER_LEN;
+            self.rotations += 1;
+        }
+        self.file.write_all(&batch)?;
+        self.file.flush()?;
+        self.written += batch.len() as u64;
+        Ok(count)
+    }
+}
+
+/// Outcome of one [`HaloTailer::poll`].
+#[derive(Debug, Default)]
+pub struct HaloPoll {
+    /// Frames decoded this poll (before store-side dedup).
+    pub records: Vec<HaloRecord>,
+    /// Whether the file was observed to shrink (rotation) and the tailer
+    /// restarted from offset zero.
+    pub reset: bool,
+}
+
+/// Incremental reader of a peer shard's `halo.log`.
+///
+/// Mirrors [`crate::wal::SegmentTailer`]'s discipline — byte-offset
+/// cursor, pending buffer for torn tails, CRC verification — with one
+/// deliberate difference: any inconsistency (shrink below the cursor,
+/// CRC mismatch that persists, malformed frame) resolves by **resetting
+/// to offset zero and re-reading**, never by erroring. A halo log is
+/// periodically truncated in place by its writer, so "the bytes under my
+/// cursor changed" is an expected rotation, not corruption; re-reads are
+/// made idempotent by [`HaloStore::apply`]'s `(vertex, version)` dedup.
+pub struct HaloTailer {
+    path: PathBuf,
+    file: Option<File>,
+    offset: u64,
+    pending: Vec<u8>,
+    /// Epoch decoded from the header, once seen.
+    epoch: Option<u64>,
+    stalled: u32,
+}
+
+/// Consecutive polls a torn/garbled tail may persist before the tailer
+/// assumes a missed rewrite and resets to offset zero.
+const HALO_STALL_LIMIT: u32 = 200;
+
+impl HaloTailer {
+    /// Creates a tailer for `path` (typically `peer_dir/halo.log`); the
+    /// file need not exist yet.
+    pub fn new(path: impl Into<PathBuf>) -> HaloTailer {
+        HaloTailer {
+            path: path.into(),
+            file: None,
+            offset: 0,
+            pending: Vec::new(),
+            epoch: None,
+            stalled: 0,
+        }
+    }
+
+    /// The tailed path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn reset(&mut self) {
+        self.file = None;
+        self.offset = 0;
+        self.pending.clear();
+        self.epoch = None;
+        self.stalled = 0;
+    }
+
+    /// Reads and decodes everything appended since the last poll. On a
+    /// rotation — the file shrank below the cursor, or the header epoch
+    /// changed (a same-length in-place rewrite) — the cursor resets and
+    /// the whole file is re-read this same poll.
+    pub fn poll(&mut self) -> io::Result<HaloPoll> {
+        let mut out = HaloPoll::default();
+        if self.file.is_none() {
+            match File::open(&self.path) {
+                Ok(f) => self.file = Some(f),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+                Err(e) => return Err(e),
+            }
+        }
+        let file = self.file.as_mut().expect("file opened above");
+        let len = file.metadata()?.len();
+        let mut rotated = len < self.offset;
+        if !rotated {
+            if let Some(seen) = self.epoch {
+                if len >= HALO_HEADER_LEN {
+                    file.seek(SeekFrom::Start(4))?;
+                    let mut b = [0u8; 8];
+                    file.read_exact(&mut b)?;
+                    rotated = u64::from_le_bytes(b) != seen;
+                }
+            }
+        }
+        if rotated {
+            // Rotation: the writer truncated in place. Start over; the
+            // store's version dedup absorbs the re-read.
+            self.reset();
+            out.reset = true;
+            return self.poll_into(out);
+        }
+        self.fill_pending()?;
+        self.drain_frames(&mut out);
+        Ok(out)
+    }
+
+    fn poll_into(&mut self, mut out: HaloPoll) -> io::Result<HaloPoll> {
+        match File::open(&self.path) {
+            Ok(f) => self.file = Some(f),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        }
+        self.fill_pending()?;
+        self.drain_frames(&mut out);
+        Ok(out)
+    }
+
+    fn fill_pending(&mut self) -> io::Result<()> {
+        let file = self.file.as_mut().expect("fill_pending with file open");
+        file.seek(SeekFrom::Start(self.offset))?;
+        let read = file.read_to_end(&mut self.pending)?;
+        self.offset += read as u64;
+        Ok(())
+    }
+
+    fn drain_frames(&mut self, out: &mut HaloPoll) {
+        let mut consumed = 0usize;
+        if self.epoch.is_none() {
+            if self.pending.len() < HALO_HEADER_LEN as usize {
+                return;
+            }
+            if &self.pending[0..4] != HALO_MAGIC {
+                // Not a halo log (yet) — re-check from scratch next poll.
+                self.reset();
+                out.reset = true;
+                return;
+            }
+            self.epoch =
+                Some(u64::from_le_bytes(self.pending[4..12].try_into().expect("8-byte slice")));
+            consumed = HALO_HEADER_LEN as usize;
+        }
+        loop {
+            if self.pending.len() < consumed + 8 {
+                break;
+            }
+            let hdr = &self.pending[consumed..consumed + 8];
+            let len = u32::from_le_bytes(hdr[0..4].try_into().expect("4-byte slice"));
+            let crc = u32::from_le_bytes(hdr[4..8].try_into().expect("4-byte slice"));
+            if len == 0 || len > MAX_HALO_RECORD_BYTES {
+                self.reset();
+                out.reset = true;
+                return;
+            }
+            let body_end = consumed + 8 + len as usize;
+            if self.pending.len() < body_end {
+                // Torn tail: a writer mid-append, or our read raced a
+                // rotation. Wait — but not forever.
+                self.stalled += 1;
+                if self.stalled > HALO_STALL_LIMIT {
+                    self.reset();
+                    out.reset = true;
+                }
+                break;
+            }
+            let payload = &self.pending[consumed + 8..body_end];
+            if crc32(payload) != crc {
+                self.reset();
+                out.reset = true;
+                return;
+            }
+            match decode_halo_payload(payload) {
+                Some(rec) => out.records.push(rec),
+                None => {
+                    self.reset();
+                    out.reset = true;
+                    return;
+                }
+            }
+            self.stalled = 0;
+            consumed = body_end;
+        }
+        self.pending.drain(..consumed);
+    }
+}
+
+/// Read-only halo state on one shard: the freshest known row per non-owned
+/// vertex, plus counters for the metrics plane.
+#[derive(Default)]
+pub struct HaloStore {
+    rows: Mutex<HashMap<u32, (u64, Vec<f32>)>>,
+    /// Deltas folded in (version strictly advanced).
+    pub applied: AtomicU64,
+    /// Deltas dropped by the `(vertex, version)` dedup.
+    pub deduped: AtomicU64,
+    last_applied: Mutex<Option<Instant>>,
+}
+
+impl HaloStore {
+    /// An empty store.
+    pub fn new() -> HaloStore {
+        HaloStore::default()
+    }
+
+    /// Folds one delta in if its version is strictly newer than the stored
+    /// row's. Returns whether the row was applied. Equal-or-older versions
+    /// are counted as deduped — this is what makes log re-reads after
+    /// rotation (and any other replay) idempotent.
+    pub fn apply(&self, rec: &HaloRecord) -> bool {
+        let mut rows = self.rows.lock().expect("halo rows poisoned");
+        match rows.get(&rec.vertex) {
+            Some((have, _)) if *have >= rec.version => {
+                self.deduped.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            _ => {
+                rows.insert(rec.vertex, (rec.version, rec.row.clone()));
+                self.applied.fetch_add(1, Ordering::Relaxed);
+                *self.last_applied.lock().expect("halo stamp poisoned") = Some(Instant::now());
+                true
+            }
+        }
+    }
+
+    /// The stored `(version, row)` for `vertex`, if any.
+    pub fn row(&self, vertex: u32) -> Option<(u64, Vec<f32>)> {
+        self.rows.lock().expect("halo rows poisoned").get(&vertex).cloned()
+    }
+
+    /// Vertices currently held.
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("halo rows poisoned").len()
+    }
+
+    /// Whether the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The highest version across stored rows (0 when empty).
+    pub fn max_version(&self) -> u64 {
+        self.rows.lock().expect("halo rows poisoned").values().map(|(v, _)| *v).max().unwrap_or(0)
+    }
+
+    /// Milliseconds since a delta last advanced the store — the staleness
+    /// bound the metrics plane exports. `None` before the first apply.
+    pub fn staleness_ms(&self) -> Option<u64> {
+        self.last_applied
+            .lock()
+            .expect("halo stamp poisoned")
+            .map(|t| t.elapsed().as_millis().min(u64::MAX as u128) as u64)
+    }
+}
+
+/// Configuration for one shard's halo-sync loop.
+#[derive(Debug, Clone)]
+pub struct HaloConfig {
+    /// This shard's own directory (where its `halo.log` is written).
+    pub dir: PathBuf,
+    /// Peer shard directories to tail.
+    pub peers: Vec<PathBuf>,
+    /// Total shard count (`owner(v) = v % shards`).
+    pub shards: usize,
+    /// This shard's index (it writes rows with `v % shards == shard_id`).
+    pub shard_id: usize,
+    /// Delta-exchange cadence (the `--halo-sync-ms` knob). The worst-case
+    /// read staleness of a halo row is one snapshot-publish interval plus
+    /// two sync periods (one writer tick + one reader tick).
+    pub sync: Duration,
+    /// Byte budget for `halo.log` before in-place truncation.
+    pub max_log_bytes: u64,
+}
+
+impl HaloConfig {
+    /// Config for shard `shard_id` of `shards` under `base_dir` holding
+    /// `shard-<i>` subdirectories (the cluster's layout).
+    pub fn for_shard(base_dir: &Path, shard_id: usize, shards: usize, sync: Duration) -> Self {
+        let peers = (0..shards)
+            .filter(|s| *s != shard_id)
+            .map(|s| base_dir.join(format!("shard-{s}")))
+            .collect();
+        HaloConfig {
+            dir: base_dir.join(format!("shard-{shard_id}")),
+            peers,
+            shards,
+            shard_id,
+            sync,
+            max_log_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Counters the sync loop feeds (registered by the serve stats plane).
+pub struct HaloSyncStats {
+    /// Owned-row deltas appended to our log.
+    pub written: Arc<seqge_obs::Counter>,
+    /// Peer deltas folded into the store.
+    pub applied: Arc<seqge_obs::Counter>,
+    /// Peer deltas dropped by the version dedup.
+    pub deduped: Arc<seqge_obs::Counter>,
+    /// In-place log truncations.
+    pub rotations: Arc<seqge_obs::Counter>,
+    /// Vertices in the halo store.
+    pub vertices: Arc<seqge_obs::Gauge>,
+    /// Milliseconds since the store last advanced.
+    pub staleness_ms: Arc<seqge_obs::Gauge>,
+}
+
+/// Spawns the `seqge-halo` thread: every `cfg.sync`, (a) if the published
+/// snapshot version advanced, append all owned rows at that version to our
+/// `halo.log`; (b) poll every peer tailer and fold newer rows into
+/// `store`. Returns the join handle; the loop exits when `stop` is set.
+pub fn start_halo_sync(
+    cfg: HaloConfig,
+    cell: Arc<SnapshotCell>,
+    store: Arc<HaloStore>,
+    stats: Option<HaloSyncStats>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    let mut log = HaloLog::open(&cfg.dir, cfg.max_log_bytes)?;
+    let mut tailers: Vec<HaloTailer> =
+        cfg.peers.iter().map(|p| HaloTailer::new(p.join(HALO_LOG_NAME))).collect();
+    let shards = cfg.shards.max(1);
+    let shard_id = cfg.shard_id;
+    let sync = cfg.sync;
+    std::thread::Builder::new().name("seqge-halo".into()).spawn(move || {
+        // Written version tracking starts at None so the boot snapshot
+        // (version 0, the bootstrap-trained subgraph model) is exchanged
+        // too — a shard that never receives a write still publishes its
+        // owned rows to its peers once.
+        let mut last_written: Option<u64> = None;
+        let mut logged_rotations = 0u64;
+        let mut logged_applied = 0u64;
+        let mut logged_deduped = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            // (a) Publish our owned rows when the snapshot advanced.
+            let version = cell.version();
+            if last_written != Some(version) {
+                let snap = cell.load();
+                let rows = (0..snap.num_nodes() as u32)
+                    .filter(|v| (*v as usize) % shards == shard_id)
+                    .filter_map(|v| snap.embedding(v).map(|row| (v, row)));
+                match log.append_tick(version, rows) {
+                    Ok(n) => {
+                        last_written = Some(version);
+                        if let Some(s) = &stats {
+                            s.written.add(n as u64);
+                            let rot = log.rotations();
+                            s.rotations.add(rot - logged_rotations);
+                            logged_rotations = rot;
+                        }
+                    }
+                    Err(e) => {
+                        seqge_obs::static_counter!("seqge_serve_halo_write_errors_total").inc();
+                        eprintln!("seqge-halo: append failed: {e}");
+                    }
+                }
+            }
+            // (b) Fold in peer deltas.
+            for tailer in &mut tailers {
+                match tailer.poll() {
+                    Ok(polled) => {
+                        for rec in &polled.records {
+                            store.apply(rec);
+                        }
+                    }
+                    Err(e) => {
+                        seqge_obs::static_counter!("seqge_serve_halo_poll_errors_total").inc();
+                        eprintln!("seqge-halo: poll {} failed: {e}", tailer.path().display());
+                    }
+                }
+            }
+            if let Some(s) = &stats {
+                let applied = store.applied.load(Ordering::Relaxed);
+                let deduped = store.deduped.load(Ordering::Relaxed);
+                s.applied.add(applied - logged_applied);
+                s.deduped.add(deduped - logged_deduped);
+                logged_applied = applied;
+                logged_deduped = deduped;
+                s.vertices.set(store.len() as i64);
+                if let Some(ms) = store.staleness_ms() {
+                    s.staleness_ms.set(ms.min(i64::MAX as u64) as i64);
+                }
+            }
+            std::thread::sleep(sync);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("seqge_halo_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let row = vec![1.0f32, -2.5, 0.0, 3.75];
+        let frame = encode_halo_record(7, 42, &row);
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        assert_eq!(frame.len(), 8 + len);
+        let rec = decode_halo_payload(&frame[8..]).expect("decodes");
+        assert_eq!(rec, HaloRecord { vertex: 7, version: 42, row });
+    }
+
+    #[test]
+    fn tailer_reads_appends_incrementally() {
+        let dir = scratch("tail");
+        let mut log = HaloLog::open(&dir, 1 << 20).unwrap();
+        let mut tailer = HaloTailer::new(dir.join(HALO_LOG_NAME));
+        assert!(tailer.poll().unwrap().records.is_empty());
+        log.append_tick(1, [(0u32, &[1.0f32, 2.0][..]), (2, &[3.0, 4.0][..])].into_iter()).unwrap();
+        let polled = tailer.poll().unwrap();
+        assert_eq!(polled.records.len(), 2);
+        assert_eq!(polled.records[0].vertex, 0);
+        assert_eq!(polled.records[1].version, 1);
+        log.append_tick(2, [(0u32, &[5.0f32, 6.0][..])].into_iter()).unwrap();
+        let polled = tailer.poll().unwrap();
+        assert_eq!(polled.records.len(), 1);
+        assert_eq!(polled.records[0].row, vec![5.0, 6.0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_resets_tailer_and_store_dedup_absorbs_rereads() {
+        let dir = scratch("rotate");
+        // Budget small enough that the second tick rotates.
+        let mut log = HaloLog::open(&dir, 80).unwrap();
+        let mut tailer = HaloTailer::new(dir.join(HALO_LOG_NAME));
+        let store = HaloStore::new();
+        log.append_tick(1, [(0u32, &[1.0f32, 2.0][..]), (1, &[3.0, 4.0][..])].into_iter()).unwrap();
+        for rec in &tailer.poll().unwrap().records {
+            store.apply(rec);
+        }
+        assert_eq!(store.len(), 2);
+        log.append_tick(2, [(0u32, &[9.0f32, 9.0][..]), (1, &[8.0, 8.0][..])].into_iter()).unwrap();
+        assert_eq!(log.rotations(), 1, "80-byte budget forces truncation");
+        let polled = tailer.poll().unwrap();
+        assert!(polled.reset, "shrink must reset the tailer");
+        for rec in &polled.records {
+            store.apply(rec);
+        }
+        assert_eq!(store.row(0).unwrap(), (2, vec![9.0, 9.0]));
+        assert_eq!(store.row(1).unwrap(), (2, vec![8.0, 8.0]));
+        // Re-reading the whole log again applies nothing new.
+        let applied_before = store.applied.load(Ordering::Relaxed);
+        let mut fresh = HaloTailer::new(dir.join(HALO_LOG_NAME));
+        for rec in &fresh.poll().unwrap().records {
+            store.apply(rec);
+        }
+        assert_eq!(store.applied.load(Ordering::Relaxed), applied_before);
+        assert!(store.deduped.load(Ordering::Relaxed) >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_applies_only_strictly_newer_versions() {
+        let store = HaloStore::new();
+        let v1 = HaloRecord { vertex: 3, version: 5, row: vec![1.0] };
+        assert!(store.apply(&v1));
+        assert!(!store.apply(&v1), "same version is deduped");
+        let older = HaloRecord { vertex: 3, version: 4, row: vec![2.0] };
+        assert!(!store.apply(&older), "older version is deduped");
+        let newer = HaloRecord { vertex: 3, version: 6, row: vec![3.0] };
+        assert!(store.apply(&newer));
+        assert_eq!(store.row(3).unwrap(), (6, vec![3.0]));
+        assert_eq!(store.max_version(), 6);
+    }
+
+    #[test]
+    fn torn_tail_stays_pending_then_decodes() {
+        let dir = scratch("torn");
+        let mut log = HaloLog::open(&dir, 1 << 20).unwrap();
+        log.append_tick(1, [(4u32, &[1.0f32][..])].into_iter()).unwrap();
+        // Hand-append a torn frame (header promises more bytes than exist).
+        let frame = encode_halo_record(5, 2, &[2.0]);
+        let mut f = OpenOptions::new().append(true).open(dir.join(HALO_LOG_NAME)).unwrap();
+        f.write_all(&frame[..frame.len() - 2]).unwrap();
+        f.flush().unwrap();
+        let mut tailer = HaloTailer::new(dir.join(HALO_LOG_NAME));
+        let polled = tailer.poll().unwrap();
+        assert_eq!(polled.records.len(), 1, "complete frame decodes, torn one waits");
+        // Writer completes the frame; the tailer picks it up.
+        f.write_all(&frame[frame.len() - 2..]).unwrap();
+        f.flush().unwrap();
+        let polled = tailer.poll().unwrap();
+        assert_eq!(polled.records.len(), 1);
+        assert_eq!(polled.records[0].vertex, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_frame_resets_instead_of_erroring() {
+        let dir = scratch("corrupt");
+        let mut log = HaloLog::open(&dir, 1 << 20).unwrap();
+        log.append_tick(1, [(0u32, &[1.0f32][..])].into_iter()).unwrap();
+        // Flip a payload byte of a second frame.
+        let mut frame = encode_halo_record(1, 1, &[2.0]);
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        let mut f = OpenOptions::new().append(true).open(dir.join(HALO_LOG_NAME)).unwrap();
+        f.write_all(&frame).unwrap();
+        f.flush().unwrap();
+        let mut tailer = HaloTailer::new(dir.join(HALO_LOG_NAME));
+        let polled = tailer.poll().unwrap();
+        // The good frame may or may not land this poll depending on where
+        // the reset fired; what matters is no error and eventual progress.
+        assert!(polled.reset || polled.records.len() == 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -32,13 +32,16 @@
 //! front end), [`client`] (scriptable reference client), [`wal`]
 //! (durability), [`fault`] (failure injection), [`dedup`] (bounded
 //! retry-dedup table), [`ready`] (port-0 readiness handshake for spawned
-//! daemons).
+//! daemons), [`halo`] (read-only mirrors of peer-shard embedding rows,
+//! exchanged by a periodic WAL-style delta log when the server runs as
+//! one shard of a `seqge-cluster` deployment).
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod dedup;
 pub mod fault;
+pub mod halo;
 pub mod protocol;
 pub mod ready;
 pub mod server;
@@ -49,6 +52,9 @@ pub mod wal;
 pub use client::{Client, ClientConfig};
 pub use dedup::DedupTable;
 pub use fault::{FaultInjector, FaultPoint};
+pub use halo::{
+    start_halo_sync, HaloConfig, HaloLog, HaloRecord, HaloStore, HaloSyncStats, HaloTailer,
+};
 pub use protocol::{
     attach_trace, parse_request, parse_request_traced, Request, Response, TopKMode, WriteId,
     CODE_DEGRADED, CODE_OVERLOADED, DEFAULT_PROBES, MAX_LINE_BYTES,

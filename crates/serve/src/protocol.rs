@@ -229,6 +229,12 @@ pub enum Request {
     },
     /// Fetch the live flight-recorder document (recent spans + log lines).
     Flightrec,
+    /// Halo diagnostics (sharded deployments): with `node`, the read-only
+    /// halo copy of a non-owned vertex row; without, sync-status counters.
+    Halo {
+        /// Vertex whose halo row to return; `None` asks for status.
+        node: Option<NodeId>,
+    },
     /// Graceful shutdown of the whole server.
     Shutdown,
 }
@@ -250,6 +256,7 @@ impl Request {
             Request::Metrics { .. } => "metrics",
             Request::Trace { .. } => "trace",
             Request::Flightrec => "flightrec",
+            Request::Halo { .. } => "halo",
             Request::Shutdown => "shutdown",
         }
     }
@@ -475,6 +482,13 @@ pub fn parse_request_traced(line: &str) -> Result<(Request, Option<TraceCtx>), S
             Ok(Request::Trace { after })
         }
         "flightrec" => Ok(Request::Flightrec),
+        "halo" => {
+            let node = match v.get("node") {
+                None => None,
+                Some(_) => Some(get_u32(&v, "node")?),
+            };
+            Ok(Request::Halo { node })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown command `{other}`")),
     }?;

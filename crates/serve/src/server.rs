@@ -25,6 +25,7 @@
 
 use crate::dedup::DedupTable;
 use crate::fault::{FaultInjector, FaultPoint};
+use crate::halo::{start_halo_sync, HaloConfig, HaloStore};
 use crate::protocol::{
     self, op_name, span_value, MetricsFormat, Request, Response, CODE_OVERLOADED, MAX_LINE_BYTES,
 };
@@ -73,6 +74,11 @@ pub struct ServeConfig {
     pub read_deadline: Duration,
     /// Give up writing a response after this long (stalled peer).
     pub write_timeout: Duration,
+    /// Halo delta-exchange with peer shards (`None` outside cluster mode).
+    /// When set, a `seqge-halo` thread periodically appends this shard's
+    /// owned embedding rows to `halo.log` and tails the peers' logs into a
+    /// read-only [`HaloStore`] answered by the `halo` wire command.
+    pub halo: Option<HaloConfig>,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +92,7 @@ impl Default for ServeConfig {
             max_conn_queue: 1024,
             read_deadline: Duration::from_secs(300),
             write_timeout: Duration::from_secs(10),
+            halo: None,
         }
     }
 }
@@ -282,6 +289,24 @@ pub fn start(
         thread::Builder::new().name("seqge-trainer".to_string()).spawn(move || trainer.run(rx))?,
     );
 
+    // Halo sync thread (cluster mode only): exchanges owned embedding rows
+    // with peer shards; the store it fills is serve-plane state for the
+    // `halo` command and never touches the trainer's model.
+    let halo = match config.halo {
+        Some(hcfg) => {
+            let store = Arc::new(HaloStore::new());
+            threads.push(start_halo_sync(
+                hcfg,
+                cell.clone(),
+                store.clone(),
+                Some(stats.halo_sync()),
+                stop.clone(),
+            )?);
+            Some(store)
+        }
+        None => None,
+    };
+
     // Work queue of accepted connections.
     let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
         Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
@@ -299,6 +324,7 @@ pub fn start(
             wal: config.wal.clone(),
             fault: config.fault.clone(),
             dedup: dedup.clone(),
+            halo: halo.clone(),
             max_backlog: config.max_backlog,
             read_deadline: config.read_deadline,
             write_timeout: config.write_timeout,
@@ -354,7 +380,7 @@ pub fn start(
 }
 
 /// Every wire command, for pre-registering per-op request series.
-const OP_NAMES: [&str; 14] = [
+const OP_NAMES: [&str; 15] = [
     "ping",
     "stats",
     "get_embedding",
@@ -368,6 +394,7 @@ const OP_NAMES: [&str; 14] = [
     "metrics",
     "trace",
     "flightrec",
+    "halo",
     "shutdown",
 ];
 
@@ -388,6 +415,7 @@ fn span_name(op: &str) -> &'static str {
         "metrics" => "serve.metrics",
         "trace" => "serve.trace",
         "flightrec" => "serve.flightrec",
+        "halo" => "serve.halo",
         _ => "serve.shutdown",
     }
 }
@@ -445,6 +473,8 @@ struct WorkerCtx {
     /// Per-client highest acked write `seq` (see [`protocol::WriteId`]),
     /// bounded by a sliding recency window.
     dedup: Arc<Mutex<DedupTable>>,
+    /// Read-only peer-row mirror (cluster mode only).
+    halo: Option<Arc<HaloStore>>,
     max_backlog: u64,
     read_deadline: Duration,
     write_timeout: Duration,
@@ -895,6 +925,48 @@ impl WorkerCtx {
                 let body =
                     serde_json::from_str::<Value>(&doc).unwrap_or_else(|_| Value::Str(doc.clone()));
                 (Response::ok().field("body", body).build(), false)
+            }
+            Request::Halo { node } => {
+                let Some(store) = &self.halo else {
+                    return (
+                        Response::err("halo sync is not enabled (not running as a cluster shard)"),
+                        false,
+                    );
+                };
+                match node {
+                    None => {
+                        let mut resp = Response::ok()
+                            .field("vertices", store.len() as u64)
+                            .field("max_version", store.max_version())
+                            .field(
+                                "applied",
+                                store.applied.load(std::sync::atomic::Ordering::Relaxed),
+                            )
+                            .field(
+                                "deduped",
+                                store.deduped.load(std::sync::atomic::Ordering::Relaxed),
+                            );
+                        if let Some(ms) = store.staleness_ms() {
+                            resp = resp.field("staleness_ms", ms);
+                        }
+                        (resp.build(), false)
+                    }
+                    Some(v) => match store.row(v) {
+                        Some((version, row)) => {
+                            let vec: Vec<Value> =
+                                row.iter().map(|&x| Value::F64(x as f64)).collect();
+                            (
+                                Response::ok()
+                                    .field("node", v)
+                                    .field("version", version)
+                                    .field("embedding", Value::Array(vec))
+                                    .build(),
+                                false,
+                            )
+                        }
+                        None => (Response::err(format!("no halo row for node {v}")), false),
+                    },
+                }
             }
             Request::Shutdown => {
                 self.stop.store(true, Ordering::SeqCst);

@@ -161,6 +161,23 @@ pub struct ServeStats {
     /// reads were allowed to get before this publish. Always on
     /// (`seqge_snapshot_staleness_ms`).
     pub staleness_ms: Arc<Gauge>,
+    /// Owned-row halo deltas appended to this shard's `halo.log`
+    /// (`seqge_serve_halo_written_total`; zero outside cluster mode).
+    pub halo_written: Arc<Counter>,
+    /// Peer halo deltas folded into the store
+    /// (`seqge_serve_halo_applied_total`).
+    pub halo_applied: Arc<Counter>,
+    /// Peer halo deltas dropped by the `(vertex, version)` dedup
+    /// (`seqge_serve_halo_deduped_total`).
+    pub halo_deduped: Arc<Counter>,
+    /// In-place halo-log truncations (`seqge_serve_halo_rotations_total`).
+    pub halo_rotations: Arc<Counter>,
+    /// Non-owned vertices currently mirrored
+    /// (`seqge_serve_halo_vertices`).
+    pub halo_vertices: Arc<Gauge>,
+    /// Milliseconds since a peer delta last advanced the halo store
+    /// (`seqge_serve_halo_staleness_ms`).
+    pub halo_staleness_ms: Arc<Gauge>,
 }
 
 impl ServeStats {
@@ -211,6 +228,25 @@ impl ServeStats {
                 .collect(),
             writes_visible: registry.counter("seqge_freshness_events_total"),
             staleness_ms: registry.gauge("seqge_snapshot_staleness_ms"),
+            halo_written: registry.counter("seqge_serve_halo_written_total"),
+            halo_applied: registry.counter("seqge_serve_halo_applied_total"),
+            halo_deduped: registry.counter("seqge_serve_halo_deduped_total"),
+            halo_rotations: registry.counter("seqge_serve_halo_rotations_total"),
+            halo_vertices: registry.gauge("seqge_serve_halo_vertices"),
+            halo_staleness_ms: registry.gauge("seqge_serve_halo_staleness_ms"),
+        }
+    }
+
+    /// Handles for the halo-sync loop (it runs on its own thread and feeds
+    /// these same registry series).
+    pub fn halo_sync(&self) -> crate::halo::HaloSyncStats {
+        crate::halo::HaloSyncStats {
+            written: self.halo_written.clone(),
+            applied: self.halo_applied.clone(),
+            deduped: self.halo_deduped.clone(),
+            rotations: self.halo_rotations.clone(),
+            vertices: self.halo_vertices.clone(),
+            staleness_ms: self.halo_staleness_ms.clone(),
         }
     }
 
@@ -298,6 +334,11 @@ pub struct TrainerConfig {
     /// every published snapshot (incremental — only dirty rows re-hash);
     /// `None` disables it and `mode:"ann"` queries answer exactly.
     pub ann: Option<AnnConfig>,
+    /// Worker threads for walk *generation* during bootstrap and corpus
+    /// refreshes (0 = one per core). Per-walk RNG lanes keep the corpus
+    /// bit-identical across thread counts; per-event ingest walks stay
+    /// sequential regardless (see [`IncrementalTrainer::set_walk_threads`]).
+    pub walk_threads: usize,
 }
 
 impl Default for TrainerConfig {
@@ -308,6 +349,7 @@ impl Default for TrainerConfig {
             snapshot_model: None,
             snapshot_graph: None,
             ann: Some(AnnConfig::default()),
+            walk_threads: 0,
         }
     }
 }
@@ -342,11 +384,12 @@ impl Trainer {
     pub fn new(
         graph: Graph,
         model: OsElmSkipGram,
-        inc: IncrementalTrainer,
+        mut inc: IncrementalTrainer,
         cell: Arc<SnapshotCell>,
         stats: Arc<ServeStats>,
         cfg: TrainerConfig,
     ) -> Self {
+        inc.set_walk_threads(cfg.walk_threads);
         let ann = cfg.ann.map(AnnBuilder::new);
         let mut t = Trainer {
             graph,

@@ -11,14 +11,17 @@
 # (cp results/bench_pipeline.json results/baseline_pipeline.json).
 #
 # Also gates the cluster ingest-scaling ratio (`bench_cluster` →
-# scaling_ratio, 4-shard vs 1-shard edges/sec through the router) against
-# results/bench_cluster.json. Same reasoning: both arms run on the same
-# host in the same process, so the ratio is stable where absolute
-# throughput is not. Note the checked-in baseline was measured on a
-# 1-core host, where the ratio sits at the ~0.5x single-core ceiling
-# (cross-shard edges train on both owners = double work, no parallelism
-# to pay for it); a multicore runner will land above the band and warn
-# until the baseline is refreshed there.
+# scaling_ratio, 4-shard vs 1-shard edges/sec through the router). Under
+# single-owner partitioning both arms do identical total training work
+# (the binary asserts per-shard train counters reconcile with the stream
+# every run), so added shards must buy real throughput: on a host with
+# >= 4 cores the ratio has a HARD FLOOR of 1.0 — no band, no baseline
+# drift, below the floor the gate fails with the measured value (target
+# is >= 1.5; CI runs this on multi-core runners and asserts nproc up
+# front). On a smaller host the four trainer threads timeshare and the
+# ratio legitimately sits below 1.0 (the checked-in 1-core baseline
+# records ~0.3x), so the floor is waived there and the gate instead
+# requires the exactly-once reconciliation evidence in the fresh JSON.
 #
 # Also gates the ANN read path (`bench_ann` → p99_speedup, recall_at_10):
 # the brute/ANN p99 ratio is banded (SEQGE_BENCH_ANN_BAND_PCT, default 40)
@@ -87,33 +90,57 @@ for key in speedup_vs_reference_kernels end_to_end_speedup_vs_seed_multicore; do
   esac
 done
 
-# Cluster ingest-scaling ratio, same band discipline but a wider default
-# band (the arms are sub-second and the ratio carries both arms' jitter
-# even with best-of-3 sampling). Override: SEQGE_BENCH_CLUSTER_BAND_PCT.
-CLUSTER_BAND_PCT=${SEQGE_BENCH_CLUSTER_BAND_PCT:-35}
-CLUSTER_BASELINE=${CLUSTER_BASELINE:-results/bench_cluster.json}
-[[ -f $CLUSTER_BASELINE ]] || { echo "FAIL: baseline missing: $CLUSTER_BASELINE"; exit 1; }
+# Cluster ingest-scaling: a hard scaling_ratio floor on multi-core hosts
+# (single-owner partitioning means shards must buy throughput), a
+# work-conservation check everywhere. The floor is a constant, not a
+# baseline band: the whole point of the partitioning rework is that the
+# 4-shard arm wins outright. Override: SEQGE_BENCH_CLUSTER_FLOOR.
+CLUSTER_FLOOR=${SEQGE_BENCH_CLUSTER_FLOOR:-1.0}
+CLUSTER_TARGET=1.5
 cargo build --locked --release -q -p seqge-bench --bin bench_cluster
 (cd "$work" && "$ROOT/target/release/bench_cluster" --json results/bench_cluster.json)
 CLUSTER_FRESH=$work/results/bench_cluster.json
 [[ -f $CLUSTER_FRESH ]] || { echo "FAIL: benchmark did not write bench_cluster.json"; exit 1; }
-base=$(json_num "$CLUSTER_BASELINE" scaling_ratio)
 now=$(json_num "$CLUSTER_FRESH" scaling_ratio)
-if [[ -z $base || -z $now ]]; then
-  echo "FAIL: metric scaling_ratio missing (baseline='$base' fresh='$now')"
+cores=$(nproc 2>/dev/null || echo 1)
+exactly_once=$(grep -c '"exactly_once_verified": *true' "$CLUSTER_FRESH" || true)
+if [[ -z $now ]]; then
+  echo "FAIL: metric scaling_ratio missing from $CLUSTER_FRESH"
   fail=1
-else
-  verdict=$(awk -v b="$base" -v n="$now" -v band="$CLUSTER_BAND_PCT" 'BEGIN {
-    d = (n - b) / b * 100
-    if (d < -band)     printf "%+.1f%% REGRESSION (band ±%s%%)", d, band
-    else if (d > band) printf "%+.1f%% above band — refresh baseline", d
-    else               printf "%+.1f%% ok", d
+elif [[ $exactly_once -eq 0 ]]; then
+  # The binary asserts the per-shard train-counter reconciliation and
+  # refuses to emit the record without it; a missing marker means the
+  # ratio compares arms doing different amounts of work.
+  echo "FAIL: bench_cluster JSON lacks exactly_once_verified — ratio is not trustworthy"
+  fail=1
+elif ((cores >= 4)); then
+  verdict=$(awk -v n="$now" -v floor="$CLUSTER_FLOOR" -v tgt="$CLUSTER_TARGET" 'BEGIN {
+    if (n <= floor)     printf "%.2fx REGRESSION (hard floor %sx on a %sx-target multi-core host)", n, floor, tgt
+    else if (n < tgt)   printf "%.2fx ok (above floor %sx, below target %sx)", n, floor, tgt
+    else                printf "%.2fx ok (meets target %sx)", n, tgt
   }')
-  echo "scaling_ratio: baseline $base -> $now  ($verdict)"
+  echo "scaling_ratio (1->4 shards, $cores cores): $verdict"
   case $verdict in
-  *REGRESSION*) fail=1 ;;
-  *"refresh baseline"*) warn=1 ;;
+  *REGRESSION*)
+    echo "FAIL: added shards did not buy throughput: measured scaling_ratio=$now on $cores cores (floor $CLUSTER_FLOOR)"
+    fail=1
+    ;;
   esac
+else
+  echo "scaling_ratio (1->4 shards): $now on $cores core(s) — floor waived (<4 cores, trainer threads timeshare); exactly-once reconciliation held"
+fi
+if [[ -n ${GITHUB_STEP_SUMMARY:-} ]]; then
+  {
+    echo "### cluster ingest scaling"
+    echo ""
+    echo "| metric | value |"
+    echo "|---|---|"
+    echo "| scaling_ratio (1→4 shards) | ${now:-missing} |"
+    echo "| cores | $cores |"
+    echo "| floor | $CLUSTER_FLOOR (waived below 4 cores) |"
+    echo "| target | $CLUSTER_TARGET |"
+    echo "| exactly-once reconciliation | $([[ $exactly_once -gt 0 ]] && echo held || echo MISSING) |"
+  } >>"$GITHUB_STEP_SUMMARY"
 fi
 
 # ANN read-path gate (`bench_ann`): p99_speedup (brute p99 / ANN p99,

@@ -15,11 +15,21 @@ if [[ ! -x $BIN ]]; then
   cargo build --locked --release
 fi
 
-work=$(mktemp -d)
+# SEQGE_SMOKE_WORKDIR keeps the scratch dir (logs, flight-recorder
+# dumps, bench JSON) at a known path that CI uploads as an artifact on
+# failure; without it the dir is a throwaway mktemp, removed on exit.
+if [[ -n ${SEQGE_SMOKE_WORKDIR:-} ]]; then
+  work=$SEQGE_SMOKE_WORKDIR
+  mkdir -p "$work"
+  keep_work=1
+else
+  work=$(mktemp -d)
+  keep_work=0
+fi
 SERVER_PID=""
 cleanup() {
   [[ -n $SERVER_PID ]] && kill "$SERVER_PID" 2>/dev/null || true
-  rm -rf "$work"
+  ((keep_work)) || rm -rf "$work"
 }
 trap cleanup EXIT
 
