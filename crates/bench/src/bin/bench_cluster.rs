@@ -13,7 +13,8 @@
 //!
 //! `scaling_ratio` is the headline number: >1 means added shards bought
 //! real throughput. Under single-owner partitioning every edge trains on
-//! exactly one shard (`edge_owner(u, v) = owner(u)`), so the 4-shard arm
+//! exactly one shard (`edge_owner(u, v) = owner(min(u, v))`), so the
+//! 4-shard arm
 //! performs the *same* total training work as the 1-shard arm, split
 //! across four trainer threads — on a ≥4-core host the ratio is gated in
 //! CI at >1.0 (target ≥1.5). Every run also reconciles the per-shard

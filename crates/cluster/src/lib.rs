@@ -9,8 +9,9 @@
 //!
 //! * **Shard plane** ([`shard`], [`cluster`]) — engines run in-process
 //!   (`seqge cluster`) or as spawned `shardd` children (the e2e tests
-//!   kill -9 them). Every edge has exactly one owner (the source vertex's
-//!   shard), so added shards divide the training work; non-owned vertex
+//!   kill -9 them). Every edge has exactly one owner (the min endpoint's
+//!   shard — orientation-invariant, the edge being undirected), so added
+//!   shards divide the training work; non-owned vertex
 //!   rows are mirrored between shards as read-only **halo** embeddings by
 //!   the periodic delta-exchange in `seqge_serve::halo`.
 //! * **Router** ([`router`]) — consistent write routing by ownership;

@@ -8,11 +8,17 @@
 //! Modulo also keeps the partition stable under node-id growth: adding
 //! nodes never migrates existing ones between shards.
 //!
-//! An edge `(u, v)` has exactly **one** owner: the owner of its source
-//! vertex `u`. Every edge is therefore applied and trained exactly once
-//! cluster-wide — the previous both-endpoint routing trained cross-shard
-//! edges twice, which capped 1→N-shard ingest scaling at ~N/2 of the
-//! attainable ratio. A shard's walks may still cross partition boundaries
+//! An edge `{u, v}` has exactly **one** owner: the owner of its
+//! lower-numbered endpoint, `owner(min(u, v))`. The graph is undirected
+//! (`add_edge(u, v)` and `remove_edge(v, u)` name the same edge), so
+//! ownership must be a function of the *set* `{u, v}`, not of the order a
+//! client happened to write the endpoints in — keying on the first
+//! argument would route `add_edge(2, 5)` and `remove_edge(5, 2)` to
+//! different shards. Every edge is therefore applied and trained exactly
+//! once cluster-wide — the previous both-endpoint routing trained
+//! cross-shard edges twice, which capped 1→N-shard ingest scaling at ~N/2
+//! of the attainable ratio. A shard's walks may still cross partition
+//! boundaries
 //! (the walk graph is the shard's owned-edge subgraph over the *global*
 //! node space); the authoritative embedding row for a non-owned vertex
 //! lives on its owner and is mirrored to the other shards as a read-only
@@ -28,11 +34,14 @@ pub fn owner(v: NodeId, shards: usize) -> usize {
     (v as usize) % shards
 }
 
-/// The single shard an edge event must reach: the owner of the source
-/// vertex `u`. Exactly one shard applies (and trains) each edge, so added
-/// shards divide the training work instead of duplicating it.
-pub fn edge_owner(u: NodeId, _v: NodeId, shards: usize) -> usize {
-    owner(u, shards)
+/// The single shard an edge event must reach: the owner of the
+/// lower-numbered endpoint. Orientation-invariant —
+/// `edge_owner(u, v) == edge_owner(v, u)` — because the graph is
+/// undirected and both orderings name the same edge. Exactly one shard
+/// applies (and trains) each edge, so added shards divide the training
+/// work instead of duplicating it.
+pub fn edge_owner(u: NodeId, v: NodeId, shards: usize) -> usize {
+    owner(u.min(v), shards)
 }
 
 /// The subgraph shard `shard` trains on: every node (embeddings are
@@ -64,12 +73,31 @@ mod tests {
     }
 
     #[test]
-    fn edge_owner_is_the_source_owner() {
+    fn edge_owner_is_the_min_endpoint_owner() {
         assert_eq!(edge_owner(3, 7, 4), 3);
         assert_eq!(edge_owner(1, 5, 4), 1);
         assert_eq!(edge_owner(2, 5, 4), 2);
-        // Direction matters: the source vertex decides.
-        assert_eq!(edge_owner(5, 2, 4), 1);
+        // The edge is undirected: argument order must not matter.
+        assert_eq!(edge_owner(5, 2, 4), 2);
+        assert_eq!(edge_owner(7, 3, 4), 3);
+    }
+
+    #[test]
+    fn edge_owner_is_orientation_invariant() {
+        // add_edge(u, v) and remove_edge(v, u) name the same undirected
+        // edge and must land on the same shard, for every pair and shard
+        // count.
+        for shards in 1..6 {
+            for u in 0..40u32 {
+                for v in 0..40u32 {
+                    assert_eq!(
+                        edge_owner(u, v, shards),
+                        edge_owner(v, u, shards),
+                        "({u},{v}) vs ({v},{u}) at {shards} shards"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //!
 //! * **writes** (`add_edge`/`remove_edge`) — forwarded *verbatim* (the
 //!   client's `WriteId` rides along unchanged) to the edge's **single
-//!   owner**, the owner of the source vertex `u` (see
-//!   [`crate::partition::edge_owner`]). Exactly one shard applies and
+//!   owner**, the owner of the lower-numbered endpoint (see
+//!   [`crate::partition::edge_owner`]; the edge is undirected, so routing
+//!   is invariant to the order the client wrote the endpoints in —
+//!   `add_edge(u,v)` and `remove_edge(v,u)` reach the same shard).
+//!   Exactly one shard applies and
 //!   trains each edge, so added shards divide the work; if the owner is
 //!   unreachable the router answers `overloaded: shard N unavailable…`,
 //!   which the serve client treats as backoff-and-retry **with the same
@@ -652,8 +655,14 @@ impl RouterCtx {
     fn score_link(&self, u: u32, v: u32, op: EdgeOp, line: &str, conns: &mut Conns) -> String {
         let a = owner(u, self.num_shards());
         let b = owner(v, self.num_shards());
-        // Either endpoint's owner can answer: embeddings are global rows
-        // on every shard; ownership only matters for training.
+        // Try each endpoint's owner in turn. Every shard holds a full
+        // (global-id) embedding matrix, but only *owned* vertices receive
+        // that vertex's incident-edge training there — the other
+        // endpoint's local row is a locally-trained approximation, good
+        // within the cross-shard tolerance documented in DESIGN.md
+        // ("Cross-shard score comparability"). The halo mirror is a
+        // diagnostic plane (the `halo` command) and is not consulted
+        // here.
         for s in std::iter::once(a).chain((b != a).then_some(b)) {
             if let Some(resp) = self.forward_one(conns, s, line) {
                 return resp;
@@ -766,9 +775,10 @@ impl RouterCtx {
     }
 
     fn write(&self, u: u32, v: u32, line: &str, conns: &mut Conns) -> String {
-        // Single-owner routing: exactly one shard (the source vertex's)
-        // applies and trains this edge. No other shard ever sees it, so
-        // cluster-wide each edge trains exactly once.
+        // Single-owner routing: exactly one shard (the min endpoint's —
+        // orientation-invariant, since (u,v) and (v,u) name the same
+        // undirected edge) applies and trains this edge. No other shard
+        // ever sees it, so cluster-wide each edge trains exactly once.
         let s = edge_owner(u, v, self.num_shards());
         let Some(resp) = self.forward_one(conns, s, line) else {
             self.degraded_total.inc();

@@ -26,7 +26,8 @@
 //!    from a WAL-fed replica tagged `"source": "replica"`.
 
 use seqge_cluster::{
-    owner, start_router, train_cfg, Backend, Cluster, ClusterConfig, ReplicaView, RouterConfig,
+    edge_owner, owner, start_router, train_cfg, Backend, Cluster, ClusterConfig, ReplicaView,
+    RouterConfig,
 };
 use seqge_core::model::EmbeddingModel;
 use seqge_graph::generators::classic::erdos_renyi;
@@ -157,10 +158,10 @@ fn run_kill9_scenario(seed: u64) {
 
         for (i, &(u, v)) in edges.iter().enumerate() {
             if interrupted && i == kill_at {
-                // SIGKILL the owner of the next write's first endpoint:
-                // the write is guaranteed to hit the dead shard and take
-                // the overloaded-retry path.
-                cluster.kill_child(owner(u, SHARDS));
+                // SIGKILL the next write's owning shard: the write is
+                // guaranteed to hit the dead shard and take the
+                // overloaded-retry path.
+                cluster.kill_child(edge_owner(u, v, SHARDS));
             }
             c.add_edge(u, v)
                 .unwrap_or_else(|e| panic!("seed {seed}: write ({u},{v}) never succeeded: {e}"));

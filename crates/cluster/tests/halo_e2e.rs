@@ -1,7 +1,8 @@
 //! Halo-consistency end-to-end suite.
 //!
 //! Single-owner partitioning assigns every edge to exactly one shard
-//! (`edge_owner(u, v) = owner(u)`); the halo plane then mirrors each
+//! (`edge_owner(u, v) = owner(min(u, v))`, orientation-invariant because
+//! the edge is undirected); the halo plane then mirrors each
 //! shard's owned embedding rows to its peers as read-only copies. These
 //! scenarios lock the three guarantees that make that split sound:
 //!
@@ -21,7 +22,7 @@
 //! the community signal within the single-node tolerance documented in
 //! DESIGN.md.
 
-use seqge_cluster::{owner, train_cfg, Backend, Cluster, ClusterConfig};
+use seqge_cluster::{edge_owner, owner, train_cfg, Backend, Cluster, ClusterConfig};
 use seqge_core::model::EmbeddingModel;
 use seqge_graph::generators::classic::erdos_renyi;
 use seqge_graph::{spanning_forest, Graph};
@@ -155,6 +156,72 @@ fn edges_train_exactly_once_and_halos_mirror_owners() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// The graph is undirected, so a client may name one edge in either
+/// orientation: `add_edge(v, u)` then `remove_edge(u, v)` must reach the
+/// *same* owning shard, or the removal would land on a shard that never
+/// saw the edge and the edge would survive forever on the real owner.
+#[test]
+fn reversed_endpoint_orientation_routes_to_the_same_owner() {
+    let base = scratch("reversed");
+    let (initial, edges) = test_stream(19);
+    let cross: Vec<(u32, u32)> = edges
+        .iter()
+        .copied()
+        .filter(|&(u, v)| u % SHARDS as u32 != v % SHARDS as u32)
+        .take(8)
+        .collect();
+    assert!(cross.len() >= 4, "need cross-shard edges, got {}", cross.len());
+    let cfg = ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED);
+    let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
+    let mut c = client(&cluster.addr().to_string());
+
+    let routed_shard = |resp: &serde_json::Value| -> usize {
+        resp.get("shards")
+            .and_then(serde_json::Value::as_array)
+            .and_then(|a| a.first())
+            .and_then(serde_json::Value::as_u64)
+            .expect("write ack names the routed shard") as usize
+    };
+    for &(u, v) in &cross {
+        // Add in reversed orientation…
+        let add = c.call(&format!(r#"{{"cmd":"add_edge","u":{v},"v":{u}}}"#)).expect("add acks");
+        assert_eq!(add.get("ok"), Some(&serde_json::Value::Bool(true)), "add (v,u): {add:?}");
+        assert_eq!(
+            routed_shard(&add),
+            edge_owner(u, v, SHARDS),
+            "add ({v},{u}) must route to the canonical owner"
+        );
+    }
+    c.flush().expect("flush barrier");
+    for &(u, v) in &cross {
+        // …remove in the opposite orientation: same edge, same shard.
+        let rm = c.call(&format!(r#"{{"cmd":"remove_edge","u":{u},"v":{v}}}"#)).expect("rm acks");
+        assert_eq!(rm.get("ok"), Some(&serde_json::Value::Bool(true)), "remove (u,v): {rm:?}");
+        assert_eq!(
+            routed_shard(&rm),
+            edge_owner(v, u, SHARDS),
+            "remove ({u},{v}) must route to the canonical owner"
+        );
+    }
+    c.flush().expect("flush barrier");
+
+    // The owning shards really applied both orientations: cluster-wide
+    // counters reconcile. A mis-routed removal hits a shard without the
+    // edge and applies nothing, leaving the sum short.
+    let (mut inserted, mut removed) = (0u64, 0u64);
+    for addr in cluster.shard_addrs() {
+        let stats = client(&addr.to_string()).call(r#"{"cmd":"stats"}"#).expect("shard stats");
+        inserted += stats.get("edges_inserted").and_then(serde_json::Value::as_u64).unwrap_or(0);
+        removed += stats.get("edges_removed").and_then(serde_json::Value::as_u64).unwrap_or(0);
+    }
+    assert_eq!(inserted, cross.len() as u64, "every reversed add applied exactly once");
+    assert_eq!(removed, cross.len() as u64, "every reversed removal found its edge");
+
+    drop(c);
+    cluster.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 /// Planted communities along residue classes mod 4 (shard-pure), plus one
 /// edge from every node into each foreign residue class so cross-shard
 /// score merging stays comparable (see DESIGN.md).
@@ -257,7 +324,7 @@ fn kill9_owner_shard_replays_halos_bit_identically() {
             // the health loop respawns the shard, so at least one event
             // lands post-recovery and advances the owner's version past
             // everything the peers' halo stores have seen.
-            killed = owner(u, SHARDS);
+            killed = edge_owner(u, v, SHARDS);
             cluster.kill_child(killed);
         }
         c.add_edge(u, v).unwrap_or_else(|e| panic!("write ({u},{v}) never succeeded: {e}"));

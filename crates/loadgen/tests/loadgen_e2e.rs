@@ -162,8 +162,8 @@ fn cluster_router_serves_loadgen_and_merges_shard_metrics() {
     let mut c = Client::connect(cluster.addr()).expect("client connects to router");
     let body = c.metrics("prometheus").expect("router metrics scrape");
     let adds = scrape_sum(&body, "seqge_serve_requests_total", "op=\"add_edge\"");
-    // Writes fan to both endpoint owners, so the shard-side count is at
-    // least the client-side one.
+    // Each write reaches exactly one owning shard, so the shard-side
+    // count is at least the client-side one (retries can push it higher).
     let client_adds: u64 = report
         .windows
         .iter()

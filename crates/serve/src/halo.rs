@@ -280,6 +280,16 @@ impl HaloTailer {
                 Err(e) => return Err(e),
             }
         }
+        if self.epoch.is_none() {
+            // Until a full header has been decoded, an in-place rotation
+            // is undetectable: there is no epoch to compare, and a rewrite
+            // to an equal-or-longer file defeats the shrink check. Any
+            // partially buffered header bytes could therefore mix the old
+            // and new file — never trust them; restart from offset zero
+            // each poll until the header lands whole.
+            self.offset = 0;
+            self.pending.clear();
+        }
         let file = self.file.as_mut().expect("file opened above");
         let len = file.metadata()?.len();
         let mut rotated = len < self.offset;
@@ -393,7 +403,7 @@ pub struct HaloStore {
     pub applied: AtomicU64,
     /// Deltas dropped by the `(vertex, version)` dedup.
     pub deduped: AtomicU64,
-    last_applied: Mutex<Option<Instant>>,
+    last_synced: Mutex<Option<Instant>>,
 }
 
 impl HaloStore {
@@ -416,7 +426,7 @@ impl HaloStore {
             _ => {
                 rows.insert(rec.vertex, (rec.version, rec.row.clone()));
                 self.applied.fetch_add(1, Ordering::Relaxed);
-                *self.last_applied.lock().expect("halo stamp poisoned") = Some(Instant::now());
+                *self.last_synced.lock().expect("halo stamp poisoned") = Some(Instant::now());
                 true
             }
         }
@@ -442,10 +452,23 @@ impl HaloStore {
         self.rows.lock().expect("halo rows poisoned").values().map(|(v, _)| *v).max().unwrap_or(0)
     }
 
-    /// Milliseconds since a delta last advanced the store — the staleness
-    /// bound the metrics plane exports. `None` before the first apply.
+    /// Stamps the store as caught up with every peer log. The sync loop
+    /// calls this after each poll cycle in which *all* peer tailers
+    /// answered — including cycles where every record deduped or nothing
+    /// was appended at all. A quiescent cluster is *fresh*, not stale;
+    /// staleness should only grow when polling itself is failing.
+    pub fn mark_synced(&self) {
+        *self.last_synced.lock().expect("halo stamp poisoned") = Some(Instant::now());
+    }
+
+    /// Milliseconds since the halo plane last confirmed it was caught up
+    /// with its peers — a delta applied, or a fully-successful poll cycle
+    /// ([`Self::mark_synced`]). This is the staleness signal the metrics
+    /// plane exports: it stays near one sync period while polling is
+    /// healthy (writes or not) and only grows when peer logs cannot be
+    /// read. `None` before the first sync.
     pub fn staleness_ms(&self) -> Option<u64> {
-        self.last_applied
+        self.last_synced
             .lock()
             .expect("halo stamp poisoned")
             .map(|t| t.elapsed().as_millis().min(u64::MAX as u128) as u64)
@@ -502,7 +525,9 @@ pub struct HaloSyncStats {
     pub rotations: Arc<seqge_obs::Counter>,
     /// Vertices in the halo store.
     pub vertices: Arc<seqge_obs::Gauge>,
-    /// Milliseconds since the store last advanced.
+    /// Milliseconds since the store was last confirmed in sync with every
+    /// peer log (successful poll cycle or applied delta) — stays near one
+    /// sync period on a healthy, even fully idle, cluster.
     pub staleness_ms: Arc<seqge_obs::Gauge>,
 }
 
@@ -556,7 +581,10 @@ pub fn start_halo_sync(
                     }
                 }
             }
-            // (b) Fold in peer deltas.
+            // (b) Fold in peer deltas. A cycle where every tailer answers
+            // counts as a sync even when nothing new arrived — staleness
+            // must measure "can I still read my peers", not write volume.
+            let mut all_polled = true;
             for tailer in &mut tailers {
                 match tailer.poll() {
                     Ok(polled) => {
@@ -565,10 +593,14 @@ pub fn start_halo_sync(
                         }
                     }
                     Err(e) => {
+                        all_polled = false;
                         seqge_obs::static_counter!("seqge_serve_halo_poll_errors_total").inc();
                         eprintln!("seqge-halo: poll {} failed: {e}", tailer.path().display());
                     }
                 }
+            }
+            if all_polled {
+                store.mark_synced();
             }
             if let Some(s) = &stats {
                 let applied = store.applied.load(Ordering::Relaxed);
@@ -692,6 +724,45 @@ mod tests {
         assert_eq!(polled.records.len(), 1);
         assert_eq!(polled.records[0].vertex, 5);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_while_header_partially_buffered_does_not_mix_epochs() {
+        let dir = scratch("hdr");
+        let path = dir.join(HALO_LOG_NAME);
+        // A torn header: only 5 of the 12 header bytes exist on disk.
+        std::fs::write(&path, [b'S', b'G', b'H', b'1', 7]).unwrap();
+        let mut tailer = HaloTailer::new(&path);
+        assert!(tailer.poll().unwrap().records.is_empty());
+        // The writer now rewrites the file in place to an equal-or-longer
+        // length (fresh epoch + one frame): no shrink, and no decoded
+        // epoch for the tailer to compare. It must re-read from scratch
+        // instead of resuming mid-header over mixed old/new bytes.
+        let mut log = HaloLog::open(&dir, 1 << 20).unwrap();
+        log.append_tick(3, [(9u32, &[1.5f32, 2.5][..])].into_iter()).unwrap();
+        let polled = tailer.poll().unwrap();
+        assert_eq!(polled.records.len(), 1, "clean decode on the very next poll");
+        assert_eq!(polled.records[0].vertex, 9);
+        assert_eq!(polled.records[0].row, vec![1.5, 2.5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quiescent_sync_is_fresh_not_stale() {
+        let store = HaloStore::new();
+        assert!(store.staleness_ms().is_none(), "no signal before the first sync");
+        store.mark_synced();
+        assert!(store.staleness_ms().is_some());
+        let rec = HaloRecord { vertex: 1, version: 1, row: vec![1.0] };
+        assert!(store.apply(&rec));
+        std::thread::sleep(Duration::from_millis(25));
+        let idle = store.staleness_ms().unwrap();
+        assert!(idle >= 25, "no sync for 25ms: staleness grows ({idle}ms)");
+        // A poll cycle where every record dedups (no writes anywhere) must
+        // still reset staleness: a quiescent cluster is caught up.
+        assert!(!store.apply(&rec), "same version dedups");
+        store.mark_synced();
+        assert!(store.staleness_ms().unwrap() < idle, "successful sync resets staleness");
     }
 
     #[test]

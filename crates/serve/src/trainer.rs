@@ -175,8 +175,10 @@ pub struct ServeStats {
     /// Non-owned vertices currently mirrored
     /// (`seqge_serve_halo_vertices`).
     pub halo_vertices: Arc<Gauge>,
-    /// Milliseconds since a peer delta last advanced the halo store
-    /// (`seqge_serve_halo_staleness_ms`).
+    /// Milliseconds since the halo plane last confirmed sync with every
+    /// peer log — a successful poll cycle or an applied delta
+    /// (`seqge_serve_halo_staleness_ms`). Bounded near one sync period on
+    /// a healthy cluster, idle or not.
     pub halo_staleness_ms: Arc<Gauge>,
 }
 

@@ -111,7 +111,8 @@ commands:
            (sharded deployment: N in-process serve engines, each owning
             the vertices with id % N == shard and journaling to
             DIR/shard-<s>/, behind a scatter-gather router speaking the
-            same protocol as `serve`. Writes fan to both endpoint owners;
+            same protocol as `serve`. Each edge write routes to its one
+            owning shard (the lower endpoint's, order-independent);
             topk/score_link scatter with per-shard deadlines and degrade
             to partial results (`degraded:true`) when a shard is down.
             --replicas 1 adds a WAL-tailing read replica per shard that
