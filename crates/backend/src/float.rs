@@ -1,0 +1,118 @@
+//! The float OS-ELM backend — the pre-refactor serving engine behind the
+//! trait, bit-identical to driving [`OsElmSkipGram`] +
+//! [`IncrementalTrainer`] by hand: every trait method delegates exactly the
+//! call the serve trainer used to make, in the same order, on the same RNG
+//! stream.
+
+use crate::{BackendKind, TrainBackend};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{persist, IncrementalTrainer, OsElmSkipGram, SeqOutcome};
+use seqge_graph::{EdgeEvent, Graph, GraphError};
+use seqge_linalg::Mat;
+use std::io;
+use std::path::Path;
+
+/// Float OS-ELM ([`OsElmSkipGram`]) driven by [`IncrementalTrainer`].
+pub struct FloatBackend {
+    model: OsElmSkipGram,
+    inc: IncrementalTrainer,
+}
+
+impl FloatBackend {
+    /// Cold (untrained) engine over `num_nodes` nodes.
+    pub fn cold(num_nodes: usize, spec: &crate::BackendSpec) -> FloatBackend {
+        FloatBackend {
+            model: OsElmSkipGram::new(num_nodes, spec.oselm),
+            inc: IncrementalTrainer::new(num_nodes, &spec.train, spec.policy, spec.seed),
+        }
+    }
+
+    /// Engine over a persisted snapshot with a fresh sequential driver
+    /// (WAL replay semantics).
+    pub fn load(path: &Path, spec: &crate::BackendSpec) -> io::Result<FloatBackend> {
+        let model = persist::load_oselm(path)?;
+        let inc = IncrementalTrainer::new(model.num_nodes(), &spec.train, spec.policy, spec.seed);
+        Ok(FloatBackend { model, inc })
+    }
+
+    /// Wraps an already-built (possibly already-trained) model + driver pair
+    /// — the compatibility path for callers that boot through the historic
+    /// `boot_cold`/`boot_restore` helpers.
+    pub fn from_parts(model: OsElmSkipGram, inc: IncrementalTrainer) -> FloatBackend {
+        FloatBackend { model, inc }
+    }
+
+    /// The wrapped model (tests and benches).
+    pub fn model(&self) -> &OsElmSkipGram {
+        &self.model
+    }
+}
+
+impl TrainBackend for FloatBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Float
+    }
+
+    fn descriptor(&self) -> String {
+        let cfg = self.model.config();
+        format!(
+            "{{\"name\":\"float\",\"dim\":{},\"seed\":{},\"mu\":{},\"forgetting\":{}}}",
+            cfg.model.dim, cfg.model.seed, cfg.mu, cfg.forgetting
+        )
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.model.num_nodes()
+    }
+
+    fn dim(&self) -> usize {
+        EmbeddingModel::dim(&self.model)
+    }
+
+    fn set_walk_threads(&mut self, threads: usize) {
+        self.inc.set_walk_threads(threads);
+    }
+
+    fn bootstrap(&mut self, g: &Graph) {
+        self.inc.bootstrap(g, &mut self.model);
+    }
+
+    fn ingest(&mut self, g: &mut Graph, event: EdgeEvent) -> Result<usize, GraphError> {
+        self.inc.ingest(g, event, &mut self.model)
+    }
+
+    fn refresh(&mut self, g: &Graph) -> usize {
+        self.inc.refresh(g, &mut self.model)
+    }
+
+    fn publish_view(&mut self) -> Mat<f32> {
+        self.model.embedding()
+    }
+
+    fn outcome(&self) -> SeqOutcome {
+        self.inc.outcome()
+    }
+
+    fn edges_removed(&self) -> usize {
+        self.inc.edges_removed()
+    }
+
+    fn save_state(&self, path: &Path) -> io::Result<()> {
+        persist::save_oselm(&self.model, path)
+    }
+
+    fn restore_state(&mut self, path: &Path, expect_nodes: usize) -> io::Result<()> {
+        let model = persist::load_oselm(path)?;
+        if model.num_nodes() != expect_nodes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot mismatch: model covers {} nodes, graph has {expect_nodes}",
+                    model.num_nodes()
+                ),
+            ));
+        }
+        self.model = model;
+        Ok(())
+    }
+}

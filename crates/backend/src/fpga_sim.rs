@@ -1,0 +1,276 @@
+//! The fpga-sim backend: the paper's deferred-Δ fixed-point accelerator
+//! semantics on the serving path.
+//!
+//! Every walk the sequential driver produces is trained through the Q8.24
+//! functional kernel ([`Accelerator`]) — deferred Δβ committed once per walk
+//! (Algorithm 2 line 20), cycle accounting per walk. The dequantized float
+//! serving view is **not** maintained per walk: the kernel tracks which β
+//! rows each walk's commit dirtied, and [`TrainBackend::publish_view`]
+//! re-dequantizes only those rows into a cached matrix — the host-side
+//! analogue of the accelerator's batched DRAM write-back, amortizing the
+//! per-walk cost across a publish batch exactly as the hardware does.
+//!
+//! Two live by-products:
+//!
+//! * **Cycle planner** — the calibrated per-walk cycle model accumulates
+//!   into [`CyclePlan`]: predicted sustainable ingest rate at the configured
+//!   clock, exported next to the measured rate so capacity headroom is a
+//!   metric, not a guess.
+//! * **Deviation probe** (Fig. 4 live) — an optional float
+//!   [`DataflowOsElm`] shadow trains on the *same walks and negative draws*
+//!   (it consumes a cloned RNG, so the accelerator's stream — and replay
+//!   bit-identity — is untouched), and every publish measures the
+//!   fixed-vs-float embedding deviation in ppm. After each measurement the
+//!   shadow re-syncs to the dequantized fixed-point state: two numeric
+//!   trajectories run chaotically apart over thousands of events however
+//!   correct both are (tiny rounding differences compound through P), so
+//!   the *cumulative* distance says nothing actionable. The per-publish-
+//!   window drift stays in the ppm band Fig. 4 implies — a wrong
+//!   quantization scale or a saturation storm blows it up immediately —
+//!   which is what `scripts/bench_gate.sh` puts a ceiling on.
+
+use crate::{BackendKind, CyclePlan, TrainBackend};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{DataflowOsElm, IncrementalTrainer, SeqOutcome};
+use seqge_fpga::Accelerator;
+use seqge_graph::{EdgeEvent, Graph, GraphError, NodeId};
+use seqge_linalg::Mat;
+use seqge_sampling::{NegativeTable, Rng64};
+use std::io;
+use std::path::Path;
+
+/// The accelerator plus its optional float shadow, presented to the
+/// sequential driver as one [`EmbeddingModel`]: the driver stays unaware
+/// that each walk is trained twice.
+struct ProbeModel {
+    accel: Accelerator,
+    shadow: Option<DataflowOsElm>,
+}
+
+impl EmbeddingModel for ProbeModel {
+    fn train_walk(&mut self, walk: &[NodeId], negatives: &NegativeTable, rng: &mut Rng64) {
+        if let Some(shadow) = &mut self.shadow {
+            // The shadow replays the identical draw schedule from a clone;
+            // the real stream advances exactly as it would without a probe.
+            let mut shadow_rng = rng.clone();
+            self.accel.train_walk(walk, negatives, rng);
+            shadow.train_walk(walk, negatives, &mut shadow_rng);
+        } else {
+            self.accel.train_walk(walk, negatives, rng);
+        }
+    }
+
+    fn embedding(&self) -> Mat<f32> {
+        self.accel.embedding()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.accel.num_nodes()
+    }
+
+    fn dim(&self) -> usize {
+        self.accel.dim()
+    }
+
+    fn model_bytes(&self) -> usize {
+        self.accel.model_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "fpga-sim"
+    }
+}
+
+/// Fixed-point deferred-Δ training behind the serving trait.
+pub struct FpgaSimBackend {
+    probe: ProbeModel,
+    inc: IncrementalTrainer,
+    /// Cached dequantized serving view; `None` forces a full rebuild at the
+    /// next publish (cold boot, restore).
+    view: Option<Mat<f32>>,
+    deviation_ppm: Option<i64>,
+    /// Kernel walk count at the last shadow sync: a publish with no walks
+    /// trained since (flush barriers publish freely) keeps the previous
+    /// measurement instead of reporting a trivial zero.
+    shadow_synced_walks: u64,
+    clock_mhz: u32,
+    seed: u64,
+}
+
+/// Fixed-vs-float mean absolute embedding deviation, normalized by the
+/// float magnitude, in parts-per-million.
+fn deviation_ppm(fixed: &Mat<f32>, float: &Mat<f32>) -> i64 {
+    let mut num = 0f64;
+    let mut den = 0f64;
+    for (a, b) in fixed.as_slice().iter().zip(float.as_slice()) {
+        num += (a - b).abs() as f64;
+        den += b.abs() as f64;
+    }
+    if den <= f64::EPSILON {
+        return 0;
+    }
+    (num / den * 1e6).round() as i64
+}
+
+impl FpgaSimBackend {
+    fn assemble(accel: Accelerator, spec: &crate::BackendSpec) -> FpgaSimBackend {
+        let shadow = spec.deviation_probe.then(|| {
+            // The shadow runs the accelerator's own (PerWalk-forced) config,
+            // so both consume the identical negative-draw schedule.
+            DataflowOsElm::from_parts(*accel.config(), accel.beta_f32(), accel.p_f32())
+        });
+        let inc = IncrementalTrainer::new(accel.num_nodes(), &spec.train, spec.policy, spec.seed);
+        let shadow_synced_walks = accel.stats.walks;
+        FpgaSimBackend {
+            probe: ProbeModel { accel, shadow },
+            inc,
+            view: None,
+            deviation_ppm: None,
+            shadow_synced_walks,
+            clock_mhz: spec.clock_mhz,
+            seed: spec.seed,
+        }
+    }
+
+    /// Cold (untrained) engine over `num_nodes` nodes. The accelerator
+    /// quantizes the same float init the CPU models use, and the shadow
+    /// starts from the accelerator's dequantized state, so the first
+    /// deviation measurement covers exactly the walks up to that publish.
+    pub fn cold(num_nodes: usize, spec: &crate::BackendSpec) -> FpgaSimBackend {
+        FpgaSimBackend::assemble(Accelerator::new(num_nodes, spec.oselm), spec)
+    }
+
+    /// Engine over a persisted kind-3 snapshot (raw Q8.24 words) with a
+    /// fresh sequential driver (WAL replay semantics). The shadow restarts
+    /// from the restored fixed-point state.
+    pub fn load(path: &Path, spec: &crate::BackendSpec) -> io::Result<FpgaSimBackend> {
+        Ok(FpgaSimBackend::assemble(crate::fixedstate::load_fixed(path)?, spec))
+    }
+
+    /// The wrapped accelerator (tests and benches: cycle stats, raw state).
+    pub fn accel(&self) -> &Accelerator {
+        &self.probe.accel
+    }
+}
+
+impl TrainBackend for FpgaSimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::FpgaSim
+    }
+
+    fn descriptor(&self) -> String {
+        let cfg = self.probe.accel.config();
+        format!(
+            "{{\"name\":\"fpga-sim\",\"dim\":{},\"seed\":{},\"mu\":{},\"forgetting\":{},\
+             \"clock_mhz\":{},\"deviation_probe\":{}}}",
+            cfg.model.dim,
+            self.seed,
+            cfg.mu,
+            cfg.forgetting,
+            self.clock_mhz,
+            self.probe.shadow.is_some()
+        )
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.probe.accel.num_nodes()
+    }
+
+    fn dim(&self) -> usize {
+        self.probe.accel.dim()
+    }
+
+    fn set_walk_threads(&mut self, threads: usize) {
+        self.inc.set_walk_threads(threads);
+    }
+
+    fn bootstrap(&mut self, g: &Graph) {
+        self.inc.bootstrap(g, &mut self.probe);
+    }
+
+    fn ingest(&mut self, g: &mut Graph, event: EdgeEvent) -> Result<usize, GraphError> {
+        self.inc.ingest(g, event, &mut self.probe)
+    }
+
+    fn refresh(&mut self, g: &Graph) -> usize {
+        self.inc.refresh(g, &mut self.probe)
+    }
+
+    fn publish_view(&mut self) -> Mat<f32> {
+        let dirty = self.probe.accel.take_dirty();
+        let view = match &mut self.view {
+            Some(view) => {
+                // The Δ-batch application: only rows committed since the
+                // last publish are re-dequantized.
+                for &node in &dirty {
+                    self.probe.accel.embed_row(node, view.row_mut(node as usize));
+                }
+                view.clone()
+            }
+            None => {
+                let full = self.probe.accel.embedding();
+                self.view = Some(full.clone());
+                full
+            }
+        };
+        if let Some(shadow) = &mut self.probe.shadow {
+            if self.probe.accel.stats.walks > self.shadow_synced_walks {
+                let ppm = deviation_ppm(&view, &shadow.embedding());
+                self.deviation_ppm = Some(ppm);
+                seqge_obs::static_gauge!("seqge_backend_deviation_ppm").set(ppm);
+                // Re-sync: the next measurement covers only the walks
+                // trained between this publish and the next (see module
+                // docs). Walk-free publishes (flush barriers) keep the
+                // last measurement.
+                let accel = &self.probe.accel;
+                *shadow =
+                    DataflowOsElm::from_parts(*accel.config(), accel.beta_f32(), accel.p_f32());
+                self.shadow_synced_walks = accel.stats.walks;
+            }
+        }
+        view
+    }
+
+    fn outcome(&self) -> SeqOutcome {
+        self.inc.outcome()
+    }
+
+    fn edges_removed(&self) -> usize {
+        self.inc.edges_removed()
+    }
+
+    fn save_state(&self, path: &Path) -> io::Result<()> {
+        crate::fixedstate::save_fixed(&self.probe.accel, path)
+    }
+
+    fn restore_state(&mut self, path: &Path, expect_nodes: usize) -> io::Result<()> {
+        let accel = crate::fixedstate::load_fixed(path)?;
+        if accel.num_nodes() != expect_nodes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot mismatch: model covers {} nodes, graph has {expect_nodes}",
+                    accel.num_nodes()
+                ),
+            ));
+        }
+        self.probe.shadow =
+            self.probe.shadow.is_some().then(|| {
+                DataflowOsElm::from_parts(*accel.config(), accel.beta_f32(), accel.p_f32())
+            });
+        self.probe.accel = accel;
+        self.shadow_synced_walks = self.probe.accel.stats.walks;
+        self.view = None;
+        self.deviation_ppm = None;
+        Ok(())
+    }
+
+    fn planner(&self) -> Option<CyclePlan> {
+        let s = &self.probe.accel.stats;
+        Some(CyclePlan::from_cycles(s.cycles, s.walks, self.clock_mhz))
+    }
+
+    fn deviation_ppm(&self) -> Option<i64> {
+        self.deviation_ppm
+    }
+}

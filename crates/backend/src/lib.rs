@@ -1,0 +1,284 @@
+//! # seqge-backend — pluggable training backends for the serving path
+//!
+//! The paper's contribution is not the float OS-ELM model — it is Algorithm 2
+//! executed as a deferred-Δ fixed-point dataflow kernel with a calibrated
+//! cycle model. Until this crate, that kernel lived only in the offline
+//! `seqge-fpga` repro; the online server always trained in float. The
+//! [`TrainBackend`] trait makes the training engine a *configuration choice*:
+//!
+//! * [`FloatBackend`] — the existing float OS-ELM
+//!   ([`seqge_core::OsElmSkipGram`] driven by
+//!   [`seqge_core::IncrementalTrainer`]), refactored behind the trait with
+//!   bit-identical behavior: the trait methods delegate exactly the calls the
+//!   serve trainer used to make, in the same order, on the same RNG stream.
+//! * [`FpgaSimBackend`] — the paper's accelerator semantics online: every
+//!   walk runs through the Q8.24 functional kernel
+//!   ([`seqge_fpga::Accelerator`], deferred Δβ committed per walk, cycle
+//!   accounting per walk), the dequantized float serving view is refreshed
+//!   *lazily at publish time* over only the rows the kernel dirtied (the
+//!   host-side analogue of the accelerator's batched DRAM write-back), the
+//!   cycle model doubles as a live throughput planner ([`CyclePlan`]), and an
+//!   optional float shadow trained on the same walks/negatives measures the
+//!   Fig. 4-style accuracy deviation as a live metric.
+//!
+//! The contract every backend must honor (the serve/WAL planes rely on it):
+//!
+//! 1. **Deterministic replay** — a backend restored from [`save_state`] bytes
+//!    and fed the same event sequence produces bit-identical state. For the
+//!    float backend the state is (β, P) in f32; for fpga-sim it is the *raw
+//!    Q8.24 words* (an f32 round-trip would not be bit-faithful).
+//! 2. **Publish-view purity** — [`publish_view`] returns the current
+//!    embedding without changing training state (it may flush caches).
+//! 3. **Restore keeps the corpus** — [`restore_state`] swaps the model
+//!    weights only; the live walk corpus / negative table survive (matching
+//!    the pre-refactor serve `restore` semantics).
+//!
+//! [`save_state`]: TrainBackend::save_state
+//! [`publish_view`]: TrainBackend::publish_view
+//! [`restore_state`]: TrainBackend::restore_state
+
+#![warn(missing_docs)]
+
+pub mod fixedstate;
+pub mod float;
+pub mod fpga_sim;
+
+use seqge_core::{OsElmConfig, SeqOutcome, TrainConfig};
+use seqge_graph::{EdgeEvent, Graph, GraphError};
+use seqge_linalg::Mat;
+use seqge_sampling::UpdatePolicy;
+use std::io;
+use std::path::Path;
+
+pub use float::FloatBackend;
+pub use fpga_sim::FpgaSimBackend;
+
+/// Which training engine a server runs. The wire `stats` reply and
+/// `cluster_status` carry the name so operators can see what a node is
+/// actually running, and the cluster router asserts homogeneity across
+/// shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BackendKind {
+    /// Float OS-ELM (`OsElmSkipGram`), the pre-existing serving default.
+    Float,
+    /// Fixed-point deferred-Δ accelerator semantics (`seqge-fpga` kernel).
+    FpgaSim,
+}
+
+impl BackendKind {
+    /// The CLI / wire spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendKind::Float => "float",
+            BackendKind::FpgaSim => "fpga-sim",
+        }
+    }
+
+    /// Parses the CLI spelling (`float` | `fpga-sim`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "float" => Ok(BackendKind::Float),
+            "fpga-sim" | "fpga_sim" | "fpgasim" => Ok(BackendKind::FpgaSim),
+            other => Err(format!("unknown backend `{other}` (expected `float` or `fpga-sim`)")),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The live throughput plan derived from the accelerator's cycle model: what
+/// ingest rate the modeled hardware *should* sustain at the configured clock,
+/// to compare against what the server measures. Float backends have no cycle
+/// model and return `None` from [`TrainBackend::planner`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CyclePlan {
+    /// Modeled PL cycles accumulated so far.
+    pub cycles_total: u64,
+    /// Walks priced into `cycles_total`.
+    pub walks: u64,
+    /// The clock the plan is evaluated at.
+    pub clock_mhz: u32,
+    /// Modeled mean per-walk latency in microseconds.
+    pub predicted_walk_us: f64,
+    /// Predicted sustainable ingest rate in edge events/s: each event
+    /// restarts a walk from both endpoints (§4.3.2), so one event costs two
+    /// modeled walks.
+    pub predicted_ingest_eps: f64,
+}
+
+impl CyclePlan {
+    /// Builds a plan from accumulated cycle telemetry.
+    pub fn from_cycles(cycles_total: u64, walks: u64, clock_mhz: u32) -> CyclePlan {
+        let (predicted_walk_us, predicted_ingest_eps) = if walks == 0 {
+            (0.0, 0.0)
+        } else {
+            let walk_us = cycles_total as f64 / walks as f64 / clock_mhz as f64;
+            (walk_us, 1e6 / (walk_us * 2.0))
+        };
+        CyclePlan { cycles_total, walks, clock_mhz, predicted_walk_us, predicted_ingest_eps }
+    }
+}
+
+/// A training engine the serve plane can drive. One instance owns both the
+/// model state and the sequential-training driver (walker, RNG, corpus,
+/// negative table); see the crate docs for the replay/restore contract.
+pub trait TrainBackend: Send {
+    /// Which engine this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Name + key parameters as one compact JSON object (embedded verbatim
+    /// in the wire `stats` reply and `cluster_status`).
+    fn descriptor(&self) -> String;
+
+    /// Node capacity of the model.
+    fn num_nodes(&self) -> usize;
+
+    /// Embedding dimension.
+    fn dim(&self) -> usize;
+
+    /// Walker-thread count for corpus resamples (bit-identical for any
+    /// value; purely a throughput knob).
+    fn set_walk_threads(&mut self, threads: usize);
+
+    /// Full "all"-protocol pass over the boot graph (start-up only).
+    fn bootstrap(&mut self, g: &Graph);
+
+    /// Applies one edge event: mutate the graph, restart a walk from both
+    /// endpoints, train. Returns walks trained or the graph's rejection with
+    /// all state untouched.
+    fn ingest(&mut self, g: &mut Graph, event: EdgeEvent) -> Result<usize, GraphError>;
+
+    /// Full corpus resample + retrain (the drift arm). Returns walks trained.
+    fn refresh(&mut self, g: &Graph) -> usize;
+
+    /// The current embedding for publication. May flush internal caches
+    /// (fpga-sim re-dequantizes dirty rows here — the Δ-batch application
+    /// that amortizes per-walk cost) but must not advance training state.
+    fn publish_view(&mut self) -> Mat<f32>;
+
+    /// Training telemetry so far.
+    fn outcome(&self) -> SeqOutcome;
+
+    /// Edges retracted so far.
+    fn edges_removed(&self) -> usize;
+
+    /// Persists the model state (everything deterministic replay needs).
+    fn save_state(&self, path: &Path) -> io::Result<()>;
+
+    /// Replaces the model state from `path`, keeping the live training
+    /// corpus. Fails without mutating anything if the file is invalid or its
+    /// node count differs from `expect_nodes`.
+    fn restore_state(&mut self, path: &Path, expect_nodes: usize) -> io::Result<()>;
+
+    /// The cycle-model throughput plan, if this backend has one.
+    fn planner(&self) -> Option<CyclePlan> {
+        None
+    }
+
+    /// Latest measured float-vs-fixed embedding deviation in parts-per-
+    /// million (refreshed by [`TrainBackend::publish_view`]), if this
+    /// backend runs a deviation probe.
+    fn deviation_ppm(&self) -> Option<i64> {
+        None
+    }
+}
+
+/// Everything needed to construct a backend — cold, or over a persisted
+/// snapshot during WAL recovery. The spec (not a live backend) is what boot
+/// paths and replay carry around, because recovery may need to build the
+/// backend several times (verify-replay builds two).
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    /// Which engine to build.
+    pub kind: BackendKind,
+    /// Walk + model hyper-parameters for the sequential driver.
+    pub train: TrainConfig,
+    /// OS-ELM hyper-parameters for the model.
+    pub oselm: OsElmConfig,
+    /// Negative-table rebuild cadence.
+    pub policy: UpdatePolicy,
+    /// Walk/negative RNG seed.
+    pub seed: u64,
+    /// Run the float deviation shadow alongside fpga-sim (Fig. 4 live
+    /// metric). Ignored by the float backend. The shadow trains on a
+    /// *cloned* RNG, so the accelerator's stream — and therefore replay
+    /// bit-identity — is unaffected by this switch.
+    pub deviation_probe: bool,
+    /// Clock the cycle planner is evaluated at (fpga-sim only).
+    pub clock_mhz: u32,
+}
+
+impl BackendSpec {
+    /// A spec with the default probe (on) and clock (the paper's 200 MHz).
+    pub fn new(
+        kind: BackendKind,
+        train: TrainConfig,
+        oselm: OsElmConfig,
+        policy: UpdatePolicy,
+        seed: u64,
+    ) -> BackendSpec {
+        BackendSpec { kind, train, oselm, policy, seed, deviation_probe: true, clock_mhz: 200 }
+    }
+
+    /// Shorthand for the float engine (the pre-refactor serving default).
+    pub fn float(
+        train: TrainConfig,
+        oselm: OsElmConfig,
+        policy: UpdatePolicy,
+        seed: u64,
+    ) -> BackendSpec {
+        BackendSpec::new(BackendKind::Float, train, oselm, policy, seed)
+    }
+
+    /// Disables or enables the fpga-sim deviation shadow.
+    pub fn with_deviation_probe(mut self, on: bool) -> BackendSpec {
+        self.deviation_probe = on;
+        self
+    }
+
+    /// Builds a cold (untrained) backend over `num_nodes` nodes.
+    pub fn cold(&self, num_nodes: usize) -> Box<dyn TrainBackend> {
+        match self.kind {
+            BackendKind::Float => Box::new(FloatBackend::cold(num_nodes, self)),
+            BackendKind::FpgaSim => Box::new(FpgaSimBackend::cold(num_nodes, self)),
+        }
+    }
+
+    /// Builds a backend over a persisted model snapshot with a *fresh*
+    /// sequential driver (WAL replay semantics: the corpus is rebuilt by the
+    /// replayed events, exactly as the pre-refactor float path did). The
+    /// snapshot's kind byte must match `self.kind` — booting `--backend
+    /// float` over an fpga-sim store (or vice versa) is refused loudly
+    /// rather than silently retrained.
+    pub fn load(&self, path: &Path) -> io::Result<Box<dyn TrainBackend>> {
+        let kind = fixedstate::sniff_kind(path)?;
+        let found = match kind {
+            fixedstate::KIND_OSELM => BackendKind::Float,
+            fixedstate::KIND_FIXED => BackendKind::FpgaSim,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("model snapshot has unsupported payload kind {other}"),
+                ))
+            }
+        };
+        if found != self.kind {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "model snapshot was written by the `{found}` backend, \
+                     but this server is configured for `{}`",
+                    self.kind
+                ),
+            ));
+        }
+        match self.kind {
+            BackendKind::Float => Ok(Box::new(FloatBackend::load(path, self)?)),
+            BackendKind::FpgaSim => Ok(Box::new(FpgaSimBackend::load(path, self)?)),
+        }
+    }
+}

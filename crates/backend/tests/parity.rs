@@ -1,0 +1,190 @@
+//! Golden parity: the trait refactor must change *nothing* about what gets
+//! trained.
+//!
+//! * [`FloatBackend`] vs. driving `OsElmSkipGram` + `IncrementalTrainer` by
+//!   hand (the pre-refactor serve trainer) — snapshot **bytes** compared.
+//! * [`FpgaSimBackend`] vs. the offline `seqge-fpga` functional execution of
+//!   the same event stream — raw Q8.24 words compared.
+//! * The deviation probe must not perturb the accelerator's RNG stream.
+//! * Save → load → replay is deterministic (the WAL recovery contract).
+
+use seqge_backend::{BackendKind, BackendSpec, FpgaSimBackend, TrainBackend};
+use seqge_core::model::EmbeddingModel;
+use seqge_core::{persist, IncrementalTrainer, OsElmConfig, OsElmSkipGram, TrainConfig};
+use seqge_fpga::Accelerator;
+use seqge_graph::generators::classic::erdos_renyi;
+use seqge_graph::{spanning_forest, EdgeEvent, Graph};
+use seqge_sampling::UpdatePolicy;
+use std::path::PathBuf;
+
+const DIM: usize = 8;
+const SEED: u64 = 11;
+
+fn train_cfg() -> TrainConfig {
+    let mut cfg = TrainConfig::paper_defaults(DIM);
+    cfg.walk.walk_length = 12;
+    cfg.walk.walks_per_node = 2;
+    cfg
+}
+
+fn ocfg() -> OsElmConfig {
+    OsElmConfig { model: train_cfg().model, ..OsElmConfig::paper_defaults(DIM) }
+}
+
+fn spec(kind: BackendKind) -> BackendSpec {
+    BackendSpec::new(kind, train_cfg(), ocfg(), UpdatePolicy::every_edge(), SEED)
+}
+
+/// Boot graph + the held-out event stream.
+fn scenario() -> (Graph, Vec<EdgeEvent>) {
+    let full = erdos_renyi(40, 0.18, 7);
+    let split = spanning_forest(&full);
+    let initial = split.initial_graph(&full);
+    let events = split.removed_edges.iter().map(|&(u, v)| EdgeEvent::Add(u, v)).collect::<Vec<_>>();
+    assert!(events.len() >= 10, "scenario must hold out a real stream");
+    (initial, events)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("seqge-backend-parity-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn float_backend_is_byte_identical_to_manual_driver() {
+    // Pre-refactor serve trainer: hand-driven model + driver.
+    let (mut g, events) = scenario();
+    let mut model = OsElmSkipGram::new(g.num_nodes(), ocfg());
+    let mut inc =
+        IncrementalTrainer::new(g.num_nodes(), &train_cfg(), UpdatePolicy::every_edge(), SEED);
+    inc.bootstrap(&g, &mut model);
+    for &e in &events {
+        inc.ingest(&mut g, e, &mut model).unwrap();
+    }
+
+    // Refactored path: same calls through the trait object.
+    let (mut g2, _) = scenario();
+    let mut be = spec(BackendKind::Float).cold(g2.num_nodes());
+    be.bootstrap(&g2);
+    for &e in &events {
+        be.ingest(&mut g2, e).unwrap();
+    }
+
+    let mut manual_bytes = Vec::new();
+    persist::write_oselm(&model, &mut manual_bytes).unwrap();
+    let path = tmp("float.sge");
+    be.save_state(&path).unwrap();
+    let backend_bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(manual_bytes, backend_bytes, "snapshot bytes must match pre-refactor trainer");
+    assert_eq!(be.outcome().walks_trained, inc.outcome().walks_trained);
+    assert_eq!(be.publish_view().as_slice(), model.embedding().as_slice());
+}
+
+#[test]
+fn fpga_sim_matches_offline_functional_execution() {
+    // The offline repro: the Q8.24 kernel driven directly by the sequential
+    // trainer (what `seqge-fpga` executes over a prerecorded stream).
+    let (mut g, events) = scenario();
+    let mut acc = Accelerator::new(g.num_nodes(), ocfg());
+    let mut inc =
+        IncrementalTrainer::new(g.num_nodes(), &train_cfg(), UpdatePolicy::every_edge(), SEED);
+    inc.bootstrap(&g, &mut acc);
+    for &e in &events {
+        inc.ingest(&mut g, e, &mut acc).unwrap();
+    }
+
+    // The serving backend over the same stream, deviation probe ON: the
+    // probe must be invisible to the fixed-point trajectory.
+    let (mut g2, _) = scenario();
+    let mut be = FpgaSimBackend::cold(g2.num_nodes(), &spec(BackendKind::FpgaSim));
+    be.bootstrap(&g2);
+    for &e in &events {
+        be.ingest(&mut g2, e).unwrap();
+    }
+
+    assert_eq!(be.accel().beta_bits(), acc.beta_bits(), "β words must match offline execution");
+    assert_eq!(be.accel().p_bits(), acc.p_bits(), "P words must match offline execution");
+    assert_eq!(be.accel().stats.cycles, acc.stats.cycles, "cycle accounting must match");
+    // And the published view is exactly the dequantized kernel state.
+    assert_eq!(
+        be.publish_view().as_slice(),
+        EmbeddingModel::embedding(&acc).as_slice(),
+        "dirty-row publish must equal full dequantization"
+    );
+}
+
+#[test]
+fn deviation_probe_does_not_perturb_the_stream_and_reports() {
+    let (mut g1, events) = scenario();
+    let (mut g2, _) = scenario();
+    let on = spec(BackendKind::FpgaSim);
+    let off = spec(BackendKind::FpgaSim).with_deviation_probe(false);
+    let mut with_probe = FpgaSimBackend::cold(g1.num_nodes(), &on);
+    let mut without = FpgaSimBackend::cold(g2.num_nodes(), &off);
+    with_probe.bootstrap(&g1);
+    without.bootstrap(&g2);
+    for &e in &events {
+        with_probe.ingest(&mut g1, e).unwrap();
+        without.ingest(&mut g2, e).unwrap();
+    }
+    assert_eq!(with_probe.accel().beta_bits(), without.accel().beta_bits());
+    assert_eq!(with_probe.accel().p_bits(), without.accel().p_bits());
+
+    let _ = with_probe.publish_view();
+    let dev = with_probe.deviation_ppm().expect("probe measures deviation");
+    assert!(dev > 0, "fixed point must deviate measurably from float");
+    assert!(dev < 100_000, "deviation should stay in the Fig. 4 band (got {dev} ppm)");
+    assert_eq!(without.publish_view().as_slice(), with_probe.publish_view().as_slice());
+    assert!(without.deviation_ppm().is_none(), "no probe, no reading");
+}
+
+#[test]
+fn save_load_replay_is_deterministic() {
+    for kind in [BackendKind::Float, BackendKind::FpgaSim] {
+        let (mut g, events) = scenario();
+        let (head, tail) = events.split_at(events.len() / 2);
+        let mut be = spec(kind).cold(g.num_nodes());
+        be.bootstrap(&g);
+        for &e in head {
+            be.ingest(&mut g, e).unwrap();
+        }
+        let path = tmp(&format!("replay-{kind}.sge"));
+        be.save_state(&path).unwrap();
+
+        // Two independent recoveries replaying the same suffix must agree
+        // bit-for-bit (fresh driver each time — WAL recovery semantics).
+        let mut views = Vec::new();
+        for _ in 0..2 {
+            // Rebuild the graph state at the snapshot: boot forest + head.
+            let (mut gr, _) = scenario();
+            for &e in head {
+                e.apply(&mut gr).unwrap();
+            }
+            let mut rec = spec(kind).load(&path).unwrap();
+            for &e in tail {
+                rec.ingest(&mut gr, e).unwrap();
+            }
+            let v = rec.publish_view();
+            views.push(v.as_slice().to_vec());
+        }
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(views[0], views[1], "{kind}: double replay must be bit-identical");
+    }
+}
+
+#[test]
+fn load_refuses_wrong_backend_kind() {
+    let (g, _) = scenario();
+    let mut be = spec(BackendKind::Float).cold(g.num_nodes());
+    be.bootstrap(&g);
+    let path = tmp("kind.sge");
+    be.save_state(&path).unwrap();
+    let err = spec(BackendKind::FpgaSim).load(&path).err().expect("kind mismatch refused");
+    assert!(err.to_string().contains("float"), "error names the writing backend: {err}");
+    let mut fx = spec(BackendKind::FpgaSim).cold(g.num_nodes());
+    fx.bootstrap(&g);
+    fx.save_state(&path).unwrap();
+    let err = spec(BackendKind::Float).load(&path).err().expect("kind mismatch refused");
+    assert!(err.to_string().contains("fpga-sim"), "error names the writing backend: {err}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -141,21 +141,12 @@ fn main() {
     let _ = std::fs::remove_dir_all(&wal_dir);
     let wcfg =
         seqge_serve::WalConfig { dir: wal_dir.clone(), fsync: seqge_serve::FsyncPolicy::Batch };
-    let boot = seqge_serve::boot_wal(
-        &wcfg,
-        Some(initial_wal),
-        &cfg,
-        ocfg,
-        0,
-        UpdatePolicy::every_edge(),
-        args.seed,
-    )
-    .expect("wal server boots");
-    let wal_handle = start(
+    let spec = seqge_backend::BackendSpec::float(cfg, ocfg, UpdatePolicy::every_edge(), args.seed);
+    let boot = seqge_serve::boot_wal(&wcfg, Some(initial_wal), &spec, 0).expect("wal server boots");
+    let wal_handle = seqge_serve::start_backend(
         "127.0.0.1:0",
         boot.graph,
-        boot.model,
-        boot.inc,
+        boot.backend,
         ServeConfig { wal: Some(std::sync::Arc::new(boot.wal)), ..ServeConfig::default() },
     )
     .expect("wal server starts");

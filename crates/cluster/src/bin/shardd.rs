@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! shardd --dir STORE [--dim 8] [--seed 11] [--fsync batch]
-//!        [--refresh-every 0] [--addr 127.0.0.1:0]
+//!        [--refresh-every 0] [--addr 127.0.0.1:0] [--backend float]
 //!        [--shard-id 0 --shards 1 --base-dir DIR --halo-sync-ms 50]
 //! ```
 //!
@@ -22,10 +22,12 @@
 //! configuration is fixed to [`seqge_cluster::train_cfg`] — every shard,
 //! replica, and replay in one cluster must agree on it.
 
-use seqge_cluster::{oselm_cfg, train_cfg};
-use seqge_sampling::UpdatePolicy;
+use seqge_backend::BackendKind;
+use seqge_cluster::backend_spec;
 use seqge_serve::wal::WalConfig;
-use seqge_serve::{boot_wal, ready, start, FsyncPolicy, HaloConfig, ServeConfig, TrainerConfig};
+use seqge_serve::{
+    boot_wal, ready, start_backend, FsyncPolicy, HaloConfig, ServeConfig, TrainerConfig,
+};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -50,6 +52,7 @@ fn main() {
     let mut shards = 1usize;
     let mut base_dir: Option<PathBuf> = None;
     let mut halo_sync_ms = 50u64;
+    let mut backend = BackendKind::Float;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -75,22 +78,15 @@ fn main() {
                 halo_sync_ms =
                     value().parse().unwrap_or_else(|_| fail("--halo-sync-ms: not a number"))
             }
+            "--backend" => backend = BackendKind::parse(&value()).unwrap_or_else(|e| fail(e)),
             other => fail(format!("unknown flag `{other}`")),
         }
     }
     let dir = dir.unwrap_or_else(|| fail("--dir is required"));
 
-    let cfg = train_cfg(dim);
+    let spec = backend_spec(backend, dim, seed);
     let wcfg = WalConfig { dir, fsync };
-    let boot = match boot_wal(
-        &wcfg,
-        None,
-        &cfg,
-        oselm_cfg(dim),
-        refresh_every,
-        UpdatePolicy::every_edge(),
-        seed,
-    ) {
+    let boot = match boot_wal(&wcfg, None, &spec, refresh_every) {
         Ok(b) => b,
         Err(e) => fail(format!("boot: {e}")),
     };
@@ -115,7 +111,7 @@ fn main() {
         halo,
         ..ServeConfig::default()
     };
-    let handle = match start(&addr, boot.graph, boot.model, boot.inc, config) {
+    let handle = match start_backend(&addr, boot.graph, boot.backend, config) {
         Ok(h) => h,
         Err(e) => fail(format!("listen: {e}")),
     };

@@ -12,12 +12,13 @@ use crate::partition::shard_subgraph;
 use crate::replica::{Replica, ReplicaConfig};
 use crate::router::{start_router, ReplicaView, RouterConfig, RouterHandle};
 use crate::shard::{publish_incarnation, shard_table, ChildShard, ChildSpec, ShardTable};
+use seqge_backend::{BackendKind, BackendSpec};
 use seqge_core::{OsElmConfig, TrainConfig};
 use seqge_graph::Graph;
 use seqge_sampling::UpdatePolicy;
 use seqge_serve::wal::{FsyncPolicy, Wal, WalConfig};
 use seqge_serve::{
-    boot_cold, boot_wal, start, FaultInjector, HaloConfig, ServeConfig, ServerHandle, TrainerConfig,
+    boot_wal, start_backend, FaultInjector, HaloConfig, ServeConfig, ServerHandle, TrainerConfig,
 };
 use std::io::{self, ErrorKind};
 use std::net::SocketAddr;
@@ -39,6 +40,14 @@ pub fn train_cfg(dim: usize) -> TrainConfig {
 /// The matching OS-ELM configuration.
 pub fn oselm_cfg(dim: usize) -> OsElmConfig {
     OsElmConfig { model: train_cfg(dim).model, ..OsElmConfig::paper_defaults(dim) }
+}
+
+/// The cluster-wide training-backend spec: the fixed pipeline above bound
+/// to one [`BackendKind`]. Every shard in a cluster runs the same backend
+/// — the router asserts homogeneity — because snapshots, WAL replays, and
+/// replicas all decode against the backend's own state format.
+pub fn backend_spec(kind: BackendKind, dim: usize, seed: u64) -> BackendSpec {
+    BackendSpec::new(kind, train_cfg(dim), oselm_cfg(dim), UpdatePolicy::every_edge(), seed)
 }
 
 /// How shard engines are hosted.
@@ -84,6 +93,11 @@ pub struct ClusterConfig {
     pub halo_sync: Duration,
     /// Shard hosting mode.
     pub backend: Backend,
+    /// Training backend every shard runs (`float` or `fpga-sim`). Must be
+    /// homogeneous across the cluster: the WAL snapshot format is the
+    /// backend's own, so a shard recovering under a different backend than
+    /// it was committed with refuses to boot.
+    pub train_backend: BackendKind,
 }
 
 impl ClusterConfig {
@@ -102,6 +116,7 @@ impl ClusterConfig {
             replica_poll: Duration::from_millis(20),
             halo_sync: Duration::from_millis(50),
             backend: Backend::InProcess,
+            train_backend: BackendKind::Float,
         }
     }
 
@@ -132,8 +147,7 @@ impl Cluster {
         if cfg.replicas > 1 {
             return Err(io::Error::new(ErrorKind::InvalidInput, "at most one replica per shard"));
         }
-        let train = train_cfg(cfg.dim);
-        let policy = UpdatePolicy::every_edge;
+        let spec = backend_spec(cfg.train_backend, cfg.dim, cfg.seed);
 
         // Shard plane.
         let mut inproc = Vec::new();
@@ -151,20 +165,13 @@ impl Cluster {
             // first event.
             if seqge_serve::wal::read_meta(&dir)?.is_none() {
                 let sub = shard_subgraph(initial, s, cfg.shards);
-                let (model, _inc) = boot_cold(&sub, &train, oselm_cfg(cfg.dim), policy(), cfg.seed);
-                Wal::init(&wcfg, &model, &sub)?;
+                let mut backend = spec.cold(sub.num_nodes());
+                backend.bootstrap(&sub);
+                Wal::init(&wcfg, &*backend, &sub)?;
             }
             match &cfg.backend {
                 Backend::InProcess => {
-                    let boot = boot_wal(
-                        &wcfg,
-                        None,
-                        &train,
-                        oselm_cfg(cfg.dim),
-                        cfg.refresh_every,
-                        policy(),
-                        cfg.seed,
-                    )?;
+                    let boot = boot_wal(&wcfg, None, &spec, cfg.refresh_every)?;
                     // In-process shards honor SEQGE_FAULT like a standalone
                     // `seqge serve` would, so chaos runs (load smoke, local
                     // soak) can inject shard-side faults through the same
@@ -183,7 +190,7 @@ impl Cluster {
                         }),
                         ..ServeConfig::default()
                     };
-                    let handle = start("127.0.0.1:0", boot.graph, boot.model, boot.inc, scfg)?;
+                    let handle = start_backend("127.0.0.1:0", boot.graph, boot.backend, scfg)?;
                     addrs.push(handle.addr());
                     inproc.push(handle);
                 }
@@ -198,6 +205,7 @@ impl Cluster {
                         shards: cfg.shards,
                         base_dir: cfg.base_dir.clone(),
                         halo_sync_ms: cfg.halo_sync.as_millis() as u64,
+                        train_backend: cfg.train_backend,
                     };
                     let (child, addr) = ChildShard::spawn(s, spec)?;
                     addrs.push(addr);
@@ -216,9 +224,8 @@ impl Cluster {
                 let rep = Replica::start(
                     &cfg.shard_dir(s),
                     ReplicaConfig {
-                        train,
+                        spec: spec.clone(),
                         refresh_every: cfg.refresh_every,
-                        seed: cfg.seed,
                         poll: cfg.replica_poll,
                     },
                 )?;

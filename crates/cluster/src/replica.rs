@@ -4,9 +4,11 @@
 //! A replica boots from the primary's last *committed* generation
 //! (`meta.json` → `model.<g>.sge` + `graph.<g>.edges`) and then tails the
 //! active segment with [`seqge_serve::wal::SegmentTailer`], replaying each
-//! record through its own [`IncrementalTrainer`] — the identical
+//! record through its own [`seqge_backend::TrainBackend`] — the identical
 //! construction WAL recovery uses, so a replica that has consumed up to
 //! sequence `s` is bit-identical to a primary that has applied up to `s`.
+//! The backend kind must match the primary's: the committed snapshot is in
+//! the backend's own format, and [`BackendSpec::load`] refuses a mismatch.
 //!
 //! Two things a replica must *not* do: call `Wal::recover` on the live
 //! directory (recovery truncates torn tails, which on a live primary are
@@ -30,10 +32,8 @@
 //! number; `halo_prop.rs` locks the no-double-apply property under
 //! torn-tail and rotation interleavings.
 
-use seqge_core::model::EmbeddingModel;
-use seqge_core::{IncrementalTrainer, OsElmSkipGram, TrainConfig};
+use seqge_backend::{BackendSpec, TrainBackend};
 use seqge_graph::{io as graph_io, EdgeEvent, Graph};
-use seqge_sampling::UpdatePolicy;
 use seqge_serve::snapshot::{EmbeddingSnapshot, SnapshotCell};
 use seqge_serve::wal::{self, SegmentTailer};
 use std::io::{self, ErrorKind};
@@ -47,12 +47,11 @@ use std::time::Duration;
 /// field must match the primary exactly or the replay diverges.
 #[derive(Debug, Clone)]
 pub struct ReplicaConfig {
-    /// Training configuration (walk parameters included).
-    pub train: TrainConfig,
+    /// Training-backend spec (kind, walk/OS-ELM parameters, seed) — must
+    /// name the same backend the primary runs.
+    pub spec: BackendSpec,
     /// Full-resample cadence (0 = never), as on the primary.
     pub refresh_every: u64,
-    /// Training seed, as on the primary.
-    pub seed: u64,
     /// Tail poll interval — the dominant term of the lag window.
     pub poll: Duration,
 }
@@ -76,19 +75,23 @@ impl Replica {
                 format!("{}: no committed store to replicate", dir.display()),
             )
         })?;
-        let model = seqge_core::persist::load_oselm(dir.join(format!("model.{}.sge", meta.gen)))?;
+        let mut backend = cfg.spec.load(&dir.join(format!("model.{}.sge", meta.gen)))?;
         let graph = graph_io::load_graph(dir.join(format!("graph.{}.edges", meta.gen)))
             .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
-        let inc = IncrementalTrainer::new(
-            graph.num_nodes(),
-            &cfg.train,
-            UpdatePolicy::every_edge(),
-            cfg.seed,
-        );
+        if backend.num_nodes() != graph.num_nodes() {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "snapshot mismatch: model covers {} nodes, graph has {}",
+                    backend.num_nodes(),
+                    graph.num_nodes()
+                ),
+            ));
+        }
 
         let boot = EmbeddingSnapshot {
             version: meta.applied_seq,
-            emb: model.embedding(),
+            emb: backend.publish_view(),
             num_edges: graph.num_edges(),
             walks_trained: 0,
             edges_inserted: 0,
@@ -104,8 +107,7 @@ impl Replica {
             dir: dir.to_path_buf(),
             cfg,
             graph,
-            model,
-            inc,
+            backend,
             segment: meta.segment,
             since_refresh: meta.since_refresh,
             applied_seq: meta.applied_seq,
@@ -164,14 +166,13 @@ impl Drop for Replica {
     }
 }
 
-/// The tail thread's owned state: graph/model/trainer plus replay
-/// bookkeeping mirroring WAL recovery exactly.
+/// The tail thread's owned state: graph/backend plus replay bookkeeping
+/// mirroring WAL recovery exactly.
 struct TailLoop {
     dir: PathBuf,
     cfg: ReplicaConfig,
     graph: Graph,
-    model: OsElmSkipGram,
-    inc: IncrementalTrainer,
+    backend: Box<dyn TrainBackend>,
     segment: u64,
     since_refresh: u64,
     applied_seq: u64,
@@ -223,7 +224,7 @@ impl TailLoop {
                 continue; // already folded in (or carried by a rotation)
             }
             self.applied_seq = rec.seq;
-            if let Ok(walks) = self.inc.ingest(&mut self.graph, rec.event, &mut self.model) {
+            if let Ok(walks) = self.backend.ingest(&mut self.graph, rec.event) {
                 self.walks_trained += walks;
                 match rec.event {
                     EdgeEvent::Add(..) => self.edges_inserted += 1,
@@ -233,7 +234,7 @@ impl TailLoop {
                 applied += 1;
             }
             if self.cfg.refresh_every > 0 && self.since_refresh >= self.cfg.refresh_every {
-                self.inc.refresh(&self.graph, &mut self.model);
+                self.backend.refresh(&self.graph);
                 self.since_refresh = 0;
             }
         }
@@ -243,7 +244,7 @@ impl TailLoop {
     fn publish(&mut self) {
         self.cell.publish(EmbeddingSnapshot {
             version: self.applied_seq,
-            emb: self.model.embedding(),
+            emb: self.backend.publish_view(),
             num_edges: self.graph.num_edges(),
             walks_trained: self.walks_trained,
             edges_inserted: self.edges_inserted,

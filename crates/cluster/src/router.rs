@@ -325,7 +325,7 @@ impl RouterCtx {
         if let Ok(v) = serde_json::from_str::<Value>(line) {
             if v.get("cmd").and_then(Value::as_str) == Some("cluster_status") {
                 self.count_op("cluster_status");
-                return (self.cluster_status(), false);
+                return (self.cluster_status(conns), false);
             }
         }
         let (req, wire_ctx) = match protocol::parse_request_traced(line) {
@@ -546,6 +546,28 @@ impl RouterCtx {
         Value::Array(missing.iter().map(|&s| Value::U64(s as u64)).collect())
     }
 
+    /// Folds the per-shard training-backend descriptors (from their stats
+    /// replies; `Null` for unreachable shards) into the cluster consensus:
+    /// the common descriptor, plus whether any reachable shard disagreed.
+    /// A heterogeneous cluster is a deployment error — snapshots and WAL
+    /// replays are backend-specific, so a write routed to the odd shard
+    /// trains under different arithmetic than its peers.
+    fn backend_consensus(backends: &[Value]) -> (Value, bool) {
+        let mut common: Option<&Value> = None;
+        let mut mismatch = false;
+        for b in backends {
+            if matches!(b, Value::Null) {
+                continue;
+            }
+            match common {
+                None => common = Some(b),
+                Some(c) if c == b => {}
+                Some(_) => mismatch = true,
+            }
+        }
+        (common.cloned().unwrap_or(Value::Null), mismatch)
+    }
+
     fn stats(&self, conns: &mut Conns) -> String {
         let targets = self.all_shards();
         let got = self.scatter_gather(conns, &targets, |_| r#"{"cmd":"stats"}"#.to_string());
@@ -561,7 +583,11 @@ impl RouterCtx {
                 }
             })
             .collect();
-        if !missing.is_empty() {
+        let backends: Vec<Value> =
+            shards.iter().map(|s| s.get("backend").cloned().unwrap_or(Value::Null)).collect();
+        let (backend, backend_mismatch) = Self::backend_consensus(&backends);
+        let degraded = !missing.is_empty() || backend_mismatch;
+        if degraded {
             self.degraded_total.inc();
         }
         // Every shard carries the full (global-id) node set, so any
@@ -574,11 +600,13 @@ impl RouterCtx {
             .field("role", "router")
             .field("nodes", nodes)
             .field("num_shards", self.num_shards())
+            .field("backend", backend)
+            .field("backend_mismatch", backend_mismatch)
             .field("uptime_ms", self.started.elapsed().as_millis() as u64)
             .field("shards", Value::Array(shards))
-            .field("degraded", !missing.is_empty())
+            .field("degraded", degraded)
             .field("missing_shards", Self::missing_field(&missing));
-        if !missing.is_empty() {
+        if degraded {
             resp = resp.field("code", CODE_DEGRADED);
         }
         resp.build()
@@ -955,7 +983,18 @@ impl RouterCtx {
         resp.build()
     }
 
-    fn cluster_status(&self) -> String {
+    fn cluster_status(&self, conns: &mut Conns) -> String {
+        // One stats fan-out collects each shard's training-backend
+        // descriptor so the status reply can assert homogeneity;
+        // unreachable shards contribute `null` (absence is not a
+        // mismatch — the health loop deals with dead shards).
+        let targets = self.all_shards();
+        let got = self.scatter_gather(conns, &targets, |_| r#"{"cmd":"stats"}"#.to_string());
+        let backends: Vec<Value> = got
+            .iter()
+            .map(|v| v.as_ref().and_then(|v| v.get("backend").cloned()).unwrap_or(Value::Null))
+            .collect();
+        let (backend, backend_mismatch) = Self::backend_consensus(&backends);
         let shards: Vec<Value> = (0..self.num_shards())
             .map(|s| {
                 let info = shard_info(&self.shards, s);
@@ -964,6 +1003,7 @@ impl RouterCtx {
                     ("addr".to_string(), Value::Str(info.addr.to_string())),
                     ("epoch".to_string(), Value::U64(info.epoch)),
                     ("healthy".to_string(), Value::Bool(info.healthy)),
+                    ("backend".to_string(), backends[s].clone()),
                 ];
                 match &self.replicas[s] {
                     Some(view) => fields.push((
@@ -977,12 +1017,21 @@ impl RouterCtx {
             .collect();
         let healthy =
             shards.iter().filter(|v| v.get("healthy") == Some(&Value::Bool(true))).count();
-        Response::ok()
+        if backend_mismatch {
+            self.degraded_total.inc();
+        }
+        let mut resp = Response::ok()
             .field("role", "router")
             .field("num_shards", self.num_shards())
             .field("healthy_shards", healthy)
+            .field("backend", backend)
+            .field("backend_mismatch", backend_mismatch)
             .field("uptime_ms", self.started.elapsed().as_millis() as u64)
             .field("shards", Value::Array(shards))
-            .build()
+            .field("degraded", backend_mismatch);
+        if backend_mismatch {
+            resp = resp.field("code", CODE_DEGRADED);
+        }
+        resp.build()
     }
 }

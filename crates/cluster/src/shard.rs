@@ -13,6 +13,7 @@
 //! connections to a dead incarnation even when the new one reuses the
 //! address.
 
+use seqge_backend::BackendKind;
 use seqge_serve::ready;
 use std::io::{self};
 use std::net::SocketAddr;
@@ -86,6 +87,9 @@ pub struct ChildSpec {
     pub base_dir: PathBuf,
     /// Halo delta-exchange cadence in milliseconds.
     pub halo_sync_ms: u64,
+    /// Training backend the child runs (must match across restarts: the
+    /// committed snapshot is in the backend's own format).
+    pub train_backend: BackendKind,
 }
 
 impl ChildSpec {
@@ -99,6 +103,7 @@ impl ChildSpec {
             .args(["--shards", &self.shards.to_string()])
             .args(["--base-dir", &self.base_dir.display().to_string()])
             .args(["--halo-sync-ms", &self.halo_sync_ms.to_string()])
+            .args(["--backend", self.train_backend.as_str()])
             .args(["--addr", "127.0.0.1:0"])
             .stdout(Stdio::piped())
             .stderr(Stdio::null());

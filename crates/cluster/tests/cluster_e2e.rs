@@ -25,20 +25,40 @@
 //!    shard list, and serves `get_embedding` for the dead shard's nodes
 //!    from a WAL-fed replica tagged `"source": "replica"`.
 
+use seqge_backend::{BackendKind, BackendSpec, TrainBackend};
 use seqge_cluster::{
-    edge_owner, owner, start_router, train_cfg, Backend, Cluster, ClusterConfig, ReplicaView,
-    RouterConfig,
+    edge_owner, owner, start_router, Backend, Cluster, ClusterConfig, ReplicaView, RouterConfig,
 };
-use seqge_core::model::EmbeddingModel;
 use seqge_graph::generators::classic::erdos_renyi;
 use seqge_graph::{spanning_forest, EdgeEvent, Graph, NodeId};
-use seqge_sampling::UpdatePolicy;
-use seqge_serve::{boot_cold, Client, ClientConfig};
+use seqge_serve::{Client, ClientConfig};
 use std::path::PathBuf;
 use std::time::Duration;
 
 const DIM: usize = 8;
 const SEED: u64 = 11;
+
+/// The training backend under test: `SEQGE_BACKEND=float|fpga-sim` (CI
+/// runs the whole suite under both).
+fn backend_kind() -> BackendKind {
+    match std::env::var("SEQGE_BACKEND") {
+        Ok(s) => BackendKind::parse(&s).expect("SEQGE_BACKEND"),
+        Err(_) => BackendKind::Float,
+    }
+}
+
+fn spec() -> BackendSpec {
+    seqge_cluster::backend_spec(backend_kind(), DIM, SEED)
+}
+
+/// The cluster config every scenario starts from, bound to the backend
+/// under test.
+fn cluster_cfg(shards: usize, base: PathBuf) -> ClusterConfig {
+    ClusterConfig {
+        train_backend: backend_kind(),
+        ..ClusterConfig::in_process(shards, base, DIM, SEED)
+    }
+}
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("seqge_cluster_{tag}_{}", std::process::id()));
@@ -69,8 +89,8 @@ fn test_stream(graph_seed: u64) -> (Graph, Vec<(u32, u32)>) {
     (initial, split.removed_edges)
 }
 
-fn embedding_rows(model: &seqge_core::OsElmSkipGram) -> Vec<Vec<f32>> {
-    let emb = model.embedding();
+fn embedding_rows(backend: &mut dyn TrainBackend) -> Vec<Vec<f32>> {
+    let emb = backend.publish_view();
     (0..emb.rows()).map(|r| emb.as_slice()[r * emb.cols()..(r + 1) * emb.cols()].to_vec()).collect()
 }
 
@@ -78,36 +98,31 @@ fn embedding_rows(model: &seqge_core::OsElmSkipGram) -> Vec<Vec<f32>> {
 fn one_shard_cluster_is_bit_identical_to_single_node() {
     let base = scratch("one");
     let (initial, edges) = test_stream(7);
-    let cfg = ClusterConfig::in_process(1, base.clone(), DIM, SEED);
+    let cfg = cluster_cfg(1, base.clone());
     let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
 
     // Reference: the exact single-node construction, fed the same stream.
     // The shard boots through WAL recovery (bootstrap pass, commit,
-    // recover), so the reference is a bootstrap-trained model driven by a
-    // *fresh* trainer — `boot_restore` semantics.
-    let (mut model, _boot_inc) = boot_cold(
-        &initial,
-        &train_cfg(DIM),
-        seqge_cluster::oselm_cfg(DIM),
-        UpdatePolicy::every_edge(),
-        SEED,
-    );
-    let mut inc = seqge_core::IncrementalTrainer::new(
-        initial.num_nodes(),
-        &train_cfg(DIM),
-        UpdatePolicy::every_edge(),
-        SEED,
-    );
+    // recover), so the reference is a bootstrap-trained state driven by a
+    // *fresh* driver — save then reload through the spec, exactly the
+    // snapshot-restore construction recovery uses.
+    let mut reference = {
+        let mut boot = spec().cold(initial.num_nodes());
+        boot.bootstrap(&initial);
+        let tmp = base.join("reference.sge");
+        boot.save_state(&tmp).expect("reference snapshot");
+        spec().load(&tmp).expect("reference reload")
+    };
     let mut reference_graph = initial.clone();
 
     let mut c = client(&cluster.addr().to_string());
     for &(u, v) in &edges {
         c.add_edge(u, v).expect("routed write acks");
-        let _ = inc.ingest(&mut reference_graph, EdgeEvent::Add(u, v), &mut model);
+        let _ = reference.ingest(&mut reference_graph, EdgeEvent::Add(u, v));
     }
     c.flush().expect("flush barrier");
 
-    for (n, want) in embedding_rows(&model).iter().enumerate() {
+    for (n, want) in embedding_rows(reference.as_mut()).iter().enumerate() {
         let got = c.get_embedding(n as u32).expect("row readable");
         assert_eq!(&got, want, "node {n}: one-shard cluster diverged from single-node");
     }
@@ -151,7 +166,7 @@ fn run_kill9_scenario(seed: u64) {
         let cfg = ClusterConfig {
             replicas: 1,
             backend: Backend::Child { exe: exe.clone() },
-            ..ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED)
+            ..cluster_cfg(SHARDS, base.clone())
         };
         let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
         let mut c = client(&cluster.addr().to_string());
@@ -239,16 +254,11 @@ fn four_shard_topk_agrees_with_single_node_on_community_structure() {
     let graph = community_graph(NODES);
 
     // Single-node reference ranking.
-    let (model, _inc) = boot_cold(
-        &graph,
-        &train_cfg(DIM),
-        seqge_cluster::oselm_cfg(DIM),
-        UpdatePolicy::every_edge(),
-        SEED,
-    );
+    let mut reference = spec().cold(graph.num_nodes());
+    reference.bootstrap(&graph);
     let single = seqge_serve::snapshot::EmbeddingSnapshot {
         version: 0,
-        emb: model.embedding(),
+        emb: reference.publish_view(),
         num_edges: graph.num_edges(),
         walks_trained: 0,
         edges_inserted: 0,
@@ -257,7 +267,7 @@ fn four_shard_topk_agrees_with_single_node_on_community_structure() {
     };
 
     let base = scratch("topk");
-    let cfg = ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED);
+    let cfg = cluster_cfg(SHARDS, base.clone());
     let cluster = Cluster::start(&cfg, &graph).expect("cluster boots");
     let mut c = client(&cluster.addr().to_string());
 
@@ -280,7 +290,17 @@ fn four_shard_topk_agrees_with_single_node_on_community_structure() {
     // than a quarter. Exact rank agreement is impossible by construction:
     // each shard trains an independent model (own P matrix, own RNG), so
     // only the structural signal is comparable (see DESIGN.md).
-    let floor = queries.len() * 2;
+    //
+    // The fpga-sim floor is lower (avg 1.5 of 5, vs ~1.17 chance): the
+    // deferred-Δ kernel is bit-faithful to its own float shadow (ppm-level
+    // deviation, the Fig. 4 band), but deferred commits are a different
+    // trajectory from the sequential float OS-ELM, and at this toy scale
+    // (48 nodes, d=8, 2 walks/node) the separation it achieves is softer.
+    // The cluster-vs-single ratio below is backend-independent.
+    let floor = match backend_kind() {
+        BackendKind::Float => queries.len() * 2,
+        BackendKind::FpgaSim => queries.len() * 3 / 2,
+    };
     eprintln!(
         "community recovery: single {single_hits}/{t}, cluster {cluster_hits}/{t}",
         t = queries.len() * K
@@ -312,8 +332,7 @@ fn dead_shard_degrades_topk_and_replica_serves_reads() {
 
     // Boot a real 2-shard in-process cluster, stream some edges, then
     // build a *second* router whose table points shard 1 at a dead port.
-    let cfg =
-        ClusterConfig { replicas: 1, ..ClusterConfig::in_process(SHARDS, base.clone(), DIM, SEED) };
+    let cfg = ClusterConfig { replicas: 1, ..cluster_cfg(SHARDS, base.clone()) };
     let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
     let mut c = client(&cluster.addr().to_string());
     for &(u, v) in &edges[..edges.len() / 2] {
@@ -332,9 +351,8 @@ fn dead_shard_degrades_topk_and_replica_serves_reads() {
     let replica = seqge_cluster::Replica::start(
         &base.join("shard-1"),
         seqge_cluster::ReplicaConfig {
-            train: train_cfg(DIM),
+            spec: spec(),
             refresh_every: 0,
-            seed: SEED,
             poll: Duration::from_millis(10),
         },
     )
@@ -422,7 +440,7 @@ fn traced_topk_produces_cross_layer_span_tree() {
     seqge_obs::set_timing_enabled(true);
     let base = scratch("trace_tree");
     let (initial, _) = test_stream(7);
-    let cfg = ClusterConfig::in_process(2, base.clone(), DIM, SEED);
+    let cfg = cluster_cfg(2, base.clone());
     let cluster = Cluster::start(&cfg, &initial).expect("cluster boots");
     let mut c = client(&cluster.addr().to_string());
 

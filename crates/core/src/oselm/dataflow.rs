@@ -146,6 +146,21 @@ impl DataflowOsElm {
         }
     }
 
+    /// Rebuilds the model from externally-held state: `beta_t` (βᵀ, row per
+    /// node) and the committed `P`. The running `P` starts equal to the
+    /// committed copy, as at a walk boundary. Used by the serving backends to
+    /// restart a float shadow from a checkpointed trajectory.
+    pub fn from_parts(cfg: OsElmConfig, beta_t: Mat<f32>, p: Mat<f32>) -> Self {
+        let mut m = DataflowOsElm::new(beta_t.rows(), cfg);
+        assert_eq!(beta_t.cols(), m.cfg.model.dim, "beta_t width must match dim");
+        assert_eq!(p.rows(), m.cfg.model.dim, "P must be d×d");
+        assert_eq!(p.cols(), m.cfg.model.dim, "P must be d×d");
+        m.p_run = p.clone();
+        m.p = p;
+        m.beta_t = beta_t;
+        m
+    }
+
     /// The configuration.
     pub fn config(&self) -> &OsElmConfig {
         &self.cfg

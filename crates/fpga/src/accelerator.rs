@@ -19,7 +19,7 @@ use seqge_fixed::Q8_24;
 use seqge_graph::NodeId;
 use seqge_linalg::Mat;
 use seqge_sampling::{contexts, NegativeTable, Rng64};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Run statistics accumulated across walks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -79,6 +79,9 @@ pub struct Accelerator {
     cfg: OsElmConfig,
     // Per-walk Δβ accumulators (stage-3/4 BRAM).
     delta_beta: HashMap<NodeId, Vec<Q8_24>>,
+    // Rows whose β changed since the last `take_dirty` — the DRAM write-back
+    // set a host would have to re-fetch to refresh a dequantized view.
+    dirty: HashSet<NodeId>,
     h: Vec<Q8_24>,
     ph: Vec<Q8_24>,
     phn: Vec<Q8_24>,
@@ -123,6 +126,7 @@ impl Accelerator {
             tile: TileManager::from_banks(cache_banks, d),
             draw: NegativeDraw::new(&cfg.model),
             delta_beta: HashMap::new(),
+            dirty: HashSet::new(),
             h: vec![Q8_24::ZERO; d],
             ph: vec![Q8_24::ZERO; d],
             phn: vec![Q8_24::ZERO; d],
@@ -131,9 +135,64 @@ impl Accelerator {
         }
     }
 
+    /// Rebuilds an accelerator from persisted raw Q8.24 state (β then P,
+    /// both as produced by [`Accelerator::beta_bits`] / [`Accelerator::p_bits`]).
+    /// The configuration goes through the same [`NegativeMode::PerWalk`]
+    /// forcing as [`Accelerator::new`], so a restored accelerator replays
+    /// the exact RNG schedule of the one that was saved.
+    pub fn from_raw_parts(
+        num_nodes: usize,
+        cfg: OsElmConfig,
+        beta: Vec<Q8_24>,
+        p: Vec<Q8_24>,
+    ) -> Self {
+        let mut acc = Accelerator::new(num_nodes, cfg);
+        assert_eq!(beta.len(), num_nodes * acc.dim, "beta length mismatch");
+        assert_eq!(p.len(), acc.dim * acc.dim, "P length mismatch");
+        acc.beta = beta;
+        acc.p = p;
+        acc
+    }
+
     /// The architectural design point.
     pub fn design(&self) -> &AcceleratorDesign {
         &self.design
+    }
+
+    /// The (PerWalk-forced) OS-ELM configuration this accelerator runs.
+    pub fn config(&self) -> &OsElmConfig {
+        &self.cfg
+    }
+
+    /// βᵀ raw fixed-point words, row per node (persistence: these bits, not
+    /// a float round-trip, are the deterministic-replay state).
+    pub fn beta_bits(&self) -> &[Q8_24] {
+        &self.beta
+    }
+
+    /// P raw fixed-point words, row-major d×d.
+    pub fn p_bits(&self) -> &[Q8_24] {
+        &self.p
+    }
+
+    /// Drains the set of rows whose β changed since the last call, sorted.
+    /// A host mirroring the accelerator's DRAM into a float serving view
+    /// only needs to re-dequantize these rows.
+    pub fn take_dirty(&mut self) -> Vec<NodeId> {
+        let mut rows: Vec<NodeId> = self.dirty.drain().collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Dequantizes one embedding row (μ·β) into `out`; bit-identical to the
+    /// corresponding row of [`EmbeddingModel::embedding`].
+    pub fn embed_row(&self, node: NodeId, out: &mut [f32]) {
+        let d = self.dim;
+        let mu = self.mu.to_f32();
+        let base = node as usize * d;
+        for (o, b) in out.iter_mut().zip(&self.beta[base..base + d]) {
+            *o = mu * b.to_f32();
+        }
     }
 
     /// The timing model (mutable for what-if studies).
@@ -250,6 +309,7 @@ impl Accelerator {
             }
         }
         for (node, delta) in self.delta_beta.drain() {
+            self.dirty.insert(node);
             let base = node as usize * d;
             for (b, &dv) in self.beta[base..base + d].iter_mut().zip(&delta) {
                 *b = b.sat_add(dv);
@@ -444,6 +504,45 @@ mod tests {
         let walk: Vec<NodeId> = (0..20u32).collect();
         acc.train_walk(&walk, &table, &mut rng);
         assert!(acc.stats.tile_hits > 0, "shared negatives must hit the tile");
+    }
+
+    #[test]
+    fn dirty_rows_cover_all_beta_changes() {
+        let table = ready_table(30);
+        let mut acc = Accelerator::new(30, cfg(8));
+        let before = acc.clone();
+        let mut rng = Rng64::seed_from_u64(7);
+        let walk: Vec<NodeId> = (0..16u32).collect();
+        acc.train_walk(&walk, &table, &mut rng);
+        let dirty = acc.take_dirty();
+        assert!(!dirty.is_empty());
+        for node in 0..30u32 {
+            let changed = acc.beta_bits()[node as usize * 8..(node as usize + 1) * 8]
+                != before.beta_bits()[node as usize * 8..(node as usize + 1) * 8];
+            assert_eq!(changed, dirty.contains(&node), "node {node} dirty mismatch");
+        }
+        assert!(acc.take_dirty().is_empty(), "take_dirty drains");
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_bit_identical() {
+        let table = ready_table(30);
+        let mut acc = Accelerator::new(30, cfg(8));
+        let mut rng = Rng64::seed_from_u64(4);
+        let walk: Vec<NodeId> = (0..16u32).collect();
+        acc.train_walk(&walk, &table, &mut rng);
+        let mut restored = Accelerator::from_raw_parts(
+            30,
+            *acc.config(),
+            acc.beta_bits().to_vec(),
+            acc.p_bits().to_vec(),
+        );
+        // Same state ⇒ identical continuation on the same RNG stream.
+        let mut r1 = rng.clone();
+        acc.train_walk(&walk, &table, &mut r1);
+        restored.train_walk(&walk, &table, &mut rng);
+        assert_eq!(acc.beta_bits(), restored.beta_bits());
+        assert_eq!(acc.p_bits(), restored.p_bits());
     }
 
     #[test]

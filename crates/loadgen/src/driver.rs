@@ -89,6 +89,22 @@ pub fn probe_nodes(target: &str, timeout: Duration) -> io::Result<u32> {
     })
 }
 
+/// Asks the target's `stats` op which training backend it runs, reduced
+/// to the backend name (`"float"`, `"fpga-sim"`); `"unknown"` when the
+/// target predates the descriptor or cannot be reached.
+pub fn probe_backend(target: &str, timeout: Duration) -> String {
+    let cfg = ClientConfig { timeout, ..ClientConfig::default() };
+    let backend = Client::connect_with(target, cfg)
+        .and_then(|mut client| client.stats())
+        .ok()
+        .and_then(|stats| match stats.get("backend") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            Some(v) => v.get("kind").and_then(Value::as_str).map(str::to_string),
+            None => None,
+        });
+    backend.unwrap_or_else(|| "unknown".to_string())
+}
+
 /// Runs `scenario` against `opts.target` and returns the aggregated
 /// report. Fails only on setup errors (unreachable target at start);
 /// mid-run transport trouble is accounted, not fatal.
@@ -122,6 +138,7 @@ pub fn run(scenario: &Scenario, opts: &LoadOpts) -> io::Result<Report> {
         connections: opts.connections,
         scale: opts.scale,
         nodes,
+        backend: probe_backend(&opts.target, opts.timeout),
         schedule_hash: hash,
         wall_s: started.elapsed().as_secs_f64(),
     };

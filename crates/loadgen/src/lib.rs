@@ -40,7 +40,7 @@ pub mod workload;
 pub mod zipf;
 
 pub use arrival::Arrival;
-pub use driver::{materialize, probe_nodes, run, LoadOpts};
+pub use driver::{materialize, probe_backend, probe_nodes, run, LoadOpts};
 pub use report::{classify, Accounting, Outcome, Report};
 pub use scenario::{builtin, names, schedule, schedule_hash, ConnSchedule, Scenario};
 pub use slo::Slo;

@@ -228,6 +228,7 @@ impl Accounting {
             connections: meta.connections,
             scale: meta.scale,
             nodes: meta.nodes,
+            backend: meta.backend,
             schedule_hash: meta.schedule_hash,
             wall_s: meta.wall_s,
             total_ops,
@@ -301,6 +302,9 @@ pub struct RunMeta {
     pub scale: f64,
     /// Vertex count assumed for key generation.
     pub nodes: u32,
+    /// Training backend the target reported in its `stats` reply
+    /// (`"unknown"` for targets predating the descriptor).
+    pub backend: String,
     /// Hex FNV-1a of the full materialized schedule.
     pub schedule_hash: String,
     /// Wall-clock seconds for the whole run.
@@ -322,6 +326,10 @@ pub struct Report {
     pub scale: f64,
     /// Vertex count used for key generation.
     pub nodes: u32,
+    /// Training backend the target runs (from its `stats` descriptor), so
+    /// load reports for `float` and `fpga-sim` targets are comparable
+    /// side by side.
+    pub backend: String,
     /// Determinism witness: identical for identical `(scenario, nodes,
     /// connections, seed, scale)`.
     pub schedule_hash: String,
@@ -490,6 +498,7 @@ mod tests {
             connections: 1,
             scale: 1.0,
             nodes: 8,
+            backend: "float".into(),
             schedule_hash: "00".into(),
             wall_s: 0.1,
         };
@@ -535,6 +544,7 @@ mod tests {
             connections: 1,
             scale: 1.0,
             nodes: 8,
+            backend: "float".into(),
             schedule_hash: "00".into(),
             wall_s: 0.1,
         };

@@ -7,17 +7,20 @@
 //!
 //! ```text
 //! chaosd --dir STORE [--dim 8] [--seed 11] [--fsync batch]
-//!        [--refresh-every 0] [--addr 127.0.0.1:0]
+//!        [--refresh-every 0] [--addr 127.0.0.1:0] [--backend float]
 //! ```
 //!
 //! Prints `READY <addr>` on stdout once the listener is up. The training
 //! configuration is fixed (and mirrored in `tests/chaos.rs`): paper
 //! defaults at the given dim with walk_length 12, walks_per_node 2.
 
+use seqge_backend::{BackendKind, BackendSpec};
 use seqge_core::{OsElmConfig, TrainConfig};
 use seqge_sampling::UpdatePolicy;
 use seqge_serve::wal::WalConfig;
-use seqge_serve::{boot_wal, ready, start, FaultInjector, FsyncPolicy, ServeConfig, TrainerConfig};
+use seqge_serve::{
+    boot_wal, ready, start_backend, FaultInjector, FsyncPolicy, ServeConfig, TrainerConfig,
+};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -41,6 +44,7 @@ fn main() {
     let mut fsync = FsyncPolicy::Batch;
     let mut refresh_every = 0u64;
     let mut addr = "127.0.0.1:0".to_string();
+    let mut backend = BackendKind::Float;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -55,6 +59,7 @@ fn main() {
                     value().parse().unwrap_or_else(|_| fail("--refresh-every: not a number"))
             }
             "--addr" => addr = value(),
+            "--backend" => backend = BackendKind::parse(&value()).unwrap_or_else(|e| fail(e)),
             other => fail(format!("unknown flag `{other}`")),
         }
     }
@@ -66,12 +71,12 @@ fn main() {
     };
     let cfg = train_cfg(dim);
     let ocfg = OsElmConfig { model: cfg.model, ..OsElmConfig::paper_defaults(dim) };
+    let spec = BackendSpec::new(backend, cfg, ocfg, UpdatePolicy::every_edge(), seed);
     let wcfg = WalConfig { dir, fsync };
-    let boot =
-        match boot_wal(&wcfg, None, &cfg, ocfg, refresh_every, UpdatePolicy::every_edge(), seed) {
-            Ok(b) => b,
-            Err(e) => fail(format!("boot: {e}")),
-        };
+    let boot = match boot_wal(&wcfg, None, &spec, refresh_every) {
+        Ok(b) => b,
+        Err(e) => fail(format!("boot: {e}")),
+    };
     eprintln!(
         "chaosd: recovered gen {} segment {} (replayed {}, skipped {}, torn tail: {})",
         boot.report.gen,
@@ -86,7 +91,7 @@ fn main() {
         fault: Arc::new(fault),
         ..ServeConfig::default()
     };
-    let handle = match start(&addr, boot.graph, boot.model, boot.inc, config) {
+    let handle = match start_backend(&addr, boot.graph, boot.backend, config) {
         Ok(h) => h,
         Err(e) => fail(format!("listen: {e}")),
     };

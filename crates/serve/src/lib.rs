@@ -7,10 +7,11 @@
 //! pool) with two planes over one line-delimited JSON protocol:
 //!
 //! * **write plane** — `add_edge` / `remove_edge` events are queued to a
-//!   dedicated trainer thread, batched, and folded into the model through
-//!   [`seqge_core::IncrementalTrainer`] (walks restarted from both
-//!   endpoints of each event, §4.3.2), with an optional full-corpus
-//!   resample cadence for heavy drift;
+//!   dedicated trainer thread, batched, and folded into the model through a
+//!   pluggable [`seqge_backend::TrainBackend`] (float OS-ELM or the
+//!   fixed-point fpga-sim kernel; walks restarted from both endpoints of
+//!   each event, §4.3.2), with an optional full-corpus resample cadence for
+//!   heavy drift;
 //! * **read plane** — `get_embedding`, `topk`, and `score_link` (reusing
 //!   `seqge-eval`'s link-prediction operators) answered from an immutable
 //!   [`snapshot::EmbeddingSnapshot`] republished after every batch, so no
@@ -59,7 +60,10 @@ pub use protocol::{
     attach_trace, parse_request, parse_request_traced, Request, Response, TopKMode, WriteId,
     CODE_DEGRADED, CODE_OVERLOADED, DEFAULT_PROBES, MAX_LINE_BYTES,
 };
-pub use server::{boot_cold, boot_restore, boot_wal, start, ServeConfig, ServerHandle};
+pub use server::{
+    boot_cold, boot_restore, boot_restore_spec, boot_wal, start, start_backend, ServeConfig,
+    ServerHandle,
+};
 pub use snapshot::{AnnTopK, EmbeddingSnapshot, SnapshotCell, SnapshotReader};
 pub use trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg};
 pub use wal::{FsyncPolicy, RecoveryReport, Wal, WalBoot, WalConfig};

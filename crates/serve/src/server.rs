@@ -32,7 +32,8 @@ use crate::protocol::{
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell, SnapshotReader};
 use crate::trainer::{ServeStats, Trainer, TrainerConfig, TrainerMsg, WriteCtx};
 use crate::wal::{Wal, WalBoot, WalConfig};
-use seqge_core::{IncrementalTrainer, OsElmConfig, OsElmSkipGram, TrainConfig};
+use seqge_backend::{BackendSpec, FloatBackend, TrainBackend};
+use seqge_core::{IncrementalTrainer, OsElmSkipGram, TrainConfig};
 use seqge_graph::{EdgeEvent, Graph};
 use seqge_obs::{export, Counter, Gauge, Histogram, Registry};
 use seqge_sampling::UpdatePolicy;
@@ -150,19 +151,41 @@ pub fn boot_restore(
     Ok((graph, model, inc))
 }
 
+/// Backend-generic [`boot_restore`]: rebuilds any engine from the snapshot
+/// pair in `dir`, refusing a snapshot written by a different backend (the
+/// model file carries its kind byte).
+pub fn boot_restore_spec(
+    dir: &Path,
+    spec: &BackendSpec,
+) -> io::Result<(Graph, Box<dyn TrainBackend>)> {
+    let backend = spec.load(&dir.join("model.sge"))?;
+    let graph = seqge_graph::io::load_graph(dir.join("graph.edges"))
+        .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+    if backend.num_nodes() != graph.num_nodes() {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            format!(
+                "snapshot mismatch: model covers {} nodes, graph has {}",
+                backend.num_nodes(),
+                graph.num_nodes()
+            ),
+        ));
+    }
+    Ok((graph, backend))
+}
+
 /// Boots a WAL-backed store: recovers a committed one (snapshot restore +
 /// replay of the unapplied log suffix — `cold_graph` is then ignored), or
-/// initialises a fresh store from `cold_graph` with a bootstrap pass.
+/// initialises a fresh store from `cold_graph` with a bootstrap pass. The
+/// spec picks the training engine; recovering a store written by a
+/// different backend fails loudly (the snapshot carries its kind).
 pub fn boot_wal(
     wcfg: &WalConfig,
     cold_graph: Option<Graph>,
-    cfg: &TrainConfig,
-    ocfg: OsElmConfig,
+    spec: &BackendSpec,
     refresh_every: u64,
-    policy: UpdatePolicy,
-    seed: u64,
 ) -> io::Result<WalBoot> {
-    if let Some(boot) = Wal::recover(wcfg, cfg, refresh_every, policy, seed)? {
+    if let Some(boot) = Wal::recover(wcfg, spec, refresh_every)? {
         return Ok(boot);
     }
     let graph = cold_graph.ok_or_else(|| {
@@ -171,10 +194,11 @@ pub fn boot_wal(
             format!("{}: no committed store and no graph to cold-boot from", wcfg.dir.display()),
         )
     })?;
-    let (model, inc) = boot_cold(&graph, cfg, ocfg, policy, seed);
-    let wal = Wal::init(wcfg, &model, &graph)?;
+    let mut backend = spec.cold(graph.num_nodes());
+    backend.bootstrap(&graph);
+    let wal = Wal::init(wcfg, &*backend, &graph)?;
     let report = wal.recovery();
-    Ok(WalBoot { graph, model, inc, wal, report })
+    Ok(WalBoot { graph, backend, wal, report })
 }
 
 /// A running server. Dropping the handle without calling
@@ -244,13 +268,27 @@ impl ServerHandle {
     }
 }
 
-/// Starts the server on `addr` (use port 0 for an ephemeral port) and
-/// returns immediately; all work happens on background threads.
+/// Starts the server on `addr` with the float OS-ELM engine — the
+/// pre-backend signature, kept so snapshot-dir boots ([`boot_cold`] /
+/// [`boot_restore`]) stay one call. Wraps the pair into a
+/// [`FloatBackend`] and delegates to [`start_backend`].
 pub fn start(
     addr: &str,
     graph: Graph,
     model: OsElmSkipGram,
     inc: IncrementalTrainer,
+    config: ServeConfig,
+) -> io::Result<ServerHandle> {
+    start_backend(addr, graph, Box::new(FloatBackend::from_parts(model, inc)), config)
+}
+
+/// Starts the server on `addr` (use port 0 for an ephemeral port) with any
+/// training backend and returns immediately; all work happens on background
+/// threads.
+pub fn start_backend(
+    addr: &str,
+    graph: Graph,
+    mut backend: Box<dyn TrainBackend>,
     config: ServeConfig,
 ) -> io::Result<ServerHandle> {
     assert!(config.workers >= 1, "need at least one worker");
@@ -264,9 +302,16 @@ pub fn start(
     let registry = Arc::new(Registry::new());
     let stats = Arc::new(ServeStats::new(&registry));
     let started = Instant::now();
+    // The backend self-describes (engine name + key params) for the `stats`
+    // reply and cluster homogeneity checks; captured before the backend
+    // moves into the trainer thread.
+    let backend_desc: Arc<Value> = Arc::new(
+        serde_json::from_str(&backend.descriptor())
+            .unwrap_or_else(|_| Value::Str(backend.kind().as_str().to_string())),
+    );
     let boot = EmbeddingSnapshot {
         version: 0,
-        emb: seqge_core::model::EmbeddingModel::embedding(&model),
+        emb: backend.publish_view(),
         num_edges: graph.num_edges(),
         walks_trained: 0,
         edges_inserted: 0,
@@ -282,8 +327,9 @@ pub fn start(
 
     let mut threads = Vec::new();
 
-    // Trainer thread — sole owner of graph/model/incremental state.
-    let mut trainer = Trainer::new(graph, model, inc, cell.clone(), stats.clone(), config.trainer);
+    // Trainer thread — sole owner of graph + backend (model and
+    // incremental-training state).
+    let mut trainer = Trainer::new(graph, backend, cell.clone(), stats.clone(), config.trainer);
     trainer.attach_wal(config.wal.clone(), config.fault.clone());
     threads.push(
         thread::Builder::new().name("seqge-trainer".to_string()).spawn(move || trainer.run(rx))?,
@@ -318,6 +364,7 @@ pub fn start(
             stats: stats.clone(),
             registry: registry.clone(),
             ops: OpMetrics::new(&registry),
+            backend: backend_desc.clone(),
             started,
             stop: stop.clone(),
             trainer_tx: tx.clone(),
@@ -465,6 +512,9 @@ struct WorkerCtx {
     stats: Arc<ServeStats>,
     registry: Arc<Registry>,
     ops: OpMetrics,
+    /// The trainer backend's self-description (engine name + key params),
+    /// embedded in every `stats` reply.
+    backend: Arc<Value>,
     started: Instant,
     stop: Arc<AtomicBool>,
     trainer_tx: Sender<TrainerMsg>,
@@ -646,6 +696,7 @@ impl WorkerCtx {
                     .field("walks_trained", snap.walks_trained)
                     .field("edges_inserted", snap.edges_inserted)
                     .field("edges_removed", snap.edges_removed)
+                    .field("backend", (*self.backend).clone())
                     .field("snapshot_version", self.cell.version())
                     .field("uptime_ms", self.started.elapsed().as_millis() as u64)
                     .field("pending", self.stats.pending())

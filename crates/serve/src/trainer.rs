@@ -1,12 +1,16 @@
 //! The write plane: a dedicated trainer thread that drains edge events into
-//! incremental OS-ELM updates and publishes fresh embedding snapshots.
+//! incremental training updates and publishes fresh embedding snapshots.
 //!
-//! One thread owns the graph, the model, and the
-//! [`seqge_core::IncrementalTrainer`]; everything else talks to it through
-//! an MPSC channel. Events are batched opportunistically — whatever has
-//! queued up since the last training step is drained in one go (up to
-//! `batch_max`), then a snapshot is published, so query staleness is
-//! bounded by one batch rather than one connection's burst.
+//! One thread owns the graph and the training engine (a
+//! [`seqge_backend::TrainBackend`]: float OS-ELM or the fixed-point fpga-sim
+//! kernel); everything else talks to it through an MPSC channel. Events are
+//! batched opportunistically — whatever has queued up since the last
+//! training step is drained in one go (up to `batch_max`), then a snapshot
+//! is published, so query staleness is bounded by one batch rather than one
+//! connection's burst. Publication is also where a backend's deferred work
+//! lands: fpga-sim re-dequantizes only the β rows dirtied since the last
+//! publish, refreshes its cycle-model throughput plan, and re-measures the
+//! float-shadow deviation.
 //!
 //! With a WAL attached ([`Trainer::attach_wal`]), events arrive already
 //! logged (the worker appends before sending, holding the log lock across
@@ -19,8 +23,7 @@ use crate::fault::{FaultInjector, FaultPoint};
 use crate::snapshot::{EmbeddingSnapshot, SnapshotCell};
 use crate::wal::Wal;
 use seqge_ann::{AnnBuilder, AnnConfig, SyncReport};
-use seqge_core::model::EmbeddingModel;
-use seqge_core::{persist, IncrementalTrainer, OsElmSkipGram};
+use seqge_backend::TrainBackend;
 use seqge_graph::{io as graph_io, EdgeEvent, Graph};
 use seqge_obs::{Counter, Gauge, Histogram, Registry, TraceCtx};
 use std::path::PathBuf;
@@ -180,6 +183,21 @@ pub struct ServeStats {
     /// (`seqge_serve_halo_staleness_ms`). Bounded near one sync period on
     /// a healthy cluster, idle or not.
     pub halo_staleness_ms: Arc<Gauge>,
+    /// Modeled PL cycles accumulated by the backend's cycle model
+    /// (`seqge_backend_cycles_total`; zero for backends without one).
+    pub backend_cycles: Arc<Counter>,
+    /// The cycle planner's predicted sustainable ingest rate at the
+    /// configured clock, in edge events/s
+    /// (`seqge_backend_predicted_ingest_eps`).
+    pub backend_predicted_eps: Arc<Gauge>,
+    /// Ingest rate the trainer actually sustained over the last publish
+    /// interval, in edge events/s — read next to the prediction to see
+    /// capacity headroom (`seqge_backend_measured_ingest_eps`).
+    pub backend_measured_eps: Arc<Gauge>,
+    /// Fixed-vs-float embedding deviation measured by the backend's shadow
+    /// probe at the last publish, in ppm — the paper's Fig. 4 accuracy gap
+    /// as a live series (`seqge_backend_deviation`).
+    pub backend_deviation: Arc<Gauge>,
 }
 
 impl ServeStats {
@@ -236,6 +254,10 @@ impl ServeStats {
             halo_rotations: registry.counter("seqge_serve_halo_rotations_total"),
             halo_vertices: registry.gauge("seqge_serve_halo_vertices"),
             halo_staleness_ms: registry.gauge("seqge_serve_halo_staleness_ms"),
+            backend_cycles: registry.counter("seqge_backend_cycles_total"),
+            backend_predicted_eps: registry.gauge("seqge_backend_predicted_ingest_eps"),
+            backend_measured_eps: registry.gauge("seqge_backend_measured_ingest_eps"),
+            backend_deviation: registry.gauge("seqge_backend_deviation"),
         }
     }
 
@@ -359,8 +381,7 @@ impl Default for TrainerConfig {
 /// The trainer thread's whole world.
 pub struct Trainer {
     graph: Graph,
-    model: OsElmSkipGram,
-    inc: IncrementalTrainer,
+    backend: Box<dyn TrainBackend>,
     cell: Arc<SnapshotCell>,
     stats: Arc<ServeStats>,
     cfg: TrainerConfig,
@@ -379,24 +400,25 @@ pub struct Trainer {
     /// When the current snapshot was published (drives the staleness gauge
     /// and the `stats` op's always-on readout via the cell).
     last_publish: Option<Instant>,
+    /// Events applied since the last publish (drives the measured ingest
+    /// rate the planner gauges compare against).
+    applied_since_publish: u64,
 }
 
 impl Trainer {
     /// Builds the trainer and publishes the boot snapshot (version 0).
     pub fn new(
         graph: Graph,
-        model: OsElmSkipGram,
-        mut inc: IncrementalTrainer,
+        mut backend: Box<dyn TrainBackend>,
         cell: Arc<SnapshotCell>,
         stats: Arc<ServeStats>,
         cfg: TrainerConfig,
     ) -> Self {
-        inc.set_walk_threads(cfg.walk_threads);
+        backend.set_walk_threads(cfg.walk_threads);
         let ann = cfg.ann.map(AnnBuilder::new);
         let mut t = Trainer {
             graph,
-            model,
-            inc,
+            backend,
             cell,
             stats,
             cfg,
@@ -408,6 +430,7 @@ impl Trainer {
             ann,
             inflight_writes: Vec::new(),
             last_publish: None,
+            applied_since_publish: 0,
         };
         t.sync_stats();
         t.publish();
@@ -430,12 +453,21 @@ impl Trainer {
     fn sync_stats(&self) {
         // `set_to` keeps the counter monotone even though the trainer
         // publishes an absolute count.
-        self.stats.walks_trained.set_to(self.inc.outcome().walks_trained as u64);
+        self.stats.walks_trained.set_to(self.backend.outcome().walks_trained as u64);
     }
 
     fn publish(&mut self) {
-        let out = self.inc.outcome();
-        let emb = self.model.embedding();
+        let out = self.backend.outcome();
+        // `publish_view` is where a backend's deferred work lands (fpga-sim
+        // re-dequantizes dirty rows and re-measures the shadow deviation).
+        let emb = self.backend.publish_view();
+        if let Some(plan) = self.backend.planner() {
+            self.stats.backend_cycles.set_to(plan.cycles_total);
+            self.stats.backend_predicted_eps.set(plan.predicted_ingest_eps as i64);
+        }
+        if let Some(ppm) = self.backend.deviation_ppm() {
+            self.stats.backend_deviation.set(ppm);
+        }
         // Sync the ANN index against the matrix we are about to publish:
         // index and embeddings travel in the same `Arc`, so a reader can
         // never observe one without the other.
@@ -450,7 +482,7 @@ impl Trainer {
             num_edges: self.graph.num_edges(),
             walks_trained: out.walks_trained,
             edges_inserted: out.edges_inserted,
-            edges_removed: self.inc.edges_removed(),
+            edges_removed: self.backend.edges_removed(),
             ann,
         });
         self.version += 1;
@@ -467,8 +499,14 @@ impl Trainer {
         // stays within the "cheap always-on" budget with SEQGE_OBS=off.
         let now = Instant::now();
         if let Some(prev) = self.last_publish {
-            self.stats.staleness_ms.set(now.duration_since(prev).as_millis() as i64);
+            let dt = now.duration_since(prev);
+            self.stats.staleness_ms.set(dt.as_millis() as i64);
+            if self.applied_since_publish > 0 && !dt.is_zero() {
+                let eps = self.applied_since_publish as f64 / dt.as_secs_f64();
+                self.stats.backend_measured_eps.set(eps as i64);
+            }
         }
+        self.applied_since_publish = 0;
         self.last_publish = Some(now);
         self.cell.mark_published(now);
         if self.inflight_writes.is_empty() {
@@ -505,10 +543,11 @@ impl Trainer {
         if self.fault.should(FaultPoint::TrainerStall) {
             std::thread::sleep(self.fault.stall());
         }
-        match self.inc.ingest(&mut self.graph, event, &mut self.model) {
+        match self.backend.ingest(&mut self.graph, event) {
             Ok(_) => {
                 self.stats.applied.inc();
                 self.events_since_refresh += 1;
+                self.applied_since_publish += 1;
             }
             Err(_) => {
                 self.stats.rejected.inc();
@@ -518,7 +557,7 @@ impl Trainer {
             self.applied_seq = seq;
         }
         if self.cfg.refresh_every > 0 && self.events_since_refresh >= self.cfg.refresh_every {
-            self.inc.refresh(&self.graph, &mut self.model);
+            self.backend.refresh(&self.graph);
             self.stats.refreshes.inc();
             self.events_since_refresh = 0;
         }
@@ -548,7 +587,7 @@ impl Trainer {
         };
         let mtmp = model_path.with_extension("tmp");
         let gtmp = graph_path.with_extension("tmp");
-        persist::save_oselm(&self.model, &mtmp).map_err(|e| format!("model snapshot: {e}"))?;
+        self.backend.save_state(&mtmp).map_err(|e| format!("model snapshot: {e}"))?;
         graph_io::save_graph(&self.graph, &gtmp).map_err(|e| format!("graph snapshot: {e}"))?;
         std::fs::rename(&mtmp, &model_path).map_err(|e| format!("model rename: {e}"))?;
         std::fs::rename(&gtmp, &graph_path).map_err(|e| format!("graph rename: {e}"))?;
@@ -569,16 +608,14 @@ impl Trainer {
                 .to_string());
         }
         let (model_path, graph_path) = self.snapshot_paths()?;
-        let model = persist::load_oselm(&model_path).map_err(|e| format!("model restore: {e}"))?;
         let graph = graph_io::load_graph(&graph_path).map_err(|e| format!("graph restore: {e}"))?;
-        if model.beta_t().rows() != graph.num_nodes() {
-            return Err(format!(
-                "snapshot mismatch: model covers {} nodes, graph has {}",
-                model.beta_t().rows(),
-                graph.num_nodes()
-            ));
-        }
-        self.model = model;
+        // Swaps the model weights only — the live walk corpus and negative
+        // table survive, matching the pre-refactor restore semantics. The
+        // backend refuses (without mutating) on a bad file or node-count
+        // mismatch against the restored graph.
+        self.backend
+            .restore_state(&model_path, graph.num_nodes())
+            .map_err(|e| format!("model restore: {e}"))?;
         self.graph = graph;
         self.publish();
         Ok(self.version - 1)

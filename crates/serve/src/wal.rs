@@ -43,10 +43,8 @@
 //! durability to the OS page cache entirely.
 
 use crate::fault::{FaultInjector, FaultPoint};
-use seqge_core::model::EmbeddingModel;
-use seqge_core::{persist, IncrementalTrainer, OsElmSkipGram, TrainConfig};
+use seqge_backend::{BackendSpec, TrainBackend};
 use seqge_graph::{io as graph_io, EdgeEvent, Graph};
-use seqge_sampling::UpdatePolicy;
 use serde_json::Value;
 use std::fs::{File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Seek, SeekFrom, Write};
@@ -485,11 +483,10 @@ pub struct RecoveryReport {
 pub struct WalBoot {
     /// The graph as of snapshot + replay.
     pub graph: Graph,
-    /// The model as of snapshot + replay.
-    pub model: OsElmSkipGram,
-    /// The incremental trainer that performed the replay (carries the walk
-    /// corpus/negative-table state the live trainer continues from).
-    pub inc: IncrementalTrainer,
+    /// The training backend that performed the replay (model state as of
+    /// snapshot + replay, plus the walk corpus/negative-table state the live
+    /// trainer continues from).
+    pub backend: Box<dyn TrainBackend>,
     /// The open log, ready for appends.
     pub wal: Wal,
     /// What recovery did.
@@ -523,9 +520,11 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Initialises a fresh store: generation-0 snapshot of `model`+`graph`,
-    /// an empty segment 0, and the first `meta.json` commit.
-    pub fn init(cfg: &WalConfig, model: &OsElmSkipGram, graph: &Graph) -> io::Result<Wal> {
+    /// Initialises a fresh store: generation-0 snapshot of the backend's
+    /// model state + `graph`, an empty segment 0, and the first `meta.json`
+    /// commit. The snapshot format is the backend's own (float SGE1 kind 2,
+    /// fpga-sim kind 3), so recovery refuses a backend switch loudly.
+    pub fn init(cfg: &WalConfig, backend: &dyn TrainBackend, graph: &Graph) -> io::Result<Wal> {
         std::fs::create_dir_all(&cfg.dir)?;
         if read_meta(&cfg.dir)?.is_some() {
             return Err(bad_data(format!(
@@ -535,7 +534,7 @@ impl Wal {
         }
         let mpath = model_path(&cfg.dir, 0);
         let gpath = graph_path(&cfg.dir, 0);
-        persist::save_oselm(model, &mpath)?;
+        backend.save_state(&mpath)?;
         graph_io::save_graph(graph, &gpath).map_err(|e| bad_data(e.to_string()))?;
         fsync_path(&mpath)?;
         fsync_path(&gpath)?;
@@ -571,14 +570,10 @@ impl Wal {
     /// directory has never committed — call [`Wal::init`] after a cold boot.
     pub fn recover(
         cfg: &WalConfig,
-        train: &TrainConfig,
+        spec: &BackendSpec,
         refresh_every: u64,
-        policy: UpdatePolicy,
-        seed: u64,
     ) -> io::Result<Option<WalBoot>> {
-        let Some((graph, model, inc, report, scan)) =
-            replay_state(cfg, train, refresh_every, policy, seed)?
-        else {
+        let Some((graph, backend, report, scan)) = replay_state(cfg, spec, refresh_every)? else {
             return Ok(None);
         };
         let spath = segment_path(&cfg.dir, report.segment);
@@ -614,7 +609,7 @@ impl Wal {
             fsyncs: AtomicU64::new(0),
             rotations: AtomicU64::new(0),
         };
-        Ok(Some(WalBoot { graph, model, inc, wal, report }))
+        Ok(Some(WalBoot { graph, backend, wal, report }))
     }
 
     /// Appends `event`, then (still holding the log lock) runs `send` to
@@ -816,29 +811,27 @@ impl Wal {
 #[allow(clippy::type_complexity)]
 fn replay_state(
     cfg: &WalConfig,
-    train: &TrainConfig,
+    spec: &BackendSpec,
     refresh_every: u64,
-    policy: UpdatePolicy,
-    seed: u64,
-) -> io::Result<Option<(Graph, OsElmSkipGram, IncrementalTrainer, RecoveryReport, SegmentScan)>> {
+) -> io::Result<Option<(Graph, Box<dyn TrainBackend>, RecoveryReport, SegmentScan)>> {
     let Some(meta) = read_meta(&cfg.dir)? else {
         return Ok(None);
     };
-    let model = persist::load_oselm(model_path(&cfg.dir, meta.gen))?;
+    // `spec.load` = snapshot model state + fresh sequential driver (empty
+    // corpus) — the same construction a live server performs after
+    // `boot_restore`. Replaying through it reproduces the uninterrupted run
+    // bit for bit. It also sniffs the snapshot's kind byte, so booting with
+    // the wrong `--backend` fails here instead of replaying garbage.
+    let mut backend = spec.load(&model_path(&cfg.dir, meta.gen))?;
     let mut graph = graph_io::load_graph(graph_path(&cfg.dir, meta.gen))
         .map_err(|e| bad_data(e.to_string()))?;
-    if model.beta_t().rows() != graph.num_nodes() {
+    if backend.num_nodes() != graph.num_nodes() {
         return Err(bad_data(format!(
             "snapshot mismatch: model covers {} nodes, graph has {}",
-            model.beta_t().rows(),
+            backend.num_nodes(),
             graph.num_nodes()
         )));
     }
-    let mut model = model;
-    // The same construction a live server performs after `boot_restore`:
-    // fresh trainer, empty corpus. Replaying through it reproduces the
-    // uninterrupted run bit for bit.
-    let mut inc = IncrementalTrainer::new(graph.num_nodes(), train, policy, seed);
     let scan = read_segment(&segment_path(&cfg.dir, meta.segment))?;
     let mut report = RecoveryReport {
         gen: meta.gen,
@@ -860,7 +853,7 @@ fn replay_state(
         max_seen = rec.seq;
         // Mirror of `Trainer::apply`: rejected events don't advance the
         // refresh cadence, and the cadence check runs after every event.
-        match inc.ingest(&mut graph, rec.event, &mut model) {
+        match backend.ingest(&mut graph, rec.event) {
             Ok(_) => {
                 report.replayed += 1;
                 report.since_refresh += 1;
@@ -868,13 +861,13 @@ fn replay_state(
             Err(_) => report.rejected += 1,
         }
         if refresh_every > 0 && report.since_refresh >= refresh_every {
-            inc.refresh(&graph, &mut model);
+            backend.refresh(&graph);
             report.refreshes += 1;
             report.since_refresh = 0;
         }
     }
     report.next_seq = max_seen + 1;
-    Ok(Some((graph, model, inc, report, scan)))
+    Ok(Some((graph, backend, report, scan)))
 }
 
 /// The result of `--wal-replay-check`.
@@ -895,17 +888,15 @@ pub struct ReplayCheck {
 /// file and compares the resulting embeddings bit for bit.
 pub fn verify_replay(
     cfg: &WalConfig,
-    train: &TrainConfig,
+    spec: &BackendSpec,
     refresh_every: u64,
-    policy: UpdatePolicy,
-    seed: u64,
 ) -> io::Result<ReplayCheck> {
-    let (_, model_a, _, report, _) = replay_state(cfg, train, refresh_every, policy, seed)?
+    let (_, mut backend_a, report, _) = replay_state(cfg, spec, refresh_every)?
         .ok_or_else(|| bad_data(format!("{}: no committed store", cfg.dir.display())))?;
-    let (_, model_b, _, _, _) = replay_state(cfg, train, refresh_every, policy, seed)?
+    let (_, mut backend_b, _, _) = replay_state(cfg, spec, refresh_every)?
         .ok_or_else(|| bad_data("store vanished mid-check"))?;
-    let ea = model_a.embedding();
-    let eb = model_b.embedding();
+    let ea = backend_a.publish_view();
+    let eb = backend_b.publish_view();
     let deterministic = ea.rows() == eb.rows()
         && ea.cols() == eb.cols()
         && ea.as_slice().iter().zip(eb.as_slice()).all(|(a, b)| a.to_bits() == b.to_bits());

@@ -25,13 +25,13 @@
 //! decision is a pure hash of `(seed, point, visit)`, so a failing seed
 //! fails the same way every run.
 
-use seqge_core::model::EmbeddingModel;
+use seqge_backend::{BackendKind, BackendSpec, TrainBackend};
 use seqge_core::{OsElmConfig, TrainConfig};
 use seqge_graph::generators::classic::erdos_renyi;
 use seqge_graph::{spanning_forest, EdgeEvent};
 use seqge_sampling::UpdatePolicy;
 use seqge_serve::wal::{self, FsyncPolicy, Wal, WalConfig};
-use seqge_serve::{boot_cold, ready, Client, ClientConfig};
+use seqge_serve::{ready, Client, ClientConfig};
 use std::io::Seek;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -51,6 +51,20 @@ fn train_cfg() -> TrainConfig {
 
 fn ocfg() -> OsElmConfig {
     OsElmConfig { model: train_cfg().model, ..OsElmConfig::paper_defaults(DIM) }
+}
+
+/// The engine under chaos: `SEQGE_BACKEND=fpga-sim` runs the whole kill -9 /
+/// bit-identical-recovery suite against the fixed-point backend (the CI
+/// backend matrix does exactly that); default is float.
+fn backend_kind() -> BackendKind {
+    match std::env::var("SEQGE_BACKEND") {
+        Ok(s) => BackendKind::parse(&s).expect("SEQGE_BACKEND"),
+        Err(_) => BackendKind::Float,
+    }
+}
+
+fn spec() -> BackendSpec {
+    BackendSpec::new(backend_kind(), train_cfg(), ocfg(), UpdatePolicy::every_edge(), SEED)
 }
 
 /// Fault schedules under test (chaos seeds), from `SEQGE_FAULT_SEED`.
@@ -75,6 +89,7 @@ impl Daemon {
     fn spawn(dir: &Path, faults: &str, seed: u64) -> Daemon {
         let mut child = Command::new(env!("CARGO_BIN_EXE_chaosd"))
             .args(["--dir", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+            .args(["--backend", backend_kind().as_str()])
             .env("SEQGE_FAULT", faults)
             .env("SEQGE_FAULT_SEED", seed.to_string())
             .env("SEQGE_FAULT_STALL_MS", "1200")
@@ -119,9 +134,10 @@ fn commit_store(dir: &Path) -> Vec<(u32, u32)> {
     let full = erdos_renyi(40, 0.18, 7);
     let split = spanning_forest(&full);
     let initial = split.initial_graph(&full);
-    let (model, _inc) = boot_cold(&initial, &train_cfg(), ocfg(), UpdatePolicy::every_edge(), SEED);
+    let mut backend = spec().cold(initial.num_nodes());
+    backend.bootstrap(&initial);
     let wcfg = WalConfig { dir: dir.to_path_buf(), fsync: FsyncPolicy::Batch };
-    Wal::init(&wcfg, &model, &initial).expect("store init");
+    Wal::init(&wcfg, &*backend, &initial).expect("store init");
     split.removed_edges
 }
 
@@ -129,9 +145,7 @@ fn commit_store(dir: &Path) -> Vec<(u32, u32)> {
 /// recovered daemon must match bit for bit.
 fn reference_recover(dir: &Path) -> wal::WalBoot {
     let wcfg = WalConfig { dir: dir.to_path_buf(), fsync: FsyncPolicy::Never };
-    Wal::recover(&wcfg, &train_cfg(), 0, UpdatePolicy::every_edge(), SEED)
-        .expect("recovery reads the store")
-        .expect("store is committed")
+    Wal::recover(&wcfg, &spec(), 0).expect("recovery reads the store").expect("store is committed")
 }
 
 /// Appends a duplicate of the segment's last intact record plus a torn
@@ -167,8 +181,8 @@ fn copy_dir(src: &Path, dst: &Path) {
     }
 }
 
-fn embedding_rows(model: &seqge_core::OsElmSkipGram) -> Vec<Vec<f32>> {
-    let emb = model.embedding();
+fn embedding_rows(backend: &mut dyn TrainBackend) -> Vec<Vec<f32>> {
+    let emb = backend.publish_view();
     (0..emb.rows()).map(|r| emb.as_slice()[r * emb.cols()..(r + 1) * emb.cols()].to_vec()).collect()
 }
 
@@ -259,7 +273,7 @@ fn run_chaos_scenario(seed: u64) {
         Some(reference.report.replayed),
         "seed {seed}: daemon and reference replayed different event counts"
     );
-    let frozen = embedding_rows(&reference.model);
+    let frozen = embedding_rows(reference.backend.as_mut());
     assert_rows_match(&mut cb, &frozen, "after recovery");
 
     // Phase 4: resume the stream. Send every edge A never acknowledged;
@@ -271,11 +285,10 @@ fn run_chaos_scenario(seed: u64) {
         cb.add_edge(u, v).unwrap_or_else(|e| {
             panic!("seed {seed}: write ({u},{v}) failed on recovered daemon: {e}")
         });
-        let _ =
-            reference.inc.ingest(&mut reference.graph, EdgeEvent::Add(u, v), &mut reference.model);
+        let _ = reference.backend.ingest(&mut reference.graph, EdgeEvent::Add(u, v));
     }
     cb.flush().unwrap();
-    let warm = embedding_rows(&reference.model);
+    let warm = embedding_rows(reference.backend.as_mut());
     assert_rows_match(&mut cb, &warm, "after resumed ingest");
 
     // Every edge is now in: acked-on-A survived the kill, the rest were

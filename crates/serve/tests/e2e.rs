@@ -3,13 +3,18 @@
 //! The acceptance loop — boot from a partial graph, stream the held-out
 //! edges in over the write plane while querying the read plane, watch
 //! link-prediction scores improve, snapshot, kill, restore bit-identically.
+//!
+//! The whole suite is backend-generic: `SEQGE_BACKEND=fpga-sim` runs every
+//! test against the fixed-point accelerator backend (the CI backend matrix
+//! does exactly that); default is float.
 
+use seqge_backend::{BackendKind, BackendSpec};
 use seqge_core::{OsElmConfig, TrainConfig};
 use seqge_eval::EdgeOp;
 use seqge_graph::generators::classic::erdos_renyi;
 use seqge_graph::spanning_forest;
 use seqge_sampling::UpdatePolicy;
-use seqge_serve::{boot_cold, boot_restore, start, Client, ServeConfig};
+use seqge_serve::{boot_restore_spec, start_backend, Client, ServeConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -27,15 +32,26 @@ fn ocfg() -> OsElmConfig {
     OsElmConfig { model: train_cfg().model, ..OsElmConfig::paper_defaults(DIM) }
 }
 
+fn backend_kind() -> BackendKind {
+    match std::env::var("SEQGE_BACKEND") {
+        Ok(s) => BackendKind::parse(&s).expect("SEQGE_BACKEND"),
+        Err(_) => BackendKind::Float,
+    }
+}
+
+fn spec() -> BackendSpec {
+    BackendSpec::new(backend_kind(), train_cfg(), ocfg(), UpdatePolicy::every_edge(), SEED)
+}
+
 /// Boots a server over the spanning forest of a random graph; returns the
 /// handle plus the removed (held-out) edges.
 fn forest_server(config: ServeConfig) -> (seqge_serve::ServerHandle, Vec<(u32, u32)>) {
     let full = erdos_renyi(40, 0.18, 7);
     let split = spanning_forest(&full);
     let initial = split.initial_graph(&full);
-    let cfg = train_cfg();
-    let (model, inc) = boot_cold(&initial, &cfg, ocfg(), UpdatePolicy::every_edge(), SEED);
-    let handle = start("127.0.0.1:0", initial, model, inc, config).expect("server starts");
+    let mut backend = spec().cold(initial.num_nodes());
+    backend.bootstrap(&initial);
+    let handle = start_backend("127.0.0.1:0", initial, backend, config).expect("server starts");
     (handle, split.removed_edges)
 }
 
@@ -193,15 +209,12 @@ fn snapshot_restore_roundtrip_is_bit_identical() {
     // "Kill" the server (graceful here; the final snapshot also runs, but
     // we already snapshotted explicitly) and boot a fresh one from disk.
     handle.shutdown().unwrap();
-    let cfg = train_cfg();
-    let (graph, model, inc) =
-        boot_restore(&dir, &cfg, UpdatePolicy::every_edge(), SEED).expect("restore boots");
+    let (graph, backend) = boot_restore_spec(&dir, &spec()).expect("restore boots");
     assert_eq!(graph.num_edges() as u64, frozen_edges);
-    let handle2 = start(
+    let handle2 = start_backend(
         "127.0.0.1:0",
         graph,
-        model,
-        inc,
+        backend,
         ServeConfig::default().with_snapshot_dir(&dir).unwrap(),
     )
     .unwrap();
@@ -312,6 +325,15 @@ fn stats_reports_uptime_and_versions() {
     assert!(snap_ver > 0, "flush must have published: {stats:?}");
     assert_eq!(stats.get("enqueued").and_then(|v| v.as_u64()), Some(3));
     assert_eq!(stats.get("snapshots_written").and_then(|v| v.as_u64()), Some(0));
+    // The reply names the training engine actually running (+ key params).
+    let backend = stats.get("backend").expect("stats carries the backend descriptor");
+    let rendered = format!("{backend:?}");
+    assert!(
+        rendered.contains(backend_kind().as_str()),
+        "backend descriptor must name `{}`: {rendered}",
+        backend_kind()
+    );
+    assert!(rendered.contains("dim"), "descriptor carries key params: {rendered}");
     handle.shutdown().unwrap();
 }
 
@@ -403,20 +425,11 @@ fn wal_mode_survives_graceful_shutdown_bit_identically_and_blocks_restore() {
     let split = spanning_forest(&full);
     let initial = split.initial_graph(&full);
     let removed = split.removed_edges;
-    let cfg = train_cfg();
-    let boot = seqge_serve::boot_wal(
-        &wcfg,
-        Some(initial),
-        &cfg,
-        ocfg(),
-        0,
-        UpdatePolicy::every_edge(),
-        SEED,
-    )
-    .expect("cold init commits a store");
+    let boot =
+        seqge_serve::boot_wal(&wcfg, Some(initial), &spec(), 0).expect("cold init commits a store");
     assert_eq!(boot.report.gen, 0);
     let config = ServeConfig { wal: Some(std::sync::Arc::new(boot.wal)), ..ServeConfig::default() };
-    let handle = start("127.0.0.1:0", boot.graph, boot.model, boot.inc, config).unwrap();
+    let handle = start_backend("127.0.0.1:0", boot.graph, boot.backend, config).unwrap();
     let mut c = Client::connect(handle.addr()).unwrap();
 
     // WAL-mode acks carry the assigned log sequence number.
@@ -446,14 +459,12 @@ fn wal_mode_survives_graceful_shutdown_bit_identically_and_blocks_restore() {
     // Graceful shutdown commits a snapshot generation and rotates the log,
     // so the reboot replays nothing — and matches bit for bit.
     handle.shutdown().unwrap();
-    let boot2 =
-        seqge_serve::boot_wal(&wcfg, None, &cfg, ocfg(), 0, UpdatePolicy::every_edge(), SEED)
-            .expect("store recovers");
+    let boot2 = seqge_serve::boot_wal(&wcfg, None, &spec(), 0).expect("store recovers");
     assert!(boot2.report.gen >= 1, "shutdown must commit a generation: {:?}", boot2.report);
     assert_eq!(boot2.report.replayed, 0, "rotation left nothing to replay: {:?}", boot2.report);
     let config2 =
         ServeConfig { wal: Some(std::sync::Arc::new(boot2.wal)), ..ServeConfig::default() };
-    let handle2 = start("127.0.0.1:0", boot2.graph, boot2.model, boot2.inc, config2).unwrap();
+    let handle2 = start_backend("127.0.0.1:0", boot2.graph, boot2.backend, config2).unwrap();
     let mut c2 = Client::connect(handle2.addr()).unwrap();
     for (n, frozen_row) in frozen.iter().enumerate() {
         let row = c2.get_embedding(n as u32).unwrap();

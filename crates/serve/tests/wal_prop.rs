@@ -8,13 +8,14 @@
 //! every single-byte corruption, and fabricated duplicate-sequence tails.
 
 use proptest::prelude::*;
+use seqge_backend::{BackendSpec, TrainBackend};
 use seqge_core::model::EmbeddingModel;
 use seqge_core::{OsElmConfig, TrainConfig};
 use seqge_graph::generators::classic::erdos_renyi;
 use seqge_graph::{spanning_forest, EdgeEvent};
 use seqge_sampling::UpdatePolicy;
 use seqge_serve::wal::{encode_record, read_segment, FsyncPolicy, Wal, WalConfig, MAGIC};
-use seqge_serve::{boot_cold, FaultInjector};
+use seqge_serve::FaultInjector;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,9 +66,10 @@ fn committed_store(dir: &Path, graph_seed: u64, take: usize) -> Vec<(u32, u32)> 
     let full = erdos_renyi(12, 0.3, graph_seed);
     let split = spanning_forest(&full);
     let initial = split.initial_graph(&full);
-    let (model, _inc) = boot_cold(&initial, &train_cfg(), ocfg(), UpdatePolicy::every_edge(), SEED);
+    let mut backend = spec().cold(initial.num_nodes());
+    backend.bootstrap(&initial);
     let wcfg = WalConfig { dir: dir.to_path_buf(), fsync: FsyncPolicy::Never };
-    let wal = Wal::init(&wcfg, &model, &initial).unwrap();
+    let wal = Wal::init(&wcfg, &*backend, &initial).unwrap();
     let none = FaultInjector::disabled();
     let edges: Vec<(u32, u32)> = split.removed_edges.into_iter().take(take).collect();
     for &(u, v) in &edges {
@@ -80,15 +82,17 @@ fn ocfg() -> OsElmConfig {
     OsElmConfig { model: train_cfg().model, ..OsElmConfig::paper_defaults(DIM) }
 }
 
-fn recover(dir: &Path) -> seqge_serve::WalBoot {
-    let wcfg = WalConfig { dir: dir.to_path_buf(), fsync: FsyncPolicy::Never };
-    Wal::recover(&wcfg, &train_cfg(), 0, UpdatePolicy::every_edge(), SEED)
-        .expect("recovery reads the store")
-        .expect("store is committed")
+fn spec() -> BackendSpec {
+    BackendSpec::float(train_cfg(), ocfg(), UpdatePolicy::every_edge(), SEED)
 }
 
-fn embedding_bits(model: &seqge_core::OsElmSkipGram) -> Vec<u32> {
-    model.embedding().as_slice().iter().map(|x| x.to_bits()).collect()
+fn recover(dir: &Path) -> seqge_serve::WalBoot {
+    let wcfg = WalConfig { dir: dir.to_path_buf(), fsync: FsyncPolicy::Never };
+    Wal::recover(&wcfg, &spec(), 0).expect("recovery reads the store").expect("store is committed")
+}
+
+fn embedding_bits(backend: &mut dyn TrainBackend) -> Vec<u32> {
+    backend.publish_view().as_slice().iter().map(|x| x.to_bits()).collect()
 }
 
 fn copy_dir(src: &Path, dst: &Path) {
@@ -208,21 +212,24 @@ proptest! {
         f.write_all(&bytes[MAGIC.len()..]).unwrap();
         drop(f);
 
-        let with_dups = recover(&dir);
-        let reference = recover(&pristine);
+        let mut with_dups = recover(&dir);
+        let mut reference = recover(&pristine);
         prop_assert_eq!(with_dups.report.duplicates, edges.len() as u64);
         prop_assert_eq!(with_dups.report.replayed, reference.report.replayed);
         prop_assert_eq!(
-            embedding_bits(&with_dups.model),
-            embedding_bits(&reference.model)
+            embedding_bits(with_dups.backend.as_mut()),
+            embedding_bits(reference.backend.as_mut())
         );
         prop_assert_eq!(with_dups.graph.num_edges(), reference.graph.num_edges());
 
         // Replay is read-only modulo tail healing: a second recovery of the
         // same store reproduces the same state.
         drop(with_dups);
-        let again = recover(&dir);
-        prop_assert_eq!(embedding_bits(&again.model), embedding_bits(&reference.model));
+        let mut again = recover(&dir);
+        prop_assert_eq!(
+            embedding_bits(again.backend.as_mut()),
+            embedding_bits(reference.backend.as_mut())
+        );
         std::fs::remove_dir_all(&dir).unwrap();
         std::fs::remove_dir_all(&pristine).unwrap();
     }
@@ -240,13 +247,15 @@ fn empty_and_zero_byte_segments_recover_to_snapshot_state() {
         if wipe {
             std::fs::File::create(dir.join("wal.0.log")).unwrap();
         }
-        let boot = recover(&dir);
+        let mut boot = recover(&dir);
         assert_eq!(boot.report.replayed, 0);
         assert_eq!(boot.report.torn_tail, wipe, "sub-header file counts as torn");
         assert_eq!(boot.report.next_seq, 1);
         // The recovered model is the committed gen-0 snapshot, bit for bit.
         let m = seqge_core::persist::load_oselm(dir.join("model.0.sge")).unwrap();
-        assert_eq!(embedding_bits(&boot.model), embedding_bits(&m));
+        let snapshot_bits: Vec<u32> =
+            m.embedding().as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(embedding_bits(boot.backend.as_mut()), snapshot_bits);
         // And the healed log accepts appends again.
         boot.wal
             .append_then(EdgeEvent::Add(0, 1), &FaultInjector::disabled(), |_| Ok::<(), ()>(()))

@@ -27,6 +27,12 @@
 # the brute/ANN p99 ratio is banded (SEQGE_BENCH_ANN_BAND_PCT, default 40)
 # and floored at 5x, and recall@10 is floored at 0.9 outright.
 #
+# Also gates the training-backend plane (`bench_backend` →
+# deviation_ppm, planner liveness): the fpga-sim backend's live
+# float-shadow deviation has a hard ppm ceiling (quantization
+# correctness is host-independent) and the cycle planner must have
+# priced the stream.
+#
 # Also gates the serving plane under load (`seqge loadgen` hot_read
 # against a freshly booted single-node server): steady_ok_rate is floored
 # at 0.99 and the steady topk p99 is banded against
@@ -186,6 +192,64 @@ else
   case $recall_verdict in
   *REGRESSION*) fail=1 ;;
   esac
+fi
+
+# Backend gate (`bench_backend`): float vs fpga-sim through the serve
+# plane on the same Amazon-Photo stream. Two hard checks, both
+# host-independent:
+#
+# * deviation_ppm — the fpga-sim backend's live float-shadow metric
+#   (per-publish-window fixed-vs-float embedding drift, the Fig. 4-style
+#   band). Quantization correctness, not speed: a wrong Q8.24 scale or a
+#   saturation storm reads 10^5+ where a healthy kernel reads 10^2-10^3,
+#   so the ceiling is a constant, not a baseline band.
+#   Override: SEQGE_BENCH_DEVIATION_CEILING_PPM.
+# * planner liveness — the cycle model must have priced the stream
+#   (backend_cycles_total > 0) and produced a nonzero predicted ingest
+#   rate; a dead planner means the capacity-headroom metrics are lying.
+DEVIATION_CEILING_PPM=${SEQGE_BENCH_DEVIATION_CEILING_PPM:-5000}
+cargo build --locked --release -q -p seqge-bench --bin bench_backend
+(cd "$work" && "$ROOT/target/release/bench_backend" --json results/bench_backend.json)
+BACKEND_FRESH=$work/results/bench_backend.json
+[[ -f $BACKEND_FRESH ]] || { echo "FAIL: benchmark did not write bench_backend.json"; exit 1; }
+deviation=$(json_num "$BACKEND_FRESH" deviation_ppm)
+predicted=$(json_num "$BACKEND_FRESH" predicted_ingest_eps)
+cycles=$(json_num "$BACKEND_FRESH" backend_cycles_total)
+fpga_eps=$(json_num "$BACKEND_FRESH" fpga_ingest_eps)
+if [[ -z $deviation || -z $predicted || -z $cycles || -z $fpga_eps ]]; then
+  echo "FAIL: backend metrics missing (deviation='$deviation' predicted='$predicted' cycles='$cycles' fpga_eps='$fpga_eps')"
+  fail=1
+else
+  dev_verdict=$(awk -v d="$deviation" -v c="$DEVIATION_CEILING_PPM" 'BEGIN {
+    if (d > c)      printf "%d ppm REGRESSION (ceiling %d ppm)", d, c
+    else if (d < 0) printf "%d ppm REGRESSION (probe never measured)", d
+    else            printf "%d ppm ok (ceiling %d ppm)", d, c
+  }')
+  echo "fpga-sim deviation_ppm: $dev_verdict"
+  case $dev_verdict in
+  *REGRESSION*) fail=1 ;;
+  esac
+  plan_verdict=$(awk -v p="$predicted" -v cy="$cycles" 'BEGIN {
+    if (cy <= 0)     printf "REGRESSION (no modeled cycles)"
+    else if (p <= 0) printf "REGRESSION (cycles modeled but predicted eps is %.0f)", p
+    else             printf "%.0f ev/s predicted from %.0f cycles, ok", p, cy
+  }')
+  echo "fpga-sim cycle planner: $plan_verdict"
+  case $plan_verdict in
+  *REGRESSION*) fail=1 ;;
+  esac
+fi
+if [[ -n ${GITHUB_STEP_SUMMARY:-} ]]; then
+  {
+    echo "### training backends (float vs fpga-sim)"
+    echo ""
+    echo "| metric | value |"
+    echo "|---|---|"
+    echo "| deviation_ppm (ceiling $DEVIATION_CEILING_PPM) | ${deviation:-missing} |"
+    echo "| predicted ingest ev/s (cycle model) | ${predicted:-missing} |"
+    echo "| measured fpga-sim ingest ev/s | ${fpga_eps:-missing} |"
+    echo "| float ingest ev/s | $(json_num "$BACKEND_FRESH" float_ingest_eps) |"
+  } >>"$GITHUB_STEP_SUMMARY"
 fi
 
 # Serving-under-load gate (`seqge loadgen` hot_read vs a single-node

@@ -13,6 +13,10 @@
 //! * [`obs`] — zero-dependency metrics registry, span timers, and the
 //!   structured JSONL logger shared by every runtime component.
 //! * [`eval`] — one-vs-rest logistic regression and F1 scoring.
+//! * [`backend`] — pluggable training backends behind the serve plane:
+//!   the float OS-ELM pipeline and the fixed-point fpga-sim kernel behind
+//!   one `TrainBackend` trait, with cycle-model planning and a live
+//!   accuracy-deviation probe.
 //! * [`serve`] — online embedding service: live edge ingestion, incremental
 //!   sequential training, lock-free snapshot queries over TCP.
 //! * [`ann`] — incremental LSH index behind the serve plane's sublinear
@@ -26,6 +30,7 @@
 //!   accounting split by steady-vs-fault window.
 
 pub use seqge_ann as ann;
+pub use seqge_backend as backend;
 pub use seqge_bench as bench;
 pub use seqge_cluster as cluster;
 pub use seqge_core as core;

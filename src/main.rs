@@ -85,10 +85,18 @@ commands:
   simulate [--dim n]
   serve    --graph FILE [--port n] [--dim n] [--seed n] [--workers n]
            [--batch n] [--refresh-every n] [--mu f] [--forgetting f]
-           [--no-ann] [--ann-bands n] [--ann-bits n]
+           [--backend float|fpga-sim] [--no-ann] [--ann-bands n] [--ann-bits n]
            [--snapshot-dir DIR] [--log-level error|warn|info|debug|trace]
            [--wal-dir DIR] [--fsync always|batch|never] [--wal-replay-check]
-           (long-running daemon; line-delimited JSON over TCP. With
+           (long-running daemon; line-delimited JSON over TCP.
+            --backend picks the training backend: `float` is the OS-ELM
+            pipeline in f32; `fpga-sim` runs the paper's deferred-delta
+            fixed-point accelerator kernel online, exporting its cycle
+            model as a live ingest planner (seqge_backend_cycles_total /
+            predicted vs measured eps) and its accuracy deviation from
+            the float shadow as seqge_backend_deviation (ppm). Snapshots
+            and WAL stores are backend-specific: a store committed under
+            one backend refuses to boot under the other. With
             --snapshot-dir, boots from DIR/model.sge when present —
             bit-identical restore, no retraining — and writes a final
             snapshot on graceful shutdown. With --wal-dir, every
@@ -107,7 +115,8 @@ commands:
             --port 0 = ephemeral)
   cluster  --graph FILE --base-dir DIR [--shards n] [--replicas n]
            [--port n] [--dim n] [--seed n] [--fsync always|batch|never]
-           [--refresh-every n] [--log-level error|warn|info|debug|trace]
+           [--refresh-every n] [--backend float|fpga-sim]
+           [--log-level error|warn|info|debug|trace]
            (sharded deployment: N in-process serve engines, each owning
             the vertices with id % N == shard and journaling to
             DIR/shard-<s>/, behind a scatter-gather router speaking the
@@ -118,8 +127,10 @@ commands:
             --replicas 1 adds a WAL-tailing read replica per shard that
             keeps get_embedding answering for dead shards. --graph seeds
             shards on first boot; restarts recover from the per-shard
-            WALs and ignore it. `cluster_status` reports per-shard
-            health. --port 0 = ephemeral)
+            WALs and ignore it. --backend applies to every shard — the
+            router asserts backend homogeneity and reports a mismatch as
+            degraded. `cluster_status` reports per-shard health and the
+            cluster's backend descriptor. --port 0 = ephemeral)
   client   [--addr HOST:PORT] [--timeout-ms n] [--retries n]
            (reads JSON requests from stdin, one per line, prints each
             response; --timeout-ms bounds each call, --retries retries
@@ -392,6 +403,10 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let mut cfg = TrainConfig::paper_defaults(dim);
     cfg.model.seed = seed;
     let policy = UpdatePolicy::every_edge();
+    let backend = match flags.get("backend") {
+        Some(v) => seqge::backend::BackendKind::parse(v)?,
+        None => seqge::backend::BackendKind::Float,
+    };
 
     let refresh_every: u64 = get(flags, "refresh-every", 0)?;
     let trainer = serve::TrainerConfig {
@@ -422,6 +437,14 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     // Fault injection is environmental (SEQGE_FAULT*); disabled when unset.
     config.fault = std::sync::Arc::new(serve::FaultInjector::from_env()?);
 
+    let ocfg = OsElmConfig {
+        model: cfg.model,
+        mu: get(flags, "mu", 0.05f32)?,
+        forgetting: get(flags, "forgetting", 1.0f32)?,
+        ..OsElmConfig::paper_defaults(dim)
+    };
+    let spec = seqge::backend::BackendSpec::new(backend, cfg, ocfg, policy, seed);
+
     if let Some(dir) = wal_dir {
         let fsync = match flags.get("fsync") {
             Some(v) => serve::FsyncPolicy::parse(v)?,
@@ -429,20 +452,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         };
         let wcfg = serve::WalConfig { dir, fsync };
         if flags.contains_key("wal-replay-check") {
-            return cmd_wal_replay_check(&wcfg, &cfg, refresh_every, policy, seed);
+            return cmd_wal_replay_check(&wcfg, &spec, refresh_every);
         }
         let cold_graph = if flags.contains_key("graph") { Some(load(flags)?) } else { None };
-        let ocfg = OsElmConfig {
-            model: cfg.model,
-            mu: get(flags, "mu", 0.05f32)?,
-            forgetting: get(flags, "forgetting", 1.0f32)?,
-            ..OsElmConfig::paper_defaults(dim)
-        };
-        let boot = serve::boot_wal(&wcfg, cold_graph, &cfg, ocfg, refresh_every, policy, seed)
-            .map_err(|e| e.to_string())?;
+        let boot =
+            serve::boot_wal(&wcfg, cold_graph, &spec, refresh_every).map_err(|e| e.to_string())?;
         seqge::obs::info!(
             "serve",
-            "wal boot: gen {} segment {}, {} replayed, {} skipped, torn tail: {}",
+            "wal boot ({}): gen {} segment {}, {} replayed, {} skipped, torn tail: {}",
+            backend,
             boot.report.gen,
             boot.report.segment,
             boot.report.replayed,
@@ -450,15 +468,15 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             boot.report.torn_tail
         );
         config.wal = Some(std::sync::Arc::new(boot.wal));
-        return run_server(config, boot.graph, boot.model, boot.inc, port);
+        return run_server(config, boot.graph, boot.backend, port);
     }
 
     // A populated snapshot dir wins over --graph: kill → restart resumes
     // with bit-identical model state, no retraining.
     let restorable = snapshot_dir.as_ref().is_some_and(|d| d.join("model.sge").is_file());
-    let (graph, model, inc) = if restorable {
+    let (graph, trained) = if restorable {
         let dir = snapshot_dir.as_ref().expect("restorable implies a snapshot dir");
-        let (g, m, i) = serve::boot_restore(dir, &cfg, policy, seed).map_err(|e| e.to_string())?;
+        let (g, b) = serve::boot_restore_spec(dir, &spec).map_err(|e| e.to_string())?;
         seqge::obs::info!(
             "serve",
             "restored {} nodes / {} edges from {}",
@@ -466,28 +484,24 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             g.num_edges(),
             dir.display()
         );
-        (g, m, i)
+        (g, b)
     } else {
         let g = load(flags)?;
-        let ocfg = OsElmConfig {
-            model: cfg.model,
-            mu: get(flags, "mu", 0.05f32)?,
-            forgetting: get(flags, "forgetting", 1.0f32)?,
-            ..OsElmConfig::paper_defaults(dim)
-        };
         let t0 = std::time::Instant::now();
-        let (m, i) = serve::boot_cold(&g, &cfg, ocfg, policy, seed);
+        let mut b = spec.cold(g.num_nodes());
+        b.bootstrap(&g);
         seqge::obs::info!(
             "serve",
-            "bootstrapped d={dim} on {} nodes / {} edges in {:.1}s",
+            "bootstrapped {} d={dim} on {} nodes / {} edges in {:.1}s",
+            backend,
             g.num_nodes(),
             g.num_edges(),
             t0.elapsed().as_secs_f64()
         );
-        (g, m, i)
+        (g, b)
     };
 
-    run_server(config, graph, model, inc, port)
+    run_server(config, graph, trained, port)
 }
 
 /// ANN knobs for the serve trainer: `--no-ann` publishes snapshots without
@@ -555,6 +569,10 @@ fn cmd_cluster(flags: &Flags) -> Result<(), String> {
         replica_poll: std::time::Duration::from_millis(20),
         halo_sync: std::time::Duration::from_millis(get(flags, "halo-sync-ms", 50)?),
         backend: seqge::cluster::Backend::InProcess,
+        train_backend: match flags.get("backend") {
+            Some(v) => seqge::backend::BackendKind::parse(v)?,
+            None => seqge::backend::BackendKind::Float,
+        },
     };
     install_signal_handlers();
     let cluster = seqge::cluster::Cluster::start(&cfg, &graph).map_err(|e| e.to_string())?;
@@ -588,12 +606,11 @@ fn cmd_cluster(flags: &Flags) -> Result<(), String> {
 fn run_server(
     config: serve::ServeConfig,
     graph: Graph,
-    model: seqge::core::OsElmSkipGram,
-    inc: seqge::core::IncrementalTrainer,
+    backend: Box<dyn seqge::backend::TrainBackend>,
     port: u16,
 ) -> Result<(), String> {
     install_signal_handlers();
-    let handle = serve::start(&format!("127.0.0.1:{port}"), graph, model, inc, config)
+    let handle = serve::start_backend(&format!("127.0.0.1:{port}"), graph, backend, config)
         .map_err(|e| e.to_string())?;
     seqge::obs::info!("serve", "listening on {}", handle.addr());
 
@@ -622,13 +639,10 @@ fn run_server(
 /// serving — replay twice, verify determinism, report, exit.
 fn cmd_wal_replay_check(
     wcfg: &serve::WalConfig,
-    cfg: &TrainConfig,
+    spec: &seqge::backend::BackendSpec,
     refresh_every: u64,
-    policy: UpdatePolicy,
-    seed: u64,
 ) -> Result<(), String> {
-    let check = serve::wal::verify_replay(wcfg, cfg, refresh_every, policy, seed)
-        .map_err(|e| e.to_string())?;
+    let check = serve::wal::verify_replay(wcfg, spec, refresh_every).map_err(|e| e.to_string())?;
     let r = &check.report;
     println!(
         "wal store {}: gen {}, segment {}, next seq {}",
